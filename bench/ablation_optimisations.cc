@@ -1,0 +1,166 @@
+// §4.2 ablations: the engineering claims behind ExplainIt!'s pipeline.
+//  1. Dense arrays: "a naive implementation of our scorer ... was at
+//     least 10x slower than the optimised implementation" — we compare
+//     correlation scoring over dynamically-typed table cells (the
+//     row-store path a naive implementation would use) against the dense
+//     matrix path.
+//  2. Broadcast/hash join vs nested loop for the hypothesis join of
+//     Appendix C: the same equi-join executed via the hash path and via a
+//     semantically equivalent non-equi condition that forces the
+//     nested-loop fallback.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/feature_family.h"
+#include "common/time_util.h"
+#include "sql/executor.h"
+#include "stats/pearson.h"
+#include "table/table.h"
+
+namespace explainit {
+namespace {
+
+// Correlation computed directly off the Figure 4 Feature Family Table
+// (one row per timestamp, features in a string-keyed map) — the path a
+// naive implementation takes when it skips the dense-array conversion.
+double NaiveFfTableCorrMax(const table::Table& x_ff,
+                           const std::vector<std::string>& x_features,
+                           const table::Table& y_ff,
+                           const std::vector<std::string>& y_features) {
+  const size_t t = x_ff.num_rows();
+  const size_t v_col = *x_ff.schema().FieldIndex("v");
+  double best = 0.0;
+  for (const std::string& fx : x_features) {
+    for (const std::string& fy : y_features) {
+      double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+      for (size_t r = 0; r < t; ++r) {
+        const table::ValueMap* xv = x_ff.At(r, v_col).AsMap();
+        const table::ValueMap* yv = y_ff.At(r, v_col).AsMap();
+        const double a = xv->at(fx).AsDouble();
+        const double b = yv->at(fy).AsDouble();
+        sx += a;
+        sy += b;
+        sxx += a * a;
+        syy += b * b;
+        sxy += a * b;
+      }
+      const double n = static_cast<double>(t);
+      const double cov = sxy - sx * sy / n;
+      const double vx = sxx - sx * sx / n;
+      const double vy = syy - sy * sy / n;
+      if (vx > 1e-24 && vy > 1e-24) {
+        best = std::max(best, std::abs(cov / std::sqrt(vx * vy)));
+      }
+    }
+  }
+  return best;
+}
+
+int Run() {
+  bench::PrintHeader("§4.2 ablations: dense arrays and broadcast joins");
+
+  // --- Dense arrays. ---
+  const size_t t = 480, nx = 512, ny = 64;
+  Rng rng(1);
+  core::FeatureFamily xfam, yfam;
+  xfam.name = "x";
+  yfam.name = "y";
+  xfam.data = la::Matrix(t, nx);
+  yfam.data = la::Matrix(t, ny);
+  rng.FillNormal(xfam.data.data(), xfam.data.size());
+  rng.FillNormal(yfam.data.data(), yfam.data.size());
+  for (size_t i = 0; i < t; ++i) {
+    xfam.timestamps.push_back(static_cast<int64_t>(i) * 60);
+    yfam.timestamps.push_back(static_cast<int64_t>(i) * 60);
+  }
+  for (size_t c = 0; c < nx; ++c) {
+    xfam.feature_names.push_back("x" + std::to_string(c));
+  }
+  for (size_t c = 0; c < ny; ++c) {
+    yfam.feature_names.push_back("y" + std::to_string(c));
+  }
+  const table::Table xt = core::FamilyToTable(xfam);
+  const table::Table yt = core::FamilyToTable(yfam);
+
+  double t0 = MonotonicSeconds();
+  const double naive = NaiveFfTableCorrMax(xt, xfam.feature_names, yt,
+                                           yfam.feature_names);
+  const double naive_sec = MonotonicSeconds() - t0;
+  t0 = MonotonicSeconds();
+  // The optimised path includes the one-off dense conversion, exactly as
+  // the pipeline performs it.
+  auto fams = core::FamiliesFromTable(xt);
+  auto yfams = core::FamiliesFromTable(yt);
+  if (!fams.ok() || !yfams.ok()) return 1;
+  const double dense = stats::CorrelationSummary((*fams)[0].data,
+                                                 (*yfams)[0].data)
+                           .max_abs;
+  const double dense_sec = MonotonicSeconds() - t0;
+  const la::Matrix& x = xfam.data;
+  const la::Matrix& y = yfam.data;
+  (void)x;
+  (void)y;
+  std::printf(
+      "CorrMax over %zux%zu vs %zux%zu:\n"
+      "  row-store (Value cells): %8.4fs  (score %.4f)\n"
+      "  dense arrays:            %8.4fs  (score %.4f)\n"
+      "  speedup: %.1fx  (paper: 'at least 10x')\n",
+      t, nx, t, ny, naive_sec, naive, dense_sec, dense,
+      naive_sec / dense_sec);
+  const bool scores_agree = std::abs(naive - dense) < 1e-9;
+  const bool dense_wins = naive_sec / dense_sec > 5.0;
+
+  // --- Broadcast/hash join vs nested loop. ---
+  const size_t rows = bench::PaperScale() ? 20000 : 4000;
+  table::Schema fs({{"ts", table::DataType::kInt64},
+                    {"v", table::DataType::kDouble}});
+  table::Table ff(fs), target(fs);
+  Rng jrng(2);
+  for (size_t i = 0; i < rows; ++i) {
+    ff.AppendRow({table::Value::Int(static_cast<int64_t>(i)),
+                  table::Value::Double(jrng.Normal())});
+    target.AppendRow({table::Value::Int(static_cast<int64_t>(i)),
+                      table::Value::Double(jrng.Normal())});
+  }
+  sql::Catalog catalog;
+  catalog.RegisterTable("FF", std::move(ff));
+  catalog.RegisterTable("Target", std::move(target));
+  sql::FunctionRegistry functions = sql::FunctionRegistry::Builtins();
+  sql::Executor executor(&catalog, &functions);
+
+  t0 = MonotonicSeconds();
+  auto hash = executor.Query(
+      "SELECT FF.ts, FF.v, Target.v FROM FF "
+      "JOIN Target ON FF.ts = Target.ts");
+  const double hash_sec = MonotonicSeconds() - t0;
+  t0 = MonotonicSeconds();
+  // <= AND >= is the same predicate but not extractable as an equi-key:
+  // the executor falls back to the nested loop.
+  auto loop = executor.Query(
+      "SELECT FF.ts, FF.v, Target.v FROM FF "
+      "JOIN Target ON FF.ts <= Target.ts AND FF.ts >= Target.ts");
+  const double loop_sec = MonotonicSeconds() - t0;
+  const auto& st = executor.stats();
+  std::printf(
+      "\nhypothesis join of %zu x %zu rows:\n"
+      "  hash (broadcast) join: %8.4fs (%zu rows)\n"
+      "  nested loop:           %8.4fs (%zu rows)\n"
+      "  speedup: %.0fx   [hash joins: %zu, nested: %zu]\n",
+      rows, rows, hash_sec, hash.ok() ? hash->num_rows() : 0, loop_sec,
+      loop.ok() ? loop->num_rows() : 0, loop_sec / hash_sec,
+      st.hash_joins, st.nested_loop_joins);
+  const bool joins_agree = hash.ok() && loop.ok() &&
+                           hash->num_rows() == loop->num_rows();
+  const bool hash_wins = loop_sec / hash_sec > 10.0;
+
+  const bool ok = scores_agree && dense_wins && joins_agree && hash_wins;
+  std::printf("\nablation reproduces the §4.2 claims: %s\n",
+              ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace explainit
+
+int main() { return explainit::Run(); }

@@ -1,0 +1,63 @@
+// Shared helpers for the experiment binaries. Each bench reproduces one
+// table or figure of the paper and prints it; EXPLAINIT_SCALE=paper runs
+// closer to the paper's data sizes.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/eval_metrics.h"
+#include "core/ranking.h"
+#include "core/scorer.h"
+#include "simulator/scenarios.h"
+
+namespace explainit::bench {
+
+/// True when EXPLAINIT_SCALE=paper is set: larger T and feature counts.
+inline bool PaperScale() {
+  const char* v = std::getenv("EXPLAINIT_SCALE");
+  return v != nullptr && std::string(v) == "paper";
+}
+
+/// Time steps per scenario for the current scale.
+inline size_t ScenarioSteps() { return PaperScale() ? 1440 : 480; }
+
+/// Feature-scale multiplier for the current scale.
+inline double FeatureScale() { return PaperScale() ? 6.0 : 1.0; }
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s%s\n", title.c_str(),
+              PaperScale() ? "   [EXPLAINIT_SCALE=paper]" : "");
+  std::printf("================================================================\n");
+}
+
+/// The five scoring methods of Table 6, in paper order.
+inline std::vector<std::string> PaperScorers() {
+  return {"CorrMean", "CorrMax", "L2", "L2-P50", "L2-P500"};
+}
+
+/// Ranks one scenario with one scorer; returns the ordered family names.
+inline std::vector<std::string> RankScenario(const sim::Scenario& scenario,
+                                             const core::Scorer& scorer,
+                                             core::ScoreTable* table_out =
+                                                 nullptr,
+                                             size_t top_k = 20) {
+  core::RankingOptions opts;
+  opts.top_k = top_k;
+  auto table = core::RankFamilies(scorer, scenario.target, nullptr,
+                                  scenario.families, opts);
+  std::vector<std::string> names;
+  if (!table.ok()) {
+    std::fprintf(stderr, "ranking failed: %s\n",
+                 table.status().ToString().c_str());
+    return names;
+  }
+  for (const auto& row : table->rows) names.push_back(row.family_name);
+  if (table_out != nullptr) *table_out = std::move(table).value();
+  return names;
+}
+
+}  // namespace explainit::bench

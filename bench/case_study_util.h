@@ -1,0 +1,65 @@
+// Shared driver for the case-study ranking benches (Tables 3-5): run the
+// full engine pipeline (store -> name-grouped families -> ranking) on a
+// simulated incident and print the ranked Score Table with cause/effect
+// interpretation.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/engine.h"
+#include "simulator/case_studies.h"
+
+namespace explainit::bench {
+
+/// Prints a ranked table with the cause/effect interpretation column;
+/// returns the rank of the first cause (0 = none in the printed rows).
+inline size_t PrintScoreTable(const core::ScoreTable& table,
+                              const sim::CaseStudyWorld& world,
+                              size_t top_k = 20) {
+  std::printf("%-4s %-28s %8s  %s\n", "rank", "family", "score",
+              "interpretation");
+  size_t first_cause = 0;
+  for (size_t i = 0; i < table.rows.size() && i < top_k; ++i) {
+    const auto& row = table.rows[i];
+    const char* kind = "";
+    if (world.labels.causes.count(row.family_name) > 0) {
+      kind = "<== CAUSE";
+      if (first_cause == 0) first_cause = i + 1;
+    } else if (world.labels.effects.count(row.family_name) > 0) {
+      kind = "effect of runtime";
+    }
+    std::printf("%-4zu %-28s %8.3f  %s\n", i + 1, row.family_name.c_str(),
+                row.score, kind);
+  }
+  return first_cause;
+}
+
+/// Runs a global name-grouped ranking of `world.target_metric` and prints
+/// the top-k. `condition_metric` (optional glob, e.g. "input_rate_*")
+/// conditions the scoring as in §5.2. Returns the rank of the first
+/// labelled cause (0 = not found / error).
+inline size_t RankAndPrintCaseStudy(const sim::CaseStudyWorld& world,
+                                    const std::string& scorer = "L2",
+                                    const std::string& condition_metric = "",
+                                    size_t top_k = 20) {
+  core::Engine engine(world.store);
+  core::Session session(&engine, world.range);
+  if (!session.SetTargetByMetric(world.target_metric).ok()) return 0;
+  core::GroupingOptions grouping;
+  grouping.key = core::GroupingKey::kMetricName;
+  if (!session.SetSearchSpaceByGrouping(grouping).ok()) return 0;
+  if (!session.SetScorer(scorer).ok()) return 0;
+  if (!condition_metric.empty()) {
+    if (!session.SetConditionByMetric(condition_metric).ok()) return 0;
+  }
+  auto table = session.Run();
+  if (!table.ok()) {
+    std::fprintf(stderr, "ranking failed: %s\n",
+                 table.status().ToString().c_str());
+    return 0;
+  }
+  return PrintScoreTable(*table, world, top_k);
+}
+
+}  // namespace explainit::bench

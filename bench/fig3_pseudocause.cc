@@ -1,0 +1,61 @@
+// Figure 3: conditioning on the pseudocause Ys blocks the (unknown) causes
+// of seasonality Cs and reveals the residual cause Cr. The experiment
+// scores both candidate families marginally and conditioned on Ys.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/pseudocause.h"
+
+int main() {
+  using namespace explainit;
+  bench::PrintHeader(
+      "Figure 3: pseudocauses — conditioning on Ys reveals Cr");
+  const size_t period = 24;
+  const size_t t = bench::PaperScale() ? 24 * 60 : 24 * 25;
+  Rng rng(42);
+  la::Matrix cs(t, 1), cr(t, 1);
+  core::FeatureFamily y;
+  y.name = "Y1";
+  y.feature_names = {"Y1"};
+  y.data = la::Matrix(t, 1);
+  for (size_t i = 0; i < t; ++i) {
+    y.timestamps.push_back(static_cast<int64_t>(i) * 60);
+    cs(i, 0) = 3.0 * std::sin(2.0 * M_PI *
+                              static_cast<double>(i % period) /
+                              static_cast<double>(period)) +
+               rng.Normal() * 0.1;
+    cr(i, 0) = ((i % 180) >= 60 && (i % 180) < 95)
+                   ? 4.0 + rng.Normal() * 0.2
+                   : rng.Normal() * 0.2;
+    y.data(i, 0) = 10.0 + cs(i, 0) + cr(i, 0) + rng.Normal() * 0.2;
+  }
+  auto pc = core::BuildPseudocause(y);
+  if (!pc.ok()) {
+    std::fprintf(stderr, "%s\n", pc.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("detected seasonal period: %zu steps (true: %zu)\n\n",
+              pc->period, period);
+  core::RidgeScorer scorer;
+  la::Matrix empty;
+  auto cs_m = scorer.Score(cs, y.data, empty);
+  auto cr_m = scorer.Score(cr, y.data, empty);
+  auto cs_c = scorer.Score(cs, y.data, pc->systematic.data);
+  auto cr_c = scorer.Score(cr, y.data, pc->systematic.data);
+  if (!cs_m.ok() || !cr_m.ok() || !cs_c.ok() || !cr_c.ok()) return 1;
+  std::printf("%-24s %10s %18s\n", "candidate family", "marginal",
+              "conditioned on Ys");
+  std::printf("%-24s %10.3f %18.3f\n", "Cs (seasonal cause)", cs_m->score,
+              cs_c->score);
+  std::printf("%-24s %10.3f %18.3f\n", "Cr (residual cause)", cr_m->score,
+              cr_c->score);
+  const bool blocked = cs_c->score < cs_m->score * 0.5;
+  const bool revealed = cr_c->score > cs_c->score;
+  std::printf(
+      "\nconditioning %s Cs and %s Cr — %s\n",
+      blocked ? "blocked" : "did NOT block",
+      revealed ? "boosted" : "did NOT boost",
+      blocked && revealed ? "Figure 3 reproduced" : "MISMATCH");
+  return blocked && revealed ? 0 : 1;
+}

@@ -1,0 +1,102 @@
+// google-benchmark microbenchmarks of the dense kernels that dominate
+// hypothesis-scoring cost (supports the Table 2 cost model with per-kernel
+// numbers).
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "la/blas.h"
+#include "la/cholesky.h"
+#include "la/random_projection.h"
+#include "stats/pearson.h"
+#include "stats/ridge.h"
+
+namespace explainit {
+namespace {
+
+la::Matrix RandomMatrix(size_t r, size_t c, uint64_t seed) {
+  Rng rng(seed);
+  la::Matrix m(r, c);
+  rng.FillNormal(m.data(), m.size());
+  return m;
+}
+
+void BM_Gram(benchmark::State& state) {
+  const size_t t = 480, nx = static_cast<size_t>(state.range(0));
+  la::Matrix x = RandomMatrix(t, nx, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::Gram(x));
+  }
+  state.SetComplexityN(static_cast<int64_t>(nx));
+}
+BENCHMARK(BM_Gram)->Arg(32)->Arg(128)->Arg(512)->Complexity(
+    benchmark::oNSquared);
+
+void BM_MatMul(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  la::Matrix a = RandomMatrix(n, n, 2);
+  la::Matrix b = RandomMatrix(n, n, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::MatMul(a, b));
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256)->Complexity(
+    benchmark::oNCubed);
+
+void BM_Cholesky(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  la::Matrix x = RandomMatrix(n + 8, n, 4);
+  la::Matrix spd = la::Gram(x);
+  for (size_t i = 0; i < n; ++i) spd(i, i) += 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::CholeskyFactor(spd));
+  }
+}
+BENCHMARK(BM_Cholesky)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_CorrelationSummary(benchmark::State& state) {
+  const size_t t = 480, nx = static_cast<size_t>(state.range(0));
+  la::Matrix x = RandomMatrix(t, nx, 5);
+  la::Matrix y = RandomMatrix(t, 2, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::CorrelationSummary(x, y));
+  }
+}
+BENCHMARK(BM_CorrelationSummary)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_RidgeFitCvPrimal(benchmark::State& state) {
+  const size_t t = 480, nx = static_cast<size_t>(state.range(0));
+  la::Matrix x = RandomMatrix(t, nx, 7);
+  la::Matrix y = RandomMatrix(t, 1, 8);
+  stats::RidgeRegression ridge;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ridge.FitCv(x, y));
+  }
+}
+BENCHMARK(BM_RidgeFitCvPrimal)->Arg(32)->Arg(128)->Arg(320);
+
+void BM_RidgeFitCvDual(benchmark::State& state) {
+  const size_t t = 240, nx = static_cast<size_t>(state.range(0));
+  la::Matrix x = RandomMatrix(t, nx, 9);
+  la::Matrix y = RandomMatrix(t, 1, 10);
+  stats::RidgeRegression ridge;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ridge.FitCv(x, y));
+  }
+}
+BENCHMARK(BM_RidgeFitCvDual)->Arg(512)->Arg(2048);
+
+void BM_RandomProjection(benchmark::State& state) {
+  const size_t t = 480, nx = static_cast<size_t>(state.range(0));
+  la::Matrix x = RandomMatrix(t, nx, 11);
+  Rng rng(12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::ProjectIfWide(x, 50, rng));
+  }
+}
+BENCHMARK(BM_RandomProjection)->Arg(512)->Arg(4096);
+
+}  // namespace
+}  // namespace explainit
+
+BENCHMARK_MAIN();

@@ -1,0 +1,117 @@
+// Table 2: asymptotic CPU cost of scoring a hypothesis.
+//   CorrMean/CorrMax: O(nx ny T)
+//   Joint/Multivariate: O(kL (Cx,y + ...)), Cx,y = O(ny min(T nx^2, T^2 nx))
+//   Random projection d: O(kL T d (nx + ny + nz + d))
+// This bench measures wall time across sweeps and reports the scaling
+// ratios that the big-O terms predict.
+#include <cstdio>
+
+#include "la/random_projection.h"
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "common/time_util.h"
+#include "stats/pearson.h"
+#include "stats/ridge.h"
+
+namespace explainit {
+namespace {
+
+la::Matrix RandomMatrix(size_t r, size_t c, Rng& rng) {
+  la::Matrix m(r, c);
+  rng.FillNormal(m.data(), m.size());
+  return m;
+}
+
+double TimeIt(const std::function<void()>& fn, int reps = 3) {
+  double best = 1e18;
+  for (int i = 0; i < reps; ++i) {
+    const double t0 = MonotonicSeconds();
+    fn();
+    best = std::min(best, MonotonicSeconds() - t0);
+  }
+  return best;
+}
+
+int Run() {
+  bench::PrintHeader("Table 2: asymptotic CPU cost of scoring a hypothesis");
+  Rng rng(1);
+  const size_t t = bench::PaperScale() ? 1440 : 480;
+
+  std::printf("Univariate (CorrMean/CorrMax): expect time ~ nx (ny, T fixed)\n");
+  std::printf("%8s %12s %14s\n", "nx", "seconds", "sec/prev");
+  double prev = 0.0;
+  for (size_t nx : {256u, 512u, 1024u, 2048u}) {
+    la::Matrix x = RandomMatrix(t, nx, rng);
+    la::Matrix y = RandomMatrix(t, 4, rng);
+    const double sec =
+        TimeIt([&] { stats::CorrelationSummary(x, y); });
+    std::printf("%8zu %12.5f %14.2f\n", nx, sec,
+                prev > 0 ? sec / prev : 0.0);
+    prev = sec;
+  }
+
+  std::printf(
+      "\nJoint ridge (primal, nx <= T): expect time ~ nx^2 (T fixed)\n");
+  std::printf("%8s %12s %14s\n", "nx", "seconds", "sec/prev");
+  prev = 0.0;
+  stats::RidgeRegression ridge;
+  for (size_t nx : {32u, 64u, 128u, 256u}) {
+    la::Matrix x = RandomMatrix(t, nx, rng);
+    la::Matrix y = RandomMatrix(t, 1, rng);
+    const double sec = TimeIt([&] { (void)ridge.FitCv(x, y); }, 2);
+    std::printf("%8zu %12.5f %14.2f\n", nx, sec,
+                prev > 0 ? sec / prev : 0.0);
+    prev = sec;
+  }
+
+  std::printf(
+      "\nJoint ridge (dual, nx > T): expect time ~ nx (T fixed; T^2 nx"
+      " regime)\n");
+  std::printf("%8s %12s %14s\n", "nx", "seconds", "sec/prev");
+  prev = 0.0;
+  for (size_t nx : {600u, 1200u, 2400u}) {
+    la::Matrix x = RandomMatrix(t, nx, rng);
+    la::Matrix y = RandomMatrix(t, 1, rng);
+    const double sec = TimeIt([&] { (void)ridge.FitCv(x, y); }, 2);
+    std::printf("%8zu %12.5f %14.2f\n", nx, sec,
+                prev > 0 ? sec / prev : 0.0);
+    prev = sec;
+  }
+
+  std::printf(
+      "\nRandom projection + ridge: time ~ T d nx for the projection, then"
+      " constant-size regression\n");
+  std::printf("%8s %8s %12s\n", "nx", "d", "seconds");
+  for (size_t nx : {1024u, 4096u}) {
+    for (size_t d : {50u, 500u}) {
+      la::Matrix x = RandomMatrix(t, nx, rng);
+      la::Matrix y = RandomMatrix(t, 1, rng);
+      Rng prng(2);
+      const double sec = TimeIt(
+          [&] {
+            la::Matrix px = la::ProjectIfWide(x, d, prng);
+            (void)ridge.FitCv(px, y);
+          },
+          2);
+      std::printf("%8zu %8zu %12.5f\n", nx, d, sec);
+    }
+  }
+
+  std::printf(
+      "\nPrimal/dual switch check: cost at nx slightly above T should not"
+      " blow up (min() in the cost model).\n");
+  for (size_t nx : {static_cast<size_t>(t * 0.9),
+                    static_cast<size_t>(t * 1.2)}) {
+    la::Matrix x = RandomMatrix(t, nx, rng);
+    la::Matrix y = RandomMatrix(t, 1, rng);
+    const double sec = TimeIt([&] { (void)ridge.FitCv(x, y); }, 2);
+    std::printf("  nx=%5zu (T=%zu): %.4fs\n", nx, t, sec);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace explainit
+
+int main() { return explainit::Run(); }

@@ -1,0 +1,50 @@
+// §5.2 walkthrough: disentangling multiple sources of variation. The
+// runtime varies mostly with input load; an unmonitored hypervisor fault
+// adds a second source. A global search is dominated by load-correlated
+// families; conditioning on the input size (Z) reorders the ranking and
+// surfaces the network-stack evidence.
+#include <cstdio>
+
+#include "core/engine.h"
+#include "simulator/case_studies.h"
+
+using namespace explainit;
+
+int main() {
+  sim::CaseStudyWorld world = sim::MakeHypervisorDropCase(720);
+  std::printf("%s\n\n", world.description.c_str());
+
+  core::Engine engine(world.store);
+  core::Session session(&engine, world.range);
+  if (!session.SetTargetByMetric("overall_runtime").ok()) return 1;
+  core::GroupingOptions grouping;
+  grouping.key = core::GroupingKey::kMetricName;
+  if (!session.SetSearchSpaceByGrouping(grouping).ok()) return 1;
+  if (!session.SetScorer("L2").ok()) return 1;
+
+  // Round 1: unconditioned. "We found many explanations for variation."
+  auto before = session.Run();
+  if (!before.ok()) return 1;
+  std::printf("without conditioning (everything load-correlated ranks):\n%s\n",
+              before->ToString(8).c_str());
+
+  // Round 2: condition on the observed load (§5.2's key move).
+  if (!session.SetConditionByMetric("input_rate_*").ok()) return 1;
+  auto after = session.Run();
+  if (!after.ok()) return 1;
+  std::printf("conditioned on input size:\n%s\n", after->ToString(8).c_str());
+
+  const size_t retrans_before = before->RankOf("tcp_retransmits");
+  const size_t retrans_after = after->RankOf("tcp_retransmits");
+  std::printf(
+      "tcp_retransmits: rank %zu before conditioning, %zu after.\n",
+      retrans_before, retrans_after);
+  std::printf(
+      "\nAs in the paper, we cannot see the hypervisor drop counter itself"
+      "\n(insufficient monitoring) but conditioning surfaced the network"
+      "\nstack as the place to look — the fix (§ Figure 6) confirmed it.\n");
+  const bool improved =
+      retrans_after >= 1 &&
+      (retrans_before == 0 || retrans_after <= retrans_before);
+  return improved ? 0 : 1;
+}

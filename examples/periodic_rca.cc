@@ -1,0 +1,71 @@
+// §5.3/§5.4 walkthrough: periodicity-aware root-cause analysis. A
+// 15-minute periodic spike is traced to the namenode; the pseudocause
+// mechanism (§3.4) is used to focus on the residual variation instead of
+// the seasonal pattern.
+#include <cstdio>
+
+#include "core/engine.h"
+#include "core/pseudocause.h"
+#include "simulator/case_studies.h"
+#include "stats/decompose.h"
+
+using namespace explainit;
+
+int main() {
+  sim::CaseStudyWorld world = sim::MakeNamenodeScanCase(480);
+  std::printf("%s\n\n", world.description.c_str());
+
+  // Inspect the KPI: is there periodic structure?
+  tsdb::ScanRequest req;
+  req.metric_glob = "overall_runtime";
+  req.range = world.range;
+  auto scan = world.store->Scan(req);
+  if (!scan.ok() || scan->empty()) return 1;
+  const size_t period =
+      stats::DetectPeriod((*scan)[0].values, 5, 60);
+  std::printf("overall_runtime: %s\n",
+              core::RenderSparkline((*scan)[0].values, 72).c_str());
+  std::printf("detected period: %zu minutes (the paper's case: ~15)\n\n",
+              period);
+
+  core::Engine engine(world.store);
+  core::Session session(&engine, world.range);
+  if (!session.SetTargetByMetric("overall_runtime").ok()) return 1;
+  core::GroupingOptions grouping;
+  grouping.key = core::GroupingKey::kMetricName;
+  if (!session.SetSearchSpaceByGrouping(grouping).ok()) return 1;
+  if (!session.SetScorer("L2").ok()) return 1;
+
+  auto global = session.Run();
+  if (!global.ok()) return 1;
+  std::printf("global search:\n%s\n", global->ToString(8).c_str());
+
+  // Drill into the namenode family, as the ranking suggests.
+  if (!session.DrillDown({"namenode_*"}).ok()) return 1;
+  auto drill = session.Run();
+  if (!drill.ok()) return 1;
+  std::printf("namenode drill-down:\n%s\n", drill->ToString(5).c_str());
+  std::printf(
+      "namenode_gc_ms ranks low / scores weakly: GC is ruled out (it is"
+      "\n*negatively* correlated — §5.3); the RPC rate and live threads"
+      "\npoint at a chatty client calling GetContentSummary every 15 min.\n");
+
+  // Pseudocause variant: condition on the systematic component of the
+  // target so only residual-specific causes shine (§3.4 / Figure 3).
+  core::Session residual_session(&engine, world.range);
+  if (!residual_session.SetTargetByMetric("overall_runtime").ok()) return 1;
+  core::PseudocauseOptions pc;
+  pc.period = period >= 2 ? period : 15;
+  if (!residual_session.ConditionOnPseudocause(pc).ok()) return 1;
+  if (!residual_session.SetSearchSpaceByGrouping(grouping).ok()) return 1;
+  if (!residual_session.SetScorer("L2").ok()) return 1;
+  auto residual = residual_session.Run();
+  if (!residual.ok()) return 1;
+  std::printf(
+      "\nconditioned on the pseudocause Ys (seasonal+trend of the target):\n"
+      "%s\n",
+      residual->ToString(5).c_str());
+  const size_t nn_rank = global->RankOf("namenode_rpc_rate");
+  std::printf("namenode_rpc_rate global rank: %zu\n", nn_rank);
+  return nn_rank >= 1 && nn_rank <= 10 ? 0 : 1;
+}

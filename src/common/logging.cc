@@ -1,0 +1,47 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <mutex>
+
+namespace explainit {
+namespace internal {
+
+namespace {
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_log_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level));
+}
+
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& msg) {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), file, line,
+               msg.c_str());
+}
+
+void FatalMessage(const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "[FATAL %s:%d] %s\n", file, line, msg.c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace explainit

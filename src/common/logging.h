@@ -1,0 +1,57 @@
+// Minimal logging and invariant-checking macros.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace explainit {
+namespace internal {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& msg);
+
+[[noreturn]] void FatalMessage(const char* file, int line,
+                               const std::string& msg);
+
+}  // namespace internal
+
+#define EXPLAINIT_LOG_AT(level, msg_expr)                                  \
+  do {                                                                     \
+    if (static_cast<int>(level) >=                                         \
+        static_cast<int>(::explainit::internal::GetLogLevel())) {          \
+      std::ostringstream _oss;                                             \
+      _oss << msg_expr;                                                    \
+      ::explainit::internal::LogMessage(level, __FILE__, __LINE__,         \
+                                        _oss.str());                       \
+    }                                                                      \
+  } while (0)
+
+#define LOG_DEBUG(msg) \
+  EXPLAINIT_LOG_AT(::explainit::internal::LogLevel::kDebug, msg)
+#define LOG_INFO(msg) \
+  EXPLAINIT_LOG_AT(::explainit::internal::LogLevel::kInfo, msg)
+#define LOG_WARN(msg) \
+  EXPLAINIT_LOG_AT(::explainit::internal::LogLevel::kWarn, msg)
+#define LOG_ERROR(msg) \
+  EXPLAINIT_LOG_AT(::explainit::internal::LogLevel::kError, msg)
+
+/// CHECK aborts (in all build modes) when an invariant does not hold.
+/// Reserved for programmer errors; recoverable conditions return Status.
+#define EXPLAINIT_CHECK(cond, msg)                                      \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream _oss;                                          \
+      _oss << "CHECK failed: " #cond ": " << msg;                       \
+      ::explainit::internal::FatalMessage(__FILE__, __LINE__, _oss.str()); \
+    }                                                                   \
+  } while (0)
+
+}  // namespace explainit

@@ -1,0 +1,61 @@
+// Deterministic, fast PRNG (xoshiro256++) with the distributions the
+// simulator and the statistics kernels need. std::mt19937 is avoided so that
+// streams are reproducible across standard libraries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace explainit {
+
+/// xoshiro256++ generator (Blackman & Vigna). Satisfies
+/// UniformRandomBitGenerator so it can be used with <algorithm> shuffles.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the state via SplitMix64 so that nearby seeds give unrelated
+  /// streams.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+  result_type operator()() { return Next(); }
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t UniformInt(uint64_t n);
+  /// Standard normal via Box–Muller (cached second value).
+  double Normal();
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+  /// Exponential with the given rate.
+  double Exponential(double rate);
+  /// Bernoulli trial.
+  bool Bernoulli(double p);
+  /// Poisson-distributed count (Knuth for small mean, normal approx above).
+  int64_t Poisson(double mean);
+
+  /// A fresh generator whose stream is independent of this one.
+  Rng Fork();
+
+  /// Fills `out` with i.i.d. standard normal values.
+  void FillNormal(double* out, size_t n);
+
+ private:
+  uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// Returns a shuffled copy of 0..n-1.
+std::vector<size_t> RandomPermutation(size_t n, Rng& rng);
+
+}  // namespace explainit

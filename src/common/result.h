@@ -1,0 +1,69 @@
+// Result<T>: value-or-Status, the return type for fallible producers.
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace explainit {
+
+/// Result<T> holds either a value of type T or a non-OK Status.
+///
+/// Usage:
+///   Result<Table> r = ParseCsv(path);
+///   if (!r.ok()) return r.status();
+///   Table t = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value (implicit by design, mirroring
+  /// absl::StatusOr, so `return value;` works).
+  Result(T value) : var_(std::move(value)) {}
+  /// Constructs a Result holding an error. `status` must not be OK.
+  Result(Status status) : var_(std::move(status)) {
+    assert(!std::get<Status>(var_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  /// Returns the error (OK if a value is held).
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(var_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(var_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> var_;
+};
+
+/// Assigns the value of a Result expression to `lhs` or propagates the error.
+#define EXPLAINIT_ASSIGN_OR_RETURN(lhs, expr)      \
+  auto EXPLAINIT_CONCAT_(_res_, __LINE__) = (expr);            \
+  if (!EXPLAINIT_CONCAT_(_res_, __LINE__).ok())                \
+    return EXPLAINIT_CONCAT_(_res_, __LINE__).status();        \
+  lhs = std::move(EXPLAINIT_CONCAT_(_res_, __LINE__)).value()
+
+#define EXPLAINIT_CONCAT_IMPL_(a, b) a##b
+#define EXPLAINIT_CONCAT_(a, b) EXPLAINIT_CONCAT_IMPL_(a, b)
+
+}  // namespace explainit

@@ -1,0 +1,26 @@
+#include "common/time_util.h"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+
+namespace explainit {
+
+std::string FormatTimestamp(EpochSeconds t) {
+  std::time_t tt = static_cast<std::time_t>(t);
+  std::tm tm_utc;
+  gmtime_r(&tt, &tm_utc);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d",
+                tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                tm_utc.tm_hour, tm_utc.tm_min);
+  return buf;
+}
+
+double MonotonicSeconds() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace explainit

@@ -1,0 +1,44 @@
+// Time helpers. The whole system works on a minute-aligned epoch grid, as in
+// the paper ("time series observations are taken every minute").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace explainit {
+
+/// Seconds since the Unix epoch.
+using EpochSeconds = int64_t;
+
+inline constexpr int64_t kSecondsPerMinute = 60;
+inline constexpr int64_t kMinutesPerHour = 60;
+inline constexpr int64_t kMinutesPerDay = 24 * 60;
+inline constexpr int64_t kMinutesPerWeek = 7 * kMinutesPerDay;
+
+/// A half-open time range [start, end) in epoch seconds. Mirrors Figure 2's
+/// "total time range" and "range to explain".
+struct TimeRange {
+  EpochSeconds start = 0;
+  EpochSeconds end = 0;
+
+  bool Contains(EpochSeconds t) const { return t >= start && t < end; }
+  int64_t DurationSeconds() const { return end - start; }
+  int64_t NumMinutes() const { return DurationSeconds() / kSecondsPerMinute; }
+  bool Overlaps(const TimeRange& other) const {
+    return start < other.end && other.start < end;
+  }
+  bool operator==(const TimeRange& other) const = default;
+};
+
+/// Floors `t` to its minute boundary.
+inline EpochSeconds AlignToMinute(EpochSeconds t) {
+  return t - (t % kSecondsPerMinute + kSecondsPerMinute) % kSecondsPerMinute;
+}
+
+/// Renders epoch seconds as "YYYY-mm-dd HH:MM" (UTC).
+std::string FormatTimestamp(EpochSeconds t);
+
+/// Monotonic wall time in seconds, for measuring scorer runtimes (Fig. 10).
+double MonotonicSeconds();
+
+}  // namespace explainit

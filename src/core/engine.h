@@ -1,0 +1,162 @@
+// The ExplainIt! engine: ties the tsdb, the SQL layer, family grouping and
+// the parallel ranking engine together behind the three-step workflow of
+// §1/§3 — (1) pick a target and time range, (2) declare a search space,
+// (3) rank candidate causes — and the interactive loop of Algorithm 1.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/feature_family.h"
+#include "core/pseudocause.h"
+#include "core/ranking.h"
+#include "core/scorer.h"
+#include "sql/catalog.h"
+#include "sql/executor.h"
+#include "sql/functions.h"
+#include "tsdb/store.h"
+
+namespace explainit::core {
+
+/// Engine-wide options.
+struct EngineOptions {
+  size_t top_k = 20;        // paper default
+  size_t num_threads = 0;   // 0 = hardware concurrency
+  int64_t grid_step_seconds = kSecondsPerMinute;
+};
+
+/// One ranking request (Algorithm 1, one iteration).
+struct RankRequest {
+  FeatureFamily target;                      // Y
+  std::optional<FeatureFamily> condition;    // Z (empty = marginal)
+  std::vector<FeatureFamily> candidates;     // search space
+  std::string scorer_name = "L2-P50";
+  RankingOptions ranking;
+};
+
+/// Merges families into one (features renamed "family/feature").
+FeatureFamily MergeFamilies(const std::vector<FeatureFamily>& families,
+                            const std::string& name);
+
+/// Reindexes every family onto the union of their time grids, filling
+/// holes with nearest-observation interpolation. Makes families from
+/// different sources (SQL results, store scans) rankable together.
+Status AlignFamilies(std::vector<FeatureFamily>* families);
+
+/// Normalises an arbitrary SQL result into the Figure 4 Feature Family
+/// Table schema (ts, name, v):
+///  - the ts column is the first TIMESTAMP-typed column (or one named
+///    ts/timestamp);
+///  - the name column is the first remaining string column (when absent
+///    every row falls into `default_family`);
+///  - every remaining column becomes a map entry keyed by its column name
+///    ("the second stage interprets the aggregated columns as a map whose
+///    keys are the column names", Appendix C).
+Result<table::Table> NormalizeToFeatureFamilyTable(
+    const table::Table& query_result,
+    const std::string& default_family = "family");
+
+/// The engine facade.
+class Engine {
+ public:
+  explicit Engine(std::shared_ptr<tsdb::SeriesStore> store,
+                  EngineOptions options = {});
+
+  tsdb::SeriesStore& store() { return *store_; }
+  sql::Catalog& catalog() { return catalog_; }
+  sql::FunctionRegistry& functions() { return functions_; }
+  const EngineOptions& options() const { return options_; }
+
+  /// Exposes the store as a SQL table (schema: timestamp, metric_name,
+  /// tag, value) restricted to `range` — the paper's `tsdb` table.
+  void RegisterStoreTable(const std::string& table_name,
+                          const TimeRange& range);
+
+  /// Runs a SQL query against the catalog.
+  Result<table::Table> Sql(std::string_view query);
+
+  /// Builds families by scanning the store over `range` and grouping.
+  Result<std::vector<FeatureFamily>> FamiliesFromStore(
+      const TimeRange& range, const GroupingOptions& grouping,
+      const tsdb::ScanRequest& base_filter = {});
+
+  /// Runs a SQL query, normalises the result to the FF schema, and builds
+  /// families from it (stage 1+2 of the Figure 4 pipeline).
+  Result<std::vector<FeatureFamily>> FamiliesFromQuery(
+      std::string_view query, const std::string& default_family = "family");
+
+  /// Builds a single (possibly multi-feature) family from all series
+  /// matching a metric glob, merged under `family_name`.
+  Result<FeatureFamily> FamilyFromMetric(const std::string& metric_glob,
+                                         const TimeRange& range,
+                                         const std::string& family_name);
+
+  /// Scores and ranks (Algorithm 1's loop body). Candidates sharing the
+  /// target's or condition's name are excluded, honouring §3.3's "no
+  /// overlap between X, Y and Z".
+  Result<ScoreTable> Rank(const RankRequest& request);
+
+ private:
+  std::shared_ptr<tsdb::SeriesStore> store_;
+  EngineOptions options_;
+  sql::Catalog catalog_;
+  sql::FunctionRegistry functions_;
+};
+
+/// The interactive loop (Algorithm 1): a Session accumulates the target,
+/// conditioning set, search space and scorer across iterations; each Run()
+/// produces a Score Table, and the user narrows the search (drill-down)
+/// until satisfied.
+class Session {
+ public:
+  Session(Engine* engine, TimeRange total_range);
+
+  /// Step 1: target selection.
+  Status SetTargetByMetric(const std::string& metric_glob);
+  Status SetTargetByQuery(std::string_view sql);
+  void SetTarget(FeatureFamily target);
+
+  /// Figure 2: optional range-to-explain inside the total range.
+  Status SetExplainRange(const TimeRange& range);
+
+  /// Conditioning (Z): explicit metrics, a SQL query, or a pseudocause
+  /// derived from the target (§3.4).
+  Status SetConditionByMetric(const std::string& metric_glob);
+  Status SetConditionByQuery(std::string_view sql);
+  Status ConditionOnPseudocause(const PseudocauseOptions& options = {});
+  void SetCondition(FeatureFamily condition) {
+    condition_ = std::move(condition);
+  }
+  void ClearCondition();
+
+  /// Step 2: search space.
+  Status SetSearchSpaceByGrouping(const GroupingOptions& grouping);
+  Status SetSearchSpaceByQuery(std::string_view sql);
+  /// Restricts the current search space to families matching any glob —
+  /// the "fork off further analyses and drill down" loop.
+  Status DrillDown(const std::vector<std::string>& family_globs);
+
+  Status SetScorer(const std::string& name);
+
+  /// Step 3: rank. Appends to history().
+  Result<ScoreTable> Run();
+
+  const std::vector<ScoreTable>& history() const { return history_; }
+  const TimeRange& total_range() const { return total_range_; }
+  size_t num_candidates() const { return candidates_.size(); }
+
+ private:
+  Engine* engine_;
+  TimeRange total_range_;
+  std::optional<TimeRange> explain_range_;
+  std::optional<FeatureFamily> target_;
+  std::optional<FeatureFamily> condition_;
+  std::vector<FeatureFamily> candidates_;
+  std::string scorer_name_ = "L2-P50";
+  std::vector<ScoreTable> history_;
+};
+
+}  // namespace explainit::core

@@ -1,0 +1,75 @@
+#include "core/eval_metrics.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace explainit::core {
+
+RankingMetrics EvaluateRanking(const std::vector<std::string>& ranking,
+                               const ScenarioLabels& labels,
+                               size_t top_k_cutoff) {
+  RankingMetrics m;
+  const size_t limit = top_k_cutoff == 0
+                           ? ranking.size()
+                           : std::min(ranking.size(), top_k_cutoff);
+  for (size_t i = 0; i < limit; ++i) {
+    if (labels.causes.count(ranking[i]) > 0) {
+      m.first_cause_rank = i + 1;
+      m.discounted_gain = 1.0 / static_cast<double>(i + 1);
+      m.log_discounted_gain = 1.0 / std::log2(static_cast<double>(i + 2));
+      m.failed = false;
+      break;
+    }
+  }
+  return m;
+}
+
+double SuccessAtK(const std::vector<std::string>& ranking,
+                  const ScenarioLabels& labels, size_t k) {
+  const size_t limit = std::min(ranking.size(), k);
+  for (size_t i = 0; i < limit; ++i) {
+    if (labels.causes.count(ranking[i]) > 0) return 1.0;
+  }
+  return 0.0;
+}
+
+MethodSummary SummarizeMethod(
+    const std::vector<RankingMetrics>& per_scenario,
+    const std::vector<std::vector<std::string>>& rankings,
+    const std::vector<ScenarioLabels>& labels) {
+  EXPLAINIT_CHECK(per_scenario.size() == rankings.size() &&
+                      rankings.size() == labels.size(),
+                  "summary input size mismatch");
+  MethodSummary s;
+  const size_t n = per_scenario.size();
+  if (n == 0) return s;
+  // Harmonic mean with the paper's 0.001 failure floor.
+  double inv_sum = 0.0, sum = 0.0;
+  for (const RankingMetrics& m : per_scenario) {
+    const double gain = m.failed ? 0.001 : m.discounted_gain;
+    inv_sum += 1.0 / gain;
+    sum += m.failed ? 0.0 : m.discounted_gain;
+  }
+  s.harmonic_mean_gain = static_cast<double>(n) / inv_sum;
+  s.average_gain = sum / static_cast<double>(n);
+  double var = 0.0;
+  for (const RankingMetrics& m : per_scenario) {
+    const double g = m.failed ? 0.0 : m.discounted_gain;
+    var += (g - s.average_gain) * (g - s.average_gain);
+  }
+  s.stdev_gain = std::sqrt(var / static_cast<double>(n));
+  for (size_t i = 0; i < n; ++i) {
+    s.success_top1 += SuccessAtK(rankings[i], labels[i], 1);
+    s.success_top5 += SuccessAtK(rankings[i], labels[i], 5);
+    s.success_top10 += SuccessAtK(rankings[i], labels[i], 10);
+    s.success_top20 += SuccessAtK(rankings[i], labels[i], 20);
+  }
+  s.success_top1 /= static_cast<double>(n);
+  s.success_top5 /= static_cast<double>(n);
+  s.success_top10 /= static_cast<double>(n);
+  s.success_top20 /= static_cast<double>(n);
+  return s;
+}
+
+}  // namespace explainit::core

@@ -1,0 +1,60 @@
+// Ranking-quality metrics from §6.1: discounted gain with a Zipfian 1/r
+// discount (plus the 1/log2(1+r) variant), success@k, and the Table 6
+// summary statistics (arithmetic mean, harmonic mean with a 0.001 floor
+// for failures).
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace explainit::core {
+
+/// Ground truth for one scenario: which families are causes and which are
+/// merely effects of the target.
+struct ScenarioLabels {
+  std::set<std::string> causes;
+  std::set<std::string> effects;  // labelled but irrelevant for gain
+};
+
+/// Metrics of one ranking against its labels.
+struct RankingMetrics {
+  /// 1-based rank of the first cause within the top-k cutoff; 0 = failure
+  /// ("-" in Table 6).
+  size_t first_cause_rank = 0;
+  /// Discounted gain 1/r (0 on failure).
+  double discounted_gain = 0.0;
+  /// Log-discount variant 1/log2(1+r) (0 on failure).
+  double log_discounted_gain = 0.0;
+  bool failed = true;
+};
+
+/// Evaluates an ordered list of family names against labels, with the
+/// paper's top-k cutoff (default 20).
+RankingMetrics EvaluateRanking(const std::vector<std::string>& ranking,
+                               const ScenarioLabels& labels,
+                               size_t top_k_cutoff = 20);
+
+/// success@k: 1 when a cause appears within the top k, else 0.
+double SuccessAtK(const std::vector<std::string>& ranking,
+                  const ScenarioLabels& labels, size_t k);
+
+/// Summary across scenarios for one scoring method (Table 6 bottom).
+struct MethodSummary {
+  double harmonic_mean_gain = 0.0;    // failures floored at 0.001
+  double average_gain = 0.0;          // failures contribute 0
+  double stdev_gain = 0.0;
+  double success_top1 = 0.0;
+  double success_top5 = 0.0;
+  double success_top10 = 0.0;
+  double success_top20 = 0.0;
+};
+
+/// Aggregates per-scenario metrics the way Table 6 does: the harmonic mean
+/// substitutes 0.001 for failures; the average uses 0.
+MethodSummary SummarizeMethod(
+    const std::vector<RankingMetrics>& per_scenario,
+    const std::vector<std::vector<std::string>>& rankings,
+    const std::vector<ScenarioLabels>& labels);
+
+}  // namespace explainit::core

@@ -1,0 +1,198 @@
+#include "core/feature_family.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+
+namespace explainit::core {
+
+int FeatureFamily::FindFeature(const std::string& feature_name) const {
+  for (size_t i = 0; i < feature_names.size(); ++i) {
+    if (feature_names[i] == feature_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+namespace {
+
+Status CheckAligned(const std::vector<tsdb::SeriesData>& series) {
+  if (series.empty()) return Status::OK();
+  const auto& grid = series[0].timestamps;
+  for (const tsdb::SeriesData& s : series) {
+    if (s.timestamps != grid) {
+      return Status::InvalidArgument(
+          "series are not aligned to a common grid; use ScanAligned");
+    }
+  }
+  return Status::OK();
+}
+
+FeatureFamily BuildOne(const std::string& name,
+                       const std::vector<const tsdb::SeriesData*>& members) {
+  FeatureFamily fam;
+  fam.name = name;
+  fam.timestamps = members.front()->timestamps;
+  fam.feature_names.reserve(members.size());
+  fam.data = la::Matrix(fam.timestamps.size(), members.size());
+  for (size_t c = 0; c < members.size(); ++c) {
+    fam.feature_names.push_back(members[c]->meta.ToString());
+    for (size_t r = 0; r < fam.timestamps.size(); ++r) {
+      fam.data(r, c) = members[c]->values[r];
+    }
+  }
+  return fam;
+}
+
+}  // namespace
+
+Result<std::vector<FeatureFamily>> BuildFamilies(
+    const std::vector<tsdb::SeriesData>& series,
+    const GroupingOptions& options) {
+  EXPLAINIT_RETURN_IF_ERROR(CheckAligned(series));
+  std::vector<FeatureFamily> out;
+  if (series.empty()) return out;
+
+  // Ordered map keeps family order deterministic.
+  std::map<std::string, std::vector<const tsdb::SeriesData*>> groups;
+  switch (options.key) {
+    case GroupingKey::kMetricName:
+      for (const tsdb::SeriesData& s : series) {
+        groups[s.meta.metric_name].push_back(&s);
+      }
+      break;
+    case GroupingKey::kTag: {
+      if (options.tag_key.empty()) {
+        return Status::InvalidArgument("tag grouping requires tag_key");
+      }
+      for (const tsdb::SeriesData& s : series) {
+        const std::string& v = s.meta.tags.Get(options.tag_key);
+        const std::string family_name =
+            "*{" + options.tag_key + "=" + (v.empty() ? "NULL" : v) + "}";
+        groups[family_name].push_back(&s);
+      }
+      break;
+    }
+    case GroupingKey::kPattern: {
+      if (options.patterns.empty()) {
+        return Status::InvalidArgument(
+            "pattern grouping requires at least one pattern");
+      }
+      for (const std::string& pattern : options.patterns) {
+        for (const tsdb::SeriesData& s : series) {
+          if (GlobMatch(pattern, s.meta.ToString())) {
+            groups[pattern].push_back(&s);
+          }
+        }
+      }
+      break;
+    }
+  }
+  for (const auto& [name, members] : groups) {
+    if (members.empty()) continue;
+    out.push_back(BuildOne(name, members));
+  }
+  return out;
+}
+
+Result<std::vector<FeatureFamily>> FamiliesFromTable(
+    const table::Table& t) {
+  const auto ts_idx = t.schema().FieldIndex("ts");
+  const auto name_idx = t.schema().FieldIndex("name");
+  const auto v_idx = t.schema().FieldIndex("v");
+  if (!ts_idx || !name_idx || !v_idx) {
+    return Status::InvalidArgument(
+        "feature family table must have columns (ts, name, v); got " +
+        t.schema().ToString());
+  }
+  // family -> (feature -> (ts -> value)); ordered for determinism.
+  struct FamilyAccum {
+    std::vector<std::string> feature_order;
+    std::map<std::string, std::map<EpochSeconds, double>> cells;
+  };
+  std::map<std::string, FamilyAccum> families;
+  std::vector<std::string> family_order;
+  std::set<EpochSeconds> grid_set;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    const table::Value& name_v = t.At(r, *name_idx);
+    const table::Value& ts_v = t.At(r, *ts_idx);
+    const table::ValueMap* v = t.At(r, *v_idx).AsMap();
+    if (name_v.is_null() || ts_v.is_null() || v == nullptr) continue;
+    const std::string fam_name = name_v.AsString();
+    auto [it, inserted] = families.try_emplace(fam_name);
+    if (inserted) family_order.push_back(fam_name);
+    const EpochSeconds ts = ts_v.AsTimestamp();
+    grid_set.insert(ts);
+    for (const auto& [feature, val] : *v) {
+      auto [cit, cinserted] = it->second.cells.try_emplace(feature);
+      if (cinserted) it->second.feature_order.push_back(feature);
+      if (!val.is_null()) cit->second[ts] = val.AsDouble();
+    }
+  }
+  const std::vector<EpochSeconds> grid(grid_set.begin(), grid_set.end());
+  std::vector<FeatureFamily> out;
+  for (const std::string& fam_name : family_order) {
+    const FamilyAccum& acc = families[fam_name];
+    FeatureFamily fam;
+    fam.name = fam_name;
+    fam.timestamps = grid;
+    fam.feature_names = acc.feature_order;
+    fam.data = la::Matrix(grid.size(), acc.feature_order.size());
+    for (size_t c = 0; c < acc.feature_order.size(); ++c) {
+      const auto& cells = acc.cells.at(acc.feature_order[c]);
+      std::vector<double> col(grid.size(),
+                              std::numeric_limits<double>::quiet_NaN());
+      for (size_t r = 0; r < grid.size(); ++r) {
+        auto cit = cells.find(grid[r]);
+        if (cit != cells.end()) col[r] = cit->second;
+      }
+      tsdb::InterpolateMissing(col);
+      fam.data.SetCol(c, col);
+    }
+    out.push_back(std::move(fam));
+  }
+  return out;
+}
+
+table::Table FamilyToTable(const FeatureFamily& family) {
+  table::Schema schema({{"ts", table::DataType::kTimestamp},
+                        {"name", table::DataType::kString},
+                        {"v", table::DataType::kMap}});
+  table::Table out(schema);
+  for (size_t r = 0; r < family.num_timestamps(); ++r) {
+    table::ValueMap v;
+    for (size_t c = 0; c < family.num_features(); ++c) {
+      v[family.feature_names[c]] = table::Value::Double(family.data(r, c));
+    }
+    out.AppendRow({table::Value::Timestamp(family.timestamps[r]),
+                   table::Value::String(family.name),
+                   table::Value::Map(std::move(v))});
+  }
+  return out;
+}
+
+FeatureFamily SliceFamily(const FeatureFamily& family,
+                          const TimeRange& range) {
+  FeatureFamily out;
+  out.name = family.name;
+  out.feature_names = family.feature_names;
+  std::vector<size_t> rows;
+  for (size_t r = 0; r < family.num_timestamps(); ++r) {
+    if (range.Contains(family.timestamps[r])) {
+      rows.push_back(r);
+      out.timestamps.push_back(family.timestamps[r]);
+    }
+  }
+  out.data = la::Matrix(rows.size(), family.num_features());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::copy(family.data.Row(rows[i]),
+              family.data.Row(rows[i]) + family.num_features(),
+              out.data.Row(i));
+  }
+  return out;
+}
+
+}  // namespace explainit::core

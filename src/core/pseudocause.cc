@@ -1,0 +1,57 @@
+#include "core/pseudocause.h"
+
+#include "stats/decompose.h"
+
+namespace explainit::core {
+
+Result<Pseudocause> BuildPseudocause(const FeatureFamily& target,
+                                     const PseudocauseOptions& options) {
+  if (target.num_timestamps() < 8) {
+    return Status::InvalidArgument("pseudocause needs at least 8 samples");
+  }
+  Pseudocause out;
+  out.systematic.name = target.name + ":systematic";
+  out.residual.name = target.name + ":residual";
+  out.systematic.timestamps = target.timestamps;
+  out.residual.timestamps = target.timestamps;
+  const size_t t = target.num_timestamps();
+  const size_t f = target.num_features();
+  out.systematic.data = la::Matrix(t, f);
+  out.residual.data = la::Matrix(t, f);
+  for (size_t c = 0; c < f; ++c) {
+    out.systematic.feature_names.push_back(target.feature_names[c] + ":Ys");
+    out.residual.feature_names.push_back(target.feature_names[c] + ":Yr");
+    std::vector<double> y = target.data.Col(c);
+    size_t period = options.period;
+    if (period == 0) {
+      period = stats::DetectPeriod(
+          y, options.min_period,
+          std::min(options.max_period, y.size() / 2));
+    }
+    // Robust decomposition: anomalous spikes must stay in the residual
+    // (they are what the user wants explained), so the trend window spans
+    // several periods and uses medians.
+    stats::Decomposition d;
+    if (period >= 2) {
+      // Window of several periods: a transient spike must cover more than
+      // half the window to leak into the (median) trend.
+      const size_t window = std::max(options.trend_window, 5 * period + 1);
+      d = stats::DecomposeRobust(y, period, window);
+    } else {
+      d.trend = stats::RunningMedian(y, options.trend_window);
+      d.seasonal.assign(y.size(), 0.0);
+      d.residual.resize(y.size());
+      for (size_t r = 0; r < y.size(); ++r) {
+        d.residual[r] = y[r] - d.trend[r];
+      }
+    }
+    if (c == 0) out.period = period;
+    for (size_t r = 0; r < t; ++r) {
+      out.systematic.data(r, c) = d.trend[r] + d.seasonal[r];
+      out.residual.data(r, c) = d.residual[r];
+    }
+  }
+  return out;
+}
+
+}  // namespace explainit::core

@@ -1,0 +1,37 @@
+// Pseudocauses (§3.4, Figure 3): decompose the target Y1 = Ys + Yr and
+// condition on Ys to "block" the unknown causes of the systematic
+// component, revealing causes specific to the residual.
+#pragma once
+
+#include "common/result.h"
+#include "core/feature_family.h"
+
+namespace explainit::core {
+
+/// Options for deriving a pseudocause from a target family.
+struct PseudocauseOptions {
+  /// Seasonal period in samples; 0 = auto-detect from autocorrelation.
+  size_t period = 0;
+  /// Trend window (samples) used when no period is found.
+  size_t trend_window = 61;
+  /// Autocorrelation search bounds for auto-detection.
+  size_t min_period = 4;
+  size_t max_period = 2048;
+};
+
+/// Result of a pseudocause derivation.
+struct Pseudocause {
+  /// The Ys family (trend + seasonal per feature) to condition on.
+  FeatureFamily systematic;
+  /// The residual Yr family the user wants explained.
+  FeatureFamily residual;
+  /// Detected (or supplied) period; 0 when only a trend was removed.
+  size_t period = 0;
+};
+
+/// Splits every feature of `target` into systematic + residual parts.
+/// The systematic family is the Z of Figure 3's conditioning trick.
+Result<Pseudocause> BuildPseudocause(const FeatureFamily& target,
+                                     const PseudocauseOptions& options = {});
+
+}  // namespace explainit::core

@@ -1,0 +1,90 @@
+// The ranking engine: scores every candidate family against the target
+// (optionally conditioned) in parallel — Algorithm 1's inner loop — and
+// returns the Top-K Score Table of Figure 4.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/feature_family.h"
+#include "core/scorer.h"
+#include "exec/thread_pool.h"
+#include "table/table.h"
+
+namespace explainit::core {
+
+/// One ranked hypothesis in the Score Table.
+struct ScoredHypothesis {
+  std::string family_name;
+  double score = 0.0;
+  double best_lambda = 0.0;
+  size_t num_features = 0;
+  /// Wall time spent scoring this hypothesis (Figure 10's unit).
+  double score_seconds = 0.0;
+  /// Serialisation share of score_seconds (simulated executor->kernel hop).
+  double serialization_seconds = 0.0;
+  /// ASCII sparkline of the target next to its prediction (the `viz` field
+  /// of the Score Table schema); empty when the scorer has no overlay.
+  std::string viz;
+  /// Score restricted to the user's range-to-explain (Figure 2); equals
+  /// `score` when no explain range was given.
+  double explain_window_score = 0.0;
+  /// Approximate p-value of the score under the no-dependence null
+  /// (Appendix A: exact Beta tail with the scorer's effective predictor
+  /// count); 1.0 when significance annotation is off.
+  double p_value = 1.0;
+  /// True when the Benjamini–Hochberg procedure at the requested FDR keeps
+  /// this hypothesis (Appendix A.2's multiple-testing control).
+  bool significant = true;
+};
+
+/// The result of one ranking pass.
+struct ScoreTable {
+  std::vector<ScoredHypothesis> rows;  // sorted by decreasing score
+  double total_seconds = 0.0;
+
+  /// Renders as an aligned text table (rank, family, score, ...).
+  std::string ToString(size_t max_rows = 20) const;
+  /// Converts to a relational table for further SQL processing.
+  table::Table ToTable() const;
+  /// Position (1-based) of the named family, or 0 when absent.
+  size_t RankOf(const std::string& family_name) const;
+};
+
+/// Options for RankFamilies.
+struct RankingOptions {
+  /// Top-K cutoff (paper default 20). 0 keeps everything.
+  size_t top_k = 20;
+  size_t num_threads = 0;  // 0 = hardware concurrency
+  /// Round-trip matrices through the IPC codec before scoring, charging
+  /// the time to serialization_seconds (reproduces §6.2's measurement).
+  bool simulate_ipc = false;
+  /// Optional range-to-explain (Figure 2): scores are also evaluated on
+  /// this window and reported as explain_window_score.
+  std::optional<TimeRange> explain_range;
+  /// Render sparkline overlays into ScoredHypothesis::viz.
+  bool render_viz = false;
+  /// Annotate rows with Appendix A p-values and apply Benjamini–Hochberg
+  /// across all scored hypotheses at this FDR (0 disables annotation).
+  double significance_fdr = 0.0;
+};
+
+/// Scores `candidates` against `target` given optional `condition`,
+/// in parallel (one hypothesis per task). Families whose scoring fails
+/// (e.g. degenerate data) are skipped with a warning rather than failing
+/// the whole ranking.
+Result<ScoreTable> RankFamilies(const Scorer& scorer,
+                                const FeatureFamily& target,
+                                const FeatureFamily* condition,
+                                const std::vector<FeatureFamily>& candidates,
+                                const RankingOptions& options = {});
+
+/// Renders `series` (and optionally `overlay`) as a one-line ASCII
+/// sparkline; used for the Score Table viz field.
+std::string RenderSparkline(const std::vector<double>& series,
+                            size_t width = 60);
+
+}  // namespace explainit::core

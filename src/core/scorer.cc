@@ -1,0 +1,180 @@
+#include "core/scorer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/random_projection.h"
+#include "stats/lasso.h"
+#include "stats/pca.h"
+#include "stats/pearson.h"
+
+namespace explainit::core {
+
+namespace {
+
+double Clip01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+Status CheckShapes(const la::Matrix& x, const la::Matrix& y,
+                   const la::Matrix& z) {
+  if (x.rows() != y.rows()) {
+    return Status::InvalidArgument("X/Y row mismatch");
+  }
+  if (!z.empty() && z.rows() != y.rows()) {
+    return Status::InvalidArgument("Z/Y row mismatch");
+  }
+  if (x.cols() == 0 || y.cols() == 0) {
+    return Status::InvalidArgument("X and Y must each have >= 1 feature");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ScoreResult> CorrMeanScorer::Score(const la::Matrix& x,
+                                          const la::Matrix& y,
+                                          const la::Matrix& z) const {
+  EXPLAINIT_RETURN_IF_ERROR(CheckShapes(x, y, z));
+  ScoreResult out;
+  out.score = Clip01(stats::CorrelationSummary(x, y).mean_abs);
+  return out;
+}
+
+Result<ScoreResult> CorrMaxScorer::Score(const la::Matrix& x,
+                                         const la::Matrix& y,
+                                         const la::Matrix& z) const {
+  EXPLAINIT_RETURN_IF_ERROR(CheckShapes(x, y, z));
+  ScoreResult out;
+  out.score = Clip01(stats::CorrelationSummary(x, y).max_abs);
+  return out;
+}
+
+Result<ScoreResult> ConditionalRidgeScore(
+    const la::Matrix& x, const la::Matrix& y, const la::Matrix& z,
+    const stats::RidgeOptions& options) {
+  stats::RidgeRegression ridge(options);
+  // Regress Y ~ Z and X ~ Z; score the residual-on-residual regression.
+  EXPLAINIT_ASSIGN_OR_RETURN(stats::RidgeCvResult yz, ridge.FitCv(z, y));
+  EXPLAINIT_ASSIGN_OR_RETURN(stats::RidgeCvResult xz, ridge.FitCv(z, x));
+  EXPLAINIT_ASSIGN_OR_RETURN(stats::RidgeCvResult final_fit,
+                             ridge.FitCv(xz.residuals, yz.residuals));
+  ScoreResult out;
+  out.score = Clip01(final_fit.cv_r2);
+  out.best_lambda = final_fit.best_lambda;
+  // Diagnostic overlay: E[Y | X, Z] = E[Y|Z] + E[RY;Z | RX;Z].
+  out.fitted = yz.fitted;
+  out.fitted.AddInPlace(final_fit.fitted);
+  return out;
+}
+
+RidgeScorer::RidgeScorer(RidgeScorerOptions options)
+    : options_(std::move(options)) {}
+
+std::string RidgeScorer::name() const {
+  if (options_.projection_dim == 0) return "L2";
+  return "L2-P" + std::to_string(options_.projection_dim);
+}
+
+Result<ScoreResult> RidgeScorer::ScoreOnce(const la::Matrix& x,
+                                           const la::Matrix& y,
+                                           const la::Matrix& z,
+                                           Rng& rng) const {
+  const size_t d = options_.projection_dim;
+  la::Matrix px = x, py = y, pz = z;
+  if (d > 0) {
+    // §4.2: project each input that exceeds d columns.
+    px = la::ProjectIfWide(x, d, rng);
+    py = la::ProjectIfWide(y, d, rng);
+    if (!z.empty()) pz = la::ProjectIfWide(z, d, rng);
+  }
+  if (pz.empty() || pz.cols() == 0) {
+    stats::RidgeRegression ridge(options_.ridge);
+    EXPLAINIT_ASSIGN_OR_RETURN(stats::RidgeCvResult fit, ridge.FitCv(px, py));
+    ScoreResult out;
+    out.score = Clip01(fit.cv_r2);
+    out.best_lambda = fit.best_lambda;
+    // Report the overlay only for unprojected Y (projected targets are not
+    // in Y units).
+    if (d == 0 || y.cols() <= d) out.fitted = fit.fitted;
+    return out;
+  }
+  return ConditionalRidgeScore(px, py, pz, options_.ridge);
+}
+
+Result<ScoreResult> RidgeScorer::Score(const la::Matrix& x,
+                                       const la::Matrix& y,
+                                       const la::Matrix& z) const {
+  EXPLAINIT_RETURN_IF_ERROR(CheckShapes(x, y, z));
+  const bool projecting =
+      options_.projection_dim > 0 &&
+      (x.cols() > options_.projection_dim ||
+       y.cols() > options_.projection_dim ||
+       (!z.empty() && z.cols() > options_.projection_dim));
+  const size_t samples =
+      projecting ? std::max<size_t>(1, options_.projection_samples) : 1;
+  // Fork a per-call generator keyed by the data shape so concurrent calls
+  // do not share mutable state.
+  Rng rng(options_.seed ^ (x.cols() * 0x9E3779B97F4A7C15ULL) ^
+          (y.cols() << 17) ^ x.rows());
+  ScoreResult acc;
+  double score_sum = 0.0;
+  for (size_t s = 0; s < samples; ++s) {
+    EXPLAINIT_ASSIGN_OR_RETURN(ScoreResult one, ScoreOnce(x, y, z, rng));
+    score_sum += one.score;
+    if (s == 0) acc = std::move(one);
+  }
+  acc.score = Clip01(score_sum / static_cast<double>(samples));
+  return acc;
+}
+
+Result<ScoreResult> LassoScorer::Score(const la::Matrix& x,
+                                       const la::Matrix& y,
+                                       const la::Matrix& z) const {
+  EXPLAINIT_RETURN_IF_ERROR(CheckShapes(x, y, z));
+  if (!z.empty() && z.cols() > 0) {
+    // Conditional queries share the ridge residualisation path.
+    return ConditionalRidgeScore(x, y, z, stats::RidgeOptions{});
+  }
+  stats::LassoRegression lasso;
+  EXPLAINIT_ASSIGN_OR_RETURN(stats::LassoCvResult fit, lasso.FitCv(x, y));
+  ScoreResult out;
+  out.score = std::clamp(fit.cv_r2, 0.0, 1.0);
+  out.best_lambda = fit.best_lambda;
+  return out;
+}
+
+Result<ScoreResult> PcaRidgeScorer::Score(const la::Matrix& x,
+                                          const la::Matrix& y,
+                                          const la::Matrix& z) const {
+  EXPLAINIT_RETURN_IF_ERROR(CheckShapes(x, y, z));
+  la::Matrix px = x;
+  if (x.cols() > dim_) {
+    EXPLAINIT_ASSIGN_OR_RETURN(stats::PcaResult pca,
+                               stats::ComputePca(x, dim_));
+    px = stats::PcaTransform(x, pca);
+  }
+  RidgeScorer inner;
+  return inner.Score(px, y, z);
+}
+
+Result<std::unique_ptr<Scorer>> MakeScorer(const std::string& name) {
+  if (name == "CorrMean") return std::unique_ptr<Scorer>(new CorrMeanScorer());
+  if (name == "CorrMax") return std::unique_ptr<Scorer>(new CorrMaxScorer());
+  if (name == "L2") return std::unique_ptr<Scorer>(new RidgeScorer());
+  if (name == "L2-P50") {
+    RidgeScorerOptions opts;
+    opts.projection_dim = 50;
+    return std::unique_ptr<Scorer>(new RidgeScorer(opts));
+  }
+  if (name == "L2-P500") {
+    RidgeScorerOptions opts;
+    opts.projection_dim = 500;
+    return std::unique_ptr<Scorer>(new RidgeScorer(opts));
+  }
+  if (name == "L1") return std::unique_ptr<Scorer>(new LassoScorer());
+  if (name == "L2-PCA50") {
+    return std::unique_ptr<Scorer>(new PcaRidgeScorer(50));
+  }
+  return Status::NotFound("unknown scorer: " + name);
+}
+
+}  // namespace explainit::core

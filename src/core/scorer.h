@@ -1,0 +1,133 @@
+// Hypothesis scoring (§3.5): given a triple (X, Y, Z), quantify the
+// dependence Y ~ X | Z on a 0..1 scale. Five scorers from the paper's
+// evaluation (CorrMean, CorrMax, L2, L2-P50, L2-P500) plus two extensions
+// (L1/Lasso, PCA-projected ridge for the §4.2 ablation).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "la/matrix.h"
+#include "stats/ridge.h"
+
+namespace explainit::core {
+
+/// Output of scoring one hypothesis.
+struct ScoreResult {
+  /// Dependence score in [0, 1]; 0 = independent, 1 = fully explains.
+  double score = 0.0;
+  /// Penalty chosen by CV (ridge/lasso scorers; 0 otherwise).
+  double best_lambda = 0.0;
+  /// Fitted values E[Y | X(, Z)] on the full range, in Y units (empty for
+  /// univariate scorers). One column per Y feature. Feeds the Score
+  /// Table's diagnostic plots (Figure 14/15).
+  la::Matrix fitted;
+};
+
+/// A scoring function for hypothesis triples. X is (T x nx); Y is
+/// (T x ny); Z is (T x nz) and may be empty (marginal scoring).
+///
+/// Implementations must be thread-compatible: Score() is called
+/// concurrently from the ranking engine with distinct hypotheses.
+class Scorer {
+ public:
+  virtual ~Scorer() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Scores Y ~ X | Z. Z may be a 0x0 matrix for marginal queries.
+  virtual Result<ScoreResult> Score(const la::Matrix& x, const la::Matrix& y,
+                                    const la::Matrix& z) const = 0;
+};
+
+/// CorrMean: mean |Pearson correlation| across all (Xi, Yj) pairs.
+/// Univariate (§3.5); Z is ignored by construction.
+class CorrMeanScorer : public Scorer {
+ public:
+  std::string name() const override { return "CorrMean"; }
+  Result<ScoreResult> Score(const la::Matrix& x, const la::Matrix& y,
+                            const la::Matrix& z) const override;
+};
+
+/// CorrMax: max |Pearson correlation| across all (Xi, Yj) pairs.
+class CorrMaxScorer : public Scorer {
+ public:
+  std::string name() const override { return "CorrMax"; }
+  Result<ScoreResult> Score(const la::Matrix& x, const la::Matrix& y,
+                            const la::Matrix& z) const override;
+};
+
+/// Options shared by the regression scorers.
+struct RidgeScorerOptions {
+  stats::RidgeOptions ridge;
+  /// Projection dimension d; 0 disables projection (plain L2).
+  size_t projection_dim = 0;
+  /// Number of random projection samples averaged (§4.2: "we sample a new
+  /// matrix every time we project and take the average of three scores").
+  size_t projection_samples = 3;
+  /// Seed for projection sampling (forked per call for thread safety).
+  uint64_t seed = 0xE781A17;
+};
+
+/// L2 (and L2-Pd): cross-validated ridge regression score. With Z empty the
+/// score is the CV r2 of Y ~ X; with Z non-empty it is the conditional
+/// score of the three-regression residual procedure (§3.5, Appendix B).
+class RidgeScorer : public Scorer {
+ public:
+  explicit RidgeScorer(RidgeScorerOptions options = {});
+
+  std::string name() const override;
+  Result<ScoreResult> Score(const la::Matrix& x, const la::Matrix& y,
+                            const la::Matrix& z) const override;
+
+  const RidgeScorerOptions& options() const { return options_; }
+
+ private:
+  Result<ScoreResult> ScoreOnce(const la::Matrix& x, const la::Matrix& y,
+                                const la::Matrix& z, Rng& rng) const;
+
+  RidgeScorerOptions options_;
+};
+
+/// L1 extension: cross-validated Lasso score (marginal only; conditional
+/// queries delegate residualisation to ridge for speed, as the paper
+/// prefers ridge "as its implementation is often faster").
+class LassoScorer : public Scorer {
+ public:
+  std::string name() const override { return "L1"; }
+  Result<ScoreResult> Score(const la::Matrix& x, const la::Matrix& y,
+                            const la::Matrix& z) const override;
+};
+
+/// Ablation scorer: project X onto its top-d principal components before
+/// ridge. Reproduces the §4.2 observation that PCA can discard the anomaly
+/// directions needed to explain Y.
+class PcaRidgeScorer : public Scorer {
+ public:
+  explicit PcaRidgeScorer(size_t dim) : dim_(dim) {}
+  std::string name() const override {
+    return "L2-PCA" + std::to_string(dim_);
+  }
+  Result<ScoreResult> Score(const la::Matrix& x, const la::Matrix& y,
+                            const la::Matrix& z) const override;
+
+ private:
+  size_t dim_;
+};
+
+/// Builds one of the paper's five scorers by name: "CorrMean", "CorrMax",
+/// "L2", "L2-P50", "L2-P500" (plus "L1", "L2-PCA50"). NotFound otherwise.
+Result<std::unique_ptr<Scorer>> MakeScorer(const std::string& name);
+
+/// The conditional three-regression procedure (§3.5): residualise Y and X
+/// on Z with cross-validated ridge, then score RY;Z ~ RX;Z. Exposed for
+/// tests of the Appendix B property.
+Result<ScoreResult> ConditionalRidgeScore(const la::Matrix& x,
+                                          const la::Matrix& y,
+                                          const la::Matrix& z,
+                                          const stats::RidgeOptions& options);
+
+}  // namespace explainit::core

@@ -1,0 +1,62 @@
+#include "exec/ipc.h"
+
+#include <cstring>
+
+#include "common/time_util.h"
+
+namespace explainit::exec {
+
+namespace {
+constexpr uint32_t kMagic = 0x4D545845;  // "EXTM"
+}
+
+std::vector<uint8_t> EncodeMatrix(const la::Matrix& m) {
+  const uint64_t rows = m.rows(), cols = m.cols();
+  std::vector<uint8_t> out(sizeof(uint32_t) + 2 * sizeof(uint64_t) +
+                           m.size() * sizeof(double));
+  uint8_t* p = out.data();
+  std::memcpy(p, &kMagic, sizeof(kMagic));
+  p += sizeof(kMagic);
+  std::memcpy(p, &rows, sizeof(rows));
+  p += sizeof(rows);
+  std::memcpy(p, &cols, sizeof(cols));
+  p += sizeof(cols);
+  std::memcpy(p, m.data(), m.size() * sizeof(double));
+  return out;
+}
+
+Result<la::Matrix> DecodeMatrix(const std::vector<uint8_t>& buffer) {
+  if (buffer.size() < sizeof(uint32_t) + 2 * sizeof(uint64_t)) {
+    return Status::InvalidArgument("matrix buffer too short");
+  }
+  const uint8_t* p = buffer.data();
+  uint32_t magic = 0;
+  std::memcpy(&magic, p, sizeof(magic));
+  p += sizeof(magic);
+  if (magic != kMagic) {
+    return Status::InvalidArgument("bad matrix buffer magic");
+  }
+  uint64_t rows = 0, cols = 0;
+  std::memcpy(&rows, p, sizeof(rows));
+  p += sizeof(rows);
+  std::memcpy(&cols, p, sizeof(cols));
+  p += sizeof(cols);
+  const size_t expected = sizeof(uint32_t) + 2 * sizeof(uint64_t) +
+                          static_cast<size_t>(rows * cols) * sizeof(double);
+  if (buffer.size() != expected) {
+    return Status::InvalidArgument("matrix buffer size mismatch");
+  }
+  la::Matrix m(rows, cols);
+  std::memcpy(m.data(), p, static_cast<size_t>(rows * cols) * sizeof(double));
+  return m;
+}
+
+Result<la::Matrix> RoundTripMatrix(const la::Matrix& m, double* seconds) {
+  const double start = MonotonicSeconds();
+  std::vector<uint8_t> wire = EncodeMatrix(m);
+  Result<la::Matrix> back = DecodeMatrix(wire);
+  if (seconds != nullptr) *seconds += MonotonicSeconds() - start;
+  return back;
+}
+
+}  // namespace explainit::exec

@@ -1,0 +1,28 @@
+// Matrix wire codec. The production system ships feature matrices from
+// Spark (JVM) to Python scikit kernels over gRPC; §6.2 measures that
+// serialisation at ~25% of univariate and ~5% of multivariate score time.
+// This codec reproduces that code path so the Figure 10 bench can account
+// for serialisation separately.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "la/matrix.h"
+
+namespace explainit::exec {
+
+/// Serialises a matrix into a length-prefixed little-endian buffer.
+std::vector<uint8_t> EncodeMatrix(const la::Matrix& m);
+
+/// Parses a buffer produced by EncodeMatrix.
+Result<la::Matrix> DecodeMatrix(const std::vector<uint8_t>& buffer);
+
+/// Round-trips a matrix through the codec, returning the decode result and
+/// accumulating elapsed seconds into *seconds (when non-null). Emulates the
+/// executor -> kernel IPC hop.
+Result<la::Matrix> RoundTripMatrix(const la::Matrix& m,
+                                   double* seconds = nullptr);
+
+}  // namespace explainit::exec

@@ -1,0 +1,49 @@
+// Fixed-size thread pool. The scheduling unit throughout ExplainIt! is one
+// hypothesis (§4: "our unit of parallelisation is the hypothesis"), which
+// avoids distributed-ML complexity entirely.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace explainit::exec {
+
+/// A minimal fixed-size worker pool with a shared FIFO queue.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (defaults to hardware concurrency).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable idle_;
+  size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs fn(i) for i in [0, n) across the pool, blocking until done.
+void ParallelFor(ThreadPool& pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace explainit::exec

@@ -1,0 +1,149 @@
+#include "la/blas.h"
+
+#include <algorithm>
+
+namespace explainit::la {
+
+namespace {
+// Micro-kernel blocking parameters tuned for ~32KB L1D.
+constexpr size_t kMc = 64;   // rows of A per block
+constexpr size_t kKc = 256;  // shared dimension per block
+}  // namespace
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  EXPLAINIT_CHECK(a.cols() == b.rows(),
+                  "MatMul shape mismatch " << a.cols() << " vs " << b.rows());
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  Matrix c(m, n);
+  for (size_t ib = 0; ib < m; ib += kMc) {
+    const size_t ie = std::min(m, ib + kMc);
+    for (size_t pb = 0; pb < k; pb += kKc) {
+      const size_t pe = std::min(k, pb + kKc);
+      for (size_t i = ib; i < ie; ++i) {
+        const double* arow = a.Row(i);
+        double* crow = c.Row(i);
+        for (size_t p = pb; p < pe; ++p) {
+          const double av = arow[p];
+          if (av == 0.0) continue;
+          const double* brow = b.Row(p);
+          for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+  return c;
+}
+
+Matrix MatTMul(const Matrix& a, const Matrix& b) {
+  EXPLAINIT_CHECK(a.rows() == b.rows(),
+                  "MatTMul shape mismatch " << a.rows() << " vs " << b.rows());
+  const size_t k = a.rows(), m = a.cols(), n = b.cols();
+  Matrix c(m, n);
+  // Accumulate rank-1 updates row by row of A/B: cache-friendly since both
+  // are row-major.
+  for (size_t p = 0; p < k; ++p) {
+    const double* arow = a.Row(p);
+    const double* brow = b.Row(p);
+    for (size_t i = 0; i < m; ++i) {
+      const double av = arow[i];
+      if (av == 0.0) continue;
+      double* crow = c.Row(i);
+      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulT(const Matrix& a, const Matrix& b) {
+  EXPLAINIT_CHECK(a.cols() == b.cols(),
+                  "MatMulT shape mismatch " << a.cols() << " vs " << b.cols());
+  const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  Matrix c(m, n);
+  for (size_t i = 0; i < m; ++i) {
+    const double* arow = a.Row(i);
+    double* crow = c.Row(i);
+    for (size_t j = 0; j < n; ++j) {
+      const double* brow = b.Row(j);
+      double acc = 0.0;
+      for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+Matrix Gram(const Matrix& a) {
+  const size_t k = a.rows(), n = a.cols();
+  Matrix c(n, n);
+  for (size_t p = 0; p < k; ++p) {
+    const double* arow = a.Row(p);
+    for (size_t i = 0; i < n; ++i) {
+      const double av = arow[i];
+      if (av == 0.0) continue;
+      double* crow = c.Row(i);
+      // Upper triangle only.
+      for (size_t j = i; j < n; ++j) crow[j] += av * arow[j];
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < i; ++j) c(i, j) = c(j, i);
+  }
+  return c;
+}
+
+Matrix GramT(const Matrix& a) {
+  const size_t m = a.rows(), k = a.cols();
+  Matrix c(m, m);
+  for (size_t i = 0; i < m; ++i) {
+    const double* ai = a.Row(i);
+    double* crow = c.Row(i);
+    for (size_t j = i; j < m; ++j) {
+      const double* aj = a.Row(j);
+      double acc = 0.0;
+      for (size_t p = 0; p < k; ++p) acc += ai[p] * aj[p];
+      crow[j] = acc;
+    }
+  }
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < i; ++j) c(i, j) = c(j, i);
+  }
+  return c;
+}
+
+std::vector<double> MatVec(const Matrix& a, const std::vector<double>& x) {
+  EXPLAINIT_CHECK(a.cols() == x.size(), "MatVec shape mismatch");
+  std::vector<double> y(a.rows(), 0.0);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.Row(i);
+    double acc = 0.0;
+    for (size_t j = 0; j < a.cols(); ++j) acc += arow[j] * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+std::vector<double> MatTVec(const Matrix& a, const std::vector<double>& x) {
+  EXPLAINIT_CHECK(a.rows() == x.size(), "MatTVec shape mismatch");
+  std::vector<double> y(a.cols(), 0.0);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.Row(i);
+    const double xv = x[i];
+    if (xv == 0.0) continue;
+    for (size_t j = 0; j < a.cols(); ++j) y[j] += xv * arow[j];
+  }
+  return y;
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  EXPLAINIT_CHECK(a.size() == b.size(), "Dot size mismatch");
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>& y) {
+  EXPLAINIT_CHECK(x.size() == y.size(), "Axpy size mismatch");
+  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+}  // namespace explainit::la

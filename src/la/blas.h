@@ -1,0 +1,40 @@
+// BLAS-lite: the dense kernels that dominate scoring cost. Hand-blocked,
+// no external dependency. Shapes follow the feature-matrix convention
+// (rows = observations T, cols = features n).
+#pragma once
+
+#include "la/matrix.h"
+
+namespace explainit::la {
+
+/// C = A * B. A is (m x k), B is (k x n).
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// C = A^T * B. A is (k x m), B is (k x n); result (m x n). This is the Gram
+/// cross-product kernel used to form X^T X and X^T Y without materialising
+/// transposes.
+Matrix MatTMul(const Matrix& a, const Matrix& b);
+
+/// C = A * B^T. A is (m x k), B is (n x k); result (m x n).
+Matrix MatMulT(const Matrix& a, const Matrix& b);
+
+/// Symmetric rank-k update: returns A^T A (n x n) for A (m x n), exploiting
+/// symmetry (computes upper triangle, mirrors).
+Matrix Gram(const Matrix& a);
+
+/// Returns A A^T (m x m) for A (m x n) — the dual-form kernel matrix.
+Matrix GramT(const Matrix& a);
+
+/// y = A * x for x of length A.cols().
+std::vector<double> MatVec(const Matrix& a, const std::vector<double>& x);
+
+/// y = A^T * x for x of length A.rows().
+std::vector<double> MatTVec(const Matrix& a, const std::vector<double>& x);
+
+/// Dot product.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// y += alpha * x.
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>& y);
+
+}  // namespace explainit::la

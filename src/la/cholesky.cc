@@ -1,0 +1,87 @@
+#include "la/cholesky.h"
+
+#include <cmath>
+
+namespace explainit::la {
+
+Result<Matrix> CholeskyFactor(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky needs a square matrix");
+  }
+  const size_t n = a.rows();
+  Matrix l(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    const double* lrow_j = l.Row(j);
+    for (size_t k = 0; k < j; ++k) diag -= lrow_j[k] * lrow_j[k];
+    if (!(diag > 0.0) || !std::isfinite(diag)) {
+      return Status::InvalidArgument("matrix not positive definite at pivot " +
+                                     std::to_string(j));
+    }
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    const double inv = 1.0 / ljj;
+    for (size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      const double* lrow_i = l.Row(i);
+      for (size_t k = 0; k < j; ++k) acc -= lrow_i[k] * lrow_j[k];
+      l(i, j) = acc * inv;
+    }
+  }
+  return l;
+}
+
+Matrix CholeskySolve(const Matrix& l, const Matrix& b) {
+  const size_t n = l.rows();
+  EXPLAINIT_CHECK(b.rows() == n, "CholeskySolve shape mismatch");
+  const size_t m = b.cols();
+  // Forward substitution: L Z = B.
+  Matrix z(n, m);
+  for (size_t i = 0; i < n; ++i) {
+    const double* lrow = l.Row(i);
+    double* zrow = z.Row(i);
+    for (size_t c = 0; c < m; ++c) zrow[c] = b(i, c);
+    for (size_t k = 0; k < i; ++k) {
+      const double lik = lrow[k];
+      if (lik == 0.0) continue;
+      const double* zk = z.Row(k);
+      for (size_t c = 0; c < m; ++c) zrow[c] -= lik * zk[c];
+    }
+    const double inv = 1.0 / lrow[i];
+    for (size_t c = 0; c < m; ++c) zrow[c] *= inv;
+  }
+  // Back substitution: L^T X = Z.
+  Matrix x(n, m);
+  for (size_t ii = n; ii-- > 0;) {
+    double* xrow = x.Row(ii);
+    const double* zrow = z.Row(ii);
+    for (size_t c = 0; c < m; ++c) xrow[c] = zrow[c];
+    for (size_t k = ii + 1; k < n; ++k) {
+      const double lki = l(k, ii);
+      if (lki == 0.0) continue;
+      const double* xk = x.Row(k);
+      for (size_t c = 0; c < m; ++c) xrow[c] -= lki * xk[c];
+    }
+    const double inv = 1.0 / l(ii, ii);
+    for (size_t c = 0; c < m; ++c) xrow[c] *= inv;
+  }
+  return x;
+}
+
+Result<Matrix> SolveSpd(Matrix a, const Matrix& b, double jitter) {
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    Result<Matrix> l = CholeskyFactor(a);
+    if (l.ok()) return CholeskySolve(l.value(), b);
+    // Escalate the diagonal regulariser and retry.
+    double bump = jitter;
+    for (int k = 0; k < attempt; ++k) bump *= 1e3;
+    double max_diag = 0.0;
+    for (size_t i = 0; i < a.rows(); ++i)
+      max_diag = std::max(max_diag, std::abs(a(i, i)));
+    const double add = bump * std::max(1.0, max_diag);
+    for (size_t i = 0; i < a.rows(); ++i) a(i, i) += add;
+  }
+  return Status::Internal("SolveSpd: matrix not PD even after jitter");
+}
+
+}  // namespace explainit::la

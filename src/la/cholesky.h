@@ -1,0 +1,25 @@
+// Cholesky factorisation and positive-definite solves — the inner solver of
+// Ridge regression ((X^T X + lambda I) beta = X^T Y).
+#pragma once
+
+#include "common/result.h"
+#include "la/matrix.h"
+
+namespace explainit::la {
+
+/// Cholesky factor of a symmetric positive-definite matrix: A = L L^T with L
+/// lower triangular. Fails with InvalidArgument when A is not (numerically)
+/// positive definite.
+Result<Matrix> CholeskyFactor(const Matrix& a);
+
+/// Solves A X = B given the Cholesky factor L of A (forward + back
+/// substitution per column of B).
+Matrix CholeskySolve(const Matrix& l, const Matrix& b);
+
+/// Convenience: solves the SPD system A X = B, adding `jitter` * I to the
+/// diagonal on failure (up to 3 escalations). Used where A is a Gram matrix
+/// that may be rank deficient (duplicate metrics are common in monitoring
+/// data).
+Result<Matrix> SolveSpd(Matrix a, const Matrix& b, double jitter = 1e-10);
+
+}  // namespace explainit::la

@@ -1,0 +1,117 @@
+#include "la/matrix.h"
+
+#include <cstdio>
+
+namespace explainit::la {
+
+std::vector<double> Matrix::Col(size_t c) const {
+  std::vector<double> out(rows_);
+  for (size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+void Matrix::SetCol(size_t c, const std::vector<double>& v) {
+  EXPLAINIT_CHECK(v.size() == rows_, "SetCol size mismatch");
+  for (size_t r = 0; r < rows_; ++r) (*this)(r, c) = v[r];
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  // Blocked transpose for cache friendliness on large matrices.
+  constexpr size_t kBlock = 32;
+  for (size_t rb = 0; rb < rows_; rb += kBlock) {
+    const size_t re = std::min(rows_, rb + kBlock);
+    for (size_t cb = 0; cb < cols_; cb += kBlock) {
+      const size_t ce = std::min(cols_, cb + kBlock);
+      for (size_t r = rb; r < re; ++r) {
+        for (size_t c = cb; c < ce; ++c) {
+          out(c, r) = (*this)(r, c);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::SliceRows(size_t row_begin, size_t row_end) const {
+  EXPLAINIT_CHECK(row_begin <= row_end && row_end <= rows_,
+                  "bad slice [" << row_begin << "," << row_end << ")");
+  Matrix out(row_end - row_begin, cols_);
+  std::copy(data_.begin() + row_begin * cols_, data_.begin() + row_end * cols_,
+            out.data_.begin());
+  return out;
+}
+
+Matrix Matrix::SelectCols(const std::vector<size_t>& cols) const {
+  Matrix out(rows_, cols.size());
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* src = Row(r);
+    double* dst = out.Row(r);
+    for (size_t i = 0; i < cols.size(); ++i) {
+      EXPLAINIT_CHECK(cols[i] < cols_, "column index out of range");
+      dst[i] = src[cols[i]];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::ConcatCols(const Matrix& other) const {
+  if (empty()) return other;
+  if (other.empty()) return *this;
+  EXPLAINIT_CHECK(rows_ == other.rows_, "ConcatCols row mismatch");
+  Matrix out(rows_, cols_ + other.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    std::copy(Row(r), Row(r) + cols_, out.Row(r));
+    std::copy(other.Row(r), other.Row(r) + other.cols_, out.Row(r) + cols_);
+  }
+  return out;
+}
+
+void Matrix::AddInPlace(const Matrix& other) {
+  EXPLAINIT_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+                  "AddInPlace shape mismatch");
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::SubInPlace(const Matrix& other) {
+  EXPLAINIT_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+                  "SubInPlace shape mismatch");
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+}
+
+void Matrix::ScaleInPlace(double s) {
+  for (double& v : data_) v *= s;
+}
+
+double Matrix::FrobeniusSquared() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return acc;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix out(n, n);
+  for (size_t i = 0; i < n; ++i) out(i, i) = 1.0;
+  return out;
+}
+
+std::string Matrix::ToString(int max_rows, int max_cols) const {
+  std::string out = "Matrix(" + std::to_string(rows_) + "x" +
+                    std::to_string(cols_) + ")\n";
+  const size_t rshow = std::min<size_t>(rows_, max_rows);
+  const size_t cshow = std::min<size_t>(cols_, max_cols);
+  char buf[64];
+  for (size_t r = 0; r < rshow; ++r) {
+    out += "  [";
+    for (size_t c = 0; c < cshow; ++c) {
+      std::snprintf(buf, sizeof(buf), "%s%.4g", c ? ", " : "", (*this)(r, c));
+      out += buf;
+    }
+    if (cshow < cols_) out += ", ...";
+    out += "]\n";
+  }
+  if (rshow < rows_) out += "  ...\n";
+  return out;
+}
+
+}  // namespace explainit::la

@@ -1,0 +1,85 @@
+// Dense row-major matrix of doubles — the "dense arrays" optimisation of
+// §4.2. Feature matrices are (T data points) x (n features).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace explainit::la {
+
+/// Dense, row-major, heap-allocated matrix of doubles.
+///
+/// Row-major layout matches the paper's numpy arrays and makes per-timestep
+/// access (a row = one observation across features) cache friendly.
+class Matrix {
+ public:
+  /// An empty 0x0 matrix.
+  Matrix() = default;
+  /// A rows x cols matrix, zero initialised.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+  /// A rows x cols matrix initialised from `values` (row-major).
+  Matrix(size_t rows, size_t cols, std::vector<double> values)
+      : rows_(rows), cols_(cols), data_(std::move(values)) {
+    EXPLAINIT_CHECK(data_.size() == rows_ * cols_,
+                    "value count " << data_.size() << " != " << rows_ << "x"
+                                   << cols_);
+  }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Pointer to the start of row r.
+  double* Row(size_t r) { return data_.data() + r * cols_; }
+  const double* Row(size_t r) const { return data_.data() + r * cols_; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Returns column c as a vector (strided copy).
+  std::vector<double> Col(size_t c) const;
+  /// Overwrites column c from `v` (v.size() must equal rows()).
+  void SetCol(size_t c, const std::vector<double>& v);
+
+  /// Returns the transpose.
+  Matrix Transposed() const;
+
+  /// Returns rows [row_begin, row_end) as a new matrix.
+  Matrix SliceRows(size_t row_begin, size_t row_end) const;
+  /// Returns the listed columns (in order) as a new matrix.
+  Matrix SelectCols(const std::vector<size_t>& cols) const;
+
+  /// Horizontal concatenation: [this | other]. Row counts must match.
+  Matrix ConcatCols(const Matrix& other) const;
+
+  /// Elementwise in-place operations.
+  void AddInPlace(const Matrix& other);
+  void SubInPlace(const Matrix& other);
+  void ScaleInPlace(double s);
+
+  /// Frobenius-norm squared (sum of squared entries).
+  double FrobeniusSquared() const;
+
+  /// Identity matrix of size n.
+  static Matrix Identity(size_t n);
+
+  /// Human-readable rendering (small matrices; for tests/debugging).
+  std::string ToString(int max_rows = 8, int max_cols = 8) const;
+
+  bool operator==(const Matrix& other) const = default;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace explainit::la

@@ -1,0 +1,23 @@
+#include "la/random_projection.h"
+
+#include <cmath>
+
+#include "la/blas.h"
+
+namespace explainit::la {
+
+Matrix SampleProjectionMatrix(size_t n, size_t d, Rng& rng) {
+  Matrix p(n, d);
+  rng.FillNormal(p.data(), p.size());
+  const double scale = 1.0 / std::sqrt(static_cast<double>(d));
+  p.ScaleInPlace(scale);
+  return p;
+}
+
+Matrix ProjectIfWide(const Matrix& x, size_t d, Rng& rng) {
+  if (x.cols() <= d) return x;
+  Matrix p = SampleProjectionMatrix(x.cols(), d, rng);
+  return MatMul(x, p);
+}
+
+}  // namespace explainit::la

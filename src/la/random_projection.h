@@ -1,0 +1,21 @@
+// Gaussian random projections (§4.2): reduce feature dimensionality from n
+// to d before penalised regression. Preferred over PCA by the paper because
+// it is cheaper and does not discard anomaly directions.
+#pragma once
+
+#include "common/random.h"
+#include "la/matrix.h"
+
+namespace explainit::la {
+
+/// Samples an (n x d) projection matrix with i.i.d. N(0, 1/d) entries.
+/// The 1/sqrt(d) scaling makes the projection approximately norm preserving
+/// (Johnson–Lindenstrauss).
+Matrix SampleProjectionMatrix(size_t n, size_t d, Rng& rng);
+
+/// Projects X (T x n) to (T x min(n, d)): returns X unchanged when n <= d,
+/// otherwise X * P for a freshly sampled P. Mirrors the paper's rule
+/// P(X) = X if nx <= d else X Pd.
+Matrix ProjectIfWide(const Matrix& x, size_t d, Rng& rng);
+
+}  // namespace explainit::la

@@ -1,0 +1,65 @@
+#include "la/standardize.h"
+
+#include <cmath>
+
+namespace explainit::la {
+
+ColumnStats ComputeColumnStats(const Matrix& m) {
+  ColumnStats stats;
+  const size_t rows = m.rows(), cols = m.cols();
+  stats.mean.assign(cols, 0.0);
+  stats.stddev.assign(cols, 1.0);
+  if (rows == 0 || cols == 0) return stats;
+  for (size_t r = 0; r < rows; ++r) {
+    const double* row = m.Row(r);
+    for (size_t c = 0; c < cols; ++c) stats.mean[c] += row[c];
+  }
+  for (size_t c = 0; c < cols; ++c) stats.mean[c] /= static_cast<double>(rows);
+  std::vector<double> var(cols, 0.0);
+  for (size_t r = 0; r < rows; ++r) {
+    const double* row = m.Row(r);
+    for (size_t c = 0; c < cols; ++c) {
+      const double d = row[c] - stats.mean[c];
+      var[c] += d * d;
+    }
+  }
+  for (size_t c = 0; c < cols; ++c) {
+    const double sd = std::sqrt(var[c] / static_cast<double>(rows));
+    // Constant columns carry no signal; dividing by 1.0 leaves them at zero
+    // after centring rather than producing NaNs.
+    stats.stddev[c] = sd > 1e-12 ? sd : 1.0;
+  }
+  return stats;
+}
+
+Matrix StandardizeWith(const Matrix& m, const ColumnStats& stats) {
+  Matrix out(m.rows(), m.cols());
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const double* src = m.Row(r);
+    double* dst = out.Row(r);
+    for (size_t c = 0; c < m.cols(); ++c) {
+      dst[c] = (src[c] - stats.mean[c]) / stats.stddev[c];
+    }
+  }
+  return out;
+}
+
+Matrix Standardize(const Matrix& m, ColumnStats* stats_out) {
+  ColumnStats stats = ComputeColumnStats(m);
+  Matrix out = StandardizeWith(m, stats);
+  if (stats_out != nullptr) *stats_out = std::move(stats);
+  return out;
+}
+
+Matrix CenterColumns(const Matrix& m) {
+  ColumnStats stats = ComputeColumnStats(m);
+  Matrix out(m.rows(), m.cols());
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const double* src = m.Row(r);
+    double* dst = out.Row(r);
+    for (size_t c = 0; c < m.cols(); ++c) dst[c] = src[c] - stats.mean[c];
+  }
+  return out;
+}
+
+}  // namespace explainit::la

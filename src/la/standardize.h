@@ -1,0 +1,30 @@
+// Column standardisation (zero mean, unit variance). Scorers standardise
+// features and targets before regression so the r-squared and correlation
+// statistics are scale free.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace explainit::la {
+
+/// Per-column mean and standard deviation of a matrix.
+struct ColumnStats {
+  std::vector<double> mean;
+  std::vector<double> stddev;  // 1.0 is substituted for constant columns
+};
+
+/// Computes per-column mean/stddev (population, ddof=0).
+ColumnStats ComputeColumnStats(const Matrix& m);
+
+/// Returns (m - mean) / stddev per column, using precomputed stats.
+Matrix StandardizeWith(const Matrix& m, const ColumnStats& stats);
+
+/// Standardises in one step and also returns the stats used.
+Matrix Standardize(const Matrix& m, ColumnStats* stats_out = nullptr);
+
+/// Centres columns (subtracts mean) without scaling.
+Matrix CenterColumns(const Matrix& m);
+
+}  // namespace explainit::la

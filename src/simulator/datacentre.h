@@ -1,0 +1,72 @@
+// A synthetic data centre in the image of §2/§5: data-processing pipelines
+// feeding HDFS (datanodes + namenode) over a TCP network, with
+// infrastructure metrics (CPU, disk, JVM, RAID) — the substrate on which
+// the case-study faults are injected.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "simulator/causal_network.h"
+
+namespace explainit::sim {
+
+/// Topology parameters.
+struct DatacentreConfig {
+  size_t num_pipelines = 4;
+  size_t num_datanodes = 6;
+  /// Steps per synthetic "day" for seasonal components (minutely grid:
+  /// 1440; hourly grid: 24).
+  size_t day_period = 1440;
+  /// Baseline coupling of runtime to TCP retransmissions (the network
+  /// fault path; §5.1 and §5.2 interventions scale activity, not this).
+  double retransmit_weight = 0.15;
+};
+
+/// A wired-up causal network plus name->node bookkeeping.
+class DatacentreModel {
+ public:
+  explicit DatacentreModel(const DatacentreConfig& config);
+
+  const CausalNetwork& network() const { return network_; }
+  const DatacentreConfig& config() const { return config_; }
+
+  /// Node ids by metric name (one per tag combination).
+  const std::vector<size_t>& NodesByMetric(const std::string& name) const;
+  /// All metric names in the model.
+  std::vector<std::string> MetricNames() const;
+
+  /// The overall KPI node ("overall_runtime", §5: "our key performance
+  /// indicator is overall runtime").
+  size_t kpi_node() const { return kpi_node_; }
+  /// Hidden driver of namenode load (the GetContentSummary scan rate).
+  size_t scan_rate_node() const { return scan_rate_node_; }
+  /// Hidden RAID consistency-check activity node.
+  size_t raid_scrub_node() const { return raid_scrub_node_; }
+  /// Hidden hypervisor packet-drop node (NOT written to the store —
+  /// §5.2's unmonitored counter).
+  size_t hypervisor_drop_node() const { return hypervisor_drop_node_; }
+
+  /// Simulates and writes all *monitored* nodes to the store (hidden
+  /// nodes — hypervisor drops, scrub activity, scan rate — are omitted,
+  /// mirroring the insufficient monitoring of §5.2/§5.4).
+  Status WriteTo(tsdb::SeriesStore* store, size_t steps, EpochSeconds start,
+                 Rng& rng,
+                 const std::vector<Intervention>& interventions = {}) const;
+
+ private:
+  size_t MustAdd(NodeSpec spec);
+
+  DatacentreConfig config_;
+  CausalNetwork network_;
+  std::map<std::string, std::vector<size_t>> by_metric_;
+  std::vector<bool> hidden_;
+  size_t kpi_node_ = 0;
+  size_t scan_rate_node_ = 0;
+  size_t raid_scrub_node_ = 0;
+  size_t hypervisor_drop_node_ = 0;
+};
+
+}  // namespace explainit::sim

@@ -1,0 +1,403 @@
+#include "simulator/scenarios.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace explainit::sim {
+
+namespace {
+
+std::vector<EpochSeconds> MinuteGrid(size_t t) {
+  std::vector<EpochSeconds> grid(t);
+  for (size_t i = 0; i < t; ++i) {
+    grid[i] = static_cast<int64_t>(i) * kSecondsPerMinute;
+  }
+  return grid;
+}
+
+// The latent cause signal: AR(1) background plus recurring bursts so that
+// every contiguous CV fold observes cause activity. The burst phase is
+// randomised so independent latents do not share burst timing.
+std::vector<double> LatentCause(size_t t, Rng& rng) {
+  std::vector<double> c(t, 0.0);
+  double state = 0.0;
+  const size_t burst_period = std::max<size_t>(40, t / 8);
+  const size_t burst_len = std::max<size_t>(8, t / 30);
+  const size_t burst_offset = rng.UniformInt(burst_period);
+  for (size_t i = 0; i < t; ++i) {
+    state = 0.6 * state + rng.Normal();
+    double v = state;
+    if (((i + burst_offset) % burst_period) < burst_len) v += 3.0;
+    c[i] = v;
+  }
+  return c;
+}
+
+core::FeatureFamily NoiseFamily(const std::string& name, size_t t, size_t f,
+                                Rng& rng) {
+  core::FeatureFamily fam;
+  fam.name = name;
+  fam.timestamps = MinuteGrid(t);
+  fam.data = la::Matrix(t, f);
+  rng.FillNormal(fam.data.data(), fam.data.size());
+  fam.feature_names.reserve(f);
+  for (size_t c = 0; c < f; ++c) {
+    fam.feature_names.push_back(name + "/m" + std::to_string(c));
+  }
+  return fam;
+}
+
+}  // namespace
+
+Scenario GenerateScenario(const ScenarioSpec& spec, size_t t) {
+  EXPLAINIT_CHECK(t >= 64, "scenario needs at least 64 steps");
+  Rng rng(spec.seed);
+  Scenario out;
+  out.name = spec.name;
+
+  // --- Latent cause signal(s) ---
+  // Multi-factor causes draw one independent latent per feature; the
+  // target follows their normalised sum, making the cause signal
+  // high-rank. All other kinds share a single latent.
+  const bool multi_factor = spec.cause_kind == CauseKind::kMultiFactor;
+  std::vector<std::vector<double>> factors;
+  std::vector<double> c;
+  if (multi_factor) {
+    factors.resize(spec.cause_family_size);
+    c.assign(t, 0.0);
+    for (auto& f : factors) {
+      f = LatentCause(t, rng);
+      for (size_t i = 0; i < t; ++i) c[i] += f[i];
+    }
+    const double norm =
+        std::sqrt(static_cast<double>(spec.cause_family_size));
+    // Normalise the sum to roughly the variance of a single latent.
+    for (size_t i = 0; i < t; ++i) c[i] /= norm;
+  } else {
+    c = LatentCause(t, rng);
+  }
+  const double target_phase = rng.Uniform(0.0, 2.0 * M_PI);
+
+  // --- Target ---
+  out.target.name = "target";
+  out.target.feature_names = {"target/kpi"};
+  out.target.timestamps = MinuteGrid(t);
+  out.target.data = la::Matrix(t, 1);
+  for (size_t i = 0; i < t; ++i) {
+    double v = rng.Normal();
+    const size_t src = i >= spec.cause_lag ? i - spec.cause_lag : 0;
+    v += spec.cause_strength * c[src];
+    if (spec.target_seasonal_amp > 0.0 && spec.seasonal_period >= 2) {
+      v += spec.target_seasonal_amp *
+           std::sin(2.0 * M_PI * static_cast<double>(i) /
+                        static_cast<double>(spec.seasonal_period) +
+                    target_phase);
+    }
+    out.target.data(i, 0) = v;
+  }
+
+  // --- Cause family ---
+  {
+    core::FeatureFamily cause =
+        NoiseFamily("cause", t, spec.cause_family_size, rng);
+    size_t informative = 1;
+    switch (spec.cause_kind) {
+      case CauseKind::kUnivariate:
+      case CauseKind::kLagged:
+        informative = 1;
+        break;
+      case CauseKind::kJointDense:
+      case CauseKind::kMultiFactor:
+        informative = spec.cause_family_size;
+        break;
+      case CauseKind::kJointSparse:
+        informative = std::max<size_t>(2, spec.cause_family_size / 8);
+        break;
+    }
+    // Per-feature noise: dense joint causes get noise that scales with the
+    // number of informative features so each marginal correlation is weak
+    // while the family average recovers the latent signal.
+    double feature_noise = spec.cause_feature_noise;
+    if (spec.cause_kind == CauseKind::kJointDense) {
+      feature_noise *= std::sqrt(static_cast<double>(informative));
+    }
+    for (size_t f = 0; f < informative; ++f) {
+      const std::vector<double>& src = multi_factor ? factors[f] : c;
+      for (size_t i = 0; i < t; ++i) {
+        cause.data(i, f) = src[i] + rng.Normal() * feature_noise;
+      }
+    }
+    out.families.push_back(std::move(cause));
+    out.labels.causes.insert("cause");
+  }
+
+  // --- Effect families (driven by the target) ---
+  for (size_t e = 0; e < spec.num_effect_families; ++e) {
+    const std::string name = "effect-" + std::to_string(e);
+    core::FeatureFamily fam =
+        NoiseFamily(name, t, spec.effect_family_size, rng);
+    const size_t active = std::max<size_t>(1, spec.effect_family_size / 2);
+    // Spread of effect quality: only some effects are crisp mirrors of Y.
+    const double family_noise =
+        spec.effect_noise *
+        rng.Uniform(1.0, std::max(1.0, spec.effect_noise_spread));
+    for (size_t f = 0; f < active; ++f) {
+      const double w = rng.Uniform(0.6, 1.2);
+      for (size_t i = 0; i < t; ++i) {
+        fam.data(i, f) =
+            w * out.target.data(i, 0) + rng.Normal() * family_noise;
+      }
+    }
+    out.families.push_back(std::move(fam));
+    out.labels.effects.insert(name);
+  }
+
+  // --- Seasonal confounders ---
+  for (size_t s = 0; s < spec.num_seasonal_families; ++s) {
+    const std::string name = "seasonal-" + std::to_string(s);
+    core::FeatureFamily fam =
+        NoiseFamily(name, t, spec.seasonal_family_size, rng);
+    // Aligned families share the target's phase: the classic spurious
+    // time-correlation (§1's "one can always find a correlation").
+    const bool aligned =
+        static_cast<double>(s) < spec.aligned_seasonal_fraction *
+                                     static_cast<double>(
+                                         spec.num_seasonal_families);
+    const double family_phase =
+        aligned ? target_phase + rng.Normal() * 0.15
+                : rng.Uniform(0.0, 2.0 * M_PI);
+    for (size_t f = 0; f < spec.seasonal_family_size; ++f) {
+      const double phase = family_phase + rng.Normal() * 0.2;
+      const double amp = rng.Uniform(0.8, 1.6);
+      for (size_t i = 0; i < t; ++i) {
+        fam.data(i, f) +=
+            amp * std::sin(2.0 * M_PI * static_cast<double>(i) /
+                               static_cast<double>(spec.seasonal_period) +
+                           phase);
+      }
+    }
+    out.families.push_back(std::move(fam));
+  }
+
+  // --- Wide distractors ---
+  for (size_t w = 0; w < spec.num_wide_families; ++w) {
+    const std::string name = "wide-" + std::to_string(w);
+    core::FeatureFamily fam =
+        NoiseFamily(name, t, spec.wide_family_size, rng);
+    const size_t seasonal_cols = static_cast<size_t>(
+        spec.wide_seasonal_fraction *
+        static_cast<double>(spec.wide_family_size));
+    for (size_t f = 0; f < seasonal_cols; ++f) {
+      // Half the seasonal columns phase-lock to the target: at this width
+      // some columns always align, which is exactly the joint scorer's
+      // size bias (§6.1).
+      const double phase = (f % 2 == 0)
+                               ? target_phase + rng.Normal() * 0.2
+                               : rng.Uniform(0.0, 2.0 * M_PI);
+      for (size_t i = 0; i < t; ++i) {
+        fam.data(i, f) +=
+            std::sin(2.0 * M_PI * static_cast<double>(i) /
+                         static_cast<double>(spec.seasonal_period) +
+                     phase);
+      }
+    }
+    out.families.push_back(std::move(fam));
+  }
+
+  // --- Pure noise families ---
+  for (size_t n = 0; n < spec.num_noise_families; ++n) {
+    out.families.push_back(NoiseFamily("noise-" + std::to_string(n), t,
+                                       spec.noise_family_size, rng));
+  }
+
+  for (const core::FeatureFamily& f : out.families) {
+    out.total_features += f.num_features();
+  }
+  out.description = spec.name;
+  return out;
+}
+
+std::vector<ScenarioSpec> Table6Specs(double feature_scale) {
+  auto scale = [&](size_t v) {
+    return std::max<size_t>(1, static_cast<size_t>(
+                                   static_cast<double>(v) * feature_scale));
+  };
+  std::vector<ScenarioSpec> specs;
+
+  {  // 1: clean univariate cause, muddy effects — CorrMax's home turf.
+    ScenarioSpec s;
+    s.name = "s01-univariate-clean";
+    s.seed = 9101;
+    s.cause_kind = CauseKind::kUnivariate;
+    s.cause_family_size = scale(16);
+    s.cause_strength = 2.2;
+    s.num_effect_families = 3;
+    s.effect_noise = 2.0;
+    s.num_noise_families = scale(30);
+    s.num_seasonal_families = 0;
+    specs.push_back(s);
+  }
+  {  // 2: dense joint cause — univariate methods lack power.
+    ScenarioSpec s;
+    s.name = "s02-joint-dense";
+    s.seed = 9102;
+    s.cause_kind = CauseKind::kJointDense;
+    s.cause_family_size = scale(32);
+    s.cause_feature_noise = 1.4;
+    s.cause_strength = 1.6;
+    s.num_effect_families = 4;
+    s.effect_noise = 2.5;
+    s.effect_noise_spread = 2.0;
+    s.num_noise_families = scale(25);
+    s.num_seasonal_families = scale(4);
+    s.target_seasonal_amp = 0.4;
+    specs.push_back(s);
+  }
+  {  // 3: heavy seasonal bait around a univariate cause.
+    ScenarioSpec s;
+    s.name = "s03-seasonal-bait";
+    s.seed = 9103;
+    s.cause_kind = CauseKind::kUnivariate;
+    s.cause_family_size = scale(12);
+    s.cause_strength = 1.4;
+    s.target_seasonal_amp = 1.8;
+    s.num_seasonal_families = scale(24);
+    s.aligned_seasonal_fraction = 0.7;
+    s.num_effect_families = 4;
+    s.effect_noise = 1.2;
+    s.num_noise_families = scale(25);
+    specs.push_back(s);
+  }
+  {  // 4: wide-family bait — the joint-scorer size bias.
+    ScenarioSpec s;
+    s.name = "s04-wide-bait";
+    s.seed = 9104;
+    s.cause_kind = CauseKind::kJointDense;
+    s.cause_family_size = scale(24);
+    s.cause_feature_noise = 1.2;
+    s.cause_strength = 1.0;
+    s.target_seasonal_amp = 1.5;
+    s.num_wide_families = 2;
+    s.wide_family_size = scale(600);
+    s.wide_seasonal_fraction = 0.2;
+    s.num_seasonal_families = scale(8);
+    s.num_effect_families = 3;
+    s.effect_noise = 2.0;
+    s.num_noise_families = scale(20);
+    specs.push_back(s);
+  }
+  {  // 5: high-rank multi-factor cause — projection to d < F loses signal.
+    ScenarioSpec s;
+    s.name = "s05-multi-factor";
+    s.seed = 9105;
+    s.cause_kind = CauseKind::kMultiFactor;
+    s.cause_family_size = scale(300);
+    s.cause_feature_noise = 1.0;
+    s.cause_strength = 2.2;
+    s.num_effect_families = 4;
+    s.effect_noise = 2.4;
+    s.num_noise_families = scale(30);
+    s.num_seasonal_families = scale(3);
+    specs.push_back(s);
+  }
+  {  // 6: lagged univariate cause, weak effects.
+    ScenarioSpec s;
+    s.name = "s06-lagged-cause";
+    s.seed = 9106;
+    s.cause_kind = CauseKind::kLagged;
+    s.cause_family_size = scale(10);
+    s.cause_lag = 3;
+    s.cause_strength = 2.0;
+    s.num_effect_families = 2;
+    s.effect_noise = 2.5;
+    s.num_noise_families = scale(30);
+    specs.push_back(s);
+  }
+  {  // 7: weak cause drowned by crisp effects.
+    ScenarioSpec s;
+    s.name = "s07-weak-cause";
+    s.seed = 9107;
+    s.cause_kind = CauseKind::kUnivariate;
+    s.cause_family_size = scale(12);
+    s.cause_strength = 0.9;
+    s.cause_feature_noise = 1.0;
+    s.num_effect_families = scale(6);
+    s.effect_noise = 0.4;
+    s.effect_noise_spread = 1.0;
+    s.num_noise_families = scale(30);
+    specs.push_back(s);
+  }
+  {  // 8: many crisp effect families outrank the cause.
+    ScenarioSpec s;
+    s.name = "s08-many-effects";
+    s.seed = 9108;
+    s.cause_kind = CauseKind::kJointSparse;
+    s.cause_family_size = scale(40);
+    s.cause_strength = 1.3;
+    s.num_effect_families = scale(10);
+    s.effect_noise = 0.5;
+    s.effect_noise_spread = 1.0;
+    s.num_noise_families = scale(25);
+    specs.push_back(s);
+  }
+  {  // 9: noise-heavy haystack with a clean needle.
+    ScenarioSpec s;
+    s.name = "s09-noise-heavy";
+    s.seed = 9109;
+    s.cause_kind = CauseKind::kUnivariate;
+    s.cause_family_size = scale(8);
+    s.cause_strength = 1.6;
+    s.num_effect_families = 2;
+    s.effect_noise = 2.2;
+    s.num_noise_families = scale(80);
+    s.noise_family_size = scale(12);
+    specs.push_back(s);
+  }
+  {  // 10: joint cause plus aligned seasonality — univariate collapse.
+    ScenarioSpec s;
+    s.name = "s10-seasonal-joint";
+    s.seed = 9110;
+    s.cause_kind = CauseKind::kJointDense;
+    s.cause_family_size = scale(28);
+    s.cause_feature_noise = 1.4;
+    s.cause_strength = 1.5;
+    s.target_seasonal_amp = 1.2;
+    s.num_seasonal_families = scale(14);
+    s.aligned_seasonal_fraction = 0.6;
+    s.num_effect_families = 3;
+    s.effect_noise = 1.8;
+    s.num_noise_families = scale(20);
+    specs.push_back(s);
+  }
+  {  // 11: adversarial mix — wide + seasonal + weak joint cause.
+    ScenarioSpec s;
+    s.name = "s11-adversarial-mix";
+    s.seed = 9111;
+    s.cause_kind = CauseKind::kJointDense;
+    s.cause_family_size = scale(20);
+    s.cause_feature_noise = 1.3;
+    s.cause_strength = 0.9;
+    s.target_seasonal_amp = 1.4;
+    s.num_wide_families = 2;
+    s.wide_family_size = scale(500);
+    s.wide_seasonal_fraction = 0.25;
+    s.num_seasonal_families = scale(16);
+    s.aligned_seasonal_fraction = 0.6;
+    s.num_noise_families = scale(25);
+    s.num_effect_families = scale(5);
+    s.effect_noise = 1.0;
+    specs.push_back(s);
+  }
+  return specs;
+}
+
+std::vector<Scenario> MakeTable6Suite(size_t t, double feature_scale) {
+  std::vector<Scenario> out;
+  for (const ScenarioSpec& spec : Table6Specs(feature_scale)) {
+    out.push_back(GenerateScenario(spec, t));
+  }
+  return out;
+}
+
+}  // namespace explainit::sim

@@ -1,0 +1,90 @@
+// The Table 6 scenario suite: 11 synthetic incidents with known causal
+// structure, spanning the regimes that differentiate the five scorers —
+// univariate causes (CorrMax shines), joint causes (L2 shines), seasonal
+// confounders (spurious-correlation bait), and very wide distractor
+// families (the L2 size bias).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/eval_metrics.h"
+#include "core/feature_family.h"
+
+namespace explainit::sim {
+
+/// How the ground-truth cause family drives the target.
+enum class CauseKind {
+  kUnivariate,   // one strong feature inside the family
+  kJointDense,   // every feature weakly informative; jointly strong
+  kJointSparse,  // a handful of informative features among many
+  kLagged,       // cause leads the target by a few steps
+  kMultiFactor,  // each feature is an independent latent factor and the
+                 // target follows their sum: the cause signal is genuinely
+                 // high-rank, so random projection to d < F loses signal
+                 // (differentiates L2 / L2-P500 / L2-P50)
+};
+
+/// Generator parameters for one scenario.
+struct ScenarioSpec {
+  std::string name;
+  uint64_t seed = 1;
+  CauseKind cause_kind = CauseKind::kUnivariate;
+  size_t cause_family_size = 8;
+  /// Per-feature noise-to-signal ratio inside the cause family (higher =
+  /// weaker marginal correlations).
+  double cause_feature_noise = 0.5;
+  /// Strength of the cause in the target (target noise has sd 1).
+  double cause_strength = 2.0;
+  size_t cause_lag = 0;
+
+  size_t num_effect_families = 4;
+  size_t effect_family_size = 6;
+  double effect_noise = 0.8;
+  /// Per-family effect noise is drawn from
+  /// [effect_noise, effect_noise * effect_noise_spread]: some effects are
+  /// crisp (they top the ranking, as in Tables 3-5), others are muddy.
+  double effect_noise_spread = 3.0;
+
+  size_t num_noise_families = 30;
+  size_t noise_family_size = 10;
+
+  /// Seasonal confounders: distractors sharing the target's period.
+  size_t num_seasonal_families = 6;
+  size_t seasonal_family_size = 8;
+  double target_seasonal_amp = 0.0;  // >0 puts seasonality into the target
+  size_t seasonal_period = 96;
+  /// Fraction of seasonal families phase-locked to the target's seasonal
+  /// component — the spurious-correlation bait of §1.
+  double aligned_seasonal_fraction = 0.4;
+
+  /// Very wide distractors (the joint-scorer bias bait).
+  size_t num_wide_families = 0;
+  size_t wide_family_size = 600;
+  /// Fraction of wide-family columns that carry the seasonal signal.
+  double wide_seasonal_fraction = 0.1;
+};
+
+/// A generated scenario: target, labelled search space, and metadata.
+struct Scenario {
+  std::string name;
+  std::string description;
+  core::FeatureFamily target;
+  std::vector<core::FeatureFamily> families;
+  core::ScenarioLabels labels;
+  size_t total_features = 0;
+};
+
+/// Generates one scenario with `t` time steps on a minute grid.
+Scenario GenerateScenario(const ScenarioSpec& spec, size_t t);
+
+/// The 11 Table 6 specs. `feature_scale` multiplies family counts/sizes
+/// (1.0 = laptop scale; ~8 approaches the paper's feature counts).
+std::vector<ScenarioSpec> Table6Specs(double feature_scale = 1.0);
+
+/// Convenience: generate the full suite.
+std::vector<Scenario> MakeTable6Suite(size_t t = 480,
+                                      double feature_scale = 1.0);
+
+}  // namespace explainit::sim

@@ -1,0 +1,190 @@
+#include "sql/ast.h"
+
+#include "common/strings.h"
+
+namespace explainit::sql {
+
+bool IsAggregateFunction(std::string_view upper_name) {
+  return upper_name == "AVG" || upper_name == "SUM" || upper_name == "MIN" ||
+         upper_name == "MAX" || upper_name == "COUNT" ||
+         upper_name == "STDDEV" || upper_name == "PERCENTILE";
+}
+
+namespace {
+const char* BinaryOpText(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return " + ";
+    case BinaryOp::kSub: return " - ";
+    case BinaryOp::kMul: return " * ";
+    case BinaryOp::kDiv: return " / ";
+    case BinaryOp::kMod: return " % ";
+    case BinaryOp::kEq: return " = ";
+    case BinaryOp::kNe: return " != ";
+    case BinaryOp::kLt: return " < ";
+    case BinaryOp::kLe: return " <= ";
+    case BinaryOp::kGt: return " > ";
+    case BinaryOp::kGe: return " >= ";
+    case BinaryOp::kAnd: return " AND ";
+    case BinaryOp::kOr: return " OR ";
+    case BinaryOp::kLike: return " LIKE ";
+  }
+  return " ? ";
+}
+}  // namespace
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      return literal.type() == table::DataType::kString
+                 ? "'" + literal.AsString() + "'"
+                 : literal.ToString();
+    case ExprKind::kColumnRef:
+      return qualifier.empty() ? column : qualifier + "." + column;
+    case ExprKind::kStar:
+      return "*";
+    case ExprKind::kFunction: {
+      std::string out = function_name + "(";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += args[i]->ToString();
+      }
+      return out + ")";
+    }
+    case ExprKind::kBinary:
+      return "(" + left->ToString() + BinaryOpText(binary_op) +
+             right->ToString() + ")";
+    case ExprKind::kUnary:
+      return unary_op == UnaryOp::kNot ? "NOT " + left->ToString()
+                                       : "-" + left->ToString();
+    case ExprKind::kSubscript:
+      return left->ToString() + "[" + right->ToString() + "]";
+    case ExprKind::kInList: {
+      std::string out = left->ToString() + (negated ? " NOT IN (" : " IN (");
+      for (size_t i = 0; i < list.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += list[i]->ToString();
+      }
+      return out + ")";
+    }
+    case ExprKind::kBetween:
+      return left->ToString() + " BETWEEN " + between_lo->ToString() +
+             " AND " + between_hi->ToString();
+    case ExprKind::kIsNull:
+      return left->ToString() + (negated ? " IS NOT NULL" : " IS NULL");
+    case ExprKind::kCase: {
+      std::string out = "CASE";
+      for (const CaseBranch& b : case_branches) {
+        out += " WHEN " + b.condition->ToString() + " THEN " +
+               b.result->ToString();
+      }
+      if (case_else) out += " ELSE " + case_else->ToString();
+      return out + " END";
+    }
+  }
+  return "?";
+}
+
+bool Expr::ContainsAggregate() const {
+  if (kind == ExprKind::kFunction && IsAggregateFunction(function_name)) {
+    return true;
+  }
+  auto check = [](const ExprPtr& e) {
+    return e != nullptr && e->ContainsAggregate();
+  };
+  if (check(left) || check(right) || check(between_lo) || check(between_hi) ||
+      check(case_else)) {
+    return true;
+  }
+  for (const ExprPtr& a : args) {
+    if (check(a)) return true;
+  }
+  for (const ExprPtr& a : list) {
+    if (check(a)) return true;
+  }
+  for (const CaseBranch& b : case_branches) {
+    if (check(b.condition) || check(b.result)) return true;
+  }
+  return false;
+}
+
+ExprPtr Expr::Clone() const {
+  auto out = std::make_unique<Expr>();
+  out->kind = kind;
+  out->literal = literal;
+  out->qualifier = qualifier;
+  out->column = column;
+  out->function_name = function_name;
+  for (const ExprPtr& a : args) out->args.push_back(a->Clone());
+  out->binary_op = binary_op;
+  out->unary_op = unary_op;
+  if (left) out->left = left->Clone();
+  if (right) out->right = right->Clone();
+  for (const ExprPtr& a : list) out->list.push_back(a->Clone());
+  if (between_lo) out->between_lo = between_lo->Clone();
+  if (between_hi) out->between_hi = between_hi->Clone();
+  out->negated = negated;
+  for (const CaseBranch& b : case_branches) {
+    CaseBranch nb;
+    nb.condition = b.condition->Clone();
+    nb.result = b.result->Clone();
+    out->case_branches.push_back(std::move(nb));
+  }
+  if (case_else) out->case_else = case_else->Clone();
+  return out;
+}
+
+ExprPtr MakeLiteral(table::Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr MakeColumnRef(std::string qualifier, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->qualifier = std::move(qualifier);
+  e->column = std::move(column);
+  return e;
+}
+
+ExprPtr MakeStar() {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kStar;
+  return e;
+}
+
+ExprPtr MakeFunction(std::string name, std::vector<ExprPtr> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kFunction;
+  e->function_name = ToUpper(name);
+  e->args = std::move(args);
+  return e;
+}
+
+ExprPtr MakeBinary(BinaryOp op, ExprPtr l, ExprPtr r) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->binary_op = op;
+  e->left = std::move(l);
+  e->right = std::move(r);
+  return e;
+}
+
+ExprPtr MakeUnary(UnaryOp op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->unary_op = op;
+  e->left = std::move(operand);
+  return e;
+}
+
+ExprPtr MakeSubscript(ExprPtr base, ExprPtr index) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kSubscript;
+  e->left = std::move(base);
+  e->right = std::move(index);
+  return e;
+}
+
+}  // namespace explainit::sql

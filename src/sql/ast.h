@@ -1,0 +1,155 @@
+// Abstract syntax tree for the SQL dialect. Built by the parser, consumed
+// by the planner/executor.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "table/value.h"
+
+namespace explainit::sql {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind {
+  kLiteral,
+  kColumnRef,
+  kStar,        // SELECT * (or COUNT(*) argument)
+  kFunction,    // scalar or aggregate call
+  kBinary,
+  kUnary,
+  kSubscript,   // expr['key'] or expr[0]
+  kInList,      // expr IN (a, b, c) / NOT IN
+  kBetween,     // expr BETWEEN lo AND hi
+  kIsNull,      // expr IS [NOT] NULL
+  kCase,        // CASE WHEN ... THEN ... ELSE ... END
+};
+
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+  kLike,
+};
+
+enum class UnaryOp { kNot, kNegate };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// One CASE branch.
+struct CaseBranch;
+
+/// A SQL expression node (tagged union; only the fields relevant to `kind`
+/// are populated).
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+
+  // kLiteral
+  table::Value literal;
+
+  // kColumnRef
+  std::string qualifier;  // optional table alias ("FF" in FF.timestamp)
+  std::string column;
+
+  // kFunction
+  std::string function_name;  // upper-cased
+  std::vector<ExprPtr> args;
+
+  // kBinary / kUnary / kInList / kBetween / kIsNull / kSubscript / kCase
+  BinaryOp binary_op = BinaryOp::kAdd;
+  UnaryOp unary_op = UnaryOp::kNot;
+  ExprPtr left;    // also: subject of IN/BETWEEN/IS NULL/subscript
+  ExprPtr right;   // also: subscript index
+  std::vector<ExprPtr> list;  // IN list
+  ExprPtr between_lo;
+  ExprPtr between_hi;
+  bool negated = false;  // NOT IN / IS NOT NULL / NOT LIKE
+  std::vector<CaseBranch> case_branches;
+  ExprPtr case_else;
+
+  /// Reconstructs a SQL-ish textual form (used to derive output column
+  /// names for unaliased select items).
+  std::string ToString() const;
+
+  /// True if this subtree contains an aggregate function call.
+  bool ContainsAggregate() const;
+
+  ExprPtr Clone() const;
+};
+
+struct CaseBranch {
+  ExprPtr condition;
+  ExprPtr result;
+};
+
+/// True for AVG/SUM/MIN/MAX/COUNT/STDDEV/PERCENTILE.
+bool IsAggregateFunction(std::string_view upper_name);
+
+// Convenience constructors used by the parser and tests.
+ExprPtr MakeLiteral(table::Value v);
+ExprPtr MakeColumnRef(std::string qualifier, std::string column);
+ExprPtr MakeStar();
+ExprPtr MakeFunction(std::string name, std::vector<ExprPtr> args);
+ExprPtr MakeBinary(BinaryOp op, ExprPtr l, ExprPtr r);
+ExprPtr MakeUnary(UnaryOp op, ExprPtr operand);
+ExprPtr MakeSubscript(ExprPtr base, ExprPtr index);
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+/// One item in the SELECT list.
+struct SelectItem {
+  ExprPtr expr;        // null for bare `*`
+  std::string alias;   // empty when not aliased
+  bool is_star = false;
+};
+
+enum class JoinType { kInner, kLeft, kFullOuter, kCross };
+
+struct SelectStatement;
+
+/// FROM-clause term: a named table, or a parenthesised subquery; both may
+/// carry an alias. Chained joins hang off the first table.
+struct TableRef {
+  std::string table_name;                      // empty for subqueries
+  std::unique_ptr<SelectStatement> subquery;   // set for subqueries
+  std::string alias;
+
+  /// Name that qualifies this relation's columns: alias or table name.
+  const std::string& EffectiveName() const {
+    return alias.empty() ? table_name : alias;
+  }
+};
+
+struct JoinClause {
+  JoinType type = JoinType::kInner;
+  TableRef right;
+  ExprPtr condition;  // null for CROSS
+};
+
+struct OrderByItem {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+/// A parsed SELECT (with optional chained UNION ALL terms).
+struct SelectStatement {
+  std::vector<SelectItem> items;
+  std::optional<TableRef> from;
+  std::vector<JoinClause> joins;
+  ExprPtr where;
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;
+  std::vector<OrderByItem> order_by;
+  std::optional<int64_t> limit;
+  /// UNION [ALL] chains: additional SELECTs whose results are appended.
+  std::vector<std::unique_ptr<SelectStatement>> union_all;
+};
+
+}  // namespace explainit::sql

@@ -1,0 +1,37 @@
+#include "sql/catalog.h"
+
+#include "common/strings.h"
+
+namespace explainit::sql {
+
+void Catalog::RegisterTable(const std::string& name, table::Table table) {
+  auto shared = std::make_shared<table::Table>(std::move(table));
+  providers_[ToUpper(name)] = [shared]() -> Result<table::Table> {
+    return *shared;
+  };
+}
+
+void Catalog::RegisterProvider(const std::string& name,
+                               TableProvider provider) {
+  providers_[ToUpper(name)] = std::move(provider);
+}
+
+Result<table::Table> Catalog::GetTable(const std::string& name) const {
+  auto it = providers_.find(ToUpper(name));
+  if (it == providers_.end()) {
+    return Status::NotFound("table not found: " + name);
+  }
+  return it->second();
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return providers_.count(ToUpper(name)) > 0;
+}
+
+std::vector<std::string> Catalog::ListTables() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : providers_) out.push_back(k);
+  return out;
+}
+
+}  // namespace explainit::sql

@@ -1,0 +1,39 @@
+// Catalog: table name -> data. Tables can be materialised (registered
+// once) or provided lazily (a connector that scans the tsdb on demand —
+// the role of the paper's Java data-source connectors).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace explainit::sql {
+
+/// Lazily produces a table when the executor scans it.
+using TableProvider = std::function<Result<table::Table>()>;
+
+/// Case-insensitive table registry.
+class Catalog {
+ public:
+  /// Registers a materialised table (replacing any previous binding).
+  void RegisterTable(const std::string& name, table::Table table);
+
+  /// Registers a lazy provider (e.g. a tsdb scan).
+  void RegisterProvider(const std::string& name, TableProvider provider);
+
+  /// Resolves and materialises a table; NotFound for unknown names.
+  Result<table::Table> GetTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const;
+  std::vector<std::string> ListTables() const;
+
+ private:
+  std::map<std::string, TableProvider> providers_;
+};
+
+}  // namespace explainit::sql

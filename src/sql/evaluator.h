@@ -1,0 +1,39 @@
+// Row-at-a-time expression evaluation against a Table. LAG windows see the
+// whole table (rows are time-ordered by convention, matching the paper's
+// "user could specify lagged features ... by using LAG function in SQL").
+#pragma once
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "sql/functions.h"
+#include "table/table.h"
+
+namespace explainit::sql {
+
+/// Evaluates expressions against rows of one input table.
+class Evaluator {
+ public:
+  Evaluator(const table::Table* input, const FunctionRegistry* functions)
+      : input_(input), functions_(functions) {}
+
+  /// Evaluates `expr` at `row`. Aggregate calls are an error here; the
+  /// executor handles them at the GROUP BY level.
+  Result<table::Value> Eval(const Expr& expr, size_t row) const;
+
+  /// Resolves a column reference against the input schema:
+  ///   - qualified a.b: field "a.b", else field "b" (single-relation case);
+  ///   - unqualified b: field "b", else a unique field ending in ".b".
+  Result<size_t> ResolveColumn(const Expr& expr) const;
+
+  const table::Table* input() const { return input_; }
+
+ private:
+  const table::Table* input_;
+  const FunctionRegistry* functions_;
+};
+
+/// True when the value of a LIKE pattern matches the text (SQL '%'/'_'
+/// wildcards).
+bool SqlLikeMatch(const std::string& pattern, const std::string& text);
+
+}  // namespace explainit::sql

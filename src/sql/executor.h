@@ -1,0 +1,65 @@
+// SQL executor: interprets a parsed SelectStatement over catalog tables.
+//
+// Join strategy mirrors §4.2's "broadcast join" optimisation: equi-join
+// conditions execute as hash joins with the build (broadcast) side chosen
+// as the smaller input; non-equi conditions fall back to nested loops.
+#pragma once
+
+#include <string_view>
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "sql/catalog.h"
+#include "sql/functions.h"
+#include "table/table.h"
+
+namespace explainit::sql {
+
+/// Execution statistics for observability and the scalability benches.
+struct ExecStats {
+  size_t tables_scanned = 0;
+  size_t rows_scanned = 0;
+  size_t hash_joins = 0;
+  size_t nested_loop_joins = 0;
+  size_t rows_output = 0;
+};
+
+/// Executes SELECT statements against a catalog.
+class Executor {
+ public:
+  Executor(const Catalog* catalog, const FunctionRegistry* functions)
+      : catalog_(catalog), functions_(functions) {}
+
+  /// Parses and executes `sql`.
+  Result<table::Table> Query(std::string_view sql);
+
+  /// Executes an already-parsed statement.
+  Result<table::Table> Execute(const SelectStatement& stmt);
+
+  const ExecStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ExecStats{}; }
+
+ private:
+  Result<table::Table> ExecuteSingle(const SelectStatement& stmt);
+  Result<table::Table> ResolveFrom(const SelectStatement& stmt);
+  Result<table::Table> ExecuteJoin(table::Table left, const JoinClause& join,
+                                   const std::string& right_name);
+  Result<table::Table> Project(const table::Table& input,
+                               const SelectStatement& stmt);
+  Result<table::Table> Aggregate(const table::Table& input,
+                                 const SelectStatement& stmt);
+  Result<table::Table> OrderAndLimit(table::Table output,
+                                     const table::Table& preprojection,
+                                     const SelectStatement& stmt,
+                                     bool aggregated);
+
+  const Catalog* catalog_;
+  const FunctionRegistry* functions_;
+  ExecStats stats_;
+};
+
+/// Renames every field of `t` to "qualifier.name" (skipping fields already
+/// containing a dot). Used to scope join inputs.
+table::Table QualifySchema(table::Table t, const std::string& qualifier);
+
+}  // namespace explainit::sql

@@ -1,0 +1,145 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace explainit::sql {
+
+namespace {
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* kKeywords = new std::unordered_set<std::string>{
+      "SELECT", "FROM",  "WHERE",  "GROUP",  "BY",    "ORDER",  "ASC",
+      "DESC",   "LIMIT", "AS",     "AND",    "OR",    "NOT",    "IN",
+      "BETWEEN", "LIKE", "JOIN",   "INNER",  "LEFT",  "RIGHT",  "FULL",
+      "OUTER",  "CROSS", "ON",     "UNION",  "ALL",   "NULL",   "IS",
+      "HAVING", "DISTINCT", "CASE", "WHEN",  "THEN",  "ELSE",   "END",
+      "TRUE",   "FALSE",
+  };
+  return *kKeywords;
+}
+}  // namespace
+
+bool IsReservedKeyword(std::string_view upper_word) {
+  return Keywords().count(std::string(upper_word)) > 0;
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view query) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = query.size();
+  while (i < n) {
+    const char c = query[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comments.
+    if (c == '-' && i + 1 < n && query[i + 1] == '-') {
+      while (i < n && query[i] != '\n') ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < n && (std::isalnum(static_cast<unsigned char>(query[i])) ||
+                       query[i] == '_')) {
+        ++i;
+      }
+      std::string word(query.substr(start, i - start));
+      std::string upper = ToUpper(word);
+      if (IsReservedKeyword(upper)) {
+        tokens.push_back({TokenType::kKeyword, std::move(upper), start});
+      } else {
+        tokens.push_back({TokenType::kIdentifier, std::move(word), start});
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(query[i + 1])))) {
+      bool seen_dot = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(query[i])) ||
+                       (query[i] == '.' && !seen_dot))) {
+        if (query[i] == '.') seen_dot = true;
+        ++i;
+      }
+      // Exponent part.
+      if (i < n && (query[i] == 'e' || query[i] == 'E')) {
+        size_t j = i + 1;
+        if (j < n && (query[j] == '+' || query[j] == '-')) ++j;
+        if (j < n && std::isdigit(static_cast<unsigned char>(query[j]))) {
+          i = j;
+          while (i < n && std::isdigit(static_cast<unsigned char>(query[i]))) {
+            ++i;
+          }
+        }
+      }
+      tokens.push_back({TokenType::kNumber,
+                        std::string(query.substr(start, i - start)), start});
+      continue;
+    }
+    if (c == '\'') {
+      std::string text;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (query[i] == '\'') {
+          if (i + 1 < n && query[i + 1] == '\'') {  // escaped quote
+            text += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        text += query[i++];
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      tokens.push_back({TokenType::kString, std::move(text), start});
+      continue;
+    }
+    // Two-character operators.
+    if (i + 1 < n) {
+      const std::string_view two = query.substr(i, 2);
+      if (two == "!=" || two == "<=" || two == ">=" || two == "<>") {
+        tokens.push_back(
+            {TokenType::kOperator, two == "<>" ? "!=" : std::string(two),
+             start});
+        i += 2;
+        continue;
+      }
+    }
+    switch (c) {
+      case '=':
+      case '<':
+      case '>':
+      case '+':
+      case '-':
+      case '*':
+      case '/':
+      case '%':
+      case '(':
+      case ')':
+      case ',':
+      case '.':
+      case '[':
+      case ']':
+        tokens.push_back({TokenType::kOperator, std::string(1, c), start});
+        ++i;
+        break;
+      default:
+        return Status::ParseError("unexpected character '" +
+                                  std::string(1, c) + "' at offset " +
+                                  std::to_string(start));
+    }
+  }
+  tokens.push_back({TokenType::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace explainit::sql

@@ -1,0 +1,42 @@
+// SQL lexer. Tokenises the dialect used throughout Appendix C: SELECT /
+// FROM / WHERE / GROUP BY / ORDER BY / JOIN / UNION / BETWEEN / IN / LIKE,
+// map subscripts (tag['k']), string literals, numbers and operators.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace explainit::sql {
+
+enum class TokenType {
+  kIdentifier,   // unquoted name (case preserved; matching is insensitive)
+  kKeyword,      // recognised SQL keyword, normalised to upper case
+  kString,       // 'single quoted'
+  kNumber,       // integer or decimal literal
+  kOperator,     // = != < <= > >= + - * / % ( ) , . [ ]
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // normalised: keywords upper-cased, strings unquoted
+  size_t position = 0;  // byte offset in the query (for error messages)
+
+  bool IsKeyword(std::string_view kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsOperator(std::string_view op) const {
+    return type == TokenType::kOperator && text == op;
+  }
+};
+
+/// Splits `query` into tokens; fails with ParseError on malformed input
+/// (unterminated string, unexpected character).
+Result<std::vector<Token>> Tokenize(std::string_view query);
+
+/// True if `word` (upper-cased) is a reserved keyword.
+bool IsReservedKeyword(std::string_view upper_word);
+
+}  // namespace explainit::sql

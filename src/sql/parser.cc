@@ -1,0 +1,495 @@
+#include "sql/parser.h"
+
+#include <charconv>
+
+#include "common/strings.h"
+
+namespace explainit::sql {
+
+namespace {
+
+/// Token-stream cursor with the grammar's productions as methods.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::unique_ptr<SelectStatement>> ParseStatement() {
+    EXPLAINIT_ASSIGN_OR_RETURN(auto stmt, ParseSelect());
+    // UNION [ALL] chain.
+    while (Current().IsKeyword("UNION")) {
+      Advance();
+      if (Current().IsKeyword("ALL")) Advance();
+      EXPLAINIT_ASSIGN_OR_RETURN(auto next, ParseSelect());
+      stmt->union_all.push_back(std::move(next));
+    }
+    if (Current().type != TokenType::kEnd) {
+      return Err("unexpected trailing input");
+    }
+    return stmt;
+  }
+
+  Result<ExprPtr> ParseStandaloneExpression() {
+    EXPLAINIT_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    if (Current().type != TokenType::kEnd) {
+      return Err("unexpected trailing input after expression");
+    }
+    return e;
+  }
+
+ private:
+  const Token& Current() const { return tokens_[pos_]; }
+  const Token& Peek(size_t ahead = 1) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(msg + " (near offset " +
+                              std::to_string(Current().position) + ", token '" +
+                              Current().text + "')");
+  }
+
+  Status Expect(TokenType type, std::string_view text) {
+    if (Current().type != type || !EqualsIgnoreCase(Current().text, text)) {
+      return Err("expected '" + std::string(text) + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<std::unique_ptr<SelectStatement>> ParseSelect() {
+    EXPLAINIT_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "SELECT"));
+    auto stmt = std::make_unique<SelectStatement>();
+    if (Current().IsKeyword("DISTINCT")) {
+      return Err("DISTINCT is not supported");
+    }
+    // Select list.
+    while (true) {
+      SelectItem item;
+      if (Current().IsOperator("*")) {
+        item.is_star = true;
+        Advance();
+      } else {
+        EXPLAINIT_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (Current().IsKeyword("AS")) {
+          Advance();
+          if (Current().type != TokenType::kIdentifier) {
+            return Err("expected alias after AS");
+          }
+          item.alias = Current().text;
+          Advance();
+        } else if (Current().type == TokenType::kIdentifier) {
+          // Implicit alias: SELECT expr name.
+          item.alias = Current().text;
+          Advance();
+        }
+      }
+      stmt->items.push_back(std::move(item));
+      if (!Current().IsOperator(",")) break;
+      Advance();
+    }
+    // FROM.
+    if (Current().IsKeyword("FROM")) {
+      Advance();
+      EXPLAINIT_ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+      stmt->from = std::move(ref);
+      // Joins.
+      while (true) {
+        JoinType type;
+        bool is_join = false;
+        if (Current().IsKeyword("JOIN") || Current().IsKeyword("INNER")) {
+          type = JoinType::kInner;
+          if (Current().IsKeyword("INNER")) Advance();
+          EXPLAINIT_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "JOIN"));
+          is_join = true;
+        } else if (Current().IsKeyword("LEFT")) {
+          type = JoinType::kLeft;
+          Advance();
+          if (Current().IsKeyword("OUTER")) Advance();
+          EXPLAINIT_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "JOIN"));
+          is_join = true;
+        } else if (Current().IsKeyword("FULL")) {
+          type = JoinType::kFullOuter;
+          Advance();
+          if (Current().IsKeyword("OUTER")) Advance();
+          EXPLAINIT_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "JOIN"));
+          is_join = true;
+        } else if (Current().IsKeyword("CROSS")) {
+          type = JoinType::kCross;
+          Advance();
+          EXPLAINIT_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "JOIN"));
+          is_join = true;
+        }
+        if (!is_join) break;
+        JoinClause join;
+        join.type = type;
+        EXPLAINIT_ASSIGN_OR_RETURN(join.right, ParseTableRef());
+        if (type != JoinType::kCross) {
+          EXPLAINIT_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "ON"));
+          EXPLAINIT_ASSIGN_OR_RETURN(join.condition, ParseExpr());
+        }
+        stmt->joins.push_back(std::move(join));
+      }
+    }
+    // WHERE.
+    if (Current().IsKeyword("WHERE")) {
+      Advance();
+      EXPLAINIT_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    // GROUP BY.
+    if (Current().IsKeyword("GROUP")) {
+      Advance();
+      EXPLAINIT_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "BY"));
+      while (true) {
+        EXPLAINIT_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        stmt->group_by.push_back(std::move(e));
+        if (!Current().IsOperator(",")) break;
+        Advance();
+      }
+    }
+    // HAVING.
+    if (Current().IsKeyword("HAVING")) {
+      Advance();
+      EXPLAINIT_ASSIGN_OR_RETURN(stmt->having, ParseExpr());
+    }
+    // ORDER BY.
+    if (Current().IsKeyword("ORDER")) {
+      Advance();
+      EXPLAINIT_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "BY"));
+      while (true) {
+        OrderByItem item;
+        EXPLAINIT_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (Current().IsKeyword("ASC")) {
+          Advance();
+        } else if (Current().IsKeyword("DESC")) {
+          item.ascending = false;
+          Advance();
+        }
+        stmt->order_by.push_back(std::move(item));
+        if (!Current().IsOperator(",")) break;
+        Advance();
+      }
+    }
+    // LIMIT.
+    if (Current().IsKeyword("LIMIT")) {
+      Advance();
+      if (Current().type != TokenType::kNumber) {
+        return Err("expected a number after LIMIT");
+      }
+      int64_t limit = 0;
+      std::from_chars(Current().text.data(),
+                      Current().text.data() + Current().text.size(), limit);
+      stmt->limit = limit;
+      Advance();
+    }
+    return stmt;
+  }
+
+  Result<TableRef> ParseTableRef() {
+    TableRef ref;
+    if (Current().IsOperator("(")) {
+      Advance();
+      EXPLAINIT_ASSIGN_OR_RETURN(auto sub, ParseSelect());
+      // Allow UNION chains inside a subquery.
+      while (Current().IsKeyword("UNION")) {
+        Advance();
+        if (Current().IsKeyword("ALL")) Advance();
+        EXPLAINIT_ASSIGN_OR_RETURN(auto next, ParseSelect());
+        sub->union_all.push_back(std::move(next));
+      }
+      EXPLAINIT_RETURN_IF_ERROR(Expect(TokenType::kOperator, ")"));
+      ref.subquery = std::move(sub);
+    } else if (Current().type == TokenType::kIdentifier) {
+      ref.table_name = Current().text;
+      Advance();
+    } else {
+      return Err("expected table name or subquery");
+    }
+    // Optional alias (with or without AS).
+    if (Current().IsKeyword("AS")) {
+      Advance();
+      if (Current().type != TokenType::kIdentifier) {
+        return Err("expected alias after AS");
+      }
+      ref.alias = Current().text;
+      Advance();
+    } else if (Current().type == TokenType::kIdentifier) {
+      ref.alias = Current().text;
+      Advance();
+    }
+    return ref;
+  }
+
+  // Precedence climbing: OR < AND < NOT < comparison < additive <
+  // multiplicative < unary < postfix (subscript).
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    EXPLAINIT_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (Current().IsKeyword("OR")) {
+      Advance();
+      EXPLAINIT_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = MakeBinary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    EXPLAINIT_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (Current().IsKeyword("AND")) {
+      Advance();
+      EXPLAINIT_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = MakeBinary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (Current().IsKeyword("NOT")) {
+      Advance();
+      EXPLAINIT_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+      return MakeUnary(UnaryOp::kNot, std::move(operand));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    EXPLAINIT_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    // IS [NOT] NULL.
+    if (Current().IsKeyword("IS")) {
+      Advance();
+      bool negated = false;
+      if (Current().IsKeyword("NOT")) {
+        negated = true;
+        Advance();
+      }
+      EXPLAINIT_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "NULL"));
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kIsNull;
+      e->left = std::move(lhs);
+      e->negated = negated;
+      return e;
+    }
+    bool negated = false;
+    if (Current().IsKeyword("NOT") &&
+        (Peek().IsKeyword("IN") || Peek().IsKeyword("BETWEEN") ||
+         Peek().IsKeyword("LIKE"))) {
+      negated = true;
+      Advance();
+    }
+    if (Current().IsKeyword("BETWEEN")) {
+      Advance();
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kBetween;
+      e->left = std::move(lhs);
+      e->negated = negated;
+      EXPLAINIT_ASSIGN_OR_RETURN(e->between_lo, ParseAdditive());
+      EXPLAINIT_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "AND"));
+      EXPLAINIT_ASSIGN_OR_RETURN(e->between_hi, ParseAdditive());
+      return e;
+    }
+    if (Current().IsKeyword("IN")) {
+      Advance();
+      EXPLAINIT_RETURN_IF_ERROR(Expect(TokenType::kOperator, "("));
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kInList;
+      e->left = std::move(lhs);
+      e->negated = negated;
+      while (true) {
+        EXPLAINIT_ASSIGN_OR_RETURN(ExprPtr item, ParseExpr());
+        e->list.push_back(std::move(item));
+        if (!Current().IsOperator(",")) break;
+        Advance();
+      }
+      EXPLAINIT_RETURN_IF_ERROR(Expect(TokenType::kOperator, ")"));
+      return e;
+    }
+    if (Current().IsKeyword("LIKE")) {
+      Advance();
+      EXPLAINIT_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+      ExprPtr like =
+          MakeBinary(BinaryOp::kLike, std::move(lhs), std::move(rhs));
+      if (negated) return MakeUnary(UnaryOp::kNot, std::move(like));
+      return like;
+    }
+    struct OpMap {
+      const char* text;
+      BinaryOp op;
+    };
+    static constexpr OpMap kOps[] = {
+        {"=", BinaryOp::kEq},  {"!=", BinaryOp::kNe}, {"<=", BinaryOp::kLe},
+        {">=", BinaryOp::kGe}, {"<", BinaryOp::kLt},  {">", BinaryOp::kGt},
+    };
+    for (const OpMap& m : kOps) {
+      if (Current().IsOperator(m.text)) {
+        Advance();
+        EXPLAINIT_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+        return MakeBinary(m.op, std::move(lhs), std::move(rhs));
+      }
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    EXPLAINIT_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (Current().IsOperator("+") || Current().IsOperator("-")) {
+      const BinaryOp op =
+          Current().IsOperator("+") ? BinaryOp::kAdd : BinaryOp::kSub;
+      Advance();
+      EXPLAINIT_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    EXPLAINIT_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (Current().IsOperator("*") || Current().IsOperator("/") ||
+           Current().IsOperator("%")) {
+      BinaryOp op = BinaryOp::kMul;
+      if (Current().IsOperator("/")) op = BinaryOp::kDiv;
+      if (Current().IsOperator("%")) op = BinaryOp::kMod;
+      Advance();
+      EXPLAINIT_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Current().IsOperator("-")) {
+      Advance();
+      EXPLAINIT_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      return MakeUnary(UnaryOp::kNegate, std::move(operand));
+    }
+    return ParsePostfix();
+  }
+
+  Result<ExprPtr> ParsePostfix() {
+    EXPLAINIT_ASSIGN_OR_RETURN(ExprPtr e, ParsePrimary());
+    while (Current().IsOperator("[")) {
+      Advance();
+      EXPLAINIT_ASSIGN_OR_RETURN(ExprPtr index, ParseExpr());
+      EXPLAINIT_RETURN_IF_ERROR(Expect(TokenType::kOperator, "]"));
+      e = MakeSubscript(std::move(e), std::move(index));
+    }
+    return e;
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& tok = Current();
+    if (tok.IsOperator("(")) {
+      Advance();
+      EXPLAINIT_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      EXPLAINIT_RETURN_IF_ERROR(Expect(TokenType::kOperator, ")"));
+      return e;
+    }
+    if (tok.type == TokenType::kNumber) {
+      const std::string text = tok.text;
+      Advance();
+      if (text.find('.') != std::string::npos ||
+          text.find('e') != std::string::npos ||
+          text.find('E') != std::string::npos) {
+        return MakeLiteral(table::Value::Double(std::stod(text)));
+      }
+      int64_t v = 0;
+      std::from_chars(text.data(), text.data() + text.size(), v);
+      return MakeLiteral(table::Value::Int(v));
+    }
+    if (tok.type == TokenType::kString) {
+      std::string s = tok.text;
+      Advance();
+      return MakeLiteral(table::Value::String(std::move(s)));
+    }
+    if (tok.IsKeyword("NULL")) {
+      Advance();
+      return MakeLiteral(table::Value::Null());
+    }
+    if (tok.IsKeyword("TRUE")) {
+      Advance();
+      return MakeLiteral(table::Value::Bool(true));
+    }
+    if (tok.IsKeyword("FALSE")) {
+      Advance();
+      return MakeLiteral(table::Value::Bool(false));
+    }
+    if (tok.IsKeyword("CASE")) {
+      Advance();
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kCase;
+      while (Current().IsKeyword("WHEN")) {
+        Advance();
+        CaseBranch branch;
+        EXPLAINIT_ASSIGN_OR_RETURN(branch.condition, ParseExpr());
+        EXPLAINIT_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "THEN"));
+        EXPLAINIT_ASSIGN_OR_RETURN(branch.result, ParseExpr());
+        e->case_branches.push_back(std::move(branch));
+      }
+      if (e->case_branches.empty()) return Err("CASE requires WHEN branches");
+      if (Current().IsKeyword("ELSE")) {
+        Advance();
+        EXPLAINIT_ASSIGN_OR_RETURN(e->case_else, ParseExpr());
+      }
+      EXPLAINIT_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "END"));
+      return e;
+    }
+    if (tok.type == TokenType::kIdentifier) {
+      std::string name = tok.text;
+      Advance();
+      // Function call.
+      if (Current().IsOperator("(")) {
+        Advance();
+        std::vector<ExprPtr> args;
+        if (Current().IsOperator("*")) {
+          // COUNT(*).
+          args.push_back(MakeStar());
+          Advance();
+        } else if (!Current().IsOperator(")")) {
+          while (true) {
+            EXPLAINIT_ASSIGN_OR_RETURN(ExprPtr a, ParseExpr());
+            args.push_back(std::move(a));
+            if (!Current().IsOperator(",")) break;
+            Advance();
+          }
+        }
+        EXPLAINIT_RETURN_IF_ERROR(Expect(TokenType::kOperator, ")"));
+        return MakeFunction(std::move(name), std::move(args));
+      }
+      // Qualified column: a.b.
+      if (Current().IsOperator(".")) {
+        Advance();
+        if (Current().type != TokenType::kIdentifier &&
+            Current().type != TokenType::kKeyword) {
+          return Err("expected column name after '.'");
+        }
+        std::string col = Current().text;
+        Advance();
+        return MakeColumnRef(std::move(name), std::move(col));
+      }
+      return MakeColumnRef("", std::move(name));
+    }
+    return Err("unexpected token in expression");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<SelectStatement>> Parse(std::string_view query) {
+  EXPLAINIT_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(query));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+Result<ExprPtr> ParseExpression(std::string_view text) {
+  EXPLAINIT_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseStandaloneExpression();
+}
+
+}  // namespace explainit::sql

@@ -1,0 +1,20 @@
+// Recursive-descent SQL parser producing the AST of ast.h.
+#pragma once
+
+#include <memory>
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "sql/lexer.h"
+
+namespace explainit::sql {
+
+/// Parses a single SELECT statement (with optional UNION ALL chain).
+/// Fails with ParseError carrying the offending token position.
+Result<std::unique_ptr<SelectStatement>> Parse(std::string_view query);
+
+/// Parses a standalone scalar expression (used by tests and the engine's
+/// family-pattern mini-queries).
+Result<ExprPtr> ParseExpression(std::string_view text);
+
+}  // namespace explainit::sql

@@ -1,0 +1,209 @@
+#include "stats/decompose.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace explainit::stats {
+
+std::vector<double> Decomposition::Systematic() const {
+  std::vector<double> out(trend.size());
+  for (size_t i = 0; i < out.size(); ++i) out[i] = trend[i] + seasonal[i];
+  return out;
+}
+
+std::vector<double> MovingAverage(const std::vector<double>& y, size_t w) {
+  const size_t n = y.size();
+  std::vector<double> out(n, 0.0);
+  if (n == 0) return out;
+  if (w < 1) w = 1;
+  if (w % 2 == 0) ++w;  // force odd for a centred window
+  const size_t half = w / 2;
+  // Prefix sums for O(n) windows.
+  std::vector<double> prefix(n + 1, 0.0);
+  for (size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + y[i];
+  for (size_t i = 0; i < n; ++i) {
+    const size_t lo = i >= half ? i - half : 0;
+    const size_t hi = std::min(n - 1, i + half);
+    out[i] = (prefix[hi + 1] - prefix[lo]) / static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+Decomposition DecomposeAdditive(const std::vector<double>& y, size_t period) {
+  EXPLAINIT_CHECK(period >= 2, "period must be >= 2");
+  const size_t n = y.size();
+  Decomposition d;
+  d.trend = MovingAverage(y, period | 1);
+  // Periodic means of the detrended series.
+  std::vector<double> sums(period, 0.0);
+  std::vector<size_t> counts(period, 0);
+  for (size_t i = 0; i < n; ++i) {
+    sums[i % period] += y[i] - d.trend[i];
+    ++counts[i % period];
+  }
+  std::vector<double> seasonal_profile(period, 0.0);
+  double grand = 0.0;
+  for (size_t k = 0; k < period; ++k) {
+    seasonal_profile[k] =
+        counts[k] > 0 ? sums[k] / static_cast<double>(counts[k]) : 0.0;
+    grand += seasonal_profile[k];
+  }
+  grand /= static_cast<double>(period);
+  for (double& s : seasonal_profile) s -= grand;  // centre to zero mean
+  d.seasonal.resize(n);
+  d.residual.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    d.seasonal[i] = seasonal_profile[i % period];
+    d.residual[i] = y[i] - d.trend[i] - d.seasonal[i];
+  }
+  return d;
+}
+
+Decomposition DecomposeTrend(const std::vector<double>& y, size_t window) {
+  Decomposition d;
+  d.trend = MovingAverage(y, window);
+  d.seasonal.assign(y.size(), 0.0);
+  d.residual.resize(y.size());
+  for (size_t i = 0; i < y.size(); ++i) d.residual[i] = y[i] - d.trend[i];
+  return d;
+}
+
+std::vector<double> RunningMedian(const std::vector<double>& y, size_t w) {
+  const size_t n = y.size();
+  std::vector<double> out(n, 0.0);
+  if (n == 0) return out;
+  if (w < 1) w = 1;
+  if (w % 2 == 0) ++w;
+  const size_t half = w / 2;
+  std::vector<double> window;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t lo = i >= half ? i - half : 0;
+    const size_t hi = std::min(n - 1, i + half);
+    window.assign(y.begin() + lo, y.begin() + hi + 1);
+    out[i] = Median(std::move(window));
+  }
+  return out;
+}
+
+Decomposition DecomposeRobust(const std::vector<double>& y, size_t period,
+                              size_t trend_window) {
+  EXPLAINIT_CHECK(period >= 2, "period must be >= 2");
+  const size_t n = y.size();
+  Decomposition d;
+  // Periodic median profile, centred to zero mean.
+  std::vector<std::vector<double>> phases(period);
+  for (size_t i = 0; i < n; ++i) phases[i % period].push_back(y[i]);
+  std::vector<double> profile(period, 0.0);
+  double grand = 0.0;
+  for (size_t k = 0; k < period; ++k) {
+    profile[k] = Median(phases[k]);
+    grand += profile[k];
+  }
+  grand /= static_cast<double>(period);
+  for (double& p : profile) p -= grand;
+  d.seasonal.resize(n);
+  std::vector<double> deseasonalised(n);
+  for (size_t i = 0; i < n; ++i) {
+    d.seasonal[i] = profile[i % period];
+    deseasonalised[i] = y[i] - d.seasonal[i];
+  }
+  d.trend = RunningMedian(deseasonalised, trend_window);
+  d.residual.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    d.residual[i] = y[i] - d.trend[i] - d.seasonal[i];
+  }
+  return d;
+}
+
+double Autocorrelation(const std::vector<double>& y, size_t lag) {
+  const size_t n = y.size();
+  if (lag >= n || n < 2) return 0.0;
+  double mean = 0.0;
+  for (double v : y) mean += v;
+  mean /= static_cast<double>(n);
+  double num = 0.0, den = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = y[i] - mean;
+    den += d * d;
+    if (i + lag < n) num += d * (y[i + lag] - mean);
+  }
+  if (den <= 1e-24) return 0.0;
+  return num / den;
+}
+
+size_t DetectPeriod(const std::vector<double>& y, size_t min_period,
+                    size_t max_period, double threshold) {
+  const size_t n = y.size();
+  if (n < 4 || min_period < 2) return 0;
+  max_period = std::min(max_period, n / 2);
+  // Linearly detrend first: a ramp keeps the autocorrelation high at every
+  // lag, which would masquerade as periodicity.
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double xi = static_cast<double>(i);
+    sx += xi;
+    sy += y[i];
+    sxx += xi * xi;
+    sxy += xi * y[i];
+  }
+  const double denom = static_cast<double>(n) * sxx - sx * sx;
+  const double slope = denom > 1e-12
+                           ? (static_cast<double>(n) * sxy - sx * sy) / denom
+                           : 0.0;
+  const double intercept = (sy - slope * sx) / static_cast<double>(n);
+  std::vector<double> detrended(n);
+  for (size_t i = 0; i < n; ++i) {
+    detrended[i] = y[i] - (intercept + slope * static_cast<double>(i));
+  }
+  size_t best_lag = 0;
+  double best_acf = threshold;
+  for (size_t lag = min_period; lag <= max_period; ++lag) {
+    const double acf = Autocorrelation(detrended, lag);
+    if (acf <= best_acf) continue;
+    // A true period's autocorrelation is a local peak...
+    if (acf < Autocorrelation(detrended, lag - 1) ||
+        acf < Autocorrelation(detrended, lag + 1)) {
+      continue;
+    }
+    // ... and repeats at its harmonic (2x lag). Noise humps do not.
+    if (2 * lag < n &&
+        Autocorrelation(detrended, 2 * lag) < threshold / 2.0) {
+      continue;
+    }
+    best_acf = acf;
+    best_lag = lag;
+  }
+  return best_lag;
+}
+
+double Median(std::vector<double> y) {
+  if (y.empty()) return 0.0;
+  const size_t mid = y.size() / 2;
+  std::nth_element(y.begin(), y.begin() + mid, y.end());
+  double m = y[mid];
+  if (y.size() % 2 == 0) {
+    std::nth_element(y.begin(), y.begin() + mid - 1, y.begin() + mid);
+    m = 0.5 * (m + y[mid - 1]);
+  }
+  return m;
+}
+
+std::vector<size_t> DetectSpikes(const std::vector<double>& y,
+                                 double k_sigma) {
+  std::vector<size_t> out;
+  if (y.size() < 4) return out;
+  const double med = Median(y);
+  std::vector<double> absdev(y.size());
+  for (size_t i = 0; i < y.size(); ++i) absdev[i] = std::abs(y[i] - med);
+  const double mad = Median(absdev);
+  // 1.4826 converts MAD to a sigma-equivalent under normality.
+  const double sigma = std::max(1.4826 * mad, 1e-12);
+  for (size_t i = 0; i < y.size(); ++i) {
+    if (y[i] > med + k_sigma * sigma) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace explainit::stats

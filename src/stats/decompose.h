@@ -1,0 +1,65 @@
+// Seasonal/trend decomposition and periodicity detection — the machinery
+// behind pseudocauses (§3.4, Figure 3): split Y into Ys (seasonal + trend)
+// and Yr (residual), then condition on Ys to search for causes specific to
+// the residual variation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace explainit::stats {
+
+/// Decomposition of a series into trend + seasonal + residual
+/// (additive model: y = trend + seasonal + residual).
+struct Decomposition {
+  std::vector<double> trend;
+  std::vector<double> seasonal;
+  std::vector<double> residual;
+
+  /// The pseudocause series Ys = trend + seasonal of §3.4.
+  std::vector<double> Systematic() const;
+};
+
+/// Centred moving average of window `w` (w forced odd; edges use shrunken
+/// windows so the output has the same length).
+std::vector<double> MovingAverage(const std::vector<double>& y, size_t w);
+
+/// Classical additive decomposition with a known period: the trend is a
+/// centred moving average over one period; the seasonal component is the
+/// periodic mean of the detrended series (re-centred to sum to zero).
+Decomposition DecomposeAdditive(const std::vector<double>& y, size_t period);
+
+/// Trend-only decomposition (no seasonality): trend = moving average of the
+/// given window, seasonal = 0.
+Decomposition DecomposeTrend(const std::vector<double>& y, size_t window);
+
+/// Running median of window `w` (forced odd; shrunken windows at edges).
+/// Unlike the moving average, transient spikes shorter than w/2 do not
+/// leak into the output.
+std::vector<double> RunningMedian(const std::vector<double>& y, size_t w);
+
+/// Robust decomposition for pseudocauses (§3.4): the seasonal profile is
+/// the periodic *median* and the trend is a running median of the
+/// deseasonalised series, so anomalous spikes stay in the residual rather
+/// than contaminating the systematic component Ys.
+Decomposition DecomposeRobust(const std::vector<double>& y, size_t period,
+                              size_t trend_window);
+
+/// Sample autocorrelation at the given lag (biased estimator).
+double Autocorrelation(const std::vector<double>& y, size_t lag);
+
+/// Detects the dominant period by scanning autocorrelation peaks in
+/// [min_period, max_period]. Returns 0 when no lag has autocorrelation
+/// above `threshold`.
+size_t DetectPeriod(const std::vector<double>& y, size_t min_period,
+                    size_t max_period, double threshold = 0.3);
+
+/// Simple spike detector: indices where y exceeds median + k * MAD-derived
+/// sigma. Used by the case-study benches (Figures 5, 7, 8).
+std::vector<size_t> DetectSpikes(const std::vector<double>& y,
+                                 double k_sigma = 3.0);
+
+/// Median of a series (copy; series may be unsorted).
+double Median(std::vector<double> y);
+
+}  // namespace explainit::stats

@@ -1,0 +1,164 @@
+#include "stats/distributions.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace explainit::stats {
+
+double LogGamma(double x) {
+  // Lanczos approximation, g = 7, n = 9.
+  static const double kCoeffs[9] = {
+      0.99999999999980993,  676.5203681218851,   -1259.1392167224028,
+      771.32342877765313,   -176.61502916214059, 12.507343278686905,
+      -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+  if (x < 0.5) {
+    // Reflection formula.
+    return std::log(M_PI / std::sin(M_PI * x)) - LogGamma(1.0 - x);
+  }
+  x -= 1.0;
+  double a = kCoeffs[0];
+  const double t = x + 7.5;
+  for (int i = 1; i < 9; ++i) a += kCoeffs[i] / (x + i);
+  return 0.5 * std::log(2.0 * M_PI) + (x + 0.5) * std::log(t) - t +
+         std::log(a);
+}
+
+namespace {
+// Continued fraction for the incomplete beta function (NR 6.4).
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-14;
+  constexpr double kFpMin = 1e-300;
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::abs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+}  // namespace
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_bt = LogGamma(a + b) - LogGamma(a) - LogGamma(b) +
+                       a * std::log(x) + b * std::log(1.0 - x);
+  const double bt = std::exp(ln_bt);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return bt * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - bt * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double RegularizedLowerGamma(double a, double x) {
+  if (x <= 0.0) return 0.0;
+  if (a <= 0.0) return 1.0;
+  if (x < a + 1.0) {
+    // Series representation.
+    double sum = 1.0 / a;
+    double term = sum;
+    double ap = a;
+    for (int i = 0; i < 500; ++i) {
+      ap += 1.0;
+      term *= x / ap;
+      sum += term;
+      if (std::abs(term) < std::abs(sum) * 1e-15) break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - LogGamma(a));
+  }
+  // Continued fraction for the upper tail.
+  constexpr double kFpMin = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kFpMin;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -i * (i - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < kFpMin) d = kFpMin;
+    c = b + an / c;
+    if (std::abs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < 1e-15) break;
+  }
+  const double q = std::exp(-x + a * std::log(x) - LogGamma(a)) * h;
+  return 1.0 - q;
+}
+
+BetaDistribution::BetaDistribution(double a, double b) : a_(a), b_(b) {
+  EXPLAINIT_CHECK(a > 0.0 && b > 0.0, "Beta parameters must be positive");
+  log_norm_ = LogGamma(a) + LogGamma(b) - LogGamma(a + b);
+}
+
+double BetaDistribution::Pdf(double x) const {
+  if (x <= 0.0 || x >= 1.0) {
+    // Allow the boundary when the shape admits it.
+    if (x == 0.0 && a_ < 1.0) return std::numeric_limits<double>::infinity();
+    if (x == 1.0 && b_ < 1.0) return std::numeric_limits<double>::infinity();
+    return 0.0;
+  }
+  return std::exp((a_ - 1.0) * std::log(x) + (b_ - 1.0) * std::log(1.0 - x) -
+                  log_norm_);
+}
+
+double BetaDistribution::Cdf(double x) const {
+  return RegularizedIncompleteBeta(a_, b_, x);
+}
+
+double BetaDistribution::Mean() const { return a_ / (a_ + b_); }
+
+double BetaDistribution::Variance() const {
+  const double s = a_ + b_;
+  return a_ * b_ / (s * s * (s + 1.0));
+}
+
+BetaDistribution NullR2Distribution(size_t n, size_t p) {
+  EXPLAINIT_CHECK(p >= 2 && n > p, "NullR2Distribution needs 2 <= p < n");
+  return BetaDistribution((static_cast<double>(p) - 1.0) / 2.0,
+                          (static_cast<double>(n) - static_cast<double>(p)) /
+                              2.0);
+}
+
+ChiSquaredDistribution::ChiSquaredDistribution(double df) : df_(df) {
+  EXPLAINIT_CHECK(df > 0.0, "chi-squared df must be positive");
+}
+
+double ChiSquaredDistribution::Cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return RegularizedLowerGamma(df_ / 2.0, x / 2.0);
+}
+
+double NormalPdf(double x) {
+  return std::exp(-0.5 * x * x) / std::sqrt(2.0 * M_PI);
+}
+
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+}  // namespace explainit::stats

@@ -1,0 +1,78 @@
+// Probability distributions for the Appendix A false-positive analysis:
+// under the null, the OLS r2 statistic is Beta((p-1)/2, (n-p)/2)
+// distributed; ridge RSS is chi-squared with data-dependent effective
+// degrees of freedom.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace explainit::stats {
+
+/// Natural log of the gamma function (Lanczos approximation).
+double LogGamma(double x);
+
+/// Regularised incomplete beta function I_x(a, b) via the continued
+/// fraction expansion (Numerical Recipes style). Domain: x in [0,1],
+/// a, b > 0.
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// Regularised lower incomplete gamma P(a, x).
+double RegularizedLowerGamma(double a, double x);
+
+/// Beta(a, b) distribution.
+class BetaDistribution {
+ public:
+  BetaDistribution(double a, double b);
+  double Pdf(double x) const;
+  double Cdf(double x) const;
+  /// Upper-tail probability P(X >= x).
+  double Sf(double x) const { return 1.0 - Cdf(x); }
+  double Mean() const;
+  double Variance() const;
+
+ private:
+  double a_;
+  double b_;
+  double log_norm_;  // log B(a,b)
+};
+
+/// The null distribution of the OLS r2 statistic with p predictors and n
+/// data points: Beta((p-1)/2, (n-p)/2) (Appendix A.1).
+BetaDistribution NullR2Distribution(size_t n, size_t p);
+
+/// Chi-squared distribution with (possibly fractional, for ridge effective
+/// df) degrees of freedom.
+class ChiSquaredDistribution {
+ public:
+  explicit ChiSquaredDistribution(double df);
+  double Cdf(double x) const;
+  double Mean() const { return df_; }
+  double Variance() const { return 2.0 * df_; }
+
+ private:
+  double df_;
+};
+
+/// Standard normal pdf/cdf.
+double NormalPdf(double x);
+double NormalCdf(double x);
+
+/// Kolmogorov–Smirnov statistic between an empirical sample and a reference
+/// CDF; used by the Figure 12 bench to check r2 ~ Beta under the null.
+template <typename CdfFn>
+double KolmogorovSmirnovStatistic(std::vector<double> sample, CdfFn cdf) {
+  std::sort(sample.begin(), sample.end());
+  const double n = static_cast<double>(sample.size());
+  double d = 0.0;
+  for (size_t i = 0; i < sample.size(); ++i) {
+    const double f = cdf(sample[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max(d, std::max(f - lo, hi - f));
+  }
+  return d;
+}
+
+}  // namespace explainit::stats

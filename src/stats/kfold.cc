@@ -1,0 +1,37 @@
+#include "stats/kfold.h"
+
+#include <algorithm>
+
+namespace explainit::stats {
+
+std::vector<Fold> ContiguousKFold(size_t n, size_t k) {
+  std::vector<Fold> folds;
+  if (n == 0) return folds;
+  k = std::max<size_t>(1, k);
+  if (n < 2 * k) {
+    // Too few points for the requested fold count: a single trailing
+    // validation block of ~25% keeps train/validation disjoint in time.
+    const size_t val = std::max<size_t>(1, n / 4);
+    folds.push_back(Fold{n - val, n});
+    return folds;
+  }
+  const size_t base = n / k;
+  size_t rem = n % k;
+  size_t begin = 0;
+  for (size_t i = 0; i < k; ++i) {
+    size_t len = base + (i < rem ? 1 : 0);
+    folds.push_back(Fold{begin, begin + len});
+    begin += len;
+  }
+  return folds;
+}
+
+std::vector<size_t> TrainIndices(const Fold& fold, size_t n) {
+  std::vector<size_t> idx;
+  idx.reserve(n - (fold.val_end - fold.val_begin));
+  for (size_t i = 0; i < fold.val_begin; ++i) idx.push_back(i);
+  for (size_t i = fold.val_end; i < n; ++i) idx.push_back(i);
+  return idx;
+}
+
+}  // namespace explainit::stats

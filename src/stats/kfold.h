@@ -1,0 +1,26 @@
+// Time-aware k-fold splits. §3.5: "we ensure that the validation set's time
+// range does not overlap the training set's time range" — folds are
+// contiguous blocks of the time axis, never shuffled.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace explainit::stats {
+
+/// One cross-validation fold over a contiguous time axis: the validation
+/// rows are [val_begin, val_end); every other row is training.
+struct Fold {
+  size_t val_begin = 0;
+  size_t val_end = 0;
+};
+
+/// Splits `n` time-ordered rows into k contiguous validation blocks.
+/// If n < 2k the split degrades gracefully to fewer folds (at least 1 with
+/// a trailing validation block).
+std::vector<Fold> ContiguousKFold(size_t n, size_t k);
+
+/// Returns the training-row indices for a fold (all rows outside the block).
+std::vector<size_t> TrainIndices(const Fold& fold, size_t n);
+
+}  // namespace explainit::stats

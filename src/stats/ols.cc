@@ -1,0 +1,49 @@
+#include "stats/ols.h"
+
+#include "la/blas.h"
+#include "la/cholesky.h"
+#include "la/standardize.h"
+#include "stats/ridge.h"
+
+namespace explainit::stats {
+
+double AdjustedR2(double r2, size_t n, size_t p) {
+  if (n <= p) return r2;  // adjustment undefined; fall back to plain r2
+  const double nn = static_cast<double>(n);
+  const double pp = static_cast<double>(p);
+  return 1.0 - (1.0 - r2) * (nn - 1.0) / (nn - pp);
+}
+
+Result<OlsResult> OlsFit(const la::Matrix& x, const la::Matrix& y) {
+  if (x.rows() != y.rows()) {
+    return Status::InvalidArgument("ols: X/Y row mismatch");
+  }
+  if (x.rows() <= x.cols()) {
+    return Status::InvalidArgument(
+        "ols: need more data points than predictors (T > p)");
+  }
+  la::Matrix xc = la::CenterColumns(x);
+  la::Matrix yc = la::CenterColumns(y);
+  la::Matrix g = la::Gram(xc);
+  la::Matrix xty = la::MatTMul(xc, yc);
+  EXPLAINIT_ASSIGN_OR_RETURN(la::Matrix beta, la::SolveSpd(g, xty));
+
+  OlsResult out;
+  out.coefficients = std::move(beta);
+  la::Matrix fitted_c = la::MatMul(xc, out.coefficients);
+  // Fitted values in original units: add back the Y column means.
+  la::ColumnStats ystats = la::ComputeColumnStats(y);
+  out.fitted = la::Matrix(y.rows(), y.cols());
+  for (size_t r = 0; r < y.rows(); ++r) {
+    for (size_t c = 0; c < y.cols(); ++c) {
+      out.fitted(r, c) = fitted_c(r, c) + ystats.mean[c];
+    }
+  }
+  out.residuals = y;
+  out.residuals.SubInPlace(out.fitted);
+  out.r2 = RSquared(y, out.fitted);
+  out.r2_adjusted = AdjustedR2(out.r2, x.rows(), x.cols());
+  return out;
+}
+
+}  // namespace explainit::stats

@@ -1,0 +1,30 @@
+// Ordinary least squares with in-sample r2 and Wherry-adjusted r2 —
+// needed for the Appendix A analysis (Figure 12) and as the exposition
+// baseline for the conditional-independence proof of Appendix B.
+#pragma once
+
+#include "common/result.h"
+#include "la/matrix.h"
+
+namespace explainit::stats {
+
+/// Result of an OLS fit of a univariate or multi-output target.
+struct OlsResult {
+  la::Matrix coefficients;  // p x q
+  la::Matrix fitted;        // T x q
+  la::Matrix residuals;     // T x q
+  /// Plain in-sample r2 = 1 - RSS/TSS (column averaged).
+  double r2 = 0.0;
+  /// Wherry's adjustment: 1 - (1 - r2) (n - 1) / (n - p) (Appendix A).
+  double r2_adjusted = 0.0;
+};
+
+/// Fits Y ~ X by ordinary least squares on centred data (an intercept is
+/// handled implicitly by centring; coefficients refer to centred inputs).
+/// Requires T > p; a tiny diagonal jitter guards rank deficiency.
+Result<OlsResult> OlsFit(const la::Matrix& x, const la::Matrix& y);
+
+/// Wherry's adjusted r2 given plain r2, n data points, p predictors.
+double AdjustedR2(double r2, size_t n, size_t p);
+
+}  // namespace explainit::stats

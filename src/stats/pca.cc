@@ -1,0 +1,112 @@
+#include "stats/pca.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "la/blas.h"
+#include "la/standardize.h"
+
+namespace explainit::stats {
+
+Result<PcaResult> ComputePca(const la::Matrix& x, size_t k,
+                             size_t max_iterations, double tolerance) {
+  if (x.rows() < 2 || x.cols() == 0) {
+    return Status::InvalidArgument("pca: need at least 2 rows, 1 column");
+  }
+  k = std::min(k, x.cols());
+  la::Matrix xc = la::CenterColumns(x);
+  la::Matrix cov = la::Gram(xc);
+  cov.ScaleInPlace(1.0 / static_cast<double>(x.rows()));
+  const size_t n = cov.rows();
+
+  PcaResult out;
+  out.components = la::Matrix(n, k);
+  out.eigenvalues.resize(k, 0.0);
+
+  std::vector<double> v(n), w(n);
+  uint64_t seed_state = 0x5bf03635ULL;
+  for (size_t comp = 0; comp < k; ++comp) {
+    // Deterministic quasi-random start.
+    for (size_t i = 0; i < n; ++i) {
+      seed_state = seed_state * 6364136223846793005ULL + 1442695040888963407ULL;
+      v[i] = static_cast<double>((seed_state >> 33) % 1000) / 1000.0 + 1e-3;
+    }
+    double eigenvalue = 0.0;
+    for (size_t iter = 0; iter < max_iterations; ++iter) {
+      // w = cov * v
+      for (size_t i = 0; i < n; ++i) {
+        const double* row = cov.Row(i);
+        double acc = 0.0;
+        for (size_t j = 0; j < n; ++j) acc += row[j] * v[j];
+        w[i] = acc;
+      }
+      double norm = 0.0;
+      for (double val : w) norm += val * val;
+      norm = std::sqrt(norm);
+      if (norm <= 1e-30) break;  // null space
+      double diff = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        const double nv = w[i] / norm;
+        diff += std::abs(nv - v[i]);
+        v[i] = nv;
+      }
+      eigenvalue = norm;
+      if (diff < tolerance) break;
+    }
+    out.eigenvalues[comp] = eigenvalue;
+    for (size_t i = 0; i < n; ++i) out.components(i, comp) = v[i];
+    // Deflate: cov -= eigenvalue * v v^T.
+    for (size_t i = 0; i < n; ++i) {
+      double* row = cov.Row(i);
+      const double vi = v[i];
+      for (size_t j = 0; j < n; ++j) row[j] -= eigenvalue * vi * v[j];
+    }
+  }
+  return out;
+}
+
+la::Matrix PcaTransform(const la::Matrix& x, const PcaResult& pca) {
+  la::Matrix xc = la::CenterColumns(x);
+  return la::MatMul(xc, pca.components);
+}
+
+std::vector<double> SymmetricEigenvalues(la::Matrix a, size_t max_sweeps) {
+  const size_t n = a.rows();
+  EXPLAINIT_CHECK(n == a.cols(), "eigenvalues need a square matrix");
+  for (size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) off += a(i, j) * a(i, j);
+    }
+    if (off < 1e-22) break;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = a(p, p), aqq = a(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (size_t i = 0; i < n; ++i) {
+          const double aip = a(i, p), aiq = a(i, q);
+          a(i, p) = c * aip - s * aiq;
+          a(i, q) = s * aip + c * aiq;
+        }
+        for (size_t i = 0; i < n; ++i) {
+          const double api = a(p, i), aqi = a(q, i);
+          a(p, i) = c * api - s * aqi;
+          a(q, i) = s * api + c * aqi;
+        }
+      }
+    }
+  }
+  std::vector<double> eig(n);
+  for (size_t i = 0; i < n; ++i) eig[i] = a(i, i);
+  std::sort(eig.begin(), eig.end(), std::greater<double>());
+  return eig;
+}
+
+}  // namespace explainit::stats

@@ -1,0 +1,33 @@
+// Principal component analysis via power iteration with deflation.
+// Included to reproduce the §4.2 observation that PCA-based dimensionality
+// reduction can hurt scoring (it models normal behaviour and discards the
+// anomaly directions needed to explain the target).
+#pragma once
+
+#include "common/result.h"
+#include "la/matrix.h"
+
+namespace explainit::stats {
+
+/// Result of a truncated PCA.
+struct PcaResult {
+  la::Matrix components;            // n x k, orthonormal columns
+  std::vector<double> eigenvalues;  // k, descending
+};
+
+/// Computes the top-k principal components of the columns of X (T x n)
+/// using power iteration with deflation on the covariance matrix.
+Result<PcaResult> ComputePca(const la::Matrix& x, size_t k,
+                             size_t max_iterations = 300,
+                             double tolerance = 1e-9);
+
+/// Projects X (T x n) onto the top-k components: returns X_c * components.
+la::Matrix PcaTransform(const la::Matrix& x, const PcaResult& pca);
+
+/// Eigenvalues of X^T X (all of them) via Jacobi rotations — used for the
+/// ridge effective-degrees-of-freedom computation (Appendix A). Suitable
+/// for the moderate p used in significance analysis.
+std::vector<double> SymmetricEigenvalues(la::Matrix a,
+                                         size_t max_sweeps = 30);
+
+}  // namespace explainit::stats

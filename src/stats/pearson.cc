@@ -1,0 +1,74 @@
+#include "stats/pearson.h"
+
+#include <cmath>
+
+#include "la/blas.h"
+#include "la/standardize.h"
+
+namespace explainit::stats {
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  EXPLAINIT_CHECK(a.size() == b.size(), "correlation length mismatch");
+  const size_t n = a.size();
+  if (n < 2) return 0.0;
+  double ma = 0.0, mb = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= static_cast<double>(n);
+  mb /= static_cast<double>(n);
+  double sab = 0.0, saa = 0.0, sbb = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    sab += da * db;
+    saa += da * da;
+    sbb += db * db;
+  }
+  if (saa <= 1e-24 || sbb <= 1e-24) return 0.0;
+  double r = sab / std::sqrt(saa * sbb);
+  if (r > 1.0) r = 1.0;
+  if (r < -1.0) r = -1.0;
+  return r;
+}
+
+la::Matrix CorrelationMatrix(const la::Matrix& x, const la::Matrix& y) {
+  EXPLAINIT_CHECK(x.rows() == y.rows(), "correlation rows mismatch");
+  const double t = static_cast<double>(x.rows());
+  la::ColumnStats xs = la::ComputeColumnStats(x);
+  la::ColumnStats ys = la::ComputeColumnStats(y);
+  la::Matrix xstd = la::StandardizeWith(x, xs);
+  la::Matrix ystd = la::StandardizeWith(y, ys);
+  la::Matrix corr = la::MatTMul(xstd, ystd);
+  corr.ScaleInPlace(1.0 / t);
+  // Clamp numerical overshoot; standardised constant columns give 0 already.
+  for (size_t i = 0; i < corr.rows(); ++i) {
+    double* row = corr.Row(i);
+    for (size_t j = 0; j < corr.cols(); ++j) {
+      if (row[j] > 1.0) row[j] = 1.0;
+      if (row[j] < -1.0) row[j] = -1.0;
+    }
+  }
+  return corr;
+}
+
+CorrSummary CorrelationSummary(const la::Matrix& x, const la::Matrix& y) {
+  la::Matrix corr = CorrelationMatrix(x, y);
+  CorrSummary s;
+  if (corr.size() == 0) return s;
+  double sum = 0.0;
+  for (size_t i = 0; i < corr.rows(); ++i) {
+    const double* row = corr.Row(i);
+    for (size_t j = 0; j < corr.cols(); ++j) {
+      const double a = std::abs(row[j]);
+      sum += a;
+      if (a > s.max_abs) s.max_abs = a;
+    }
+  }
+  s.mean_abs = sum / static_cast<double>(corr.size());
+  return s;
+}
+
+}  // namespace explainit::stats

@@ -1,0 +1,31 @@
+// Pearson product-moment correlation — the univariate scoring kernel
+// (CorrMean / CorrMax in §3.5).
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace explainit::stats {
+
+/// Pearson correlation of two equal-length series. Returns 0 when either
+/// series is (numerically) constant — a constant metric carries no signal.
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+/// Full cross-correlation matrix between the columns of X (T x nx) and the
+/// columns of Y (T x ny); the result is (nx x ny). Computed as a single
+/// GEMM over standardised columns, which is the "dense arrays" fast path.
+la::Matrix CorrelationMatrix(const la::Matrix& x, const la::Matrix& y);
+
+/// Summary statistics of the absolute correlation matrix.
+struct CorrSummary {
+  double mean_abs = 0.0;  // CorrMean
+  double max_abs = 0.0;   // CorrMax
+};
+
+/// Computes both CorrMean and CorrMax in one pass without materialising the
+/// (nx x ny) matrix when not needed.
+CorrSummary CorrelationSummary(const la::Matrix& x, const la::Matrix& y);
+
+}  // namespace explainit::stats

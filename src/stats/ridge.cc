@@ -1,0 +1,184 @@
+#include "stats/ridge.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/blas.h"
+#include "la/cholesky.h"
+#include "la/standardize.h"
+
+namespace explainit::stats {
+
+namespace {
+
+// Gathers the given rows of m into a new matrix.
+la::Matrix GatherRows(const la::Matrix& m, const std::vector<size_t>& rows) {
+  la::Matrix out(rows.size(), m.cols());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::copy(m.Row(rows[i]), m.Row(rows[i]) + m.cols(), out.Row(i));
+  }
+  return out;
+}
+
+// Adds lambda to the diagonal of a square matrix (copy).
+la::Matrix AddRidge(const la::Matrix& g, double lambda) {
+  la::Matrix a = g;
+  for (size_t i = 0; i < a.rows(); ++i) a(i, i) += lambda;
+  return a;
+}
+
+}  // namespace
+
+double RSquared(const la::Matrix& observed, const la::Matrix& predicted) {
+  EXPLAINIT_CHECK(observed.rows() == predicted.rows() &&
+                      observed.cols() == predicted.cols(),
+                  "RSquared shape mismatch");
+  const size_t t = observed.rows(), q = observed.cols();
+  if (t == 0 || q == 0) return 0.0;
+  std::vector<double> mean(q, 0.0);
+  for (size_t r = 0; r < t; ++r) {
+    const double* row = observed.Row(r);
+    for (size_t c = 0; c < q; ++c) mean[c] += row[c];
+  }
+  for (double& m : mean) m /= static_cast<double>(t);
+  std::vector<double> rss(q, 0.0), tss(q, 0.0);
+  for (size_t r = 0; r < t; ++r) {
+    const double* obs = observed.Row(r);
+    const double* pred = predicted.Row(r);
+    for (size_t c = 0; c < q; ++c) {
+      const double e = obs[c] - pred[c];
+      const double d = obs[c] - mean[c];
+      rss[c] += e * e;
+      tss[c] += d * d;
+    }
+  }
+  double acc = 0.0;
+  size_t used = 0;
+  for (size_t c = 0; c < q; ++c) {
+    if (tss[c] <= 1e-24) continue;  // constant target: no variance to explain
+    acc += 1.0 - rss[c] / tss[c];
+    ++used;
+  }
+  return used == 0 ? 0.0 : acc / static_cast<double>(used);
+}
+
+RidgeRegression::RidgeRegression(RidgeOptions options)
+    : options_(std::move(options)) {
+  EXPLAINIT_CHECK(!options_.lambdas.empty(), "empty lambda grid");
+}
+
+Result<la::Matrix> RidgeRegression::Solve(const la::Matrix& x,
+                                          const la::Matrix& y, double lambda) {
+  if (x.rows() != y.rows()) {
+    return Status::InvalidArgument("ridge: X/Y row mismatch");
+  }
+  const size_t t = x.rows(), p = x.cols();
+  if (p <= t) {
+    la::Matrix g = la::Gram(x);                 // p x p
+    la::Matrix xty = la::MatTMul(x, y);         // p x q
+    return la::SolveSpd(AddRidge(g, lambda), xty);
+  }
+  // Dual form: beta = X^T (X X^T + lambda I)^{-1} Y.
+  la::Matrix k = la::GramT(x);                  // t x t
+  EXPLAINIT_ASSIGN_OR_RETURN(la::Matrix alpha,
+                             la::SolveSpd(AddRidge(k, lambda), y));
+  return la::MatTMul(x, alpha);                 // p x q
+}
+
+Result<RidgeCvResult> RidgeRegression::FitCv(const la::Matrix& x,
+                                             const la::Matrix& y) const {
+  if (x.rows() != y.rows()) {
+    return Status::InvalidArgument("ridge: X/Y row mismatch");
+  }
+  if (x.rows() < 8) {
+    return Status::InvalidArgument("ridge: need at least 8 data points");
+  }
+  if (x.cols() == 0 || y.cols() == 0) {
+    return Status::InvalidArgument("ridge: empty feature or target matrix");
+  }
+  const size_t t = x.rows();
+  const size_t num_lambdas = options_.lambdas.size();
+  std::vector<double> lambda_r2_sum(num_lambdas, 0.0);
+
+  const std::vector<Fold> folds = ContiguousKFold(t, options_.num_folds);
+  for (const Fold& fold : folds) {
+    const std::vector<size_t> train_idx = TrainIndices(fold, t);
+    la::Matrix xtr = GatherRows(x, train_idx);
+    la::Matrix ytr = GatherRows(y, train_idx);
+    la::Matrix xval = x.SliceRows(fold.val_begin, fold.val_end);
+    la::Matrix yval = y.SliceRows(fold.val_begin, fold.val_end);
+
+    la::ColumnStats xstats, ystats;
+    if (options_.standardize) {
+      xstats = la::ComputeColumnStats(xtr);
+      ystats = la::ComputeColumnStats(ytr);
+      xtr = la::StandardizeWith(xtr, xstats);
+      ytr = la::StandardizeWith(ytr, ystats);
+      xval = la::StandardizeWith(xval, xstats);
+      yval = la::StandardizeWith(yval, ystats);
+    }
+
+    const size_t ttr = xtr.rows(), p = xtr.cols();
+    if (p <= ttr) {
+      // Primal path: Gram and X^T Y computed once, reused for every lambda.
+      la::Matrix g = la::Gram(xtr);
+      la::Matrix xty = la::MatTMul(xtr, ytr);
+      for (size_t li = 0; li < num_lambdas; ++li) {
+        Result<la::Matrix> beta =
+            la::SolveSpd(AddRidge(g, options_.lambdas[li]), xty);
+        if (!beta.ok()) return beta.status();
+        la::Matrix pred = la::MatMul(xval, beta.value());
+        lambda_r2_sum[li] += RSquared(yval, pred);
+      }
+    } else {
+      // Dual path: kernel matrices computed once, reused for every lambda.
+      la::Matrix k = la::GramT(xtr);          // ttr x ttr
+      la::Matrix kval = la::MatMulT(xval, xtr);  // tval x ttr
+      for (size_t li = 0; li < num_lambdas; ++li) {
+        Result<la::Matrix> alpha =
+            la::SolveSpd(AddRidge(k, options_.lambdas[li]), ytr);
+        if (!alpha.ok()) return alpha.status();
+        la::Matrix pred = la::MatMul(kval, alpha.value());
+        lambda_r2_sum[li] += RSquared(yval, pred);
+      }
+    }
+  }
+
+  RidgeCvResult out;
+  out.per_lambda_r2.resize(num_lambdas);
+  size_t best = 0;
+  for (size_t li = 0; li < num_lambdas; ++li) {
+    out.per_lambda_r2[li] =
+        lambda_r2_sum[li] / static_cast<double>(folds.size());
+    if (out.per_lambda_r2[li] > out.per_lambda_r2[best]) best = li;
+  }
+  out.best_lambda = options_.lambdas[best];
+  out.cv_r2 = out.per_lambda_r2[best];
+
+  // Final refit on all data at the selected penalty, for residuals.
+  la::Matrix xfull = x, yfull = y;
+  la::ColumnStats xstats, ystats;
+  if (options_.standardize) {
+    xfull = la::Standardize(x, &xstats);
+    yfull = la::Standardize(y, &ystats);
+  }
+  EXPLAINIT_ASSIGN_OR_RETURN(out.coefficients,
+                             Solve(xfull, yfull, out.best_lambda));
+  la::Matrix fitted_std = la::MatMul(xfull, out.coefficients);
+  // Map fitted values back to original Y units.
+  out.fitted = la::Matrix(t, y.cols());
+  for (size_t r = 0; r < t; ++r) {
+    const double* src = fitted_std.Row(r);
+    double* dst = out.fitted.Row(r);
+    for (size_t c = 0; c < y.cols(); ++c) {
+      dst[c] = options_.standardize
+                   ? src[c] * ystats.stddev[c] + ystats.mean[c]
+                   : src[c];
+    }
+  }
+  out.residuals = y;
+  out.residuals.SubInPlace(out.fitted);
+  return out;
+}
+
+}  // namespace explainit::stats

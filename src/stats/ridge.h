@@ -1,0 +1,80 @@
+// Penalised (L2 / Ridge) multi-output linear regression with time-aware
+// k-fold cross-validation and a grid search over the penalty — the joint
+// scoring engine of §3.5.
+//
+// Cost model (paper §4.3, Table 2): per regression the dominant term is
+// O(ny * min(T * nx^2, T^2 * nx)); the implementation switches between the
+// primal normal equations (nx <= T_train) and the dual/kernel form
+// (nx > T_train) to realise the min(). The Gram matrix is formed once per
+// fold and reused across the whole lambda grid.
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "la/matrix.h"
+#include "stats/kfold.h"
+
+namespace explainit::stats {
+
+/// Options for cross-validated ridge regression.
+struct RidgeOptions {
+  /// Penalty grid; the paper grid-searches over L ~ 3-5 values.
+  std::vector<double> lambdas = {0.1, 10.0, 1000.0};
+  /// k in k-fold cross-validation (paper: k = 5), contiguous time blocks.
+  size_t num_folds = 5;
+  /// Standardise X and Y per fold using training-set statistics (no
+  /// leakage of validation data into scaling).
+  bool standardize = true;
+};
+
+/// Result of a cross-validated fit.
+struct RidgeCvResult {
+  /// Penalty selected by cross-validation (max mean validation r2).
+  double best_lambda = 0.0;
+  /// Mean out-of-sample r2 at the best lambda. This is the paper's score:
+  /// an estimate of variance explained on unseen data, which behaves like
+  /// the adjusted r2 (Appendix A). May be negative when X predicts worse
+  /// than the validation mean; callers clip to [0, 1] for ranking.
+  double cv_r2 = 0.0;
+  /// Mean validation r2 per grid entry (parallel to options.lambdas).
+  std::vector<double> per_lambda_r2;
+  /// Coefficients (p x q) of a final fit on all data at best_lambda, in
+  /// standardised coordinates.
+  la::Matrix coefficients;
+  /// Fitted values on the full data, in original Y units (T x q).
+  la::Matrix fitted;
+  /// Residuals Y - fitted, in original Y units (T x q). These are the
+  /// R_{Y;X} inputs of the conditional procedure (§3.5, Appendix B).
+  la::Matrix residuals;
+};
+
+/// Cross-validated multi-output ridge regression.
+class RidgeRegression {
+ public:
+  explicit RidgeRegression(RidgeOptions options = {});
+
+  /// Fits Y (T x q) on X (T x p) with k-fold CV over the lambda grid and a
+  /// final full-data refit at the selected penalty.
+  ///
+  /// Fails with InvalidArgument on shape mismatch or fewer than 8 rows.
+  Result<RidgeCvResult> FitCv(const la::Matrix& x, const la::Matrix& y) const;
+
+  /// Single ridge solve at a fixed penalty on given (already prepared)
+  /// data; returns the coefficient matrix (p x q). Exposed for tests and
+  /// for the null-distribution experiments (Figure 13).
+  static Result<la::Matrix> Solve(const la::Matrix& x, const la::Matrix& y,
+                                  double lambda);
+
+  const RidgeOptions& options() const { return options_; }
+
+ private:
+  RidgeOptions options_;
+};
+
+/// r2 = 1 - RSS/TSS of predictions vs observations, column-averaged.
+/// TSS is measured around the observation mean (per column). Columns whose
+/// observations are constant are skipped; returns 0 if all are.
+double RSquared(const la::Matrix& observed, const la::Matrix& predicted);
+
+}  // namespace explainit::stats

@@ -1,0 +1,81 @@
+#include "stats/significance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "stats/distributions.h"
+
+namespace explainit::stats {
+
+double NullAdjustedR2Variance(size_t n, size_t p) {
+  EXPLAINIT_CHECK(n > p && p >= 1, "need n > p >= 1");
+  const double nn = static_cast<double>(n);
+  const double pp = static_cast<double>(p);
+  return (2.0 * (pp - 1.0) / (nn - pp)) * (1.0 / (nn + 1.0));
+}
+
+double ChebyshevPValue(double score, size_t n, size_t p) {
+  if (score <= 0.0) return 1.0;
+  const double var = NullAdjustedR2Variance(n, p);
+  return std::min(1.0, var / (score * score));
+}
+
+double BetaPValue(double r2, size_t n, size_t p) {
+  if (r2 <= 0.0) return 1.0;
+  if (r2 >= 1.0) return 0.0;
+  return NullR2Distribution(n, p).Sf(r2);
+}
+
+std::vector<double> BonferroniCorrect(const std::vector<double>& pvalues) {
+  const double m = static_cast<double>(pvalues.size());
+  std::vector<double> out(pvalues.size());
+  for (size_t i = 0; i < pvalues.size(); ++i) {
+    out[i] = std::min(1.0, pvalues[i] * m);
+  }
+  return out;
+}
+
+std::vector<double> BenjaminiHochbergAdjust(
+    const std::vector<double>& pvalues) {
+  const size_t m = pvalues.size();
+  std::vector<size_t> order(m);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return pvalues[a] < pvalues[b]; });
+  std::vector<double> adjusted(m, 1.0);
+  double running_min = 1.0;
+  // Step-up from the largest p-value: q_(i) = min over j >= i of m p_(j)/j.
+  for (size_t k = m; k-- > 0;) {
+    const size_t idx = order[k];
+    const double q =
+        pvalues[idx] * static_cast<double>(m) / static_cast<double>(k + 1);
+    running_min = std::min(running_min, std::min(1.0, q));
+    adjusted[idx] = running_min;
+  }
+  return adjusted;
+}
+
+std::vector<size_t> BenjaminiHochbergDiscoveries(
+    const std::vector<double>& pvalues, double alpha) {
+  std::vector<double> q = BenjaminiHochbergAdjust(pvalues);
+  std::vector<size_t> out;
+  for (size_t i = 0; i < q.size(); ++i) {
+    if (q[i] <= alpha) out.push_back(i);
+  }
+  return out;
+}
+
+double RidgeEffectiveDof(const std::vector<double>& eigenvalues, double lambda,
+                         size_t n) {
+  double df = 0.0;
+  for (double d2 : eigenvalues) {
+    if (d2 <= 0.0) continue;
+    const double s = d2 / (d2 + lambda);
+    df += 2.0 * s - s * s - 1.0 / static_cast<double>(n);
+  }
+  return std::max(0.0, df);
+}
+
+}  // namespace explainit::stats

@@ -1,0 +1,43 @@
+// False-positive control (Appendix A.2): approximate p-values for r2 scores
+// via Chebyshev's inequality on the null variance of the adjusted r2, plus
+// Bonferroni and Benjamini–Hochberg corrections for scoring many hypotheses
+// simultaneously.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace explainit::stats {
+
+/// Variance of the adjusted r2 under the null with p predictors and n data
+/// points: (2(p-1)/(n-p)) * (1/(n+1)) (Appendix A.1).
+double NullAdjustedR2Variance(size_t n, size_t p);
+
+/// Chebyshev upper bound on P(r2_adj >= s | H0) ~= var / s^2, clipped to 1.
+/// The paper's example: n = 1440, p = 50 gives p(s) ~= 4.9e-5 / s^2.
+double ChebyshevPValue(double score, size_t n, size_t p);
+
+/// Exact upper-tail p-value from the Beta null distribution of plain r2
+/// (sharper than Chebyshev when the OLS assumptions hold).
+double BetaPValue(double r2, size_t n, size_t p);
+
+/// Bonferroni correction: p_i' = min(1, m * p_i).
+std::vector<double> BonferroniCorrect(const std::vector<double>& pvalues);
+
+/// Benjamini–Hochberg step-up FDR procedure. Returns, for each input, the
+/// adjusted p-value (q-value); entries with q <= alpha are "discoveries".
+std::vector<double> BenjaminiHochbergAdjust(
+    const std::vector<double>& pvalues);
+
+/// Indices of discoveries at FDR level alpha under BH.
+std::vector<size_t> BenjaminiHochbergDiscoveries(
+    const std::vector<double>& pvalues, double alpha);
+
+/// Effective degrees of freedom of ridge regression at penalty lambda given
+/// the eigenvalues of X^T X: sum(2 d2/(d2+l) - (d2/(d2+l))^2) - 1/n terms as
+/// derived in Appendix A (monotonically decreasing in lambda; -> p-1 as
+/// lambda -> 0, -> 0 as lambda -> inf).
+double RidgeEffectiveDof(const std::vector<double>& eigenvalues,
+                         double lambda, size_t n);
+
+}  // namespace explainit::stats

@@ -1,0 +1,144 @@
+#include "table/table.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace explainit::table {
+
+std::optional<size_t> Schema::FieldIndex(std::string_view name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (EqualsIgnoreCase(fields_[i].name, name)) return i;
+  }
+  return std::nullopt;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ": ";
+    out += DataTypeName(fields_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+void Table::AppendRow(std::vector<Value> row) {
+  EXPLAINIT_CHECK(row.size() == columns_.size(),
+                  "row width " << row.size() << " != schema width "
+                               << columns_.size());
+  for (size_t c = 0; c < row.size(); ++c) {
+    columns_[c].push_back(std::move(row[c]));
+  }
+  ++num_rows_;
+}
+
+std::vector<Value> Table::Row(size_t row) const {
+  std::vector<Value> out;
+  out.reserve(columns_.size());
+  for (const auto& col : columns_) out.push_back(col[row]);
+  return out;
+}
+
+Result<Table> Table::SelectColumns(
+    const std::vector<std::string>& names) const {
+  Schema out_schema;
+  std::vector<size_t> indices;
+  for (const std::string& name : names) {
+    auto idx = schema_.FieldIndex(name);
+    if (!idx.has_value()) {
+      return Status::NotFound("column not found: " + name);
+    }
+    indices.push_back(*idx);
+    out_schema.AddField(schema_.field(*idx));
+  }
+  Table out(out_schema);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    out.columns_[i] = columns_[indices[i]];
+  }
+  out.num_rows_ = num_rows_;
+  return out;
+}
+
+Result<Table> Table::SortBy(const std::string& column_name,
+                            bool ascending) const {
+  auto idx = schema_.FieldIndex(column_name);
+  if (!idx.has_value()) {
+    return Status::NotFound("sort column not found: " + column_name);
+  }
+  std::vector<size_t> order(num_rows_);
+  std::iota(order.begin(), order.end(), size_t{0});
+  const std::vector<Value>& key = columns_[*idx];
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const int cmp = key[a].Compare(key[b]);
+    return ascending ? cmp < 0 : cmp > 0;
+  });
+  Table out(schema_);
+  out.num_rows_ = num_rows_;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    out.columns_[c].reserve(num_rows_);
+    for (size_t r : order) out.columns_[c].push_back(columns_[c][r]);
+  }
+  return out;
+}
+
+Status Table::UnionAll(const Table& other) {
+  if (other.num_columns() != num_columns()) {
+    return Status::InvalidArgument(
+        "UNION ALL requires equal column counts: " +
+        std::to_string(num_columns()) + " vs " +
+        std::to_string(other.num_columns()));
+  }
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c].insert(columns_[c].end(), other.columns_[c].begin(),
+                       other.columns_[c].end());
+  }
+  num_rows_ += other.num_rows_;
+  return Status::OK();
+}
+
+void Table::Truncate(size_t n) {
+  if (n >= num_rows_) return;
+  for (auto& col : columns_) col.resize(n);
+  num_rows_ = n;
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  const size_t show = std::min(num_rows_, max_rows);
+  // Compute column widths.
+  std::vector<size_t> widths(columns_.size());
+  std::vector<std::vector<std::string>> cells(show);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = schema_.field(c).name.size();
+  }
+  for (size_t r = 0; r < show; ++r) {
+    cells[r].resize(columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      cells[r][c] = columns_[c][r].ToString();
+      widths[c] = std::max(widths[c], cells[r][c].size());
+    }
+  }
+  std::string out;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    out += StrFormat("%-*s  ", static_cast<int>(widths[c]),
+                     schema_.field(c).name.c_str());
+  }
+  out += "\n";
+  for (size_t r = 0; r < show; ++r) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      out += StrFormat("%-*s  ", static_cast<int>(widths[c]),
+                       cells[r][c].c_str());
+    }
+    out += "\n";
+  }
+  if (show < num_rows_) {
+    out += StrFormat("... (%zu more rows)\n", num_rows_ - show);
+  }
+  return out;
+}
+
+}  // namespace explainit::table

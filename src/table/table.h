@@ -1,0 +1,94 @@
+// Columnar in-memory tables: the exchange format between the tsdb scan
+// layer, the SQL executor, and the feature-family builder (Figure 4's
+// Feature Family / Hypothesis / Score tables).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/value.h"
+
+namespace explainit::table {
+
+/// A named, typed column in a schema.
+struct Field {
+  std::string name;
+  DataType type = DataType::kNull;
+
+  bool operator==(const Field& other) const = default;
+};
+
+/// An ordered list of fields.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field with the given name (case-insensitive, SQL style);
+  /// nullopt when absent.
+  std::optional<size_t> FieldIndex(std::string_view name) const;
+
+  void AddField(Field f) { fields_.push_back(std::move(f)); }
+
+  std::string ToString() const;
+  bool operator==(const Schema& other) const = default;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+/// A column-major table of Values.
+///
+/// Cells are dynamically typed; the declared column type is advisory (the
+/// SQL layer uses it for planning) and kNull-typed columns accept anything.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema)
+      : schema_(std::move(schema)), columns_(schema_.num_fields()) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Appends one row; the value count must match the schema width.
+  void AppendRow(std::vector<Value> row);
+
+  const Value& At(size_t row, size_t col) const {
+    return columns_[col][row];
+  }
+  const std::vector<Value>& column(size_t col) const { return columns_[col]; }
+
+  /// Full row as a vector (copies cells; cells are cheap to copy).
+  std::vector<Value> Row(size_t row) const;
+
+  /// Returns a table with only the named columns, in the given order.
+  Result<Table> SelectColumns(const std::vector<std::string>& names) const;
+
+  /// Stable sort of rows by a column (ascending or descending).
+  Result<Table> SortBy(const std::string& column_name,
+                       bool ascending = true) const;
+
+  /// Appends all rows of `other` (schemas must be the same width; field
+  /// names of `this` win — SQL UNION ALL semantics).
+  Status UnionAll(const Table& other);
+
+  /// Keeps rows [0, n).
+  void Truncate(size_t n);
+
+  /// Renders up to max_rows as an aligned text table.
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<Value>> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace explainit::table

@@ -1,0 +1,88 @@
+// Gorilla-style time series compression (Pelkonen et al., VLDB'15 — cited
+// by the paper as a representative TSDB): delta-of-delta encoded
+// timestamps and XOR-encoded doubles over a bit stream.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/time_util.h"
+
+namespace explainit::tsdb {
+
+/// Append-only bit stream writer.
+class BitWriter {
+ public:
+  /// Appends the low `bits` bits of `value` (most significant first).
+  void WriteBits(uint64_t value, int bits);
+  void WriteBit(bool bit) { WriteBits(bit ? 1 : 0, 1); }
+
+  /// Total bits written.
+  size_t bit_count() const { return bit_count_; }
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+  /// Restores a writer from a byte image (for snapshot reload).
+  void Restore(std::vector<uint8_t> bytes, size_t bit_count) {
+    bytes_ = std::move(bytes);
+    bit_count_ = bit_count;
+  }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  size_t bit_count_ = 0;
+};
+
+/// Sequential bit stream reader.
+class BitReader {
+ public:
+  BitReader(const std::vector<uint8_t>& bytes, size_t bit_count)
+      : bytes_(bytes), bit_count_(bit_count) {}
+
+  /// Reads `bits` bits; fails with OutOfRange past the end.
+  Result<uint64_t> ReadBits(int bits);
+  Result<bool> ReadBit();
+  size_t bits_remaining() const { return bit_count_ - position_; }
+
+ private:
+  const std::vector<uint8_t>& bytes_;
+  size_t bit_count_;
+  size_t position_ = 0;
+};
+
+/// A compressed block of (timestamp, value) points for one series.
+///
+/// Timestamps use delta-of-delta encoding with the Gorilla bucket scheme;
+/// values use XOR encoding with leading/meaningful-bit reuse.
+class CompressedBlock {
+ public:
+  /// Appends a point; timestamps must be non-decreasing.
+  Status Append(EpochSeconds timestamp, double value);
+
+  size_t num_points() const { return num_points_; }
+  /// Compressed payload size in bytes.
+  size_t byte_size() const { return writer_.bytes().size(); }
+
+  /// Decodes every point in the block.
+  Result<std::vector<std::pair<EpochSeconds, double>>> Decode() const;
+
+  /// Appends a self-contained binary image of this block (including the
+  /// encoder state, so appends can continue after a reload) to `out`.
+  void Serialize(std::vector<uint8_t>* out) const;
+
+  /// Parses a block from `data` starting at *offset; advances *offset.
+  static Result<CompressedBlock> Deserialize(const std::vector<uint8_t>& data,
+                                             size_t* offset);
+
+ private:
+  BitWriter writer_;
+  size_t num_points_ = 0;
+  EpochSeconds first_timestamp_ = 0;
+  EpochSeconds prev_timestamp_ = 0;
+  int64_t prev_delta_ = 0;
+  uint64_t prev_value_bits_ = 0;
+  int prev_leading_ = -1;  // -1: no reusable window yet
+  int prev_trailing_ = 0;
+};
+
+}  // namespace explainit::tsdb

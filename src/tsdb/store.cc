@@ -1,0 +1,290 @@
+#include "tsdb/store.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace explainit::tsdb {
+
+std::string SeriesMeta::ToString() const {
+  std::string out = metric_name;
+  out += '{';
+  out += tags.Encode();
+  out += '}';
+  return out;
+}
+
+std::string SeriesStore::Key(const std::string& metric_name,
+                             const TagSet& tags) {
+  return metric_name + "{" + tags.Encode() + "}";
+}
+
+Status SeriesStore::Write(const std::string& metric_name, const TagSet& tags,
+                          EpochSeconds timestamp, double value) {
+  const std::string key = Key(metric_name, tags);
+  auto it = series_.find(key);
+  if (it == series_.end()) {
+    auto s = std::make_unique<Series>();
+    s->meta.metric_name = metric_name;
+    s->meta.tags = tags;
+    it = series_.emplace(key, std::move(s)).first;
+    insertion_order_.push_back(key);
+  }
+  EXPLAINIT_RETURN_IF_ERROR(it->second->block.Append(timestamp, value));
+  ++num_points_;
+  return Status::OK();
+}
+
+Status SeriesStore::WriteSeries(const std::string& metric_name,
+                                const TagSet& tags,
+                                const std::vector<EpochSeconds>& timestamps,
+                                const std::vector<double>& values) {
+  if (timestamps.size() != values.size()) {
+    return Status::InvalidArgument("timestamps/values size mismatch");
+  }
+  for (size_t i = 0; i < timestamps.size(); ++i) {
+    EXPLAINIT_RETURN_IF_ERROR(Write(metric_name, tags, timestamps[i],
+                                    values[i]));
+  }
+  return Status::OK();
+}
+
+size_t SeriesStore::compressed_bytes() const {
+  size_t total = 0;
+  for (const auto& [key, s] : series_) total += s->block.byte_size();
+  return total;
+}
+
+std::vector<SeriesMeta> SeriesStore::ListSeries() const {
+  std::vector<SeriesMeta> out;
+  out.reserve(series_.size());
+  for (const std::string& key : insertion_order_) {
+    out.push_back(series_.at(key)->meta);
+  }
+  return out;
+}
+
+Result<std::vector<SeriesData>> SeriesStore::Scan(
+    const ScanRequest& request) const {
+  std::vector<SeriesData> out;
+  for (const std::string& key : insertion_order_) {
+    const Series& s = *series_.at(key);
+    if (!GlobMatch(request.metric_glob, s.meta.metric_name)) continue;
+    if (!s.meta.tags.Matches(request.tag_filter)) continue;
+    EXPLAINIT_ASSIGN_OR_RETURN(auto points, s.block.Decode());
+    SeriesData data;
+    data.meta = s.meta;
+    for (const auto& [t, v] : points) {
+      if (request.range.end != request.range.start &&
+          !request.range.Contains(t)) {
+        continue;
+      }
+      data.timestamps.push_back(t);
+      data.values.push_back(v);
+    }
+    if (!data.timestamps.empty()) out.push_back(std::move(data));
+  }
+  return out;
+}
+
+void InterpolateMissing(std::vector<double>& values) {
+  const size_t n = values.size();
+  // Forward pass records the distance to the previous valid value; the
+  // backward pass picks whichever neighbour is nearer.
+  std::vector<int64_t> prev_valid(n, -1);
+  int64_t last = -1;
+  for (size_t i = 0; i < n; ++i) {
+    if (!std::isnan(values[i])) last = static_cast<int64_t>(i);
+    prev_valid[i] = last;
+  }
+  int64_t next = -1;
+  for (size_t ii = n; ii-- > 0;) {
+    if (!std::isnan(values[ii])) {
+      next = static_cast<int64_t>(ii);
+      continue;
+    }
+    const int64_t p = prev_valid[ii];
+    double fill = 0.0;
+    if (p >= 0 && next >= 0) {
+      const int64_t dp = static_cast<int64_t>(ii) - p;
+      const int64_t dn = next - static_cast<int64_t>(ii);
+      fill = dp <= dn ? values[p] : values[next];
+    } else if (p >= 0) {
+      fill = values[p];
+    } else if (next >= 0) {
+      fill = values[next];
+    }
+    values[ii] = fill;
+  }
+}
+
+Result<std::vector<SeriesData>> SeriesStore::ScanAligned(
+    const ScanRequest& request, const GridOptions& options) const {
+  if (request.range.end <= request.range.start) {
+    return Status::InvalidArgument("ScanAligned requires a non-empty range");
+  }
+  if (options.step_seconds <= 0) {
+    return Status::InvalidArgument("grid step must be positive");
+  }
+  EXPLAINIT_ASSIGN_OR_RETURN(std::vector<SeriesData> raw, Scan(request));
+  const int64_t step = options.step_seconds;
+  const size_t slots = static_cast<size_t>(
+      (request.range.end - request.range.start + step - 1) / step);
+  std::vector<EpochSeconds> grid(slots);
+  for (size_t i = 0; i < slots; ++i) {
+    grid[i] = request.range.start + static_cast<int64_t>(i) * step;
+  }
+  for (SeriesData& s : raw) {
+    std::vector<double> aligned(slots,
+                                std::numeric_limits<double>::quiet_NaN());
+    for (size_t i = 0; i < s.timestamps.size(); ++i) {
+      const int64_t slot = (s.timestamps[i] - request.range.start) / step;
+      if (slot < 0 || static_cast<size_t>(slot) >= slots) continue;
+      // Last observation per slot wins.
+      aligned[static_cast<size_t>(slot)] = s.values[i];
+    }
+    if (options.interpolate_missing) InterpolateMissing(aligned);
+    s.timestamps = grid;
+    s.values = std::move(aligned);
+  }
+  return raw;
+}
+
+Result<table::Table> SeriesStore::ScanToTable(
+    const ScanRequest& request) const {
+  EXPLAINIT_ASSIGN_OR_RETURN(std::vector<SeriesData> raw, Scan(request));
+  table::Schema schema({{"timestamp", table::DataType::kTimestamp},
+                        {"metric_name", table::DataType::kString},
+                        {"tag", table::DataType::kMap},
+                        {"value", table::DataType::kDouble}});
+  table::Table out(schema);
+  for (const SeriesData& s : raw) {
+    table::ValueMap tag_map;
+    for (const auto& [k, v] : s.meta.tags.entries()) {
+      tag_map[k] = table::Value::String(v);
+    }
+    const table::Value tags = table::Value::Map(std::move(tag_map));
+    for (size_t i = 0; i < s.timestamps.size(); ++i) {
+      out.AppendRow({table::Value::Timestamp(s.timestamps[i]),
+                     table::Value::String(s.meta.metric_name), tags,
+                     table::Value::Double(s.values[i])});
+    }
+  }
+  return out;
+}
+
+
+namespace {
+void PutString(std::vector<uint8_t>* out, const std::string& s) {
+  const uint64_t n = s.size();
+  const size_t at = out->size();
+  out->resize(at + sizeof(n) + s.size());
+  std::memcpy(out->data() + at, &n, sizeof(n));
+  std::memcpy(out->data() + at + sizeof(n), s.data(), s.size());
+}
+
+bool GetString(const std::vector<uint8_t>& data, size_t* offset,
+               std::string* s) {
+  uint64_t n = 0;
+  if (*offset + sizeof(n) > data.size()) return false;
+  std::memcpy(&n, data.data() + *offset, sizeof(n));
+  *offset += sizeof(n);
+  if (*offset + n > data.size()) return false;
+  s->assign(reinterpret_cast<const char*>(data.data() + *offset), n);
+  *offset += n;
+  return true;
+}
+
+constexpr uint32_t kSnapshotMagic = 0x45585453;  // "EXTS"
+}  // namespace
+
+Status SeriesStore::SaveSnapshot(const std::string& path) const {
+  std::vector<uint8_t> buf;
+  buf.resize(sizeof(kSnapshotMagic) + sizeof(uint64_t));
+  std::memcpy(buf.data(), &kSnapshotMagic, sizeof(kSnapshotMagic));
+  const uint64_t count = insertion_order_.size();
+  std::memcpy(buf.data() + sizeof(kSnapshotMagic), &count, sizeof(count));
+  for (const std::string& key : insertion_order_) {
+    const Series& s = *series_.at(key);
+    PutString(&buf, s.meta.metric_name);
+    PutString(&buf, s.meta.tags.Encode());
+    s.block.Serialize(&buf);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  const size_t written = std::fwrite(buf.data(), 1, buf.size(), f);
+  std::fclose(f);
+  if (written != buf.size()) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Status SeriesStore::LoadSnapshot(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<uint8_t> buf(static_cast<size_t>(size));
+  const size_t read = std::fread(buf.data(), 1, buf.size(), f);
+  std::fclose(f);
+  if (read != buf.size()) {
+    return Status::IOError("short read from " + path);
+  }
+  size_t offset = 0;
+  uint32_t magic = 0;
+  uint64_t count = 0;
+  if (buf.size() < sizeof(magic) + sizeof(count)) {
+    return Status::ParseError("snapshot too short");
+  }
+  std::memcpy(&magic, buf.data(), sizeof(magic));
+  offset += sizeof(magic);
+  if (magic != kSnapshotMagic) {
+    return Status::ParseError("bad snapshot magic");
+  }
+  std::memcpy(&count, buf.data() + offset, sizeof(count));
+  offset += sizeof(count);
+
+  std::unordered_map<std::string, std::unique_ptr<Series>> series;
+  std::vector<std::string> order;
+  size_t points = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string metric, tag_encoding;
+    if (!GetString(buf, &offset, &metric) ||
+        !GetString(buf, &offset, &tag_encoding)) {
+      return Status::ParseError("truncated series header");
+    }
+    auto s = std::make_unique<Series>();
+    s->meta.metric_name = metric;
+    std::map<std::string, std::string> tags;
+    if (!tag_encoding.empty()) {
+      for (const std::string& kv : StrSplit(tag_encoding, ',')) {
+        const auto parts = StrSplit(kv, '=');
+        if (parts.size() != 2) {
+          return Status::ParseError("bad tag encoding: " + kv);
+        }
+        tags[parts[0]] = parts[1];
+      }
+    }
+    s->meta.tags = TagSet(std::move(tags));
+    EXPLAINIT_ASSIGN_OR_RETURN(s->block,
+                               CompressedBlock::Deserialize(buf, &offset));
+    points += s->block.num_points();
+    const std::string key = Key(s->meta.metric_name, s->meta.tags);
+    order.push_back(key);
+    series[key] = std::move(s);
+  }
+  series_ = std::move(series);
+  insertion_order_ = std::move(order);
+  num_points_ = points;
+  return Status::OK();
+}
+
+}  // namespace explainit::tsdb

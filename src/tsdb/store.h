@@ -1,0 +1,118 @@
+// SeriesStore: the embedded time series database that stands in for
+// OpenTSDB/Druid as ExplainIt!'s data source. Series are identified by
+// (metric name, tag set); points are held in Gorilla-compressed blocks.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/time_util.h"
+#include "table/table.h"
+#include "tsdb/compression.h"
+#include "tsdb/tags.h"
+
+namespace explainit::tsdb {
+
+/// Identity of one univariate series.
+struct SeriesMeta {
+  std::string metric_name;
+  TagSet tags;
+
+  /// "metric{k=v,...}" — the display form used for feature names.
+  std::string ToString() const;
+};
+
+/// Decoded points for one series in a scan result.
+struct SeriesData {
+  SeriesMeta meta;
+  std::vector<EpochSeconds> timestamps;
+  std::vector<double> values;
+};
+
+/// A scan request: which series (by metric-name glob and tag filter) and
+/// which time window.
+struct ScanRequest {
+  /// Glob over metric names ("disk*", "*" for all).
+  std::string metric_glob = "*";
+  /// Every entry must glob-match the series tags.
+  TagSet tag_filter;
+  TimeRange range;
+};
+
+/// Options for converting scans to a fixed minute grid.
+struct GridOptions {
+  int64_t step_seconds = kSecondsPerMinute;
+  /// Fill policy for grid slots with no observation: interpolate to the
+  /// closest non-null observation (Appendix C), or leave NaN.
+  bool interpolate_missing = true;
+};
+
+/// An in-memory, write-optimised time series store.
+///
+/// Ingestion appends to per-series compressed blocks; queries decode and
+/// filter. Thread-compatible (external synchronisation for writes).
+class SeriesStore {
+ public:
+  SeriesStore() = default;
+
+  /// Appends one observation. Creates the series on first write.
+  /// Timestamps must be non-decreasing per series.
+  Status Write(const std::string& metric_name, const TagSet& tags,
+               EpochSeconds timestamp, double value);
+
+  /// Bulk append of an aligned vector of points for one series.
+  Status WriteSeries(const std::string& metric_name, const TagSet& tags,
+                     const std::vector<EpochSeconds>& timestamps,
+                     const std::vector<double>& values);
+
+  size_t num_series() const { return series_.size(); }
+  size_t num_points() const { return num_points_; }
+  /// Total compressed payload bytes across all series.
+  size_t compressed_bytes() const;
+
+  /// All series metadata (order unspecified but stable per store).
+  std::vector<SeriesMeta> ListSeries() const;
+
+  /// Decodes every series matching the request, restricted to the window.
+  Result<std::vector<SeriesData>> Scan(const ScanRequest& request) const;
+
+  /// Scans and aligns to a regular grid over request.range; missing slots
+  /// are interpolated to the nearest observation (or NaN). All returned
+  /// series share the same timestamps vector length.
+  Result<std::vector<SeriesData>> ScanAligned(
+      const ScanRequest& request, const GridOptions& options = {}) const;
+
+  /// Renders a scan as a Table with schema
+  /// (timestamp: TIMESTAMP, metric_name: STRING, tag: MAP, value: DOUBLE) —
+  /// the raw-events shape the Appendix C queries run over (`tsdb` table).
+  Result<table::Table> ScanToTable(const ScanRequest& request) const;
+
+  /// Writes a binary snapshot of the whole store (compressed blocks plus
+  /// encoder state, so writes can continue after a reload).
+  Status SaveSnapshot(const std::string& path) const;
+
+  /// Loads a snapshot written by SaveSnapshot, replacing this store's
+  /// contents.
+  Status LoadSnapshot(const std::string& path);
+
+ private:
+  struct Series {
+    SeriesMeta meta;
+    CompressedBlock block;
+  };
+
+  static std::string Key(const std::string& metric_name, const TagSet& tags);
+
+  std::unordered_map<std::string, std::unique_ptr<Series>> series_;
+  std::vector<std::string> insertion_order_;
+  size_t num_points_ = 0;
+};
+
+/// Fills NaN slots with the closest non-NaN neighbour (ties prefer the
+/// earlier observation). A series of all-NaN becomes all zero.
+void InterpolateMissing(std::vector<double>& values);
+
+}  // namespace explainit::tsdb

@@ -1,0 +1,35 @@
+#include "tsdb/tags.h"
+
+#include "common/strings.h"
+
+namespace explainit::tsdb {
+
+const std::string& TagSet::Get(const std::string& key) const {
+  static const std::string kEmpty;
+  auto it = tags_.find(key);
+  return it == tags_.end() ? kEmpty : it->second;
+}
+
+std::string TagSet::Encode() const {
+  std::string out;
+  bool first = true;
+  for (const auto& [k, v] : tags_) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += '=';
+    out += v;
+  }
+  return out;
+}
+
+bool TagSet::Matches(const TagSet& filter) const {
+  for (const auto& [k, pattern] : filter.entries()) {
+    auto it = tags_.find(k);
+    if (it == tags_.end()) return false;
+    if (!GlobMatch(pattern, it->second)) return false;
+  }
+  return true;
+}
+
+}  // namespace explainit::tsdb

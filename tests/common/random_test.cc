@@ -1,0 +1,117 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace explainit {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntBounded) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.UniformInt(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all buckets hit in 1000 draws
+}
+
+TEST(RngTest, NormalMomentsApproximatelyStandard) {
+  Rng rng(42);
+  const int n = 200000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal();
+    sum += v;
+    sumsq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(9);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, PoissonMeanMatches) {
+  Rng rng(11);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Poisson(4.0));
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+  // Large-mean path (normal approximation).
+  sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Poisson(100.0));
+  EXPECT_NEAR(sum / n, 100.0, 0.5);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(13);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng b = a.Fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, PermutationIsAPermutation) {
+  Rng rng(3);
+  auto perm = RandomPermutation(50, rng);
+  std::set<size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 49u);
+}
+
+TEST(RngTest, FillNormalFills) {
+  Rng rng(17);
+  std::vector<double> buf(1000, -1.0);
+  rng.FillNormal(buf.data(), buf.size());
+  double sum = 0.0;
+  for (double v : buf) sum += v;
+  EXPECT_LT(std::abs(sum / 1000.0), 0.2);
+}
+
+}  // namespace
+}  // namespace explainit

@@ -1,0 +1,51 @@
+#include "common/time_util.h"
+
+#include <gtest/gtest.h>
+
+namespace explainit {
+namespace {
+
+TEST(TimeTest, AlignToMinuteFloors) {
+  EXPECT_EQ(AlignToMinute(0), 0);
+  EXPECT_EQ(AlignToMinute(59), 0);
+  EXPECT_EQ(AlignToMinute(60), 60);
+  EXPECT_EQ(AlignToMinute(61), 60);
+  EXPECT_EQ(AlignToMinute(-1), -60);
+}
+
+TEST(TimeTest, RangeContains) {
+  TimeRange r{100, 200};
+  EXPECT_TRUE(r.Contains(100));
+  EXPECT_TRUE(r.Contains(199));
+  EXPECT_FALSE(r.Contains(200));
+  EXPECT_FALSE(r.Contains(99));
+}
+
+TEST(TimeTest, RangeDurationAndMinutes) {
+  TimeRange r{0, 3600};
+  EXPECT_EQ(r.DurationSeconds(), 3600);
+  EXPECT_EQ(r.NumMinutes(), 60);
+}
+
+TEST(TimeTest, RangeOverlaps) {
+  TimeRange a{0, 100};
+  TimeRange b{50, 150};
+  TimeRange c{100, 200};
+  EXPECT_TRUE(a.Overlaps(b));
+  EXPECT_TRUE(b.Overlaps(a));
+  EXPECT_FALSE(a.Overlaps(c));  // half-open ranges touch but do not overlap
+}
+
+TEST(TimeTest, FormatTimestampUtc) {
+  EXPECT_EQ(FormatTimestamp(0), "1970-01-01 00:00");
+  EXPECT_EQ(FormatTimestamp(86400 + 3660), "1970-01-02 01:01");
+}
+
+TEST(TimeTest, MonotonicAdvances) {
+  const double a = MonotonicSeconds();
+  const double b = MonotonicSeconds();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace explainit

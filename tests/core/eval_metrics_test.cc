@@ -1,0 +1,100 @@
+#include "core/eval_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace explainit::core {
+namespace {
+
+ScenarioLabels Labels() {
+  ScenarioLabels l;
+  l.causes = {"tcp_retransmits", "hypervisor_drops"};
+  l.effects = {"latency", "save_time"};
+  return l;
+}
+
+TEST(EvalMetricsTest, FirstCauseRankAndGain) {
+  std::vector<std::string> ranking = {"latency", "save_time",
+                                      "tcp_retransmits", "noise"};
+  RankingMetrics m = EvaluateRanking(ranking, Labels());
+  EXPECT_EQ(m.first_cause_rank, 3u);
+  EXPECT_NEAR(m.discounted_gain, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.log_discounted_gain, 1.0 / std::log2(4.0), 1e-12);
+  EXPECT_FALSE(m.failed);
+}
+
+TEST(EvalMetricsTest, PerfectScoreAtRankOne) {
+  RankingMetrics m = EvaluateRanking({"hypervisor_drops"}, Labels());
+  EXPECT_EQ(m.first_cause_rank, 1u);
+  EXPECT_EQ(m.discounted_gain, 1.0);
+  EXPECT_NEAR(m.log_discounted_gain, 1.0, 1e-12);
+}
+
+TEST(EvalMetricsTest, FailureWhenNoCauseInTopK) {
+  std::vector<std::string> ranking(30, "noise");
+  ranking[25] = "tcp_retransmits";  // beyond the top-20 cutoff
+  RankingMetrics m = EvaluateRanking(ranking, Labels(), 20);
+  EXPECT_TRUE(m.failed);
+  EXPECT_EQ(m.discounted_gain, 0.0);
+  // Without a cutoff the cause is found.
+  RankingMetrics m2 = EvaluateRanking(ranking, Labels(), 0);
+  EXPECT_FALSE(m2.failed);
+  EXPECT_EQ(m2.first_cause_rank, 26u);
+}
+
+TEST(EvalMetricsTest, SuccessAtK) {
+  std::vector<std::string> ranking = {"a", "b", "c", "tcp_retransmits"};
+  EXPECT_EQ(SuccessAtK(ranking, Labels(), 1), 0.0);
+  EXPECT_EQ(SuccessAtK(ranking, Labels(), 3), 0.0);
+  EXPECT_EQ(SuccessAtK(ranking, Labels(), 4), 1.0);
+  EXPECT_EQ(SuccessAtK(ranking, Labels(), 100), 1.0);
+}
+
+TEST(EvalMetricsTest, SummaryMatchesHandComputation) {
+  // Three scenarios: ranks 1, 4, failure.
+  std::vector<std::vector<std::string>> rankings = {
+      {"tcp_retransmits"},
+      {"x", "y", "z", "hypervisor_drops"},
+      {"x", "y", "z"},
+  };
+  std::vector<ScenarioLabels> labels = {Labels(), Labels(), Labels()};
+  std::vector<RankingMetrics> per;
+  for (size_t i = 0; i < 3; ++i) {
+    per.push_back(EvaluateRanking(rankings[i], labels[i]));
+  }
+  MethodSummary s = SummarizeMethod(per, rankings, labels);
+  // Average: (1 + 0.25 + 0) / 3.
+  EXPECT_NEAR(s.average_gain, 1.25 / 3.0, 1e-12);
+  // Harmonic with 0.001 failure floor: 3 / (1/1 + 1/0.25 + 1/0.001).
+  EXPECT_NEAR(s.harmonic_mean_gain, 3.0 / (1.0 + 4.0 + 1000.0), 1e-12);
+  EXPECT_NEAR(s.success_top1, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(s.success_top5, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(s.success_top20, 2.0 / 3.0, 1e-12);
+  EXPECT_GT(s.stdev_gain, 0.0);
+}
+
+TEST(EvalMetricsTest, PaperScaleSanity) {
+  // The paper's Table 6 harmonic means are ~0.002-0.009 because failures
+  // dominate the harmonic mean; reproduce that behaviour.
+  std::vector<std::vector<std::string>> rankings;
+  std::vector<ScenarioLabels> labels;
+  std::vector<RankingMetrics> per;
+  for (int i = 0; i < 11; ++i) {
+    ScenarioLabels l;
+    l.causes = {"cause"};
+    labels.push_back(l);
+    if (i < 2) {
+      rankings.push_back({"noise1", "noise2"});  // failure
+    } else {
+      rankings.push_back({"cause"});
+    }
+    per.push_back(EvaluateRanking(rankings.back(), labels.back()));
+  }
+  MethodSummary s = SummarizeMethod(per, rankings, labels);
+  EXPECT_LT(s.harmonic_mean_gain, 0.01);
+  EXPECT_GT(s.average_gain, 0.5);
+}
+
+}  // namespace
+}  // namespace explainit::core

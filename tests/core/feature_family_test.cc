@@ -1,0 +1,190 @@
+#include "core/feature_family.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+
+namespace explainit::core {
+namespace {
+
+std::vector<tsdb::SeriesData> MakeSeries() {
+  std::vector<tsdb::SeriesData> out;
+  auto add = [&](const std::string& name, tsdb::TagSet tags,
+                 std::vector<double> values) {
+    tsdb::SeriesData s;
+    s.meta.metric_name = name;
+    s.meta.tags = std::move(tags);
+    for (size_t i = 0; i < values.size(); ++i) {
+      s.timestamps.push_back(static_cast<int64_t>(i) * 60);
+    }
+    s.values = std::move(values);
+    out.push_back(std::move(s));
+  };
+  add("input_rate", {{"type", "event-1"}}, {1, 2, 3});
+  add("input_rate", {{"type", "event-2"}}, {4, 5, 6});
+  add("runtime", {{"component", "pipeline-1"}}, {7, 8, 9});
+  add("disk", {{"host", "datanode-1"}, {"type", "read_latency"}}, {1, 1, 1});
+  add("disk", {{"host", "datanode-2"}, {"type", "read_latency"}}, {2, 2, 2});
+  add("disk", {{"host", "namenode-1"}, {"type", "read_latency"}}, {3, 3, 3});
+  return out;
+}
+
+TEST(FamilyTest, GroupByMetricNameMirrorsPaperExample) {
+  // §3.2: grouping by name gives input_rate{*}, runtime{*}, disk{*}.
+  GroupingOptions opts;
+  opts.key = GroupingKey::kMetricName;
+  auto fams = BuildFamilies(MakeSeries(), opts);
+  ASSERT_TRUE(fams.ok());
+  ASSERT_EQ(fams->size(), 3u);
+  EXPECT_EQ((*fams)[0].name, "disk");
+  EXPECT_EQ((*fams)[0].num_features(), 3u);
+  EXPECT_EQ((*fams)[1].name, "input_rate");
+  EXPECT_EQ((*fams)[1].num_features(), 2u);
+  EXPECT_EQ((*fams)[2].name, "runtime");
+  EXPECT_EQ((*fams)[2].num_features(), 1u);
+}
+
+TEST(FamilyTest, GroupByTagMirrorsPaperExample) {
+  // §3.2: grouping by host gives datanode-1, datanode-2, namenode-1, NULL.
+  GroupingOptions opts;
+  opts.key = GroupingKey::kTag;
+  opts.tag_key = "host";
+  auto fams = BuildFamilies(MakeSeries(), opts);
+  ASSERT_TRUE(fams.ok());
+  ASSERT_EQ(fams->size(), 4u);
+  EXPECT_EQ((*fams)[0].name, "*{host=NULL}");
+  EXPECT_EQ((*fams)[0].num_features(), 3u);  // input_rate x2 + runtime
+  EXPECT_EQ((*fams)[1].name, "*{host=datanode-1}");
+  EXPECT_EQ((*fams)[3].name, "*{host=namenode-1}");
+}
+
+TEST(FamilyTest, GroupByPattern) {
+  // §3.2: "disk{host=datanode*}" — any datanode activity.
+  GroupingOptions opts;
+  opts.key = GroupingKey::kPattern;
+  opts.patterns = {"disk{host=datanode*}", "runtime*"};
+  auto fams = BuildFamilies(MakeSeries(), opts);
+  ASSERT_TRUE(fams.ok());
+  ASSERT_EQ(fams->size(), 2u);
+  EXPECT_EQ((*fams)[0].name, "disk{host=datanode*}");
+  EXPECT_EQ((*fams)[0].num_features(), 2u);
+  EXPECT_EQ((*fams)[1].name, "runtime*");
+  EXPECT_EQ((*fams)[1].num_features(), 1u);
+}
+
+TEST(FamilyTest, GroupingValidation) {
+  GroupingOptions opts;
+  opts.key = GroupingKey::kTag;
+  EXPECT_FALSE(BuildFamilies(MakeSeries(), opts).ok());  // missing tag_key
+  opts.key = GroupingKey::kPattern;
+  EXPECT_FALSE(BuildFamilies(MakeSeries(), opts).ok());  // missing patterns
+}
+
+TEST(FamilyTest, MisalignedSeriesRejected) {
+  auto series = MakeSeries();
+  series[1].timestamps[0] = 999;
+  GroupingOptions opts;
+  EXPECT_FALSE(BuildFamilies(series, opts).ok());
+}
+
+TEST(FamilyTest, DataMatrixLayout) {
+  GroupingOptions opts;
+  auto fams = BuildFamilies(MakeSeries(), opts);
+  ASSERT_TRUE(fams.ok());
+  const FeatureFamily& disk = (*fams)[0];
+  EXPECT_EQ(disk.num_timestamps(), 3u);
+  // Columns ordered by insertion order of matching series.
+  EXPECT_EQ(disk.data(0, 0), 1.0);
+  EXPECT_EQ(disk.data(0, 1), 2.0);
+  EXPECT_EQ(disk.data(0, 2), 3.0);
+  EXPECT_EQ(disk.feature_names[0],
+            "disk{host=datanode-1,type=read_latency}");
+  EXPECT_EQ(disk.FindFeature("disk{host=datanode-2,type=read_latency}"), 1);
+  EXPECT_EQ(disk.FindFeature("nope"), -1);
+}
+
+TEST(FamilyTest, TableRoundTrip) {
+  GroupingOptions opts;
+  auto fams = BuildFamilies(MakeSeries(), opts);
+  ASSERT_TRUE(fams.ok());
+  const FeatureFamily& disk = (*fams)[0];
+  table::Table t = FamilyToTable(disk);
+  EXPECT_EQ(t.num_rows(), 3u);
+  auto back = FamiliesFromTable(t);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 1u);
+  EXPECT_EQ((*back)[0].name, "disk");
+  EXPECT_EQ((*back)[0].num_features(), 3u);
+  EXPECT_EQ((*back)[0].data, disk.data);
+}
+
+TEST(FamilyTest, FamiliesFromTableInterpolatesGaps) {
+  table::Schema schema({{"ts", table::DataType::kTimestamp},
+                        {"name", table::DataType::kString},
+                        {"v", table::DataType::kMap}});
+  table::Table t(schema);
+  auto row = [&](int64_t ts, const std::string& fam, double v) {
+    table::ValueMap m;
+    m["x"] = table::Value::Double(v);
+    t.AppendRow({table::Value::Timestamp(ts), table::Value::String(fam),
+                 table::Value::Map(m)});
+  };
+  row(0, "a", 1.0);
+  row(60, "a", 2.0);
+  row(120, "a", 3.0);
+  row(0, "b", 10.0);
+  row(120, "b", 30.0);  // b missing at ts=60
+  auto fams = FamiliesFromTable(t);
+  ASSERT_TRUE(fams.ok());
+  ASSERT_EQ(fams->size(), 2u);
+  const FeatureFamily& b = (*fams)[1];
+  EXPECT_EQ(b.num_timestamps(), 3u);
+  EXPECT_EQ(b.data(1, 0), 10.0);  // nearest observation fill (tie -> earlier)
+}
+
+TEST(FamilyTest, SliceFamilyRestrictsRows) {
+  GroupingOptions opts;
+  auto fams = BuildFamilies(MakeSeries(), opts);
+  ASSERT_TRUE(fams.ok());
+  FeatureFamily sliced = SliceFamily((*fams)[0], TimeRange{60, 180});
+  EXPECT_EQ(sliced.num_timestamps(), 2u);
+  EXPECT_EQ(sliced.timestamps[0], 60);
+  EXPECT_EQ(sliced.num_features(), 3u);
+}
+
+TEST(FamilyTest, MergeFamiliesConcatenatesFeatures) {
+  GroupingOptions opts;
+  auto fams = BuildFamilies(MakeSeries(), opts);
+  ASSERT_TRUE(fams.ok());
+  FeatureFamily merged = MergeFamilies(*fams, "all");
+  EXPECT_EQ(merged.name, "all");
+  EXPECT_EQ(merged.num_features(), 6u);
+  EXPECT_EQ(merged.num_timestamps(), 3u);
+  EXPECT_EQ(merged.feature_names[0],
+            "disk/disk{host=datanode-1,type=read_latency}");
+}
+
+TEST(FamilyTest, AlignFamiliesOntoUnionGrid) {
+  FeatureFamily a;
+  a.name = "a";
+  a.feature_names = {"f"};
+  a.timestamps = {0, 60, 120};
+  a.data = la::Matrix(3, 1, {1, 2, 3});
+  FeatureFamily b;
+  b.name = "b";
+  b.feature_names = {"g"};
+  b.timestamps = {60, 180};
+  b.data = la::Matrix(2, 1, {20, 40});
+  std::vector<FeatureFamily> fams = {a, b};
+  ASSERT_TRUE(AlignFamilies(&fams).ok());
+  EXPECT_EQ(fams[0].num_timestamps(), 4u);
+  EXPECT_EQ(fams[1].num_timestamps(), 4u);
+  EXPECT_EQ(fams[0].timestamps,
+            (std::vector<EpochSeconds>{0, 60, 120, 180}));
+  EXPECT_EQ(fams[0].data(3, 0), 3.0);  // trailing fill for a
+  EXPECT_EQ(fams[1].data(0, 0), 20.0);  // leading fill for b
+  EXPECT_EQ(fams[1].data(2, 0), 20.0);  // 120 closer to 60 than 180... tie rule
+}
+
+}  // namespace
+}  // namespace explainit::core

@@ -1,0 +1,148 @@
+#include "core/pseudocause.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "core/scorer.h"
+
+namespace explainit::core {
+namespace {
+
+FeatureFamily SeasonalTarget(size_t t, size_t period, double spike_start,
+                             double spike_len, uint64_t seed,
+                             la::Matrix* residual_cause = nullptr) {
+  Rng rng(seed);
+  FeatureFamily fam;
+  fam.name = "Y";
+  fam.feature_names = {"Y/f0"};
+  fam.data = la::Matrix(t, 1);
+  if (residual_cause != nullptr) *residual_cause = la::Matrix(t, 1);
+  for (size_t i = 0; i < t; ++i) {
+    fam.timestamps.push_back(static_cast<int64_t>(i) * 60);
+    const double seasonal =
+        3.0 * std::sin(2.0 * M_PI * static_cast<double>(i % period) /
+                       static_cast<double>(period));
+    const double cr =
+        (i >= spike_start && i < spike_start + spike_len) ? 4.0 : 0.0;
+    if (residual_cause != nullptr) {
+      (*residual_cause)(i, 0) = cr + rng.Normal() * 0.1;
+    }
+    fam.data(i, 0) = 10.0 + seasonal + cr + rng.Normal() * 0.3;
+  }
+  return fam;
+}
+
+TEST(PseudocauseTest, AutoDetectsPeriod) {
+  FeatureFamily y = SeasonalTarget(24 * 20, 24, 200, 30, 1);
+  auto pc = BuildPseudocause(y);
+  ASSERT_TRUE(pc.ok());
+  EXPECT_EQ(pc->period, 24u);
+  EXPECT_EQ(pc->systematic.num_features(), 1u);
+  EXPECT_EQ(pc->residual.num_features(), 1u);
+  EXPECT_EQ(pc->systematic.name, "Y:systematic");
+}
+
+TEST(PseudocauseTest, ComponentsSumToTarget) {
+  FeatureFamily y = SeasonalTarget(480, 24, 200, 30, 2);
+  auto pc = BuildPseudocause(y);
+  ASSERT_TRUE(pc.ok());
+  for (size_t i = 0; i < y.num_timestamps(); ++i) {
+    EXPECT_NEAR(pc->systematic.data(i, 0) + pc->residual.data(i, 0),
+                y.data(i, 0), 1e-9);
+  }
+}
+
+TEST(PseudocauseTest, ResidualCapturesSpikeNotSeason) {
+  FeatureFamily y = SeasonalTarget(24 * 25, 24, 300, 40, 3);
+  auto pc = BuildPseudocause(y);
+  ASSERT_TRUE(pc.ok());
+  // The residual around the spike should be large; elsewhere small.
+  double in_spike = 0.0, outside = 0.0;
+  size_t n_in = 0, n_out = 0;
+  for (size_t i = 0; i < y.num_timestamps(); ++i) {
+    if (i >= 305 && i < 335) {
+      in_spike += pc->residual.data(i, 0);
+      ++n_in;
+    } else if (i < 290 || i > 350) {
+      outside += std::abs(pc->residual.data(i, 0));
+      ++n_out;
+    }
+  }
+  EXPECT_GT(in_spike / n_in, 2.0);
+  EXPECT_LT(outside / n_out, 0.7);
+}
+
+TEST(PseudocauseTest, ExplicitPeriodOverridesDetection) {
+  FeatureFamily y = SeasonalTarget(480, 24, 200, 30, 4);
+  PseudocauseOptions opts;
+  opts.period = 48;
+  auto pc = BuildPseudocause(y, opts);
+  ASSERT_TRUE(pc.ok());
+  EXPECT_EQ(pc->period, 48u);
+}
+
+TEST(PseudocauseTest, NoPeriodFallsBackToTrend) {
+  Rng rng(5);
+  FeatureFamily y;
+  y.name = "Y";
+  y.feature_names = {"f"};
+  y.data = la::Matrix(300, 1);
+  for (size_t i = 0; i < 300; ++i) {
+    y.timestamps.push_back(static_cast<int64_t>(i) * 60);
+    y.data(i, 0) = 0.05 * static_cast<double>(i) + rng.Normal();
+  }
+  auto pc = BuildPseudocause(y);
+  ASSERT_TRUE(pc.ok());
+  EXPECT_EQ(pc->period, 0u);  // trend only
+  // Systematic part tracks the ramp.
+  EXPECT_GT(pc->systematic.data(250, 0), pc->systematic.data(20, 0) + 5.0);
+}
+
+TEST(PseudocauseTest, TooShortFails) {
+  FeatureFamily y;
+  y.data = la::Matrix(4, 1);
+  y.timestamps = {0, 60, 120, 180};
+  y.feature_names = {"f"};
+  EXPECT_FALSE(BuildPseudocause(y).ok());
+}
+
+TEST(PseudocauseTest, Figure3ConditioningRevealsResidualCause) {
+  // The Figure 3 experiment: Cs drives the seasonal part, Cr drives the
+  // residual. Without conditioning, Cs outranks or ties Cr; conditioning
+  // on the pseudocause Ys suppresses Cs and boosts Cr.
+  const size_t t = 24 * 25;
+  Rng rng(6);
+  la::Matrix cs(t, 1), cr(t, 1);
+  FeatureFamily y;
+  y.name = "Y";
+  y.feature_names = {"Y/f0"};
+  y.data = la::Matrix(t, 1);
+  for (size_t i = 0; i < t; ++i) {
+    y.timestamps.push_back(static_cast<int64_t>(i) * 60);
+    cs(i, 0) = 3.0 * std::sin(2.0 * M_PI * static_cast<double>(i % 24) / 24.0) +
+               rng.Normal() * 0.1;
+    cr(i, 0) = (i >= 300 && i < 340) ? 4.0 + rng.Normal() * 0.2
+                                     : rng.Normal() * 0.2;
+    y.data(i, 0) = 10.0 + cs(i, 0) + cr(i, 0) + rng.Normal() * 0.2;
+  }
+  auto pc = BuildPseudocause(y);
+  ASSERT_TRUE(pc.ok());
+  RidgeScorer scorer;
+  la::Matrix empty;
+  auto cs_marginal = scorer.Score(cs, y.data, empty);
+  auto cr_marginal = scorer.Score(cr, y.data, empty);
+  auto cs_cond = scorer.Score(cs, y.data, pc->systematic.data);
+  auto cr_cond = scorer.Score(cr, y.data, pc->systematic.data);
+  ASSERT_TRUE(cs_marginal.ok() && cr_marginal.ok() && cs_cond.ok() &&
+              cr_cond.ok());
+  // Marginally the seasonal cause dominates.
+  EXPECT_GT(cs_marginal->score, cr_marginal->score);
+  // Conditioning on Ys blocks Cs and reveals Cr (Figure 3's claim).
+  EXPECT_GT(cr_cond->score, cs_cond->score);
+  EXPECT_LT(cs_cond->score, 0.25);
+}
+
+}  // namespace
+}  // namespace explainit::core

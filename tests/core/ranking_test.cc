@@ -1,0 +1,252 @@
+#include "core/ranking.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/eval_metrics.h"
+
+namespace explainit::core {
+namespace {
+
+// A tiny world: Y is driven by "cause"; "effect" is driven by Y; the rest
+// are noise families.
+struct World {
+  FeatureFamily target;
+  std::vector<FeatureFamily> candidates;
+};
+
+World MakeWorld(size_t t, size_t noise_families, uint64_t seed) {
+  Rng rng(seed);
+  World w;
+  std::vector<EpochSeconds> grid(t);
+  for (size_t i = 0; i < t; ++i) grid[i] = static_cast<int64_t>(i) * 60;
+
+  FeatureFamily cause;
+  cause.name = "cause";
+  cause.feature_names = {"cause/f0"};
+  cause.timestamps = grid;
+  cause.data = la::Matrix(t, 1);
+  for (size_t i = 0; i < t; ++i) cause.data(i, 0) = rng.Normal();
+
+  w.target.name = "runtime";
+  w.target.feature_names = {"runtime/f0"};
+  w.target.timestamps = grid;
+  w.target.data = la::Matrix(t, 1);
+  for (size_t i = 0; i < t; ++i) {
+    w.target.data(i, 0) = 2.0 * cause.data(i, 0) + rng.Normal() * 0.3;
+  }
+
+  FeatureFamily effect;
+  effect.name = "effect";
+  effect.feature_names = {"effect/f0"};
+  effect.timestamps = grid;
+  effect.data = la::Matrix(t, 1);
+  for (size_t i = 0; i < t; ++i) {
+    effect.data(i, 0) = w.target.data(i, 0) * 0.9 + rng.Normal() * 0.8;
+  }
+
+  w.candidates.push_back(std::move(cause));
+  w.candidates.push_back(std::move(effect));
+  for (size_t k = 0; k < noise_families; ++k) {
+    FeatureFamily f;
+    f.name = "noise-" + std::to_string(k);
+    f.feature_names = {f.name + "/f0"};
+    f.timestamps = grid;
+    f.data = la::Matrix(t, 1);
+    for (size_t i = 0; i < t; ++i) f.data(i, 0) = rng.Normal();
+    w.candidates.push_back(std::move(f));
+  }
+  return w;
+}
+
+TEST(RankingTest, CauseAndEffectOutrankNoise) {
+  World w = MakeWorld(400, 10, 1);
+  RidgeScorer scorer;
+  auto table = RankFamilies(scorer, w.target, nullptr, w.candidates);
+  ASSERT_TRUE(table.ok());
+  ASSERT_GE(table->rows.size(), 2u);
+  // Top two are cause and effect (either order), noise far below.
+  std::set<std::string> top2 = {table->rows[0].family_name,
+                                table->rows[1].family_name};
+  EXPECT_TRUE(top2.count("cause") == 1);
+  EXPECT_TRUE(top2.count("effect") == 1);
+  EXPECT_GT(table->rows[1].score, table->rows[2].score + 0.3);
+}
+
+TEST(RankingTest, TopKCutoffApplied) {
+  World w = MakeWorld(200, 30, 2);
+  CorrMaxScorer scorer;
+  RankingOptions opts;
+  opts.top_k = 5;
+  auto table = RankFamilies(scorer, w.target, nullptr, w.candidates, opts);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows.size(), 5u);
+}
+
+TEST(RankingTest, ScoresSortedDescending) {
+  World w = MakeWorld(300, 8, 3);
+  CorrMaxScorer scorer;
+  auto table = RankFamilies(scorer, w.target, nullptr, w.candidates);
+  ASSERT_TRUE(table.ok());
+  for (size_t i = 1; i < table->rows.size(); ++i) {
+    EXPECT_GE(table->rows[i - 1].score, table->rows[i].score);
+  }
+}
+
+TEST(RankingTest, RankOfLookup) {
+  World w = MakeWorld(300, 5, 4);
+  RidgeScorer scorer;
+  auto table = RankFamilies(scorer, w.target, nullptr, w.candidates);
+  ASSERT_TRUE(table.ok());
+  EXPECT_GE(table->RankOf("cause"), 1u);
+  EXPECT_LE(table->RankOf("cause"), 2u);
+  EXPECT_EQ(table->RankOf("not-a-family"), 0u);
+}
+
+TEST(RankingTest, MisalignedCandidateSkippedNotFatal) {
+  World w = MakeWorld(300, 3, 5);
+  w.candidates[2].data = la::Matrix(10, 1);  // wrong T
+  w.candidates[2].timestamps.resize(10);
+  RidgeScorer scorer;
+  auto table = RankFamilies(scorer, w.target, nullptr, w.candidates);
+  ASSERT_TRUE(table.ok());
+  // One fewer row than candidates; ranking itself succeeded.
+  EXPECT_EQ(table->rows.size(), w.candidates.size() - 1);
+}
+
+TEST(RankingTest, EmptyTargetFails) {
+  FeatureFamily empty;
+  RidgeScorer scorer;
+  auto table = RankFamilies(scorer, empty, nullptr, {});
+  EXPECT_FALSE(table.ok());
+}
+
+TEST(RankingTest, ConditionMustBeAligned) {
+  World w = MakeWorld(300, 2, 6);
+  FeatureFamily bad_z;
+  bad_z.name = "z";
+  bad_z.feature_names = {"z/f0"};
+  bad_z.timestamps = {0};
+  bad_z.data = la::Matrix(1, 1);
+  RidgeScorer scorer;
+  auto table = RankFamilies(scorer, w.target, &bad_z, w.candidates);
+  EXPECT_FALSE(table.ok());
+}
+
+TEST(RankingTest, PerHypothesisTimingRecorded) {
+  World w = MakeWorld(300, 4, 7);
+  RidgeScorer scorer;
+  auto table = RankFamilies(scorer, w.target, nullptr, w.candidates);
+  ASSERT_TRUE(table.ok());
+  for (const auto& row : table->rows) {
+    EXPECT_GT(row.score_seconds, 0.0) << row.family_name;
+  }
+  EXPECT_GT(table->total_seconds, 0.0);
+}
+
+TEST(RankingTest, IpcSimulationChargesSerialization) {
+  World w = MakeWorld(300, 4, 8);
+  CorrMaxScorer scorer;
+  RankingOptions opts;
+  opts.simulate_ipc = true;
+  auto table = RankFamilies(scorer, w.target, nullptr, w.candidates, opts);
+  ASSERT_TRUE(table.ok());
+  bool any = false;
+  for (const auto& row : table->rows) {
+    if (row.serialization_seconds > 0.0) any = true;
+  }
+  EXPECT_TRUE(any);
+}
+
+TEST(RankingTest, ExplainRangeScoreComputed) {
+  World w = MakeWorld(400, 2, 9);
+  RidgeScorer scorer;
+  RankingOptions opts;
+  opts.explain_range = TimeRange{100 * 60, 200 * 60};
+  auto table = RankFamilies(scorer, w.target, nullptr, w.candidates, opts);
+  ASSERT_TRUE(table.ok());
+  const size_t cause_rank = table->RankOf("cause");
+  ASSERT_GE(cause_rank, 1u);
+  EXPECT_GT(table->rows[cause_rank - 1].explain_window_score, 0.5);
+}
+
+TEST(RankingTest, VizRendering) {
+  World w = MakeWorld(300, 1, 10);
+  RidgeScorer scorer;
+  RankingOptions opts;
+  opts.render_viz = true;
+  auto table = RankFamilies(scorer, w.target, nullptr, w.candidates, opts);
+  ASSERT_TRUE(table.ok());
+  EXPECT_NE(table->rows[0].viz.find("E[Y|X]"), std::string::npos);
+}
+
+TEST(RankingTest, ToTableAndToString) {
+  World w = MakeWorld(300, 2, 11);
+  CorrMaxScorer scorer;
+  auto table = RankFamilies(scorer, w.target, nullptr, w.candidates);
+  ASSERT_TRUE(table.ok());
+  table::Table t = table->ToTable();
+  EXPECT_EQ(t.num_rows(), table->rows.size());
+  EXPECT_EQ(t.At(0, 0).AsInt(), 1);
+  std::string s = table->ToString();
+  EXPECT_NE(s.find("rank"), std::string::npos);
+  EXPECT_NE(s.find("cause"), std::string::npos);
+}
+
+TEST(SparklineTest, RendersBuckets) {
+  std::vector<double> flat(100, 1.0);
+  const std::string s = RenderSparkline(flat, 10);
+  EXPECT_EQ(s.size(), 10u);
+  std::vector<double> ramp;
+  for (int i = 0; i < 100; ++i) ramp.push_back(i);
+  const std::string r = RenderSparkline(ramp, 10);
+  EXPECT_EQ(r.front(), ' ');  // minimum level renders blank
+  EXPECT_EQ(r.back(), '#');
+  EXPECT_EQ(RenderSparkline({}, 10), "");
+}
+
+TEST(SparklineTest, SpikeSurvivesDownsampling) {
+  std::vector<double> y(1000, 0.0);
+  y[500] = 100.0;
+  const std::string s = RenderSparkline(y, 20);
+  EXPECT_NE(s.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace explainit::core
+
+namespace explainit::core {
+namespace {
+
+TEST(RankingTest, SignificanceAnnotationSeparatesSignalFromNoise) {
+  World w = MakeWorld(400, 20, 12);
+  RidgeScorer scorer;
+  RankingOptions opts;
+  opts.top_k = 0;  // keep everything so null rows are present
+  opts.significance_fdr = 0.05;
+  auto table = RankFamilies(scorer, w.target, nullptr, w.candidates, opts);
+  ASSERT_TRUE(table.ok());
+  // The cause/effect rows are significant with tiny p-values.
+  const size_t cause_rank = table->RankOf("cause");
+  ASSERT_GE(cause_rank, 1u);
+  EXPECT_TRUE(table->rows[cause_rank - 1].significant);
+  EXPECT_LT(table->rows[cause_rank - 1].p_value, 1e-6);
+  // Pure-noise rows at the bottom are not significant.
+  const auto& last = table->rows.back();
+  EXPECT_FALSE(last.significant);
+  EXPECT_GT(last.p_value, 0.01);
+}
+
+TEST(RankingTest, SignificanceOffByDefault) {
+  World w = MakeWorld(300, 3, 13);
+  CorrMaxScorer scorer;
+  auto table = RankFamilies(scorer, w.target, nullptr, w.candidates);
+  ASSERT_TRUE(table.ok());
+  for (const auto& row : table->rows) {
+    EXPECT_EQ(row.p_value, 1.0);
+    EXPECT_TRUE(row.significant);
+  }
+}
+
+}  // namespace
+}  // namespace explainit::core

@@ -1,0 +1,293 @@
+#include "core/scorer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "la/blas.h"
+
+namespace explainit::core {
+namespace {
+
+// Builds the Figure 1 chain Z -> Y -> X3 with independent noise:
+//   z: exogenous input rate
+//   y = f(z) + noise   (runtime driven by input)
+//   x = g(y) + noise   (disk latency driven by runtime)
+struct ChainData {
+  la::Matrix z, y, x, noise;
+};
+
+ChainData MakeChain(size_t t, uint64_t seed, double noise_level = 0.3) {
+  Rng rng(seed);
+  ChainData d;
+  d.z = la::Matrix(t, 1);
+  d.y = la::Matrix(t, 1);
+  d.x = la::Matrix(t, 1);
+  d.noise = la::Matrix(t, 2);
+  for (size_t i = 0; i < t; ++i) {
+    d.z(i, 0) = rng.Normal(100.0, 20.0);
+    d.y(i, 0) = 0.05 * d.z(i, 0) + rng.Normal() * noise_level;
+    d.x(i, 0) = 2.0 * d.y(i, 0) + rng.Normal() * noise_level;
+    d.noise(i, 0) = rng.Normal();
+    d.noise(i, 1) = rng.Normal();
+  }
+  return d;
+}
+
+la::Matrix Empty() { return la::Matrix(); }
+
+TEST(CorrScorerTest, DetectsLinearDependence) {
+  ChainData d = MakeChain(600, 1);
+  CorrMaxScorer corr_max;
+  CorrMeanScorer corr_mean;
+  auto smax = corr_max.Score(d.x, d.y, Empty());
+  auto smean = corr_mean.Score(d.x, d.y, Empty());
+  ASSERT_TRUE(smax.ok());
+  ASSERT_TRUE(smean.ok());
+  EXPECT_GT(smax->score, 0.8);
+  EXPECT_GT(smean->score, 0.8);  // single pair: mean == max
+  EXPECT_NEAR(smax->score, smean->score, 1e-12);
+}
+
+TEST(CorrScorerTest, NoiseScoresLow) {
+  ChainData d = MakeChain(600, 2);
+  CorrMaxScorer scorer;
+  auto s = scorer.Score(d.noise, d.y, Empty());
+  ASSERT_TRUE(s.ok());
+  EXPECT_LT(s->score, 0.2);
+}
+
+TEST(CorrScorerTest, MeanDilutedByNoiseColumnsMaxIsNot) {
+  // CorrMean's weakness (§6.1): noise features dilute the mean.
+  ChainData d = MakeChain(600, 3);
+  Rng rng(4);
+  la::Matrix wide(600, 20);
+  for (size_t r = 0; r < 600; ++r) {
+    wide(r, 0) = d.x(r, 0);  // one signal column
+    for (size_t c = 1; c < 20; ++c) wide(r, c) = rng.Normal();
+  }
+  CorrMaxScorer corr_max;
+  CorrMeanScorer corr_mean;
+  auto smax = corr_max.Score(wide, d.y, Empty());
+  auto smean = corr_mean.Score(wide, d.y, Empty());
+  ASSERT_TRUE(smax.ok());
+  ASSERT_TRUE(smean.ok());
+  EXPECT_GT(smax->score, 0.8);
+  EXPECT_LT(smean->score, 0.3);
+}
+
+TEST(RidgeScorerTest, MarginalScoreMatchesSignal) {
+  ChainData d = MakeChain(600, 5, /*noise=*/0.1);
+  RidgeScorer scorer;
+  auto s = scorer.Score(d.x, d.y, Empty());
+  ASSERT_TRUE(s.ok());
+  EXPECT_GT(s->score, 0.9);
+  EXPECT_GT(s->best_lambda, 0.0);
+  EXPECT_EQ(s->fitted.rows(), 600u);  // overlay for diagnostics
+}
+
+TEST(RidgeScorerTest, JointDependenceBeatsUnivariate) {
+  // The §6.1 motivation: Y depends on the SUM of many weak features; no
+  // single feature correlates strongly but jointly they explain Y.
+  Rng rng(6);
+  const size_t t = 600, f = 30;
+  la::Matrix x(t, f), y(t, 1);
+  rng.FillNormal(x.data(), x.size());
+  for (size_t r = 0; r < t; ++r) {
+    double acc = 0.0;
+    for (size_t c = 0; c < f; ++c) acc += x(r, c);
+    y(r, 0) = acc / std::sqrt(static_cast<double>(f)) + rng.Normal() * 0.3;
+  }
+  RidgeScorer ridge;
+  CorrMaxScorer corr;
+  auto sr = ridge.Score(x, y, Empty());
+  auto sc = corr.Score(x, y, Empty());
+  ASSERT_TRUE(sr.ok());
+  ASSERT_TRUE(sc.ok());
+  EXPECT_GT(sr->score, 0.8);       // joint scorer sees the full signal
+  EXPECT_LT(sc->score, 0.45);      // each single feature explains ~1/30
+  EXPECT_GT(sr->score, sc->score + 0.3);
+}
+
+TEST(RidgeScorerTest, ConditionalBlocksChainDependence) {
+  // Figure 1 / §3.3: Z -> Y -> X. Marginally X ~ Z is dependent; given Y
+  // it is (approximately) independent: score(X, Z | Y) << score(X, Z).
+  ChainData d = MakeChain(900, 7, /*noise=*/0.5);
+  RidgeScorer scorer;
+  auto marginal = scorer.Score(d.x, d.z, Empty());
+  auto conditional = scorer.Score(d.x, d.z, d.y);
+  ASSERT_TRUE(marginal.ok());
+  ASSERT_TRUE(conditional.ok());
+  EXPECT_GT(marginal->score, 0.4);
+  EXPECT_LT(conditional->score, 0.1);
+  EXPECT_LT(conditional->score, marginal->score * 0.5);
+}
+
+TEST(RidgeScorerTest, ConditioningRevealsResidualCause) {
+  // §5.2's pattern: Y = f(load) + g(fault). Conditioning on load exposes
+  // the fault family that would otherwise rank below the load.
+  Rng rng(8);
+  const size_t t = 700;
+  la::Matrix load(t, 1), fault(t, 1), y(t, 1);
+  for (size_t i = 0; i < t; ++i) {
+    load(i, 0) = rng.Normal(1000.0, 200.0);
+    // Recurring fault bursts (like §5.2's retransmissions), so every CV
+    // fold observes fault activity.
+    const bool bursting = (i % 140) < 35;
+    fault(i, 0) = bursting ? rng.Normal(5.0, 1.0) : 0.0;
+    y(i, 0) = 0.01 * load(i, 0) + 2.0 * fault(i, 0) + rng.Normal() * 0.5;
+  }
+  RidgeScorer scorer;
+  auto marg = scorer.Score(fault, y, Empty());
+  auto cond = scorer.Score(fault, y, load);
+  ASSERT_TRUE(marg.ok());
+  ASSERT_TRUE(cond.ok());
+  // After conditioning on load, the fault explains a larger share of the
+  // remaining variance.
+  EXPECT_GT(cond->score, marg->score);
+}
+
+TEST(ProjectedRidgeTest, NarrowInputBypassesProjection) {
+  ChainData d = MakeChain(400, 9, 0.1);
+  RidgeScorerOptions opts;
+  opts.projection_dim = 50;
+  RidgeScorer p50(opts);
+  RidgeScorer plain;
+  auto a = p50.Score(d.x, d.y, Empty());
+  auto b = plain.Score(d.x, d.y, Empty());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // nx = 1 <= 50: identical computation.
+  EXPECT_NEAR(a->score, b->score, 1e-9);
+}
+
+TEST(ProjectedRidgeTest, WideInputProjectedAndStillDetects) {
+  // Monitoring metrics are highly correlated (low rank): X mixes a few
+  // latent factors across many features, and Y follows one factor.
+  // Random projection preserves that low-rank structure (JL), which is
+  // why the paper's L2-P50 works at 100k+ features.
+  Rng rng(10);
+  const size_t t = 300, f = 400, k = 5;
+  la::Matrix latent(t, k);
+  rng.FillNormal(latent.data(), latent.size());
+  la::Matrix mix(k, f);
+  rng.FillNormal(mix.data(), mix.size());
+  la::Matrix x = la::MatMul(latent, mix);
+  // Small per-feature noise.
+  for (size_t i = 0; i < x.size(); ++i) x.data()[i] += rng.Normal() * 0.1;
+  la::Matrix y(t, 1);
+  for (size_t r = 0; r < t; ++r) {
+    y(r, 0) = latent(r, 0) + rng.Normal() * 0.2;
+  }
+  RidgeScorerOptions opts;
+  opts.projection_dim = 50;
+  opts.projection_samples = 3;
+  RidgeScorer p50(opts);
+  auto s = p50.Score(x, y, Empty());
+  ASSERT_TRUE(s.ok());
+  EXPECT_GT(s->score, 0.7);
+}
+
+TEST(ProjectedRidgeTest, NamesEncodeDimension) {
+  RidgeScorerOptions opts;
+  opts.projection_dim = 50;
+  EXPECT_EQ(RidgeScorer(opts).name(), "L2-P50");
+  opts.projection_dim = 500;
+  EXPECT_EQ(RidgeScorer(opts).name(), "L2-P500");
+  EXPECT_EQ(RidgeScorer().name(), "L2");
+}
+
+TEST(LassoScorerTest, DetectsSparseSignal) {
+  Rng rng(11);
+  const size_t t = 300, f = 20;
+  la::Matrix x(t, f), y(t, 1);
+  rng.FillNormal(x.data(), x.size());
+  for (size_t r = 0; r < t; ++r) {
+    y(r, 0) = 2.0 * x(r, 7) + rng.Normal() * 0.2;
+  }
+  LassoScorer scorer;
+  auto s = scorer.Score(x, y, Empty());
+  ASSERT_TRUE(s.ok());
+  EXPECT_GT(s->score, 0.8);
+}
+
+TEST(PcaScorerTest, PcaCanDiscardAnomalyDirection) {
+  // §4.2: "PCA reduces the feature dimensionality by modeling the normal
+  // behaviour, and discards the anomalies". Build X whose high-variance
+  // directions are irrelevant and whose low-variance direction drives Y.
+  Rng rng(12);
+  const size_t t = 500, f = 40;
+  la::Matrix x(t, f), y(t, 1);
+  for (size_t r = 0; r < t; ++r) {
+    // 39 high-variance noise dims; 1 tiny-variance anomaly dim (the
+    // last). Anomalies recur so every CV fold sees events.
+    for (size_t c = 0; c + 1 < f; ++c) x(r, c) = rng.Normal() * 10.0;
+    const bool in_event = (r % 100) >= 40 && (r % 100) < 55;
+    const double anomaly = in_event ? 1.0 : 0.0;
+    x(r, f - 1) = anomaly + rng.Normal() * 0.05;
+    y(r, 0) = 5.0 * anomaly + rng.Normal() * 0.1;
+  }
+  PcaRidgeScorer pca(5);
+  RidgeScorer plain;
+  auto sp = pca.Score(x, y, Empty());
+  auto sr = plain.Score(x, y, Empty());
+  ASSERT_TRUE(sp.ok());
+  ASSERT_TRUE(sr.ok());
+  EXPECT_GT(sr->score, 0.8);           // ridge keeps the anomaly feature
+  EXPECT_LT(sp->score, sr->score - 0.3);  // PCA throws it away
+}
+
+TEST(ScorerFactoryTest, AllPaperScorersConstructible) {
+  for (const char* name :
+       {"CorrMean", "CorrMax", "L2", "L2-P50", "L2-P500", "L1", "L2-PCA50"}) {
+    auto s = MakeScorer(name);
+    ASSERT_TRUE(s.ok()) << name;
+    EXPECT_EQ((*s)->name(), name);
+  }
+  EXPECT_FALSE(MakeScorer("bogus").ok());
+}
+
+TEST(ScorerTest, ShapeValidation) {
+  la::Matrix x(10, 1), y(12, 1);
+  RidgeScorer scorer;
+  EXPECT_FALSE(scorer.Score(x, y, Empty()).ok());
+  la::Matrix y2(10, 0);
+  EXPECT_FALSE(scorer.Score(x, y2, Empty()).ok());
+  la::Matrix z(5, 1);
+  la::Matrix y3(10, 1);
+  EXPECT_FALSE(scorer.Score(x, y3, z).ok());
+}
+
+// Appendix B property: for jointly Gaussian (X, Y, Z) with
+// Sigma_xy = Sigma_xz Sigma_zz^-1 Sigma_zy (X ⊥ Y | Z), the conditional
+// score is ~0; when X has direct effect on Y it is clearly positive.
+class ConditionalPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ConditionalPropertyTest, ZeroScoreIffConditionallyIndependent) {
+  const double direct_effect = GetParam();
+  Rng rng(13 + static_cast<uint64_t>(direct_effect * 100));
+  const size_t t = 1000;
+  la::Matrix x(t, 1), y(t, 1), z(t, 2);
+  for (size_t i = 0; i < t; ++i) {
+    z(i, 0) = rng.Normal();
+    z(i, 1) = rng.Normal();
+    // X and Y both driven by Z; X -> Y only when direct_effect > 0.
+    x(i, 0) = z(i, 0) + 0.5 * z(i, 1) + rng.Normal() * 0.5;
+    y(i, 0) = -z(i, 0) + z(i, 1) + direct_effect * x(i, 0) +
+              rng.Normal() * 0.5;
+  }
+  auto res = ConditionalRidgeScore(x, y, z, stats::RidgeOptions{});
+  ASSERT_TRUE(res.ok());
+  if (direct_effect == 0.0) {
+    EXPECT_LT(res->score, 0.05);
+  } else {
+    EXPECT_GT(res->score, 0.2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Effects, ConditionalPropertyTest,
+                         ::testing::Values(0.0, 0.5, 1.0, 2.0));
+
+}  // namespace
+}  // namespace explainit::core

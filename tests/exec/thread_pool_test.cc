@@ -1,0 +1,105 @@
+#include "exec/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "exec/ipc.h"
+#include "common/random.h"
+
+namespace explainit::exec {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, WaitOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(500);
+  ParallelFor(pool, 500, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < 500; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, UsesMultipleThreads) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  ParallelFor(pool, 64, [&](size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    std::lock_guard<std::mutex> lock(mu);
+    ids.insert(std::this_thread::get_id());
+  });
+  EXPECT_GT(ids.size(), 1u);
+}
+
+TEST(ThreadPoolTest, DefaultSizeIsHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(IpcTest, MatrixRoundTripExact) {
+  Rng rng(1);
+  la::Matrix m(37, 13);
+  rng.FillNormal(m.data(), m.size());
+  auto back = DecodeMatrix(EncodeMatrix(m));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), m);
+}
+
+TEST(IpcTest, EmptyMatrix) {
+  la::Matrix m;
+  auto back = DecodeMatrix(EncodeMatrix(m));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->rows(), 0u);
+  EXPECT_EQ(back->cols(), 0u);
+}
+
+TEST(IpcTest, RejectsCorruptBuffers) {
+  EXPECT_FALSE(DecodeMatrix({1, 2, 3}).ok());
+  la::Matrix m(2, 2);
+  auto buf = EncodeMatrix(m);
+  buf[0] ^= 0xFF;  // clobber magic
+  EXPECT_FALSE(DecodeMatrix(buf).ok());
+  buf[0] ^= 0xFF;
+  buf.pop_back();  // truncate
+  EXPECT_FALSE(DecodeMatrix(buf).ok());
+}
+
+TEST(IpcTest, RoundTripAccumulatesTime) {
+  Rng rng(2);
+  la::Matrix m(100, 50);
+  rng.FillNormal(m.data(), m.size());
+  double seconds = 0.0;
+  auto back = RoundTripMatrix(m, &seconds);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), m);
+  EXPECT_GT(seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace explainit::exec

@@ -1,0 +1,133 @@
+#include "la/blas.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace explainit::la {
+namespace {
+
+Matrix RandomMatrix(size_t r, size_t c, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(r, c);
+  rng.FillNormal(m.data(), m.size());
+  return m;
+}
+
+// Reference O(n^3) naive multiply for cross-checking the blocked kernels.
+Matrix NaiveMatMul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (size_t k = 0; k < a.cols(); ++k) acc += a(i, k) * b(k, j);
+      c(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+void ExpectMatrixNear(const Matrix& a, const Matrix& b, double tol = 1e-9) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) {
+      EXPECT_NEAR(a(r, c), b(r, c), tol) << "at (" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(BlasTest, MatMulSmallKnown) {
+  Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  Matrix b(3, 2, {7, 8, 9, 10, 11, 12});
+  Matrix c = MatMul(a, b);
+  EXPECT_EQ(c(0, 0), 58);
+  EXPECT_EQ(c(0, 1), 64);
+  EXPECT_EQ(c(1, 0), 139);
+  EXPECT_EQ(c(1, 1), 154);
+}
+
+TEST(BlasTest, MatMulMatchesNaive) {
+  Matrix a = RandomMatrix(57, 33, 1);
+  Matrix b = RandomMatrix(33, 29, 2);
+  ExpectMatrixNear(MatMul(a, b), NaiveMatMul(a, b));
+}
+
+TEST(BlasTest, MatTMulMatchesTransposeThenMultiply) {
+  Matrix a = RandomMatrix(41, 17, 3);
+  Matrix b = RandomMatrix(41, 23, 4);
+  ExpectMatrixNear(MatTMul(a, b), NaiveMatMul(a.Transposed(), b));
+}
+
+TEST(BlasTest, MatMulTMatchesMultiplyByTranspose) {
+  Matrix a = RandomMatrix(19, 31, 5);
+  Matrix b = RandomMatrix(27, 31, 6);
+  ExpectMatrixNear(MatMulT(a, b), NaiveMatMul(a, b.Transposed()));
+}
+
+TEST(BlasTest, GramIsXtX) {
+  Matrix a = RandomMatrix(50, 12, 7);
+  Matrix g = Gram(a);
+  ExpectMatrixNear(g, NaiveMatMul(a.Transposed(), a));
+  // Symmetry.
+  for (size_t i = 0; i < g.rows(); ++i) {
+    for (size_t j = 0; j < g.cols(); ++j) EXPECT_EQ(g(i, j), g(j, i));
+  }
+}
+
+TEST(BlasTest, GramTIsXXt) {
+  Matrix a = RandomMatrix(14, 40, 8);
+  ExpectMatrixNear(GramT(a), NaiveMatMul(a, a.Transposed()));
+}
+
+TEST(BlasTest, MatVecAndMatTVec) {
+  Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  std::vector<double> x = {1, 1, 1};
+  auto y = MatVec(a, x);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_EQ(y[0], 6);
+  EXPECT_EQ(y[1], 15);
+  std::vector<double> z = {1, 2};
+  auto w = MatTVec(a, z);
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_EQ(w[0], 9);
+  EXPECT_EQ(w[1], 12);
+  EXPECT_EQ(w[2], 15);
+}
+
+TEST(BlasTest, DotAndAxpy) {
+  std::vector<double> a = {1, 2, 3};
+  std::vector<double> b = {4, 5, 6};
+  EXPECT_EQ(Dot(a, b), 32.0);
+  Axpy(2.0, a, b);
+  EXPECT_EQ(b[0], 6);
+  EXPECT_EQ(b[2], 12);
+}
+
+TEST(BlasTest, MatMulWithZeroDims) {
+  Matrix a(0, 5);
+  Matrix b(5, 3);
+  Matrix c = MatMul(a, b);
+  EXPECT_EQ(c.rows(), 0u);
+  EXPECT_EQ(c.cols(), 3u);
+}
+
+// Property sweep: MatMul associativity-ish sanity over several shapes.
+class BlasShapeTest : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(BlasShapeTest, BlockedMatchesNaive) {
+  auto [m, k, n] = GetParam();
+  Matrix a = RandomMatrix(m, k, 100 + m);
+  Matrix b = RandomMatrix(k, n, 200 + n);
+  ExpectMatrixNear(MatMul(a, b), NaiveMatMul(a, b), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BlasShapeTest,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(65, 3, 2),
+                      std::make_tuple(64, 256, 8), std::make_tuple(3, 300, 3),
+                      std::make_tuple(129, 257, 5),
+                      std::make_tuple(10, 1, 10)));
+
+}  // namespace
+}  // namespace explainit::la

@@ -1,0 +1,108 @@
+#include "la/cholesky.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "la/blas.h"
+
+namespace explainit::la {
+namespace {
+
+Matrix RandomSpd(size_t n, uint64_t seed, double diag_boost = 0.1) {
+  Rng rng(seed);
+  Matrix a(n + 5, n);
+  rng.FillNormal(a.data(), a.size());
+  Matrix spd = Gram(a);
+  for (size_t i = 0; i < n; ++i) spd(i, i) += diag_boost;
+  return spd;
+}
+
+TEST(CholeskyTest, FactorReconstructs) {
+  Matrix a = RandomSpd(8, 42);
+  auto l = CholeskyFactor(a);
+  ASSERT_TRUE(l.ok()) << l.status().ToString();
+  Matrix rec = MatMulT(l.value(), l.value());
+  for (size_t i = 0; i < 8; ++i) {
+    for (size_t j = 0; j < 8; ++j) EXPECT_NEAR(rec(i, j), a(i, j), 1e-9);
+  }
+}
+
+TEST(CholeskyTest, FactorIsLowerTriangular) {
+  Matrix a = RandomSpd(6, 7);
+  auto l = CholeskyFactor(a);
+  ASSERT_TRUE(l.ok());
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t j = i + 1; j < 6; ++j) EXPECT_EQ(l.value()(i, j), 0.0);
+  }
+}
+
+TEST(CholeskyTest, SolveRecoversKnownSolution) {
+  Matrix a = RandomSpd(10, 3);
+  Rng rng(5);
+  Matrix x_true(10, 2);
+  rng.FillNormal(x_true.data(), x_true.size());
+  Matrix b = MatMul(a, x_true);
+  auto l = CholeskyFactor(a);
+  ASSERT_TRUE(l.ok());
+  Matrix x = CholeskySolve(l.value(), b);
+  for (size_t i = 0; i < 10; ++i) {
+    for (size_t j = 0; j < 2; ++j) EXPECT_NEAR(x(i, j), x_true(i, j), 1e-8);
+  }
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  Matrix a(3, 4);
+  EXPECT_FALSE(CholeskyFactor(a).ok());
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix a(2, 2, {1, 2, 2, 1});  // eigenvalues 3, -1
+  EXPECT_FALSE(CholeskyFactor(a).ok());
+}
+
+TEST(CholeskyTest, SolveSpdHandlesSingularWithJitter) {
+  // Rank-1 matrix: xx^T. Plain Cholesky fails; SolveSpd must recover via
+  // jitter escalation.
+  Matrix x(3, 1, {1, 2, 3});
+  Matrix a = MatMulT(x, x);
+  Matrix b(3, 1, {1, 2, 3});
+  auto sol = SolveSpd(a, b);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  // The solution should approximately satisfy A s = b in the least-squares
+  // sense along the range of A.
+  Matrix as = MatMul(a, sol.value());
+  EXPECT_NEAR(as(0, 0), 1.0, 1e-2);
+}
+
+TEST(CholeskyTest, IdentitySolveReturnsRhs) {
+  Matrix i = Matrix::Identity(4);
+  Matrix b(4, 3);
+  for (size_t r = 0; r < 4; ++r) {
+    for (size_t c = 0; c < 3; ++c) b(r, c) = static_cast<double>(r + c);
+  }
+  auto sol = SolveSpd(i, b);
+  ASSERT_TRUE(sol.ok());
+  for (size_t r = 0; r < 4; ++r) {
+    for (size_t c = 0; c < 3; ++c) EXPECT_NEAR(sol.value()(r, c), b(r, c), 1e-12);
+  }
+}
+
+class CholeskySizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CholeskySizeTest, RoundTripAcrossSizes) {
+  const int n = GetParam();
+  Matrix a = RandomSpd(n, 1000 + n);
+  Rng rng(2000 + n);
+  Matrix xt(n, 1);
+  rng.FillNormal(xt.data(), xt.size());
+  Matrix b = MatMul(a, xt);
+  auto sol = SolveSpd(a, b);
+  ASSERT_TRUE(sol.ok());
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(sol.value()(i, 0), xt(i, 0), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskySizeTest,
+                         ::testing::Values(1, 2, 5, 16, 33, 64, 100));
+
+}  // namespace
+}  // namespace explainit::la

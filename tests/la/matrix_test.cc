@@ -1,0 +1,128 @@
+#include "la/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace explainit::la {
+namespace {
+
+TEST(MatrixTest, ZeroInitialised) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 4; ++c) EXPECT_EQ(m(r, c), 0.0);
+  }
+}
+
+TEST(MatrixTest, FromValuesRowMajor) {
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(m(0, 0), 1);
+  EXPECT_EQ(m(0, 2), 3);
+  EXPECT_EQ(m(1, 0), 4);
+  EXPECT_EQ(m(1, 2), 6);
+}
+
+TEST(MatrixTest, RowPointerIsContiguous) {
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  const double* row1 = m.Row(1);
+  EXPECT_EQ(row1[0], 4);
+  EXPECT_EQ(row1[2], 6);
+}
+
+TEST(MatrixTest, ColExtractAndSet) {
+  Matrix m(3, 2, {1, 2, 3, 4, 5, 6});
+  auto col = m.Col(1);
+  ASSERT_EQ(col.size(), 3u);
+  EXPECT_EQ(col[0], 2);
+  EXPECT_EQ(col[2], 6);
+  m.SetCol(0, {9, 9, 9});
+  EXPECT_EQ(m(2, 0), 9);
+}
+
+TEST(MatrixTest, Transposed) {
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t(0, 1), 4);
+  EXPECT_EQ(t(2, 0), 3);
+  // Double transpose is identity.
+  EXPECT_EQ(t.Transposed(), m);
+}
+
+TEST(MatrixTest, TransposedLargeBlocked) {
+  Matrix m(100, 37);
+  for (size_t r = 0; r < 100; ++r) {
+    for (size_t c = 0; c < 37; ++c) m(r, c) = static_cast<double>(r * 37 + c);
+  }
+  Matrix t = m.Transposed();
+  for (size_t r = 0; r < 100; ++r) {
+    for (size_t c = 0; c < 37; ++c) EXPECT_EQ(t(c, r), m(r, c));
+  }
+}
+
+TEST(MatrixTest, SliceRows) {
+  Matrix m(4, 2, {1, 2, 3, 4, 5, 6, 7, 8});
+  Matrix s = m.SliceRows(1, 3);
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_EQ(s(0, 0), 3);
+  EXPECT_EQ(s(1, 1), 6);
+  Matrix empty = m.SliceRows(2, 2);
+  EXPECT_EQ(empty.rows(), 0u);
+}
+
+TEST(MatrixTest, SelectCols) {
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  Matrix s = m.SelectCols({2, 0});
+  EXPECT_EQ(s.cols(), 2u);
+  EXPECT_EQ(s(0, 0), 3);
+  EXPECT_EQ(s(0, 1), 1);
+  EXPECT_EQ(s(1, 0), 6);
+}
+
+TEST(MatrixTest, ConcatCols) {
+  Matrix a(2, 1, {1, 2});
+  Matrix b(2, 2, {3, 4, 5, 6});
+  Matrix c = a.ConcatCols(b);
+  EXPECT_EQ(c.cols(), 3u);
+  EXPECT_EQ(c(0, 0), 1);
+  EXPECT_EQ(c(0, 2), 4);
+  EXPECT_EQ(c(1, 1), 5);
+  // Concat with empty returns the other operand.
+  Matrix empty;
+  EXPECT_EQ(empty.ConcatCols(a), a);
+  EXPECT_EQ(a.ConcatCols(empty), a);
+}
+
+TEST(MatrixTest, ElementwiseOps) {
+  Matrix a(2, 2, {1, 2, 3, 4});
+  Matrix b(2, 2, {10, 20, 30, 40});
+  a.AddInPlace(b);
+  EXPECT_EQ(a(1, 1), 44);
+  a.SubInPlace(b);
+  EXPECT_EQ(a(0, 0), 1);
+  a.ScaleInPlace(2.0);
+  EXPECT_EQ(a(1, 0), 6);
+}
+
+TEST(MatrixTest, FrobeniusSquared) {
+  Matrix a(2, 2, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(a.FrobeniusSquared(), 30.0);
+}
+
+TEST(MatrixTest, Identity) {
+  Matrix i = Matrix::Identity(3);
+  EXPECT_EQ(i(0, 0), 1.0);
+  EXPECT_EQ(i(1, 1), 1.0);
+  EXPECT_EQ(i(0, 1), 0.0);
+}
+
+TEST(MatrixTest, ToStringTruncates) {
+  Matrix m(20, 20);
+  const std::string s = m.ToString(2, 2);
+  EXPECT_NE(s.find("Matrix(20x20)"), std::string::npos);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace explainit::la

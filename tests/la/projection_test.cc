@@ -1,0 +1,72 @@
+#include "la/random_projection.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/blas.h"
+
+namespace explainit::la {
+namespace {
+
+TEST(ProjectionTest, ShapeIsNxD) {
+  Rng rng(1);
+  Matrix p = SampleProjectionMatrix(100, 10, rng);
+  EXPECT_EQ(p.rows(), 100u);
+  EXPECT_EQ(p.cols(), 10u);
+}
+
+TEST(ProjectionTest, EntriesScaledByInvSqrtD) {
+  Rng rng(2);
+  const size_t d = 25;
+  Matrix p = SampleProjectionMatrix(400, d, rng);
+  // Var of each entry should be ~ 1/d.
+  double sumsq = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) sumsq += p.data()[i] * p.data()[i];
+  const double var = sumsq / static_cast<double>(p.size());
+  EXPECT_NEAR(var, 1.0 / static_cast<double>(d), 0.005);
+}
+
+TEST(ProjectionTest, NarrowMatrixPassesThrough) {
+  Rng rng(3);
+  Matrix x(10, 5);
+  rng.FillNormal(x.data(), x.size());
+  Matrix p = ProjectIfWide(x, 50, rng);
+  EXPECT_EQ(p, x);  // nx <= d: unchanged, matching the paper's definition
+}
+
+TEST(ProjectionTest, WideMatrixReduced) {
+  Rng rng(4);
+  Matrix x(30, 200);
+  rng.FillNormal(x.data(), x.size());
+  Matrix p = ProjectIfWide(x, 50, rng);
+  EXPECT_EQ(p.rows(), 30u);
+  EXPECT_EQ(p.cols(), 50u);
+}
+
+TEST(ProjectionTest, ApproximatelyPreservesNorms) {
+  // Johnson–Lindenstrauss sanity: squared row norms preserved in
+  // expectation within a loose tolerance.
+  Rng rng(5);
+  Matrix x(20, 2000);
+  rng.FillNormal(x.data(), x.size());
+  Matrix p = ProjectIfWide(x, 500, rng);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    double orig = 0.0, proj = 0.0;
+    for (size_t c = 0; c < x.cols(); ++c) orig += x(r, c) * x(r, c);
+    for (size_t c = 0; c < p.cols(); ++c) proj += p(r, c) * p(r, c);
+    EXPECT_NEAR(proj / orig, 1.0, 0.25) << "row " << r;
+  }
+}
+
+TEST(ProjectionTest, DifferentRngStatesGiveDifferentProjections) {
+  Rng rng(6);
+  Matrix x(5, 100);
+  rng.FillNormal(x.data(), x.size());
+  Matrix p1 = ProjectIfWide(x, 10, rng);
+  Matrix p2 = ProjectIfWide(x, 10, rng);
+  EXPECT_NE(p1, p2);  // fresh matrix per projection, as the paper resamples
+}
+
+}  // namespace
+}  // namespace explainit::la

@@ -1,0 +1,74 @@
+#include "la/standardize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace explainit::la {
+namespace {
+
+TEST(StandardizeTest, StatsOfKnownData) {
+  Matrix m(4, 2, {1, 10, 2, 20, 3, 30, 4, 40});
+  ColumnStats s = ComputeColumnStats(m);
+  EXPECT_DOUBLE_EQ(s.mean[0], 2.5);
+  EXPECT_DOUBLE_EQ(s.mean[1], 25.0);
+  EXPECT_NEAR(s.stddev[0], std::sqrt(1.25), 1e-12);
+  EXPECT_NEAR(s.stddev[1], std::sqrt(125.0), 1e-12);
+}
+
+TEST(StandardizeTest, StandardizedHasZeroMeanUnitVar) {
+  Rng rng(1);
+  Matrix m(500, 3);
+  for (size_t r = 0; r < 500; ++r) {
+    m(r, 0) = rng.Normal(5.0, 2.0);
+    m(r, 1) = rng.Normal(-3.0, 0.5);
+    m(r, 2) = rng.Uniform(0, 100);
+  }
+  Matrix s = Standardize(m);
+  ColumnStats post = ComputeColumnStats(s);
+  for (size_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR(post.mean[c], 0.0, 1e-12);
+    EXPECT_NEAR(post.stddev[c], 1.0, 1e-9);
+  }
+}
+
+TEST(StandardizeTest, ConstantColumnBecomesZeroNotNan) {
+  Matrix m(10, 1);
+  for (size_t r = 0; r < 10; ++r) m(r, 0) = 7.0;
+  Matrix s = Standardize(m);
+  for (size_t r = 0; r < 10; ++r) {
+    EXPECT_EQ(s(r, 0), 0.0);
+    EXPECT_FALSE(std::isnan(s(r, 0)));
+  }
+}
+
+TEST(StandardizeTest, StandardizeWithTrainStatsAppliesToValidation) {
+  Matrix train(3, 1, {0, 1, 2});
+  Matrix val(2, 1, {3, 4});
+  ColumnStats stats = ComputeColumnStats(train);
+  Matrix sval = StandardizeWith(val, stats);
+  // mean 1, sd sqrt(2/3)
+  const double sd = std::sqrt(2.0 / 3.0);
+  EXPECT_NEAR(sval(0, 0), (3.0 - 1.0) / sd, 1e-12);
+  EXPECT_NEAR(sval(1, 0), (4.0 - 1.0) / sd, 1e-12);
+}
+
+TEST(StandardizeTest, CenterColumnsLeavesVariance) {
+  Matrix m(3, 1, {1, 2, 6});
+  Matrix c = CenterColumns(m);
+  EXPECT_NEAR(c(0, 0) + c(1, 0) + c(2, 0), 0.0, 1e-12);
+  EXPECT_NEAR(c(2, 0) - c(0, 0), 5.0, 1e-12);  // spread preserved
+}
+
+TEST(StandardizeTest, EmptyMatrix) {
+  Matrix m;
+  ColumnStats s = ComputeColumnStats(m);
+  EXPECT_TRUE(s.mean.empty());
+  Matrix out = Standardize(m);
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace explainit::la

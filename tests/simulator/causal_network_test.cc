@@ -1,0 +1,198 @@
+#include "simulator/causal_network.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/pearson.h"
+
+namespace explainit::sim {
+namespace {
+
+TEST(CausalNetworkTest, RejectsForwardEdges) {
+  CausalNetwork net;
+  NodeSpec bad;
+  bad.metric_name = "a";
+  bad.edges.push_back(Edge{0, 1.0, 0, LinkFn::kLinear});  // self/forward
+  EXPECT_FALSE(net.AddNode(bad).ok());
+}
+
+TEST(CausalNetworkTest, BaseTrendSeasonNoise) {
+  CausalNetwork net;
+  NodeSpec n;
+  n.metric_name = "m";
+  n.base = 10.0;
+  n.trend_per_step = 0.1;
+  n.seasonal_amp = 2.0;
+  n.seasonal_period = 24;
+  n.noise_sd = 0.0;
+  ASSERT_TRUE(net.AddNode(n).ok());
+  Rng rng(1);
+  la::Matrix v = net.Simulate(48, rng);
+  EXPECT_NEAR(v(0, 0), 10.0, 1e-9);
+  EXPECT_NEAR(v(6, 0), 10.0 + 0.6 + 2.0, 1e-9);  // sin peak at quarter period
+  EXPECT_NEAR(v(24, 0), 10.0 + 2.4, 1e-9);        // sin(2pi)=0
+}
+
+TEST(CausalNetworkTest, LinearEdgePropagates) {
+  CausalNetwork net;
+  NodeSpec parent;
+  parent.metric_name = "p";
+  parent.base = 5.0;
+  parent.noise_sd = 0.0;
+  ASSERT_TRUE(net.AddNode(parent).ok());
+  NodeSpec child;
+  child.metric_name = "c";
+  child.noise_sd = 0.0;
+  child.edges.push_back(Edge{0, 2.0, 0, LinkFn::kLinear});
+  ASSERT_TRUE(net.AddNode(child).ok());
+  Rng rng(2);
+  la::Matrix v = net.Simulate(4, rng);
+  for (size_t t = 0; t < 4; ++t) EXPECT_NEAR(v(t, 1), 10.0, 1e-9);
+}
+
+TEST(CausalNetworkTest, LaggedEdgeShiftsInTime) {
+  CausalNetwork net;
+  NodeSpec parent;
+  parent.metric_name = "p";
+  parent.noise_sd = 1.0;
+  ASSERT_TRUE(net.AddNode(parent).ok());
+  NodeSpec child;
+  child.metric_name = "c";
+  child.noise_sd = 0.0;
+  child.edges.push_back(Edge{0, 1.0, 2, LinkFn::kLinear});
+  ASSERT_TRUE(net.AddNode(child).ok());
+  Rng rng(3);
+  la::Matrix v = net.Simulate(100, rng);
+  for (size_t t = 2; t < 100; ++t) {
+    EXPECT_NEAR(v(t, 1), v(t - 2, 0), 1e-9);
+  }
+}
+
+TEST(CausalNetworkTest, ReluAndSaturatingLinks) {
+  CausalNetwork net;
+  NodeSpec parent;
+  parent.metric_name = "p";
+  parent.base = -3.0;
+  parent.noise_sd = 0.0;
+  ASSERT_TRUE(net.AddNode(parent).ok());
+  NodeSpec relu;
+  relu.metric_name = "r";
+  relu.noise_sd = 0.0;
+  relu.edges.push_back(Edge{0, 1.0, 0, LinkFn::kRelu});
+  ASSERT_TRUE(net.AddNode(relu).ok());
+  NodeSpec sat;
+  sat.metric_name = "s";
+  sat.noise_sd = 0.0;
+  sat.edges.push_back(Edge{0, 2.0, 0, LinkFn::kSaturating});
+  ASSERT_TRUE(net.AddNode(sat).ok());
+  Rng rng(4);
+  la::Matrix v = net.Simulate(2, rng);
+  EXPECT_EQ(v(0, 1), 0.0);                           // relu clips negatives
+  EXPECT_NEAR(v(0, 2), 2.0 * std::tanh(-3.0), 1e-9);  // saturating
+}
+
+TEST(CausalNetworkTest, NonnegativeClamps) {
+  CausalNetwork net;
+  NodeSpec n;
+  n.metric_name = "m";
+  n.base = -5.0;
+  n.noise_sd = 0.0;
+  n.nonnegative = true;
+  ASSERT_TRUE(net.AddNode(n).ok());
+  Rng rng(5);
+  la::Matrix v = net.Simulate(3, rng);
+  for (size_t t = 0; t < 3; ++t) EXPECT_EQ(v(t, 0), 0.0);
+}
+
+TEST(CausalNetworkTest, InterventionWindowAndPropagation) {
+  CausalNetwork net;
+  NodeSpec parent;
+  parent.metric_name = "p";
+  parent.base = 1.0;
+  parent.noise_sd = 0.0;
+  ASSERT_TRUE(net.AddNode(parent).ok());
+  NodeSpec child;
+  child.metric_name = "c";
+  child.noise_sd = 0.0;
+  child.edges.push_back(Edge{0, 1.0, 0, LinkFn::kLinear});
+  ASSERT_TRUE(net.AddNode(child).ok());
+  Intervention iv;
+  iv.node = 0;
+  iv.begin = 5;
+  iv.end = 10;
+  iv.add = 100.0;
+  Rng rng(6);
+  la::Matrix v = net.Simulate(15, rng, {iv});
+  EXPECT_NEAR(v(4, 0), 1.0, 1e-9);
+  EXPECT_NEAR(v(5, 0), 101.0, 1e-9);
+  // Downstream node sees the intervened value (do-semantics).
+  EXPECT_NEAR(v(5, 1), 101.0, 1e-9);
+  EXPECT_NEAR(v(10, 1), 1.0, 1e-9);
+}
+
+TEST(CausalNetworkTest, InterventionShapeAndMul) {
+  CausalNetwork net;
+  NodeSpec n;
+  n.metric_name = "m";
+  n.base = 10.0;
+  n.noise_sd = 0.0;
+  ASSERT_TRUE(net.AddNode(n).ok());
+  Intervention iv;
+  iv.node = 0;
+  iv.begin = 0;
+  iv.end = 10;
+  iv.mul = 0.5;
+  iv.shape = [](size_t t) { return t % 2 == 0 ? 3.0 : 0.0; };
+  Rng rng(7);
+  la::Matrix v = net.Simulate(4, rng, {iv});
+  EXPECT_NEAR(v(0, 0), 10.0 * 0.5 + 3.0, 1e-9);
+  EXPECT_NEAR(v(1, 0), 5.0, 1e-9);
+}
+
+TEST(CausalNetworkTest, ArSmoothingRaisesAutocorrelation) {
+  CausalNetwork net;
+  NodeSpec smooth;
+  smooth.metric_name = "s";
+  smooth.ar = 0.8;
+  ASSERT_TRUE(net.AddNode(smooth).ok());
+  NodeSpec white;
+  white.metric_name = "w";
+  ASSERT_TRUE(net.AddNode(white).ok());
+  Rng rng(8);
+  la::Matrix v = net.Simulate(2000, rng);
+  const std::vector<double> smooth_col = v.Col(0);
+  const std::vector<double> white_col = v.Col(1);
+  auto lag1 = [](const std::vector<double>& col) {
+    return stats::PearsonCorrelation(
+        std::vector<double>(col.begin(), col.end() - 1),
+        std::vector<double>(col.begin() + 1, col.end()));
+  };
+  const double ac_smooth = lag1(smooth_col);
+  const double ac_white = lag1(white_col);
+  EXPECT_GT(ac_smooth, 0.6);
+  EXPECT_LT(std::abs(ac_white), 0.1);
+}
+
+TEST(CausalNetworkTest, WriteToStoreRoundTrip) {
+  CausalNetwork net;
+  NodeSpec n;
+  n.metric_name = "m";
+  n.tags = tsdb::TagSet{{"host", "h1"}};
+  n.base = 3.0;
+  n.noise_sd = 0.0;
+  ASSERT_TRUE(net.AddNode(n).ok());
+  tsdb::SeriesStore store;
+  Rng rng(9);
+  ASSERT_TRUE(net.WriteTo(&store, 10, 0, rng).ok());
+  EXPECT_EQ(store.num_series(), 1u);
+  EXPECT_EQ(store.num_points(), 10u);
+  tsdb::ScanRequest req;
+  req.range = {0, 600};
+  auto scan = store.Scan(req);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ((*scan)[0].values[5], 3.0);
+}
+
+}  // namespace
+}  // namespace explainit::sim

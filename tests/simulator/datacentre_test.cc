@@ -1,0 +1,235 @@
+#include "simulator/datacentre.h"
+
+#include <gtest/gtest.h>
+
+#include "simulator/case_studies.h"
+#include "stats/pearson.h"
+
+namespace explainit::sim {
+namespace {
+
+TEST(DatacentreTest, TopologyHasExpectedMetrics) {
+  DatacentreConfig config;
+  DatacentreModel model(config);
+  auto names = model.MetricNames();
+  auto has = [&](const std::string& n) {
+    return std::find(names.begin(), names.end(), n) != names.end();
+  };
+  EXPECT_TRUE(has("overall_runtime"));
+  EXPECT_TRUE(has("tcp_retransmits"));
+  EXPECT_TRUE(has("namenode_rpc_latency_ms"));
+  EXPECT_TRUE(has("disk_utilization"));
+  EXPECT_TRUE(has("raid_controller_temp_c"));
+  EXPECT_TRUE(has("runtime_pipeline0"));
+  // Hidden drivers are not exported.
+  EXPECT_FALSE(has("_hidden_scan_rate"));
+  EXPECT_FALSE(has("_hidden_hypervisor_drops"));
+}
+
+TEST(DatacentreTest, PerHostMetricsFanOut) {
+  DatacentreConfig config;
+  config.num_datanodes = 4;
+  DatacentreModel model(config);
+  EXPECT_EQ(model.NodesByMetric("tcp_retransmits").size(), 5u);  // +namenode
+  EXPECT_EQ(model.NodesByMetric("disk_read_latency_ms").size(), 4u);
+  EXPECT_EQ(model.NodesByMetric("overall_runtime").size(), 1u);
+}
+
+TEST(DatacentreTest, HiddenNodesNotWrittenToStore) {
+  DatacentreConfig config;
+  DatacentreModel model(config);
+  tsdb::SeriesStore store;
+  Rng rng(1);
+  ASSERT_TRUE(model.WriteTo(&store, 32, 0, rng).ok());
+  for (const tsdb::SeriesMeta& meta : store.ListSeries()) {
+    EXPECT_EQ(meta.metric_name.find("_hidden"), std::string::npos);
+  }
+  EXPECT_GT(store.num_series(), 40u);
+}
+
+TEST(DatacentreTest, RuntimeFollowsInputLoad) {
+  DatacentreConfig config;
+  DatacentreModel model(config);
+  Rng rng(2);
+  la::Matrix v = model.network().Simulate(600, rng);
+  const size_t input = model.NodesByMetric("input_rate_pipeline0")[0];
+  const size_t runtime = model.NodesByMetric("runtime_pipeline0")[0];
+  const double corr =
+      stats::PearsonCorrelation(v.Col(input), v.Col(runtime));
+  EXPECT_GT(corr, 0.4);
+}
+
+TEST(DatacentreTest, KpiAggregatesPipelines) {
+  DatacentreConfig config;
+  DatacentreModel model(config);
+  Rng rng(3);
+  la::Matrix v = model.network().Simulate(400, rng);
+  const size_t kpi = model.kpi_node();
+  const size_t rt0 = model.NodesByMetric("runtime_pipeline0")[0];
+  EXPECT_GT(stats::PearsonCorrelation(v.Col(kpi), v.Col(rt0)), 0.4);
+}
+
+TEST(CaseStudyTest, PacketDropRaisesRetransmitsInWindow) {
+  CaseStudyWorld world = MakePacketDropCase(240, 11);
+  tsdb::ScanRequest req;
+  req.metric_glob = "tcp_retransmits";
+  req.range = world.range;
+  auto scan = world.store->Scan(req);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_FALSE(scan->empty());
+  // Mean inside the fault window far above outside.
+  double inside = 0.0, outside = 0.0;
+  size_t n_in = 0, n_out = 0;
+  for (const auto& s : *scan) {
+    for (size_t i = 0; i < s.timestamps.size(); ++i) {
+      if (world.fault_window.Contains(s.timestamps[i])) {
+        inside += s.values[i];
+        ++n_in;
+      } else {
+        outside += s.values[i];
+        ++n_out;
+      }
+    }
+  }
+  EXPECT_GT(inside / n_in, outside / n_out + 20.0);
+}
+
+TEST(CaseStudyTest, PacketDropRaisesKpiInWindow) {
+  CaseStudyWorld world = MakePacketDropCase(240, 12);
+  tsdb::ScanRequest req;
+  req.metric_glob = "overall_runtime";
+  req.range = world.range;
+  auto scan = world.store->Scan(req);
+  ASSERT_TRUE(scan.ok());
+  const auto& s = (*scan)[0];
+  double inside = 0.0, outside = 0.0;
+  size_t n_in = 0, n_out = 0;
+  for (size_t i = 0; i < s.timestamps.size(); ++i) {
+    if (world.fault_window.Contains(s.timestamps[i])) {
+      inside += s.values[i];
+      ++n_in;
+    } else {
+      outside += s.values[i];
+      ++n_out;
+    }
+  }
+  EXPECT_GT(inside / n_in, 1.5 * (outside / n_out));
+}
+
+TEST(CaseStudyTest, HypervisorFixLowersRuntime) {
+  // Figure 6: the buffer fix reduces runtimes ~10%.
+  CaseStudyWorld broken = MakeHypervisorDropCase(480, 13, /*fixed=*/false);
+  CaseStudyWorld fixed = MakeHypervisorDropCase(480, 13, /*fixed=*/true);
+  auto mean_runtime = [](const CaseStudyWorld& w) {
+    tsdb::ScanRequest req;
+    req.metric_glob = "overall_runtime";
+    req.range = w.range;
+    auto scan = w.store->Scan(req);
+    EXPECT_TRUE(scan.ok());
+    double sum = 0.0;
+    const auto& s = (*scan)[0];
+    for (double v : s.values) sum += v;
+    return sum / static_cast<double>(s.values.size());
+  };
+  const double before = mean_runtime(broken);
+  const double after = mean_runtime(fixed);
+  EXPECT_LT(after, before);
+  EXPECT_GT((before - after) / before, 0.04);  // a clear improvement
+}
+
+TEST(CaseStudyTest, NamenodeScanPeriodicSpikes) {
+  // Figure 7: 15-minute periodic spikes before the fix; none after.
+  CaseStudyWorld world = MakeNamenodeScanCase(450, 14, /*fix_at_step=*/300);
+  tsdb::ScanRequest req;
+  req.metric_glob = "namenode_rpc_latency_ms";
+  req.range = world.range;
+  auto scan = world.store->Scan(req);
+  ASSERT_TRUE(scan.ok());
+  const auto& s = (*scan)[0];
+  // Spike amplitude before vs after the fix.
+  double before_max = 0.0, after_max = 0.0, before_min = 1e9;
+  for (size_t i = 0; i < s.values.size(); ++i) {
+    if (i < 300) {
+      before_max = std::max(before_max, s.values[i]);
+      before_min = std::min(before_min, s.values[i]);
+    } else if (i > 310) {
+      after_max = std::max(after_max, s.values[i]);
+    }
+  }
+  EXPECT_GT(before_max, after_max * 1.5);
+}
+
+TEST(CaseStudyTest, NamenodeGcAnticorrelatedWithScans) {
+  CaseStudyWorld world = MakeNamenodeScanCase(450, 15);
+  tsdb::ScanRequest req;
+  req.range = world.range;
+  req.metric_glob = "namenode_gc_ms";
+  auto gc = world.store->Scan(req);
+  req.metric_glob = "namenode_rpc_rate";
+  auto rpc = world.store->Scan(req);
+  ASSERT_TRUE(gc.ok() && rpc.ok());
+  const double corr = stats::PearsonCorrelation((*gc)[0].values,
+                                                (*rpc)[0].values);
+  EXPECT_LT(corr, -0.3);  // §5.3: smaller GC when scans run
+}
+
+TEST(CaseStudyTest, RaidWeeklyPeriodDetectable) {
+  // Figure 8: weekly spikes over a month-plus of hourly data.
+  CaseStudyWorld world = MakeRaidScrubCase(840, 16);
+  tsdb::ScanRequest req;
+  req.metric_glob = "overall_runtime";
+  req.range = world.range;
+  auto scan = world.store->Scan(req);
+  ASSERT_TRUE(scan.ok());
+  // Weekly period = 168 steps.
+  double peak = 0.0, baseline = 0.0;
+  size_t n_peak = 0, n_base = 0;
+  const auto& s = (*scan)[0];
+  for (size_t i = 0; i < s.values.size(); ++i) {
+    if ((i % 168) < 4) {
+      peak += s.values[i];
+      ++n_peak;
+    } else {
+      baseline += s.values[i];
+      ++n_base;
+    }
+  }
+  EXPECT_GT(peak / n_peak, baseline / n_base * 1.3);
+}
+
+TEST(CaseStudyTest, RaidScheduleDisableAndCap) {
+  // Figure 9: disabling the check kills the spikes; capping to 5% shrinks
+  // them.
+  RaidSchedule schedule;
+  schedule.disable_from = 336;  // third week off
+  schedule.disable_to = 336 + 168;
+  schedule.cap_from = 336 + 168;  // capped afterwards
+  CaseStudyWorld world = MakeRaidScrubCase(840, 17, schedule);
+  tsdb::ScanRequest req;
+  req.metric_glob = "disk_utilization";
+  req.tag_filter = tsdb::TagSet{{"host", "datanode-0"}};
+  req.range = world.range;
+  auto scan = world.store->Scan(req);
+  ASSERT_TRUE(scan.ok());
+  const auto& s = (*scan)[0];
+  auto scrub_mean = [&](size_t from, size_t to) {
+    double acc = 0.0;
+    size_t n = 0;
+    for (size_t i = from; i < to && i < s.values.size(); ++i) {
+      if ((i % 168) < 4) {
+        acc += s.values[i];
+        ++n;
+      }
+    }
+    return acc / std::max<size_t>(1, n);
+  };
+  const double default_level = scrub_mean(0, 336);
+  const double disabled_level = scrub_mean(336, 504);
+  const double capped_level = scrub_mean(504, 840);
+  EXPECT_GT(default_level, disabled_level + 4.0);
+  EXPECT_GT(default_level, capped_level + 3.0);
+  EXPECT_GT(capped_level, disabled_level - 1.0);
+}
+
+}  // namespace
+}  // namespace explainit::sim

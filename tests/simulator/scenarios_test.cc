@@ -1,0 +1,128 @@
+#include "simulator/scenarios.h"
+
+#include <gtest/gtest.h>
+
+#include "core/ranking.h"
+#include "stats/pearson.h"
+
+namespace explainit::sim {
+namespace {
+
+TEST(ScenarioTest, SuiteHasElevenScenarios) {
+  auto specs = Table6Specs();
+  EXPECT_EQ(specs.size(), 11u);
+  std::set<std::string> names;
+  for (const auto& s : specs) names.insert(s.name);
+  EXPECT_EQ(names.size(), 11u);  // unique names
+}
+
+TEST(ScenarioTest, GeneratedShapeMatchesSpec) {
+  ScenarioSpec spec;
+  spec.name = "test";
+  spec.seed = 1;
+  spec.cause_family_size = 8;
+  spec.num_effect_families = 3;
+  spec.num_noise_families = 5;
+  spec.num_seasonal_families = 2;
+  Scenario s = GenerateScenario(spec, 256);
+  EXPECT_EQ(s.target.num_timestamps(), 256u);
+  EXPECT_EQ(s.target.num_features(), 1u);
+  // 1 cause + 3 effects + 2 seasonal + 5 noise.
+  EXPECT_EQ(s.families.size(), 11u);
+  EXPECT_EQ(s.labels.causes.size(), 1u);
+  EXPECT_EQ(s.labels.effects.size(), 3u);
+  size_t features = 0;
+  for (const auto& f : s.families) features += f.num_features();
+  EXPECT_EQ(s.total_features, features);
+}
+
+TEST(ScenarioTest, DeterministicForSameSeed) {
+  ScenarioSpec spec;
+  spec.name = "det";
+  spec.seed = 7;
+  Scenario a = GenerateScenario(spec, 128);
+  Scenario b = GenerateScenario(spec, 128);
+  EXPECT_EQ(a.target.data, b.target.data);
+  EXPECT_EQ(a.families[0].data, b.families[0].data);
+}
+
+TEST(ScenarioTest, CauseActuallyDrivesTarget) {
+  ScenarioSpec spec;
+  spec.name = "drive";
+  spec.seed = 3;
+  spec.cause_kind = CauseKind::kUnivariate;
+  spec.cause_strength = 2.0;
+  Scenario s = GenerateScenario(spec, 512);
+  // Feature 0 of the cause family correlates strongly with the target.
+  const double corr = stats::PearsonCorrelation(s.families[0].data.Col(0),
+                                                s.target.data.Col(0));
+  EXPECT_GT(corr, 0.6);
+}
+
+TEST(ScenarioTest, JointDenseHasWeakMarginals) {
+  ScenarioSpec spec;
+  spec.name = "joint";
+  spec.seed = 4;
+  spec.cause_kind = CauseKind::kJointDense;
+  spec.cause_family_size = 32;
+  spec.cause_feature_noise = 1.2;
+  Scenario s = GenerateScenario(spec, 512);
+  double max_corr = 0.0;
+  for (size_t f = 0; f < 32; ++f) {
+    max_corr = std::max(
+        max_corr, std::abs(stats::PearsonCorrelation(
+                      s.families[0].data.Col(f), s.target.data.Col(0))));
+  }
+  EXPECT_LT(max_corr, 0.75);  // no single feature gives it away
+  // But the family mean recovers the signal.
+  std::vector<double> mean(s.target.num_timestamps(), 0.0);
+  for (size_t f = 0; f < 32; ++f) {
+    auto col = s.families[0].data.Col(f);
+    for (size_t i = 0; i < mean.size(); ++i) mean[i] += col[i] / 32.0;
+  }
+  EXPECT_GT(stats::PearsonCorrelation(mean, s.target.data.Col(0)), 0.7);
+}
+
+TEST(ScenarioTest, LaggedCauseLeadsTarget) {
+  ScenarioSpec spec;
+  spec.name = "lag";
+  spec.seed = 5;
+  spec.cause_kind = CauseKind::kLagged;
+  spec.cause_lag = 3;
+  spec.cause_strength = 2.0;
+  spec.cause_feature_noise = 0.2;
+  Scenario s = GenerateScenario(spec, 512);
+  auto cause = s.families[0].data.Col(0);
+  auto target = s.target.data.Col(0);
+  // Correlation at the true lag beats contemporaneous correlation.
+  std::vector<double> cause_shift(cause.begin(), cause.end() - 3);
+  std::vector<double> target_shift(target.begin() + 3, target.end());
+  const double lagged = stats::PearsonCorrelation(cause_shift, target_shift);
+  const double contemporaneous = stats::PearsonCorrelation(cause, target);
+  EXPECT_GT(lagged, contemporaneous);
+}
+
+TEST(ScenarioTest, EndToEndRankingFindsCauseInEasyScenario) {
+  // Smoke test of the whole loop on scenario 1 at reduced scale.
+  auto specs = Table6Specs(0.5);
+  Scenario s = GenerateScenario(specs[0], 360);
+  core::CorrMaxScorer scorer;
+  auto table = core::RankFamilies(scorer, s.target, nullptr, s.families);
+  ASSERT_TRUE(table.ok());
+  core::RankingMetrics m;
+  std::vector<std::string> names;
+  for (const auto& row : table->rows) names.push_back(row.family_name);
+  m = core::EvaluateRanking(names, s.labels);
+  EXPECT_FALSE(m.failed);
+  EXPECT_LE(m.first_cause_rank, 5u);
+}
+
+TEST(ScenarioTest, FeatureScaleGrowsFamilies) {
+  auto small = Table6Specs(1.0);
+  auto big = Table6Specs(2.0);
+  EXPECT_EQ(big[0].cause_family_size, 2 * small[0].cause_family_size);
+  EXPECT_EQ(big[0].num_noise_families, 2 * small[0].num_noise_families);
+}
+
+}  // namespace
+}  // namespace explainit::sim

@@ -1,0 +1,99 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace explainit::sql {
+namespace {
+
+TEST(LexerTest, KeywordsNormalisedUpper) {
+  auto tokens = Tokenize("select From WHERE");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 4u);  // 3 + end
+  EXPECT_TRUE((*tokens)[0].IsKeyword("SELECT"));
+  EXPECT_TRUE((*tokens)[1].IsKeyword("FROM"));
+  EXPECT_TRUE((*tokens)[2].IsKeyword("WHERE"));
+  EXPECT_EQ((*tokens)[3].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, IdentifiersPreserveCase) {
+  auto tokens = Tokenize("Pipeline_Runtime tsdb");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[0].text, "Pipeline_Runtime");
+  EXPECT_EQ((*tokens)[1].text, "tsdb");
+}
+
+TEST(LexerTest, StringsUnquoted) {
+  auto tokens = Tokenize("'pipeline_runtime'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kString);
+  EXPECT_EQ((*tokens)[0].text, "pipeline_runtime");
+}
+
+TEST(LexerTest, EscapedQuoteInString) {
+  auto tokens = Tokenize("'it''s'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  auto tokens = Tokenize("'oops");
+  EXPECT_FALSE(tokens.ok());
+  EXPECT_TRUE(tokens.status().IsParseError());
+}
+
+TEST(LexerTest, Numbers) {
+  auto tokens = Tokenize("42 3.5 .25 1e6 2.5E-3");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "42");
+  EXPECT_EQ((*tokens)[1].text, "3.5");
+  EXPECT_EQ((*tokens)[2].text, ".25");
+  EXPECT_EQ((*tokens)[3].text, "1e6");
+  EXPECT_EQ((*tokens)[4].text, "2.5E-3");
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ((*tokens)[i].type, TokenType::kNumber);
+  }
+}
+
+TEST(LexerTest, OperatorsIncludingTwoChar) {
+  auto tokens = Tokenize("= != <= >= <> [ ] ( ) , .");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[0].IsOperator("="));
+  EXPECT_TRUE((*tokens)[1].IsOperator("!="));
+  EXPECT_TRUE((*tokens)[2].IsOperator("<="));
+  EXPECT_TRUE((*tokens)[3].IsOperator(">="));
+  EXPECT_TRUE((*tokens)[4].IsOperator("!="));  // <> normalised
+  EXPECT_TRUE((*tokens)[5].IsOperator("["));
+}
+
+TEST(LexerTest, MapSubscriptShape) {
+  auto tokens = Tokenize("tag['pipeline_name']");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "tag");
+  EXPECT_TRUE((*tokens)[1].IsOperator("["));
+  EXPECT_EQ((*tokens)[2].type, TokenType::kString);
+  EXPECT_TRUE((*tokens)[3].IsOperator("]"));
+}
+
+TEST(LexerTest, LineComments) {
+  auto tokens = Tokenize("SELECT -- this is a comment\n 1");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 3u);
+  EXPECT_TRUE((*tokens)[0].IsKeyword("SELECT"));
+  EXPECT_EQ((*tokens)[1].text, "1");
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  auto tokens = Tokenize("SELECT @");
+  EXPECT_FALSE(tokens.ok());
+}
+
+TEST(LexerTest, PositionsRecorded) {
+  auto tokens = Tokenize("SELECT x");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].position, 0u);
+  EXPECT_EQ((*tokens)[1].position, 7u);
+}
+
+}  // namespace
+}  // namespace explainit::sql

@@ -1,0 +1,198 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace explainit::sql {
+namespace {
+
+TEST(ParserTest, MinimalSelect) {
+  auto stmt = Parse("SELECT 1");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ((*stmt)->items.size(), 1u);
+  EXPECT_FALSE((*stmt)->from.has_value());
+}
+
+TEST(ParserTest, SelectStarFrom) {
+  auto stmt = Parse("SELECT * FROM tsdb");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE((*stmt)->items[0].is_star);
+  EXPECT_EQ((*stmt)->from->table_name, "tsdb");
+}
+
+TEST(ParserTest, AliasesExplicitAndImplicit) {
+  auto stmt = Parse("SELECT a AS x, b y, c FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->items[0].alias, "x");
+  EXPECT_EQ((*stmt)->items[1].alias, "y");
+  EXPECT_TRUE((*stmt)->items[2].alias.empty());
+}
+
+TEST(ParserTest, PaperTargetMetricQuery) {
+  // Listing 1 from Appendix C.
+  auto stmt = Parse(R"(
+    SELECT timestamp, tag['pipeline_name'], AVG(value) as runtime_sec
+    FROM tsdb
+    WHERE metric_name = 'pipeline_runtime'
+      AND timestamp BETWEEN 100 and 200
+    GROUP BY timestamp, tag['pipeline_name']
+    ORDER BY timestamp ASC)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const SelectStatement& s = **stmt;
+  ASSERT_EQ(s.items.size(), 3u);
+  EXPECT_EQ(s.items[2].alias, "runtime_sec");
+  EXPECT_TRUE(s.items[2].expr->ContainsAggregate());
+  EXPECT_EQ(s.items[1].expr->kind, ExprKind::kSubscript);
+  ASSERT_NE(s.where, nullptr);
+  EXPECT_EQ(s.where->binary_op, BinaryOp::kAnd);
+  ASSERT_EQ(s.group_by.size(), 2u);
+  ASSERT_EQ(s.order_by.size(), 1u);
+  EXPECT_TRUE(s.order_by[0].ascending);
+}
+
+TEST(ParserTest, PaperProcessQueryWithInAndSplit) {
+  // Listing 3 shape.
+  auto stmt = Parse(R"(
+    SELECT timestamp,
+           CONCAT(service_name, SPLIT(hostname, '-')[0]),
+           AVG(stime + utime) as cpu
+    FROM processes
+    WHERE SPLIT(hostname, '-')[0] IN ('web', 'app', 'db', 'pipeline')
+      AND timestamp BETWEEN 0 AND 100
+    GROUP BY timestamp, CONCAT(service_name, SPLIT(hostname, '-')[0])
+    ORDER BY timestamp ASC)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const SelectStatement& s = **stmt;
+  EXPECT_EQ(s.items[1].expr->kind, ExprKind::kFunction);
+  EXPECT_EQ(s.items[1].expr->function_name, "CONCAT");
+}
+
+TEST(ParserTest, PaperHypothesisJoinQuery) {
+  // Listing 5 shape: UNION subquery + two FULL OUTER JOINs.
+  auto stmt = Parse(R"(
+    SELECT timestamp, x, y, z
+    FROM (SELECT * FROM FF_1 UNION SELECT * FROM FF_2) FF
+    FULL OUTER JOIN Target ON (FF.timestamp = Target.timestamp)
+    FULL OUTER JOIN Condition ON
+      Target.timestamp = Condition.timestamp AND
+      Target.pipeline_name = Condition.pipeline_name
+    ORDER BY timestamp ASC)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const SelectStatement& s = **stmt;
+  ASSERT_TRUE(s.from.has_value());
+  ASSERT_NE(s.from->subquery, nullptr);
+  EXPECT_EQ(s.from->alias, "FF");
+  EXPECT_EQ(s.from->subquery->union_all.size(), 1u);
+  ASSERT_EQ(s.joins.size(), 2u);
+  EXPECT_EQ(s.joins[0].type, JoinType::kFullOuter);
+  EXPECT_EQ(s.joins[0].right.table_name, "Target");
+  ASSERT_NE(s.joins[1].condition, nullptr);
+}
+
+TEST(ParserTest, JoinVariants) {
+  for (const char* q : {
+           "SELECT * FROM a JOIN b ON a.x = b.x",
+           "SELECT * FROM a INNER JOIN b ON a.x = b.x",
+           "SELECT * FROM a LEFT JOIN b ON a.x = b.x",
+           "SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.x",
+           "SELECT * FROM a CROSS JOIN b",
+       }) {
+    auto stmt = Parse(q);
+    EXPECT_TRUE(stmt.ok()) << q << ": " << stmt.status().ToString();
+  }
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto e = ParseExpression("1 + 2 * 3");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->ToString(), "(1 + (2 * 3))");
+  e = ParseExpression("a OR b AND NOT c = 1");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->ToString(), "(a OR (b AND NOT (c = 1)))");
+}
+
+TEST(ParserTest, UnaryMinus) {
+  auto e = ParseExpression("-x + 1");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->ToString(), "(-x + 1)");
+}
+
+TEST(ParserTest, BetweenNotBetween) {
+  auto e = ParseExpression("t BETWEEN 1 AND 5");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->kind, ExprKind::kBetween);
+  e = ParseExpression("t NOT BETWEEN 1 AND 5");
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE((*e)->negated);
+}
+
+TEST(ParserTest, InListAndNotIn) {
+  auto e = ParseExpression("h IN ('a', 'b')");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->list.size(), 2u);
+  e = ParseExpression("h NOT IN (1, 2, 3)");
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE((*e)->negated);
+  EXPECT_EQ((*e)->list.size(), 3u);
+}
+
+TEST(ParserTest, IsNullIsNotNull) {
+  auto e = ParseExpression("x IS NULL");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->kind, ExprKind::kIsNull);
+  e = ParseExpression("x IS NOT NULL");
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE((*e)->negated);
+}
+
+TEST(ParserTest, LikeExpression) {
+  auto e = ParseExpression("name LIKE 'disk%'");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->binary_op, BinaryOp::kLike);
+}
+
+TEST(ParserTest, CaseWhen) {
+  auto e = ParseExpression(
+      "CASE WHEN x > 0 THEN 'pos' WHEN x < 0 THEN 'neg' ELSE 'zero' END");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->kind, ExprKind::kCase);
+  EXPECT_EQ((*e)->case_branches.size(), 2u);
+  ASSERT_NE((*e)->case_else, nullptr);
+}
+
+TEST(ParserTest, CountStar) {
+  auto stmt = Parse("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->items[0].expr->args[0]->kind, ExprKind::kStar);
+}
+
+TEST(ParserTest, LimitAndUnion) {
+  auto stmt = Parse("SELECT a FROM t LIMIT 20");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->limit, 20);
+  stmt = Parse("SELECT a FROM t UNION ALL SELECT a FROM u UNION SELECT a FROM v");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->union_all.size(), 2u);
+}
+
+TEST(ParserTest, ErrorsCarryPosition) {
+  auto stmt = Parse("SELECT FROM");
+  ASSERT_FALSE(stmt.ok());
+  EXPECT_TRUE(stmt.status().IsParseError());
+  EXPECT_NE(stmt.status().message().find("offset"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(Parse("SELECT 1 garbage garbage").ok());
+  EXPECT_FALSE(ParseExpression("1 + 2 extra").ok());
+}
+
+TEST(ParserTest, ExprCloneDeepCopies) {
+  auto e = ParseExpression("AVG(a + b['k']) / 2");
+  ASSERT_TRUE(e.ok());
+  ExprPtr clone = (*e)->Clone();
+  EXPECT_EQ(clone->ToString(), (*e)->ToString());
+  EXPECT_NE(clone.get(), e->get());
+}
+
+}  // namespace
+}  // namespace explainit::sql

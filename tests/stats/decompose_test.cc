@@ -1,0 +1,223 @@
+#include "stats/decompose.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace explainit::stats {
+namespace {
+
+std::vector<double> SeasonalSeries(size_t n, size_t period, double amp,
+                                   double noise, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    y[i] = amp * std::sin(2.0 * M_PI * static_cast<double>(i % period) /
+                          static_cast<double>(period)) +
+           rng.Normal() * noise;
+  }
+  return y;
+}
+
+TEST(MovingAverageTest, ConstantSeriesUnchanged) {
+  std::vector<double> y(20, 5.0);
+  auto ma = MovingAverage(y, 5);
+  for (double v : ma) EXPECT_NEAR(v, 5.0, 1e-12);
+}
+
+TEST(MovingAverageTest, SmoothsLinearExactlyInInterior) {
+  std::vector<double> y;
+  for (int i = 0; i < 30; ++i) y.push_back(static_cast<double>(i));
+  auto ma = MovingAverage(y, 5);
+  // Centred window on a linear ramp returns the ramp (away from edges).
+  for (size_t i = 2; i < 28; ++i) EXPECT_NEAR(ma[i], y[i], 1e-12);
+}
+
+TEST(MovingAverageTest, EvenWindowForcedOdd) {
+  std::vector<double> y = {0, 10, 0, 10, 0, 10};
+  auto a = MovingAverage(y, 4);  // becomes 5
+  auto b = MovingAverage(y, 5);
+  EXPECT_EQ(a, b);
+}
+
+TEST(DecomposeTest, RecoversSeasonalAmplitude) {
+  const size_t period = 24;
+  auto y = SeasonalSeries(24 * 20, period, 3.0, 0.2, 1);
+  auto d = DecomposeAdditive(y, period);
+  // The seasonal profile should reach close to +-3.
+  double max_s = 0.0;
+  for (double v : d.seasonal) max_s = std::max(max_s, std::abs(v));
+  EXPECT_NEAR(max_s, 3.0, 0.4);
+  // Residual variance is much smaller than the raw variance.
+  double var_y = 0.0, var_r = 0.0;
+  for (size_t i = 0; i < y.size(); ++i) {
+    var_y += y[i] * y[i];
+    var_r += d.residual[i] * d.residual[i];
+  }
+  EXPECT_LT(var_r, 0.2 * var_y);
+}
+
+TEST(DecomposeTest, ComponentsSumToSeries) {
+  auto y = SeasonalSeries(200, 10, 2.0, 0.5, 2);
+  auto d = DecomposeAdditive(y, 10);
+  for (size_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(d.trend[i] + d.seasonal[i] + d.residual[i], y[i], 1e-10);
+  }
+  // Systematic = trend + seasonal.
+  auto sys = d.Systematic();
+  for (size_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(sys[i] + d.residual[i], y[i], 1e-10);
+  }
+}
+
+TEST(DecomposeTest, SeasonalProfileSumsToZero) {
+  auto y = SeasonalSeries(300, 15, 4.0, 0.3, 3);
+  auto d = DecomposeAdditive(y, 15);
+  double acc = 0.0;
+  for (size_t i = 0; i < 15; ++i) acc += d.seasonal[i];
+  EXPECT_NEAR(acc, 0.0, 1e-9);
+}
+
+TEST(DecomposeTest, TrendOnlyCapturesDrift) {
+  Rng rng(4);
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    y.push_back(0.1 * i + rng.Normal() * 0.5);
+  }
+  auto d = DecomposeTrend(y, 21);
+  // The trend should track the ramp in the interior.
+  for (size_t i = 30; i < 170; ++i) {
+    EXPECT_NEAR(d.trend[i], 0.1 * static_cast<double>(i), 0.5);
+  }
+  for (double s : d.seasonal) EXPECT_EQ(s, 0.0);
+}
+
+TEST(AutocorrelationTest, LagZeroIsOne) {
+  auto y = SeasonalSeries(100, 10, 1.0, 0.1, 5);
+  EXPECT_NEAR(Autocorrelation(y, 0), 1.0, 1e-12);
+}
+
+TEST(AutocorrelationTest, PeriodicSeriesPeaksAtPeriod) {
+  auto y = SeasonalSeries(400, 20, 2.0, 0.1, 6);
+  EXPECT_GT(Autocorrelation(y, 20), 0.8);
+  EXPECT_LT(Autocorrelation(y, 10), 0.0);  // anti-phase at half period
+}
+
+TEST(AutocorrelationTest, WhiteNoiseNearZero) {
+  Rng rng(7);
+  std::vector<double> y(5000);
+  for (auto& v : y) v = rng.Normal();
+  EXPECT_LT(std::abs(Autocorrelation(y, 7)), 0.05);
+}
+
+TEST(DetectPeriodTest, FindsTruePeriod) {
+  auto y = SeasonalSeries(24 * 30, 24, 2.0, 0.3, 8);
+  EXPECT_EQ(DetectPeriod(y, 4, 200), 24u);
+}
+
+TEST(DetectPeriodTest, NoPeriodInNoise) {
+  Rng rng(9);
+  std::vector<double> y(1000);
+  for (auto& v : y) v = rng.Normal();
+  EXPECT_EQ(DetectPeriod(y, 4, 100), 0u);
+}
+
+TEST(DetectPeriodTest, WeeklyPeriodAtPaperScale) {
+  // Figure 8: weekly spikes in minutely data over a month.
+  // Scale down: "hours" resolution, 1 month, period = 168 hours.
+  auto y = SeasonalSeries(24 * 7 * 5, 168, 5.0, 0.5, 10);
+  EXPECT_EQ(DetectPeriod(y, 100, 300), 168u);
+}
+
+TEST(MedianTest, OddEven) {
+  EXPECT_EQ(Median({3, 1, 2}), 2.0);
+  EXPECT_EQ(Median({4, 1, 2, 3}), 2.5);
+  EXPECT_EQ(Median({}), 0.0);
+  EXPECT_EQ(Median({5}), 5.0);
+}
+
+TEST(DetectSpikesTest, FindsInjectedSpikes) {
+  Rng rng(11);
+  std::vector<double> y(500);
+  for (auto& v : y) v = 10.0 + rng.Normal() * 0.5;
+  y[100] = 30.0;
+  y[101] = 28.0;
+  y[400] = 25.0;
+  auto spikes = DetectSpikes(y, 5.0);
+  ASSERT_EQ(spikes.size(), 3u);
+  EXPECT_EQ(spikes[0], 100u);
+  EXPECT_EQ(spikes[1], 101u);
+  EXPECT_EQ(spikes[2], 400u);
+}
+
+TEST(DetectSpikesTest, NoSpikesInFlatSeries) {
+  std::vector<double> y(100, 1.0);
+  EXPECT_TRUE(DetectSpikes(y).empty());
+}
+
+}  // namespace
+}  // namespace explainit::stats
+
+namespace explainit::stats {
+namespace {
+
+TEST(RunningMedianTest, ConstantAndRamp) {
+  std::vector<double> flat(20, 3.0);
+  for (double v : RunningMedian(flat, 5)) EXPECT_EQ(v, 3.0);
+  std::vector<double> ramp;
+  for (int i = 0; i < 30; ++i) ramp.push_back(i);
+  auto rm = RunningMedian(ramp, 7);
+  for (size_t i = 3; i < 27; ++i) EXPECT_EQ(rm[i], ramp[i]);
+}
+
+TEST(RunningMedianTest, IgnoresShortSpikes) {
+  std::vector<double> y(60, 1.0);
+  for (int i = 25; i < 30; ++i) y[i] = 100.0;  // spike of 5 < half of 21
+  auto rm = RunningMedian(y, 21);
+  for (double v : rm) EXPECT_EQ(v, 1.0);
+}
+
+TEST(RunningMedianTest, EvenWindowForcedOdd) {
+  std::vector<double> y = {1, 2, 3, 4, 5, 6};
+  EXPECT_EQ(RunningMedian(y, 4), RunningMedian(y, 5));
+}
+
+TEST(DecomposeRobustTest, SpikeStaysInResidual) {
+  // The property that motivated the robust variant: a transient spike
+  // shorter than half the trend window must not leak into trend/seasonal.
+  Rng rng(21);
+  const size_t period = 24, n = 24 * 20;
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    y[i] = 10.0 +
+           2.0 * std::sin(2.0 * M_PI * (i % period) / period) +
+           ((i >= 200 && i < 240) ? 5.0 : 0.0) + rng.Normal() * 0.2;
+  }
+  auto d = DecomposeRobust(y, period, 5 * period + 1);
+  double spike_resid = 0.0;
+  for (size_t i = 205; i < 235; ++i) spike_resid += d.residual[i];
+  EXPECT_GT(spike_resid / 30.0, 3.5);
+  // Components still sum to the series.
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(d.trend[i] + d.seasonal[i] + d.residual[i], y[i], 1e-9);
+  }
+}
+
+TEST(DecomposeRobustTest, SeasonalProfileRecovered) {
+  Rng rng(22);
+  const size_t period = 12, n = 12 * 30;
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    y[i] = 4.0 * std::sin(2.0 * M_PI * (i % period) / period) +
+           rng.Normal() * 0.3;
+  }
+  auto d = DecomposeRobust(y, period, 61);
+  double max_s = 0.0;
+  for (double v : d.seasonal) max_s = std::max(max_s, std::abs(v));
+  EXPECT_NEAR(max_s, 4.0, 0.5);
+}
+
+}  // namespace
+}  // namespace explainit::stats

@@ -1,0 +1,139 @@
+#include "stats/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "la/matrix.h"
+#include "stats/ols.h"
+
+namespace explainit::stats {
+namespace {
+
+TEST(LogGammaTest, KnownValues) {
+  EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-12);           // Gamma(1) = 1
+  EXPECT_NEAR(LogGamma(2.0), 0.0, 1e-12);           // Gamma(2) = 1
+  EXPECT_NEAR(LogGamma(5.0), std::log(24.0), 1e-10);  // 4!
+  EXPECT_NEAR(LogGamma(0.5), std::log(std::sqrt(M_PI)), 1e-10);
+}
+
+TEST(IncompleteBetaTest, BoundaryValues) {
+  EXPECT_EQ(RegularizedIncompleteBeta(2, 3, 0.0), 0.0);
+  EXPECT_EQ(RegularizedIncompleteBeta(2, 3, 1.0), 1.0);
+}
+
+TEST(IncompleteBetaTest, SymmetricCaseAtHalf) {
+  // I_{0.5}(a, a) = 0.5 by symmetry.
+  for (double a : {0.5, 1.0, 2.0, 7.5}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(a, a, 0.5), 0.5, 1e-10) << a;
+  }
+}
+
+TEST(IncompleteBetaTest, UniformSpecialCase) {
+  // Beta(1,1) is uniform: CDF(x) = x.
+  for (double x : {0.1, 0.25, 0.7, 0.95}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(1, 1, x), x, 1e-12);
+  }
+}
+
+TEST(BetaDistributionTest, MeanAndVariance) {
+  BetaDistribution b(2.0, 3.0);
+  EXPECT_NEAR(b.Mean(), 0.4, 1e-12);
+  EXPECT_NEAR(b.Variance(), 2.0 * 3.0 / (25.0 * 6.0), 1e-12);
+}
+
+TEST(BetaDistributionTest, PdfIntegratesToOne) {
+  BetaDistribution b(2.5, 4.0);
+  const int n = 20000;
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = (i + 0.5) / n;
+    acc += b.Pdf(x) / n;
+  }
+  EXPECT_NEAR(acc, 1.0, 1e-4);
+}
+
+TEST(BetaDistributionTest, CdfMonotone) {
+  BetaDistribution b(3.0, 2.0);
+  double prev = -1.0;
+  for (double x = 0.0; x <= 1.0; x += 0.05) {
+    const double c = b.Cdf(x);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_NEAR(b.Cdf(1.0), 1.0, 1e-12);
+}
+
+TEST(NullR2Test, MeanMatchesTheory) {
+  // Appendix A: mean of the null r2 is (p-1)/(n-1).
+  const size_t n = 1000, p = 500;
+  BetaDistribution d = NullR2Distribution(n, p);
+  EXPECT_NEAR(d.Mean(), (500.0 - 1.0) / (1000.0 - 1.0), 1e-9);
+}
+
+TEST(NullR2Test, VarianceFallsAsOneOverN) {
+  // Appendix A: var <= 1 / (4 (1 + (n-1)/2)) = O(1/n).
+  for (size_t n : {100u, 1000u, 10000u}) {
+    const size_t p = n / 2;
+    BetaDistribution d = NullR2Distribution(n, p);
+    const double bound = 1.0 / (4.0 * (1.0 + (static_cast<double>(n) - 1.0) / 2.0));
+    EXPECT_LE(d.Variance(), bound * 1.0001) << n;
+  }
+}
+
+TEST(NullR2Test, EmpiricalOlsR2MatchesBeta) {
+  // Monte-Carlo: the in-sample r2 of OLS on pure noise should follow
+  // Beta((p-1)/2, (n-p)/2). Checked with a KS threshold.
+  Rng rng(99);
+  const size_t n = 120, p = 30;
+  std::vector<double> samples;
+  for (int rep = 0; rep < 60; ++rep) {
+    la::Matrix x(n, p), y(n, 1);
+    rng.FillNormal(x.data(), x.size());
+    rng.FillNormal(y.data(), y.size());
+    auto ols = OlsFit(x, y);
+    ASSERT_TRUE(ols.ok());
+    samples.push_back(ols->r2);
+  }
+  BetaDistribution null_dist = NullR2Distribution(n, p);
+  const double ks = KolmogorovSmirnovStatistic(
+      samples, [&](double v) { return null_dist.Cdf(v); });
+  // 60 samples: the KS critical value at alpha=0.01 is ~1.63/sqrt(60)=0.21.
+  EXPECT_LT(ks, 0.25);
+}
+
+TEST(ChiSquaredTest, CdfKnownValues) {
+  ChiSquaredDistribution c2(2.0);
+  // Chi2(2) is Exp(1/2): CDF(x) = 1 - exp(-x/2).
+  for (double x : {0.5, 1.0, 3.0, 8.0}) {
+    EXPECT_NEAR(c2.Cdf(x), 1.0 - std::exp(-x / 2.0), 1e-9) << x;
+  }
+  EXPECT_EQ(c2.Cdf(0.0), 0.0);
+}
+
+TEST(ChiSquaredTest, MeanVariance) {
+  ChiSquaredDistribution c2(7.5);
+  EXPECT_EQ(c2.Mean(), 7.5);
+  EXPECT_EQ(c2.Variance(), 15.0);
+}
+
+TEST(NormalTest, PdfCdf) {
+  EXPECT_NEAR(NormalPdf(0.0), 1.0 / std::sqrt(2.0 * M_PI), 1e-12);
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(KsTest, ZeroForExactCdfSamples) {
+  // Uniform grid against uniform CDF: KS is ~ 1/(2n).
+  std::vector<double> sample;
+  const int n = 100;
+  for (int i = 0; i < n; ++i) sample.push_back((i + 0.5) / n);
+  const double ks =
+      KolmogorovSmirnovStatistic(sample, [](double x) { return x; });
+  EXPECT_LT(ks, 0.01);
+}
+
+}  // namespace
+}  // namespace explainit::stats

@@ -1,0 +1,69 @@
+#include "stats/kfold.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace explainit::stats {
+namespace {
+
+TEST(KFoldTest, PartitionsExactly) {
+  auto folds = ContiguousKFold(100, 5);
+  ASSERT_EQ(folds.size(), 5u);
+  size_t covered = 0;
+  size_t expect_begin = 0;
+  for (const Fold& f : folds) {
+    EXPECT_EQ(f.val_begin, expect_begin);  // contiguous, in order
+    covered += f.val_end - f.val_begin;
+    expect_begin = f.val_end;
+  }
+  EXPECT_EQ(covered, 100u);
+}
+
+TEST(KFoldTest, UnevenSplitDistributesRemainder) {
+  auto folds = ContiguousKFold(103, 5);
+  ASSERT_EQ(folds.size(), 5u);
+  // 103 = 21 + 21 + 21 + 20 + 20.
+  EXPECT_EQ(folds[0].val_end - folds[0].val_begin, 21u);
+  EXPECT_EQ(folds[4].val_end - folds[4].val_begin, 20u);
+  EXPECT_EQ(folds[4].val_end, 103u);
+}
+
+TEST(KFoldTest, TooFewPointsDegradesToSingleTrailingFold) {
+  auto folds = ContiguousKFold(7, 5);
+  ASSERT_EQ(folds.size(), 1u);
+  EXPECT_EQ(folds[0].val_end, 7u);
+  EXPECT_LT(folds[0].val_begin, 7u);
+  EXPECT_GE(folds[0].val_begin, 5u);  // ~25% validation
+}
+
+TEST(KFoldTest, EmptyInput) {
+  EXPECT_TRUE(ContiguousKFold(0, 5).empty());
+}
+
+TEST(KFoldTest, TrainIndicesExcludeValidationBlock) {
+  Fold f{3, 6};
+  auto idx = TrainIndices(f, 10);
+  std::set<size_t> s(idx.begin(), idx.end());
+  EXPECT_EQ(idx.size(), 7u);
+  for (size_t i = 3; i < 6; ++i) EXPECT_EQ(s.count(i), 0u);
+  for (size_t i : {0u, 1u, 2u, 6u, 9u}) EXPECT_EQ(s.count(i), 1u);
+}
+
+TEST(KFoldTest, ValidationRangesNeverOverlapTraining) {
+  // The paper's requirement: validation time range disjoint from training.
+  for (size_t n : {40u, 97u, 1440u}) {
+    for (size_t k : {2u, 5u, 10u}) {
+      auto folds = ContiguousKFold(n, k);
+      for (const Fold& f : folds) {
+        auto train = TrainIndices(f, n);
+        for (size_t i : train) {
+          EXPECT_TRUE(i < f.val_begin || i >= f.val_end);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace explainit::stats

@@ -1,0 +1,107 @@
+#include "stats/lasso.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "la/standardize.h"
+
+namespace explainit::stats {
+namespace {
+
+TEST(LassoTest, RecoverySparseSignal) {
+  Rng rng(1);
+  const size_t t = 300, p = 20;
+  la::Matrix x(t, p), y(t, 1);
+  rng.FillNormal(x.data(), x.size());
+  // Only features 3 and 11 matter.
+  for (size_t r = 0; r < t; ++r) {
+    y(r, 0) = 2.0 * x(r, 3) - 1.5 * x(r, 11) + rng.Normal() * 0.1;
+  }
+  la::Matrix xs = la::Standardize(x);
+  la::Matrix ys = la::Standardize(y);
+  la::Matrix beta = LassoRegression::Solve(xs, ys, 0.05);
+  // Signal features survive; most noise features are exactly zero.
+  EXPECT_GT(std::abs(beta(3, 0)), 0.2);
+  EXPECT_GT(std::abs(beta(11, 0)), 0.2);
+  size_t zeros = 0;
+  for (size_t j = 0; j < p; ++j) {
+    if (j != 3 && j != 11 && beta(j, 0) == 0.0) ++zeros;
+  }
+  EXPECT_GE(zeros, 14u);
+}
+
+TEST(LassoTest, LargePenaltyZeroesEverything) {
+  Rng rng(2);
+  la::Matrix x(100, 5), y(100, 1);
+  rng.FillNormal(x.data(), x.size());
+  rng.FillNormal(y.data(), y.size());
+  la::Matrix beta = LassoRegression::Solve(x, y, 100.0);
+  for (size_t j = 0; j < 5; ++j) EXPECT_EQ(beta(j, 0), 0.0);
+}
+
+TEST(LassoTest, ZeroPenaltyApproachesLeastSquares) {
+  Rng rng(3);
+  const size_t t = 200;
+  la::Matrix x(t, 2), y(t, 1);
+  rng.FillNormal(x.data(), x.size());
+  for (size_t r = 0; r < t; ++r) {
+    y(r, 0) = 1.0 * x(r, 0) + 0.5 * x(r, 1) + rng.Normal() * 0.05;
+  }
+  la::Matrix xs = la::Standardize(x);
+  la::Matrix ys = la::Standardize(y);
+  la::Matrix beta = LassoRegression::Solve(xs, ys, 1e-8, 2000, 1e-10);
+  // In standardised coordinates the weights keep their ratio 2:1.
+  EXPECT_NEAR(beta(0, 0) / beta(1, 0), 2.0, 0.1);
+}
+
+TEST(LassoTest, CvPicksSignalAndScoresWell) {
+  Rng rng(4);
+  const size_t t = 240, p = 15;
+  la::Matrix x(t, p), y(t, 1);
+  rng.FillNormal(x.data(), x.size());
+  for (size_t r = 0; r < t; ++r) {
+    y(r, 0) = 3.0 * x(r, 0) + rng.Normal() * 0.2;
+  }
+  LassoRegression lasso;
+  auto res = lasso.FitCv(x, y);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_GT(res->cv_r2, 0.85);
+  EXPECT_GE(res->support_size, 1u);
+}
+
+TEST(LassoTest, SupportShrinksWithPenalty) {
+  Rng rng(5);
+  const size_t t = 150, p = 30;
+  la::Matrix x(t, p), y(t, 1);
+  rng.FillNormal(x.data(), x.size());
+  for (size_t r = 0; r < t; ++r) {
+    double acc = 0.0;
+    for (size_t j = 0; j < 5; ++j) acc += x(r, j) * 0.5;
+    y(r, 0) = acc + rng.Normal() * 0.3;
+  }
+  la::Matrix xs = la::Standardize(x);
+  la::Matrix ys = la::Standardize(y);
+  auto count_nonzero = [&](double lambda) {
+    la::Matrix beta = LassoRegression::Solve(xs, ys, lambda);
+    size_t nz = 0;
+    for (size_t j = 0; j < p; ++j) {
+      if (beta(j, 0) != 0.0) ++nz;
+    }
+    return nz;
+  };
+  EXPECT_GE(count_nonzero(0.001), count_nonzero(0.05));
+  EXPECT_GE(count_nonzero(0.05), count_nonzero(0.3));
+}
+
+TEST(LassoTest, RejectsBadShapes) {
+  la::Matrix x(10, 2), y(12, 1);
+  LassoRegression lasso;
+  EXPECT_FALSE(lasso.FitCv(x, y).ok());
+  la::Matrix x2(4, 2), y2(4, 1);
+  EXPECT_FALSE(lasso.FitCv(x2, y2).ok());
+}
+
+}  // namespace
+}  // namespace explainit::stats

@@ -1,0 +1,90 @@
+#include "stats/ols.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace explainit::stats {
+namespace {
+
+TEST(OlsTest, RecoversExactLinearRelation) {
+  const size_t t = 50;
+  la::Matrix x(t, 1), y(t, 1);
+  for (size_t r = 0; r < t; ++r) {
+    x(r, 0) = static_cast<double>(r);
+    y(r, 0) = 3.0 * static_cast<double>(r) + 7.0;
+  }
+  auto res = OlsFit(x, y);
+  ASSERT_TRUE(res.ok());
+  EXPECT_NEAR(res->coefficients(0, 0), 3.0, 1e-9);
+  EXPECT_NEAR(res->r2, 1.0, 1e-12);
+  for (size_t r = 0; r < t; ++r) {
+    EXPECT_NEAR(res->fitted(r, 0), y(r, 0), 1e-8);
+  }
+}
+
+TEST(OlsTest, ResidualsSumToZero) {
+  Rng rng(1);
+  la::Matrix x(100, 3), y(100, 1);
+  rng.FillNormal(x.data(), x.size());
+  for (size_t r = 0; r < 100; ++r) y(r, 0) = x(r, 0) + rng.Normal();
+  auto res = OlsFit(x, y);
+  ASSERT_TRUE(res.ok());
+  double sum = 0.0;
+  for (size_t r = 0; r < 100; ++r) sum += res->residuals(r, 0);
+  EXPECT_NEAR(sum, 0.0, 1e-8);
+}
+
+TEST(OlsTest, ResidualsOrthogonalToPredictors) {
+  // The defining property of least squares used in the Appendix B proof.
+  Rng rng(2);
+  la::Matrix x(80, 4), y(80, 1);
+  rng.FillNormal(x.data(), x.size());
+  rng.FillNormal(y.data(), y.size());
+  auto res = OlsFit(x, y);
+  ASSERT_TRUE(res.ok());
+  for (size_t j = 0; j < 4; ++j) {
+    double dot = 0.0;
+    double xmean = 0.0;
+    for (size_t r = 0; r < 80; ++r) xmean += x(r, j);
+    xmean /= 80.0;
+    for (size_t r = 0; r < 80; ++r) {
+      dot += (x(r, j) - xmean) * res->residuals(r, 0);
+    }
+    EXPECT_NEAR(dot, 0.0, 1e-7) << "predictor " << j;
+  }
+}
+
+TEST(OlsTest, AdjustedR2BelowPlainR2UnderNull) {
+  Rng rng(3);
+  la::Matrix x(100, 40), y(100, 1);
+  rng.FillNormal(x.data(), x.size());
+  rng.FillNormal(y.data(), y.size());
+  auto res = OlsFit(x, y);
+  ASSERT_TRUE(res.ok());
+  // With p=40, n=100 and no true relation, r2 inflates to ~p/n.
+  EXPECT_GT(res->r2, 0.2);
+  EXPECT_LT(res->r2_adjusted, res->r2);
+  EXPECT_NEAR(res->r2_adjusted, 0.0, 0.35);
+}
+
+TEST(OlsTest, AdjustedR2Formula) {
+  // Wherry: 1 - (1-r2)(n-1)/(n-p).
+  EXPECT_NEAR(AdjustedR2(0.5, 101, 1), 1.0 - 0.5 * 100.0 / 100.0, 1e-12);
+  EXPECT_NEAR(AdjustedR2(0.5, 11, 6), 1.0 - 0.5 * 10.0 / 5.0, 1e-12);
+  // Degenerate n <= p falls back to plain r2.
+  EXPECT_EQ(AdjustedR2(0.7, 10, 10), 0.7);
+}
+
+TEST(OlsTest, RejectsUnderdetermined) {
+  la::Matrix x(5, 10), y(5, 1);
+  EXPECT_FALSE(OlsFit(x, y).ok());
+}
+
+TEST(OlsTest, RejectsRowMismatch) {
+  la::Matrix x(10, 2), y(9, 1);
+  EXPECT_FALSE(OlsFit(x, y).ok());
+}
+
+}  // namespace
+}  // namespace explainit::stats

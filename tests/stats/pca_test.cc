@@ -1,0 +1,131 @@
+#include "stats/pca.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "la/blas.h"
+
+namespace explainit::stats {
+namespace {
+
+TEST(PcaTest, FindsDominantDirection) {
+  Rng rng(1);
+  const size_t t = 500;
+  la::Matrix x(t, 3);
+  // Data varies mostly along (1, 1, 0)/sqrt(2).
+  for (size_t r = 0; r < t; ++r) {
+    const double main = rng.Normal() * 5.0;
+    x(r, 0) = main + rng.Normal() * 0.2;
+    x(r, 1) = main + rng.Normal() * 0.2;
+    x(r, 2) = rng.Normal() * 0.2;
+  }
+  auto pca = ComputePca(x, 1);
+  ASSERT_TRUE(pca.ok());
+  const double c0 = pca->components(0, 0);
+  const double c1 = pca->components(1, 0);
+  const double c2 = pca->components(2, 0);
+  EXPECT_NEAR(std::abs(c0), 1.0 / std::sqrt(2.0), 0.05);
+  EXPECT_NEAR(std::abs(c1), 1.0 / std::sqrt(2.0), 0.05);
+  EXPECT_NEAR(c2, 0.0, 0.05);
+  EXPECT_GT(pca->eigenvalues[0], 20.0);  // ~2 * 25/2
+}
+
+TEST(PcaTest, ComponentsOrthonormal) {
+  Rng rng(2);
+  la::Matrix x(300, 6);
+  rng.FillNormal(x.data(), x.size());
+  auto pca = ComputePca(x, 3);
+  ASSERT_TRUE(pca.ok());
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      double dot = 0.0;
+      for (size_t k = 0; k < 6; ++k) {
+        dot += pca->components(k, i) * pca->components(k, j);
+      }
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-4) << i << "," << j;
+    }
+  }
+}
+
+TEST(PcaTest, EigenvaluesDescending) {
+  Rng rng(3);
+  la::Matrix x(400, 5);
+  for (size_t r = 0; r < 400; ++r) {
+    x(r, 0) = rng.Normal() * 4.0;
+    x(r, 1) = rng.Normal() * 2.0;
+    x(r, 2) = rng.Normal() * 1.0;
+    x(r, 3) = rng.Normal() * 0.5;
+    x(r, 4) = rng.Normal() * 0.25;
+  }
+  auto pca = ComputePca(x, 5);
+  ASSERT_TRUE(pca.ok());
+  for (size_t i = 1; i < 5; ++i) {
+    EXPECT_GE(pca->eigenvalues[i - 1], pca->eigenvalues[i] - 1e-9);
+  }
+  EXPECT_NEAR(pca->eigenvalues[0], 16.0, 3.0);
+}
+
+TEST(PcaTest, TransformShape) {
+  Rng rng(4);
+  la::Matrix x(100, 8);
+  rng.FillNormal(x.data(), x.size());
+  auto pca = ComputePca(x, 2);
+  ASSERT_TRUE(pca.ok());
+  la::Matrix z = PcaTransform(x, pca.value());
+  EXPECT_EQ(z.rows(), 100u);
+  EXPECT_EQ(z.cols(), 2u);
+}
+
+TEST(PcaTest, KClampedToColumns) {
+  Rng rng(5);
+  la::Matrix x(50, 3);
+  rng.FillNormal(x.data(), x.size());
+  auto pca = ComputePca(x, 10);
+  ASSERT_TRUE(pca.ok());
+  EXPECT_EQ(pca->components.cols(), 3u);
+}
+
+TEST(PcaTest, RejectsDegenerate) {
+  la::Matrix x(1, 3);
+  EXPECT_FALSE(ComputePca(x, 1).ok());
+  la::Matrix empty(10, 0);
+  EXPECT_FALSE(ComputePca(empty, 1).ok());
+}
+
+TEST(EigenvaluesTest, DiagonalMatrix) {
+  la::Matrix a(3, 3);
+  a(0, 0) = 5.0;
+  a(1, 1) = 2.0;
+  a(2, 2) = 1.0;
+  auto eig = SymmetricEigenvalues(a);
+  ASSERT_EQ(eig.size(), 3u);
+  EXPECT_NEAR(eig[0], 5.0, 1e-10);
+  EXPECT_NEAR(eig[1], 2.0, 1e-10);
+  EXPECT_NEAR(eig[2], 1.0, 1e-10);
+}
+
+TEST(EigenvaluesTest, KnownSymmetricMatrix) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  la::Matrix a(2, 2, {2, 1, 1, 2});
+  auto eig = SymmetricEigenvalues(a);
+  EXPECT_NEAR(eig[0], 3.0, 1e-9);
+  EXPECT_NEAR(eig[1], 1.0, 1e-9);
+}
+
+TEST(EigenvaluesTest, TraceAndFrobeniusPreserved) {
+  Rng rng(6);
+  la::Matrix x(30, 6);
+  rng.FillNormal(x.data(), x.size());
+  la::Matrix g = la::Gram(x);
+  double trace = 0.0;
+  for (size_t i = 0; i < 6; ++i) trace += g(i, i);
+  auto eig = SymmetricEigenvalues(g);
+  double eig_sum = 0.0;
+  for (double e : eig) eig_sum += e;
+  EXPECT_NEAR(eig_sum, trace, 1e-6);
+}
+
+}  // namespace
+}  // namespace explainit::stats

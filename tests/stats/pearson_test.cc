@@ -1,0 +1,98 @@
+#include "stats/pearson.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace explainit::stats {
+namespace {
+
+TEST(PearsonTest, PerfectPositiveCorrelation) {
+  std::vector<double> a = {1, 2, 3, 4, 5};
+  std::vector<double> b = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(a, b), 1.0, 1e-12);
+}
+
+TEST(PearsonTest, PerfectNegativeCorrelation) {
+  std::vector<double> a = {1, 2, 3, 4, 5};
+  std::vector<double> b = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(a, b), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ConstantSeriesGivesZero) {
+  std::vector<double> a = {3, 3, 3, 3};
+  std::vector<double> b = {1, 2, 3, 4};
+  EXPECT_EQ(PearsonCorrelation(a, b), 0.0);
+  EXPECT_EQ(PearsonCorrelation(b, a), 0.0);
+}
+
+TEST(PearsonTest, IndependentSeriesNearZero) {
+  Rng rng(1);
+  const size_t n = 20000;
+  std::vector<double> a(n), b(n);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = rng.Normal();
+    b[i] = rng.Normal();
+  }
+  EXPECT_LT(std::abs(PearsonCorrelation(a, b)), 0.03);
+}
+
+TEST(PearsonTest, InvariantToAffineTransform) {
+  Rng rng(2);
+  std::vector<double> a(100), b(100), a2(100);
+  for (size_t i = 0; i < 100; ++i) {
+    a[i] = rng.Normal();
+    b[i] = a[i] * 0.5 + rng.Normal() * 0.3;
+    a2[i] = 100.0 * a[i] - 42.0;
+  }
+  EXPECT_NEAR(PearsonCorrelation(a, b), PearsonCorrelation(a2, b), 1e-12);
+}
+
+TEST(PearsonTest, MatrixMatchesScalarKernel) {
+  Rng rng(3);
+  const size_t t = 200;
+  la::Matrix x(t, 3), y(t, 2);
+  rng.FillNormal(x.data(), x.size());
+  for (size_t r = 0; r < t; ++r) {
+    y(r, 0) = x(r, 0) * 2.0 + rng.Normal() * 0.1;
+    y(r, 1) = rng.Normal();
+  }
+  la::Matrix corr = CorrelationMatrix(x, y);
+  ASSERT_EQ(corr.rows(), 3u);
+  ASSERT_EQ(corr.cols(), 2u);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 2; ++j) {
+      EXPECT_NEAR(corr(i, j), PearsonCorrelation(x.Col(i), y.Col(j)), 1e-10);
+    }
+  }
+}
+
+TEST(PearsonTest, SummaryMeanAndMax) {
+  Rng rng(4);
+  const size_t t = 300;
+  la::Matrix x(t, 4), y(t, 1);
+  rng.FillNormal(x.data(), x.size());
+  for (size_t r = 0; r < t; ++r) y(r, 0) = x(r, 2) + rng.Normal() * 0.05;
+  CorrSummary s = CorrelationSummary(x, y);
+  EXPECT_GT(s.max_abs, 0.99);      // column 2 is nearly perfectly correlated
+  EXPECT_LT(s.mean_abs, 0.5);      // other columns dilute the mean
+  EXPECT_GE(s.max_abs, s.mean_abs);
+  EXPECT_LE(s.max_abs, 1.0);
+}
+
+TEST(PearsonTest, CorrelationBoundedByOne) {
+  // Near-duplicate columns can numerically overshoot 1; must be clamped.
+  la::Matrix x(50, 1), y(50, 1);
+  for (size_t r = 0; r < 50; ++r) {
+    x(r, 0) = static_cast<double>(r);
+    y(r, 0) = static_cast<double>(r) * (1.0 + 1e-15);
+  }
+  la::Matrix corr = CorrelationMatrix(x, y);
+  EXPECT_LE(corr(0, 0), 1.0);
+  EXPECT_NEAR(corr(0, 0), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace explainit::stats

@@ -1,0 +1,205 @@
+#include "stats/ridge.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "la/blas.h"
+
+namespace explainit::stats {
+namespace {
+
+// Builds Y = X w + noise with a known linear signal.
+struct LinearProblem {
+  la::Matrix x;
+  la::Matrix y;
+};
+
+LinearProblem MakeLinear(size_t t, size_t p, double noise, uint64_t seed) {
+  Rng rng(seed);
+  LinearProblem prob;
+  prob.x = la::Matrix(t, p);
+  rng.FillNormal(prob.x.data(), prob.x.size());
+  std::vector<double> w(p);
+  for (size_t j = 0; j < p; ++j) w[j] = rng.Normal();
+  prob.y = la::Matrix(t, 1);
+  for (size_t r = 0; r < t; ++r) {
+    double acc = 0.0;
+    for (size_t j = 0; j < p; ++j) acc += prob.x(r, j) * w[j];
+    prob.y(r, 0) = acc + rng.Normal() * noise;
+  }
+  return prob;
+}
+
+TEST(RidgeTest, StrongSignalScoresHigh) {
+  auto prob = MakeLinear(400, 5, 0.05, 1);
+  RidgeRegression ridge;
+  auto res = ridge.FitCv(prob.x, prob.y);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_GT(res->cv_r2, 0.95);
+}
+
+TEST(RidgeTest, PureNoiseScoresNearZeroOrNegative) {
+  Rng rng(2);
+  la::Matrix x(300, 10), y(300, 1);
+  rng.FillNormal(x.data(), x.size());
+  rng.FillNormal(y.data(), y.size());
+  RidgeRegression ridge;
+  auto res = ridge.FitCv(x, y);
+  ASSERT_TRUE(res.ok());
+  EXPECT_LT(res->cv_r2, 0.15);  // out-of-sample: no spurious confidence
+}
+
+TEST(RidgeTest, DualPathMatchesPrimalOnSquareishData) {
+  // Same problem solved with p < T (primal) and padded to p > T (dual);
+  // signal columns identical, so scores should be close.
+  auto prob = MakeLinear(120, 30, 0.1, 3);
+  RidgeRegression ridge;
+  auto primal = ridge.FitCv(prob.x, prob.y);
+  ASSERT_TRUE(primal.ok());
+  // Add 200 pure-noise columns to push into the dual regime.
+  Rng rng(4);
+  la::Matrix pad(120, 200);
+  rng.FillNormal(pad.data(), pad.size());
+  la::Matrix wide = prob.x.ConcatCols(pad);
+  auto dual = ridge.FitCv(wide, prob.y);
+  ASSERT_TRUE(dual.ok());
+  EXPECT_GT(primal->cv_r2, 0.9);
+  // The dual fit still detects the signal; 200 noise features on 120 rows
+  // dilute the out-of-sample score but must not erase it.
+  EXPECT_GT(dual->cv_r2, 0.3);
+}
+
+TEST(RidgeTest, SolvePrimalDualAgree) {
+  // Direct check of the two Solve code paths on identical data: the ridge
+  // solution is unique, so primal (p<=T) and dual (forced by padding rows
+  // vs features) must agree.
+  Rng rng(5);
+  const size_t t = 40, p = 25;
+  la::Matrix x(t, p), y(t, 2);
+  rng.FillNormal(x.data(), x.size());
+  rng.FillNormal(y.data(), y.size());
+  auto primal = RidgeRegression::Solve(x, y, 3.0);
+  ASSERT_TRUE(primal.ok());
+  // Dual path triggered by slicing rows so T < p.
+  la::Matrix xs = x.SliceRows(0, 20);
+  la::Matrix ys = y.SliceRows(0, 20);
+  auto dual = RidgeRegression::Solve(xs, ys, 3.0);
+  ASSERT_TRUE(dual.ok());
+  // Verify dual solution satisfies the primal normal equations:
+  // (X^T X + l I) B = X^T Y.
+  la::Matrix lhs = la::MatMul(la::Gram(xs), dual.value());
+  la::Matrix reg = dual.value();
+  reg.ScaleInPlace(3.0);
+  lhs.AddInPlace(reg);
+  la::Matrix rhs = la::MatTMul(xs, ys);
+  for (size_t i = 0; i < lhs.rows(); ++i) {
+    for (size_t j = 0; j < lhs.cols(); ++j) {
+      EXPECT_NEAR(lhs(i, j), rhs(i, j), 1e-8);
+    }
+  }
+}
+
+TEST(RidgeTest, ResidualsPlusFittedEqualY) {
+  auto prob = MakeLinear(200, 8, 0.3, 6);
+  RidgeRegression ridge;
+  auto res = ridge.FitCv(prob.x, prob.y);
+  ASSERT_TRUE(res.ok());
+  for (size_t r = 0; r < 200; ++r) {
+    EXPECT_NEAR(res->fitted(r, 0) + res->residuals(r, 0), prob.y(r, 0), 1e-9);
+  }
+}
+
+TEST(RidgeTest, LambdaGridSelectionPrefersSmallLambdaOnCleanSignal) {
+  auto prob = MakeLinear(500, 4, 0.01, 7);
+  RidgeOptions opts;
+  opts.lambdas = {0.01, 1.0, 10000.0};
+  RidgeRegression ridge(opts);
+  auto res = ridge.FitCv(prob.x, prob.y);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->best_lambda, 0.01);
+  // Huge penalty shrinks predictions to ~0 -> r2 near 0.
+  EXPECT_LT(res->per_lambda_r2[2], res->per_lambda_r2[0]);
+}
+
+TEST(RidgeTest, MultiOutputAveragesR2) {
+  Rng rng(8);
+  const size_t t = 300;
+  la::Matrix x(t, 3), y(t, 2);
+  rng.FillNormal(x.data(), x.size());
+  for (size_t r = 0; r < t; ++r) {
+    y(r, 0) = 2.0 * x(r, 0) + rng.Normal() * 0.01;  // explainable
+    y(r, 1) = rng.Normal();                          // noise
+  }
+  RidgeRegression ridge;
+  auto res = ridge.FitCv(x, y);
+  ASSERT_TRUE(res.ok());
+  EXPECT_GT(res->cv_r2, 0.3);
+  EXPECT_LT(res->cv_r2, 0.75);  // average of ~1 and ~0
+}
+
+TEST(RidgeTest, RejectsShapeMismatch) {
+  la::Matrix x(10, 2), y(12, 1);
+  RidgeRegression ridge;
+  EXPECT_FALSE(ridge.FitCv(x, y).ok());
+}
+
+TEST(RidgeTest, RejectsTooFewPoints) {
+  la::Matrix x(4, 2), y(4, 1);
+  RidgeRegression ridge;
+  EXPECT_FALSE(ridge.FitCv(x, y).ok());
+}
+
+TEST(RidgeTest, RejectsEmptyFeatures) {
+  la::Matrix x(20, 0), y(20, 1);
+  RidgeRegression ridge;
+  EXPECT_FALSE(ridge.FitCv(x, y).ok());
+}
+
+TEST(RSquaredTest, PerfectPredictionIsOne) {
+  la::Matrix y(5, 1, {1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(RSquared(y, y), 1.0);
+}
+
+TEST(RSquaredTest, MeanPredictionIsZero) {
+  la::Matrix y(4, 1, {1, 2, 3, 4});
+  la::Matrix pred(4, 1, {2.5, 2.5, 2.5, 2.5});
+  EXPECT_DOUBLE_EQ(RSquared(y, pred), 0.0);
+}
+
+TEST(RSquaredTest, ConstantTargetSkipped) {
+  la::Matrix y(4, 2, {1, 7, 2, 7, 3, 7, 4, 7});
+  la::Matrix pred(4, 2, {1, 0, 2, 0, 3, 0, 4, 0});
+  // Column 0 perfect, column 1 constant (skipped) -> 1.0.
+  EXPECT_DOUBLE_EQ(RSquared(y, pred), 1.0);
+}
+
+// Property sweep: CV r2 grows monotonically (in expectation) as noise falls.
+class RidgeNoiseTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RidgeNoiseTest, ScoreReflectsSignalToNoise) {
+  const double noise = GetParam();
+  // Fixed unit weights so the signal variance is exactly p = 6 and the
+  // population r2 is 6 / (6 + noise^2).
+  Rng rng(42);
+  const size_t t = 1200, p = 6;
+  la::Matrix x(t, p), y(t, 1);
+  rng.FillNormal(x.data(), x.size());
+  for (size_t r = 0; r < t; ++r) {
+    double acc = 0.0;
+    for (size_t j = 0; j < p; ++j) acc += x(r, j);
+    y(r, 0) = acc + rng.Normal() * noise;
+  }
+  RidgeRegression ridge;
+  auto res = ridge.FitCv(x, y);
+  ASSERT_TRUE(res.ok());
+  const double expected_r2 = 6.0 / (6.0 + noise * noise);
+  EXPECT_NEAR(res->cv_r2, expected_r2, 0.1) << "noise=" << noise;
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseSweep, RidgeNoiseTest,
+                         ::testing::Values(0.1, 0.5, 1.0, 2.0, 4.0));
+
+}  // namespace
+}  // namespace explainit::stats

@@ -1,0 +1,117 @@
+#include "stats/significance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace explainit::stats {
+namespace {
+
+TEST(SignificanceTest, PaperExampleChebyshev) {
+  // Appendix A.2: n = 1440, p = 50 gives p(s) ~= 4.9e-5 / s^2.
+  const double var = NullAdjustedR2Variance(1440, 50);
+  EXPECT_NEAR(var, 4.9e-5, 0.3e-5);
+  EXPECT_NEAR(ChebyshevPValue(0.5, 1440, 50), var / 0.25, 1e-12);
+}
+
+TEST(SignificanceTest, PaperExampleLowScore) {
+  // "when s = 0.03, the p-value for n = 1000, p = 50 is ~0.05".
+  const double p = ChebyshevPValue(0.03, 1000, 50);
+  EXPECT_NEAR(p, 0.115, 0.08);  // Chebyshev bound same order as paper's 0.05
+}
+
+TEST(SignificanceTest, PValueClippedToOne) {
+  EXPECT_EQ(ChebyshevPValue(0.0001, 100, 50), 1.0);
+  EXPECT_EQ(ChebyshevPValue(-1.0, 100, 50), 1.0);
+  EXPECT_EQ(ChebyshevPValue(0.0, 100, 50), 1.0);
+}
+
+TEST(SignificanceTest, BetaPValueSharperThanChebyshevInTail) {
+  const size_t n = 1000, p = 50;
+  const double s = 0.2;
+  EXPECT_LT(BetaPValue(s, n, p), ChebyshevPValue(s, n, p));
+}
+
+TEST(SignificanceTest, BetaPValueMonotoneDecreasing) {
+  double prev = 1.1;
+  for (double s : {0.01, 0.05, 0.1, 0.2, 0.5}) {
+    const double pv = BetaPValue(s, 500, 20);
+    EXPECT_LT(pv, prev);
+    prev = pv;
+  }
+}
+
+TEST(SignificanceTest, BonferroniScalesAndClips) {
+  auto out = BonferroniCorrect({0.01, 0.2, 0.5});
+  EXPECT_NEAR(out[0], 0.03, 1e-12);
+  EXPECT_NEAR(out[1], 0.6, 1e-12);
+  EXPECT_EQ(out[2], 1.0);
+}
+
+TEST(SignificanceTest, BenjaminiHochbergAdjustment) {
+  // Classic example: p = {0.01, 0.02, 0.03, 0.04}, m=4.
+  auto q = BenjaminiHochbergAdjust({0.01, 0.02, 0.03, 0.04});
+  // q_i = min_j>=i (m p_j / j): all equal 0.04 here.
+  for (double v : q) EXPECT_NEAR(v, 0.04, 1e-12);
+}
+
+TEST(SignificanceTest, BenjaminiHochbergOrderIndependent) {
+  auto q1 = BenjaminiHochbergAdjust({0.001, 0.5, 0.04});
+  auto q2 = BenjaminiHochbergAdjust({0.5, 0.04, 0.001});
+  EXPECT_NEAR(q1[0], q2[2], 1e-12);
+  EXPECT_NEAR(q1[1], q2[0], 1e-12);
+  EXPECT_NEAR(q1[2], q2[1], 1e-12);
+}
+
+TEST(SignificanceTest, BenjaminiHochbergDiscoveries) {
+  // Strong signals survive, weak do not.
+  std::vector<double> pv = {1e-6, 1e-5, 0.4, 0.9};
+  auto disc = BenjaminiHochbergDiscoveries(pv, 0.05);
+  ASSERT_EQ(disc.size(), 2u);
+  EXPECT_EQ(disc[0], 0u);
+  EXPECT_EQ(disc[1], 1u);
+}
+
+TEST(SignificanceTest, BhLessConservativeThanBonferroni) {
+  std::vector<double> pv = {0.01, 0.011, 0.012, 0.013, 0.9};
+  auto bonf = BonferroniCorrect(pv);
+  auto bh = BenjaminiHochbergAdjust(pv);
+  for (size_t i = 0; i < 4; ++i) EXPECT_LE(bh[i], bonf[i]);
+}
+
+TEST(SignificanceTest, RidgeDofLimits) {
+  // Eigenvalues of X^T X; Appendix A: df -> p-1-ish as lambda -> 0 and
+  // -> 0 as lambda -> infinity.
+  const size_t n = 1000;
+  std::vector<double> eig(50, 10.0);
+  const double df0 = RidgeEffectiveDof(eig, 1e-9, n);
+  EXPECT_NEAR(df0, 50.0 * (1.0 - 1.0 / 1000.0), 0.01);
+  const double df_inf = RidgeEffectiveDof(eig, 1e12, n);
+  EXPECT_NEAR(df_inf, 0.0, 1e-6);
+}
+
+TEST(SignificanceTest, RidgeDofMonotoneInLambda) {
+  std::vector<double> eig = {100.0, 50.0, 10.0, 1.0, 0.1};
+  double prev = 1e9;
+  for (double lambda : {0.01, 0.1, 1.0, 10.0, 100.0, 1000.0}) {
+    const double df = RidgeEffectiveDof(eig, lambda, 1000);
+    EXPECT_LE(df, prev);
+    prev = df;
+  }
+}
+
+TEST(SignificanceTest, PaperTopKSurvivesBonferroni) {
+  // The paper notes top-20 scores are significant even after Bonferroni
+  // with thousands of data points. Emulate: 800 hypotheses, top scores 0.3.
+  // The exact Beta tail is used (Chebyshev is only an order-of-magnitude
+  // bound and is too blunt for m = 800).
+  const size_t n = 1440, p = 50;
+  std::vector<double> pvals;
+  for (int i = 0; i < 20; ++i) pvals.push_back(BetaPValue(0.3, n, p));
+  for (int i = 0; i < 780; ++i) pvals.push_back(0.9);
+  auto bonf = BonferroniCorrect(pvals);
+  for (int i = 0; i < 20; ++i) EXPECT_LT(bonf[i], 0.05);
+}
+
+}  // namespace
+}  // namespace explainit::stats

@@ -1,0 +1,133 @@
+#include "table/table.h"
+
+#include <gtest/gtest.h>
+
+namespace explainit::table {
+namespace {
+
+Table MakeSample() {
+  Schema schema({{"timestamp", DataType::kTimestamp},
+                 {"name", DataType::kString},
+                 {"value", DataType::kDouble}});
+  Table t(schema);
+  t.AppendRow({Value::Timestamp(60), Value::String("runtime"),
+               Value::Double(10.0)});
+  t.AppendRow({Value::Timestamp(120), Value::String("latency"),
+               Value::Double(5.0)});
+  t.AppendRow({Value::Timestamp(0), Value::String("runtime"),
+               Value::Double(12.0)});
+  return t;
+}
+
+TEST(SchemaTest, FieldIndexCaseInsensitive) {
+  Schema s({{"Timestamp", DataType::kTimestamp}, {"value", DataType::kDouble}});
+  EXPECT_EQ(s.FieldIndex("timestamp"), 0u);
+  EXPECT_EQ(s.FieldIndex("VALUE"), 1u);
+  EXPECT_FALSE(s.FieldIndex("missing").has_value());
+}
+
+TEST(SchemaTest, ToStringListsFields) {
+  Schema s({{"a", DataType::kDouble}, {"b", DataType::kString}});
+  EXPECT_EQ(s.ToString(), "(a: DOUBLE, b: STRING)");
+}
+
+TEST(TableTest, AppendAndAccess) {
+  Table t = MakeSample();
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.num_columns(), 3u);
+  EXPECT_EQ(t.At(0, 1).AsString(), "runtime");
+  EXPECT_EQ(t.At(1, 2).AsDouble(), 5.0);
+  auto row = t.Row(2);
+  EXPECT_EQ(row[0].AsTimestamp(), 0);
+  EXPECT_EQ(row[2].AsDouble(), 12.0);
+}
+
+TEST(TableTest, SelectColumnsReorders) {
+  Table t = MakeSample();
+  auto sel = t.SelectColumns({"value", "name"});
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->num_columns(), 2u);
+  EXPECT_EQ(sel->schema().field(0).name, "value");
+  EXPECT_EQ(sel->At(0, 0).AsDouble(), 10.0);
+  EXPECT_EQ(sel->At(0, 1).AsString(), "runtime");
+}
+
+TEST(TableTest, SelectMissingColumnFails) {
+  Table t = MakeSample();
+  auto sel = t.SelectColumns({"nope"});
+  EXPECT_FALSE(sel.ok());
+  EXPECT_TRUE(sel.status().IsNotFound());
+}
+
+TEST(TableTest, SortAscendingByTimestamp) {
+  Table t = MakeSample();
+  auto sorted = t.SortBy("timestamp");
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_EQ(sorted->At(0, 0).AsTimestamp(), 0);
+  EXPECT_EQ(sorted->At(1, 0).AsTimestamp(), 60);
+  EXPECT_EQ(sorted->At(2, 0).AsTimestamp(), 120);
+}
+
+TEST(TableTest, SortDescendingByValue) {
+  Table t = MakeSample();
+  auto sorted = t.SortBy("value", /*ascending=*/false);
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_EQ(sorted->At(0, 2).AsDouble(), 12.0);
+  EXPECT_EQ(sorted->At(2, 2).AsDouble(), 5.0);
+}
+
+TEST(TableTest, SortIsStable) {
+  Schema schema({{"k", DataType::kInt64}, {"ord", DataType::kInt64}});
+  Table t(schema);
+  t.AppendRow({Value::Int(1), Value::Int(0)});
+  t.AppendRow({Value::Int(0), Value::Int(1)});
+  t.AppendRow({Value::Int(1), Value::Int(2)});
+  t.AppendRow({Value::Int(0), Value::Int(3)});
+  auto sorted = t.SortBy("k");
+  ASSERT_TRUE(sorted.ok());
+  // Equal keys preserve input order.
+  EXPECT_EQ(sorted->At(0, 1).AsInt(), 1);
+  EXPECT_EQ(sorted->At(1, 1).AsInt(), 3);
+  EXPECT_EQ(sorted->At(2, 1).AsInt(), 0);
+  EXPECT_EQ(sorted->At(3, 1).AsInt(), 2);
+}
+
+TEST(TableTest, UnionAll) {
+  Table a = MakeSample();
+  Table b = MakeSample();
+  ASSERT_TRUE(a.UnionAll(b).ok());
+  EXPECT_EQ(a.num_rows(), 6u);
+  EXPECT_EQ(a.At(3, 1).AsString(), "runtime");
+}
+
+TEST(TableTest, UnionAllWidthMismatchFails) {
+  Table a = MakeSample();
+  Table b(Schema({{"x", DataType::kDouble}}));
+  EXPECT_FALSE(a.UnionAll(b).ok());
+}
+
+TEST(TableTest, Truncate) {
+  Table t = MakeSample();
+  t.Truncate(1);
+  EXPECT_EQ(t.num_rows(), 1u);
+  t.Truncate(100);  // no-op past the end
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TableTest, ToStringShowsHeaderAndRows) {
+  Table t = MakeSample();
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("timestamp"), std::string::npos);
+  EXPECT_NE(s.find("runtime"), std::string::npos);
+  std::string truncated = t.ToString(1);
+  EXPECT_NE(truncated.find("more rows"), std::string::npos);
+}
+
+TEST(TableTest, EmptyTable) {
+  Table t;
+  EXPECT_EQ(t.num_rows(), 0u);
+  EXPECT_EQ(t.num_columns(), 0u);
+}
+
+}  // namespace
+}  // namespace explainit::table

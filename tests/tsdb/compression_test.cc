@@ -1,0 +1,149 @@
+#include "tsdb/compression.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace explainit::tsdb {
+namespace {
+
+TEST(BitStreamTest, RoundTripMixedWidths) {
+  BitWriter w;
+  w.WriteBits(0b101, 3);
+  w.WriteBit(true);
+  w.WriteBits(0xDEADBEEFCAFEBABEULL, 64);
+  w.WriteBits(0, 5);
+  BitReader r(w.bytes(), w.bit_count());
+  EXPECT_EQ(r.ReadBits(3).value(), 0b101u);
+  EXPECT_TRUE(r.ReadBit().value());
+  EXPECT_EQ(r.ReadBits(64).value(), 0xDEADBEEFCAFEBABEULL);
+  EXPECT_EQ(r.ReadBits(5).value(), 0u);
+  EXPECT_EQ(r.bits_remaining(), 0u);
+}
+
+TEST(BitStreamTest, ReadPastEndFails) {
+  BitWriter w;
+  w.WriteBits(1, 1);
+  BitReader r(w.bytes(), w.bit_count());
+  EXPECT_TRUE(r.ReadBit().ok());
+  EXPECT_FALSE(r.ReadBit().ok());
+}
+
+TEST(CompressedBlockTest, SinglePoint) {
+  CompressedBlock block;
+  ASSERT_TRUE(block.Append(1000, 3.25).ok());
+  auto points = block.Decode();
+  ASSERT_TRUE(points.ok());
+  ASSERT_EQ(points->size(), 1u);
+  EXPECT_EQ((*points)[0].first, 1000);
+  EXPECT_EQ((*points)[0].second, 3.25);
+}
+
+TEST(CompressedBlockTest, RegularMinuteGridRoundTrip) {
+  CompressedBlock block;
+  Rng rng(1);
+  std::vector<std::pair<EpochSeconds, double>> expected;
+  double v = 100.0;
+  for (int i = 0; i < 2880; ++i) {  // two days of minutes
+    v += rng.Normal() * 0.5;
+    const EpochSeconds t = 1500000000 + i * 60;
+    expected.emplace_back(t, v);
+    ASSERT_TRUE(block.Append(t, v).ok());
+  }
+  auto points = block.Decode();
+  ASSERT_TRUE(points.ok());
+  ASSERT_EQ(points->size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ((*points)[i].first, expected[i].first);
+    EXPECT_EQ((*points)[i].second, expected[i].second) << i;
+  }
+}
+
+TEST(CompressedBlockTest, RegularGridCompressesWell) {
+  // Constant-delta timestamps + slowly varying values should compress far
+  // below 16 bytes/point.
+  CompressedBlock block;
+  for (int i = 0; i < 1440; ++i) {
+    ASSERT_TRUE(block.Append(i * 60, 42.0).ok());
+  }
+  const double bytes_per_point =
+      static_cast<double>(block.byte_size()) / 1440.0;
+  EXPECT_LT(bytes_per_point, 0.5);  // constant series ~2 bits/point
+}
+
+TEST(CompressedBlockTest, IrregularTimestampsRoundTrip) {
+  CompressedBlock block;
+  std::vector<EpochSeconds> ts = {0, 60, 121, 185, 185, 1000000, 1000060};
+  std::vector<double> vs = {1.0, -2.5, 1e300, -1e-300, 0.0,
+                            std::numeric_limits<double>::infinity(), 7.0};
+  for (size_t i = 0; i < ts.size(); ++i) {
+    ASSERT_TRUE(block.Append(ts[i], vs[i]).ok()) << i;
+  }
+  auto points = block.Decode();
+  ASSERT_TRUE(points.ok());
+  ASSERT_EQ(points->size(), ts.size());
+  for (size_t i = 0; i < ts.size(); ++i) {
+    EXPECT_EQ((*points)[i].first, ts[i]);
+    EXPECT_EQ((*points)[i].second, vs[i]);
+  }
+}
+
+TEST(CompressedBlockTest, NanRoundTrip) {
+  CompressedBlock block;
+  ASSERT_TRUE(block.Append(0, std::nan("")).ok());
+  ASSERT_TRUE(block.Append(60, 1.0).ok());
+  ASSERT_TRUE(block.Append(120, std::nan("")).ok());
+  auto points = block.Decode();
+  ASSERT_TRUE(points.ok());
+  EXPECT_TRUE(std::isnan((*points)[0].second));
+  EXPECT_EQ((*points)[1].second, 1.0);
+  EXPECT_TRUE(std::isnan((*points)[2].second));
+}
+
+TEST(CompressedBlockTest, RejectsDecreasingTimestamps) {
+  CompressedBlock block;
+  ASSERT_TRUE(block.Append(100, 1.0).ok());
+  EXPECT_FALSE(block.Append(99, 2.0).ok());
+}
+
+TEST(CompressedBlockTest, NegativeDeltaOfDelta) {
+  // Delta shrinks: 0, +100, +10 -> dod = -90.
+  CompressedBlock block;
+  ASSERT_TRUE(block.Append(0, 1.0).ok());
+  ASSERT_TRUE(block.Append(100, 2.0).ok());
+  ASSERT_TRUE(block.Append(110, 3.0).ok());
+  auto points = block.Decode();
+  ASSERT_TRUE(points.ok());
+  EXPECT_EQ((*points)[2].first, 110);
+}
+
+// Property sweep over random walks with different volatilities.
+class CompressionRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(CompressionRoundTrip, LosslessAcrossVolatility) {
+  const double vol = GetParam();
+  Rng rng(static_cast<uint64_t>(vol * 1000) + 7);
+  CompressedBlock block;
+  std::vector<double> expected;
+  double v = 50.0;
+  EpochSeconds t = 0;
+  for (int i = 0; i < 500; ++i) {
+    v += rng.Normal() * vol;
+    t += 60 + (rng.UniformInt(10) == 0 ? rng.UniformInt(600) : 0);
+    expected.push_back(v);
+    ASSERT_TRUE(block.Append(t, v).ok());
+  }
+  auto points = block.Decode();
+  ASSERT_TRUE(points.ok());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ((*points)[i].second, expected[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Volatility, CompressionRoundTrip,
+                         ::testing::Values(0.0, 0.001, 0.1, 10.0, 1e6));
+
+}  // namespace
+}  // namespace explainit::tsdb
