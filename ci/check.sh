@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: Release build + full ctest, then an
+# ASan/UBSan Debug build + full ctest. Run from anywhere.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+run_suite() {
+  local build_dir="$1"
+  shift
+  echo "=== configure: ${build_dir} ($*) ==="
+  cmake -B "${build_dir}" -S "${ROOT}" "$@"
+  echo "=== build: ${build_dir} ==="
+  cmake --build "${build_dir}" -j "${JOBS}"
+  echo "=== ctest: ${build_dir} ==="
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
+}
+
+run_suite "${ROOT}/build" -DCMAKE_BUILD_TYPE=Release
+
+run_suite "${ROOT}/build-asan" \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DEXPLAINIT_SANITIZE=ON
+
+echo "=== all checks passed ==="

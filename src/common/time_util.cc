@@ -10,7 +10,7 @@ std::string FormatTimestamp(EpochSeconds t) {
   std::time_t tt = static_cast<std::time_t>(t);
   std::tm tm_utc;
   gmtime_r(&tt, &tm_utc);
-  char buf[32];
+  char buf[64];  // %04d can widen to 11 chars for out-of-range years
   std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d",
                 tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
                 tm_utc.tm_hour, tm_utc.tm_min);

@@ -1,6 +1,7 @@
 #include "exec/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace explainit::exec {
 
@@ -35,6 +36,11 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   idle_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::WorkerLoop() {
@@ -47,9 +53,18 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    // A throwing task must not unwind out of the worker thread (that would
+    // call std::terminate) and must still decrement in_flight_, or every
+    // concurrent Wait() would hang forever.
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !first_error_) first_error_ = std::move(error);
       --in_flight_;
       if (in_flight_ == 0) idle_.notify_all();
     }

@@ -5,6 +5,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -22,10 +23,14 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task. Tasks must not throw.
+  /// Enqueues a task. A task that throws does not kill the worker: the first
+  /// exception is captured and rethrown from the next Wait().
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished. If any task threw since
+  /// the last Wait(), rethrows the first captured exception (later ones are
+  /// dropped); the pool stays usable afterwards. Errors still pending at
+  /// destruction are discarded.
   void Wait();
 
   size_t num_threads() const { return workers_.size(); }
@@ -40,6 +45,7 @@ class ThreadPool {
   std::condition_variable idle_;
   size_t in_flight_ = 0;
   bool stopping_ = false;
+  std::exception_ptr first_error_;
 };
 
 /// Runs fn(i) for i in [0, n) across the pool, blocking until done.

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <set>
+#include <stdexcept>
 
 #include "exec/ipc.h"
 #include "common/random.h"
@@ -60,6 +61,58 @@ TEST(ThreadPoolTest, UsesMultipleThreads) {
 TEST(ThreadPoolTest, DefaultSizeIsHardwareConcurrency) {
   ThreadPool pool;
   EXPECT_GE(pool.num_threads(), 1u);
+}
+
+// Regression: a throwing task used to unwind out of WorkerLoop (calling
+// std::terminate) and left in_flight_ undecremented, hanging every Wait().
+TEST(ThreadPoolTest, ThrowingTaskDoesNotHangWait) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1); });
+  }
+  try {
+    pool.Wait();
+    FAIL() << "Wait() should rethrow the task's exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAfterTaskThrows) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("first"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The error is cleared once surfaced; workers are still alive.
+  std::atomic<int> ran{0};
+  pool.Submit([&ran] { ran.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, OnlyFirstErrorIsSurfaced) {
+  ThreadPool pool(1);  // single worker => deterministic execution order
+  pool.Submit([] { throw std::runtime_error("first"); });
+  pool.Submit([] { throw std::logic_error("second"); });
+  try {
+    pool.Wait();
+    FAIL() << "Wait() should rethrow the first exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+  pool.Submit([] {});
+  EXPECT_NO_THROW(pool.Wait());
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesTaskException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(ParallelFor(pool, 64,
+                           [](size_t i) {
+                             if (i == 13) throw std::runtime_error("unlucky");
+                           }),
+               std::runtime_error);
 }
 
 TEST(IpcTest, MatrixRoundTripExact) {

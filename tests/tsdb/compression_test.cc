@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
 
 #include "common/random.h"
@@ -117,6 +118,112 @@ TEST(CompressedBlockTest, NegativeDeltaOfDelta) {
   auto points = block.Decode();
   ASSERT_TRUE(points.ok());
   EXPECT_EQ((*points)[2].first, 110);
+}
+
+// Flips the lowest mantissa bit, producing an XOR with 63 leading zeros —
+// more than the 5-bit leading field can hold, so Append must clamp to 31.
+double FlipLowBit(double v) {
+  return std::bit_cast<double>(std::bit_cast<uint64_t>(v) ^ 1ull);
+}
+
+TEST(CompressedBlockTest, SnapshotRoundTripContinuesAppending) {
+  CompressedBlock block;
+  std::vector<std::pair<EpochSeconds, double>> expected;
+  auto append = [&expected](CompressedBlock& blk, EpochSeconds ts, double v) {
+    ASSERT_TRUE(blk.Append(ts, v).ok());
+    expected.emplace_back(ts, v);
+  };
+
+  EpochSeconds t = 1600000000;
+  double v = 42.0;
+  append(block, t, v);
+  append(block, t += 60, v);          // x == 0, dod == 0
+  append(block, t += 60, v = 43.5);   // new XOR window
+  append(block, t += 60, v = 43.25);  // another window
+  append(block, t += 1000000, v);     // dod ≈ 1e6: 64-bit escape bucket
+  append(block, t += 60, v = FlipLowBit(v));  // leading = 63, clamped to 31
+  append(block, t += 60, v = FlipLowBit(v));  // x == 1 again: window reuse
+
+  // Snapshot mid-stream, restore, and keep appending to the restored block.
+  std::vector<uint8_t> buffer;
+  block.Serialize(&buffer);
+  size_t offset = 0;
+  auto restored = CompressedBlock::Deserialize(buffer, &offset);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(offset, buffer.size());
+  EXPECT_EQ(restored->num_points(), block.num_points());
+
+  append(*restored, t += 60, v);                  // x == 0 after reload
+  append(*restored, t += 60, v = FlipLowBit(v));  // reuse the reloaded window
+  append(*restored, t += 5000000, v = -1.0);      // escape bucket again
+  append(*restored, t += 60, v = 42.0);
+  append(*restored, t, v);  // duplicate timestamp (dod flips sign)
+
+  auto points = restored->Decode();
+  ASSERT_TRUE(points.ok());
+  ASSERT_EQ(points->size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ((*points)[i].first, expected[i].first) << i;
+    EXPECT_EQ((*points)[i].second, expected[i].second) << i;
+  }
+}
+
+TEST(CompressedBlockTest, SnapshotEveryFewPointsStaysLossless) {
+  // Random walk with occasional timestamp jumps and low-bit perturbations,
+  // snapshotting (serialize + deserialize) every 97 appends.
+  Rng rng(9);
+  CompressedBlock block;
+  std::vector<std::pair<EpochSeconds, double>> expected;
+  EpochSeconds t = 0;
+  double v = 100.0;
+  for (int i = 0; i < 600; ++i) {
+    switch (rng.UniformInt(5)) {
+      case 0:
+        break;  // exact repeat: x == 0
+      case 1:
+        v = FlipLowBit(v);  // forces the leading > 31 clamp path
+        break;
+      default:
+        v += rng.Normal();
+    }
+    t += rng.UniformInt(20) == 0 ? 1000000 : 60;  // occasional escape bucket
+    ASSERT_TRUE(block.Append(t, v).ok()) << i;
+    expected.emplace_back(t, v);
+    if (i % 97 == 96) {
+      std::vector<uint8_t> buffer;
+      block.Serialize(&buffer);
+      size_t offset = 0;
+      auto restored = CompressedBlock::Deserialize(buffer, &offset);
+      ASSERT_TRUE(restored.ok()) << i;
+      block = std::move(restored).value();
+    }
+  }
+  auto points = block.Decode();
+  ASSERT_TRUE(points.ok());
+  ASSERT_EQ(points->size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ((*points)[i].first, expected[i].first) << i;
+    EXPECT_EQ((*points)[i].second, expected[i].second) << i;
+  }
+}
+
+TEST(CompressedBlockTest, DeserializeConsumesConcatenatedBlocks) {
+  CompressedBlock a, b;
+  ASSERT_TRUE(a.Append(0, 1.0).ok());
+  ASSERT_TRUE(a.Append(60, 2.0).ok());
+  ASSERT_TRUE(b.Append(1000, -3.0).ok());
+  std::vector<uint8_t> buffer;
+  a.Serialize(&buffer);
+  b.Serialize(&buffer);
+  size_t offset = 0;
+  auto ra = CompressedBlock::Deserialize(buffer, &offset);
+  ASSERT_TRUE(ra.ok());
+  EXPECT_EQ(ra->num_points(), 2u);
+  auto rb = CompressedBlock::Deserialize(buffer, &offset);
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(rb->num_points(), 1u);
+  EXPECT_EQ(offset, buffer.size());
+  EXPECT_FALSE(CompressedBlock::Deserialize(buffer, &offset).ok());
 }
 
 // Property sweep over random walks with different volatilities.
