@@ -1,0 +1,209 @@
+// End-to-end SQL query throughput: seed row-at-a-time interpreter
+// (bench/seed_executor.h) vs the planner + vectorised operator pipeline
+// with scan pushdown (src/sql/). Scales the store to 1k/10k/100k series
+// and runs
+//   Q1  scan -> filter -> aggregate   (the pushdown showcase)
+//   Q2  scan -> filter -> join -> aggregate (two per-minute subqueries)
+// emitting BENCH_sql_pipeline.json so the perf trajectory is recorded.
+//
+// Usage: sql_pipeline [--smoke] [output.json]
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/seed_executor.h"
+#include "common/time_util.h"
+#include "sql/executor.h"
+#include "tsdb/store.h"
+
+namespace explainit {
+namespace {
+
+constexpr int64_t kPointsPerSeries = 12;  // one per minute
+const TimeRange kRange{0, kPointsPerSeries * 60};
+
+// Q1: the 3-of-12-minute window over the latency metric only; pushdown
+// narrows both the window and the series set at the store.
+const char* kQ1 =
+    "SELECT tag['host'] AS host, AVG(value) AS v FROM tsdb "
+    "WHERE metric_name = 'latency' AND timestamp BETWEEN 240 AND 360 "
+    "GROUP BY tag['host']";
+
+// Q2: per-minute latency joined with per-minute load, then aggregated.
+const char* kQ2 =
+    "SELECT COUNT(*) AS n, AVG(l.v + r.v) AS s FROM "
+    "(SELECT timestamp AS ts, AVG(value) AS v FROM tsdb "
+    " WHERE metric_name = 'latency' GROUP BY timestamp) l "
+    "JOIN "
+    "(SELECT timestamp AS ts, AVG(value) AS v FROM tsdb "
+    " WHERE metric_name = 'load' GROUP BY timestamp) r "
+    "ON l.ts = r.ts";
+
+std::shared_ptr<tsdb::SeriesStore> BuildStore(size_t num_series) {
+  auto store = std::make_shared<tsdb::SeriesStore>();
+  // One latency series per host; one load series per ten hosts.
+  for (size_t h = 0; h < num_series; ++h) {
+    const tsdb::TagSet tags{{"host", "h" + std::to_string(h)}};
+    std::vector<EpochSeconds> ts(kPointsPerSeries);
+    std::vector<double> vals(kPointsPerSeries);
+    for (int64_t i = 0; i < kPointsPerSeries; ++i) {
+      ts[i] = i * 60;
+      vals[i] = static_cast<double>((h * 13 + i * 7) % 97);
+    }
+    if (!store->WriteSeries("latency", tags, ts, vals).ok()) std::abort();
+    if (h % 10 == 0) {
+      if (!store->WriteSeries("load", tags, ts, vals).ok()) std::abort();
+    }
+  }
+  return store;
+}
+
+struct QueryResult {
+  double seconds = 0;
+  size_t rows = 0;
+  double checksum = 0;  // sum of the last column, for cross-validation
+};
+
+double Checksum(const table::Table& t) {
+  double acc = 0;
+  const size_t c = t.num_columns() - 1;
+  for (size_t r = 0; r < t.num_rows(); ++r) acc += t.At(r, c).AsDouble();
+  return acc;
+}
+
+template <typename Exec>
+QueryResult Run(Exec& exec, const char* query) {
+  const double t0 = MonotonicSeconds();
+  auto res = exec.Query(query);
+  QueryResult out;
+  out.seconds = MonotonicSeconds() - t0;
+  if (!res.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 res.status().ToString().c_str());
+    std::abort();
+  }
+  out.rows = res->num_rows();
+  out.checksum = Checksum(*res);
+  return out;
+}
+
+struct ScaleReport {
+  size_t series;
+  QueryResult q1_seed, q1_pipe, q2_seed, q2_pipe;
+  bool match;
+};
+
+ScaleReport RunScale(size_t num_series) {
+  auto store = BuildStore(num_series);
+  sql::Catalog catalog;
+  catalog.RegisterHintedProvider(
+      "tsdb",
+      [store](const tsdb::ScanHints& hints) -> Result<table::Table> {
+        tsdb::ScanRequest req;
+        req.range = kRange;
+        req.hints = hints;
+        return store->ScanToTable(req);
+      });
+  sql::FunctionRegistry functions = sql::FunctionRegistry::Builtins();
+  bench::SeedExecutor seed(&catalog, &functions);
+  sql::Executor pipeline(&catalog, &functions);
+
+  ScaleReport rep;
+  rep.series = num_series;
+  rep.q1_seed = Run(seed, kQ1);
+  rep.q1_pipe = Run(pipeline, kQ1);
+  rep.q2_seed = Run(seed, kQ2);
+  rep.q2_pipe = Run(pipeline, kQ2);
+  auto close = [](double a, double b) {
+    return std::abs(a - b) <= 1e-6 * (1.0 + std::abs(a) + std::abs(b));
+  };
+  rep.match = rep.q1_seed.rows == rep.q1_pipe.rows &&
+              rep.q2_seed.rows == rep.q2_pipe.rows &&
+              close(rep.q1_seed.checksum, rep.q1_pipe.checksum) &&
+              close(rep.q2_seed.checksum, rep.q2_pipe.checksum);
+  return rep;
+}
+
+void PrintScale(const ScaleReport& r) {
+  std::printf(
+      "%8zu series | Q1 scan->agg  seed %8.4fs  pipeline %8.4fs  (%5.1fx) "
+      "| Q2 join  seed %8.4fs  pipeline %8.4fs  (%5.1fx) | results %s\n",
+      r.series, r.q1_seed.seconds, r.q1_pipe.seconds,
+      r.q1_seed.seconds / r.q1_pipe.seconds, r.q2_seed.seconds,
+      r.q2_pipe.seconds, r.q2_seed.seconds / r.q2_pipe.seconds,
+      r.match ? "match" : "MISMATCH");
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_sql_pipeline.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+  std::vector<size_t> scales =
+      smoke ? std::vector<size_t>{200}
+            : std::vector<size_t>{1000, 10000, 100000};
+
+  std::printf("SQL pipeline bench: seed interpreter vs planner+vectorised "
+              "pipeline%s\n", smoke ? " [smoke]" : "");
+  std::vector<ScaleReport> reports;
+  bool all_match = true;
+  bool pipeline_wins_at_top = true;
+  for (size_t s : scales) {
+    ScaleReport r = RunScale(s);
+    PrintScale(r);
+    all_match = all_match && r.match;
+    if (s == scales.back()) {
+      pipeline_wins_at_top = r.q1_pipe.seconds < r.q1_seed.seconds;
+    }
+    reports.push_back(r);
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"sql_pipeline\",\n  \"scales\": [\n");
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const ScaleReport& r = reports[i];
+    std::fprintf(
+        f,
+        "    {\"series\": %zu, \"points\": %zu,\n"
+        "     \"q1_scan_agg\": {\"rows\": %zu, \"seed_sec\": %.6f, "
+        "\"pipeline_sec\": %.6f, \"speedup\": %.2f},\n"
+        "     \"q2_join_agg\": {\"rows\": %zu, \"seed_sec\": %.6f, "
+        "\"pipeline_sec\": %.6f, \"speedup\": %.2f},\n"
+        "     \"results_match\": %s}%s\n",
+        r.series, r.series * kPointsPerSeries, r.q1_pipe.rows,
+        r.q1_seed.seconds, r.q1_pipe.seconds,
+        r.q1_seed.seconds / r.q1_pipe.seconds, r.q2_pipe.rows,
+        r.q2_seed.seconds, r.q2_pipe.seconds,
+        r.q2_seed.seconds / r.q2_pipe.seconds, r.match ? "true" : "false",
+        i + 1 < reports.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!all_match) {
+    std::printf("FAIL: seed and pipeline disagree\n");
+    return 1;
+  }
+  if (!smoke && !pipeline_wins_at_top) {
+    std::printf("FAIL: pipeline slower than seed at the top scale\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace explainit
+
+int main(int argc, char** argv) { return explainit::Main(argc, argv); }

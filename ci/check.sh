@@ -19,6 +19,11 @@ run_suite() {
 
 run_suite "${ROOT}/build" -DCMAKE_BUILD_TYPE=Release
 
+# The Release tree builds the bench binaries; smoke-run the SQL pipeline
+# bench (tiny scale, seed-vs-pipeline cross-validation) so it cannot rot.
+echo "=== bench smoke: sql_pipeline ==="
+"${ROOT}/build/bench/sql_pipeline" --smoke "${ROOT}/build/BENCH_sql_pipeline.smoke.json"
+
 run_suite "${ROOT}/build-asan" \
   -DCMAKE_BUILD_TYPE=Debug \
   -DEXPLAINIT_SANITIZE=ON

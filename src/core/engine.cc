@@ -138,22 +138,24 @@ Result<table::Table> NormalizeToFeatureFamilyTable(
 Engine::Engine(std::shared_ptr<tsdb::SeriesStore> store, EngineOptions options)
     : store_(std::move(store)),
       options_(options),
-      functions_(sql::FunctionRegistry::Builtins()) {}
+      functions_(sql::FunctionRegistry::Builtins()),
+      executor_(&catalog_, &functions_) {}
 
 void Engine::RegisterStoreTable(const std::string& table_name,
                                 const TimeRange& range) {
   std::shared_ptr<tsdb::SeriesStore> store = store_;
-  catalog_.RegisterProvider(table_name,
-                            [store, range]() -> Result<table::Table> {
-                              tsdb::ScanRequest req;
-                              req.range = range;
-                              return store->ScanToTable(req);
-                            });
+  catalog_.RegisterHintedProvider(
+      table_name,
+      [store, range](const tsdb::ScanHints& hints) -> Result<table::Table> {
+        tsdb::ScanRequest req;
+        req.range = range;
+        req.hints = hints;
+        return store->ScanToTable(req);
+      });
 }
 
 Result<table::Table> Engine::Sql(std::string_view query) {
-  sql::Executor executor(&catalog_, &functions_);
-  return executor.Query(query);
+  return executor_.Query(query);
 }
 
 Result<std::vector<FeatureFamily>> Engine::FamiliesFromStore(

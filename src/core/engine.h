@@ -59,11 +59,17 @@ Result<table::Table> NormalizeToFeatureFamilyTable(
     const table::Table& query_result,
     const std::string& default_family = "family");
 
-/// The engine facade.
+/// The engine facade. Holds one persistent sql::Executor for its
+/// lifetime, so execution statistics accumulate across queries.
+/// Not copyable/movable: the executor points into the engine's own
+/// catalog and function registry.
 class Engine {
  public:
   explicit Engine(std::shared_ptr<tsdb::SeriesStore> store,
                   EngineOptions options = {});
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
 
   tsdb::SeriesStore& store() { return *store_; }
   sql::Catalog& catalog() { return catalog_; }
@@ -71,12 +77,22 @@ class Engine {
   const EngineOptions& options() const { return options_; }
 
   /// Exposes the store as a SQL table (schema: timestamp, metric_name,
-  /// tag, value) restricted to `range` — the paper's `tsdb` table.
+  /// tag, value) restricted to `range` — the paper's `tsdb` table. The
+  /// provider honours planner pushdown hints, so WHERE clauses on
+  /// timestamp / metric_name / tag narrow the actual store scan.
   void RegisterStoreTable(const std::string& table_name,
                           const TimeRange& range);
 
   /// Runs a SQL query against the catalog.
   Result<table::Table> Sql(std::string_view query);
+
+  /// Cumulative execution statistics across every Sql() call.
+  const sql::ExecStats& exec_stats() const { return executor_.stats(); }
+  /// Statistics (with the per-operator breakdown) of the last query.
+  const sql::ExecStats& last_exec_stats() const {
+    return executor_.last_stats();
+  }
+  void ResetExecStats() { executor_.ResetStats(); }
 
   /// Builds families by scanning the store over `range` and grouping.
   Result<std::vector<FeatureFamily>> FamiliesFromStore(
@@ -104,6 +120,7 @@ class Engine {
   EngineOptions options_;
   sql::Catalog catalog_;
   sql::FunctionRegistry functions_;
+  sql::Executor executor_;  // must follow catalog_ / functions_
 };
 
 /// The interactive loop (Algorithm 1): a Session accumulates the target,

@@ -5,32 +5,68 @@
 namespace explainit::sql {
 
 void Catalog::RegisterTable(const std::string& name, table::Table table) {
+  const size_t rows = table.num_rows();
   auto shared = std::make_shared<table::Table>(std::move(table));
-  providers_[ToUpper(name)] = [shared]() -> Result<table::Table> {
+  Entry entry;
+  entry.provider = [shared](const tsdb::ScanHints&) -> Result<table::Table> {
     return *shared;
   };
+  entry.hinted = false;
+  entry.rows = rows;
+  entries_[ToUpper(name)] = std::move(entry);
 }
 
 void Catalog::RegisterProvider(const std::string& name,
                                TableProvider provider) {
-  providers_[ToUpper(name)] = std::move(provider);
+  Entry entry;
+  entry.provider =
+      [provider = std::move(provider)](
+          const tsdb::ScanHints&) -> Result<table::Table> {
+    return provider();
+  };
+  entry.hinted = false;
+  entries_[ToUpper(name)] = std::move(entry);
+}
+
+void Catalog::RegisterHintedProvider(const std::string& name,
+                                     HintedTableProvider provider) {
+  Entry entry;
+  entry.provider = std::move(provider);
+  entry.hinted = true;
+  entries_[ToUpper(name)] = std::move(entry);
 }
 
 Result<table::Table> Catalog::GetTable(const std::string& name) const {
-  auto it = providers_.find(ToUpper(name));
-  if (it == providers_.end()) {
+  return GetTable(name, tsdb::ScanHints{});
+}
+
+Result<table::Table> Catalog::GetTable(const std::string& name,
+                                       const tsdb::ScanHints& hints) const {
+  auto it = entries_.find(ToUpper(name));
+  if (it == entries_.end()) {
     return Status::NotFound("table not found: " + name);
   }
-  return it->second();
+  return it->second.provider(hints);
+}
+
+bool Catalog::SupportsHints(const std::string& name) const {
+  auto it = entries_.find(ToUpper(name));
+  return it != entries_.end() && it->second.hinted;
+}
+
+std::optional<size_t> Catalog::EstimatedRows(const std::string& name) const {
+  auto it = entries_.find(ToUpper(name));
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.rows;
 }
 
 bool Catalog::HasTable(const std::string& name) const {
-  return providers_.count(ToUpper(name)) > 0;
+  return entries_.count(ToUpper(name)) > 0;
 }
 
 std::vector<std::string> Catalog::ListTables() const {
   std::vector<std::string> out;
-  for (const auto& [k, v] : providers_) out.push_back(k);
+  for (const auto& [k, v] : entries_) out.push_back(k);
   return out;
 }
 

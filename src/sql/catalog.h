@@ -1,21 +1,36 @@
 // Catalog: table name -> data. Tables can be materialised (registered
 // once) or provided lazily (a connector that scans the tsdb on demand —
 // the role of the paper's Java data-source connectors).
+//
+// Providers come in two flavours. A plain TableProvider materialises the
+// whole table on every scan. A HintedTableProvider additionally receives
+// the planner's tsdb::ScanHints (time window, metric/tag constraints,
+// projection) and should materialise only what they allow. Hints are a
+// pure optimisation: the planner keeps every WHERE conjunct in the
+// residual filter, so a provider that applies a hint partially (or not
+// at all) costs rows, never correctness.
 #pragma once
 
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "table/table.h"
+#include "tsdb/store.h"
 
 namespace explainit::sql {
 
 /// Lazily produces a table when the executor scans it.
 using TableProvider = std::function<Result<table::Table>()>;
+
+/// Lazily produces a table restricted by pushdown hints (e.g. a tsdb scan
+/// that narrows its ScanRequest). Must fully honour the hints (see above).
+using HintedTableProvider =
+    std::function<Result<table::Table>(const tsdb::ScanHints&)>;
 
 /// Case-insensitive table registry.
 class Catalog {
@@ -23,17 +38,39 @@ class Catalog {
   /// Registers a materialised table (replacing any previous binding).
   void RegisterTable(const std::string& name, table::Table table);
 
-  /// Registers a lazy provider (e.g. a tsdb scan).
+  /// Registers a lazy provider (hints are silently ignored).
   void RegisterProvider(const std::string& name, TableProvider provider);
+
+  /// Registers a hint-aware provider (e.g. a pushdown-capable tsdb scan).
+  void RegisterHintedProvider(const std::string& name,
+                              HintedTableProvider provider);
 
   /// Resolves and materialises a table; NotFound for unknown names.
   Result<table::Table> GetTable(const std::string& name) const;
+
+  /// As GetTable, passing pushdown hints to hint-aware providers.
+  Result<table::Table> GetTable(const std::string& name,
+                                const tsdb::ScanHints& hints) const;
+
+  /// True when the named table's provider honours ScanHints — the planner
+  /// only drops pushed-down WHERE conjuncts for such tables.
+  bool SupportsHints(const std::string& name) const;
+
+  /// Row count for materialised tables (used for hash-join build-side
+  /// selection); nullopt for lazy providers and unknown names.
+  std::optional<size_t> EstimatedRows(const std::string& name) const;
 
   bool HasTable(const std::string& name) const;
   std::vector<std::string> ListTables() const;
 
  private:
-  std::map<std::string, TableProvider> providers_;
+  struct Entry {
+    HintedTableProvider provider;
+    bool hinted = false;
+    std::optional<size_t> rows;  // known for materialised tables
+  };
+
+  std::map<std::string, Entry> entries_;
 };
 
 }  // namespace explainit::sql

@@ -26,7 +26,7 @@ bool SqlLikeMatch(const std::string& pattern, const std::string& text) {
 }
 
 Result<size_t> Evaluator::ResolveColumn(const Expr& expr) const {
-  const table::Schema& schema = input_->schema();
+  const table::Schema& schema = *schema_;
   if (!expr.qualifier.empty()) {
     const std::string full = expr.qualifier + "." + expr.column;
     if (auto idx = schema.FieldIndex(full); idx.has_value()) return *idx;
@@ -59,7 +59,7 @@ Result<Value> Evaluator::Eval(const Expr& expr, size_t row) const {
       return Status::InvalidArgument("'*' is only valid in COUNT(*)");
     case ExprKind::kColumnRef: {
       EXPLAINIT_ASSIGN_OR_RETURN(size_t idx, ResolveColumn(expr));
-      return input_->At(row, idx);
+      return Cell(row, idx);
     }
     case ExprKind::kSubscript: {
       EXPLAINIT_ASSIGN_OR_RETURN(Value base, Eval(*expr.left, row));
@@ -91,8 +91,7 @@ Result<Value> Evaluator::Eval(const Expr& expr, size_t row) const {
           offset = off.AsInt();
         }
         const int64_t target = static_cast<int64_t>(row) - offset;
-        if (target < 0 ||
-            target >= static_cast<int64_t>(input_->num_rows())) {
+        if (target < 0 || target >= static_cast<int64_t>(num_rows())) {
           return Value::Null();
         }
         return Eval(*expr.args[0], static_cast<size_t>(target));

@@ -1,8 +1,12 @@
-// SQL executor: interprets a parsed SelectStatement over catalog tables.
+// SQL executor: plans a parsed SelectStatement (sql/planner.h) into a
+// physical operator tree (sql/operators/) and drives the pull-based,
+// vectorised pipeline to a materialised result table.
 //
 // Join strategy mirrors §4.2's "broadcast join" optimisation: equi-join
 // conditions execute as hash joins with the build (broadcast) side chosen
 // as the smaller input; non-equi conditions fall back to nested loops.
+// Time-range, metric and tag predicates push down into hint-aware
+// catalog providers (tsdb::SeriesStore scans).
 #pragma once
 
 #include <string_view>
@@ -11,20 +15,14 @@
 #include "sql/ast.h"
 #include "sql/catalog.h"
 #include "sql/functions.h"
+#include "sql/operators/operator.h"
 #include "table/table.h"
 
 namespace explainit::sql {
 
-/// Execution statistics for observability and the scalability benches.
-struct ExecStats {
-  size_t tables_scanned = 0;
-  size_t rows_scanned = 0;
-  size_t hash_joins = 0;
-  size_t nested_loop_joins = 0;
-  size_t rows_output = 0;
-};
-
-/// Executes SELECT statements against a catalog.
+/// Executes SELECT statements against a catalog. Engines hold one
+/// executor for their lifetime: the scalar ExecStats counters accumulate
+/// across queries, and last_stats() breaks down the most recent one.
 class Executor {
  public:
   Executor(const Catalog* catalog, const FunctionRegistry* functions)
@@ -36,30 +34,23 @@ class Executor {
   /// Executes an already-parsed statement.
   Result<table::Table> Execute(const SelectStatement& stmt);
 
+  /// Cumulative counters since construction / ResetStats(). The
+  /// `operators` breakdown always describes the most recent query.
   const ExecStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = ExecStats{}; }
+
+  /// Counters and per-operator breakdown of the most recent query only.
+  const ExecStats& last_stats() const { return last_stats_; }
+
+  void ResetStats() {
+    stats_ = ExecStats{};
+    last_stats_ = ExecStats{};
+  }
 
  private:
-  Result<table::Table> ExecuteSingle(const SelectStatement& stmt);
-  Result<table::Table> ResolveFrom(const SelectStatement& stmt);
-  Result<table::Table> ExecuteJoin(table::Table left, const JoinClause& join,
-                                   const std::string& right_name);
-  Result<table::Table> Project(const table::Table& input,
-                               const SelectStatement& stmt);
-  Result<table::Table> Aggregate(const table::Table& input,
-                                 const SelectStatement& stmt);
-  Result<table::Table> OrderAndLimit(table::Table output,
-                                     const table::Table& preprojection,
-                                     const SelectStatement& stmt,
-                                     bool aggregated);
-
   const Catalog* catalog_;
   const FunctionRegistry* functions_;
-  ExecStats stats_;
+  ExecStats stats_;       // cumulative
+  ExecStats last_stats_;  // most recent query
 };
-
-/// Renames every field of `t` to "qualifier.name" (skipping fields already
-/// containing a dot). Used to scope join inputs.
-table::Table QualifySchema(table::Table t, const std::string& qualifier);
 
 }  // namespace explainit::sql

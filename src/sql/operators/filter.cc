@@ -1,0 +1,65 @@
+#include "sql/operators/filter.h"
+
+namespace explainit::sql {
+
+using table::ColumnBatch;
+using table::Value;
+
+FilterOperator::FilterOperator(std::unique_ptr<Operator> input,
+                               ExprPtr predicate,
+                               const FunctionRegistry* functions)
+    : predicate_(std::move(predicate)), functions_(functions) {
+  input_ = AddChild(std::move(input));
+  materialize_ = predicate_ != nullptr && ContainsLag(*predicate_);
+}
+
+Status FilterOperator::OpenImpl() { return input_->Open(); }
+
+Result<ColumnBatch> FilterOperator::NextImpl(bool* eof) {
+  if (materialize_) {
+    // LAG window: one pass over the fully materialised input.
+    if (materialized_done_) {
+      *eof = true;
+      return ColumnBatch{};
+    }
+    materialized_ = table::Table(input_->output_schema());
+    EXPLAINIT_RETURN_IF_ERROR(Drain(input_, &materialized_));
+    materialized_done_ = true;
+    Evaluator ev(&materialized_, functions_);
+    std::vector<uint32_t> selected;
+    for (size_t r = 0; r < materialized_.num_rows(); ++r) {
+      EXPLAINIT_ASSIGN_OR_RETURN(Value v, ev.Eval(*predicate_, r));
+      if (!v.is_null() && v.AsBool()) {
+        selected.push_back(static_cast<uint32_t>(r));
+      }
+    }
+    *eof = false;
+    return ColumnBatch::View(materialized_, 0, materialized_.num_rows())
+        .Gather(selected);
+  }
+  // Vectorised path: evaluate the predicate over each pulled batch and
+  // gather the surviving rows; fully filtered batches are skipped.
+  while (true) {
+    bool child_eof = false;
+    EXPLAINIT_ASSIGN_OR_RETURN(ColumnBatch batch, input_->Next(&child_eof));
+    if (child_eof) {
+      *eof = true;
+      return ColumnBatch{};
+    }
+    Evaluator ev(&batch, functions_);
+    std::vector<uint32_t> selected;
+    selected.reserve(batch.num_rows());
+    for (size_t r = 0; r < batch.num_rows(); ++r) {
+      EXPLAINIT_ASSIGN_OR_RETURN(Value v, ev.Eval(*predicate_, r));
+      if (!v.is_null() && v.AsBool()) {
+        selected.push_back(static_cast<uint32_t>(r));
+      }
+    }
+    if (selected.empty()) continue;
+    *eof = false;
+    if (selected.size() == batch.num_rows()) return batch;  // all pass
+    return batch.Gather(selected);
+  }
+}
+
+}  // namespace explainit::sql

@@ -1,0 +1,37 @@
+// Filter: vectorised predicate evaluation over batches, compacting the
+// survivors. Predicates containing LAG (which reads neighbouring rows)
+// first materialise the whole input so the window sees the full relation.
+#pragma once
+
+#include "sql/evaluator.h"
+#include "sql/operators/operator.h"
+
+namespace explainit::sql {
+
+class FilterOperator : public Operator {
+ public:
+  /// `predicate` is owned (the planner hands a clone or a rebuilt
+  /// residual after pushdown).
+  FilterOperator(std::unique_ptr<Operator> input, ExprPtr predicate,
+                 const FunctionRegistry* functions);
+
+  const table::Schema& output_schema() const override {
+    return input_->output_schema();
+  }
+  std::string name() const override { return "Filter"; }
+
+ protected:
+  Status OpenImpl() override;
+  Result<table::ColumnBatch> NextImpl(bool* eof) override;
+
+ private:
+  Operator* input_;
+  ExprPtr predicate_;
+  const FunctionRegistry* functions_;
+  bool materialize_ = false;  // LAG present: evaluate over the whole input
+
+  table::Table materialized_;
+  bool materialized_done_ = false;
+};
+
+}  // namespace explainit::sql

@@ -1,0 +1,253 @@
+#include "sql/operators/hash_aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace explainit::sql {
+
+using table::ColumnBatch;
+using table::DataType;
+using table::Field;
+using table::Value;
+
+namespace {
+
+// Computes one aggregate over a set of row indices.
+Result<Value> ComputeAggregate(const Expr& agg, const Evaluator& ev,
+                               const std::vector<size_t>& rows) {
+  const std::string& name = agg.function_name;
+  if (name == "COUNT") {
+    if (agg.args.size() != 1) {
+      return Status::InvalidArgument("COUNT expects 1 argument");
+    }
+    if (agg.args[0]->kind == ExprKind::kStar) {
+      return Value::Int(static_cast<int64_t>(rows.size()));
+    }
+    int64_t n = 0;
+    for (size_t r : rows) {
+      EXPLAINIT_ASSIGN_OR_RETURN(Value v, ev.Eval(*agg.args[0], r));
+      if (!v.is_null()) ++n;
+    }
+    return Value::Int(n);
+  }
+  if (agg.args.empty()) {
+    return Status::InvalidArgument(name + " expects an argument");
+  }
+  std::vector<double> values;
+  values.reserve(rows.size());
+  for (size_t r : rows) {
+    EXPLAINIT_ASSIGN_OR_RETURN(Value v, ev.Eval(*agg.args[0], r));
+    if (!v.is_null()) values.push_back(v.AsDouble());
+  }
+  if (values.empty()) return Value::Null();
+  if (name == "SUM" || name == "AVG") {
+    double acc = 0.0;
+    for (double v : values) acc += v;
+    if (name == "SUM") return Value::Double(acc);
+    return Value::Double(acc / static_cast<double>(values.size()));
+  }
+  if (name == "MIN") {
+    return Value::Double(*std::min_element(values.begin(), values.end()));
+  }
+  if (name == "MAX") {
+    return Value::Double(*std::max_element(values.begin(), values.end()));
+  }
+  if (name == "STDDEV") {
+    double mean = 0.0;
+    for (double v : values) mean += v;
+    mean /= static_cast<double>(values.size());
+    double var = 0.0;
+    for (double v : values) var += (v - mean) * (v - mean);
+    var /= static_cast<double>(values.size());
+    return Value::Double(std::sqrt(var));
+  }
+  if (name == "PERCENTILE") {
+    if (agg.args.size() != 2) {
+      return Status::InvalidArgument("PERCENTILE expects (expr, p)");
+    }
+    EXPLAINIT_ASSIGN_OR_RETURN(Value pv, ev.Eval(*agg.args[1], rows[0]));
+    double p = pv.AsDouble();
+    if (p > 1.0) p /= 100.0;  // accept both 0.99 and 99
+    p = std::clamp(p, 0.0, 1.0);
+    std::sort(values.begin(), values.end());
+    const double idx = p * static_cast<double>(values.size() - 1);
+    const size_t lo = static_cast<size_t>(idx);
+    const size_t hi = std::min(values.size() - 1, lo + 1);
+    const double frac = idx - static_cast<double>(lo);
+    return Value::Double(values[lo] * (1.0 - frac) + values[hi] * frac);
+  }
+  return Status::Unimplemented("aggregate not implemented: " + name);
+}
+
+// Evaluates a select-item expression in group context: aggregate calls are
+// computed over `rows`; everything else is evaluated at the first row.
+Result<Value> EvalInGroup(const Expr& e, const Evaluator& ev,
+                          const std::vector<size_t>& rows) {
+  if (e.kind == ExprKind::kFunction && IsAggregateFunction(e.function_name)) {
+    return ComputeAggregate(e, ev, rows);
+  }
+  if (!e.ContainsAggregate()) {
+    return ev.Eval(e, rows[0]);
+  }
+  // Mixed scalar-of-aggregate (e.g. AVG(x) / AVG(y) or AVG(x) + 1):
+  // recursively rebuild around aggregate leaves.
+  Expr copy;
+  copy.kind = e.kind;
+  copy.binary_op = e.binary_op;
+  copy.unary_op = e.unary_op;
+  copy.negated = e.negated;
+  copy.function_name = e.function_name;
+  copy.qualifier = e.qualifier;
+  copy.column = e.column;
+  copy.literal = e.literal;
+  auto lift = [&](const ExprPtr& child) -> Result<ExprPtr> {
+    if (child == nullptr) return ExprPtr{};
+    EXPLAINIT_ASSIGN_OR_RETURN(Value v, EvalInGroup(*child, ev, rows));
+    return MakeLiteral(std::move(v));
+  };
+  EXPLAINIT_ASSIGN_OR_RETURN(copy.left, lift(e.left));
+  EXPLAINIT_ASSIGN_OR_RETURN(copy.right, lift(e.right));
+  EXPLAINIT_ASSIGN_OR_RETURN(copy.between_lo, lift(e.between_lo));
+  EXPLAINIT_ASSIGN_OR_RETURN(copy.between_hi, lift(e.between_hi));
+  EXPLAINIT_ASSIGN_OR_RETURN(copy.case_else, lift(e.case_else));
+  for (const ExprPtr& a : e.args) {
+    EXPLAINIT_ASSIGN_OR_RETURN(ExprPtr la, lift(a));
+    copy.args.push_back(std::move(la));
+  }
+  for (const ExprPtr& a : e.list) {
+    EXPLAINIT_ASSIGN_OR_RETURN(ExprPtr la, lift(a));
+    copy.list.push_back(std::move(la));
+  }
+  for (const CaseBranch& b : e.case_branches) {
+    CaseBranch nb;
+    EXPLAINIT_ASSIGN_OR_RETURN(nb.condition, lift(b.condition));
+    EXPLAINIT_ASSIGN_OR_RETURN(nb.result, lift(b.result));
+    copy.case_branches.push_back(std::move(nb));
+  }
+  return ev.Eval(copy, rows[0]);
+}
+
+}  // namespace
+
+HashAggregateOperator::HashAggregateOperator(
+    std::unique_ptr<Operator> input, const SelectStatement* stmt,
+    const FunctionRegistry* functions)
+    : stmt_(stmt), functions_(functions) {
+  input_ = AddChild(std::move(input));
+}
+
+Status HashAggregateOperator::OpenImpl() {
+  EXPLAINIT_RETURN_IF_ERROR(input_->Open());
+  for (const SelectItem& item : stmt_->items) {
+    if (item.is_star) {
+      return Status::InvalidArgument("SELECT * with GROUP BY is not allowed");
+    }
+    schema_.AddField(Field{ItemName(item), DataType::kNull});
+  }
+  acc_ = table::Table(input_->output_schema());
+  return Status::OK();
+}
+
+Result<ColumnBatch> HashAggregateOperator::NextImpl(bool* eof) {
+  if (done_) {
+    *eof = true;
+    return ColumnBatch{};
+  }
+  done_ = true;
+
+  // Phase 1: consume batches, grouping rows incrementally. Keys are
+  // evaluated against each batch; row payloads accumulate column-wise.
+  // Keys containing LAG read neighbouring rows, so they are evaluated
+  // only after the whole input has accumulated.
+  bool lag_in_keys = false;
+  for (const ExprPtr& g : stmt_->group_by) {
+    if (ContainsLag(*g)) lag_in_keys = true;
+  }
+  bool child_eof = false;
+  while (true) {
+    EXPLAINIT_ASSIGN_OR_RETURN(ColumnBatch batch, input_->Next(&child_eof));
+    if (child_eof) break;
+    if (!stmt_->group_by.empty() && !lag_in_keys) {
+      Evaluator ev(&batch, functions_);
+      const size_t base = acc_.num_rows();
+      std::vector<Value> key;
+      for (size_t r = 0; r < batch.num_rows(); ++r) {
+        key.clear();
+        for (const ExprPtr& g : stmt_->group_by) {
+          EXPLAINIT_ASSIGN_OR_RETURN(Value v, ev.Eval(*g, r));
+          key.push_back(std::move(v));
+        }
+        const std::string encoded = EncodeKey(key, nullptr);
+        auto [it, inserted] = groups_.try_emplace(encoded);
+        if (inserted) group_order_.push_back(encoded);
+        it->second.push_back(base + r);
+      }
+    }
+    batch.AppendTo(&acc_);
+  }
+  if (lag_in_keys) {
+    Evaluator full_ev(&acc_, functions_);
+    std::vector<Value> key;
+    for (size_t r = 0; r < acc_.num_rows(); ++r) {
+      key.clear();
+      for (const ExprPtr& g : stmt_->group_by) {
+        EXPLAINIT_ASSIGN_OR_RETURN(Value v, full_ev.Eval(*g, r));
+        key.push_back(std::move(v));
+      }
+      const std::string encoded = EncodeKey(key, nullptr);
+      auto [it, inserted] = groups_.try_emplace(encoded);
+      if (inserted) group_order_.push_back(encoded);
+      it->second.push_back(r);
+    }
+  }
+  if (stmt_->group_by.empty()) {
+    // Global aggregate: one group with every row (even zero rows).
+    std::vector<size_t> all(acc_.num_rows());
+    std::iota(all.begin(), all.end(), size_t{0});
+    groups_[""] = std::move(all);
+    group_order_.push_back("");
+  }
+
+  // Phase 2: evaluate the select list per group.
+  Evaluator ev(&acc_, functions_);
+  std::vector<std::vector<Value>> out_cols(schema_.num_fields());
+  size_t out_rows = 0;
+  for (const std::string& key : group_order_) {
+    const std::vector<size_t>& rows = groups_[key];
+    if (rows.empty() && !stmt_->group_by.empty()) continue;
+    // HAVING runs in group context so it can reference aggregates that are
+    // not in the select list.
+    if (stmt_->having != nullptr && !rows.empty()) {
+      EXPLAINIT_ASSIGN_OR_RETURN(Value keep,
+                                 EvalInGroup(*stmt_->having, ev, rows));
+      if (keep.is_null() || !keep.AsBool()) continue;
+    }
+    if (rows.empty()) {
+      // Global aggregate over an empty table: aggregates yield NULL/0.
+      for (size_t i = 0; i < stmt_->items.size(); ++i) {
+        const SelectItem& item = stmt_->items[i];
+        if (item.expr->kind == ExprKind::kFunction &&
+            item.expr->function_name == "COUNT") {
+          out_cols[i].push_back(Value::Int(0));
+        } else {
+          out_cols[i].push_back(Value::Null());
+        }
+      }
+    } else {
+      for (size_t i = 0; i < stmt_->items.size(); ++i) {
+        EXPLAINIT_ASSIGN_OR_RETURN(
+            Value v, EvalInGroup(*stmt_->items[i].expr, ev, rows));
+        out_cols[i].push_back(std::move(v));
+      }
+    }
+    ++out_rows;
+  }
+  ColumnBatch out(&schema_, out_rows);
+  for (auto& col : out_cols) out.AddOwnedColumn(std::move(col));
+  *eof = false;
+  stats_.detail = std::to_string(group_order_.size()) + " groups";
+  return out;
+}
+
+}  // namespace explainit::sql

@@ -1,0 +1,43 @@
+// HashAggregate: incremental hash grouping over input batches (group keys
+// are evaluated vectorised per batch), then per-group evaluation of the
+// select list / HAVING. A pipeline breaker: groups can only close once
+// the input is exhausted.
+#pragma once
+
+#include <unordered_map>
+
+#include "sql/evaluator.h"
+#include "sql/operators/operator.h"
+
+namespace explainit::sql {
+
+class HashAggregateOperator : public Operator {
+ public:
+  HashAggregateOperator(std::unique_ptr<Operator> input,
+                        const SelectStatement* stmt,
+                        const FunctionRegistry* functions);
+
+  const table::Schema& output_schema() const override { return schema_; }
+  std::string name() const override { return "HashAggregate"; }
+
+  /// The accumulated input rows (the aggregate materialises its input
+  /// anyway); ORDER BY's last-resort resolution path reads them.
+  const table::Table* retained_input() const { return &acc_; }
+
+ protected:
+  Status OpenImpl() override;
+  Result<table::ColumnBatch> NextImpl(bool* eof) override;
+
+ private:
+  Operator* input_;
+  const SelectStatement* stmt_;
+  const FunctionRegistry* functions_;
+
+  table::Schema schema_;
+  table::Table acc_;  // all input rows, grouped by row index
+  std::unordered_map<std::string, std::vector<size_t>> groups_;
+  std::vector<std::string> group_order_;
+  bool done_ = false;
+};
+
+}  // namespace explainit::sql

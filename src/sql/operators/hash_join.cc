@@ -1,0 +1,285 @@
+#include "sql/operators/hash_join.h"
+
+namespace explainit::sql {
+
+using table::ColumnBatch;
+using table::Field;
+using table::Schema;
+using table::Value;
+
+void CollectConjuncts(const Expr* e, std::vector<const Expr*>* out) {
+  if (e->kind == ExprKind::kBinary && e->binary_op == BinaryOp::kAnd) {
+    CollectConjuncts(e->left.get(), out);
+    CollectConjuncts(e->right.get(), out);
+    return;
+  }
+  out->push_back(e);
+}
+
+bool HasEqualityConjunct(const Expr* condition) {
+  if (condition == nullptr) return false;
+  std::vector<const Expr*> conjuncts;
+  CollectConjuncts(condition, &conjuncts);
+  for (const Expr* c : conjuncts) {
+    if (c->kind == ExprKind::kBinary && c->binary_op == BinaryOp::kEq) {
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+bool ResolvesAgainst(const Expr& e, const Evaluator& ev) {
+  // An expression "belongs" to a side when every column it references
+  // resolves there.
+  switch (e.kind) {
+    case ExprKind::kColumnRef:
+      return ev.ResolveColumn(e).ok();
+    case ExprKind::kLiteral:
+    case ExprKind::kStar:
+      return true;
+    default: {
+      auto check = [&](const ExprPtr& c) {
+        return c == nullptr || ResolvesAgainst(*c, ev);
+      };
+      if (!check(e.left) || !check(e.right) || !check(e.between_lo) ||
+          !check(e.between_hi) || !check(e.case_else)) {
+        return false;
+      }
+      for (const ExprPtr& a : e.args) {
+        if (!check(a)) return false;
+      }
+      for (const ExprPtr& a : e.list) {
+        if (!check(a)) return false;
+      }
+      for (const CaseBranch& b : e.case_branches) {
+        if (!check(b.condition) || !check(b.result)) return false;
+      }
+      return true;
+    }
+  }
+}
+
+}  // namespace
+
+EquiKeys SplitJoinCondition(const Expr* condition, const Evaluator& left_ev,
+                            const Evaluator& right_ev) {
+  EquiKeys keys;
+  if (condition == nullptr) return keys;
+  std::vector<const Expr*> conjuncts;
+  CollectConjuncts(condition, &conjuncts);
+  for (const Expr* c : conjuncts) {
+    if (c->kind == ExprKind::kBinary && c->binary_op == BinaryOp::kEq) {
+      const Expr* l = c->left.get();
+      const Expr* r = c->right.get();
+      if (ResolvesAgainst(*l, left_ev) && ResolvesAgainst(*r, right_ev)) {
+        keys.left_exprs.push_back(l);
+        keys.right_exprs.push_back(r);
+        continue;
+      }
+      if (ResolvesAgainst(*r, left_ev) && ResolvesAgainst(*l, right_ev)) {
+        keys.left_exprs.push_back(r);
+        keys.right_exprs.push_back(l);
+        continue;
+      }
+    }
+    keys.residual.push_back(c);
+  }
+  return keys;
+}
+
+HashJoinOperator::HashJoinOperator(std::unique_ptr<Operator> left,
+                                   std::unique_ptr<Operator> right,
+                                   const JoinClause* join,
+                                   const FunctionRegistry* functions,
+                                   bool build_left)
+    : join_(join), functions_(functions), build_left_(build_left) {
+  left_ = AddChild(std::move(left));
+  right_ = AddChild(std::move(right));
+}
+
+Status HashJoinOperator::OpenImpl() {
+  EXPLAINIT_RETURN_IF_ERROR(left_->Open());
+  EXPLAINIT_RETURN_IF_ERROR(right_->Open());
+  const Schema& ls = left_->output_schema();
+  const Schema& rs = right_->output_schema();
+  left_width_ = ls.num_fields();
+  right_width_ = rs.num_fields();
+  for (const Field& f : ls.fields()) schema_.AddField(f);
+  for (const Field& f : rs.fields()) schema_.AddField(f);
+
+  Evaluator left_ev(&ls, functions_);
+  Evaluator right_ev(&rs, functions_);
+  keys_ = SplitJoinCondition(join_->condition.get(), left_ev, right_ev);
+
+  // Materialise and index the build side. Empty key lists (no resolvable
+  // equi conjunct) hash everything under one key: a cross product with
+  // the whole condition as residual.
+  Operator* build = build_left_ ? left_ : right_;
+  build_table_ = table::Table(build->output_schema());
+  EXPLAINIT_RETURN_IF_ERROR(Drain(build, &build_table_));
+  const std::vector<const Expr*>& build_exprs =
+      build_left_ ? keys_.left_exprs : keys_.right_exprs;
+  probe_exprs_ = build_left_ ? keys_.right_exprs : keys_.left_exprs;
+  Evaluator build_ev(&build_table_, functions_);
+  build_index_.reserve(build_table_.num_rows() * 2);
+  std::vector<Value> kv;
+  for (size_t j = 0; j < build_table_.num_rows(); ++j) {
+    kv.clear();
+    bool has_null = false;
+    for (const Expr* e : build_exprs) {
+      EXPLAINIT_ASSIGN_OR_RETURN(Value v, build_ev.Eval(*e, j));
+      kv.push_back(std::move(v));
+    }
+    const std::string key = EncodeKey(kv, &has_null);
+    if (!has_null) build_index_.emplace(key, j);
+  }
+  build_matched_.assign(build_table_.num_rows(), false);
+  stats_.detail = std::string("build=") + (build_left_ ? "left" : "right") +
+                  " rows=" + std::to_string(build_table_.num_rows());
+  return Status::OK();
+}
+
+Result<ColumnBatch> HashJoinOperator::FinishFullOuter(bool* eof) {
+  outer_emitted_ = true;
+  // Build-side rows that never matched, padded with nulls on the probe
+  // side. The build side is `right` for outer joins (no swap), so pads go
+  // on the left.
+  std::vector<std::vector<Value>> cols(schema_.num_fields());
+  size_t rows = 0;
+  for (size_t j = 0; j < build_table_.num_rows(); ++j) {
+    if (build_matched_[j]) continue;
+    for (size_t c = 0; c < left_width_; ++c) cols[c].push_back(Value::Null());
+    for (size_t c = 0; c < right_width_; ++c) {
+      cols[left_width_ + c].push_back(build_table_.At(j, c));
+    }
+    ++rows;
+  }
+  ColumnBatch out(&schema_, rows);
+  for (auto& col : cols) out.AddOwnedColumn(std::move(col));
+  *eof = false;
+  return out;
+}
+
+Result<ColumnBatch> HashJoinOperator::NextImpl(bool* eof) {
+  if (probe_done_) {
+    if (join_->type == JoinType::kFullOuter && !outer_emitted_) {
+      return FinishFullOuter(eof);
+    }
+    *eof = true;
+    return ColumnBatch{};
+  }
+  Operator* probe = build_left_ ? right_ : left_;
+  while (true) {
+    bool probe_eof = false;
+    EXPLAINIT_ASSIGN_OR_RETURN(ColumnBatch batch, probe->Next(&probe_eof));
+    if (probe_eof) {
+      probe_done_ = true;
+      if (join_->type == JoinType::kFullOuter && !outer_emitted_) {
+        return FinishFullOuter(eof);
+      }
+      *eof = true;
+      return ColumnBatch{};
+    }
+    Evaluator probe_ev(&batch, functions_);
+
+    // Assemble all candidate rows for this probe batch (column-wise),
+    // remembering which (probe row, build row) produced each candidate.
+    std::vector<std::vector<Value>> cand(schema_.num_fields());
+    std::vector<uint32_t> cand_probe;
+    std::vector<size_t> cand_build;
+    std::vector<Value> kv;
+    for (size_t i = 0; i < batch.num_rows(); ++i) {
+      kv.clear();
+      bool has_null = false;
+      for (const Expr* e : probe_exprs_) {
+        EXPLAINIT_ASSIGN_OR_RETURN(Value v, probe_ev.Eval(*e, i));
+        kv.push_back(std::move(v));
+      }
+      const std::string key = EncodeKey(kv, &has_null);
+      if (has_null) continue;
+      auto [lo, hi] = build_index_.equal_range(key);
+      for (auto it = lo; it != hi; ++it) {
+        const size_t j = it->second;
+        if (build_left_) {
+          for (size_t c = 0; c < left_width_; ++c) {
+            cand[c].push_back(build_table_.At(j, c));
+          }
+          for (size_t c = 0; c < right_width_; ++c) {
+            cand[left_width_ + c].push_back(batch.At(i, c));
+          }
+        } else {
+          for (size_t c = 0; c < left_width_; ++c) {
+            cand[c].push_back(batch.At(i, c));
+          }
+          for (size_t c = 0; c < right_width_; ++c) {
+            cand[left_width_ + c].push_back(build_table_.At(j, c));
+          }
+        }
+        cand_probe.push_back(static_cast<uint32_t>(i));
+        cand_build.push_back(j);
+      }
+    }
+    ColumnBatch cand_batch(&schema_, cand_probe.size());
+    for (auto& col : cand) cand_batch.AddOwnedColumn(std::move(col));
+
+    // Residual conjuncts filter the candidates; only passing rows count
+    // as matches.
+    std::vector<uint32_t> kept;
+    std::vector<bool> probe_matched(batch.num_rows(), false);
+    Evaluator cand_ev(&cand_batch, functions_);
+    for (size_t k = 0; k < cand_batch.num_rows(); ++k) {
+      bool ok = true;
+      for (const Expr* r : keys_.residual) {
+        EXPLAINIT_ASSIGN_OR_RETURN(Value v, cand_ev.Eval(*r, k));
+        if (v.is_null() || !v.AsBool()) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      kept.push_back(static_cast<uint32_t>(k));
+      probe_matched[cand_probe[k]] = true;
+      build_matched_[cand_build[k]] = true;
+    }
+    ColumnBatch out = cand_batch.Gather(kept);
+    out.set_schema(&schema_);
+
+    // Pad unmatched probe rows for LEFT / FULL OUTER (probe side is the
+    // left input for those join types).
+    if (join_->type == JoinType::kLeft ||
+        join_->type == JoinType::kFullOuter) {
+      std::vector<std::vector<Value>> pad(schema_.num_fields());
+      size_t pad_rows = 0;
+      for (size_t i = 0; i < batch.num_rows(); ++i) {
+        if (probe_matched[i]) continue;
+        for (size_t c = 0; c < left_width_; ++c) {
+          pad[c].push_back(batch.At(i, c));
+        }
+        for (size_t c = 0; c < right_width_; ++c) {
+          pad[left_width_ + c].push_back(Value::Null());
+        }
+        ++pad_rows;
+      }
+      if (pad_rows > 0) {
+        // Merge kept candidates and pads into one owned batch.
+        std::vector<std::vector<Value>> merged(schema_.num_fields());
+        for (size_t c = 0; c < schema_.num_fields(); ++c) {
+          merged[c].reserve(out.num_rows() + pad_rows);
+          const Value* src = out.column(c);
+          merged[c].assign(src, src + out.num_rows());
+          for (auto& v : pad[c]) merged[c].push_back(std::move(v));
+        }
+        ColumnBatch with_pads(&schema_, out.num_rows() + pad_rows);
+        for (auto& col : merged) with_pads.AddOwnedColumn(std::move(col));
+        out = std::move(with_pads);
+      }
+    }
+    if (out.num_rows() == 0) continue;  // fully filtered batch: pull more
+    *eof = false;
+    return out;
+  }
+}
+
+}  // namespace explainit::sql

@@ -1,0 +1,78 @@
+// HashJoin: §4.2's "broadcast join". The build side (chosen by the
+// planner: the smaller input for symmetric joins) is fully materialised
+// into a hash table; the probe side streams through batch-wise. Equi
+// conjuncts become hash keys; the remaining conjuncts evaluate as a
+// residual over candidate rows. A condition whose equality conjuncts
+// turn out not to split across the inputs degenerates to a single-key
+// cross product with the full condition as residual (the nested-loop
+// equivalent).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "sql/evaluator.h"
+#include "sql/operators/operator.h"
+
+namespace explainit::sql {
+
+/// Flattens an AND tree into its conjuncts.
+void CollectConjuncts(const Expr* e, std::vector<const Expr*>* out);
+
+/// True when some conjunct is a top-level equality — the planner's
+/// syntactic cue to pick a hash join over a nested loop.
+bool HasEqualityConjunct(const Expr* condition);
+
+/// A join condition split into equi-conjunct key pairs and a residual.
+struct EquiKeys {
+  std::vector<const Expr*> left_exprs;
+  std::vector<const Expr*> right_exprs;
+  std::vector<const Expr*> residual;
+};
+
+/// Splits `condition` by resolving each equality's sides against the two
+/// input schemas (schema-only Evaluators are sufficient).
+EquiKeys SplitJoinCondition(const Expr* condition, const Evaluator& left_ev,
+                            const Evaluator& right_ev);
+
+class HashJoinOperator : public Operator {
+ public:
+  /// `build_left` builds the hash table on the left input (planner picks
+  /// the smaller side; only for symmetric join types). Output columns are
+  /// always left fields then right fields.
+  HashJoinOperator(std::unique_ptr<Operator> left,
+                   std::unique_ptr<Operator> right, const JoinClause* join,
+                   const FunctionRegistry* functions, bool build_left);
+
+  const table::Schema& output_schema() const override { return schema_; }
+  std::string name() const override { return "HashJoin"; }
+  void AccumulateExecStats(ExecStats* stats) const override {
+    ++stats->hash_joins;
+  }
+
+ protected:
+  Status OpenImpl() override;
+  Result<table::ColumnBatch> NextImpl(bool* eof) override;
+
+ private:
+  Result<table::ColumnBatch> FinishFullOuter(bool* eof);
+
+  Operator* left_;
+  Operator* right_;
+  const JoinClause* join_;
+  const FunctionRegistry* functions_;
+  const bool build_left_;
+
+  table::Schema schema_;          // left fields + right fields
+  table::Table build_table_;      // materialised build side
+  EquiKeys keys_;
+  std::unordered_multimap<std::string, size_t> build_index_;
+  std::vector<const Expr*> probe_exprs_;  // key exprs of the probe side
+  std::vector<bool> build_matched_;       // for FULL OUTER
+  size_t left_width_ = 0;
+  size_t right_width_ = 0;
+  bool probe_done_ = false;
+  bool outer_emitted_ = false;
+};
+
+}  // namespace explainit::sql

@@ -1,0 +1,87 @@
+#include "sql/operators/operator.h"
+
+namespace explainit::sql {
+
+namespace {
+int64_t NowNs() {
+  return static_cast<int64_t>(MonotonicSeconds() * 1e9);
+}
+}  // namespace
+
+Status Operator::Open() {
+  stats_.name = name();
+  const int64_t t0 = NowNs();
+  Status s = OpenImpl();
+  stats_.elapsed_ns += NowNs() - t0;
+  return s;
+}
+
+Result<table::ColumnBatch> Operator::Next(bool* eof) {
+  const int64_t t0 = NowNs();
+  auto r = NextImpl(eof);
+  stats_.elapsed_ns += NowNs() - t0;
+  if (r.ok() && !*eof) {
+    stats_.rows_output += r->num_rows();
+    ++stats_.batches_output;
+  }
+  return r;
+}
+
+void Operator::CollectStats(std::vector<OperatorStats>* out) const {
+  stats_.name = name();
+  out->push_back(stats_);
+  for (const auto& c : children_) c->CollectStats(out);
+}
+
+void Operator::AccumulateExecStatsTree(ExecStats* stats) const {
+  AccumulateExecStats(stats);
+  for (const auto& c : children_) c->AccumulateExecStatsTree(stats);
+}
+
+Status Operator::Drain(Operator* op, table::Table* out) {
+  bool eof = false;
+  while (true) {
+    EXPLAINIT_ASSIGN_OR_RETURN(table::ColumnBatch batch, op->Next(&eof));
+    if (eof) return Status::OK();
+    batch.AppendTo(out);
+  }
+}
+
+std::string EncodeKey(const std::vector<table::Value>& values,
+                      bool* has_null) {
+  std::string key;
+  for (const table::Value& v : values) {
+    if (v.is_null() && has_null != nullptr) *has_null = true;
+    key += v.ToString();
+    key += '\x1f';
+  }
+  return key;
+}
+
+bool ContainsLag(const Expr& e) {
+  if (e.kind == ExprKind::kFunction && e.function_name == "LAG") return true;
+  auto check = [](const ExprPtr& c) {
+    return c != nullptr && ContainsLag(*c);
+  };
+  if (check(e.left) || check(e.right) || check(e.between_lo) ||
+      check(e.between_hi) || check(e.case_else)) {
+    return true;
+  }
+  for (const ExprPtr& a : e.args) {
+    if (check(a)) return true;
+  }
+  for (const ExprPtr& a : e.list) {
+    if (check(a)) return true;
+  }
+  for (const CaseBranch& b : e.case_branches) {
+    if (check(b.condition) || check(b.result)) return true;
+  }
+  return false;
+}
+
+std::string ItemName(const SelectItem& item) {
+  if (!item.alias.empty()) return item.alias;
+  return item.expr->ToString();
+}
+
+}  // namespace explainit::sql

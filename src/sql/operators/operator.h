@@ -1,0 +1,110 @@
+// The physical operator interface of the vectorised SQL pipeline.
+//
+// Operators form a tree (children owned by parents) and exchange
+// table::ColumnBatch chunks through a pull interface:
+//
+//   Open()  — recursively prepares the subtree: resolves catalog tables,
+//             finalises output schemas, builds join hash tables. Schemas
+//             are only known after Open (catalog tables materialise
+//             lazily), so parents derive their schema from children here.
+//   Next()  — produces the next batch; sets *eof instead when exhausted.
+//
+// A produced batch may borrow column storage from its operator; it stays
+// valid until that operator's next Next()/destruction (see ColumnBatch).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/time_util.h"
+#include "sql/ast.h"
+#include "table/column_batch.h"
+#include "table/table.h"
+
+namespace explainit::sql {
+
+/// Per-operator execution counters (ISSUE: rows/batches/ns).
+struct OperatorStats {
+  std::string name;    // operator kind, e.g. "Scan", "HashJoin"
+  std::string detail;  // instance detail, e.g. "tsdb cols=2/4", "build=left"
+  size_t rows_output = 0;
+  size_t batches_output = 0;
+  /// Wall time spent inside Open()+Next(), *inclusive* of children (a
+  /// pull-based operator's clock runs while its input produces).
+  int64_t elapsed_ns = 0;
+};
+
+/// Execution statistics for observability and the scalability benches.
+/// Scalar counters accumulate across queries (ResetStats clears); the
+/// `operators` vector holds the per-operator breakdown of one query.
+struct ExecStats {
+  size_t tables_scanned = 0;
+  size_t rows_scanned = 0;
+  size_t hash_joins = 0;
+  size_t nested_loop_joins = 0;
+  size_t rows_output = 0;
+  std::vector<OperatorStats> operators;
+};
+
+/// Base class of every physical operator.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Prepares the subtree; after a successful Open, output_schema() is
+  /// valid. Must be called exactly once, before the first Next().
+  Status Open();
+
+  /// Pulls the next batch. On end of stream sets *eof = true and returns
+  /// an empty batch. Operators may emit empty (0-row) batches mid-stream;
+  /// consumers must tolerate them.
+  Result<table::ColumnBatch> Next(bool* eof);
+
+  virtual const table::Schema& output_schema() const = 0;
+  virtual std::string name() const = 0;
+
+  /// Adds this operator's contribution to the scalar ExecStats counters
+  /// (scans report tables/rows scanned, joins their strategy). Self only.
+  virtual void AccumulateExecStats(ExecStats* stats) const { (void)stats; }
+
+  /// Depth-first collection over the subtree.
+  void CollectStats(std::vector<OperatorStats>* out) const;
+  void AccumulateExecStatsTree(ExecStats* stats) const;
+
+  const OperatorStats& stats() const { return stats_; }
+
+ protected:
+  virtual Status OpenImpl() = 0;
+  virtual Result<table::ColumnBatch> NextImpl(bool* eof) = 0;
+
+  Operator* AddChild(std::unique_ptr<Operator> child) {
+    children_.push_back(std::move(child));
+    return children_.back().get();
+  }
+  Operator* child(size_t i) const { return children_[i].get(); }
+  size_t num_children() const { return children_.size(); }
+
+  /// Pulls everything a child has into `out` (appending column-wise).
+  /// The materialisation step of pipeline breakers (sort, join build).
+  static Status Drain(Operator* op, table::Table* out);
+
+  mutable OperatorStats stats_;
+
+ private:
+  std::vector<std::unique_ptr<Operator>> children_;
+};
+
+/// Encodes a composite group/join key. '\x1f' never occurs in metric data.
+std::string EncodeKey(const std::vector<table::Value>& values,
+                      bool* has_null);
+
+/// True when the expression tree contains a LAG call (which must see the
+/// whole input, so batching is disabled for that stage).
+bool ContainsLag(const Expr& e);
+
+/// Output column name for a select item: alias, else the expression text.
+std::string ItemName(const SelectItem& item);
+
+}  // namespace explainit::sql

@@ -1,0 +1,87 @@
+#include "sql/operators/project.h"
+
+namespace explainit::sql {
+
+using table::ColumnBatch;
+using table::DataType;
+using table::Field;
+using table::Value;
+
+ProjectOperator::ProjectOperator(std::unique_ptr<Operator> input,
+                                 const SelectStatement* stmt,
+                                 const FunctionRegistry* functions,
+                                 bool retain_input)
+    : stmt_(stmt), functions_(functions), retain_input_(retain_input) {
+  input_ = AddChild(std::move(input));
+}
+
+Status ProjectOperator::OpenImpl() {
+  EXPLAINIT_RETURN_IF_ERROR(input_->Open());
+  const table::Schema& in = input_->output_schema();
+  for (const SelectItem& item : stmt_->items) {
+    if (item.is_star) {
+      for (size_t c = 0; c < in.num_fields(); ++c) {
+        schema_.AddField(in.field(c));
+        columns_.push_back(OutputColumn{nullptr, c});
+      }
+      continue;
+    }
+    schema_.AddField(Field{ItemName(item), DataType::kNull});
+    columns_.push_back(OutputColumn{item.expr.get(), 0});
+    if (ContainsLag(*item.expr)) materialize_ = true;
+  }
+  if (retain_input_ || materialize_) retained_ = table::Table(in);
+  return Status::OK();
+}
+
+Result<ColumnBatch> ProjectOperator::ProjectRows(
+    const Evaluator& ev, size_t rows, const ColumnBatch* borrow) {
+  ColumnBatch out(&schema_, rows);
+  for (const OutputColumn& col : columns_) {
+    if (col.expr == nullptr) {
+      if (borrow != nullptr) {
+        out.AddBorrowedColumn(borrow->column(col.pass_through));
+      } else {
+        out.AddBorrowedColumn(retained_.column(col.pass_through).data());
+      }
+      continue;
+    }
+    std::vector<Value> values;
+    values.reserve(rows);
+    for (size_t r = 0; r < rows; ++r) {
+      EXPLAINIT_ASSIGN_OR_RETURN(Value v, ev.Eval(*col.expr, r));
+      values.push_back(std::move(v));
+    }
+    out.AddOwnedColumn(std::move(values));
+  }
+  return out;
+}
+
+Result<ColumnBatch> ProjectOperator::NextImpl(bool* eof) {
+  if (materialize_) {
+    // LAG window: evaluate over the whole input at once. The retained
+    // table doubles as the materialised input.
+    if (done_) {
+      *eof = true;
+      return ColumnBatch{};
+    }
+    done_ = true;
+    EXPLAINIT_RETURN_IF_ERROR(Drain(input_, &retained_));
+    Evaluator ev(&retained_, functions_);
+    *eof = false;
+    return ProjectRows(ev, retained_.num_rows(), nullptr);
+  }
+  bool child_eof = false;
+  EXPLAINIT_ASSIGN_OR_RETURN(ColumnBatch batch, input_->Next(&child_eof));
+  if (child_eof) {
+    *eof = true;
+    return ColumnBatch{};
+  }
+  if (retain_input_) batch.AppendTo(&retained_);
+  current_input_ = std::move(batch);
+  Evaluator ev(&current_input_, functions_);
+  *eof = false;
+  return ProjectRows(ev, current_input_.num_rows(), &current_input_);
+}
+
+}  // namespace explainit::sql

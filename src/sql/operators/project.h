@@ -1,0 +1,55 @@
+// Project: evaluates the select list over batches. `SELECT *` columns
+// pass through as borrowed (zero-copy) columns; computed items become
+// owned columns. Items containing LAG materialise the whole input first.
+// When ORDER BY may reference unprojected columns, the operator also
+// retains its input rows (1:1 with the output) for the sort to consult.
+#pragma once
+
+#include "sql/evaluator.h"
+#include "sql/operators/operator.h"
+
+namespace explainit::sql {
+
+class ProjectOperator : public Operator {
+ public:
+  ProjectOperator(std::unique_ptr<Operator> input,
+                  const SelectStatement* stmt,
+                  const FunctionRegistry* functions, bool retain_input);
+
+  const table::Schema& output_schema() const override { return schema_; }
+  std::string name() const override { return "Project"; }
+
+  /// The retained pre-projection rows (valid after execution, only when
+  /// constructed with retain_input). Rows map 1:1 to output rows.
+  const table::Table* retained_input() const {
+    return retain_input_ ? &retained_ : nullptr;
+  }
+
+ protected:
+  Status OpenImpl() override;
+  Result<table::ColumnBatch> NextImpl(bool* eof) override;
+
+ private:
+  struct OutputColumn {
+    const Expr* expr = nullptr;  // null = star pass-through
+    size_t pass_through = 0;     // input column index when expr == null
+  };
+
+  Result<table::ColumnBatch> ProjectRows(const Evaluator& ev, size_t rows,
+                                         const table::ColumnBatch* borrow);
+
+  Operator* input_;
+  const SelectStatement* stmt_;
+  const FunctionRegistry* functions_;
+  bool retain_input_;
+  bool materialize_ = false;  // LAG in a select item
+
+  table::Schema schema_;
+  std::vector<OutputColumn> columns_;
+  table::ColumnBatch current_input_;  // keeps pass-through storage alive
+  table::Table materialized_;
+  table::Table retained_;
+  bool done_ = false;
+};
+
+}  // namespace explainit::sql

@@ -1,0 +1,139 @@
+#include "sql/operators/scan.h"
+
+#include <algorithm>
+
+namespace explainit::sql {
+
+using table::ColumnBatch;
+using table::Field;
+using table::Schema;
+using table::Table;
+
+table::Schema QualifyFields(const Schema& schema,
+                            const std::string& qualifier) {
+  if (qualifier.empty()) return schema;
+  Schema out;
+  for (const Field& f : schema.fields()) {
+    if (f.name.find('.') != std::string::npos) {
+      out.AddField(f);
+    } else {
+      out.AddField(Field{qualifier + "." + f.name, f.type});
+    }
+  }
+  return out;
+}
+
+Status CatalogScanOperator::OpenImpl() {
+  EXPLAINIT_ASSIGN_OR_RETURN(table_,
+                             catalog_->GetTable(table_name_, hints_));
+  const size_t full_width = table_.num_columns();
+  if (projection_.has_value()) {
+    // Prune to the referenced columns that actually exist; unknown
+    // references keep flowing so the evaluator reports them properly.
+    std::vector<std::string> keep;
+    for (const std::string& col : *projection_) {
+      if (table_.schema().FieldIndex(col).has_value()) keep.push_back(col);
+    }
+    if (!keep.empty() && keep.size() < full_width) {
+      EXPLAINIT_ASSIGN_OR_RETURN(table_, table_.SelectColumns(keep));
+    }
+  }
+  if (!qualifier_.empty()) {
+    qualified_schema_ = QualifyFields(table_.schema(), qualifier_);
+    schema_ = &qualified_schema_;
+  } else {
+    schema_ = &table_.schema();
+  }
+  stats_.detail = table_name_ + " cols=" +
+                  std::to_string(table_.num_columns()) + "/" +
+                  std::to_string(full_width);
+  if (!hints_.empty()) stats_.detail += " hinted";
+  return Status::OK();
+}
+
+Result<ColumnBatch> CatalogScanOperator::NextImpl(bool* eof) {
+  if (pos_ >= table_.num_rows()) {
+    *eof = true;
+    return ColumnBatch{};
+  }
+  const size_t n =
+      std::min(table::kDefaultBatchRows, table_.num_rows() - pos_);
+  ColumnBatch batch = ColumnBatch::View(
+      table_, pos_, n, schema_ == &table_.schema() ? nullptr : schema_);
+  pos_ += n;
+  *eof = false;
+  return batch;
+}
+
+SubqueryScanOperator::SubqueryScanOperator(std::unique_ptr<Operator> input,
+                                           std::string qualifier)
+    : qualifier_(std::move(qualifier)) {
+  input_ = AddChild(std::move(input));
+}
+
+Status SubqueryScanOperator::OpenImpl() {
+  EXPLAINIT_RETURN_IF_ERROR(input_->Open());
+  if (qualifier_.empty()) {
+    schema_ = &input_->output_schema();
+  } else {
+    qualified_schema_ = QualifyFields(input_->output_schema(), qualifier_);
+    schema_ = &qualified_schema_;
+  }
+  return Status::OK();
+}
+
+Result<ColumnBatch> SubqueryScanOperator::NextImpl(bool* eof) {
+  EXPLAINIT_ASSIGN_OR_RETURN(ColumnBatch batch, input_->Next(eof));
+  if (*eof) return batch;
+  batch.set_schema(schema_);
+  return batch;
+}
+
+Result<ColumnBatch> SingleRowOperator::NextImpl(bool* eof) {
+  if (done_) {
+    *eof = true;
+    return ColumnBatch{};
+  }
+  done_ = true;
+  *eof = false;
+  return ColumnBatch(&schema_, 1);
+}
+
+UnionAllOperator::UnionAllOperator(
+    std::vector<std::unique_ptr<Operator>> branches) {
+  for (auto& b : branches) AddChild(std::move(b));
+}
+
+Status UnionAllOperator::OpenImpl() {
+  for (size_t i = 0; i < num_children(); ++i) {
+    EXPLAINIT_RETURN_IF_ERROR(child(i)->Open());
+  }
+  const size_t width = child(0)->output_schema().num_fields();
+  for (size_t i = 1; i < num_children(); ++i) {
+    const size_t w = child(i)->output_schema().num_fields();
+    if (w != width) {
+      return Status::InvalidArgument(
+          "UNION ALL requires equal column counts: " +
+          std::to_string(width) + " vs " + std::to_string(w));
+    }
+  }
+  return Status::OK();
+}
+
+Result<ColumnBatch> UnionAllOperator::NextImpl(bool* eof) {
+  while (current_ < num_children()) {
+    bool branch_eof = false;
+    EXPLAINIT_ASSIGN_OR_RETURN(ColumnBatch batch,
+                               child(current_)->Next(&branch_eof));
+    if (!branch_eof) {
+      batch.set_schema(&child(0)->output_schema());
+      *eof = false;
+      return batch;
+    }
+    ++current_;
+  }
+  *eof = true;
+  return ColumnBatch{};
+}
+
+}  // namespace explainit::sql

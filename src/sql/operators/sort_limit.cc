@@ -1,0 +1,110 @@
+#include "sql/operators/sort_limit.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace explainit::sql {
+
+using table::ColumnBatch;
+using table::Table;
+using table::Value;
+
+SortLimitOperator::SortLimitOperator(std::unique_ptr<Operator> input,
+                                     const SelectStatement* stmt,
+                                     const FunctionRegistry* functions,
+                                     const table::Table* preprojection,
+                                     bool aggregated)
+    : stmt_(stmt),
+      functions_(functions),
+      preprojection_(preprojection),
+      aggregated_(aggregated) {
+  input_ = AddChild(std::move(input));
+}
+
+Status SortLimitOperator::OpenImpl() { return input_->Open(); }
+
+Result<ColumnBatch> SortLimitOperator::NextImpl(bool* eof) {
+  if (stmt_->order_by.empty()) {
+    // Streaming LIMIT: stop pulling once enough rows arrived.
+    const size_t limit = stmt_->limit.has_value() && *stmt_->limit >= 0
+                             ? static_cast<size_t>(*stmt_->limit)
+                             : static_cast<size_t>(-1);
+    if (emitted_ >= limit) {
+      *eof = true;
+      return ColumnBatch{};
+    }
+    bool child_eof = false;
+    EXPLAINIT_ASSIGN_OR_RETURN(ColumnBatch batch, input_->Next(&child_eof));
+    if (child_eof) {
+      *eof = true;
+      return ColumnBatch{};
+    }
+    if (emitted_ + batch.num_rows() > limit) {
+      batch.Truncate(limit - emitted_);
+    }
+    emitted_ += batch.num_rows();
+    *eof = false;
+    return batch;
+  }
+
+  if (!sorted_done_) {
+    sorted_done_ = true;
+    Table output(input_->output_schema());
+    EXPLAINIT_RETURN_IF_ERROR(Drain(input_, &output));
+    // Build sort keys: prefer resolving against the output schema (alias
+    // or expression name); otherwise evaluate against the pre-projection
+    // rows (valid only when rows map 1:1, i.e. no aggregation).
+    const size_t n = output.num_rows();
+    std::vector<std::vector<Value>> sort_keys(n);
+    Evaluator out_ev(&output, functions_);
+    const Table empty_pre;
+    const Table* pre = preprojection_ != nullptr ? preprojection_ : &empty_pre;
+    Evaluator pre_ev(pre, functions_);
+    for (const OrderByItem& item : stmt_->order_by) {
+      // Try output-schema resolution by name first.
+      bool resolved_on_output = false;
+      if (item.expr->kind == ExprKind::kColumnRef) {
+        if (out_ev.ResolveColumn(*item.expr).ok()) resolved_on_output = true;
+      }
+      for (size_t r = 0; r < n; ++r) {
+        Result<Value> v = resolved_on_output ? out_ev.Eval(*item.expr, r)
+                          : aggregated_      ? out_ev.Eval(*item.expr, r)
+                                             : pre_ev.Eval(*item.expr, r);
+        if (!v.ok()) {
+          // Last resort: try the other side.
+          v = resolved_on_output || aggregated_ ? pre_ev.Eval(*item.expr, r)
+                                                : out_ev.Eval(*item.expr, r);
+        }
+        if (!v.ok()) return v.status();
+        sort_keys[r].push_back(std::move(v).value());
+      }
+    }
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      for (size_t k = 0; k < stmt_->order_by.size(); ++k) {
+        const int cmp = sort_keys[a][k].Compare(sort_keys[b][k]);
+        if (cmp != 0) return stmt_->order_by[k].ascending ? cmp < 0 : cmp > 0;
+      }
+      return false;
+    });
+    if (stmt_->limit.has_value() && *stmt_->limit >= 0 &&
+        static_cast<size_t>(*stmt_->limit) < order.size()) {
+      order.resize(static_cast<size_t>(*stmt_->limit));
+    }
+    sorted_ = Table(output.schema());
+    for (size_t r : order) sorted_.AppendRow(output.Row(r));
+  }
+  if (pos_ >= sorted_.num_rows()) {
+    *eof = true;
+    return ColumnBatch{};
+  }
+  const size_t n = std::min(table::kDefaultBatchRows,
+                            sorted_.num_rows() - pos_);
+  ColumnBatch batch = ColumnBatch::View(sorted_, pos_, n);
+  pos_ += n;
+  *eof = false;
+  return batch;
+}
+
+}  // namespace explainit::sql

@@ -1,0 +1,45 @@
+// Sort/Limit: ORDER BY is a pipeline breaker (materialises its input and
+// sorts); LIMIT without ORDER BY streams and stops pulling its child as
+// soon as enough rows arrived. Sort keys resolve against the output
+// schema first (aliases), then fall back to the retained pre-projection
+// rows (ORDER BY on an unprojected column).
+#pragma once
+
+#include "sql/evaluator.h"
+#include "sql/operators/operator.h"
+
+namespace explainit::sql {
+
+class SortLimitOperator : public Operator {
+ public:
+  /// `preprojection` points at the projector's/aggregator's retained
+  /// input rows (may be null); `aggregated` flips the resolution order
+  /// exactly as the row interpreter did.
+  SortLimitOperator(std::unique_ptr<Operator> input,
+                    const SelectStatement* stmt,
+                    const FunctionRegistry* functions,
+                    const table::Table* preprojection, bool aggregated);
+
+  const table::Schema& output_schema() const override {
+    return input_->output_schema();
+  }
+  std::string name() const override { return "SortLimit"; }
+
+ protected:
+  Status OpenImpl() override;
+  Result<table::ColumnBatch> NextImpl(bool* eof) override;
+
+ private:
+  Operator* input_;
+  const SelectStatement* stmt_;
+  const FunctionRegistry* functions_;
+  const table::Table* preprojection_;
+  const bool aggregated_;
+
+  table::Table sorted_;
+  size_t pos_ = 0;
+  size_t emitted_ = 0;  // streaming LIMIT
+  bool sorted_done_ = false;
+};
+
+}  // namespace explainit::sql

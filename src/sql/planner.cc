@@ -1,0 +1,364 @@
+#include "sql/planner.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <set>
+
+#include "common/strings.h"
+#include "sql/operators/filter.h"
+#include "sql/operators/hash_aggregate.h"
+#include "sql/operators/hash_join.h"
+#include "sql/operators/nested_loop_join.h"
+#include "sql/operators/project.h"
+#include "sql/operators/scan.h"
+#include "sql/operators/sort_limit.h"
+
+namespace explainit::sql {
+
+using table::DataType;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Pushdown extraction
+// ---------------------------------------------------------------------------
+
+/// Unqualified reference to the scan's time column.
+bool IsTimeColumn(const Expr& e) {
+  if (e.kind != ExprKind::kColumnRef || !e.qualifier.empty()) return false;
+  const std::string lower = ToLower(e.column);
+  return lower == "timestamp" || lower == "ts";
+}
+
+bool IsMetricNameColumn(const Expr& e) {
+  return e.kind == ExprKind::kColumnRef && e.qualifier.empty() &&
+         ToLower(e.column) == "metric_name";
+}
+
+/// Integer-valued literal (timestamps are integral epoch seconds).
+bool IntLiteral(const Expr& e, int64_t* out) {
+  if (e.kind != ExprKind::kLiteral) return false;
+  const DataType t = e.literal.type();
+  if (t != DataType::kInt64 && t != DataType::kTimestamp) return false;
+  *out = e.literal.AsInt();
+  return true;
+}
+
+/// String literal free of glob metacharacters, so SQL equality and the
+/// store's glob/tag matching coincide exactly.
+bool CleanStringLiteral(const Expr& e, std::string* out) {
+  if (e.kind != ExprKind::kLiteral ||
+      e.literal.type() != DataType::kString) {
+    return false;
+  }
+  const std::string s = e.literal.AsString();
+  if (s.find_first_of("*?[") != std::string::npos) return false;
+  *out = s;
+  return true;
+}
+
+/// Matches tag['key'] over the scan's tag column.
+bool IsTagSubscript(const Expr& e, std::string* key) {
+  if (e.kind != ExprKind::kSubscript) return false;
+  if (e.left == nullptr || e.left->kind != ExprKind::kColumnRef ||
+      !e.left->qualifier.empty() || ToLower(e.left->column) != "tag") {
+    return false;
+  }
+  if (e.right == nullptr || e.right->kind != ExprKind::kLiteral ||
+      e.right->literal.type() != DataType::kString) {
+    return false;
+  }
+  *key = e.right->literal.AsString();
+  return true;
+}
+
+/// Derives ScanHints from the WHERE conjuncts. The hints only *narrow*
+/// what a hint-aware provider materialises; every conjunct stays in the
+/// residual filter, so correctness (including "column not found" errors
+/// for misnamed time columns) never depends on a provider applying them.
+tsdb::ScanHints ExtractHints(const Expr* where) {
+  tsdb::ScanHints hints;
+  std::vector<const Expr*> conjuncts;
+  CollectConjuncts(where, &conjuncts);
+  std::optional<int64_t> lo;  // inclusive
+  std::optional<int64_t> hi;  // exclusive
+  auto narrow_lo = [&](int64_t v) { lo = lo ? std::max(*lo, v) : v; };
+  auto narrow_hi = [&](int64_t v) { hi = hi ? std::min(*hi, v) : v; };
+  for (const Expr* c : conjuncts) {
+    int64_t a = 0, b = 0;
+    std::string s, key;
+    // ts BETWEEN a AND b  ->  [a, b+1)
+    if (c->kind == ExprKind::kBetween && !c->negated &&
+        c->left != nullptr && IsTimeColumn(*c->left) &&
+        IntLiteral(*c->between_lo, &a) && IntLiteral(*c->between_hi, &b) &&
+        b < INT64_MAX) {
+      narrow_lo(a);
+      narrow_hi(b + 1);
+      continue;
+    }
+    if (c->kind != ExprKind::kBinary || c->left == nullptr ||
+        c->right == nullptr) {
+      continue;
+    }
+    const Expr& l = *c->left;
+    const Expr& r = *c->right;
+    // Time-column comparisons, either orientation.
+    const bool ts_lit = IsTimeColumn(l) && IntLiteral(r, &a);
+    const bool lit_ts = IntLiteral(l, &a) && IsTimeColumn(r);
+    if ((ts_lit || lit_ts) && a < INT64_MAX) {
+      // Normalise to "ts OP a".
+      BinaryOp op = c->binary_op;
+      if (lit_ts) {
+        op = op == BinaryOp::kLt   ? BinaryOp::kGt
+             : op == BinaryOp::kLe ? BinaryOp::kGe
+             : op == BinaryOp::kGt ? BinaryOp::kLt
+             : op == BinaryOp::kGe ? BinaryOp::kLe
+                                   : op;
+      }
+      switch (op) {
+        case BinaryOp::kEq:
+          narrow_lo(a);
+          narrow_hi(a + 1);
+          break;
+        case BinaryOp::kGe:
+          narrow_lo(a);
+          break;
+        case BinaryOp::kGt:
+          narrow_lo(a + 1);
+          break;
+        case BinaryOp::kLe:
+          narrow_hi(a + 1);
+          break;
+        case BinaryOp::kLt:
+          narrow_hi(a);
+          break;
+        default:
+          break;
+      }
+      continue;
+    }
+    // metric_name = 'literal' (either orientation).
+    if (c->binary_op == BinaryOp::kEq && hints.metric_glob.empty() &&
+        ((IsMetricNameColumn(l) && CleanStringLiteral(r, &s)) ||
+         (IsMetricNameColumn(r) && CleanStringLiteral(l, &s)))) {
+      hints.metric_glob = s;
+      continue;
+    }
+    // tag['k'] = 'literal' (either orientation).
+    if (c->binary_op == BinaryOp::kEq &&
+        ((IsTagSubscript(l, &key) && CleanStringLiteral(r, &s)) ||
+         (IsTagSubscript(r, &key) && CleanStringLiteral(l, &s)))) {
+      if (!hints.tag_filter.Has(key)) hints.tag_filter.Set(key, s);
+    }
+  }
+  // Contradictory windows (ts >= 10 AND ts < 5) are left to the filter.
+  if ((lo.has_value() || hi.has_value()) &&
+      lo.value_or(INT64_MIN) < hi.value_or(INT64_MAX)) {
+    hints.range = TimeRange{lo.value_or(INT64_MIN), hi.value_or(INT64_MAX)};
+  }
+  return hints;
+}
+
+// ---------------------------------------------------------------------------
+// Projection pruning
+// ---------------------------------------------------------------------------
+
+void CollectColumnRefs(const Expr& e, std::set<std::string>* out) {
+  if (e.kind == ExprKind::kColumnRef) {
+    out->insert(ToLower(e.column));
+  }
+  auto walk = [&](const ExprPtr& c) {
+    if (c != nullptr) CollectColumnRefs(*c, out);
+  };
+  walk(e.left);
+  walk(e.right);
+  walk(e.between_lo);
+  walk(e.between_hi);
+  walk(e.case_else);
+  for (const ExprPtr& a : e.args) walk(a);
+  for (const ExprPtr& a : e.list) walk(a);
+  for (const CaseBranch& b : e.case_branches) {
+    walk(b.condition);
+    walk(b.result);
+  }
+}
+
+/// Columns a single-table statement reads (residual WHERE instead of the
+/// full one: fully pushed-down conjuncts free their columns too).
+/// nullopt when pruning is unsafe (SELECT *).
+std::optional<std::vector<std::string>> PrunedColumns(
+    const SelectStatement& stmt, const ExprPtr& residual_where) {
+  std::set<std::string> refs;
+  for (const SelectItem& item : stmt.items) {
+    if (item.is_star) return std::nullopt;
+    CollectColumnRefs(*item.expr, &refs);
+  }
+  if (residual_where != nullptr) CollectColumnRefs(*residual_where, &refs);
+  for (const ExprPtr& g : stmt.group_by) CollectColumnRefs(*g, &refs);
+  if (stmt.having != nullptr) CollectColumnRefs(*stmt.having, &refs);
+  for (const OrderByItem& o : stmt.order_by) {
+    CollectColumnRefs(*o.expr, &refs);
+  }
+  return std::vector<std::string>(refs.begin(), refs.end());
+}
+
+bool StatementContainsLag(const SelectStatement& stmt) {
+  for (const SelectItem& item : stmt.items) {
+    if (item.expr != nullptr && ContainsLag(*item.expr)) return true;
+  }
+  if (stmt.where != nullptr && ContainsLag(*stmt.where)) return true;
+  return false;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Planner
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<Operator>> Planner::PlanSource(
+    const TableRef& ref, const std::string& qualifier,
+    tsdb::ScanHints hints) const {
+  if (ref.subquery != nullptr) {
+    EXPLAINIT_ASSIGN_OR_RETURN(auto sub, Plan(*ref.subquery));
+    return std::unique_ptr<Operator>(
+        std::make_unique<SubqueryScanOperator>(std::move(sub), qualifier));
+  }
+  return std::unique_ptr<Operator>(std::make_unique<CatalogScanOperator>(
+      catalog_, ref.table_name, std::move(hints), qualifier, std::nullopt));
+}
+
+Result<std::unique_ptr<Operator>> Planner::PlanFrom(
+    const SelectStatement& stmt, tsdb::ScanHints base_hints,
+    ExprPtr* residual_where) const {
+  if (!stmt.from.has_value()) {
+    return std::unique_ptr<Operator>(std::make_unique<SingleRowOperator>());
+  }
+  const TableRef& ref = *stmt.from;
+  const bool has_joins = !stmt.joins.empty();
+
+  if (!has_joins) {
+    if (ref.subquery != nullptr) {
+      EXPLAINIT_ASSIGN_OR_RETURN(auto sub, Plan(*ref.subquery));
+      return std::unique_ptr<Operator>(std::make_unique<SubqueryScanOperator>(
+          std::move(sub), std::string{}));
+    }
+    // Single-table scan: attach pushdown hints and projection pruning.
+    std::optional<std::vector<std::string>> projection =
+        PrunedColumns(stmt, *residual_where);
+    tsdb::ScanHints hints = std::move(base_hints);
+    if (projection.has_value()) hints.projection = *projection;
+    return std::unique_ptr<Operator>(std::make_unique<CatalogScanOperator>(
+        catalog_, ref.table_name, std::move(hints), std::string{},
+        std::move(projection)));
+  }
+
+  // Join tree: left-deep, every input qualified with its effective name.
+  std::string base_name = ref.EffectiveName();
+  if (base_name.empty()) base_name = "_t0";
+  EXPLAINIT_ASSIGN_OR_RETURN(std::unique_ptr<Operator> acc,
+                             PlanSource(ref, base_name, tsdb::ScanHints{}));
+  std::optional<size_t> acc_rows =
+      ref.subquery == nullptr ? catalog_->EstimatedRows(ref.table_name)
+                              : std::nullopt;
+  for (const JoinClause& join : stmt.joins) {
+    std::string right_name = join.right.EffectiveName();
+    if (right_name.empty()) {
+      right_name =
+          "_t" + std::to_string(&join - stmt.joins.data() + 1);
+    }
+    EXPLAINIT_ASSIGN_OR_RETURN(
+        auto right, PlanSource(join.right, right_name, tsdb::ScanHints{}));
+    if (join.condition != nullptr && HasEqualityConjunct(join.condition.get())) {
+      // Broadcast heuristic: build on the smaller side when both row
+      // counts are known; only inner joins are symmetric enough to swap.
+      bool build_left = false;
+      std::optional<size_t> right_rows =
+          join.right.subquery == nullptr
+              ? catalog_->EstimatedRows(join.right.table_name)
+              : std::nullopt;
+      if (join.type == JoinType::kInner && acc_rows.has_value() &&
+          right_rows.has_value() && *acc_rows < *right_rows) {
+        build_left = true;
+      }
+      acc = std::unique_ptr<Operator>(std::make_unique<HashJoinOperator>(
+          std::move(acc), std::move(right), &join, functions_, build_left));
+    } else {
+      acc = std::unique_ptr<Operator>(
+          std::make_unique<NestedLoopJoinOperator>(
+              std::move(acc), std::move(right), &join, functions_));
+    }
+    acc_rows.reset();  // join output size is unknown
+  }
+  return acc;
+}
+
+Result<std::unique_ptr<Operator>> Planner::PlanSingle(
+    const SelectStatement& stmt) const {
+  // Predicate pushdown: single plain table, hint-aware provider, no LAG
+  // in the scan-visible stages (LAG reads neighbouring rows, so the
+  // scanned row set must not shrink). The filter keeps the full WHERE
+  // either way; hints only shrink what the provider materialises.
+  ExprPtr residual_where;
+  tsdb::ScanHints hints;
+  if (stmt.where != nullptr) {
+    residual_where = stmt.where->Clone();
+    const bool pushdown_eligible =
+        stmt.from.has_value() && stmt.from->subquery == nullptr &&
+        stmt.joins.empty() &&
+        catalog_->SupportsHints(stmt.from->table_name) &&
+        !StatementContainsLag(stmt);
+    if (pushdown_eligible) hints = ExtractHints(stmt.where.get());
+  }
+
+  EXPLAINIT_ASSIGN_OR_RETURN(
+      auto source, PlanFrom(stmt, std::move(hints), &residual_where));
+  if (residual_where != nullptr) {
+    source = std::make_unique<FilterOperator>(
+        std::move(source), std::move(residual_where), functions_);
+  }
+
+  const bool aggregated =
+      !stmt.group_by.empty() ||
+      std::any_of(stmt.items.begin(), stmt.items.end(),
+                  [](const SelectItem& i) {
+                    return i.expr != nullptr && i.expr->ContainsAggregate();
+                  });
+  const bool needs_sort_limit =
+      !stmt.order_by.empty() || stmt.limit.has_value();
+
+  const table::Table* preprojection = nullptr;
+  if (aggregated) {
+    auto agg = std::make_unique<HashAggregateOperator>(std::move(source),
+                                                       &stmt, functions_);
+    preprojection = agg->retained_input();
+    source = std::move(agg);
+  } else {
+    const bool retain = !stmt.order_by.empty();
+    auto project = std::make_unique<ProjectOperator>(std::move(source),
+                                                     &stmt, functions_,
+                                                     retain);
+    preprojection = project->retained_input();
+    source = std::move(project);
+  }
+  if (!needs_sort_limit) return source;
+  return std::unique_ptr<Operator>(std::make_unique<SortLimitOperator>(
+      std::move(source), &stmt, functions_, preprojection, aggregated));
+}
+
+Result<std::unique_ptr<Operator>> Planner::Plan(
+    const SelectStatement& stmt) const {
+  EXPLAINIT_ASSIGN_OR_RETURN(auto first, PlanSingle(stmt));
+  if (stmt.union_all.empty()) return first;
+  std::vector<std::unique_ptr<Operator>> branches;
+  branches.push_back(std::move(first));
+  for (const auto& next : stmt.union_all) {
+    EXPLAINIT_ASSIGN_OR_RETURN(auto branch, PlanSingle(*next));
+    branches.push_back(std::move(branch));
+  }
+  return std::unique_ptr<Operator>(
+      std::make_unique<UnionAllOperator>(std::move(branches)));
+}
+
+}  // namespace explainit::sql

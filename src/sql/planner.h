@@ -1,0 +1,53 @@
+// The logical -> physical query planner. Turns a parsed SelectStatement
+// into a tree of physical operators (src/sql/operators/), applying
+// rule-based rewrites on the way down:
+//
+//   * predicate pushdown — WHERE conjuncts over the time column
+//     (ts/timestamp BETWEEN / comparisons), `metric_name = '...'` and
+//     `tag['k'] = '...'` become tsdb::ScanHints on the table scan for
+//     hint-aware providers (Catalog::SupportsHints). The full predicate
+//     always stays in the filter: hints shrink what the provider
+//     materialises, never what the query means.
+//   * projection pruning — single-table queries scan only the columns the
+//     statement references.
+//   * join strategy + build side — conditions with an equality conjunct
+//     become hash joins, built on the smaller side when row counts are
+//     known (the §4.2 broadcast heuristic); others fall back to nested
+//     loops.
+//
+// The planned tree references the statement's AST nodes: the statement
+// must outlive execution.
+#pragma once
+
+#include <memory>
+
+#include "sql/ast.h"
+#include "sql/catalog.h"
+#include "sql/functions.h"
+#include "sql/operators/operator.h"
+
+namespace explainit::sql {
+
+class Planner {
+ public:
+  Planner(const Catalog* catalog, const FunctionRegistry* functions)
+      : catalog_(catalog), functions_(functions) {}
+
+  /// Plans a full statement (UNION ALL chains become a UnionAll root).
+  Result<std::unique_ptr<Operator>> Plan(const SelectStatement& stmt) const;
+
+ private:
+  Result<std::unique_ptr<Operator>> PlanSingle(
+      const SelectStatement& stmt) const;
+  Result<std::unique_ptr<Operator>> PlanFrom(const SelectStatement& stmt,
+                                             tsdb::ScanHints base_hints,
+                                             ExprPtr* residual_where) const;
+  Result<std::unique_ptr<Operator>> PlanSource(const TableRef& ref,
+                                               const std::string& qualifier,
+                                               tsdb::ScanHints hints) const;
+
+  const Catalog* catalog_;
+  const FunctionRegistry* functions_;
+};
+
+}  // namespace explainit::sql

@@ -8,11 +8,15 @@
 
 namespace explainit::table {
 
+void Schema::AddField(Field f) {
+  index_.try_emplace(ToLower(f.name), fields_.size());
+  fields_.push_back(std::move(f));
+}
+
 std::optional<size_t> Schema::FieldIndex(std::string_view name) const {
-  for (size_t i = 0; i < fields_.size(); ++i) {
-    if (EqualsIgnoreCase(fields_[i].name, name)) return i;
-  }
-  return std::nullopt;
+  const auto it = index_.find(ToLower(std::string(name)));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
 }
 
 std::string Schema::ToString() const {
@@ -35,6 +39,16 @@ void Table::AppendRow(std::vector<Value> row) {
     columns_[c].push_back(std::move(row[c]));
   }
   ++num_rows_;
+}
+
+void Table::AppendColumns(const std::vector<const Value*>& cols, size_t n) {
+  EXPLAINIT_CHECK(cols.size() == columns_.size(),
+                  "batch width " << cols.size() << " != schema width "
+                                 << columns_.size());
+  for (size_t c = 0; c < cols.size(); ++c) {
+    columns_[c].insert(columns_[c].end(), cols[c], cols[c] + n);
+  }
+  num_rows_ += n;
 }
 
 std::vector<Value> Table::Row(size_t row) const {

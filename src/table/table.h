@@ -3,8 +3,10 @@
 // Feature Family / Hypothesis / Score tables).
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -24,23 +26,32 @@ struct Field {
 class Schema {
  public:
   Schema() = default;
-  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+  explicit Schema(std::vector<Field> fields) {
+    for (Field& f : fields) AddField(std::move(f));
+  }
 
   size_t num_fields() const { return fields_.size(); }
   const Field& field(size_t i) const { return fields_[i]; }
   const std::vector<Field>& fields() const { return fields_; }
 
   /// Index of the field with the given name (case-insensitive, SQL style);
-  /// nullopt when absent.
+  /// nullopt when absent. O(1): a lowercase name -> index map is kept in
+  /// step with fields_, so lookups are pure reads (safe for concurrent
+  /// const access, unlike a lazily built cache).
   std::optional<size_t> FieldIndex(std::string_view name) const;
 
-  void AddField(Field f) { fields_.push_back(std::move(f)); }
+  void AddField(Field f);
 
   std::string ToString() const;
-  bool operator==(const Schema& other) const = default;
+  bool operator==(const Schema& other) const {
+    return fields_ == other.fields_;
+  }
 
  private:
   std::vector<Field> fields_;
+  /// Lookup index maintained by AddField. Duplicate lowercase names keep
+  /// the first index, matching the original linear first-match scan.
+  std::unordered_map<std::string, size_t> index_;
 };
 
 /// A column-major table of Values.
@@ -59,6 +70,10 @@ class Table {
 
   /// Appends one row; the value count must match the schema width.
   void AppendRow(std::vector<Value> row);
+
+  /// Bulk-appends `n` rows given one contiguous cell array per column (the
+  /// vectorised pipeline's materialisation path; avoids per-row vectors).
+  void AppendColumns(const std::vector<const Value*>& cols, size_t n);
 
   const Value& At(size_t row, size_t col) const {
     return columns_[col][row];

@@ -1,5 +1,6 @@
 #include "tsdb/store.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -66,26 +67,114 @@ std::vector<SeriesMeta> SeriesStore::ListSeries() const {
   return out;
 }
 
+TimeRange ScanRequest::EffectiveRange() const {
+  if (!hints.range.has_value()) return range;
+  if (range.end == range.start) return *hints.range;
+  return TimeRange{std::max(range.start, hints.range->start),
+                   std::min(range.end, hints.range->end)};
+}
+
+namespace {
+
+/// Minimum matched-series count before a scan fans out over the pool;
+/// below this the thread handoff costs more than the decode.
+constexpr size_t kParallelScanThreshold = 64;
+
+// Decodes one series block into a SeriesData restricted to `range`
+// (unrestricted when `bounded` is false). `decoded` reports how many
+// points the block held before windowing.
+Result<SeriesData> DecodeSeries(const SeriesMeta& meta,
+                                const CompressedBlock& block,
+                                const TimeRange& range, bool bounded,
+                                size_t* decoded) {
+  EXPLAINIT_ASSIGN_OR_RETURN(auto points, block.Decode());
+  *decoded = points.size();
+  SeriesData data;
+  data.meta = meta;
+  for (const auto& [t, v] : points) {
+    if (bounded && !range.Contains(t)) continue;
+    data.timestamps.push_back(t);
+    data.values.push_back(v);
+  }
+  return data;
+}
+
+}  // namespace
+
 Result<std::vector<SeriesData>> SeriesStore::Scan(
     const ScanRequest& request) const {
-  std::vector<SeriesData> out;
-  for (const std::string& key : insertion_order_) {
-    const Series& s = *series_.at(key);
-    if (!GlobMatch(request.metric_glob, s.meta.metric_name)) continue;
-    if (!s.meta.tags.Matches(request.tag_filter)) continue;
-    EXPLAINIT_ASSIGN_OR_RETURN(auto points, s.block.Decode());
-    SeriesData data;
-    data.meta = s.meta;
-    for (const auto& [t, v] : points) {
-      if (request.range.end != request.range.start &&
-          !request.range.Contains(t)) {
+  const TimeRange window = request.EffectiveRange();
+  const ScanHints& hints = request.hints;
+  // The start == end sentinel only means "unbounded" on a hint-free
+  // request; a hinted intersection that degenerates to an empty window
+  // must scan nothing, not everything.
+  const bool bounded =
+      hints.range.has_value() || request.range.end != request.range.start;
+  const bool empty_window = bounded && window.start >= window.end;
+
+  // Pass 1: match series metadata (cheap, no decoding).
+  std::vector<const Series*> matched;
+  if (!empty_window) {
+    for (const std::string& key : insertion_order_) {
+      const Series& s = *series_.at(key);
+      if (!GlobMatch(request.metric_glob, s.meta.metric_name)) continue;
+      if (!hints.metric_glob.empty() &&
+          !GlobMatch(hints.metric_glob, s.meta.metric_name)) {
         continue;
       }
-      data.timestamps.push_back(t);
-      data.values.push_back(v);
+      if (!s.meta.tags.Matches(request.tag_filter)) continue;
+      if (!hints.tag_filter.empty() &&
+          !s.meta.tags.Matches(hints.tag_filter)) {
+        continue;
+      }
+      matched.push_back(&s);
     }
-    if (!data.timestamps.empty()) out.push_back(std::move(data));
   }
+
+  ++scan_stats_.scans;
+  scan_stats_.series_matched = matched.size();
+  scan_stats_.last_range = window;
+  scan_stats_.last_metric_glob =
+      hints.metric_glob.empty()
+          ? request.metric_glob
+          : (request.metric_glob == "*"
+                 ? hints.metric_glob
+                 : request.metric_glob + "&" + hints.metric_glob);
+
+  // Pass 2: decode. One morsel per series; large scans fan out across the
+  // pool and the per-morsel results merge back in store order.
+  std::vector<SeriesData> slots(matched.size());
+  std::vector<size_t> decoded(matched.size(), 0);
+  std::vector<Status> statuses(matched.size(), Status::OK());
+  auto decode_one = [&](size_t i) {
+    auto r = DecodeSeries(matched[i]->meta, matched[i]->block, window,
+                          bounded, &decoded[i]);
+    if (r.ok()) {
+      slots[i] = std::move(r).value();
+    } else {
+      statuses[i] = r.status();
+    }
+  };
+  if (matched.size() >= kParallelScanThreshold) {
+    std::call_once(*scan_pool_once_, [this] {
+      scan_pool_ = std::make_unique<exec::ThreadPool>();
+    });
+    exec::ParallelFor(*scan_pool_, matched.size(), decode_one);
+  } else {
+    for (size_t i = 0; i < matched.size(); ++i) decode_one(i);
+  }
+
+  std::vector<SeriesData> out;
+  out.reserve(matched.size());
+  size_t points_decoded = 0, points_returned = 0;
+  for (size_t i = 0; i < matched.size(); ++i) {
+    EXPLAINIT_RETURN_IF_ERROR(statuses[i]);
+    points_decoded += decoded[i];
+    points_returned += slots[i].timestamps.size();
+    if (!slots[i].timestamps.empty()) out.push_back(std::move(slots[i]));
+  }
+  scan_stats_.points_decoded += points_decoded;
+  scan_stats_.points_returned += points_returned;
   return out;
 }
 

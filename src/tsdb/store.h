@@ -4,12 +4,15 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
 #include "common/time_util.h"
+#include "exec/thread_pool.h"
 #include "table/table.h"
 #include "tsdb/compression.h"
 #include "tsdb/tags.h"
@@ -32,14 +35,60 @@ struct SeriesData {
   std::vector<double> values;
 };
 
+/// Planner-derived scan narrowing, attached to a ScanRequest by the SQL
+/// layer's predicate pushdown. Hints only ever *restrict* a scan: the
+/// effective window is the intersection of the request range and the hint
+/// range, and hinted glob/tag filters apply in addition to the request's.
+struct ScanHints {
+  /// Narrowed time window (from WHERE ts BETWEEN ... / comparisons).
+  std::optional<TimeRange> range;
+  /// Extra metric-name constraint ("" = unconstrained).
+  std::string metric_glob;
+  /// Extra tag constraints (from WHERE tag['k'] = 'v').
+  TagSet tag_filter;
+  /// Advisory: columns the query actually reads (providers may use this
+  /// to skip materialising unused columns).
+  std::vector<std::string> projection;
+
+  bool empty() const {
+    return !range.has_value() && metric_glob.empty() && tag_filter.empty() &&
+           projection.empty();
+  }
+};
+
 /// A scan request: which series (by metric-name glob and tag filter) and
-/// which time window.
+/// which time window, plus optional pushdown hints.
 struct ScanRequest {
   /// Glob over metric names ("disk*", "*" for all).
   std::string metric_glob = "*";
   /// Every entry must glob-match the series tags.
   TagSet tag_filter;
+  /// Time window; start == end means "unbounded" (scan everything).
   TimeRange range;
+  /// Pushdown narrowing from the query planner.
+  ScanHints hints;
+
+  /// The window actually scanned: range ∩ hints.range (a start == end
+  /// request range is unbounded, so the hint window wins outright).
+  TimeRange EffectiveRange() const;
+};
+
+/// Per-store scan observability. `scans`, `points_decoded` and
+/// `points_returned` accumulate across scans (ResetScanStats clears);
+/// `series_matched`, `last_range` and `last_metric_glob` describe the
+/// most recent scan only. Updated by Scan() (best effort under
+/// concurrent readers; the store is thread-compatible, not thread-safe).
+struct ScanStats {
+  size_t scans = 0;
+  size_t series_matched = 0;  // most recent scan
+  size_t points_decoded = 0;
+  size_t points_returned = 0;
+  /// Effective window of the most recent scan — the pushdown tests assert
+  /// this shrank below the registered table range.
+  TimeRange last_range;
+  /// Effective metric constraint of the most recent scan ("glob" or
+  /// "glob&hint" when both applied).
+  std::string last_metric_glob;
 };
 
 /// Options for converting scans to a fixed minute grid.
@@ -76,8 +125,15 @@ class SeriesStore {
   /// All series metadata (order unspecified but stable per store).
   std::vector<SeriesMeta> ListSeries() const;
 
-  /// Decodes every series matching the request, restricted to the window.
+  /// Decodes every series matching the request, restricted to the window
+  /// (honouring request.hints). Multi-series scans are morsel-parallel:
+  /// when enough series match, per-series block decoding fans out over an
+  /// internal exec::ThreadPool and the per-morsel results are merged in
+  /// store order.
   Result<std::vector<SeriesData>> Scan(const ScanRequest& request) const;
+
+  const ScanStats& scan_stats() const { return scan_stats_; }
+  void ResetScanStats() { scan_stats_ = ScanStats{}; }
 
   /// Scans and aligns to a regular grid over request.range; missing slots
   /// are interpolated to the nearest observation (or NaN). All returned
@@ -109,6 +165,12 @@ class SeriesStore {
   std::unordered_map<std::string, std::unique_ptr<Series>> series_;
   std::vector<std::string> insertion_order_;
   size_t num_points_ = 0;
+  mutable ScanStats scan_stats_;
+  /// Lazily created worker pool for morsel-parallel scans. The once_flag
+  /// lives on the heap so the store stays movable.
+  mutable std::unique_ptr<exec::ThreadPool> scan_pool_;
+  mutable std::unique_ptr<std::once_flag> scan_pool_once_ =
+      std::make_unique<std::once_flag>();
 };
 
 /// Fills NaN slots with the closest non-NaN neighbour (ties prefer the

@@ -206,6 +206,43 @@ TEST(EngineTest, SessionValidation) {
                false);  // target set: pseudocause ok
 }
 
+TEST(EngineTest, PersistentExecutorAccumulatesStats) {
+  // The engine holds one executor for its lifetime: counters survive
+  // across Sql() calls, and last_exec_stats() isolates the latest query.
+  Engine engine(MakeStore(50, 11));
+  engine.RegisterStoreTable("tsdb", kRange);
+  ASSERT_TRUE(engine.Sql("SELECT COUNT(*) AS n FROM tsdb").ok());
+  ASSERT_TRUE(
+      engine.Sql("SELECT AVG(value) AS v FROM tsdb "
+                 "WHERE metric_name = 'disk_noise'")
+          .ok());
+  EXPECT_EQ(engine.exec_stats().tables_scanned, 2u);
+  EXPECT_EQ(engine.last_exec_stats().tables_scanned, 1u);
+  // The second scan was narrowed by metric pushdown: 50 rows, not 200.
+  EXPECT_EQ(engine.last_exec_stats().rows_scanned, 50u);
+  EXPECT_EQ(engine.exec_stats().rows_scanned, 250u);
+  EXPECT_FALSE(engine.last_exec_stats().operators.empty());
+  engine.ResetExecStats();
+  EXPECT_EQ(engine.exec_stats().tables_scanned, 0u);
+}
+
+TEST(EngineTest, StoreTablePushdownNarrowsScan) {
+  // A WHERE over the registered store table narrows the ScanRequest the
+  // store actually serves (time window and metric constraint).
+  Engine engine(MakeStore(100, 12));
+  engine.RegisterStoreTable("tsdb", kRange);
+  auto t = engine.Sql(
+      "SELECT COUNT(*) AS n FROM tsdb WHERE metric_name = 'disk_noise' "
+      "AND timestamp BETWEEN 600 AND 1200");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->At(0, 0).AsInt(), 11);  // minutes 10..20 inclusive
+  const tsdb::ScanStats& st = engine.store().scan_stats();
+  EXPECT_EQ(st.last_range.start, 600);
+  EXPECT_EQ(st.last_range.end, 1201);
+  EXPECT_EQ(st.series_matched, 1u);
+  EXPECT_EQ(st.points_returned, 11u);
+}
+
 TEST(EngineTest, SessionExplainRangeReported) {
   Engine engine(MakeStore(300, 10));
   Session session(&engine, kRange);
