@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
-# Tier-1 verification gate: Release build + full ctest, then an
-# ASan/UBSan Debug build + full ctest. Run from anywhere.
+# Tier-1 verification gate: Release build + full ctest + bench smoke, and
+# an ASan/UBSan Debug build + full ctest. Run from anywhere.
+#
+# Usage: check.sh [release|asan|all]   (default: all)
+# CI runs the two stages as separate jobs; `all` reproduces the full gate
+# locally.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+STAGE="${1:-all}"
 
 run_suite() {
   local build_dir="$1"
@@ -17,15 +22,21 @@ run_suite() {
   ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
 }
 
-run_suite "${ROOT}/build" -DCMAKE_BUILD_TYPE=Release
+if [[ "${STAGE}" == "release" || "${STAGE}" == "all" ]]; then
+  run_suite "${ROOT}/build" -DCMAKE_BUILD_TYPE=Release
 
-# The Release tree builds the bench binaries; smoke-run the SQL pipeline
-# bench (tiny scale, seed-vs-pipeline cross-validation) so it cannot rot.
-echo "=== bench smoke: sql_pipeline ==="
-"${ROOT}/build/bench/sql_pipeline" --smoke "${ROOT}/build/BENCH_sql_pipeline.smoke.json"
+  # The Release tree builds the bench binaries; smoke-run the SQL pipeline
+  # bench (tiny scale, seed-vs-pipeline cross-validation across the
+  # parallelism sweep) so it cannot rot.
+  echo "=== bench smoke: sql_pipeline ==="
+  "${ROOT}/build/bench/sql_pipeline" --smoke \
+    "${ROOT}/build/BENCH_sql_pipeline.smoke.json"
+fi
 
-run_suite "${ROOT}/build-asan" \
-  -DCMAKE_BUILD_TYPE=Debug \
-  -DEXPLAINIT_SANITIZE=ON
+if [[ "${STAGE}" == "asan" || "${STAGE}" == "all" ]]; then
+  run_suite "${ROOT}/build-asan" \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DEXPLAINIT_SANITIZE=ON
+fi
 
-echo "=== all checks passed ==="
+echo "=== checks passed (${STAGE}) ==="

@@ -139,7 +139,7 @@ Engine::Engine(std::shared_ptr<tsdb::SeriesStore> store, EngineOptions options)
     : store_(std::move(store)),
       options_(options),
       functions_(sql::FunctionRegistry::Builtins()),
-      executor_(&catalog_, &functions_) {}
+      executor_(&catalog_, &functions_, options.sql_parallelism) {}
 
 void Engine::RegisterStoreTable(const std::string& table_name,
                                 const TimeRange& range) {

@@ -24,7 +24,11 @@ namespace explainit::core {
 /// Engine-wide options.
 struct EngineOptions {
   size_t top_k = 20;        // paper default
-  size_t num_threads = 0;   // 0 = hardware concurrency
+  size_t num_threads = 0;   // ranking fan-out; 0 = hardware concurrency
+  /// Degree of parallelism of the SQL pipeline (morsel-parallel
+  /// Filter/Project/HashAggregate). 1 = serial streaming operators;
+  /// 0 = hardware concurrency.
+  size_t sql_parallelism = 0;
   int64_t grid_step_seconds = kSecondsPerMinute;
 };
 

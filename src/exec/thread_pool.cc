@@ -79,4 +79,24 @@ void ParallelFor(ThreadPool& pool, size_t n,
   pool.Wait();
 }
 
+void ParallelForChunks(ThreadPool& pool, size_t n, size_t min_grain,
+                       const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  min_grain = std::max<size_t>(1, min_grain);
+  if (n <= min_grain || pool.num_threads() <= 1) {
+    fn(0, n);
+    return;
+  }
+  const size_t chunks = std::min(pool.num_threads(), n / min_grain);
+  const size_t base = n / chunks;
+  const size_t extra = n % chunks;
+  size_t begin = 0;
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t end = begin + base + (c < extra ? 1 : 0);
+    pool.Submit([begin, end, &fn] { fn(begin, end); });
+    begin = end;
+  }
+  pool.Wait();
+}
+
 }  // namespace explainit::exec

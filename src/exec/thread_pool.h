@@ -31,6 +31,11 @@ class ThreadPool {
   /// the last Wait(), rethrows the first captured exception (later ones are
   /// dropped); the pool stays usable afterwards. Errors still pending at
   /// destruction are discarded.
+  ///
+  /// Submit/Wait are safe to call concurrently from multiple threads; the
+  /// in-flight count is pool-global, so a Wait() returns only once *every*
+  /// submitter's tasks have drained. Never Wait() from inside a task on
+  /// the same pool: the waiting task counts as in flight and deadlocks.
   void Wait();
 
   size_t num_threads() const { return workers_.size(); }
@@ -51,5 +56,13 @@ class ThreadPool {
 /// Runs fn(i) for i in [0, n) across the pool, blocking until done.
 void ParallelFor(ThreadPool& pool, size_t n,
                  const std::function<void(size_t)>& fn);
+
+/// Runs fn(begin, end) over contiguous chunks covering [0, n), blocking
+/// until done. At most pool.num_threads() chunks of at least `min_grain`
+/// items each; one inline call when n <= min_grain. Use instead of
+/// ParallelFor when n is large and per-item work is small: one task per
+/// chunk instead of one queue round-trip per item.
+void ParallelForChunks(ThreadPool& pool, size_t n, size_t min_grain,
+                       const std::function<void(size_t, size_t)>& fn);
 
 }  // namespace explainit::exec

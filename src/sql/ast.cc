@@ -67,8 +67,8 @@ std::string Expr::ToString() const {
       return out + ")";
     }
     case ExprKind::kBetween:
-      return left->ToString() + " BETWEEN " + between_lo->ToString() +
-             " AND " + between_hi->ToString();
+      return left->ToString() + (negated ? " NOT BETWEEN " : " BETWEEN ") +
+             between_lo->ToString() + " AND " + between_hi->ToString();
     case ExprKind::kIsNull:
       return left->ToString() + (negated ? " IS NOT NULL" : " IS NULL");
     case ExprKind::kCase: {
@@ -130,6 +130,71 @@ ExprPtr Expr::Clone() const {
     out->case_branches.push_back(std::move(nb));
   }
   if (case_else) out->case_else = case_else->Clone();
+  return out;
+}
+
+namespace {
+
+std::string TableRefToSql(const TableRef& ref) {
+  std::string out = ref.subquery != nullptr
+                        ? "(" + ToSql(*ref.subquery) + ")"
+                        : ref.table_name;
+  if (!ref.alias.empty()) out += " AS " + ref.alias;
+  return out;
+}
+
+}  // namespace
+
+std::string ToSql(const SelectStatement& stmt) {
+  std::string out = "SELECT ";
+  for (size_t i = 0; i < stmt.items.size(); ++i) {
+    if (i > 0) out += ", ";
+    const SelectItem& item = stmt.items[i];
+    if (item.is_star) {
+      out += "*";
+      continue;
+    }
+    out += item.expr->ToString();
+    if (!item.alias.empty()) out += " AS " + item.alias;
+  }
+  if (stmt.from.has_value()) {
+    out += " FROM " + TableRefToSql(*stmt.from);
+    for (const JoinClause& join : stmt.joins) {
+      switch (join.type) {
+        case JoinType::kInner: out += " JOIN "; break;
+        case JoinType::kLeft: out += " LEFT JOIN "; break;
+        case JoinType::kFullOuter: out += " FULL OUTER JOIN "; break;
+        case JoinType::kCross: out += " CROSS JOIN "; break;
+      }
+      out += TableRefToSql(join.right);
+      if (join.condition != nullptr) {
+        out += " ON " + join.condition->ToString();
+      }
+    }
+  }
+  if (stmt.where != nullptr) out += " WHERE " + stmt.where->ToString();
+  if (!stmt.group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < stmt.group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += stmt.group_by[i]->ToString();
+    }
+  }
+  if (stmt.having != nullptr) out += " HAVING " + stmt.having->ToString();
+  if (!stmt.order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < stmt.order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += stmt.order_by[i].expr->ToString();
+      if (!stmt.order_by[i].ascending) out += " DESC";
+    }
+  }
+  if (stmt.limit.has_value()) {
+    out += " LIMIT " + std::to_string(*stmt.limit);
+  }
+  for (const auto& next : stmt.union_all) {
+    out += " UNION ALL " + ToSql(*next);
+  }
   return out;
 }
 

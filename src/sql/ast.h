@@ -152,4 +152,9 @@ struct SelectStatement {
   std::vector<std::unique_ptr<SelectStatement>> union_all;
 };
 
+/// Reconstructs parseable SQL text for a statement. Printing is a
+/// fixpoint through the parser: Parse(ToSql(s)) prints back to the same
+/// text (the fuzz round-trip suite enforces this).
+std::string ToSql(const SelectStatement& stmt);
+
 }  // namespace explainit::sql

@@ -1,0 +1,27 @@
+// Shared execution context for one query pipeline: the degree of
+// parallelism the executor was configured with and the worker pool that
+// morsel-parallel operators (Filter/Project/HashAggregate) fan out over.
+//
+// parallelism == 1 (or a null context/pool) means the pipeline runs the
+// classic streaming operators; > 1 switches eligible operators to their
+// sharded paths. Shard boundaries depend only on (row count, parallelism),
+// never on scheduling, so a given parallelism level is deterministic.
+#pragma once
+
+#include <cstddef>
+
+#include "exec/thread_pool.h"
+
+namespace explainit::sql {
+
+struct ExecContext {
+  /// Degree of parallelism operators shard to. 1 = serial pipeline.
+  size_t parallelism = 1;
+  /// Worker pool for sharded execution; owned by the sql::Executor.
+  /// Non-null whenever parallelism > 1.
+  exec::ThreadPool* pool = nullptr;
+
+  bool parallel() const { return parallelism > 1 && pool != nullptr; }
+};
+
+}  // namespace explainit::sql

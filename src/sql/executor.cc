@@ -1,5 +1,8 @@
 #include "sql/executor.h"
 
+#include <algorithm>
+#include <thread>
+
 #include "sql/parser.h"
 #include "sql/planner.h"
 
@@ -7,13 +10,30 @@ namespace explainit::sql {
 
 using table::Table;
 
+void Executor::set_parallelism(size_t parallelism) {
+  if (parallelism == 0) {
+    parallelism = std::max(1u, std::thread::hardware_concurrency());
+  }
+  parallelism_ = parallelism;
+  stats_.parallelism = parallelism_;
+  last_stats_.parallelism = parallelism_;
+  if (pool_ != nullptr && pool_->num_threads() != parallelism_) {
+    pool_.reset();  // recreated lazily at the right size
+  }
+  ctx_ = ExecContext{parallelism_, pool_.get()};
+}
+
 Result<table::Table> Executor::Query(std::string_view sql) {
   EXPLAINIT_ASSIGN_OR_RETURN(auto stmt, Parse(sql));
   return Execute(*stmt);
 }
 
 Result<table::Table> Executor::Execute(const SelectStatement& stmt) {
-  Planner planner(catalog_, functions_);
+  if (parallelism_ > 1 && pool_ == nullptr) {
+    pool_ = std::make_unique<exec::ThreadPool>(parallelism_);
+    ctx_ = ExecContext{parallelism_, pool_.get()};
+  }
+  Planner planner(catalog_, functions_, &ctx_);
   EXPLAINIT_ASSIGN_OR_RETURN(auto root, planner.Plan(stmt));
   EXPLAINIT_RETURN_IF_ERROR(root->Open());
   Table out(root->output_schema());
@@ -25,6 +45,7 @@ Result<table::Table> Executor::Execute(const SelectStatement& stmt) {
   }
 
   last_stats_ = ExecStats{};
+  last_stats_.parallelism = parallelism_;
   root->AccumulateExecStatsTree(&last_stats_);
   last_stats_.rows_output = out.num_rows();
   root->CollectStats(&last_stats_.operators);

@@ -6,14 +6,23 @@
 // conditions execute as hash joins with the build (broadcast) side chosen
 // as the smaller input; non-equi conditions fall back to nested loops.
 // Time-range, metric and tag predicates push down into hint-aware
-// catalog providers (tsdb::SeriesStore scans).
+// catalog providers (tsdb::SeriesStore scans) — on both sides of joins.
+//
+// Parallelism: set_parallelism(n) switches Filter/Project/HashAggregate
+// to their morsel-parallel paths over an executor-owned worker pool
+// (n == 1 keeps the streaming single-threaded operators; n == 0 means
+// hardware concurrency). Results are identical up to floating-point
+// summation order, which the differential test suite pins down.
 #pragma once
 
+#include <memory>
 #include <string_view>
 
 #include "common/result.h"
+#include "exec/thread_pool.h"
 #include "sql/ast.h"
 #include "sql/catalog.h"
+#include "sql/exec_context.h"
 #include "sql/functions.h"
 #include "sql/operators/operator.h"
 #include "table/table.h"
@@ -25,8 +34,17 @@ namespace explainit::sql {
 /// across queries, and last_stats() breaks down the most recent one.
 class Executor {
  public:
-  Executor(const Catalog* catalog, const FunctionRegistry* functions)
-      : catalog_(catalog), functions_(functions) {}
+  Executor(const Catalog* catalog, const FunctionRegistry* functions,
+           size_t parallelism = 1)
+      : catalog_(catalog), functions_(functions) {
+    set_parallelism(parallelism);
+  }
+
+  /// Sets the degree of parallelism for subsequent queries. 1 = serial
+  /// streaming pipeline; 0 = hardware concurrency. The worker pool is
+  /// created lazily on the first parallel query.
+  void set_parallelism(size_t parallelism);
+  size_t parallelism() const { return parallelism_; }
 
   /// Parses and executes `sql`.
   Result<table::Table> Query(std::string_view sql);
@@ -42,13 +60,19 @@ class Executor {
   const ExecStats& last_stats() const { return last_stats_; }
 
   void ResetStats() {
+    const size_t p = parallelism_;
     stats_ = ExecStats{};
     last_stats_ = ExecStats{};
+    stats_.parallelism = p;
+    last_stats_.parallelism = p;
   }
 
  private:
   const Catalog* catalog_;
   const FunctionRegistry* functions_;
+  size_t parallelism_ = 1;
+  std::unique_ptr<exec::ThreadPool> pool_;
+  ExecContext ctx_;
   ExecStats stats_;       // cumulative
   ExecStats last_stats_;  // most recent query
 };

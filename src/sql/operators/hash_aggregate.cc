@@ -80,18 +80,21 @@ Result<Value> ComputeAggregate(const Expr& agg, const Evaluator& ev,
   return Status::Unimplemented("aggregate not implemented: " + name);
 }
 
-// Evaluates a select-item expression in group context: aggregate calls are
-// computed over `rows`; everything else is evaluated at the first row.
-Result<Value> EvalInGroup(const Expr& e, const Evaluator& ev,
-                          const std::vector<size_t>& rows) {
+/// Computes one aggregate node's value in group context.
+using AggEvalFn = std::function<Result<Value>(const Expr&)>;
+
+// Evaluates a select-item expression in group context: aggregate calls go
+// through `agg_eval`; everything else is evaluated at the representative
+// row. Mixed scalar-of-aggregate (e.g. AVG(x) / AVG(y) or AVG(x) + 1)
+// recursively rebuilds around aggregate leaves.
+Result<Value> EvalGroupExpr(const Expr& e, const Evaluator& ev,
+                            size_t rep_row, const AggEvalFn& agg_eval) {
   if (e.kind == ExprKind::kFunction && IsAggregateFunction(e.function_name)) {
-    return ComputeAggregate(e, ev, rows);
+    return agg_eval(e);
   }
   if (!e.ContainsAggregate()) {
-    return ev.Eval(e, rows[0]);
+    return ev.Eval(e, rep_row);
   }
-  // Mixed scalar-of-aggregate (e.g. AVG(x) / AVG(y) or AVG(x) + 1):
-  // recursively rebuild around aggregate leaves.
   Expr copy;
   copy.kind = e.kind;
   copy.binary_op = e.binary_op;
@@ -103,7 +106,8 @@ Result<Value> EvalInGroup(const Expr& e, const Evaluator& ev,
   copy.literal = e.literal;
   auto lift = [&](const ExprPtr& child) -> Result<ExprPtr> {
     if (child == nullptr) return ExprPtr{};
-    EXPLAINIT_ASSIGN_OR_RETURN(Value v, EvalInGroup(*child, ev, rows));
+    EXPLAINIT_ASSIGN_OR_RETURN(Value v,
+                               EvalGroupExpr(*child, ev, rep_row, agg_eval));
     return MakeLiteral(std::move(v));
   };
   EXPLAINIT_ASSIGN_OR_RETURN(copy.left, lift(e.left));
@@ -125,15 +129,63 @@ Result<Value> EvalInGroup(const Expr& e, const Evaluator& ev,
     EXPLAINIT_ASSIGN_OR_RETURN(nb.result, lift(b.result));
     copy.case_branches.push_back(std::move(nb));
   }
-  return ev.Eval(copy, rows[0]);
+  return ev.Eval(copy, rep_row);
+}
+
+// Evaluates a select-item expression over the rows of one group.
+Result<Value> EvalInGroup(const Expr& e, const Evaluator& ev,
+                          const std::vector<size_t>& rows) {
+  return EvalGroupExpr(e, ev, rows[0], [&](const Expr& agg) {
+    return ComputeAggregate(agg, ev, rows);
+  });
+}
+
+/// Collects the topmost aggregate call nodes of an expression tree (the
+/// granularity EvalGroupExpr substitutes at; nested aggregates inside an
+/// argument are the serial path's runtime error to report).
+void CollectTopAggregates(const Expr& e, std::vector<const Expr*>* out) {
+  if (e.kind == ExprKind::kFunction && IsAggregateFunction(e.function_name)) {
+    out->push_back(&e);
+    return;
+  }
+  auto walk = [&](const ExprPtr& c) {
+    if (c != nullptr) CollectTopAggregates(*c, out);
+  };
+  walk(e.left);
+  walk(e.right);
+  walk(e.between_lo);
+  walk(e.between_hi);
+  walk(e.case_else);
+  for (const ExprPtr& a : e.args) walk(a);
+  for (const ExprPtr& a : e.list) walk(a);
+  for (const CaseBranch& b : e.case_branches) {
+    walk(b.condition);
+    walk(b.result);
+  }
+}
+
+/// True when the aggregate call decomposes into flat partial states whose
+/// merged finalisation matches ComputeAggregate exactly.
+bool IsDecomposable(const Expr& agg) {
+  const std::string& n = agg.function_name;
+  if (n == "COUNT") {
+    return agg.args.size() == 1 && agg.args[0] != nullptr;
+  }
+  if (n == "SUM" || n == "AVG" || n == "MIN" || n == "MAX") {
+    return !agg.args.empty() && agg.args[0] != nullptr &&
+           agg.args[0]->kind != ExprKind::kStar;
+  }
+  return false;
 }
 
 }  // namespace
 
 HashAggregateOperator::HashAggregateOperator(
     std::unique_ptr<Operator> input, const SelectStatement* stmt,
-    const FunctionRegistry* functions)
-    : stmt_(stmt), functions_(functions) {
+    const FunctionRegistry* functions, const ExecContext* ctx,
+    bool retain_input)
+    : stmt_(stmt), functions_(functions), ctx_(ctx),
+      retain_input_(retain_input) {
   input_ = AddChild(std::move(input));
 }
 
@@ -144,6 +196,47 @@ Status HashAggregateOperator::OpenImpl() {
       return Status::InvalidArgument("SELECT * with GROUP BY is not allowed");
     }
     schema_.AddField(Field{ItemName(item), DataType::kNull});
+    if (ContainsLag(*item.expr)) lag_anywhere_ = true;
+    CollectTopAggregates(*item.expr, &agg_nodes_);
+  }
+  for (const ExprPtr& g : stmt_->group_by) {
+    if (ContainsLag(*g)) lag_anywhere_ = true;
+  }
+  if (stmt_->having != nullptr) {
+    if (ContainsLag(*stmt_->having)) lag_anywhere_ = true;
+    CollectTopAggregates(*stmt_->having, &agg_nodes_);
+  }
+  partial_ok_ = std::all_of(
+      agg_nodes_.begin(), agg_nodes_.end(),
+      [](const Expr* a) { return IsDecomposable(*a); });
+  for (size_t i = 0; i < agg_nodes_.size(); ++i) slot_of_[agg_nodes_[i]] = i;
+
+  // Kernel eligibility: group keys and aggregate arguments that are all
+  // plain columns / tag-subscripts accumulate without the Evaluator.
+  kernel_ok_ = partial_ok_;
+  for (const ExprPtr& g : stmt_->group_by) {
+    auto simple = CompileSimpleExpr(*g);
+    if (!simple.has_value()) {
+      kernel_ok_ = false;
+      break;
+    }
+    simple_keys_.push_back(std::move(*simple));
+  }
+  if (kernel_ok_) {
+    for (const Expr* node : agg_nodes_) {
+      SlotArg arg;
+      if (node->args[0]->kind == ExprKind::kStar) {
+        arg.star = true;
+      } else {
+        auto simple = CompileSimpleExpr(*node->args[0]);
+        if (!simple.has_value()) {
+          kernel_ok_ = false;
+          break;
+        }
+        arg.expr = std::move(*simple);
+      }
+      simple_args_.push_back(std::move(arg));
+    }
   }
   acc_ = table::Table(input_->output_schema());
   return Status::OK();
@@ -155,11 +248,583 @@ Result<ColumnBatch> HashAggregateOperator::NextImpl(bool* eof) {
     return ColumnBatch{};
   }
   done_ = true;
+  const bool parallel =
+      ctx_ != nullptr && ctx_->parallel() && !lag_anywhere_;
+  if (!parallel) return SerialNext(eof);
+  if (partial_ok_) return PartialNext(eof);
+  return IndexNext(eof);
+}
 
+table::ColumnBatch HashAggregateOperator::EmitRows(
+    std::vector<std::vector<Value>> cols, size_t rows) {
+  ColumnBatch out(&schema_, rows);
+  for (auto& col : cols) out.AddOwnedColumn(std::move(col));
+  return out;
+}
+
+Status HashAggregateOperator::MaterializeInputShards() {
+  EXPLAINIT_RETURN_IF_ERROR(Drain(input_, &acc_));
+  retained_ptr_ = &acc_;
+  morsels_.clear();
+  for (const RowRange& range :
+       ShardRows(acc_.num_rows(), ctx_->parallelism)) {
+    if (range.size() == 0) continue;
+    morsels_.push_back(
+        ColumnBatch::View(acc_, range.begin, range.size()));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Parallel partial-aggregation mode
+// ---------------------------------------------------------------------------
+
+Status HashAggregateOperator::PartialAccumulateGeneric(
+    const ColumnBatch& batch, uint32_t batch_index, ShardGroups* local) {
+  const size_t num_slots = agg_nodes_.size();
+  Evaluator ev(&batch, functions_);
+  std::vector<Value> key;
+  std::string encoded;
+  for (size_t r = 0; r < batch.num_rows(); ++r) {
+    if (stmt_->group_by.empty()) {
+      encoded.clear();
+    } else if (stmt_->group_by.size() == 1) {
+      // Single key: the bare rendered value, exactly as the kernel path
+      // encodes it (the two must agree group-for-group).
+      EXPLAINIT_ASSIGN_OR_RETURN(Value v, ev.Eval(*stmt_->group_by[0], r));
+      encoded = v.ToString();
+    } else {
+      key.clear();
+      for (const ExprPtr& g : stmt_->group_by) {
+        EXPLAINIT_ASSIGN_OR_RETURN(Value v, ev.Eval(*g, r));
+        key.push_back(std::move(v));
+      }
+      encoded = EncodeKey(key, nullptr);
+    }
+    auto [it, inserted] =
+        local->index.try_emplace(encoded, local->groups.size());
+    if (inserted) {
+      local->order.push_back(&it->first);
+      GroupPartial g;
+      g.first_batch = batch_index;
+      g.first_row = static_cast<uint32_t>(r);
+      local->groups.push_back(g);
+      local->slots.resize(local->slots.size() + num_slots);
+    }
+    GroupPartial& g = local->groups[it->second];
+    PartialState* slots = local->slots.data() + it->second * num_slots;
+    ++g.rows;
+    for (size_t i = 0; i < num_slots; ++i) {
+      const Expr& agg = *agg_nodes_[i];
+      if (agg.args[0]->kind == ExprKind::kStar) continue;
+      PartialState& st = slots[i];
+      if (!st.error.ok()) continue;
+      Result<Value> rv = ev.Eval(*agg.args[0], r);
+      if (!rv.ok()) {
+        // Deferred like the serial path: only surfaces if the group
+        // survives HAVING and the slot is consulted.
+        st.error = rv.status();
+        continue;
+      }
+      const Value v = std::move(rv).value();
+      if (v.is_null()) continue;
+      st.Accumulate(v.AsDouble());
+    }
+  }
+  return Status::OK();
+}
+
+Result<bool> HashAggregateOperator::PartialAccumulateKernel(
+    const ColumnBatch& batch, uint32_t batch_index, ShardGroups* local) {
+  // Bind every accessor against this batch's schema; any miss (unknown
+  // column) falls back to the generic path, which reports the error with
+  // the Evaluator's wording.
+  Evaluator schema_ev(&batch.schema(), functions_);
+  std::vector<BoundSimpleExpr> keys;
+  keys.reserve(simple_keys_.size());
+  for (const SimpleExpr& k : simple_keys_) {
+    auto bound = BindSimpleExpr(k, schema_ev);
+    if (!bound.ok()) return false;
+    keys.push_back(std::move(bound).value());
+  }
+  struct BoundArg {
+    bool star = false;
+    BoundSimpleExpr expr;
+  };
+  std::vector<BoundArg> args;
+  args.reserve(simple_args_.size());
+  for (const SlotArg& a : simple_args_) {
+    BoundArg bound;
+    bound.star = a.star;
+    if (!a.star) {
+      auto b = BindSimpleExpr(a.expr, schema_ev);
+      if (!b.ok()) return false;
+      bound.expr = std::move(b).value();
+    }
+    args.push_back(std::move(bound));
+  }
+
+  const size_t num_slots = args.size();
+  const bool single_key = keys.size() == 1;
+  std::string keybuf;
+  for (size_t r = 0; r < batch.num_rows(); ++r) {
+    // Build the group key as a string_view over reused storage; only a
+    // first-seen key pays a std::string construction.
+    std::string_view key_view;
+    if (keys.empty()) {
+      key_view = std::string_view{};
+    } else if (single_key) {
+      const Value* cell = nullptr;
+      EXPLAINIT_RETURN_IF_ERROR(keys[0].Get(batch, r, &cell));
+      const std::string* s = cell->TryString();
+      if (s != nullptr) {
+        key_view = *s;
+      } else {
+        keybuf = cell->ToString();
+        key_view = keybuf;
+      }
+    } else {
+      keybuf.clear();
+      for (const BoundSimpleExpr& k : keys) {
+        const Value* cell = nullptr;
+        EXPLAINIT_RETURN_IF_ERROR(k.Get(batch, r, &cell));
+        const std::string* s = cell->TryString();
+        if (s != nullptr) {
+          keybuf += *s;
+        } else {
+          keybuf += cell->ToString();
+        }
+        keybuf += '\x1f';
+      }
+      key_view = keybuf;
+    }
+    auto it = local->index.find(key_view);
+    if (it == local->index.end()) {
+      it = local->index
+               .emplace(std::string(key_view), local->groups.size())
+               .first;
+      local->order.push_back(&it->first);
+      GroupPartial g;
+      g.first_batch = batch_index;
+      g.first_row = static_cast<uint32_t>(r);
+      local->groups.push_back(g);
+      local->slots.resize(local->slots.size() + num_slots);
+    }
+    GroupPartial& g = local->groups[it->second];
+    PartialState* slots = local->slots.data() + it->second * num_slots;
+    ++g.rows;
+    for (size_t i = 0; i < num_slots; ++i) {
+      if (args[i].star) continue;
+      PartialState& st = slots[i];
+      if (!st.error.ok()) continue;
+      const Value* cell = nullptr;
+      Status s = args[i].expr.Get(batch, r, &cell);
+      if (!s.ok()) {
+        st.error = std::move(s);  // deferred, as in the generic path
+        continue;
+      }
+      if (cell->is_null()) continue;
+      st.Accumulate(cell->AsDouble());
+    }
+  }
+  return true;
+}
+
+Result<ColumnBatch> HashAggregateOperator::PartialNext(bool* eof) {
+  // Morsel source: buffer the child's own batches when their storage is
+  // stable (and the pre-aggregation rows need not be retained), else
+  // drain once and shard the materialised rows.
+  if (input_->StableBatches() && !retain_input_) {
+    bool child_eof = false;
+    while (true) {
+      EXPLAINIT_ASSIGN_OR_RETURN(ColumnBatch batch, input_->Next(&child_eof));
+      if (child_eof) break;
+      if (batch.num_rows() > 0) morsels_.push_back(std::move(batch));
+    }
+  } else {
+    EXPLAINIT_RETURN_IF_ERROR(MaterializeInputShards());
+  }
+  size_t total_rows = 0;
+  for (const ColumnBatch& m : morsels_) total_rows += m.num_rows();
+
+  if (total_rows == 0 && !stmt_->group_by.empty()) {
+    *eof = false;
+    stats_.detail = "0 groups (partial)";
+    return EmitRows(std::vector<std::vector<Value>>(schema_.num_fields()), 0);
+  }
+  if (total_rows == 0) {
+    // Global aggregate over an empty input: aggregates yield NULL/0.
+    std::vector<std::vector<Value>> cols(schema_.num_fields());
+    for (size_t i = 0; i < stmt_->items.size(); ++i) {
+      const SelectItem& item = stmt_->items[i];
+      if (item.expr->kind == ExprKind::kFunction &&
+          item.expr->function_name == "COUNT") {
+        cols[i].push_back(Value::Int(0));
+      } else {
+        cols[i].push_back(Value::Null());
+      }
+    }
+    *eof = false;
+    stats_.detail = "1 group (partial)";
+    return EmitRows(std::move(cols), 1);
+  }
+
+  // Assign contiguous batch runs to shards, balancing by row count. The
+  // assignment depends only on the batch layout and the parallelism knob,
+  // so merges happen in a deterministic order.
+  const size_t want_shards = std::max<size_t>(
+      1, std::min<size_t>(ctx_->parallelism,
+                          std::max<size_t>(1, total_rows / 1024)));
+  std::vector<std::pair<size_t, size_t>> runs;  // [batch_begin, batch_end)
+  {
+    size_t cum = 0;
+    size_t start = 0;
+    for (size_t b = 0; b < morsels_.size(); ++b) {
+      cum += morsels_[b].num_rows();
+      if (cum * want_shards >= total_rows * (runs.size() + 1) ||
+          b + 1 == morsels_.size()) {
+        runs.emplace_back(start, b + 1);
+        start = b + 1;
+      }
+    }
+  }
+
+  // Phase 1: per-shard grouping with flat partial states.
+  std::vector<ShardGroups> shards(runs.size());
+  EXPLAINIT_RETURN_IF_ERROR(RunSharded(
+      ctx_, runs.size(), [&](size_t s) -> Status {
+        ShardGroups& local = shards[s];
+        size_t run_rows = 0;
+        for (size_t b = runs[s].first; b < runs[s].second; ++b) {
+          run_rows += morsels_[b].num_rows();
+        }
+        // Upper bound on this shard's group count: no rehash mid-shard.
+        local.index.reserve(run_rows);
+        for (size_t b = runs[s].first; b < runs[s].second; ++b) {
+          const ColumnBatch& batch = morsels_[b];
+          bool done = false;
+          if (kernel_ok_) {
+            EXPLAINIT_ASSIGN_OR_RETURN(
+                done, PartialAccumulateKernel(
+                          batch, static_cast<uint32_t>(b), &local));
+          }
+          if (!done) {
+            EXPLAINIT_RETURN_IF_ERROR(PartialAccumulateGeneric(
+                batch, static_cast<uint32_t>(b), &local));
+          }
+        }
+        return Status::OK();
+      }));
+
+  // Merge stage: combine per-shard partials in shard order (shard order
+  // is row order, so first-appearance order and first-error-wins both
+  // match the serial pipeline).
+  const size_t num_slots = agg_nodes_.size();
+  size_t total_groups = 0;
+  for (const ShardGroups& local : shards) total_groups += local.groups.size();
+  ShardGroups merged;
+  for (ShardGroups& local : shards) {
+    if (merged.groups.empty()) {
+      merged = std::move(local);
+      merged.index.reserve(total_groups);
+      continue;
+    }
+    for (size_t li = 0; li < local.groups.size(); ++li) {
+      const GroupPartial& lg = local.groups[li];
+      const PartialState* lslots = local.slots.data() + li * num_slots;
+      auto [it, inserted] =
+          merged.index.try_emplace(*local.order[li], merged.groups.size());
+      if (inserted) {
+        merged.order.push_back(&it->first);
+        merged.groups.push_back(lg);
+        merged.slots.insert(merged.slots.end(), lslots,
+                            lslots + num_slots);
+        continue;
+      }
+      GroupPartial& g = merged.groups[it->second];
+      PartialState* slots = merged.slots.data() + it->second * num_slots;
+      g.rows += lg.rows;
+      for (size_t i = 0; i < num_slots; ++i) {
+        const PartialState& a = lslots[i];
+        PartialState& st = slots[i];
+        if (st.error.ok() && !a.error.ok()) st.error = a.error;
+        if (a.non_null == 0) continue;
+        if (st.non_null == 0) {
+          st.min = a.min;
+          st.max = a.max;
+        } else {
+          st.min = std::min(st.min, a.min);
+          st.max = std::max(st.max, a.max);
+        }
+        st.sum += a.sum;
+        st.non_null += a.non_null;
+      }
+    }
+  }
+
+  // Finalisation: substitute merged partials for the aggregate nodes and
+  // evaluate HAVING + the select list per group, in parallel over groups.
+  // Items that are exactly one aggregate call or one simple column /
+  // tag-subscript bypass the expression walk entirely (when every morsel
+  // shares a schema the simple accessors bind once, up front).
+  const size_t num_groups = merged.groups.size();
+  std::vector<char> keep(num_groups, 1);
+  std::vector<std::vector<Value>> values(schema_.num_fields());
+  for (auto& col : values) col.resize(num_groups);
+
+  auto finalize_slot = [&](const Expr& agg, const GroupPartial& g,
+                           const PartialState& st) -> Result<Value> {
+    if (!st.error.ok()) return st.error;
+    const std::string& n = agg.function_name;
+    if (n == "COUNT") {
+      return agg.args[0]->kind == ExprKind::kStar
+                 ? Value::Int(static_cast<int64_t>(g.rows))
+                 : Value::Int(st.non_null);
+    }
+    if (st.non_null == 0) return Value::Null();
+    if (n == "SUM") return Value::Double(st.sum);
+    if (n == "AVG") {
+      return Value::Double(st.sum / static_cast<double>(st.non_null));
+    }
+    if (n == "MIN") return Value::Double(st.min);
+    return Value::Double(st.max);  // MAX
+  };
+
+  bool uniform_schema = true;
+  for (const ColumnBatch& m : morsels_) {
+    if (&m.schema() != &morsels_[0].schema()) {
+      uniform_schema = false;
+      break;
+    }
+  }
+  struct ItemPlan {
+    enum class Kind { kAggSlot, kSimple, kGeneric } kind = Kind::kGeneric;
+    size_t slot = 0;
+    BoundSimpleExpr bound;
+  };
+  std::vector<ItemPlan> plans(stmt_->items.size());
+  for (size_t i = 0; i < stmt_->items.size(); ++i) {
+    const Expr& e = *stmt_->items[i].expr;
+    ItemPlan& plan = plans[i];
+    auto slot_it = slot_of_.find(&e);
+    if (slot_it != slot_of_.end()) {
+      plan.kind = ItemPlan::Kind::kAggSlot;
+      plan.slot = slot_it->second;
+      continue;
+    }
+    if (!uniform_schema || e.ContainsAggregate()) continue;
+    auto simple = CompileSimpleExpr(e);
+    if (!simple.has_value()) continue;
+    Evaluator schema_ev(&morsels_[0].schema(), functions_);
+    auto bound = BindSimpleExpr(*simple, schema_ev);
+    if (!bound.ok()) continue;
+    plan.kind = ItemPlan::Kind::kSimple;
+    plan.bound = std::move(bound).value();
+  }
+
+  const std::vector<RowRange> group_shards =
+      ShardRows(num_groups, ctx_->parallelism);
+  EXPLAINIT_RETURN_IF_ERROR(RunSharded(
+      ctx_, group_shards.size(), [&](size_t s) -> Status {
+        for (size_t gi = group_shards[s].begin; gi < group_shards[s].end;
+             ++gi) {
+          const GroupPartial& g = merged.groups[gi];
+          const PartialState* slots =
+              merged.slots.data() + gi * num_slots;
+          AggEvalFn agg_eval = [&](const Expr& agg) -> Result<Value> {
+            auto it = slot_of_.find(&agg);
+            if (it == slot_of_.end()) {
+              return Status::Internal("unregistered aggregate node");
+            }
+            return finalize_slot(agg, g, slots[it->second]);
+          };
+          if (stmt_->having != nullptr) {
+            Evaluator ev(&morsels_[g.first_batch], functions_);
+            EXPLAINIT_ASSIGN_OR_RETURN(
+                Value v, EvalGroupExpr(*stmt_->having, ev, g.first_row,
+                                       agg_eval));
+            if (v.is_null() || !v.AsBool()) {
+              keep[gi] = 0;
+              continue;
+            }
+          }
+          for (size_t i = 0; i < stmt_->items.size(); ++i) {
+            const ItemPlan& plan = plans[i];
+            if (plan.kind == ItemPlan::Kind::kAggSlot) {
+              EXPLAINIT_ASSIGN_OR_RETURN(
+                  Value v, finalize_slot(*stmt_->items[i].expr, g,
+                                         slots[plan.slot]));
+              values[i][gi] = std::move(v);
+              continue;
+            }
+            if (plan.kind == ItemPlan::Kind::kSimple) {
+              const Value* cell = nullptr;
+              EXPLAINIT_RETURN_IF_ERROR(plan.bound.Get(
+                  morsels_[g.first_batch], g.first_row, &cell));
+              values[i][gi] = *cell;
+              continue;
+            }
+            Evaluator ev(&morsels_[g.first_batch], functions_);
+            EXPLAINIT_ASSIGN_OR_RETURN(
+                Value v, EvalGroupExpr(*stmt_->items[i].expr, ev,
+                                       g.first_row, agg_eval));
+            values[i][gi] = std::move(v);
+          }
+        }
+        return Status::OK();
+      }));
+
+  *eof = false;
+  stats_.detail = std::to_string(num_groups) + " groups (partial, " +
+                  std::to_string(runs.size()) + " shards)";
+  if (stmt_->having == nullptr) {
+    // Nothing can drop a group: the per-group arrays are the output.
+    return EmitRows(std::move(values), num_groups);
+  }
+  // Compact kept groups in first-appearance order.
+  std::vector<std::vector<Value>> cols(schema_.num_fields());
+  size_t out_rows = 0;
+  for (size_t gi = 0; gi < num_groups; ++gi) {
+    if (!keep[gi]) continue;
+    for (size_t c = 0; c < cols.size(); ++c) {
+      cols[c].push_back(std::move(values[c][gi]));
+    }
+    ++out_rows;
+  }
+  return EmitRows(std::move(cols), out_rows);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel index mode (non-decomposable aggregates)
+// ---------------------------------------------------------------------------
+
+Result<ColumnBatch> HashAggregateOperator::IndexNext(bool* eof) {
+  EXPLAINIT_RETURN_IF_ERROR(MaterializeInputShards());
+  const std::vector<RowRange> shards =
+      ShardRows(acc_.num_rows(), ctx_->parallelism);
+
+  // Phase 1: per-shard grouping of row indices (ascending within a
+  // shard); the order vector borrows the map's node-stable keys.
+  struct ShardIndex {
+    std::unordered_map<std::string, std::vector<size_t>> groups;
+    std::vector<const std::string*> order;
+  };
+  std::vector<ShardIndex> locals(shards.size());
+  if (!stmt_->group_by.empty()) {
+    EXPLAINIT_RETURN_IF_ERROR(RunSharded(
+        ctx_, shards.size(), [&](size_t s) -> Status {
+          ShardIndex& local = locals[s];
+          Evaluator ev(&acc_, functions_);
+          std::vector<Value> key;
+          for (size_t r = shards[s].begin; r < shards[s].end; ++r) {
+            key.clear();
+            for (const ExprPtr& g : stmt_->group_by) {
+              EXPLAINIT_ASSIGN_OR_RETURN(Value v, ev.Eval(*g, r));
+              key.push_back(std::move(v));
+            }
+            auto [it, inserted] =
+                local.groups.try_emplace(EncodeKey(key, nullptr));
+            if (inserted) local.order.push_back(&it->first);
+            it->second.push_back(r);
+          }
+          return Status::OK();
+        }));
+    // Merge in shard order: concatenation keeps row indices ascending and
+    // first-appearance order identical to the serial pipeline.
+    for (ShardIndex& local : locals) {
+      for (const std::string* k : local.order) {
+        std::vector<size_t>& rows = local.groups.at(*k);
+        auto [it, inserted] = groups_.try_emplace(*k);
+        if (inserted) {
+          group_order_.push_back(*k);
+          it->second = std::move(rows);
+        } else {
+          it->second.insert(it->second.end(), rows.begin(), rows.end());
+        }
+      }
+    }
+  } else {
+    std::vector<size_t> all(acc_.num_rows());
+    std::iota(all.begin(), all.end(), size_t{0});
+    groups_[""] = std::move(all);
+    group_order_.push_back("");
+  }
+
+  // Phase 2: the serial per-group evaluation, fanned out across groups.
+  Evaluator ev(&acc_, functions_);
+  const size_t num_groups = group_order_.size();
+  std::vector<char> keep(num_groups, 1);
+  std::vector<std::vector<Value>> values(schema_.num_fields());
+  for (auto& col : values) col.resize(num_groups);
+  const std::vector<RowRange> group_shards =
+      ShardRows(num_groups, ctx_->parallelism);
+  EXPLAINIT_RETURN_IF_ERROR(RunSharded(
+      ctx_, group_shards.size(), [&](size_t s) -> Status {
+        for (size_t gi = group_shards[s].begin; gi < group_shards[s].end;
+             ++gi) {
+          const std::vector<size_t>& rows = groups_.at(group_order_[gi]);
+          if (rows.empty() && !stmt_->group_by.empty()) {
+            keep[gi] = 0;
+            continue;
+          }
+          if (stmt_->having != nullptr && !rows.empty()) {
+            EXPLAINIT_ASSIGN_OR_RETURN(
+                Value v, EvalInGroup(*stmt_->having, ev, rows));
+            if (v.is_null() || !v.AsBool()) {
+              keep[gi] = 0;
+              continue;
+            }
+          }
+          if (rows.empty()) {
+            // Global aggregate over an empty table: NULL/0 per item.
+            for (size_t i = 0; i < stmt_->items.size(); ++i) {
+              const SelectItem& item = stmt_->items[i];
+              values[i][gi] =
+                  item.expr->kind == ExprKind::kFunction &&
+                          item.expr->function_name == "COUNT"
+                      ? Value::Int(0)
+                      : Value::Null();
+            }
+            continue;
+          }
+          for (size_t i = 0; i < stmt_->items.size(); ++i) {
+            EXPLAINIT_ASSIGN_OR_RETURN(
+                Value v, EvalInGroup(*stmt_->items[i].expr, ev, rows));
+            values[i][gi] = std::move(v);
+          }
+        }
+        return Status::OK();
+      }));
+
+  *eof = false;
+  stats_.detail = std::to_string(num_groups) + " groups (" +
+                  std::to_string(shards.size()) + " shards)";
+  if (stmt_->having == nullptr && !stmt_->group_by.empty()) {
+    // No HAVING and every group holds at least one row: nothing drops.
+    return EmitRows(std::move(values), num_groups);
+  }
+  std::vector<std::vector<Value>> cols(schema_.num_fields());
+  size_t out_rows = 0;
+  for (size_t gi = 0; gi < num_groups; ++gi) {
+    if (!keep[gi]) continue;
+    for (size_t c = 0; c < cols.size(); ++c) {
+      cols[c].push_back(std::move(values[c][gi]));
+    }
+    ++out_rows;
+  }
+  return EmitRows(std::move(cols), out_rows);
+}
+
+// ---------------------------------------------------------------------------
+// Serial mode (parallelism 1, or LAG anywhere in the grouped stages)
+// ---------------------------------------------------------------------------
+
+Result<ColumnBatch> HashAggregateOperator::SerialNext(bool* eof) {
   // Phase 1: consume batches, grouping rows incrementally. Keys are
   // evaluated against each batch; row payloads accumulate column-wise.
   // Keys containing LAG read neighbouring rows, so they are evaluated
   // only after the whole input has accumulated.
+  retained_ptr_ = &acc_;
   bool lag_in_keys = false;
   for (const ExprPtr& g : stmt_->group_by) {
     if (ContainsLag(*g)) lag_in_keys = true;
@@ -243,11 +908,9 @@ Result<ColumnBatch> HashAggregateOperator::NextImpl(bool* eof) {
     }
     ++out_rows;
   }
-  ColumnBatch out(&schema_, out_rows);
-  for (auto& col : out_cols) out.AddOwnedColumn(std::move(col));
   *eof = false;
   stats_.detail = std::to_string(group_order_.size()) + " groups";
-  return out;
+  return EmitRows(std::move(out_cols), out_rows);
 }
 
 }  // namespace explainit::sql

@@ -2,12 +2,35 @@
 // are evaluated vectorised per batch), then per-group evaluation of the
 // select list / HAVING. A pipeline breaker: groups can only close once
 // the input is exhausted.
+//
+// With a parallel ExecContext the operator is morsel-parallel. Two modes:
+//
+//  * partial mode — every aggregate call decomposes (COUNT/SUM/MIN/MAX/
+//    AVG): workers build per-shard hash tables of flat partial states
+//    (sum, non-null count, min, max, row count), a merge stage combines
+//    partials in shard order (so a given parallelism level is
+//    deterministic), and finalisation substitutes merged values for the
+//    aggregate nodes. Input morsels are the child's own batches when the
+//    child emits stable storage (no re-materialisation), else row shards
+//    of a one-time drain.
+//  * index mode — non-decomposable aggregates (STDDEV, PERCENTILE, or
+//    malformed calls whose error messages the serial path owns): workers
+//    group row indices per shard, the merge concatenates them in shard
+//    order (preserving ascending row order), and the serial per-group
+//    evaluation runs in parallel across groups.
+//
+// Stages whose expressions contain LAG stay on the serial materialised
+// path: LAG reads neighbouring rows of the whole relation.
 #pragma once
 
+#include <algorithm>
+#include <optional>
+#include <string_view>
 #include <unordered_map>
 
 #include "sql/evaluator.h"
 #include "sql/operators/operator.h"
+#include "sql/operators/simple_expr.h"
 
 namespace explainit::sql {
 
@@ -15,29 +38,129 @@ class HashAggregateOperator : public Operator {
  public:
   HashAggregateOperator(std::unique_ptr<Operator> input,
                         const SelectStatement* stmt,
-                        const FunctionRegistry* functions);
+                        const FunctionRegistry* functions,
+                        const ExecContext* ctx = nullptr,
+                        bool retain_input = true);
 
   const table::Schema& output_schema() const override { return schema_; }
   std::string name() const override { return "HashAggregate"; }
+  bool StableBatches() const override { return true; }
 
   /// The accumulated input rows (the aggregate materialises its input
-  /// anyway); ORDER BY's last-resort resolution path reads them.
-  const table::Table* retained_input() const { return &acc_; }
+  /// on every path that retains); ORDER BY's last-resort resolution path
+  /// reads them. Null when constructed with retain_input == false and
+  /// the parallel partial path skipped materialisation.
+  const table::Table* retained_input() const override {
+    return retained_ptr_;
+  }
 
  protected:
   Status OpenImpl() override;
   Result<table::ColumnBatch> NextImpl(bool* eof) override;
 
  private:
+  /// Flat partial state of one decomposable aggregate in one group.
+  /// Argument-evaluation errors are captured per slot instead of failing
+  /// the whole phase: the serial pipeline only surfaces them when the
+  /// group survives HAVING, so eager partial evaluation must too.
+  struct PartialState {
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    int64_t non_null = 0;
+    Status error;
+
+    /// Folds one non-null argument value in (kernel and generic
+    /// accumulation share this so their numerics cannot diverge).
+    void Accumulate(double d) {
+      if (non_null == 0) {
+        min = d;
+        max = d;
+      } else {
+        min = std::min(min, d);
+        max = std::max(max, d);
+      }
+      sum += d;
+      ++non_null;
+    }
+  };
+  struct GroupPartial {
+    uint32_t first_batch = 0;  // representative row for non-aggregate parts
+    uint32_t first_row = 0;
+    size_t rows = 0;
+  };
+  /// Heterogeneous-lookup hash (group probes use string_view keys built
+  /// in reused buffers; only insertions construct a std::string).
+  struct TransparentStringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  using GroupIndexMap =
+      std::unordered_map<std::string, size_t, TransparentStringHash,
+                         std::equal_to<>>;
+
+  /// One worker's hash table plus first-seen key order. Groups and their
+  /// flat slot states live in contiguous arrays (groups[i]'s slot j is
+  /// slots[i * num_slots + j]) — no per-group heap allocation — and the
+  /// order vector borrows the map's node-stable key storage.
+  struct ShardGroups {
+    GroupIndexMap index;
+    std::vector<const std::string*> order;  // keys in first-seen order
+    std::vector<GroupPartial> groups;       // parallel to `order`
+    std::vector<PartialState> slots;        // groups.size() * num_slots
+  };
+
+  Result<table::ColumnBatch> SerialNext(bool* eof);
+  Result<table::ColumnBatch> PartialNext(bool* eof);
+  Result<table::ColumnBatch> IndexNext(bool* eof);
+  /// Generic per-batch partial accumulation (Evaluator-based).
+  Status PartialAccumulateGeneric(const table::ColumnBatch& batch,
+                                  uint32_t batch_index, ShardGroups* local);
+  /// Compiled kernel: direct column accessors for group keys and
+  /// aggregate arguments, string_view group probes, no per-row Evaluator.
+  /// Returns false (without touching `local`) when the batch's schema
+  /// does not bind — the caller falls back to the generic path.
+  Result<bool> PartialAccumulateKernel(const table::ColumnBatch& batch,
+                                       uint32_t batch_index,
+                                       ShardGroups* local);
+  /// Drains the input into acc_ and exposes it as one view batch per row
+  /// shard (the morsel source for the drained parallel variants).
+  Status MaterializeInputShards();
+  /// Builds the final output batch given per-group item/HAVING values.
+  table::ColumnBatch EmitRows(std::vector<std::vector<table::Value>> cols,
+                              size_t rows);
+
   Operator* input_;
   const SelectStatement* stmt_;
   const FunctionRegistry* functions_;
+  const ExecContext* ctx_;
+  bool retain_input_;
 
   table::Schema schema_;
   table::Table acc_;  // all input rows, grouped by row index
+  const table::Table* retained_ptr_ = nullptr;
   std::unordered_map<std::string, std::vector<size_t>> groups_;
   std::vector<std::string> group_order_;
   bool done_ = false;
+
+  // Parallel-mode state, resolved at Open().
+  bool lag_anywhere_ = false;
+  bool partial_ok_ = false;
+  std::vector<const Expr*> agg_nodes_;  // topmost aggregate calls
+  std::unordered_map<const Expr*, size_t> slot_of_;
+  std::vector<table::ColumnBatch> morsels_;  // buffered/viewed input
+
+  // Kernel eligibility: every group key and aggregate argument is a
+  // plain column or tag-subscript (COUNT(*) needs no argument).
+  struct SlotArg {
+    bool star = false;
+    SimpleExpr expr;
+  };
+  bool kernel_ok_ = false;
+  std::vector<SimpleExpr> simple_keys_;
+  std::vector<SlotArg> simple_args_;
 };
 
 }  // namespace explainit::sql

@@ -7,27 +7,6 @@ using table::Field;
 using table::Schema;
 using table::Value;
 
-void CollectConjuncts(const Expr* e, std::vector<const Expr*>* out) {
-  if (e->kind == ExprKind::kBinary && e->binary_op == BinaryOp::kAnd) {
-    CollectConjuncts(e->left.get(), out);
-    CollectConjuncts(e->right.get(), out);
-    return;
-  }
-  out->push_back(e);
-}
-
-bool HasEqualityConjunct(const Expr* condition) {
-  if (condition == nullptr) return false;
-  std::vector<const Expr*> conjuncts;
-  CollectConjuncts(condition, &conjuncts);
-  for (const Expr* c : conjuncts) {
-    if (c->kind == ExprKind::kBinary && c->binary_op == BinaryOp::kEq) {
-      return true;
-    }
-  }
-  return false;
-}
-
 namespace {
 
 bool ResolvesAgainst(const Expr& e, const Evaluator& ev) {

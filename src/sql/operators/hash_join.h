@@ -16,14 +16,8 @@
 
 namespace explainit::sql {
 
-/// Flattens an AND tree into its conjuncts.
-void CollectConjuncts(const Expr* e, std::vector<const Expr*>* out);
-
-/// True when some conjunct is a top-level equality — the planner's
-/// syntactic cue to pick a hash join over a nested loop.
-bool HasEqualityConjunct(const Expr* condition);
-
 /// A join condition split into equi-conjunct key pairs and a residual.
+/// (CollectConjuncts / HasEqualityConjunct live in operator.h.)
 struct EquiKeys {
   std::vector<const Expr*> left_exprs;
   std::vector<const Expr*> right_exprs;
@@ -49,6 +43,8 @@ class HashJoinOperator : public Operator {
   void AccumulateExecStats(ExecStats* stats) const override {
     ++stats->hash_joins;
   }
+  /// Every emitted batch is owned (gathered candidates / outer pads).
+  bool StableBatches() const override { return true; }
 
  protected:
   Status OpenImpl() override;

@@ -1,5 +1,7 @@
 #include "sql/operators/operator.h"
 
+#include <algorithm>
+
 namespace explainit::sql {
 
 namespace {
@@ -47,6 +49,44 @@ Status Operator::Drain(Operator* op, table::Table* out) {
   }
 }
 
+std::vector<RowRange> ShardRows(size_t num_rows, size_t parallelism) {
+  /// Below this many rows per shard the fan-out overhead beats the work.
+  constexpr size_t kMinShardRows = 1024;
+  size_t shards = parallelism == 0 ? 1 : parallelism;
+  if (num_rows / kMinShardRows < shards) {
+    shards = std::max<size_t>(1, num_rows / kMinShardRows);
+  }
+  std::vector<RowRange> out;
+  out.reserve(shards);
+  const size_t base = num_rows / shards;
+  const size_t extra = num_rows % shards;
+  size_t begin = 0;
+  for (size_t i = 0; i < shards; ++i) {
+    const size_t len = base + (i < extra ? 1 : 0);
+    out.push_back(RowRange{begin, begin + len});
+    begin += len;
+  }
+  return out;
+}
+
+Status RunSharded(const ExecContext* ctx, size_t num_shards,
+                  const std::function<Status(size_t)>& fn) {
+  if (num_shards == 0) return Status::OK();
+  if (num_shards == 1 || ctx == nullptr || !ctx->parallel()) {
+    for (size_t i = 0; i < num_shards; ++i) {
+      EXPLAINIT_RETURN_IF_ERROR(fn(i));
+    }
+    return Status::OK();
+  }
+  std::vector<Status> statuses(num_shards, Status::OK());
+  exec::ParallelFor(*ctx->pool, num_shards,
+                    [&](size_t i) { statuses[i] = fn(i); });
+  for (Status& s : statuses) {
+    EXPLAINIT_RETURN_IF_ERROR(std::move(s));
+  }
+  return Status::OK();
+}
+
 std::string EncodeKey(const std::vector<table::Value>& values,
                       bool* has_null) {
   std::string key;
@@ -56,6 +96,27 @@ std::string EncodeKey(const std::vector<table::Value>& values,
     key += '\x1f';
   }
   return key;
+}
+
+void CollectConjuncts(const Expr* e, std::vector<const Expr*>* out) {
+  if (e->kind == ExprKind::kBinary && e->binary_op == BinaryOp::kAnd) {
+    CollectConjuncts(e->left.get(), out);
+    CollectConjuncts(e->right.get(), out);
+    return;
+  }
+  out->push_back(e);
+}
+
+bool HasEqualityConjunct(const Expr* condition) {
+  if (condition == nullptr) return false;
+  std::vector<const Expr*> conjuncts;
+  CollectConjuncts(condition, &conjuncts);
+  for (const Expr* c : conjuncts) {
+    if (c->kind == ExprKind::kBinary && c->binary_op == BinaryOp::kEq) {
+      return true;
+    }
+  }
+  return false;
 }
 
 bool ContainsLag(const Expr& e) {

@@ -13,6 +13,7 @@
 // valid until that operator's next Next()/destruction (see ColumnBatch).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -20,6 +21,7 @@
 #include "common/result.h"
 #include "common/time_util.h"
 #include "sql/ast.h"
+#include "sql/exec_context.h"
 #include "table/column_batch.h"
 #include "table/table.h"
 
@@ -45,6 +47,8 @@ struct ExecStats {
   size_t hash_joins = 0;
   size_t nested_loop_joins = 0;
   size_t rows_output = 0;
+  /// Degree of parallelism the query executed with (the executor knob).
+  size_t parallelism = 1;
   std::vector<OperatorStats> operators;
 };
 
@@ -64,6 +68,27 @@ class Operator {
 
   virtual const table::Schema& output_schema() const = 0;
   virtual std::string name() const = 0;
+
+  /// The operator's complete output as one materialised table, when it has
+  /// one (catalog scans). Valid after Open(); null otherwise. Parallel
+  /// consumers shard directly over this storage instead of re-draining
+  /// the batch stream. The schema is the operator's *unqualified* backing
+  /// schema; callers pair it with output_schema() when they match.
+  virtual const table::Table* MaterializedTable() const { return nullptr; }
+
+  /// True when every batch this operator emits stays valid until the
+  /// operator is destroyed (owned storage or views into long-lived
+  /// member tables), rather than only until the next Next() call.
+  /// Valid after Open(). Parallel aggregation buffers such batches as
+  /// morsels without copying.
+  virtual bool StableBatches() const { return false; }
+
+  /// Pre-projection input rows retained 1:1 with this operator's output
+  /// (Project) or the accumulated aggregate input (HashAggregate); the
+  /// ORDER BY resolution fallback reads them. Null when not retained.
+  /// The pointed-to table fills during execution; callers dereference
+  /// only after the operator has been drained.
+  virtual const table::Table* retained_input() const { return nullptr; }
 
   /// Adds this operator's contribution to the scalar ExecStats counters
   /// (scans report tables/rows scanned, joins their strategy). Self only.
@@ -100,9 +125,37 @@ class Operator {
 std::string EncodeKey(const std::vector<table::Value>& values,
                       bool* has_null);
 
+/// A contiguous run of input rows processed by one worker.
+struct RowRange {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t size() const { return end - begin; }
+};
+
+/// Splits [0, num_rows) into at most `parallelism` contiguous shards of at
+/// least kMinShardRows rows (one shard when the input is small). Boundaries
+/// depend only on (num_rows, parallelism) so a parallelism level is
+/// deterministic regardless of scheduling.
+std::vector<RowRange> ShardRows(size_t num_rows, size_t parallelism);
+
+/// Runs fn(shard_index) for every shard over ctx->pool (inline when the
+/// context is serial or there is a single shard). Statuses are collected
+/// per shard and the first failure *in shard order* is returned, keeping
+/// error reporting deterministic under concurrency.
+Status RunSharded(const ExecContext* ctx, size_t num_shards,
+                  const std::function<Status(size_t)>& fn);
+
 /// True when the expression tree contains a LAG call (which must see the
 /// whole input, so batching is disabled for that stage).
 bool ContainsLag(const Expr& e);
+
+/// Flattens an AND tree into its conjuncts (any other node is one
+/// conjunct). Order is evaluation (left-to-right) order.
+void CollectConjuncts(const Expr* e, std::vector<const Expr*>* out);
+
+/// True when any top-level conjunct is an equality — the hash-join
+/// eligibility test.
+bool HasEqualityConjunct(const Expr* condition);
 
 /// Output column name for a select item: alias, else the expression text.
 std::string ItemName(const SelectItem& item);

@@ -10,8 +10,11 @@ using table::Value;
 ProjectOperator::ProjectOperator(std::unique_ptr<Operator> input,
                                  const SelectStatement* stmt,
                                  const FunctionRegistry* functions,
-                                 bool retain_input)
-    : stmt_(stmt), functions_(functions), retain_input_(retain_input) {
+                                 bool retain_input, const ExecContext* ctx)
+    : stmt_(stmt),
+      functions_(functions),
+      retain_input_(retain_input),
+      ctx_(ctx) {
   input_ = AddChild(std::move(input));
 }
 
@@ -30,7 +33,12 @@ Status ProjectOperator::OpenImpl() {
     columns_.push_back(OutputColumn{item.expr.get(), 0});
     if (ContainsLag(*item.expr)) materialize_ = true;
   }
-  if (retain_input_ || materialize_) retained_ = table::Table(in);
+  parallel_ = !materialize_ && ctx_ != nullptr && ctx_->parallel();
+  // The parallel path may also drain into retained_ (its fallback morsel
+  // source when the child's storage is not borrowable).
+  if (retain_input_ || materialize_ || parallel_) {
+    retained_ = table::Table(in);
+  }
   return Status::OK();
 }
 
@@ -57,7 +65,60 @@ Result<ColumnBatch> ProjectOperator::ProjectRows(
   return out;
 }
 
+Result<ColumnBatch> ProjectOperator::ParallelNext(bool* eof) {
+  if (!done_) {
+    done_ = true;
+    // Morsel source: borrow the child's materialised table when its
+    // schema object is the child's output schema, else drain once. The
+    // source doubles as the retained pre-projection rows (1:1).
+    const table::Table* source = input_->MaterializedTable();
+    if (source == nullptr ||
+        &source->schema() != &input_->output_schema()) {
+      EXPLAINIT_RETURN_IF_ERROR(Drain(input_, &retained_));
+      source = &retained_;
+    }
+    retained_ptr_ = source;
+    const std::vector<RowRange> shards =
+        ShardRows(source->num_rows(), ctx_->parallelism);
+    std::vector<ColumnBatch> outputs(shards.size());
+    EXPLAINIT_RETURN_IF_ERROR(RunSharded(
+        ctx_, shards.size(), [&](size_t s) -> Status {
+          const RowRange& range = shards[s];
+          ColumnBatch out(&schema_, range.size());
+          Evaluator ev(source, functions_);
+          for (const OutputColumn& col : columns_) {
+            if (col.expr == nullptr) {
+              out.AddBorrowedColumn(
+                  source->column(col.pass_through).data() + range.begin);
+              continue;
+            }
+            std::vector<Value> values;
+            values.reserve(range.size());
+            for (size_t r = range.begin; r < range.end; ++r) {
+              EXPLAINIT_ASSIGN_OR_RETURN(Value v, ev.Eval(*col.expr, r));
+              values.push_back(std::move(v));
+            }
+            out.AddOwnedColumn(std::move(values));
+          }
+          outputs[s] = std::move(out);
+          return Status::OK();
+        }));
+    shard_output_ = std::move(outputs);
+    stats_.detail = std::to_string(shards.size()) + " shards";
+  }
+  while (emit_pos_ < shard_output_.size()) {
+    ColumnBatch batch = std::move(shard_output_[emit_pos_]);
+    ++emit_pos_;
+    if (batch.num_rows() == 0) continue;
+    *eof = false;
+    return batch;
+  }
+  *eof = true;
+  return ColumnBatch{};
+}
+
 Result<ColumnBatch> ProjectOperator::NextImpl(bool* eof) {
+  if (parallel_) return ParallelNext(eof);
   if (materialize_) {
     // LAG window: evaluate over the whole input at once. The retained
     // table doubles as the materialised input.

@@ -1,0 +1,35 @@
+#include "sql/operators/simple_expr.h"
+
+namespace explainit::sql {
+
+std::optional<SimpleExpr> CompileSimpleExpr(const Expr& e) {
+  SimpleExpr out;
+  if (e.kind == ExprKind::kColumnRef) {
+    out.kind = SimpleExpr::Kind::kColumn;
+    out.column = &e;
+    return out;
+  }
+  if (e.kind == ExprKind::kSubscript && e.left != nullptr &&
+      e.left->kind == ExprKind::kColumnRef && e.right != nullptr &&
+      e.right->kind == ExprKind::kLiteral &&
+      e.right->literal.type() == table::DataType::kString) {
+    out.kind = SimpleExpr::Kind::kMapKey;
+    out.column = e.left.get();
+    out.map_key = e.right->literal.AsString();
+    return out;
+  }
+  return std::nullopt;
+}
+
+Result<BoundSimpleExpr> BindSimpleExpr(const SimpleExpr& simple,
+                                       const Evaluator& schema_ev) {
+  EXPLAINIT_ASSIGN_OR_RETURN(size_t idx,
+                             schema_ev.ResolveColumn(*simple.column));
+  BoundSimpleExpr bound;
+  bound.kind = simple.kind;
+  bound.col = idx;
+  bound.map_key = simple.map_key;
+  return bound;
+}
+
+}  // namespace explainit::sql

@@ -12,12 +12,8 @@ using table::Value;
 SortLimitOperator::SortLimitOperator(std::unique_ptr<Operator> input,
                                      const SelectStatement* stmt,
                                      const FunctionRegistry* functions,
-                                     const table::Table* preprojection,
                                      bool aggregated)
-    : stmt_(stmt),
-      functions_(functions),
-      preprojection_(preprojection),
-      aggregated_(aggregated) {
+    : stmt_(stmt), functions_(functions), aggregated_(aggregated) {
   input_ = AddChild(std::move(input));
 }
 
@@ -58,7 +54,8 @@ Result<ColumnBatch> SortLimitOperator::NextImpl(bool* eof) {
     std::vector<std::vector<Value>> sort_keys(n);
     Evaluator out_ev(&output, functions_);
     const Table empty_pre;
-    const Table* pre = preprojection_ != nullptr ? preprojection_ : &empty_pre;
+    const Table* preprojection = input_->retained_input();
+    const Table* pre = preprojection != nullptr ? preprojection : &empty_pre;
     Evaluator pre_ev(pre, functions_);
     for (const OrderByItem& item : stmt_->order_by) {
       // Try output-schema resolution by name first.

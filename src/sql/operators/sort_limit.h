@@ -12,18 +12,20 @@ namespace explainit::sql {
 
 class SortLimitOperator : public Operator {
  public:
-  /// `preprojection` points at the projector's/aggregator's retained
-  /// input rows (may be null); `aggregated` flips the resolution order
-  /// exactly as the row interpreter did.
+  /// The input's retained_input() rows (when it retains any) resolve
+  /// ORDER BY expressions that name unprojected columns; `aggregated`
+  /// flips the resolution order exactly as the row interpreter did.
   SortLimitOperator(std::unique_ptr<Operator> input,
                     const SelectStatement* stmt,
-                    const FunctionRegistry* functions,
-                    const table::Table* preprojection, bool aggregated);
+                    const FunctionRegistry* functions, bool aggregated);
 
   const table::Schema& output_schema() const override {
     return input_->output_schema();
   }
   std::string name() const override { return "SortLimit"; }
+  bool StableBatches() const override {
+    return !stmt_->order_by.empty() || input_->StableBatches();
+  }
 
  protected:
   Status OpenImpl() override;
@@ -33,7 +35,6 @@ class SortLimitOperator : public Operator {
   Operator* input_;
   const SelectStatement* stmt_;
   const FunctionRegistry* functions_;
-  const table::Table* preprojection_;
   const bool aggregated_;
 
   table::Table sorted_;

@@ -73,14 +73,12 @@ bool IsTagSubscript(const Expr& e, std::string* key) {
   return true;
 }
 
-/// Derives ScanHints from the WHERE conjuncts. The hints only *narrow*
-/// what a hint-aware provider materialises; every conjunct stays in the
-/// residual filter, so correctness (including "column not found" errors
-/// for misnamed time columns) never depends on a provider applying them.
-tsdb::ScanHints ExtractHints(const Expr* where) {
+/// Derives ScanHints from WHERE conjuncts. The hints only *narrow* what a
+/// hint-aware provider materialises; every conjunct stays in the residual
+/// filter, so correctness (including "column not found" errors for
+/// misnamed time columns) never depends on a provider applying them.
+tsdb::ScanHints HintsFromConjuncts(const std::vector<const Expr*>& conjuncts) {
   tsdb::ScanHints hints;
-  std::vector<const Expr*> conjuncts;
-  CollectConjuncts(where, &conjuncts);
   std::optional<int64_t> lo;  // inclusive
   std::optional<int64_t> hi;  // exclusive
   auto narrow_lo = [&](int64_t v) { lo = lo ? std::max(*lo, v) : v; };
@@ -160,6 +158,12 @@ tsdb::ScanHints ExtractHints(const Expr* where) {
   return hints;
 }
 
+tsdb::ScanHints ExtractHints(const Expr* where) {
+  std::vector<const Expr*> conjuncts;
+  CollectConjuncts(where, &conjuncts);
+  return HintsFromConjuncts(conjuncts);
+}
+
 // ---------------------------------------------------------------------------
 // Projection pruning
 // ---------------------------------------------------------------------------
@@ -211,11 +215,144 @@ bool StatementContainsLag(const SelectStatement& stmt) {
   return false;
 }
 
+// ---------------------------------------------------------------------------
+// Join-aware pushdown helpers
+// ---------------------------------------------------------------------------
+
+/// Collects (lowercased qualifier, lowercased column) pairs of every
+/// column reference in the expression tree.
+void CollectQualifiedRefs(
+    const Expr& e, std::set<std::pair<std::string, std::string>>* out) {
+  if (e.kind == ExprKind::kColumnRef) {
+    out->insert({ToLower(e.qualifier), ToLower(e.column)});
+  }
+  auto walk = [&](const ExprPtr& c) {
+    if (c != nullptr) CollectQualifiedRefs(*c, out);
+  };
+  walk(e.left);
+  walk(e.right);
+  walk(e.between_lo);
+  walk(e.between_hi);
+  walk(e.case_else);
+  for (const ExprPtr& a : e.args) walk(a);
+  for (const ExprPtr& a : e.list) walk(a);
+  for (const CaseBranch& b : e.case_branches) {
+    walk(b.condition);
+    walk(b.result);
+  }
+}
+
+/// Every column reference the whole statement makes, qualified-aware.
+/// Sets `star` when a SELECT-list * makes pruning unsafe.
+void CollectStatementRefs(
+    const SelectStatement& stmt, bool* star,
+    std::set<std::pair<std::string, std::string>>* refs) {
+  for (const SelectItem& item : stmt.items) {
+    if (item.is_star) {
+      *star = true;
+      continue;
+    }
+    CollectQualifiedRefs(*item.expr, refs);
+  }
+  if (stmt.where != nullptr) CollectQualifiedRefs(*stmt.where, refs);
+  for (const JoinClause& join : stmt.joins) {
+    if (join.condition != nullptr) {
+      CollectQualifiedRefs(*join.condition, refs);
+    }
+  }
+  for (const ExprPtr& g : stmt.group_by) CollectQualifiedRefs(*g, refs);
+  if (stmt.having != nullptr) CollectQualifiedRefs(*stmt.having, refs);
+  for (const OrderByItem& o : stmt.order_by) {
+    CollectQualifiedRefs(*o.expr, refs);
+  }
+}
+
+/// Clears the qualifier of every column reference qualified with
+/// `qualifier_lower` (used on cloned conjuncts before hint extraction,
+/// which matches unqualified time/metric/tag shapes only).
+void StripQualifier(Expr* e, const std::string& qualifier_lower) {
+  if (e->kind == ExprKind::kColumnRef &&
+      ToLower(e->qualifier) == qualifier_lower) {
+    e->qualifier.clear();
+  }
+  auto walk = [&](const ExprPtr& c) {
+    if (c != nullptr) StripQualifier(c.get(), qualifier_lower);
+  };
+  walk(e->left);
+  walk(e->right);
+  walk(e->between_lo);
+  walk(e->between_hi);
+  walk(e->case_else);
+  for (const ExprPtr& a : e->args) walk(a);
+  for (const ExprPtr& a : e->list) walk(a);
+  for (CaseBranch& b : e->case_branches) {
+    walk(b.condition);
+    walk(b.result);
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
 // Planner
 // ---------------------------------------------------------------------------
+
+tsdb::ScanHints Planner::JoinInputHints(const SelectStatement& stmt,
+                                        const TableRef& ref,
+                                        const std::string& qualifier) const {
+  // Only plain tables with hint-honouring providers benefit, and LAG
+  // anywhere in the scan-visible stages disables pushdown (LAG reads
+  // neighbouring rows, so the scanned row set must not shrink).
+  if (ref.subquery != nullptr || !catalog_->SupportsHints(ref.table_name) ||
+      StatementContainsLag(stmt)) {
+    return tsdb::ScanHints{};
+  }
+  const std::string q = ToLower(qualifier);
+
+  // Predicate pushdown: a top-level WHERE conjunct narrows this input
+  // when every column it references is qualified with this input's name
+  // (unqualified references could bind to either side of the join).
+  // Qualifiers are stripped from a clone so the unqualified
+  // time/metric/tag shapes of hint extraction match; the original
+  // conjunct always stays in the residual filter, and the pushable
+  // shapes are all NULL-rejecting, so narrowing either side of an outer
+  // join never changes the filtered result.
+  std::vector<ExprPtr> stripped;
+  if (stmt.where != nullptr) {
+    std::vector<const Expr*> conjuncts;
+    CollectConjuncts(stmt.where.get(), &conjuncts);
+    for (const Expr* c : conjuncts) {
+      std::set<std::pair<std::string, std::string>> refs;
+      CollectQualifiedRefs(*c, &refs);
+      if (refs.empty()) continue;
+      const bool all_this_side =
+          std::all_of(refs.begin(), refs.end(),
+                      [&](const auto& r) { return r.first == q; });
+      if (!all_this_side) continue;
+      ExprPtr clone = c->Clone();
+      StripQualifier(clone.get(), q);
+      stripped.push_back(std::move(clone));
+    }
+  }
+  std::vector<const Expr*> ptrs;
+  ptrs.reserve(stripped.size());
+  for (const ExprPtr& e : stripped) ptrs.push_back(e.get());
+  tsdb::ScanHints hints = HintsFromConjuncts(ptrs);
+
+  // Projection pruning: this input needs the columns referenced under its
+  // qualifier plus every unqualified reference (which may bind here).
+  bool star = false;
+  std::set<std::pair<std::string, std::string>> refs;
+  CollectStatementRefs(stmt, &star, &refs);
+  if (!star) {
+    std::set<std::string> cols;
+    for (const auto& [rq, col] : refs) {
+      if (rq == q || rq.empty()) cols.insert(col);
+    }
+    hints.projection.assign(cols.begin(), cols.end());
+  }
+  return hints;
+}
 
 Result<std::unique_ptr<Operator>> Planner::PlanSource(
     const TableRef& ref, const std::string& qualifier,
@@ -225,8 +362,13 @@ Result<std::unique_ptr<Operator>> Planner::PlanSource(
     return std::unique_ptr<Operator>(
         std::make_unique<SubqueryScanOperator>(std::move(sub), qualifier));
   }
+  // Hinted projections also prune the materialised table (unknown
+  // references keep flowing so the evaluator reports them properly).
+  std::optional<std::vector<std::string>> projection;
+  if (!hints.projection.empty()) projection = hints.projection;
   return std::unique_ptr<Operator>(std::make_unique<CatalogScanOperator>(
-      catalog_, ref.table_name, std::move(hints), qualifier, std::nullopt));
+      catalog_, ref.table_name, std::move(hints), qualifier,
+      std::move(projection)));
 }
 
 Result<std::unique_ptr<Operator>> Planner::PlanFrom(
@@ -255,10 +397,30 @@ Result<std::unique_ptr<Operator>> Planner::PlanFrom(
   }
 
   // Join tree: left-deep, every input qualified with its effective name.
+  // Each plain-table input receives its own pushdown hints, derived from
+  // the WHERE conjuncts that bind entirely to it. A duplicated qualifier
+  // would make "binds to this input" ambiguous (a conjunct could narrow
+  // a relation it does not constrain), so pushdown is disabled outright.
   std::string base_name = ref.EffectiveName();
   if (base_name.empty()) base_name = "_t0";
-  EXPLAINIT_ASSIGN_OR_RETURN(std::unique_ptr<Operator> acc,
-                             PlanSource(ref, base_name, tsdb::ScanHints{}));
+  bool unique_names = true;
+  {
+    std::set<std::string> names{ToLower(base_name)};
+    for (const JoinClause& join : stmt.joins) {
+      const std::string& n = join.right.EffectiveName();
+      if (!n.empty() && !names.insert(ToLower(n)).second) {
+        unique_names = false;
+      }
+    }
+  }
+  auto side_hints = [&](const TableRef& side_ref,
+                        const std::string& qualifier) {
+    return unique_names ? JoinInputHints(stmt, side_ref, qualifier)
+                        : tsdb::ScanHints{};
+  };
+  EXPLAINIT_ASSIGN_OR_RETURN(
+      std::unique_ptr<Operator> acc,
+      PlanSource(ref, base_name, side_hints(ref, base_name)));
   std::optional<size_t> acc_rows =
       ref.subquery == nullptr ? catalog_->EstimatedRows(ref.table_name)
                               : std::nullopt;
@@ -269,7 +431,9 @@ Result<std::unique_ptr<Operator>> Planner::PlanFrom(
           "_t" + std::to_string(&join - stmt.joins.data() + 1);
     }
     EXPLAINIT_ASSIGN_OR_RETURN(
-        auto right, PlanSource(join.right, right_name, tsdb::ScanHints{}));
+        auto right,
+        PlanSource(join.right, right_name,
+                   side_hints(join.right, right_name)));
     if (join.condition != nullptr && HasEqualityConjunct(join.condition.get())) {
       // Broadcast heuristic: build on the smaller side when both row
       // counts are known; only inner joins are symmetric enough to swap.
@@ -316,7 +480,7 @@ Result<std::unique_ptr<Operator>> Planner::PlanSingle(
       auto source, PlanFrom(stmt, std::move(hints), &residual_where));
   if (residual_where != nullptr) {
     source = std::make_unique<FilterOperator>(
-        std::move(source), std::move(residual_where), functions_);
+        std::move(source), std::move(residual_where), functions_, ctx_);
   }
 
   const bool aggregated =
@@ -327,24 +491,22 @@ Result<std::unique_ptr<Operator>> Planner::PlanSingle(
                   });
   const bool needs_sort_limit =
       !stmt.order_by.empty() || stmt.limit.has_value();
+  // Pre-projection rows are only consulted by an ORDER BY whose keys
+  // resolve against neither side; retaining them otherwise would force
+  // the aggregate's partial path to re-materialise its input.
+  const bool retain = !stmt.order_by.empty();
 
-  const table::Table* preprojection = nullptr;
   if (aggregated) {
-    auto agg = std::make_unique<HashAggregateOperator>(std::move(source),
-                                                       &stmt, functions_);
-    preprojection = agg->retained_input();
-    source = std::move(agg);
-  } else {
-    const bool retain = !stmt.order_by.empty();
-    auto project = std::make_unique<ProjectOperator>(std::move(source),
-                                                     &stmt, functions_,
+    source = std::make_unique<HashAggregateOperator>(std::move(source),
+                                                     &stmt, functions_, ctx_,
                                                      retain);
-    preprojection = project->retained_input();
-    source = std::move(project);
+  } else {
+    source = std::make_unique<ProjectOperator>(std::move(source), &stmt,
+                                               functions_, retain, ctx_);
   }
   if (!needs_sort_limit) return source;
   return std::unique_ptr<Operator>(std::make_unique<SortLimitOperator>(
-      std::move(source), &stmt, functions_, preprojection, aggregated));
+      std::move(source), &stmt, functions_, aggregated));
 }
 
 Result<std::unique_ptr<Operator>> Planner::Plan(

@@ -5,15 +5,23 @@
 //   * predicate pushdown — WHERE conjuncts over the time column
 //     (ts/timestamp BETWEEN / comparisons), `metric_name = '...'` and
 //     `tag['k'] = '...'` become tsdb::ScanHints on the table scan for
-//     hint-aware providers (Catalog::SupportsHints). The full predicate
+//     hint-aware providers (Catalog::SupportsHints). With joins, the
+//     top-level WHERE conjuncts are split per join input: a conjunct
+//     whose column references all bind to one side's qualifier narrows
+//     that side's scan (qualifiers stripped first). The full predicate
 //     always stays in the filter: hints shrink what the provider
 //     materialises, never what the query means.
 //   * projection pruning — single-table queries scan only the columns the
-//     statement references.
+//     statement references; join inputs receive the union of the columns
+//     referenced under their qualifier plus all unqualified references
+//     (which may bind to either side).
 //   * join strategy + build side — conditions with an equality conjunct
 //     become hash joins, built on the smaller side when row counts are
 //     known (the §4.2 broadcast heuristic); others fall back to nested
 //     loops.
+//
+// An ExecContext with parallelism > 1 plans Filter/Project/HashAggregate
+// onto their morsel-parallel paths.
 //
 // The planned tree references the statement's AST nodes: the statement
 // must outlive execution.
@@ -23,6 +31,7 @@
 
 #include "sql/ast.h"
 #include "sql/catalog.h"
+#include "sql/exec_context.h"
 #include "sql/functions.h"
 #include "sql/operators/operator.h"
 
@@ -30,8 +39,9 @@ namespace explainit::sql {
 
 class Planner {
  public:
-  Planner(const Catalog* catalog, const FunctionRegistry* functions)
-      : catalog_(catalog), functions_(functions) {}
+  Planner(const Catalog* catalog, const FunctionRegistry* functions,
+          const ExecContext* ctx = nullptr)
+      : catalog_(catalog), functions_(functions), ctx_(ctx) {}
 
   /// Plans a full statement (UNION ALL chains become a UnionAll root).
   Result<std::unique_ptr<Operator>> Plan(const SelectStatement& stmt) const;
@@ -45,9 +55,15 @@ class Planner {
   Result<std::unique_ptr<Operator>> PlanSource(const TableRef& ref,
                                                const std::string& qualifier,
                                                tsdb::ScanHints hints) const;
+  /// Hints for one join input: pushable WHERE conjuncts fully qualified
+  /// to `qualifier` (stripped), plus the input's pruned projection.
+  tsdb::ScanHints JoinInputHints(const SelectStatement& stmt,
+                                 const TableRef& ref,
+                                 const std::string& qualifier) const;
 
   const Catalog* catalog_;
   const FunctionRegistry* functions_;
+  const ExecContext* ctx_;
 };
 
 }  // namespace explainit::sql

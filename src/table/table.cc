@@ -51,6 +51,25 @@ void Table::AppendColumns(const std::vector<const Value*>& cols, size_t n) {
   num_rows_ += n;
 }
 
+Result<Table> Table::FromColumns(Schema schema,
+                                 std::vector<std::vector<Value>> columns) {
+  if (columns.size() != schema.num_fields()) {
+    return Status::InvalidArgument(
+        "column count " + std::to_string(columns.size()) +
+        " != schema width " + std::to_string(schema.num_fields()));
+  }
+  const size_t rows = columns.empty() ? 0 : columns[0].size();
+  for (const auto& col : columns) {
+    if (col.size() != rows) {
+      return Status::InvalidArgument("FromColumns requires equal lengths");
+    }
+  }
+  Table out(std::move(schema));
+  out.columns_ = std::move(columns);
+  out.num_rows_ = rows;
+  return out;
+}
+
 std::vector<Value> Table::Row(size_t row) const {
   std::vector<Value> out;
   out.reserve(columns_.size());

@@ -75,6 +75,13 @@ class Table {
   /// vectorised pipeline's materialisation path; avoids per-row vectors).
   void AppendColumns(const std::vector<const Value*>& cols, size_t n);
 
+  /// Builds a table by *moving* fully formed columns in (no cell copies).
+  /// Column count must match the schema width and all columns must share
+  /// one length. The zero-copy construction path for bulk producers
+  /// (tsdb scan materialisation).
+  static Result<Table> FromColumns(Schema schema,
+                                   std::vector<std::vector<Value>> columns);
+
   const Value& At(size_t row, size_t col) const {
     return columns_[col][row];
   }

@@ -59,6 +59,11 @@ class Value {
   bool AsBool() const;
   /// String access; numeric values render to decimal text.
   std::string AsString() const;
+  /// Borrowed pointer to the underlying string storage; nullptr when the
+  /// value is not a string. Lets hot loops key on strings without copies.
+  const std::string* TryString() const {
+    return std::get_if<std::string>(&data_);
+  }
   /// Map access; returns nullptr when not a map.
   const ValueMap* AsMap() const;
 

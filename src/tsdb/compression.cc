@@ -19,19 +19,32 @@ Result<uint64_t> BitReader::ReadBits(int bits) {
   if (position_ + static_cast<size_t>(bits) > bit_count_) {
     return Status::OutOfRange("bit stream exhausted");
   }
+  // Byte-chunked extraction (bits are MSB-first within each byte): a
+  // 64-bit read touches at most 9 bytes instead of looping per bit —
+  // the scan decode path reads millions of bits per query.
   uint64_t out = 0;
-  for (int i = 0; i < bits; ++i) {
-    const size_t byte_idx = position_ / 8;
-    const bool bit = (bytes_[byte_idx] >> (7 - position_ % 8)) & 1;
-    out = (out << 1) | (bit ? 1 : 0);
-    ++position_;
+  int remaining = bits;
+  while (remaining > 0) {
+    const uint8_t byte = bytes_[position_ >> 3];
+    const int avail = 8 - static_cast<int>(position_ & 7);
+    const int take = remaining < avail ? remaining : avail;
+    const uint8_t chunk =
+        static_cast<uint8_t>(byte >> (avail - take)) &
+        static_cast<uint8_t>((1u << take) - 1);
+    out = (out << take) | chunk;
+    position_ += static_cast<size_t>(take);
+    remaining -= take;
   }
   return out;
 }
 
 Result<bool> BitReader::ReadBit() {
-  EXPLAINIT_ASSIGN_OR_RETURN(uint64_t b, ReadBits(1));
-  return b != 0;
+  if (position_ >= bit_count_) {
+    return Status::OutOfRange("bit stream exhausted");
+  }
+  const bool bit = (bytes_[position_ >> 3] >> (7 - (position_ & 7))) & 1;
+  ++position_;
+  return bit;
 }
 
 namespace {
@@ -127,6 +140,7 @@ Result<std::vector<std::pair<EpochSeconds, double>>> CompressedBlock::Decode()
     const {
   std::vector<std::pair<EpochSeconds, double>> out;
   if (num_points_ == 0) return out;
+  out.reserve(num_points_);
   BitReader reader(writer_.bytes(), writer_.bit_count());
 
   EXPLAINIT_ASSIGN_OR_RETURN(uint64_t ts_bits, reader.ReadBits(64));

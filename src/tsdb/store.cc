@@ -22,6 +22,14 @@ std::string SeriesStore::Key(const std::string& metric_name,
   return metric_name + "{" + tags.Encode() + "}";
 }
 
+table::Value SeriesStore::MakeTagsValue(const TagSet& tags) {
+  table::ValueMap map;
+  for (const auto& [k, v] : tags.entries()) {
+    map[k] = table::Value::String(v);
+  }
+  return table::Value::Map(std::move(map));
+}
+
 Status SeriesStore::Write(const std::string& metric_name, const TagSet& tags,
                           EpochSeconds timestamp, double value) {
   const std::string key = Key(metric_name, tags);
@@ -30,6 +38,7 @@ Status SeriesStore::Write(const std::string& metric_name, const TagSet& tags,
     auto s = std::make_unique<Series>();
     s->meta.metric_name = metric_name;
     s->meta.tags = tags;
+    s->tags_value = MakeTagsValue(tags);
     it = series_.emplace(key, std::move(s)).first;
     insertion_order_.push_back(key);
   }
@@ -84,6 +93,7 @@ constexpr size_t kParallelScanThreshold = 64;
 // (unrestricted when `bounded` is false). `decoded` reports how many
 // points the block held before windowing.
 Result<SeriesData> DecodeSeries(const SeriesMeta& meta,
+                                const table::Value& tags_value,
                                 const CompressedBlock& block,
                                 const TimeRange& range, bool bounded,
                                 size_t* decoded) {
@@ -91,6 +101,9 @@ Result<SeriesData> DecodeSeries(const SeriesMeta& meta,
   *decoded = points.size();
   SeriesData data;
   data.meta = meta;
+  data.tags_value = tags_value;
+  data.timestamps.reserve(points.size());
+  data.values.reserve(points.size());
   for (const auto& [t, v] : points) {
     if (bounded && !range.Contains(t)) continue;
     data.timestamps.push_back(t);
@@ -147,8 +160,8 @@ Result<std::vector<SeriesData>> SeriesStore::Scan(
   std::vector<size_t> decoded(matched.size(), 0);
   std::vector<Status> statuses(matched.size(), Status::OK());
   auto decode_one = [&](size_t i) {
-    auto r = DecodeSeries(matched[i]->meta, matched[i]->block, window,
-                          bounded, &decoded[i]);
+    auto r = DecodeSeries(matched[i]->meta, matched[i]->tags_value,
+                          matched[i]->block, window, bounded, &decoded[i]);
     if (r.ok()) {
       slots[i] = std::move(r).value();
     } else {
@@ -159,7 +172,14 @@ Result<std::vector<SeriesData>> SeriesStore::Scan(
     std::call_once(*scan_pool_once_, [this] {
       scan_pool_ = std::make_unique<exec::ThreadPool>();
     });
-    exec::ParallelFor(*scan_pool_, matched.size(), decode_one);
+    // Chunked fan-out: one task per worker-sized run of series instead of
+    // one queue round-trip per series (large stores match 100k+ series).
+    exec::ParallelForChunks(*scan_pool_, matched.size(), /*min_grain=*/16,
+                            [&](size_t begin, size_t end) {
+                              for (size_t i = begin; i < end; ++i) {
+                                decode_one(i);
+                              }
+                            });
   } else {
     for (size_t i = 0; i < matched.size(); ++i) decode_one(i);
   }
@@ -244,24 +264,71 @@ Result<std::vector<SeriesData>> SeriesStore::ScanAligned(
 Result<table::Table> SeriesStore::ScanToTable(
     const ScanRequest& request) const {
   EXPLAINIT_ASSIGN_OR_RETURN(std::vector<SeriesData> raw, Scan(request));
-  table::Schema schema({{"timestamp", table::DataType::kTimestamp},
-                        {"metric_name", table::DataType::kString},
-                        {"tag", table::DataType::kMap},
-                        {"value", table::DataType::kDouble}});
-  table::Table out(schema);
-  for (const SeriesData& s : raw) {
-    table::ValueMap tag_map;
-    for (const auto& [k, v] : s.meta.tags.entries()) {
-      tag_map[k] = table::Value::String(v);
+  // Honour the projection hint: materialise only the standard columns the
+  // query references (the planner always includes every referenced
+  // column, so skipping the rest can never lose a lookup — it only saves
+  // building per-row tag maps / name strings, which dominate the cost).
+  // An empty projection, or one naming none of our columns, keeps all
+  // four so "column not found" errors still surface naturally.
+  const std::vector<std::string>& projection = request.hints.projection;
+  auto wanted = [&projection](std::string_view name) {
+    for (const std::string& p : projection) {
+      if (EqualsIgnoreCase(p, name)) return true;
     }
-    const table::Value tags = table::Value::Map(std::move(tag_map));
-    for (size_t i = 0; i < s.timestamps.size(); ++i) {
-      out.AppendRow({table::Value::Timestamp(s.timestamps[i]),
-                     table::Value::String(s.meta.metric_name), tags,
-                     table::Value::Double(s.values[i])});
+    return false;
+  };
+  bool keep_ts = wanted("timestamp");
+  bool keep_metric = wanted("metric_name");
+  bool keep_tag = wanted("tag");
+  bool keep_value = wanted("value");
+  if (!keep_ts && !keep_metric && !keep_tag && !keep_value) {
+    keep_ts = keep_metric = keep_tag = keep_value = true;
+  }
+
+  size_t total = 0;
+  for (const SeriesData& s : raw) total += s.timestamps.size();
+
+  table::Schema schema;
+  std::vector<std::vector<table::Value>> columns;
+  columns.reserve(4);  // keeps add_column's returned pointers stable
+  auto add_column = [&](const char* name, table::DataType type) {
+    schema.AddField({name, type});
+    columns.emplace_back();
+    columns.back().reserve(total);
+    return &columns.back();
+  };
+  std::vector<table::Value>* ts_col =
+      keep_ts ? add_column("timestamp", table::DataType::kTimestamp)
+              : nullptr;
+  std::vector<table::Value>* metric_col =
+      keep_metric ? add_column("metric_name", table::DataType::kString)
+                  : nullptr;
+  std::vector<table::Value>* tag_col =
+      keep_tag ? add_column("tag", table::DataType::kMap) : nullptr;
+  std::vector<table::Value>* value_col =
+      keep_value ? add_column("value", table::DataType::kDouble) : nullptr;
+
+  for (const SeriesData& s : raw) {
+    const size_t n = s.timestamps.size();
+    if (ts_col != nullptr) {
+      for (size_t i = 0; i < n; ++i) {
+        ts_col->push_back(table::Value::Timestamp(s.timestamps[i]));
+      }
+    }
+    if (metric_col != nullptr) {
+      const table::Value name = table::Value::String(s.meta.metric_name);
+      metric_col->insert(metric_col->end(), n, name);
+    }
+    if (tag_col != nullptr) {
+      tag_col->insert(tag_col->end(), n, s.tags_value);
+    }
+    if (value_col != nullptr) {
+      for (size_t i = 0; i < n; ++i) {
+        value_col->push_back(table::Value::Double(s.values[i]));
+      }
     }
   }
-  return out;
+  return table::Table::FromColumns(std::move(schema), std::move(columns));
 }
 
 
@@ -363,6 +430,7 @@ Status SeriesStore::LoadSnapshot(const std::string& path) {
       }
     }
     s->meta.tags = TagSet(std::move(tags));
+    s->tags_value = MakeTagsValue(s->meta.tags);
     EXPLAINIT_ASSIGN_OR_RETURN(s->block,
                                CompressedBlock::Deserialize(buf, &offset));
     points += s->block.num_points();

@@ -33,6 +33,10 @@ struct SeriesData {
   SeriesMeta meta;
   std::vector<EpochSeconds> timestamps;
   std::vector<double> values;
+  /// The tag set rendered as a table::Value map, shared from the store's
+  /// per-series cache (built at series creation; shared_ptr copy here).
+  /// ScanToTable replicates it per row without rebuilding the map.
+  table::Value tags_value;
 };
 
 /// Planner-derived scan narrowing, attached to a ScanRequest by the SQL
@@ -144,6 +148,9 @@ class SeriesStore {
   /// Renders a scan as a Table with schema
   /// (timestamp: TIMESTAMP, metric_name: STRING, tag: MAP, value: DOUBLE) —
   /// the raw-events shape the Appendix C queries run over (`tsdb` table).
+  /// Honours hints.projection: only the referenced standard columns are
+  /// materialised (per-row tag maps dominate the cost), falling back to
+  /// all four when the projection is empty or names none of them.
   Result<table::Table> ScanToTable(const ScanRequest& request) const;
 
   /// Writes a binary snapshot of the whole store (compressed blocks plus
@@ -158,7 +165,13 @@ class SeriesStore {
   struct Series {
     SeriesMeta meta;
     CompressedBlock block;
+    /// meta.tags as a kMap Value, built once at series creation so scans
+    /// never rebuild per-row tag maps.
+    table::Value tags_value;
   };
+
+  /// Builds the cached tags_value for a fresh series.
+  static table::Value MakeTagsValue(const TagSet& tags);
 
   static std::string Key(const std::string& metric_name, const TagSet& tags);
 

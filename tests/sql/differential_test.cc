@@ -1,0 +1,310 @@
+// Differential SQL harness: a golden corpus of queries executed through
+// the preserved seed row-at-a-time interpreter (bench/seed_executor.h)
+// AND the planner + vectorised operator pipeline at parallelism 1 and N,
+// asserting sorted row-set equality with floating-point tolerance.
+//
+// This is the correctness lock on the morsel-parallel operators: the
+// parallel partial-aggregation path may re-associate floating-point sums
+// (hence the tolerance), but every row, group, join match and NULL must
+// agree with the seed semantics at every parallelism level.
+//
+// Adding corpus queries: append to kCorpus below. Queries must be valid
+// against the fixture (tsdb / hosts / nums tables, see SetUp); invalid
+// queries belong in fuzz_roundtrip_test.cc's smoke loop instead.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "bench/seed_executor.h"
+#include "sql/executor.h"
+#include "tsdb/store.h"
+
+namespace explainit::sql {
+namespace {
+
+using table::Table;
+using table::Value;
+
+constexpr size_t kParallelism = 4;
+constexpr int64_t kPoints = 30;  // per series, one per minute
+const TimeRange kRange{0, kPoints * 60};
+
+const char* const kCorpus[] = {
+    // --- plain scans and filters -----------------------------------------
+    "SELECT * FROM tsdb",
+    "SELECT timestamp, value FROM tsdb",
+    "SELECT value FROM tsdb WHERE metric_name = 'cpu' "
+    "AND timestamp BETWEEN 300 AND 900 AND tag['host'] = 'h1'",
+    "SELECT timestamp, value FROM tsdb "
+    "WHERE tag['host'] IN ('h0', 'h2') OR value > 25",
+    "SELECT timestamp, CASE WHEN value > 10 THEN 'hi' ELSE 'lo' END AS b "
+    "FROM tsdb WHERE metric_name = 'cpu'",
+    "SELECT timestamp FROM tsdb "
+    "WHERE metric_name LIKE 'c%' AND timestamp BETWEEN 120 AND 240",
+    "SELECT value FROM tsdb LIMIT 10",
+    "SELECT -value AS neg, NOT value > 20 AS small FROM tsdb "
+    "WHERE metric_name = 'mem' AND tag['dc'] = 'd1'",
+    // --- aggregation ------------------------------------------------------
+    "SELECT tag['host'] AS host, AVG(value) AS v FROM tsdb "
+    "WHERE metric_name = 'cpu' GROUP BY tag['host']",
+    "SELECT tag['dc'] AS dc, tag['host'] AS h, COUNT(*) AS n, "
+    "SUM(value) AS s, MIN(value) AS mn, MAX(value) AS mx "
+    "FROM tsdb GROUP BY tag['dc'], tag['host']",
+    "SELECT COUNT(*) AS n, AVG(value) AS a FROM tsdb",
+    "SELECT COUNT(*) AS n, AVG(value) AS a FROM tsdb WHERE value > 99999",
+    "SELECT tag['host'] AS h, AVG(value) AS v FROM tsdb "
+    "WHERE metric_name = 'cpu' GROUP BY tag['host'] HAVING AVG(value) > 10",
+    "SELECT AVG(value) / MAX(value) AS r, COUNT(*) + 1 AS c FROM tsdb "
+    "WHERE metric_name = 'mem'",
+    "SELECT tag['host'] AS h, STDDEV(value) AS sd, "
+    "PERCENTILE(value, 0.9) AS p FROM tsdb "
+    "WHERE metric_name = 'cpu' GROUP BY tag['host']",
+    "SELECT timestamp AS ts, AVG(value) AS v FROM tsdb "
+    "WHERE metric_name = 'cpu' GROUP BY timestamp",
+    "SELECT tag['host'] AS h FROM tsdb WHERE metric_name = 'cpu' "
+    "GROUP BY tag['host'] HAVING MAX(value) > 20",
+    "SELECT SUM(value * 2) AS s2, MIN(value + 1) AS m1 FROM tsdb "
+    "WHERE metric_name = 'mem'",
+    "SELECT timestamp % 120 AS bucket, AVG(value) AS v FROM tsdb "
+    "WHERE metric_name = 'cpu' GROUP BY timestamp % 120",
+    "SELECT CONCAT(tag['host'], '-x') AS k, AVG(value) AS v FROM tsdb "
+    "GROUP BY CONCAT(tag['host'], '-x')",
+    // NULL-skipping aggregates over the nums fixture (b's SUM is NULL).
+    "SELECT h, COUNT(v) AS c, COUNT(*) AS cs, SUM(v) AS s "
+    "FROM nums GROUP BY h",
+    "SELECT h, v FROM nums WHERE v IS NULL",
+    // --- joins ------------------------------------------------------------
+    "SELECT COUNT(*) AS n, AVG(l.v + r.v) AS s FROM "
+    "(SELECT timestamp AS ts, AVG(value) AS v FROM tsdb "
+    " WHERE metric_name = 'cpu' GROUP BY timestamp) l "
+    "JOIN "
+    "(SELECT timestamp AS ts, AVG(value) AS v FROM tsdb "
+    " WHERE metric_name = 'mem' GROUP BY timestamp) r "
+    "ON l.ts = r.ts",
+    "SELECT t.timestamp, t.value, hosts.grp FROM tsdb t "
+    "JOIN hosts ON t.tag['host'] = hosts.host "
+    "WHERE t.metric_name = 'cpu' AND t.timestamp < 600",
+    "SELECT hosts.host, n.v FROM hosts LEFT JOIN nums n ON hosts.host = n.h",
+    "SELECT hosts.host, n.v FROM hosts FULL OUTER JOIN nums n "
+    "ON hosts.host = n.h",
+    "SELECT a.host, b.grp FROM hosts a CROSS JOIN hosts b",
+    "SELECT a.host, b.host FROM hosts a JOIN hosts b ON a.host < b.host",
+    // Join-aware pushdown: per-side conjuncts narrow both tsdb scans.
+    "SELECT COUNT(*) AS n FROM tsdb l JOIN tsdb r "
+    "ON l.timestamp = r.timestamp "
+    "WHERE l.metric_name = 'cpu' AND l.tag['host'] = 'h0' "
+    "AND r.metric_name = 'mem' AND r.tag['host'] = 'h1' "
+    "AND l.timestamp BETWEEN 0 AND 600",
+    // Pushdown into the nullable side of an outer join: the conjuncts
+    // are NULL-rejecting, so narrowing the scan must not change results.
+    "SELECT h.host, t.value FROM hosts h "
+    "LEFT JOIN tsdb t ON h.host = t.tag['host'] "
+    "WHERE t.metric_name = 'cpu' AND t.timestamp < 180",
+    // Duplicated alias: "binds to this input" is ambiguous, so the
+    // planner must not push q.* conjuncts into either scan (the seed
+    // resolves q.metric_name against the left input only).
+    "SELECT COUNT(*) AS n FROM tsdb q JOIN tsdb q "
+    "ON q.timestamp = q.timestamp "
+    "WHERE q.metric_name = 'cpu' AND q.timestamp < 180",
+    // --- LAG (stays serial at every parallelism) --------------------------
+    "SELECT timestamp, value - LAG(value, 1) AS d FROM tsdb "
+    "WHERE metric_name = 'cpu' AND tag['host'] = 'h0'",
+    "SELECT timestamp FROM tsdb WHERE metric_name = 'cpu' "
+    "AND tag['host'] = 'h0' AND LAG(value, 1) < value",
+    // --- UNION ALL / ORDER BY / LIMIT / subqueries ------------------------
+    "SELECT 'cpu' AS m, AVG(value) AS v FROM tsdb WHERE metric_name = 'cpu' "
+    "UNION ALL "
+    "SELECT 'mem' AS m, AVG(value) AS v FROM tsdb WHERE metric_name = 'mem'",
+    "SELECT timestamp, value FROM tsdb WHERE metric_name = 'cpu' "
+    "ORDER BY value DESC LIMIT 7",
+    "SELECT value FROM tsdb WHERE metric_name = 'cpu' "
+    "AND tag['host'] = 'h0' ORDER BY timestamp DESC LIMIT 5",
+    "SELECT tag['host'] AS h, AVG(value) AS v FROM tsdb "
+    "WHERE metric_name = 'cpu' GROUP BY tag['host'] ORDER BY v DESC LIMIT 2",
+    "SELECT s.v + 1 AS w FROM (SELECT AVG(value) AS v FROM tsdb "
+    "GROUP BY tag['host']) s WHERE s.v > 5",
+};
+
+bool NumericType(const Value& v) {
+  switch (v.type()) {
+    case table::DataType::kDouble:
+    case table::DataType::kInt64:
+    case table::DataType::kTimestamp:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Cell equality with relative tolerance on numerics (the parallel
+/// partial-aggregation merge may re-associate floating-point sums).
+bool CellsClose(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) {
+    return a.is_null() && b.is_null();
+  }
+  if (NumericType(a) && NumericType(b)) {
+    const double x = a.AsDouble();
+    const double y = b.AsDouble();
+    if (std::isnan(x) || std::isnan(y)) return std::isnan(x) == std::isnan(y);
+    return std::abs(x - y) <=
+           1e-9 * std::max(1.0, std::max(std::abs(x), std::abs(y)));
+  }
+  return a.ToString() == b.ToString();
+}
+
+std::vector<std::vector<Value>> SortedRows(const Table& t) {
+  std::vector<std::vector<Value>> rows;
+  rows.reserve(t.num_rows());
+  for (size_t r = 0; r < t.num_rows(); ++r) rows.push_back(t.Row(r));
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const std::vector<Value>& a,
+                      const std::vector<Value>& b) {
+                     for (size_t c = 0; c < a.size(); ++c) {
+                       const int cmp = a[c].Compare(b[c]);
+                       if (cmp != 0) return cmp < 0;
+                     }
+                     return false;
+                   });
+  return rows;
+}
+
+/// Asserts sorted row-set equality between two results.
+void ExpectSameRowSet(const Table& expected, const Table& actual,
+                      const std::string& query, const std::string& label) {
+  ASSERT_EQ(expected.num_columns(), actual.num_columns())
+      << label << ": " << query;
+  for (size_t c = 0; c < expected.num_columns(); ++c) {
+    EXPECT_EQ(expected.schema().field(c).name, actual.schema().field(c).name)
+        << label << " column " << c << ": " << query;
+  }
+  ASSERT_EQ(expected.num_rows(), actual.num_rows()) << label << ": " << query;
+  const auto exp = SortedRows(expected);
+  const auto act = SortedRows(actual);
+  for (size_t r = 0; r < exp.size(); ++r) {
+    for (size_t c = 0; c < exp[r].size(); ++c) {
+      EXPECT_TRUE(CellsClose(exp[r][c], act[r][c]))
+          << label << " row " << r << " col " << c << ": "
+          << exp[r][c].ToString() << " vs " << act[r][c].ToString()
+          << "\n  query: " << query;
+    }
+  }
+}
+
+class DifferentialTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    functions_ = FunctionRegistry::Builtins();
+    store_ = std::make_shared<tsdb::SeriesStore>();
+    // Two dense metrics over four hosts in two dcs (fractional values so
+    // float summation order matters), plus a sparse one.
+    for (int host = 0; host < 4; ++host) {
+      const tsdb::TagSet tags{{"host", "h" + std::to_string(host)},
+                              {"dc", host < 2 ? "d0" : "d1"}};
+      for (int64_t i = 0; i < kPoints; ++i) {
+        ASSERT_TRUE(store_
+                        ->Write("cpu", tags, i * 60,
+                                host * 7.5 + static_cast<double>(i) * 0.25)
+                        .ok());
+        ASSERT_TRUE(store_
+                        ->Write("mem", tags, i * 60,
+                                host * 3.0 + static_cast<double>(i))
+                        .ok());
+      }
+    }
+    ASSERT_TRUE(store_
+                    ->Write("sparse", tsdb::TagSet{{"host", "h0"}}, 120, 1.5)
+                    .ok());
+    auto store = store_;
+    catalog_.RegisterHintedProvider(
+        "tsdb",
+        [store](const tsdb::ScanHints& hints) -> Result<table::Table> {
+          tsdb::ScanRequest req;
+          req.range = kRange;
+          req.hints = hints;
+          return store->ScanToTable(req);
+        });
+
+    table::Table hosts(table::Schema{{{"host", table::DataType::kString},
+                                      {"grp", table::DataType::kString}}});
+    hosts.AppendRow({Value::String("h0"), Value::String("edge")});
+    hosts.AppendRow({Value::String("h1"), Value::String("edge")});
+    hosts.AppendRow({Value::String("h2"), Value::String("core")});
+    hosts.AppendRow({Value::String("h3"), Value::String("core")});
+    catalog_.RegisterTable("hosts", std::move(hosts));
+
+    table::Table nums(table::Schema{{{"h", table::DataType::kString},
+                                     {"v", table::DataType::kDouble}}});
+    nums.AppendRow({Value::String("h0"), Value::Double(1.0)});
+    nums.AppendRow({Value::String("h0"), Value::Null()});
+    nums.AppendRow({Value::String("h1"), Value::Null()});
+    nums.AppendRow({Value::String("h9"), Value::Double(3.0)});
+    catalog_.RegisterTable("nums", std::move(nums));
+  }
+
+  FunctionRegistry functions_;
+  std::shared_ptr<tsdb::SeriesStore> store_;
+  Catalog catalog_;
+};
+
+TEST_F(DifferentialTest, CorpusMatchesSeedAtEveryParallelism) {
+  bench::SeedExecutor seed(&catalog_, &functions_);
+  Executor serial(&catalog_, &functions_, /*parallelism=*/1);
+  Executor parallel(&catalog_, &functions_, kParallelism);
+  ASSERT_EQ(parallel.parallelism(), kParallelism);
+
+  size_t count = 0;
+  for (const char* query : kCorpus) {
+    SCOPED_TRACE(query);
+    auto expected = seed.Query(query);
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+    auto got1 = serial.Query(query);
+    ASSERT_TRUE(got1.ok()) << got1.status().ToString();
+    auto gotN = parallel.Query(query);
+    ASSERT_TRUE(gotN.ok()) << gotN.status().ToString();
+    ExpectSameRowSet(*expected, *got1, query, "pipeline@1 vs seed");
+    ExpectSameRowSet(*expected, *gotN, query, "pipeline@N vs seed");
+    EXPECT_EQ(parallel.last_stats().parallelism, kParallelism);
+    ++count;
+  }
+  // The harness promises a corpus of at least 25 queries.
+  EXPECT_GE(count, 25u);
+}
+
+TEST_F(DifferentialTest, ParallelismIsDeterministic) {
+  // Two runs at the same parallelism produce bit-identical results (the
+  // shard layout depends only on the row count and the knob).
+  Executor a(&catalog_, &functions_, kParallelism);
+  Executor b(&catalog_, &functions_, kParallelism);
+  const char* query =
+      "SELECT tag['host'] AS h, SUM(value) AS s, AVG(value) AS a "
+      "FROM tsdb GROUP BY tag['host']";
+  auto ra = a.Query(query);
+  auto rb = b.Query(query);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  ASSERT_EQ(ra->num_rows(), rb->num_rows());
+  for (size_t r = 0; r < ra->num_rows(); ++r) {
+    for (size_t c = 0; c < ra->num_columns(); ++c) {
+      EXPECT_TRUE(ra->At(r, c).Equals(rb->At(r, c))) << r << "," << c;
+    }
+  }
+}
+
+TEST_F(DifferentialTest, ChangingParallelismMidStreamIsSafe) {
+  Executor exec(&catalog_, &functions_, 1);
+  const char* query = "SELECT COUNT(*) AS n FROM tsdb";
+  auto r1 = exec.Query(query);
+  ASSERT_TRUE(r1.ok());
+  exec.set_parallelism(kParallelism);
+  auto rN = exec.Query(query);
+  ASSERT_TRUE(rN.ok());
+  EXPECT_EQ(r1->At(0, 0).AsInt(), rN->At(0, 0).AsInt());
+  exec.set_parallelism(0);  // hardware concurrency
+  EXPECT_GE(exec.parallelism(), 1u);
+}
+
+}  // namespace
+}  // namespace explainit::sql

@@ -307,5 +307,102 @@ TEST_F(PlannerTest, MorselParallelScanMatchesSequential) {
   }
 }
 
+TEST_F(PlannerTest, JoinPushdownNarrowsBothInputs) {
+  // Two distinct stores behind two hinted providers: the WHERE conjuncts
+  // qualified to each join input must narrow *that* store's scan window,
+  // metric set and tag filter — not just single-table scans.
+  auto left_store = std::make_shared<tsdb::SeriesStore>();
+  auto right_store = std::make_shared<tsdb::SeriesStore>();
+  for (int host = 0; host < 4; ++host) {
+    const tsdb::TagSet tags{{"host", "h" + std::to_string(host)}};
+    for (int64_t i = 0; i < kPoints; ++i) {
+      ASSERT_TRUE(left_store->Write("cpu", tags, i * 60, host + 1.0).ok());
+      ASSERT_TRUE(right_store->Write("mem", tags, i * 60, host + 2.0).ok());
+    }
+  }
+  auto reg = [this](const char* name,
+                    std::shared_ptr<tsdb::SeriesStore> store) {
+    catalog_.RegisterHintedProvider(
+        name,
+        [store](const tsdb::ScanHints& hints) -> Result<table::Table> {
+          tsdb::ScanRequest req;
+          req.range = kFullRange;
+          req.hints = hints;
+          return store->ScanToTable(req);
+        });
+  };
+  reg("tsdb_l", left_store);
+  reg("tsdb_r", right_store);
+
+  Table t = MustQuery(
+      "SELECT l.timestamp, l.value, r.value FROM tsdb_l l "
+      "JOIN tsdb_r r ON l.timestamp = r.timestamp "
+      "AND l.tag['host'] = r.tag['host'] "
+      "WHERE l.metric_name = 'cpu' AND l.tag['host'] = 'h1' "
+      "AND l.timestamp >= 120 AND l.timestamp < 300 "
+      "AND r.metric_name = 'mem' AND r.tag['host'] = 'h1' "
+      "AND r.timestamp BETWEEN 120 AND 240");
+  // Join window: l in [120, 300) ∩ r in [120, 241) -> minutes 2..4.
+  EXPECT_EQ(t.num_rows(), 3u);
+
+  // Both stores saw narrowed windows and a single matching series.
+  const tsdb::ScanStats& ls = left_store->scan_stats();
+  EXPECT_EQ(ls.last_range.start, 120);
+  EXPECT_EQ(ls.last_range.end, 300);
+  EXPECT_EQ(ls.last_metric_glob, "cpu");
+  EXPECT_EQ(ls.series_matched, 1u);
+  EXPECT_EQ(ls.points_returned, 3u);  // minutes 2,3,4 of one series
+
+  const tsdb::ScanStats& rs = right_store->scan_stats();
+  EXPECT_EQ(rs.last_range.start, 120);
+  EXPECT_EQ(rs.last_range.end, 241);  // BETWEEN is inclusive
+  EXPECT_EQ(rs.last_metric_glob, "mem");
+  EXPECT_EQ(rs.series_matched, 1u);
+  EXPECT_EQ(rs.points_returned, 3u);  // minutes 2,3,4
+}
+
+TEST_F(PlannerTest, JoinPushdownSkipsUnqualifiedAndForeignConjuncts) {
+  // Unqualified conjuncts could bind to either side; conjuncts qualified
+  // to the other input must not leak. Self-join over the fixture store:
+  // only the r-qualified conjuncts may narrow the *second* scan (the
+  // store records the most recent scan, which is the right input).
+  Table t = MustQuery(
+      "SELECT COUNT(*) AS n FROM tsdb l JOIN tsdb r "
+      "ON l.timestamp = r.timestamp AND l.tag['host'] = r.tag['host'] "
+      "WHERE l.metric_name = 'cpu' AND r.metric_name = 'mem' "
+      "AND r.timestamp < 300");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.At(0, 0).AsInt(), 4 * 5);  // 4 hosts x minutes 0..4
+  const tsdb::ScanStats& st = store_->scan_stats();
+  EXPECT_EQ(st.last_metric_glob, "mem");
+  EXPECT_EQ(st.last_range.start, kFullRange.start);
+  EXPECT_EQ(st.last_range.end, 300);
+  EXPECT_EQ(st.series_matched, 4u);  // the host conjunct joins, not filters
+}
+
+TEST_F(PlannerTest, ScanToTableHonoursProjectionHint) {
+  // Columns the statement never references are not materialised by the
+  // provider (the per-row tag maps dominate scan cost).
+  Table t = MustQuery(
+      "SELECT timestamp, value FROM tsdb WHERE metric_name = 'cpu'");
+  EXPECT_EQ(t.num_rows(), 4u * kPoints);
+  const OperatorStats* scan = FindOperator("Scan");
+  ASSERT_NE(scan, nullptr);
+  // The provider returned exactly the three referenced columns
+  // (timestamp, metric_name, value) — no tag map.
+  EXPECT_NE(scan->detail.find("cols=3/3"), std::string::npos)
+      << scan->detail;
+
+  // Referencing the tag column brings it back.
+  Table t2 = MustQuery(
+      "SELECT timestamp, value FROM tsdb "
+      "WHERE metric_name = 'cpu' AND tag['host'] = 'h0'");
+  EXPECT_EQ(t2.num_rows(), static_cast<size_t>(kPoints));
+  scan = FindOperator("Scan");
+  ASSERT_NE(scan, nullptr);
+  EXPECT_NE(scan->detail.find("cols=4/4"), std::string::npos)
+      << scan->detail;
+}
+
 }  // namespace
 }  // namespace explainit::sql

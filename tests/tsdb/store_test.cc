@@ -277,5 +277,39 @@ TEST(SnapshotTest, TruncatedSnapshotFailsCleanly) {
   EXPECT_FALSE(loaded.LoadSnapshot(path).ok());
 }
 
+TEST(StoreTest, ScanToTableHonoursProjectionHint) {
+  SeriesStore store;
+  const TagSet tags{{"host", "h0"}, {"dc", "d0"}};
+  for (int64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(store.Write("cpu", tags, i * 60, i * 1.0).ok());
+  }
+  ScanRequest req;
+  req.range = {0, 300};
+
+  // No projection: all four standard columns.
+  auto full = store.ScanToTable(req);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->num_columns(), 4u);
+  EXPECT_EQ(full->num_rows(), 5u);
+
+  // Projection naming two columns (case-insensitively): only those are
+  // materialised, in the canonical order.
+  req.hints.projection = {"VALUE", "timestamp"};
+  auto pruned = store.ScanToTable(req);
+  ASSERT_TRUE(pruned.ok());
+  ASSERT_EQ(pruned->num_columns(), 2u);
+  EXPECT_EQ(pruned->schema().field(0).name, "timestamp");
+  EXPECT_EQ(pruned->schema().field(1).name, "value");
+  EXPECT_EQ(pruned->num_rows(), 5u);
+  EXPECT_EQ(pruned->At(2, 1).AsDouble(), 2.0);
+
+  // A projection naming none of the standard columns keeps all four so
+  // "column not found" errors surface with their natural wording.
+  req.hints.projection = {"bogus"};
+  auto fallback = store.ScanToTable(req);
+  ASSERT_TRUE(fallback.ok());
+  EXPECT_EQ(fallback->num_columns(), 4u);
+}
+
 }  // namespace
 }  // namespace explainit::tsdb
