@@ -31,6 +31,14 @@ if [[ "${STAGE}" == "release" || "${STAGE}" == "all" ]]; then
   echo "=== bench smoke: sql_pipeline ==="
   "${ROOT}/build/bench/sql_pipeline" --smoke \
     "${ROOT}/build/BENCH_sql_pipeline.smoke.json"
+
+  # End-to-end EXPLAIN statement: ranking parity across the parallelism
+  # sweep, plus the declarative example (the examples are built above).
+  echo "=== bench smoke: explain_rca ==="
+  "${ROOT}/build/bench/explain_rca" --smoke \
+    "${ROOT}/build/BENCH_explain.smoke.json"
+  echo "=== example smoke: explain_sql ==="
+  "${ROOT}/build/examples/explain_sql" >/dev/null
 fi
 
 if [[ "${STAGE}" == "asan" || "${STAGE}" == "all" ]]; then

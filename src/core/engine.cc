@@ -6,6 +6,8 @@
 #include <set>
 
 #include "common/strings.h"
+#include "core/explain.h"
+#include "sql/parser.h"
 
 namespace explainit::core {
 
@@ -154,8 +156,28 @@ void Engine::RegisterStoreTable(const std::string& table_name,
       });
 }
 
+Result<QueryResult> Engine::Query(std::string_view statement) {
+  EXPLAINIT_ASSIGN_OR_RETURN(auto stmt, sql::ParseStatement(statement));
+  QueryResult out;
+  out.kind = stmt->kind();
+  if (out.kind == sql::StatementKind::kSelect) {
+    EXPLAINIT_ASSIGN_OR_RETURN(
+        out.table,
+        executor_.Execute(static_cast<const sql::SelectStatement&>(*stmt)));
+  } else {
+    const auto& explain = static_cast<const sql::ExplainStatement&>(*stmt);
+    EXPLAINIT_ASSIGN_OR_RETURN(auto root,
+                               PlanExplain(explain, this, &executor_));
+    EXPLAINIT_ASSIGN_OR_RETURN(out.table, executor_.ExecuteTree(root.get()));
+    out.score_table = root->score_table();
+  }
+  out.stats = executor_.last_stats();
+  return out;
+}
+
 Result<table::Table> Engine::Sql(std::string_view query) {
-  return executor_.Query(query);
+  EXPLAINIT_ASSIGN_OR_RETURN(QueryResult result, Query(query));
+  return std::move(result.table);
 }
 
 Result<std::vector<FeatureFamily>> Engine::FamiliesFromStore(
@@ -216,6 +238,22 @@ Result<ScoreTable> Engine::Rank(const RankRequest& request) {
       *scorer, request.target,
       request.condition.has_value() ? &*request.condition : nullptr,
       candidates, opts);
+}
+
+Result<ScoreTable> AlignAndRank(Engine* engine, RankRequest req) {
+  // Align everything onto a common grid before ranking.
+  std::vector<FeatureFamily> all;
+  all.push_back(std::move(req.target));
+  if (req.condition.has_value()) all.push_back(std::move(*req.condition));
+  for (FeatureFamily& f : req.candidates) all.push_back(std::move(f));
+  EXPLAINIT_RETURN_IF_ERROR(AlignFamilies(&all));
+  size_t idx = 0;
+  req.target = std::move(all[idx++]);
+  if (req.condition.has_value()) req.condition = std::move(all[idx++]);
+  for (size_t i = 0; idx < all.size(); ++i, ++idx) {
+    req.candidates[i] = std::move(all[idx]);
+  }
+  return engine->Rank(req);
 }
 
 // ---------------------------------------------------------------------------
@@ -335,19 +373,10 @@ Result<ScoreTable> Session::Run() {
   req.scorer_name = scorer_name_;
   req.ranking.render_viz = true;
   if (explain_range_.has_value()) req.ranking.explain_range = explain_range_;
-  // Align everything onto a common grid before ranking.
-  std::vector<FeatureFamily> all;
-  all.push_back(std::move(req.target));
-  if (req.condition.has_value()) all.push_back(std::move(*req.condition));
-  for (FeatureFamily& f : req.candidates) all.push_back(std::move(f));
-  EXPLAINIT_RETURN_IF_ERROR(AlignFamilies(&all));
-  size_t idx = 0;
-  req.target = std::move(all[idx++]);
-  if (req.condition.has_value()) req.condition = std::move(all[idx++]);
-  for (size_t i = 0; idx < all.size(); ++i, ++idx) {
-    req.candidates[i] = std::move(all[idx]);
-  }
-  EXPLAINIT_ASSIGN_OR_RETURN(ScoreTable table, engine_->Rank(req));
+  // Session::Run and the declarative EXPLAIN path share one engine tail:
+  // align onto a common grid, then rank.
+  EXPLAINIT_ASSIGN_OR_RETURN(ScoreTable table,
+                             AlignAndRank(engine_, std::move(req)));
   history_.push_back(table);
   return table;
 }

@@ -41,6 +41,20 @@ struct RankRequest {
   RankingOptions ranking;
 };
 
+/// Result of one statement through the unified Engine::Query facade.
+struct QueryResult {
+  /// SELECT rows, or the EXPLAIN Score Table
+  /// (rank, family, score, num_features, best_lambda, score_seconds, viz).
+  table::Table table;
+  /// The statement's own execution breakdown (per-operator rows/ns; for
+  /// EXPLAIN the root operator is "Rank").
+  sql::ExecStats stats;
+  sql::StatementKind kind = sql::StatementKind::kSelect;
+  /// Populated for EXPLAIN statements: the typed Score Table behind
+  /// `table` (sparkline viz, RankOf, the rank-stage wall time).
+  std::optional<ScoreTable> score_table;
+};
+
 /// Merges families into one (features renamed "family/feature").
 FeatureFamily MergeFamilies(const std::vector<FeatureFamily>& families,
                             const std::string& name);
@@ -87,7 +101,15 @@ class Engine {
   void RegisterStoreTable(const std::string& table_name,
                           const TimeRange& range);
 
-  /// Runs a SQL query against the catalog.
+  /// Runs one statement against the catalog: a SELECT through the
+  /// vectorised pipeline, or an EXPLAIN statement planned into a
+  /// Rank-rooted operator tree (core/explain.h) — one statement API from
+  /// the parser down to the ranking engine.
+  Result<QueryResult> Query(std::string_view statement);
+
+  /// DEPRECATED: thin shim over Query() that drops everything but the
+  /// result table. Prefer Query(), which also reports the statement kind,
+  /// execution stats and (for EXPLAIN) the typed Score Table.
   Result<table::Table> Sql(std::string_view query);
 
   /// Cumulative execution statistics across every Sql() call.
@@ -119,6 +141,9 @@ class Engine {
   /// overlap between X, Y and Z".
   Result<ScoreTable> Rank(const RankRequest& request);
 
+  /// The SQL executor behind Query()/Sql() (parallelism knob, stats).
+  sql::Executor& executor() { return executor_; }
+
  private:
   std::shared_ptr<tsdb::SeriesStore> store_;
   EngineOptions options_;
@@ -126,6 +151,12 @@ class Engine {
   sql::FunctionRegistry functions_;
   sql::Executor executor_;  // must follow catalog_ / functions_
 };
+
+/// Reindexes the request's families onto a common grid (AlignFamilies)
+/// and ranks through Engine::Rank — the shared tail of Session::Run and
+/// the EXPLAIN Rank operator, so programmatic and declarative RCA produce
+/// identical Score Tables.
+Result<ScoreTable> AlignAndRank(Engine* engine, RankRequest request);
 
 /// The interactive loop (Algorithm 1): a Session accumulates the target,
 /// conditioning set, search space and scorer across iterations; each Run()

@@ -132,9 +132,8 @@ Result<ScoreTable> RankFamilies(const Scorer& scorer,
   // NOT vector<bool>: workers write concurrently, and vector<bool> packs
   // bits so adjacent writes would race. One byte per flag is safe.
   std::vector<char> ok(candidates.size(), 0);
-  exec::ThreadPool pool(options.num_threads);
   std::mutex log_mutex;
-  exec::ParallelFor(pool, candidates.size(), [&](size_t i) {
+  auto score_one = [&](size_t i) {
     const FeatureFamily& cand = candidates[i];
     ScoredHypothesis& row = scored[i];
     row.family_name = cand.name;
@@ -173,7 +172,15 @@ Result<ScoreTable> RankFamilies(const Scorer& scorer,
                 RenderSparkline(res->fitted.Col(0));
     }
     ok[i] = 1;
-  });
+  };
+  if (options.pool != nullptr) {
+    exec::ParallelFor(*options.pool, candidates.size(), score_one);
+  } else if (options.num_threads == 1) {
+    for (size_t i = 0; i < candidates.size(); ++i) score_one(i);
+  } else {
+    exec::ThreadPool pool(options.num_threads);
+    exec::ParallelFor(pool, candidates.size(), score_one);
+  }
 
   ScoreTable out;
   for (size_t i = 0; i < candidates.size(); ++i) {
@@ -198,9 +205,12 @@ Result<ScoreTable> RankFamilies(const Scorer& scorer,
       out.rows[i].significant = q[i] <= options.significance_fdr;
     }
   }
+  // Equal scores are ordered by family name so the Score Table is stable
+  // across parallelism levels and candidate enumeration order.
   std::stable_sort(out.rows.begin(), out.rows.end(),
                    [](const ScoredHypothesis& a, const ScoredHypothesis& b) {
-                     return a.score > b.score;
+                     if (a.score != b.score) return a.score > b.score;
+                     return a.family_name < b.family_name;
                    });
   if (options.top_k > 0 && out.rows.size() > options.top_k) {
     out.rows.resize(options.top_k);

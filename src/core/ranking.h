@@ -58,7 +58,13 @@ struct ScoreTable {
 struct RankingOptions {
   /// Top-K cutoff (paper default 20). 0 keeps everything.
   size_t top_k = 20;
-  size_t num_threads = 0;  // 0 = hardware concurrency
+  /// Hypothesis fan-out. 0 = hardware concurrency; 1 scores inline on the
+  /// calling thread (no pool). Ignored when `pool` is set.
+  size_t num_threads = 0;
+  /// External worker pool (e.g. the SQL executor's morsel pool) to fan
+  /// hypotheses out over instead of creating a private one. Never call
+  /// RankFamilies with this pool from inside one of its own tasks.
+  exec::ThreadPool* pool = nullptr;
   /// Round-trip matrices through the IPC codec before scoring, charging
   /// the time to serialization_seconds (reproduces §6.2's measurement).
   bool simulate_ipc = false;
@@ -75,7 +81,8 @@ struct RankingOptions {
 /// Scores `candidates` against `target` given optional `condition`,
 /// in parallel (one hypothesis per task). Families whose scoring fails
 /// (e.g. degenerate data) are skipped with a warning rather than failing
-/// the whole ranking.
+/// the whole ranking. The output order is deterministic at every
+/// parallelism level: decreasing score, ties broken by family name.
 Result<ScoreTable> RankFamilies(const Scorer& scorer,
                                 const FeatureFamily& target,
                                 const FeatureFamily* condition,

@@ -198,6 +198,30 @@ std::string ToSql(const SelectStatement& stmt) {
   return out;
 }
 
+std::string ToSql(const ExplainStatement& stmt) {
+  std::string out = "EXPLAIN (" + ToSql(*stmt.target) + ")";
+  if (stmt.given_pseudocause) {
+    out += " GIVEN PSEUDOCAUSE";
+  } else if (stmt.given != nullptr) {
+    out += " GIVEN (" + ToSql(*stmt.given) + ")";
+  }
+  out += " USING (" + ToSql(*stmt.search_space) + ")";
+  if (!stmt.scorer.empty()) out += " SCORE BY '" + stmt.scorer + "'";
+  if (stmt.top_k.has_value()) out += " TOP " + std::to_string(*stmt.top_k);
+  if (stmt.between_start.has_value() && stmt.between_end.has_value()) {
+    out += " BETWEEN " + std::to_string(*stmt.between_start) + " AND " +
+           std::to_string(*stmt.between_end);
+  }
+  return out;
+}
+
+std::string ToSql(const Statement& stmt) {
+  if (stmt.kind() == StatementKind::kExplain) {
+    return ToSql(static_cast<const ExplainStatement&>(stmt));
+  }
+  return ToSql(static_cast<const SelectStatement&>(stmt));
+}
+
 ExprPtr MakeLiteral(table::Value v) {
   auto e = std::make_unique<Expr>();
   e->kind = ExprKind::kLiteral;

@@ -103,6 +103,16 @@ ExprPtr MakeSubscript(ExprPtr base, ExprPtr index);
 // Statements
 // ---------------------------------------------------------------------------
 
+enum class StatementKind { kSelect, kExplain };
+
+/// Base of the statement hierarchy. A parsed query is either an ordinary
+/// SELECT (with UNION ALL chain) or the declarative RCA statement
+/// EXPLAIN ... [GIVEN ...] USING ... (§3, Appendix C).
+struct Statement {
+  virtual ~Statement() = default;
+  virtual StatementKind kind() const = 0;
+};
+
 /// One item in the SELECT list.
 struct SelectItem {
   ExprPtr expr;        // null for bare `*`
@@ -139,7 +149,7 @@ struct OrderByItem {
 };
 
 /// A parsed SELECT (with optional chained UNION ALL terms).
-struct SelectStatement {
+struct SelectStatement : Statement {
   std::vector<SelectItem> items;
   std::optional<TableRef> from;
   std::vector<JoinClause> joins;
@@ -150,11 +160,43 @@ struct SelectStatement {
   std::optional<int64_t> limit;
   /// UNION [ALL] chains: additional SELECTs whose results are appended.
   std::vector<std::unique_ptr<SelectStatement>> union_all;
+
+  StatementKind kind() const override { return StatementKind::kSelect; }
+};
+
+/// The declarative RCA statement — the paper's headline contribution,
+/// reduced to one grammar production:
+///
+///   EXPLAIN <select>                      -- the target family query (Y)
+///   [GIVEN <select> | GIVEN PSEUDOCAUSE]  -- conditioning set (Z), §3.4
+///   USING <select>                        -- the search space (X families)
+///   [SCORE BY '<scorer>']                 -- §3.5 scorer name
+///   [TOP k]                               -- Score Table cutoff
+///   [BETWEEN t0 AND t1]                   -- range-to-explain (Figure 2)
+///
+/// Each sub-select is an ordinary feature-family-table query compiled
+/// through the regular planner; parentheses around a sub-select are
+/// accepted and are the canonical printed form (they keep a trailing
+/// ORDER BY expression from swallowing the statement-level BETWEEN).
+struct ExplainStatement : Statement {
+  std::unique_ptr<SelectStatement> target;        // EXPLAIN <select>
+  std::unique_ptr<SelectStatement> given;         // GIVEN <select>, else null
+  bool given_pseudocause = false;                 // GIVEN PSEUDOCAUSE
+  std::unique_ptr<SelectStatement> search_space;  // USING <select>
+  std::string scorer;                 // SCORE BY '<name>'; empty = default
+  std::optional<int64_t> top_k;       // TOP k
+  std::optional<int64_t> between_start;  // BETWEEN t0 AND t1 (inclusive)
+  std::optional<int64_t> between_end;
+
+  StatementKind kind() const override { return StatementKind::kExplain; }
 };
 
 /// Reconstructs parseable SQL text for a statement. Printing is a
 /// fixpoint through the parser: Parse(ToSql(s)) prints back to the same
 /// text (the fuzz round-trip suite enforces this).
 std::string ToSql(const SelectStatement& stmt);
+std::string ToSql(const ExplainStatement& stmt);
+/// Dispatches on the dynamic statement kind.
+std::string ToSql(const Statement& stmt);
 
 }  // namespace explainit::sql

@@ -23,18 +23,27 @@ void Executor::set_parallelism(size_t parallelism) {
   ctx_ = ExecContext{parallelism_, pool_.get()};
 }
 
+void Executor::EnsurePool() {
+  if (parallelism_ > 1 && pool_ == nullptr) {
+    pool_ = std::make_unique<exec::ThreadPool>(parallelism_);
+    ctx_ = ExecContext{parallelism_, pool_.get()};
+  }
+}
+
 Result<table::Table> Executor::Query(std::string_view sql) {
   EXPLAINIT_ASSIGN_OR_RETURN(auto stmt, Parse(sql));
   return Execute(*stmt);
 }
 
-Result<table::Table> Executor::Execute(const SelectStatement& stmt) {
-  if (parallelism_ > 1 && pool_ == nullptr) {
-    pool_ = std::make_unique<exec::ThreadPool>(parallelism_);
-    ctx_ = ExecContext{parallelism_, pool_.get()};
-  }
+Result<std::unique_ptr<Operator>> Executor::PlanSelect(
+    const SelectStatement& stmt) {
+  EnsurePool();
   Planner planner(catalog_, functions_, &ctx_);
-  EXPLAINIT_ASSIGN_OR_RETURN(auto root, planner.Plan(stmt));
+  return planner.Plan(stmt);
+}
+
+Result<table::Table> Executor::ExecuteTree(Operator* root) {
+  EnsurePool();
   EXPLAINIT_RETURN_IF_ERROR(root->Open());
   Table out(root->output_schema());
   bool eof = false;
@@ -57,6 +66,11 @@ Result<table::Table> Executor::Execute(const SelectStatement& stmt) {
   stats_.rows_output += last_stats_.rows_output;
   stats_.operators = last_stats_.operators;
   return out;
+}
+
+Result<table::Table> Executor::Execute(const SelectStatement& stmt) {
+  EXPLAINIT_ASSIGN_OR_RETURN(auto root, PlanSelect(stmt));
+  return ExecuteTree(root.get());
 }
 
 }  // namespace explainit::sql

@@ -46,11 +46,31 @@ class Executor {
   void set_parallelism(size_t parallelism);
   size_t parallelism() const { return parallelism_; }
 
-  /// Parses and executes `sql`.
+  /// Parses and executes `sql` (SELECT statements only; EXPLAIN goes
+  /// through the engine's statement API, which plans its sub-selects
+  /// here via PlanSelect/ExecuteTree).
   Result<table::Table> Query(std::string_view sql);
 
   /// Executes an already-parsed statement.
   Result<table::Table> Execute(const SelectStatement& stmt);
+
+  /// Plans a parsed SELECT into a physical operator tree sharing this
+  /// executor's catalog, function registry and execution context (so
+  /// pushdown, pruning and the morsel-parallel paths apply unchanged).
+  /// The statement must outlive the returned tree.
+  Result<std::unique_ptr<Operator>> PlanSelect(const SelectStatement& stmt);
+
+  /// Opens and drains an operator tree built against this executor —
+  /// PlanSelect output, or an externally assembled root such as core's
+  /// Rank operator — materialising the result and recording the same
+  /// per-query + cumulative statistics as Execute().
+  Result<table::Table> ExecuteTree(Operator* root);
+
+  /// The execution context morsel-parallel operators (and the EXPLAIN
+  /// Rank stage) fan out over. Address is stable for the executor's
+  /// lifetime; its pool is live whenever parallelism() > 1 and a plan or
+  /// tree execution has started.
+  const ExecContext* exec_context() const { return &ctx_; }
 
   /// Cumulative counters since construction / ResetStats(). The
   /// `operators` breakdown always describes the most recent query.
@@ -68,6 +88,9 @@ class Executor {
   }
 
  private:
+  /// Creates the worker pool (and repoints ctx_) when parallelism_ > 1.
+  void EnsurePool();
+
   const Catalog* catalog_;
   const FunctionRegistry* functions_;
   size_t parallelism_ = 1;

@@ -8,16 +8,49 @@
 namespace explainit::sql {
 
 namespace {
+/// EXPLAIN statement clause keywords. One definition: every entry is
+/// both reserved (unioned into Keywords()) and soft (IsSoftKeyword), so
+/// the two sets cannot drift apart.
+constexpr const char* kSoftKeywords[] = {"EXPLAIN", "GIVEN",
+                                         "USING",   "PSEUDOCAUSE",
+                                         "SCORE",   "TOP"};
+
 const std::unordered_set<std::string>& Keywords() {
-  static const auto* kKeywords = new std::unordered_set<std::string>{
-      "SELECT", "FROM",  "WHERE",  "GROUP",  "BY",    "ORDER",  "ASC",
-      "DESC",   "LIMIT", "AS",     "AND",    "OR",    "NOT",    "IN",
-      "BETWEEN", "LIKE", "JOIN",   "INNER",  "LEFT",  "RIGHT",  "FULL",
-      "OUTER",  "CROSS", "ON",     "UNION",  "ALL",   "NULL",   "IS",
-      "HAVING", "DISTINCT", "CASE", "WHEN",  "THEN",  "ELSE",   "END",
-      "TRUE",   "FALSE",
-  };
+  static const auto* kKeywords = [] {
+    auto* set = new std::unordered_set<std::string>{
+        "SELECT", "FROM",  "WHERE",  "GROUP",  "BY",    "ORDER",  "ASC",
+        "DESC",   "LIMIT", "AS",     "AND",    "OR",    "NOT",    "IN",
+        "BETWEEN", "LIKE", "JOIN",   "INNER",  "LEFT",  "RIGHT",  "FULL",
+        "OUTER",  "CROSS", "ON",     "UNION",  "ALL",   "NULL",   "IS",
+        "HAVING", "DISTINCT", "CASE", "WHEN",  "THEN",  "ELSE",   "END",
+        "TRUE",   "FALSE",
+    };
+    for (const char* kw : kSoftKeywords) set->insert(kw);
+    return set;
+  }();
   return *kKeywords;
+}
+
+/// Line/column (1-based) of byte `offset` within `query`.
+void LineColumnAt(std::string_view query, size_t offset, size_t* line,
+                  size_t* column) {
+  *line = 1;
+  size_t line_start = 0;
+  const size_t n = std::min(offset, query.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (query[i] == '\n') {
+      ++*line;
+      line_start = i + 1;
+    }
+  }
+  *column = offset - line_start + 1;
+}
+
+std::string PositionText(std::string_view query, size_t offset) {
+  size_t line = 1, column = 1;
+  LineColumnAt(query, offset, &line, &column);
+  return "line " + std::to_string(line) + ", column " +
+         std::to_string(column) + ", offset " + std::to_string(offset);
 }
 }  // namespace
 
@@ -25,8 +58,24 @@ bool IsReservedKeyword(std::string_view upper_word) {
   return Keywords().count(std::string(upper_word)) > 0;
 }
 
+bool IsSoftKeyword(std::string_view upper_word) {
+  for (const char* kw : kSoftKeywords) {
+    if (upper_word == kw) return true;
+  }
+  return false;
+}
+
 Result<std::vector<Token>> Tokenize(std::string_view query) {
   std::vector<Token> tokens;
+  auto push = [&tokens](TokenType type, std::string text, size_t start,
+                        std::string raw = {}) {
+    Token t;
+    t.type = type;
+    t.text = std::move(text);
+    t.raw = std::move(raw);
+    t.position = start;
+    tokens.push_back(std::move(t));
+  };
   size_t i = 0;
   const size_t n = query.size();
   while (i < n) {
@@ -49,9 +98,9 @@ Result<std::vector<Token>> Tokenize(std::string_view query) {
       std::string word(query.substr(start, i - start));
       std::string upper = ToUpper(word);
       if (IsReservedKeyword(upper)) {
-        tokens.push_back({TokenType::kKeyword, std::move(upper), start});
+        push(TokenType::kKeyword, std::move(upper), start, std::move(word));
       } else {
-        tokens.push_back({TokenType::kIdentifier, std::move(word), start});
+        push(TokenType::kIdentifier, std::move(word), start);
       }
       continue;
     }
@@ -75,8 +124,8 @@ Result<std::vector<Token>> Tokenize(std::string_view query) {
           }
         }
       }
-      tokens.push_back({TokenType::kNumber,
-                        std::string(query.substr(start, i - start)), start});
+      push(TokenType::kNumber, std::string(query.substr(start, i - start)),
+           start);
       continue;
     }
     if (c == '\'') {
@@ -97,19 +146,18 @@ Result<std::vector<Token>> Tokenize(std::string_view query) {
         text += query[i++];
       }
       if (!closed) {
-        return Status::ParseError("unterminated string literal at offset " +
-                                  std::to_string(start));
+        return Status::ParseError("unterminated string literal (" +
+                                  PositionText(query, start) + ")");
       }
-      tokens.push_back({TokenType::kString, std::move(text), start});
+      push(TokenType::kString, std::move(text), start);
       continue;
     }
     // Two-character operators.
     if (i + 1 < n) {
       const std::string_view two = query.substr(i, 2);
       if (two == "!=" || two == "<=" || two == ">=" || two == "<>") {
-        tokens.push_back(
-            {TokenType::kOperator, two == "<>" ? "!=" : std::string(two),
-             start});
+        push(TokenType::kOperator, two == "<>" ? "!=" : std::string(two),
+             start);
         i += 2;
         continue;
       }
@@ -129,16 +177,29 @@ Result<std::vector<Token>> Tokenize(std::string_view query) {
       case '.':
       case '[':
       case ']':
-        tokens.push_back({TokenType::kOperator, std::string(1, c), start});
+        push(TokenType::kOperator, std::string(1, c), start);
         ++i;
         break;
       default:
         return Status::ParseError("unexpected character '" +
-                                  std::string(1, c) + "' at offset " +
-                                  std::to_string(start));
+                                  std::string(1, c) + "' (" +
+                                  PositionText(query, start) + ")");
     }
   }
-  tokens.push_back({TokenType::kEnd, "", n});
+  push(TokenType::kEnd, "", n);
+  // One pass to stamp line/column onto every token (positions ascend).
+  size_t line = 1, line_start = 0, ti = 0;
+  for (size_t p = 0; p <= n && ti < tokens.size(); ++p) {
+    while (ti < tokens.size() && tokens[ti].position == p) {
+      tokens[ti].line = line;
+      tokens[ti].column = p - line_start + 1;
+      ++ti;
+    }
+    if (p < n && query[p] == '\n') {
+      ++line;
+      line_start = p + 1;
+    }
+  }
   return tokens;
 }
 

@@ -1,6 +1,8 @@
 // SQL lexer. Tokenises the dialect used throughout Appendix C: SELECT /
 // FROM / WHERE / GROUP BY / ORDER BY / JOIN / UNION / BETWEEN / IN / LIKE,
-// map subscripts (tag['k']), string literals, numbers and operators.
+// the EXPLAIN statement keywords (EXPLAIN / GIVEN / USING / PSEUDOCAUSE /
+// SCORE / TOP), map subscripts (tag['k']), string literals, numbers and
+// operators.
 #pragma once
 
 #include <string>
@@ -22,7 +24,10 @@ enum class TokenType {
 struct Token {
   TokenType type = TokenType::kEnd;
   std::string text;   // normalised: keywords upper-cased, strings unquoted
-  size_t position = 0;  // byte offset in the query (for error messages)
+  std::string raw;    // original spelling (keywords only; empty otherwise)
+  size_t position = 0;  // byte offset in the query
+  size_t line = 1;      // 1-based line of `position` (for error messages)
+  size_t column = 1;    // 1-based column within that line
 
   bool IsKeyword(std::string_view kw) const {
     return type == TokenType::kKeyword && text == kw;
@@ -38,5 +43,12 @@ Result<std::vector<Token>> Tokenize(std::string_view query);
 
 /// True if `word` (upper-cased) is a reserved keyword.
 bool IsReservedKeyword(std::string_view upper_word);
+
+/// True for the EXPLAIN-statement clause keywords (EXPLAIN, GIVEN, USING,
+/// PSEUDOCAUSE, SCORE, TOP). They are reserved so statement clause
+/// boundaries parse unambiguously, but the parser still accepts them as
+/// plain identifiers in expression and alias positions — the Score Table
+/// itself has a `score` column that queries must keep addressing.
+bool IsSoftKeyword(std::string_view upper_word);
 
 }  // namespace explainit::sql

@@ -1,6 +1,7 @@
 #include "sql/parser.h"
 
 #include <charconv>
+#include <system_error>
 
 #include "common/strings.h"
 
@@ -13,18 +14,26 @@ class Parser {
  public:
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
+  /// Top-level entry: SELECT (with UNION ALL chain) or EXPLAIN.
+  Result<std::unique_ptr<Statement>> ParseAnyStatement() {
+    if (Current().IsKeyword("EXPLAIN")) {
+      EXPLAINIT_ASSIGN_OR_RETURN(auto stmt, ParseExplain());
+      EXPLAINIT_RETURN_IF_ERROR(ExpectEnd("EXPLAIN statement"));
+      return std::unique_ptr<Statement>(std::move(stmt));
+    }
+    EXPLAINIT_ASSIGN_OR_RETURN(auto stmt, ParseSelectChain());
+    EXPLAINIT_RETURN_IF_ERROR(ExpectEnd("statement"));
+    return std::unique_ptr<Statement>(std::move(stmt));
+  }
+
   Result<std::unique_ptr<SelectStatement>> ParseStatement() {
-    EXPLAINIT_ASSIGN_OR_RETURN(auto stmt, ParseSelect());
-    // UNION [ALL] chain.
-    while (Current().IsKeyword("UNION")) {
-      Advance();
-      if (Current().IsKeyword("ALL")) Advance();
-      EXPLAINIT_ASSIGN_OR_RETURN(auto next, ParseSelect());
-      stmt->union_all.push_back(std::move(next));
+    if (Current().IsKeyword("EXPLAIN")) {
+      return Err(
+          "EXPLAIN is a statement, not a query expression; run it through "
+          "the statement API (sql::ParseStatement / Engine::Query)");
     }
-    if (Current().type != TokenType::kEnd) {
-      return Err("unexpected trailing input");
-    }
+    EXPLAINIT_ASSIGN_OR_RETURN(auto stmt, ParseSelectChain());
+    EXPLAINIT_RETURN_IF_ERROR(ExpectEnd("statement"));
     return stmt;
   }
 
@@ -46,10 +55,32 @@ class Parser {
     if (pos_ + 1 < tokens_.size()) ++pos_;
   }
 
+  /// True when the current token can serve as an identifier: a real
+  /// identifier or a soft statement keyword (SCORE, TOP, ...) whose
+  /// original spelling is recoverable from Token::raw.
+  bool CurrentIsIdentifierLike() const {
+    return Current().type == TokenType::kIdentifier ||
+           (Current().type == TokenType::kKeyword &&
+            IsSoftKeyword(Current().text));
+  }
+  std::string CurrentIdentifierText() const {
+    return Current().type == TokenType::kKeyword ? Current().raw
+                                                 : Current().text;
+  }
+
   Status Err(const std::string& msg) const {
-    return Status::ParseError(msg + " (near offset " +
-                              std::to_string(Current().position) + ", token '" +
-                              Current().text + "')");
+    const Token& tok = Current();
+    return Status::ParseError(
+        msg + " (line " + std::to_string(tok.line) + ", column " +
+        std::to_string(tok.column) + ", offset " +
+        std::to_string(tok.position) + ", token '" + tok.text + "')");
+  }
+
+  Status ExpectEnd(const char* what) {
+    if (Current().type != TokenType::kEnd) {
+      return Err("unexpected trailing input after " + std::string(what));
+    }
+    return Status::OK();
   }
 
   Status Expect(TokenType type, std::string_view text) {
@@ -59,6 +90,122 @@ class Parser {
     Advance();
     return Status::OK();
   }
+
+  /// SELECT plus any UNION [ALL] continuation (shared by the top level,
+  /// FROM-clause subqueries and EXPLAIN sub-selects).
+  Result<std::unique_ptr<SelectStatement>> ParseSelectChain() {
+    EXPLAINIT_ASSIGN_OR_RETURN(auto stmt, ParseSelect());
+    while (Current().IsKeyword("UNION")) {
+      Advance();
+      if (Current().IsKeyword("ALL")) Advance();
+      EXPLAINIT_ASSIGN_OR_RETURN(auto next, ParseSelect());
+      stmt->union_all.push_back(std::move(next));
+    }
+    return stmt;
+  }
+
+  // -------------------------------------------------------------------------
+  // EXPLAIN statement
+  // -------------------------------------------------------------------------
+
+  /// One EXPLAIN operand: a SELECT chain, optionally parenthesised.
+  /// `clause` names the owning clause for error messages.
+  Result<std::unique_ptr<SelectStatement>> ParseExplainSelect(
+      const char* clause) {
+    if (Current().IsOperator("(")) {
+      Advance();
+      EXPLAINIT_ASSIGN_OR_RETURN(auto sel, ParseSelectChain());
+      if (!Current().IsOperator(")")) {
+        return Err("expected ')' closing the " + std::string(clause) +
+                   " clause's subquery");
+      }
+      Advance();
+      return sel;
+    }
+    if (!Current().IsKeyword("SELECT")) {
+      return Err("expected a SELECT (optionally parenthesised) in the " +
+                 std::string(clause) + " clause");
+    }
+    return ParseSelectChain();
+  }
+
+  /// Signed integer literal for statement-level TOP / BETWEEN operands.
+  Result<int64_t> ParseStatementInt(const char* clause) {
+    bool negative = false;
+    if (Current().IsOperator("-")) {
+      negative = true;
+      Advance();
+    }
+    if (Current().type != TokenType::kNumber ||
+        Current().text.find_first_of(".eE") != std::string::npos) {
+      return Err("expected an integer in the " + std::string(clause) +
+                 " clause");
+    }
+    int64_t v = 0;
+    const char* end = Current().text.data() + Current().text.size();
+    const auto [ptr, ec] =
+        std::from_chars(Current().text.data(), end, v);
+    if (ec != std::errc() || ptr != end) {
+      return Err("integer out of range in the " + std::string(clause) +
+                 " clause");
+    }
+    Advance();
+    return negative ? -v : v;
+  }
+
+  Result<std::unique_ptr<ExplainStatement>> ParseExplain() {
+    EXPLAINIT_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "EXPLAIN"));
+    auto stmt = std::make_unique<ExplainStatement>();
+    EXPLAINIT_ASSIGN_OR_RETURN(stmt->target, ParseExplainSelect("EXPLAIN"));
+    if (Current().IsKeyword("GIVEN")) {
+      Advance();
+      if (Current().IsKeyword("PSEUDOCAUSE")) {
+        stmt->given_pseudocause = true;
+        Advance();
+      } else {
+        EXPLAINIT_ASSIGN_OR_RETURN(stmt->given, ParseExplainSelect("GIVEN"));
+      }
+    }
+    if (!Current().IsKeyword("USING")) {
+      return Err(
+          "expected 'USING <select>' (the search space clause is "
+          "mandatory in an EXPLAIN statement)");
+    }
+    Advance();
+    EXPLAINIT_ASSIGN_OR_RETURN(stmt->search_space,
+                               ParseExplainSelect("USING"));
+    if (Current().IsKeyword("SCORE")) {
+      Advance();
+      EXPLAINIT_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "BY"));
+      if (Current().type != TokenType::kString) {
+        return Err("expected a quoted scorer name after SCORE BY");
+      }
+      stmt->scorer = Current().text;
+      Advance();
+    }
+    if (Current().IsKeyword("TOP")) {
+      Advance();
+      EXPLAINIT_ASSIGN_OR_RETURN(int64_t k, ParseStatementInt("TOP"));
+      if (k <= 0) return Err("TOP requires a positive count");
+      stmt->top_k = k;
+    }
+    if (Current().IsKeyword("BETWEEN")) {
+      Advance();
+      EXPLAINIT_ASSIGN_OR_RETURN(int64_t lo, ParseStatementInt("BETWEEN"));
+      EXPLAINIT_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "AND"));
+      EXPLAINIT_ASSIGN_OR_RETURN(int64_t hi, ParseStatementInt("BETWEEN"));
+      if (hi < lo) {
+        return Err("BETWEEN range is empty (end precedes start)");
+      }
+      stmt->between_start = lo;
+      stmt->between_end = hi;
+    }
+    return stmt;
+  }
+
+  // -------------------------------------------------------------------------
+  // SELECT
+  // -------------------------------------------------------------------------
 
   Result<std::unique_ptr<SelectStatement>> ParseSelect() {
     EXPLAINIT_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "SELECT"));
@@ -76,13 +223,14 @@ class Parser {
         EXPLAINIT_ASSIGN_OR_RETURN(item.expr, ParseExpr());
         if (Current().IsKeyword("AS")) {
           Advance();
-          if (Current().type != TokenType::kIdentifier) {
+          if (!CurrentIsIdentifierLike()) {
             return Err("expected alias after AS");
           }
-          item.alias = Current().text;
+          item.alias = CurrentIdentifierText();
           Advance();
         } else if (Current().type == TokenType::kIdentifier) {
-          // Implicit alias: SELECT expr name.
+          // Implicit alias: SELECT expr name. Soft keywords are excluded:
+          // they delimit EXPLAIN clauses after a sub-select.
           item.alias = Current().text;
           Advance();
         }
@@ -192,29 +340,26 @@ class Parser {
     TableRef ref;
     if (Current().IsOperator("(")) {
       Advance();
-      EXPLAINIT_ASSIGN_OR_RETURN(auto sub, ParseSelect());
-      // Allow UNION chains inside a subquery.
-      while (Current().IsKeyword("UNION")) {
-        Advance();
-        if (Current().IsKeyword("ALL")) Advance();
-        EXPLAINIT_ASSIGN_OR_RETURN(auto next, ParseSelect());
-        sub->union_all.push_back(std::move(next));
-      }
+      EXPLAINIT_ASSIGN_OR_RETURN(auto sub, ParseSelectChain());
       EXPLAINIT_RETURN_IF_ERROR(Expect(TokenType::kOperator, ")"));
       ref.subquery = std::move(sub);
-    } else if (Current().type == TokenType::kIdentifier) {
-      ref.table_name = Current().text;
+    } else if (CurrentIsIdentifierLike()) {
+      // Soft keywords stay valid table names too: a Score Table
+      // registered as `score` must remain queryable. No ambiguity —
+      // EXPLAIN clause keywords never directly follow FROM/JOIN.
+      ref.table_name = CurrentIdentifierText();
       Advance();
     } else {
       return Err("expected table name or subquery");
     }
-    // Optional alias (with or without AS).
+    // Optional alias (with or without AS). Soft keywords only qualify
+    // after an explicit AS: bare they delimit EXPLAIN clauses.
     if (Current().IsKeyword("AS")) {
       Advance();
-      if (Current().type != TokenType::kIdentifier) {
+      if (!CurrentIsIdentifierLike()) {
         return Err("expected alias after AS");
       }
-      ref.alias = Current().text;
+      ref.alias = CurrentIdentifierText();
       Advance();
     } else if (Current().type == TokenType::kIdentifier) {
       ref.alias = Current().text;
@@ -436,8 +581,11 @@ class Parser {
       EXPLAINIT_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "END"));
       return e;
     }
-    if (tok.type == TokenType::kIdentifier) {
-      std::string name = tok.text;
+    // Identifiers, plus soft statement keywords (SCORE, TOP, ...) in
+    // expression position — the Score Table's own `score` column stays
+    // addressable even though SCORE BY is reserved at statement level.
+    if (CurrentIsIdentifierLike()) {
+      std::string name = CurrentIdentifierText();
       Advance();
       // Function call.
       if (Current().IsOperator("(")) {
@@ -465,7 +613,10 @@ class Parser {
             Current().type != TokenType::kKeyword) {
           return Err("expected column name after '.'");
         }
-        std::string col = Current().text;
+        std::string col = Current().type == TokenType::kKeyword &&
+                                  !Current().raw.empty()
+                              ? Current().raw
+                              : Current().text;
         Advance();
         return MakeColumnRef(std::move(name), std::move(col));
       }
@@ -479,6 +630,12 @@ class Parser {
 };
 
 }  // namespace
+
+Result<std::unique_ptr<Statement>> ParseStatement(std::string_view query) {
+  EXPLAINIT_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(query));
+  Parser parser(std::move(tokens));
+  return parser.ParseAnyStatement();
+}
 
 Result<std::unique_ptr<SelectStatement>> Parse(std::string_view query) {
   EXPLAINIT_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(query));

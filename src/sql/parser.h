@@ -9,8 +9,15 @@
 
 namespace explainit::sql {
 
+/// Parses a full statement: a SELECT (with optional UNION ALL chain) or
+/// an EXPLAIN statement. Fails with ParseError carrying the offending
+/// token's line/column.
+Result<std::unique_ptr<Statement>> ParseStatement(std::string_view query);
+
 /// Parses a single SELECT statement (with optional UNION ALL chain).
-/// Fails with ParseError carrying the offending token position.
+/// EXPLAIN input is rejected — statement-level callers use
+/// ParseStatement. Fails with ParseError carrying the offending token
+/// position.
 Result<std::unique_ptr<SelectStatement>> Parse(std::string_view query);
 
 /// Parses a standalone scalar expression (used by tests and the engine's

@@ -243,6 +243,81 @@ TEST(EngineTest, StoreTablePushdownNarrowsScan) {
   EXPECT_EQ(st.points_returned, 11u);
 }
 
+TEST(EngineTest, QueryReportsStatementKindAndStats) {
+  Engine engine(MakeStore(50, 21));
+  engine.RegisterStoreTable("tsdb", kRange);
+  auto select = engine.Query("SELECT COUNT(*) AS n FROM tsdb");
+  ASSERT_TRUE(select.ok()) << select.status().ToString();
+  EXPECT_EQ(select->kind, sql::StatementKind::kSelect);
+  EXPECT_FALSE(select->score_table.has_value());
+  EXPECT_EQ(select->table.At(0, 0).AsInt(), 200);
+  EXPECT_FALSE(select->stats.operators.empty());
+}
+
+TEST(EngineTest, ExplainStatementProducesScoreTable) {
+  Engine engine(MakeStore(200, 22));
+  engine.RegisterStoreTable("tsdb", kRange);
+  auto result = engine.Query(
+      "EXPLAIN (SELECT timestamp, AVG(value) AS y FROM tsdb "
+      "         WHERE metric_name = 'pipeline_runtime' GROUP BY timestamp) "
+      "USING (SELECT timestamp, metric_name, AVG(value) AS v FROM tsdb "
+      "       WHERE metric_name != 'pipeline_runtime' "
+      "       GROUP BY timestamp, metric_name) "
+      "SCORE BY 'CorrMax' TOP 2");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->kind, sql::StatementKind::kExplain);
+  ASSERT_TRUE(result->score_table.has_value());
+  // TOP 2 of the three candidate metrics; the causal pair outranks noise.
+  ASSERT_EQ(result->table.num_rows(), 2u);
+  EXPECT_EQ(result->score_table->rows.size(), 2u);
+  EXPECT_EQ(result->score_table->RankOf("disk_noise"), 0u);
+  // The relational Score Table: rank, family, score, ...
+  EXPECT_EQ(result->table.schema().field(0).name, "rank");
+  EXPECT_EQ(result->table.schema().field(1).name, "family");
+  EXPECT_EQ(result->table.At(0, 0).AsInt(), 1);
+  // The Rank operator roots the plan and reports the fan-out detail.
+  ASSERT_FALSE(result->stats.operators.empty());
+  EXPECT_EQ(result->stats.operators[0].name, "Rank");
+}
+
+TEST(EngineTest, ExplainScoreTableComposesWithSql) {
+  // The EXPLAIN result is an ordinary table: register it and re-query.
+  Engine engine(MakeStore(150, 23));
+  engine.RegisterStoreTable("tsdb", kRange);
+  auto result = engine.Query(
+      "EXPLAIN (SELECT timestamp, AVG(value) AS y FROM tsdb "
+      "         WHERE metric_name = 'pipeline_runtime' GROUP BY timestamp) "
+      "USING (SELECT timestamp, metric_name, AVG(value) AS v FROM tsdb "
+      "       WHERE metric_name != 'pipeline_runtime' "
+      "       GROUP BY timestamp, metric_name) "
+      "SCORE BY 'CorrMax'");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  engine.catalog().RegisterTable("scores", result->table);
+  auto strong = engine.Sql(
+      "SELECT family, score FROM scores WHERE score > 0.5 AND rank <= 2 "
+      "ORDER BY score DESC");
+  ASSERT_TRUE(strong.ok()) << strong.status().ToString();
+  EXPECT_LE(strong->num_rows(), 2u);
+}
+
+TEST(EngineTest, ExplainErrorsAreActionable) {
+  Engine engine(MakeStore(60, 24));
+  engine.RegisterStoreTable("tsdb", kRange);
+  // Unknown scorer fails before any sub-select executes.
+  auto bad_scorer = engine.Query(
+      "EXPLAIN (SELECT timestamp, AVG(value) AS y FROM tsdb "
+      "GROUP BY timestamp) USING (SELECT timestamp, metric_name, "
+      "AVG(value) AS v FROM tsdb GROUP BY timestamp, metric_name) "
+      "SCORE BY 'bogus'");
+  EXPECT_FALSE(bad_scorer.ok());
+  // A target query with no timestamp column cannot form families.
+  auto bad_target = engine.Query(
+      "EXPLAIN (SELECT COUNT(*) AS n FROM tsdb) "
+      "USING (SELECT timestamp, metric_name, AVG(value) AS v FROM tsdb "
+      "GROUP BY timestamp, metric_name)");
+  EXPECT_FALSE(bad_target.ok());
+}
+
 TEST(EngineTest, SessionExplainRangeReported) {
   Engine engine(MakeStore(300, 10));
   Session session(&engine, kRange);

@@ -73,6 +73,37 @@ TEST(RankingTest, CauseAndEffectOutrankNoise) {
   EXPECT_GT(table->rows[1].score, table->rows[2].score + 0.3);
 }
 
+TEST(RankingTest, TiesBreakByFamilyNameAtEveryParallelism) {
+  // Candidate clones share identical data, so their scores tie exactly;
+  // the Score Table must order them by name regardless of the insertion
+  // order or the fan-out (the EXPLAIN differential bar depends on this).
+  World w = MakeWorld(200, 0, 7);
+  const FeatureFamily base = w.candidates[0];  // "cause"
+  std::vector<FeatureFamily> candidates;
+  for (const char* name : {"twin-c", "twin-a", "twin-d", "twin-b"}) {
+    FeatureFamily f = base;
+    f.name = name;
+    candidates.push_back(std::move(f));
+  }
+  CorrMaxScorer scorer;
+  std::vector<std::vector<std::string>> orders;
+  exec::ThreadPool shared_pool(4);
+  for (int mode = 0; mode < 3; ++mode) {
+    RankingOptions options;
+    options.num_threads = mode == 0 ? 1 : 4;
+    if (mode == 2) options.pool = &shared_pool;
+    auto table = RankFamilies(scorer, w.target, nullptr, candidates,
+                              options);
+    ASSERT_TRUE(table.ok());
+    std::vector<std::string> order;
+    for (const auto& row : table->rows) order.push_back(row.family_name);
+    orders.push_back(std::move(order));
+  }
+  const std::vector<std::string> expected = {"twin-a", "twin-b", "twin-c",
+                                             "twin-d"};
+  for (const auto& order : orders) EXPECT_EQ(order, expected);
+}
+
 TEST(RankingTest, TopKCutoffApplied) {
   World w = MakeWorld(200, 30, 2);
   CorrMaxScorer scorer;

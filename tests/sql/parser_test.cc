@@ -186,6 +186,165 @@ TEST(ParserTest, RejectsTrailingGarbage) {
   EXPECT_FALSE(ParseExpression("1 + 2 extra").ok());
 }
 
+// ---------------------------------------------------------------------------
+// EXPLAIN statements
+// ---------------------------------------------------------------------------
+
+TEST(ParserTest, ExplainAllClauses) {
+  auto stmt = ParseStatement(
+      "EXPLAIN SELECT ts, v FROM target_q "
+      "GIVEN SELECT ts, z FROM cond_q "
+      "USING SELECT ts, name, v FROM ff "
+      "SCORE BY 'L2' TOP 5 BETWEEN 100 AND 200");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ((*stmt)->kind(), StatementKind::kExplain);
+  const auto& e = static_cast<const ExplainStatement&>(**stmt);
+  ASSERT_NE(e.target, nullptr);
+  EXPECT_EQ(e.target->from->table_name, "target_q");
+  ASSERT_NE(e.given, nullptr);
+  EXPECT_FALSE(e.given_pseudocause);
+  ASSERT_NE(e.search_space, nullptr);
+  EXPECT_EQ(e.search_space->from->table_name, "ff");
+  EXPECT_EQ(e.scorer, "L2");
+  EXPECT_EQ(e.top_k, 5);
+  EXPECT_EQ(e.between_start, 100);
+  EXPECT_EQ(e.between_end, 200);
+}
+
+TEST(ParserTest, ExplainMinimalAndPseudocause) {
+  auto stmt = ParseStatement(
+      "EXPLAIN SELECT ts, v FROM t GIVEN PSEUDOCAUSE "
+      "USING SELECT ts, name, v FROM ff");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& e = static_cast<const ExplainStatement&>(**stmt);
+  EXPECT_TRUE(e.given_pseudocause);
+  EXPECT_EQ(e.given, nullptr);
+  EXPECT_TRUE(e.scorer.empty());
+  EXPECT_FALSE(e.top_k.has_value());
+  EXPECT_FALSE(e.between_start.has_value());
+}
+
+TEST(ParserTest, ExplainParenthesisedSubselects) {
+  // Parentheses are optional on input and canonical on output; a trailing
+  // ORDER BY inside parens cannot swallow the statement-level BETWEEN.
+  auto stmt = ParseStatement(
+      "EXPLAIN (SELECT ts, v FROM t) "
+      "USING (SELECT ts, name, v FROM ff ORDER BY v DESC) "
+      "BETWEEN 0 AND 60");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& e = static_cast<const ExplainStatement&>(**stmt);
+  ASSERT_EQ(e.search_space->order_by.size(), 1u);
+  EXPECT_EQ(e.between_start, 0);
+  EXPECT_EQ(e.between_end, 60);
+}
+
+TEST(ParserTest, ExplainPrintsToFixpoint) {
+  const char* kStatements[] = {
+      "EXPLAIN (SELECT ts, v FROM t) USING (SELECT ts, name, v FROM ff)",
+      "EXPLAIN (SELECT ts, v FROM t) GIVEN PSEUDOCAUSE "
+      "USING (SELECT ts, name, v FROM ff) SCORE BY 'CorrMax' TOP 3",
+      "EXPLAIN (SELECT ts, AVG(v) AS y FROM t GROUP BY ts) "
+      "GIVEN (SELECT ts, z FROM c) "
+      "USING (SELECT ts, name, v FROM ff UNION ALL "
+      "SELECT ts, name, v FROM ff2) "
+      "SCORE BY 'L2' TOP 20 BETWEEN 100 AND 200",
+  };
+  for (const char* text : kStatements) {
+    SCOPED_TRACE(text);
+    auto stmt = ParseStatement(text);
+    ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+    const std::string sql = ToSql(**stmt);
+    auto reparsed = ParseStatement(sql);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+    EXPECT_EQ(ToSql(**reparsed), sql);
+  }
+}
+
+TEST(ParserTest, ExplainRequiresUsing) {
+  auto stmt = ParseStatement("EXPLAIN SELECT ts, v FROM t");
+  ASSERT_FALSE(stmt.ok());
+  EXPECT_NE(stmt.status().message().find("USING"), std::string::npos);
+}
+
+TEST(ParserTest, MalformedExplainUsingPointsAtClause) {
+  // The offending clause and its position (line/column) are in the error.
+  auto stmt = ParseStatement(
+      "EXPLAIN SELECT ts, v FROM t\n"
+      "USING 42");
+  ASSERT_FALSE(stmt.ok());
+  const std::string msg = stmt.status().message();
+  EXPECT_NE(msg.find("USING clause"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("column 7"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'42'"), std::string::npos) << msg;
+}
+
+TEST(ParserTest, ExplainRejectsBadClauseOperands) {
+  EXPECT_FALSE(ParseStatement("EXPLAIN SELECT v FROM t USING SELECT v "
+                              "FROM ff SCORE BY L2")
+                   .ok());  // scorer must be quoted
+  EXPECT_FALSE(ParseStatement("EXPLAIN SELECT v FROM t USING SELECT v "
+                              "FROM ff TOP 0")
+                   .ok());  // positive count
+  EXPECT_FALSE(ParseStatement("EXPLAIN SELECT v FROM t USING SELECT v "
+                              "FROM ff BETWEEN 200 AND 100")
+                   .ok());  // empty window
+  EXPECT_FALSE(ParseStatement("EXPLAIN SELECT v FROM t").ok());
+}
+
+TEST(ParserTest, ErrorsCarryLineAndColumn) {
+  auto stmt = Parse("SELECT a,\n  FROM t");
+  ASSERT_FALSE(stmt.ok());
+  const std::string msg = stmt.status().message();
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("column 3"), std::string::npos) << msg;
+}
+
+TEST(ParserTest, SoftKeywordsRemainUsableAsColumns) {
+  // The Score Table's own columns (score, ...) stay addressable even
+  // though SCORE/TOP/... are reserved at statement level.
+  auto stmt = Parse(
+      "SELECT family, score FROM scores WHERE score > 0.5 "
+      "ORDER BY score DESC");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ((*stmt)->items[1].expr->column, "score");
+  EXPECT_EQ((*stmt)->items[1].expr->ToString(), "score");
+
+  auto aliased = Parse("SELECT v AS score, s.top FROM s");
+  ASSERT_TRUE(aliased.ok()) << aliased.status().ToString();
+  EXPECT_EQ((*aliased)->items[0].alias, "score");
+  EXPECT_EQ((*aliased)->items[1].expr->column, "top");
+
+  // Statement-level dispatch still wins at the start of the input.
+  EXPECT_TRUE(Parse("SELECT explain FROM t").ok());
+
+  // ... and as table names: a Score Table registered as `score` stays
+  // queryable.
+  auto from_soft = Parse("SELECT family FROM score");
+  ASSERT_TRUE(from_soft.ok()) << from_soft.status().ToString();
+  EXPECT_EQ((*from_soft)->from->table_name, "score");
+}
+
+TEST(ParserTest, StatementIntegersRejectOverflow) {
+  // An out-of-range literal must error, not silently truncate to 0.
+  EXPECT_FALSE(ParseStatement("EXPLAIN SELECT v FROM t USING SELECT v "
+                              "FROM ff BETWEEN 99999999999999999999 AND 5")
+                   .ok());
+  EXPECT_FALSE(ParseStatement("EXPLAIN SELECT v FROM t USING SELECT v "
+                              "FROM ff TOP 99999999999999999999")
+                   .ok());
+  // The INT64_MAX edge itself parses (and executes without overflow).
+  EXPECT_TRUE(ParseStatement("EXPLAIN SELECT v FROM t USING SELECT v "
+                             "FROM ff BETWEEN 0 AND 9223372036854775807")
+                  .ok());
+}
+
+TEST(ParserTest, ParseRejectsExplainWithPointer) {
+  auto stmt = Parse("EXPLAIN SELECT v FROM t USING SELECT v FROM ff");
+  ASSERT_FALSE(stmt.ok());
+  EXPECT_NE(stmt.status().message().find("statement"), std::string::npos);
+}
+
 TEST(ParserTest, ExprCloneDeepCopies) {
   auto e = ParseExpression("AVG(a + b['k']) / 2");
   ASSERT_TRUE(e.ok());
