@@ -4,9 +4,13 @@
 // knob {1, 2, hw}. Scales the store to 1k/10k/100k series and runs
 //   Q1  scan -> filter -> aggregate   (the pushdown + parallel-agg showcase)
 //   Q2  scan -> filter -> join -> aggregate (two per-minute subqueries)
+//   Q3  scan -> filter -> join -> sort/limit (the partitioned hash join,
+//       sharded top-K sort and parallel materialisation showcase)
 // Seed-vs-pipeline result parity is verified for every configuration
 // *before* any timing is recorded; mismatches fail the bench. Emits
-// BENCH_sql_pipeline.json so the perf trajectory is recorded.
+// BENCH_sql_pipeline.json so the perf trajectory is recorded. On hosts
+// with >= 4 cores (and not in --smoke mode) the Q3 parallel path must
+// additionally beat the serial pipeline.
 //
 // Usage: sql_pipeline [--smoke] [output.json]
 #include <algorithm>
@@ -44,6 +48,19 @@ const char* kQ2 =
     "(SELECT timestamp AS ts, AVG(value) AS v FROM tsdb "
     " WHERE metric_name = 'load' GROUP BY timestamp) r "
     "ON l.ts = r.ts";
+
+// Q3: row-level join of the latency sweep against the (10x smaller) load
+// side on (timestamp, host), topped by ORDER BY ... LIMIT — the
+// partitioned hash join + sharded top-K sort + parallel materialisation
+// path. The ORDER BY keys (v, ts) cover every selected column, so rows
+// tied on the full key are identical and any LIMIT cut among them leaves
+// the row count and the checksum (sum of v) unchanged.
+const char* kQ3 =
+    "SELECT l.timestamp AS ts, l.value + r.value AS v FROM tsdb l "
+    "JOIN tsdb r ON l.timestamp = r.timestamp "
+    "AND l.tag['host'] = r.tag['host'] "
+    "WHERE l.metric_name = 'latency' AND r.metric_name = 'load' "
+    "ORDER BY v DESC, ts LIMIT 100";
 
 std::shared_ptr<tsdb::SeriesStore> BuildStore(size_t num_series) {
   auto store = std::make_shared<tsdb::SeriesStore>();
@@ -127,13 +144,13 @@ bool Matches(const QueryResult& seed, const QueryResult& pipe) {
 
 struct ParallelReport {
   size_t parallelism;
-  QueryResult q1, q2;
+  QueryResult q1, q2, q3;
   double q1_agg_self_sec = 1e300;  // HashAggregate self time in Q1
 };
 
 struct ScaleReport {
   size_t series;
-  QueryResult q1_seed, q2_seed;
+  QueryResult q1_seed, q2_seed, q3_seed;
   std::vector<ParallelReport> pipeline;  // one entry per parallelism level
   bool match = true;
   /// Whole-query q1 at parallelism 1 over the best parallel level.
@@ -142,6 +159,9 @@ struct ScaleReport {
   /// HashAggregate (operator self time, q1) — the tentpole metric,
   /// insensitive to the shared scan cost.
   double q1_agg_speedup = 0;
+  /// Whole-query q3 (join + ORDER BY LIMIT) at parallelism 1 over the
+  /// best parallel level — the partitioned join / sharded sort metric.
+  double q3_parallel_speedup = 0;
 };
 
 std::vector<size_t> ParallelismSweep() {
@@ -174,11 +194,14 @@ ScaleReport RunScale(size_t num_series) {
   // before a single timing is recorded.
   const QueryResult q1_ref = Run(seed, kQ1);
   const QueryResult q2_ref = Run(seed, kQ2);
+  const QueryResult q3_ref = Run(seed, kQ3);
   for (size_t p : ParallelismSweep()) {
     pipeline.set_parallelism(p);
     const QueryResult q1 = Run(pipeline, kQ1);
     const QueryResult q2 = Run(pipeline, kQ2);
-    if (!Matches(q1_ref, q1) || !Matches(q2_ref, q2)) {
+    const QueryResult q3 = Run(pipeline, kQ3);
+    if (!Matches(q1_ref, q1) || !Matches(q2_ref, q2) ||
+        !Matches(q3_ref, q3)) {
       std::fprintf(stderr,
                    "parity FAILED at %zu series, parallelism %zu\n",
                    num_series, p);
@@ -192,11 +215,12 @@ ScaleReport RunScale(size_t num_series) {
   // best-of-rounds damps scheduler noise on busy hosts.
   constexpr int kRounds = 3;
   const std::vector<size_t> sweep = ParallelismSweep();
-  rep.q1_seed.seconds = rep.q2_seed.seconds = 1e300;
+  rep.q1_seed.seconds = rep.q2_seed.seconds = rep.q3_seed.seconds = 1e300;
   rep.pipeline.resize(sweep.size());
   for (size_t j = 0; j < sweep.size(); ++j) {
     rep.pipeline[j].parallelism = sweep[j];
-    rep.pipeline[j].q1.seconds = rep.pipeline[j].q2.seconds = 1e300;
+    rep.pipeline[j].q1.seconds = rep.pipeline[j].q2.seconds =
+        rep.pipeline[j].q3.seconds = 1e300;
   }
   for (int round = 0; round < kRounds; ++round) {
     KeepMin(&rep.q1_seed, Run(seed, kQ1));
@@ -212,35 +236,46 @@ ScaleReport RunScale(size_t num_series) {
       pipeline.set_parallelism(sweep[j]);
       KeepMin(&rep.pipeline[j].q2, Run(pipeline, kQ2));
     }
+    KeepMin(&rep.q3_seed, Run(seed, kQ3));
+    for (size_t j = 0; j < sweep.size(); ++j) {
+      pipeline.set_parallelism(sweep[j]);
+      KeepMin(&rep.pipeline[j].q3, Run(pipeline, kQ3));
+    }
   }
   double best_parallel_q1 = 1e300;
   double best_parallel_agg = 1e300;
+  double best_parallel_q3 = 1e300;
   for (const ParallelReport& pr : rep.pipeline) {
     if (pr.parallelism > 1) {
       best_parallel_q1 = std::min(best_parallel_q1, pr.q1.seconds);
       best_parallel_agg = std::min(best_parallel_agg, pr.q1_agg_self_sec);
+      best_parallel_q3 = std::min(best_parallel_q3, pr.q3.seconds);
     }
   }
   rep.q1_parallel_speedup = rep.pipeline[0].q1.seconds / best_parallel_q1;
   rep.q1_agg_speedup = rep.pipeline[0].q1_agg_self_sec / best_parallel_agg;
+  rep.q3_parallel_speedup = rep.pipeline[0].q3.seconds / best_parallel_q3;
   return rep;
 }
 
 void PrintScale(const ScaleReport& r) {
-  std::printf("%8zu series | Q1 seed %8.4fs | Q2 seed %8.4fs | results %s\n",
-              r.series, r.q1_seed.seconds, r.q2_seed.seconds,
-              r.match ? "match" : "MISMATCH");
+  std::printf(
+      "%8zu series | Q1 seed %8.4fs | Q2 seed %8.4fs | Q3 seed %8.4fs "
+      "| results %s\n",
+      r.series, r.q1_seed.seconds, r.q2_seed.seconds, r.q3_seed.seconds,
+      r.match ? "match" : "MISMATCH");
   for (const ParallelReport& pr : r.pipeline) {
     std::printf(
         "          p=%zu | Q1 %8.4fs (%5.1fx seed) | Q2 %8.4fs "
-        "(%5.1fx seed)\n",
+        "(%5.1fx seed) | Q3 %8.4fs (%5.1fx seed)\n",
         pr.parallelism, pr.q1.seconds, r.q1_seed.seconds / pr.q1.seconds,
-        pr.q2.seconds, r.q2_seed.seconds / pr.q2.seconds);
+        pr.q2.seconds, r.q2_seed.seconds / pr.q2.seconds, pr.q3.seconds,
+        r.q3_seed.seconds / pr.q3.seconds);
   }
   std::printf(
-      "          Q1 parallel-vs-serial-pipeline speedup: %.2fx "
-      "(HashAggregate operator: %.2fx)\n",
-      r.q1_parallel_speedup, r.q1_agg_speedup);
+      "          parallel-vs-serial-pipeline speedups: Q1 %.2fx "
+      "(HashAggregate operator: %.2fx), Q3 join+sort %.2fx\n",
+      r.q1_parallel_speedup, r.q1_agg_speedup, r.q3_parallel_speedup);
 }
 
 int Main(int argc, char** argv) {
@@ -286,10 +321,11 @@ int Main(int argc, char** argv) {
     std::fprintf(
         f,
         "    {\"series\": %zu, \"points\": %zu,\n"
-        "     \"q1_seed_sec\": %.6f, \"q2_seed_sec\": %.6f,\n"
+        "     \"q1_seed_sec\": %.6f, \"q2_seed_sec\": %.6f, "
+        "\"q3_seed_sec\": %.6f,\n"
         "     \"pipeline\": [\n",
         r.series, r.series * kPointsPerSeries, r.q1_seed.seconds,
-        r.q2_seed.seconds);
+        r.q2_seed.seconds, r.q3_seed.seconds);
     for (size_t j = 0; j < r.pipeline.size(); ++j) {
       const ParallelReport& pr = r.pipeline[j];
       std::fprintf(
@@ -298,10 +334,13 @@ int Main(int argc, char** argv) {
           "\"q1_rows\": %zu, \"q1_speedup_vs_seed\": %.2f, "
           "\"q1_hashagg_self_sec\": %.6f, "
           "\"q2_sec\": %.6f, \"q2_rows\": %zu, "
-          "\"q2_speedup_vs_seed\": %.2f}%s\n",
+          "\"q2_speedup_vs_seed\": %.2f, "
+          "\"q3_sec\": %.6f, \"q3_rows\": %zu, "
+          "\"q3_speedup_vs_seed\": %.2f}%s\n",
           pr.parallelism, pr.q1.seconds, pr.q1.rows,
           r.q1_seed.seconds / pr.q1.seconds, pr.q1_agg_self_sec,
           pr.q2.seconds, pr.q2.rows, r.q2_seed.seconds / pr.q2.seconds,
+          pr.q3.seconds, pr.q3.rows, r.q3_seed.seconds / pr.q3.seconds,
           j + 1 < r.pipeline.size() ? "," : "");
     }
     std::fprintf(
@@ -309,8 +348,9 @@ int Main(int argc, char** argv) {
         "     ],\n"
         "     \"q1_parallel_speedup_vs_serial_pipeline\": %.2f,\n"
         "     \"q1_hashaggregate_parallel_speedup\": %.2f,\n"
+        "     \"q3_parallel_speedup_vs_serial_pipeline\": %.2f,\n"
         "     \"results_match\": %s}%s\n",
-        r.q1_parallel_speedup, r.q1_agg_speedup,
+        r.q1_parallel_speedup, r.q1_agg_speedup, r.q3_parallel_speedup,
         r.match ? "true" : "false", i + 1 < reports.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -323,6 +363,16 @@ int Main(int argc, char** argv) {
   }
   if (!smoke && !pipeline_wins_at_top) {
     std::printf("FAIL: pipeline slower than seed at the top scale\n");
+    return 1;
+  }
+  // Q3 speedup gate: on hosts with >= 4 cores the partitioned join +
+  // sharded sort must beat the serial pipeline at the top scale. (On
+  // fewer cores parallel ~= serial is expected; parity still gates.)
+  if (!smoke && std::thread::hardware_concurrency() >= 4 &&
+      reports.back().q3_parallel_speedup < 1.1) {
+    std::printf("FAIL: Q3 join+sort parallel speedup %.2fx < 1.1x on a "
+                ">=4-core host\n",
+                reports.back().q3_parallel_speedup);
     return 1;
   }
   return 0;

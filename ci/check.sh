@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 verification gate: Release build + full ctest + bench smoke, and
-# an ASan/UBSan Debug build + full ctest. Run from anywhere.
+# Tier-1 verification gate: Release build + full ctest + bench smoke, an
+# ASan/UBSan Debug build + full ctest, and a ThreadSanitizer build running
+# the concurrency-sensitive suites (operators, differential, thread pool).
+# Run from anywhere.
 #
-# Usage: check.sh [release|asan|all]   (default: all)
-# CI runs the two stages as separate jobs; `all` reproduces the full gate
+# Usage: check.sh [release|asan|tsan|all]   (default: all)
+# CI runs the stages as separate jobs; `all` reproduces the full gate
 # locally.
 set -euo pipefail
 
@@ -45,6 +47,21 @@ if [[ "${STAGE}" == "asan" || "${STAGE}" == "all" ]]; then
   run_suite "${ROOT}/build-asan" \
     -DCMAKE_BUILD_TYPE=Debug \
     -DEXPLAINIT_SANITIZE=ON
+fi
+
+if [[ "${STAGE}" == "tsan" || "${STAGE}" == "all" ]]; then
+  # ThreadSanitizer job: the suites that drive the morsel-parallel
+  # operators, the partitioned join/sort/materialisation paths and the
+  # worker pool itself. (ASan and TSan cannot share a build tree.)
+  echo "=== configure: ${ROOT}/build-tsan (ThreadSanitizer) ==="
+  cmake -B "${ROOT}/build-tsan" -S "${ROOT}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DEXPLAINIT_TSAN=ON
+  echo "=== build: ${ROOT}/build-tsan ==="
+  cmake --build "${ROOT}/build-tsan" -j "${JOBS}"
+  echo "=== ctest (tsan): operator, differential and thread-pool suites ==="
+  ctest --test-dir "${ROOT}/build-tsan" --output-on-failure -j "${JOBS}" \
+    -R 'operators_test|differential_test|executor_test|planner_test|fuzz_roundtrip_test|thread_pool_test'
 fi
 
 echo "=== checks passed (${STAGE}) ==="

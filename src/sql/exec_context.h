@@ -1,6 +1,8 @@
 // Shared execution context for one query pipeline: the degree of
 // parallelism the executor was configured with and the worker pool that
-// morsel-parallel operators (Filter/Project/HashAggregate) fan out over.
+// the parallel operators (Filter/Project/HashAggregate morsels,
+// HashJoin's partitioned build/probe, SortLimit's sharded sort) and the
+// executor's chunked result assembly fan out over.
 //
 // parallelism == 1 (or a null context/pool) means the pipeline runs the
 // classic streaming operators; > 1 switches eligible operators to their

@@ -47,14 +47,59 @@ Result<table::Table> Executor::ExecuteTree(Operator* root) {
   EXPLAINIT_RETURN_IF_ERROR(root->Open());
   Table out(root->output_schema());
   bool eof = false;
-  while (true) {
-    EXPLAINIT_ASSIGN_OR_RETURN(table::ColumnBatch batch, root->Next(&eof));
-    if (eof) break;
-    batch.AppendTo(&out);
+  size_t materialize_chunks = 1;
+  const size_t width = out.num_columns();
+  if (parallelism_ > 1 && width > 0 && root->StableBatches()) {
+    // Parallel result materialisation: a stable root's batches stay
+    // valid until the tree is destroyed, so the drain buffers views and
+    // the final table assembles column-wise across the pool — per-batch
+    // chunks copy into disjoint row ranges of preallocated columns,
+    // replacing the serial per-batch AppendTo copy. Trade-off: batches
+    // with owned storage are all held until assembly, so peak transient
+    // memory can approach twice the result set (the serial path frees
+    // each batch right after appending it).
+    std::vector<table::ColumnBatch> batches;
+    std::vector<size_t> offsets;
+    size_t total = 0;
+    while (true) {
+      EXPLAINIT_ASSIGN_OR_RETURN(table::ColumnBatch batch,
+                                 root->Next(&eof));
+      if (eof) break;
+      if (batch.num_rows() == 0) continue;
+      offsets.push_back(total);
+      total += batch.num_rows();
+      batches.push_back(std::move(batch));
+    }
+    std::vector<std::vector<table::Value>> cols(width);
+    for (auto& c : cols) c.resize(total);
+    EXPLAINIT_RETURN_IF_ERROR(RunSharded(
+        &ctx_, batches.size(), [&](size_t b) -> Status {
+          const table::ColumnBatch& batch = batches[b];
+          const size_t base = offsets[b];
+          for (size_t c = 0; c < width; ++c) {
+            const table::Value* src = batch.column(c);
+            std::vector<table::Value>& dst = cols[c];
+            for (size_t r = 0; r < batch.num_rows(); ++r) {
+              dst[base + r] = src[r];
+            }
+          }
+          return Status::OK();
+        }));
+    EXPLAINIT_ASSIGN_OR_RETURN(
+        out, Table::FromColumns(root->output_schema(), std::move(cols)));
+    materialize_chunks = std::max<size_t>(1, batches.size());
+  } else {
+    while (true) {
+      EXPLAINIT_ASSIGN_OR_RETURN(table::ColumnBatch batch,
+                                 root->Next(&eof));
+      if (eof) break;
+      batch.AppendTo(&out);
+    }
   }
 
   last_stats_ = ExecStats{};
   last_stats_.parallelism = parallelism_;
+  last_stats_.materialize_chunks = materialize_chunks;
   root->AccumulateExecStatsTree(&last_stats_);
   last_stats_.rows_output = out.num_rows();
   root->CollectStats(&last_stats_.operators);
@@ -64,6 +109,12 @@ Result<table::Table> Executor::ExecuteTree(Operator* root) {
   stats_.hash_joins += last_stats_.hash_joins;
   stats_.nested_loop_joins += last_stats_.nested_loop_joins;
   stats_.rows_output += last_stats_.rows_output;
+  stats_.join_build_partitions = std::max(stats_.join_build_partitions,
+                                          last_stats_.join_build_partitions);
+  stats_.sort_shards =
+      std::max(stats_.sort_shards, last_stats_.sort_shards);
+  stats_.materialize_chunks =
+      std::max(stats_.materialize_chunks, last_stats_.materialize_chunks);
   stats_.operators = last_stats_.operators;
   return out;
 }

@@ -9,10 +9,13 @@
 // catalog providers (tsdb::SeriesStore scans) — on both sides of joins.
 //
 // Parallelism: set_parallelism(n) switches Filter/Project/HashAggregate
-// to their morsel-parallel paths over an executor-owned worker pool
+// to their morsel-parallel paths, HashJoin to its partitioned
+// build/probe, SortLimit to its sharded sort, and the final drain to
+// chunked column assembly — all over an executor-owned worker pool
 // (n == 1 keeps the streaming single-threaded operators; n == 0 means
-// hardware concurrency). Results are identical up to floating-point
-// summation order, which the differential test suite pins down.
+// hardware concurrency). Join, sort and materialisation output is
+// byte-identical across levels; aggregation is identical up to
+// floating-point summation order. The differential suite pins both.
 #pragma once
 
 #include <memory>

@@ -1,13 +1,27 @@
 // HashJoin: §4.2's "broadcast join". The build side (chosen by the
-// planner: the smaller input for symmetric joins) is fully materialised
-// into a hash table; the probe side streams through batch-wise. Equi
-// conjuncts become hash keys; the remaining conjuncts evaluate as a
-// residual over candidate rows. A condition whose equality conjuncts
-// turn out not to split across the inputs degenerates to a single-key
-// cross product with the full condition as residual (the nested-loop
-// equivalent).
+// planner: the smaller input when row counts are known) is fully
+// materialised into a partitioned hash index; the probe side streams
+// through batch-wise. Equi conjuncts become hash keys; the remaining
+// conjuncts evaluate as a residual over candidate rows. A condition
+// whose equality conjuncts turn out not to split across the inputs
+// degenerates to a single-key cross product with the full condition as
+// residual (the nested-loop equivalent).
+//
+// Parallelism (ExecContext with parallelism > 1): the build side is
+// partitioned by key hash, per-partition indexes are built across the
+// pool, and each probe batch is sharded into contiguous row ranges that
+// probe concurrently. Per-shard candidates and build-side match sets
+// are merged in shard order, so output row order and match bookkeeping
+// are identical to the serial path (matches enumerate in ascending
+// build-row order at every parallelism level).
+//
+// Outer joins pad by the *actual* build side: unmatched probe rows pad
+// per batch (nulls on the build side's columns), unmatched build rows
+// pad once after the probe is exhausted (nulls on the probe side's
+// columns). Either input may be the build side for LEFT / FULL OUTER.
 #pragma once
 
+#include <algorithm>
 #include <unordered_map>
 #include <vector>
 
@@ -31,17 +45,20 @@ EquiKeys SplitJoinCondition(const Expr* condition, const Evaluator& left_ev,
 
 class HashJoinOperator : public Operator {
  public:
-  /// `build_left` builds the hash table on the left input (planner picks
-  /// the smaller side; only for symmetric join types). Output columns are
-  /// always left fields then right fields.
+  /// `build_left` builds the hash index on the left input (planner picks
+  /// the smaller side). Output columns are always left fields then right
+  /// fields regardless of orientation.
   HashJoinOperator(std::unique_ptr<Operator> left,
                    std::unique_ptr<Operator> right, const JoinClause* join,
-                   const FunctionRegistry* functions, bool build_left);
+                   const FunctionRegistry* functions, bool build_left,
+                   const ExecContext* ctx = nullptr);
 
   const table::Schema& output_schema() const override { return schema_; }
   std::string name() const override { return "HashJoin"; }
   void AccumulateExecStats(ExecStats* stats) const override {
     ++stats->hash_joins;
+    stats->join_build_partitions =
+        std::max(stats->join_build_partitions, num_partitions_);
   }
   /// Every emitted batch is owned (gathered candidates / outer pads).
   bool StableBatches() const override { return true; }
@@ -51,24 +68,49 @@ class HashJoinOperator : public Operator {
   Result<table::ColumnBatch> NextImpl(bool* eof) override;
 
  private:
-  Result<table::ColumnBatch> FinishFullOuter(bool* eof);
+  /// Rows of one hash partition, keyed by encoded join key. Row vectors
+  /// are ascending build-row order, so match enumeration is deterministic.
+  struct BuildPartition {
+    std::unordered_map<std::string, std::vector<size_t>> index;
+  };
+
+  /// True when unmatched build rows must be emitted after the probe
+  /// (FULL OUTER, or LEFT when the left input is the build side).
+  bool NeedsBuildPads() const;
+  /// True when unmatched probe rows pad per batch (FULL OUTER, or LEFT
+  /// when the left input is the probe side).
+  bool NeedsProbePads() const;
+  /// Appends one combined output row built from a probe row (i) and a
+  /// build row (j) to `cols`, honouring the orientation.
+  void AppendCandidate(std::vector<std::vector<table::Value>>* cols,
+                       const table::ColumnBatch& batch, size_t i,
+                       size_t j) const;
+  Result<table::ColumnBatch> FinishBuildPads(bool* eof);
 
   Operator* left_;
   Operator* right_;
   const JoinClause* join_;
   const FunctionRegistry* functions_;
   const bool build_left_;
+  const ExecContext* ctx_;
 
   table::Schema schema_;          // left fields + right fields
   table::Table build_table_;      // materialised build side
   EquiKeys keys_;
-  std::unordered_multimap<std::string, size_t> build_index_;
+  std::vector<BuildPartition> partitions_;
+  size_t num_partitions_ = 1;
   std::vector<const Expr*> probe_exprs_;  // key exprs of the probe side
-  std::vector<bool> build_matched_;       // for FULL OUTER
+  std::vector<char> build_matched_;       // for outer pads
   size_t left_width_ = 0;
   size_t right_width_ = 0;
+  size_t build_offset_ = 0;  // column offset of the build side's fields
+  size_t probe_offset_ = 0;  // column offset of the probe side's fields
+  size_t build_width_ = 0;
+  size_t probe_width_ = 0;
+  bool lag_in_condition_ = false;  // LAG reads neighbours: probe serially
+  bool parallel_ = false;          // set once in Open, as Filter/Project do
   bool probe_done_ = false;
-  bool outer_emitted_ = false;
+  bool pads_emitted_ = false;
 };
 
 }  // namespace explainit::sql

@@ -49,12 +49,14 @@ Status Operator::Drain(Operator* op, table::Table* out) {
   }
 }
 
-std::vector<RowRange> ShardRows(size_t num_rows, size_t parallelism) {
-  /// Below this many rows per shard the fan-out overhead beats the work.
-  constexpr size_t kMinShardRows = 1024;
+std::vector<RowRange> ShardRows(size_t num_rows, size_t parallelism,
+                                size_t min_shard_rows) {
+  // Below min_shard_rows rows per shard the fan-out overhead beats the
+  // work.
+  if (min_shard_rows == 0) min_shard_rows = 1;
   size_t shards = parallelism == 0 ? 1 : parallelism;
-  if (num_rows / kMinShardRows < shards) {
-    shards = std::max<size_t>(1, num_rows / kMinShardRows);
+  if (num_rows / min_shard_rows < shards) {
+    shards = std::max<size_t>(1, num_rows / min_shard_rows);
   }
   std::vector<RowRange> out;
   out.reserve(shards);

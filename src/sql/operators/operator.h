@@ -49,6 +49,14 @@ struct ExecStats {
   size_t rows_output = 0;
   /// Degree of parallelism the query executed with (the executor knob).
   size_t parallelism = 1;
+  /// Shard/partition fan-out of the parallel operators in the last query
+  /// (maximum across operator instances; 1 when the path ran serially,
+  /// 0 when the operator did not appear in the plan).
+  size_t join_build_partitions = 0;
+  size_t sort_shards = 0;
+  /// Chunks the executor assembled the final result table from (1 = the
+  /// classic serial drain-and-append path).
+  size_t materialize_chunks = 0;
   std::vector<OperatorStats> operators;
 };
 
@@ -133,10 +141,14 @@ struct RowRange {
 };
 
 /// Splits [0, num_rows) into at most `parallelism` contiguous shards of at
-/// least kMinShardRows rows (one shard when the input is small). Boundaries
-/// depend only on (num_rows, parallelism) so a parallelism level is
-/// deterministic regardless of scheduling.
-std::vector<RowRange> ShardRows(size_t num_rows, size_t parallelism);
+/// least `min_shard_rows` rows (one shard when the input is small).
+/// Boundaries depend only on the arguments so a parallelism level is
+/// deterministic regardless of scheduling. The default grain suits
+/// morsel stages over materialised inputs; per-batch stages (join
+/// probing) pass a smaller grain, since a batch is at most
+/// table::kDefaultBatchRows rows to begin with.
+std::vector<RowRange> ShardRows(size_t num_rows, size_t parallelism,
+                                size_t min_shard_rows = 1024);
 
 /// Runs fn(shard_index) for every shard over ctx->pool (inline when the
 /// context is serial or there is a single shard). Statuses are collected
@@ -144,6 +156,13 @@ std::vector<RowRange> ShardRows(size_t num_rows, size_t parallelism);
 /// error reporting deterministic under concurrency.
 Status RunSharded(const ExecContext* ctx, size_t num_shards,
                   const std::function<Status(size_t)>& fn);
+
+/// Parallelism the context actually provides: ctx->parallelism when a
+/// live pool backs it, 1 for null or serial contexts. The value every
+/// parallel operator hands to ShardRows.
+inline size_t EffectiveParallelism(const ExecContext* ctx) {
+  return ctx != nullptr && ctx->parallel() ? ctx->parallelism : 1;
+}
 
 /// True when the expression tree contains a LAG call (which must see the
 /// whole input, so batching is disabled for that stage).

@@ -1,7 +1,10 @@
 #include "sql/operators/sort_limit.h"
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
+#include <queue>
+#include <utility>
 
 namespace explainit::sql {
 
@@ -12,12 +15,106 @@ using table::Value;
 SortLimitOperator::SortLimitOperator(std::unique_ptr<Operator> input,
                                      const SelectStatement* stmt,
                                      const FunctionRegistry* functions,
-                                     bool aggregated)
-    : stmt_(stmt), functions_(functions), aggregated_(aggregated) {
+                                     bool aggregated, const ExecContext* ctx)
+    : stmt_(stmt), functions_(functions), aggregated_(aggregated),
+      ctx_(ctx) {
   input_ = AddChild(std::move(input));
 }
 
 Status SortLimitOperator::OpenImpl() { return input_->Open(); }
+
+Status SortLimitOperator::BuildSortKeys(
+    const Table& output, std::vector<std::vector<Value>>* keys) const {
+  // Each item resolves its evaluation side once: the output schema
+  // (alias or expression name, and always for aggregated inputs where
+  // pre-projection rows are not 1:1) or the retained pre-projection
+  // rows. A primary-side failure on *any* row switches the whole item
+  // to the other side, so one item never mixes values from two schemas
+  // across rows.
+  const size_t n = output.num_rows();
+  Evaluator out_ev(&output, functions_);
+  const Table empty_pre;
+  const Table* preprojection = input_->retained_input();
+  const Table* pre = preprojection != nullptr ? preprojection : &empty_pre;
+  Evaluator pre_ev(pre, functions_);
+  const std::vector<RowRange> shards =
+      ShardRows(n, EffectiveParallelism(ctx_));
+  keys->resize(stmt_->order_by.size());
+  for (size_t k = 0; k < stmt_->order_by.size(); ++k) {
+    const OrderByItem& item = stmt_->order_by[k];
+    bool resolved_on_output = false;
+    if (item.expr->kind == ExprKind::kColumnRef &&
+        out_ev.ResolveColumn(*item.expr).ok()) {
+      resolved_on_output = true;
+    }
+    const Evaluator* primary =
+        (resolved_on_output || aggregated_) ? &out_ev : &pre_ev;
+    const Evaluator* fallback = primary == &out_ev ? &pre_ev : &out_ev;
+    std::vector<Value>& col = (*keys)[k];
+    col.assign(n, Value());
+    // Pass 1: the primary side for every row. Whether any row fails is
+    // a property of the data, not of the shard layout, so the side
+    // choice is identical at every parallelism level.
+    std::atomic<bool> failed{false};
+    Status first_pass = RunSharded(
+        ctx_, shards.size(), [&](size_t s) -> Status {
+          for (size_t r = shards[s].begin; r < shards[s].end; ++r) {
+            if (failed.load(std::memory_order_relaxed)) break;
+            Result<Value> v = primary->Eval(*item.expr, r);
+            if (!v.ok()) {
+              failed.store(true, std::memory_order_relaxed);
+              break;
+            }
+            col[r] = std::move(v).value();
+          }
+          return Status::OK();
+        });
+    EXPLAINIT_RETURN_IF_ERROR(std::move(first_pass));
+    if (failed.load(std::memory_order_relaxed)) {
+      EXPLAINIT_RETURN_IF_ERROR(RunSharded(
+          ctx_, shards.size(), [&](size_t s) -> Status {
+            for (size_t r = shards[s].begin; r < shards[s].end; ++r) {
+              EXPLAINIT_ASSIGN_OR_RETURN(Value v,
+                                         fallback->Eval(*item.expr, r));
+              col[r] = std::move(v);
+            }
+            return Status::OK();
+          }));
+    }
+  }
+  return Status::OK();
+}
+
+Status SortLimitOperator::GatherSorted(const Table& output,
+                                       const std::vector<size_t>& order) {
+  const size_t m = order.size();
+  const size_t width = output.num_columns();
+  if (width == 0) {
+    // Zero-column relations cannot round-trip through FromColumns (the
+    // row count would be lost); appending empty rows is trivial anyway.
+    sorted_ = Table(output.schema());
+    for (size_t r = 0; r < m; ++r) sorted_.AppendRow({});
+    return Status::OK();
+  }
+  std::vector<std::vector<Value>> cols(width);
+  for (auto& c : cols) c.resize(m);
+  const std::vector<RowRange> shards =
+      ShardRows(m, EffectiveParallelism(ctx_));
+  EXPLAINIT_RETURN_IF_ERROR(RunSharded(
+      ctx_, shards.size(), [&](size_t s) -> Status {
+        for (size_t c = 0; c < width; ++c) {
+          const std::vector<Value>& src = output.column(c);
+          std::vector<Value>& dst = cols[c];
+          for (size_t r = shards[s].begin; r < shards[s].end; ++r) {
+            dst[r] = src[order[r]];
+          }
+        }
+        return Status::OK();
+      }));
+  EXPLAINIT_ASSIGN_OR_RETURN(
+      sorted_, Table::FromColumns(output.schema(), std::move(cols)));
+  return Status::OK();
+}
 
 Result<ColumnBatch> SortLimitOperator::NextImpl(bool* eof) {
   if (stmt_->order_by.empty()) {
@@ -47,50 +144,90 @@ Result<ColumnBatch> SortLimitOperator::NextImpl(bool* eof) {
     sorted_done_ = true;
     Table output(input_->output_schema());
     EXPLAINIT_RETURN_IF_ERROR(Drain(input_, &output));
-    // Build sort keys: prefer resolving against the output schema (alias
-    // or expression name); otherwise evaluate against the pre-projection
-    // rows (valid only when rows map 1:1, i.e. no aggregation).
     const size_t n = output.num_rows();
-    std::vector<std::vector<Value>> sort_keys(n);
-    Evaluator out_ev(&output, functions_);
-    const Table empty_pre;
-    const Table* preprojection = input_->retained_input();
-    const Table* pre = preprojection != nullptr ? preprojection : &empty_pre;
-    Evaluator pre_ev(pre, functions_);
-    for (const OrderByItem& item : stmt_->order_by) {
-      // Try output-schema resolution by name first.
-      bool resolved_on_output = false;
-      if (item.expr->kind == ExprKind::kColumnRef) {
-        if (out_ev.ResolveColumn(*item.expr).ok()) resolved_on_output = true;
-      }
-      for (size_t r = 0; r < n; ++r) {
-        Result<Value> v = resolved_on_output ? out_ev.Eval(*item.expr, r)
-                          : aggregated_      ? out_ev.Eval(*item.expr, r)
-                                             : pre_ev.Eval(*item.expr, r);
-        if (!v.ok()) {
-          // Last resort: try the other side.
-          v = resolved_on_output || aggregated_ ? pre_ev.Eval(*item.expr, r)
-                                                : out_ev.Eval(*item.expr, r);
-        }
-        if (!v.ok()) return v.status();
-        sort_keys[r].push_back(std::move(v).value());
-      }
-    }
-    std::vector<size_t> order(n);
-    std::iota(order.begin(), order.end(), size_t{0});
-    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    std::vector<std::vector<Value>> sort_keys;
+    EXPLAINIT_RETURN_IF_ERROR(BuildSortKeys(output, &sort_keys));
+
+    // Strict total order: sort keys in ORDER BY sequence, then the input
+    // row index — exactly the order a stable sort produces, but usable
+    // by per-shard plain sorts, heaps and the merge alike.
+    auto less = [&](size_t a, size_t b) {
       for (size_t k = 0; k < stmt_->order_by.size(); ++k) {
-        const int cmp = sort_keys[a][k].Compare(sort_keys[b][k]);
-        if (cmp != 0) return stmt_->order_by[k].ascending ? cmp < 0 : cmp > 0;
+        const int cmp = sort_keys[k][a].Compare(sort_keys[k][b]);
+        if (cmp != 0) return stmt_->order_by[k].ascending ? cmp < 0
+                                                          : cmp > 0;
       }
-      return false;
-    });
-    if (stmt_->limit.has_value() && *stmt_->limit >= 0 &&
-        static_cast<size_t>(*stmt_->limit) < order.size()) {
-      order.resize(static_cast<size_t>(*stmt_->limit));
+      return a < b;
+    };
+    const bool has_limit =
+        stmt_->limit.has_value() && *stmt_->limit >= 0;
+    const size_t limit =
+        has_limit ? std::min<size_t>(static_cast<size_t>(*stmt_->limit), n)
+                  : n;
+    const std::vector<RowRange> shards =
+        ShardRows(n, EffectiveParallelism(ctx_));
+    sort_shards_ = shards.size();
+    std::vector<size_t> order;
+    if (shards.size() <= 1) {
+      order.resize(n);
+      std::iota(order.begin(), order.end(), size_t{0});
+      std::sort(order.begin(), order.end(), less);
+      order.resize(limit);
+    } else {
+      // Per-shard sort — a bounded top-K heap when LIMIT keeps fewer
+      // rows than the shard holds (the heap root is the worst kept
+      // row) — then a k-way merge over the shard fronts.
+      std::vector<std::vector<size_t>> local(shards.size());
+      EXPLAINIT_RETURN_IF_ERROR(RunSharded(
+          ctx_, shards.size(), [&](size_t s) -> Status {
+            std::vector<size_t>& idx = local[s];
+            const RowRange& range = shards[s];
+            if (has_limit && limit < range.size()) {
+              idx.reserve(limit + 1);
+              for (size_t r = range.begin; r < range.end; ++r) {
+                if (idx.size() < limit) {
+                  idx.push_back(r);
+                  std::push_heap(idx.begin(), idx.end(), less);
+                } else if (limit > 0 && less(r, idx.front())) {
+                  std::pop_heap(idx.begin(), idx.end(), less);
+                  idx.back() = r;
+                  std::push_heap(idx.begin(), idx.end(), less);
+                }
+              }
+              std::sort_heap(idx.begin(), idx.end(), less);
+            } else {
+              idx.resize(range.size());
+              std::iota(idx.begin(), idx.end(), range.begin);
+              std::sort(idx.begin(), idx.end(), less);
+            }
+            return Status::OK();
+          }));
+      using HeapItem = std::pair<size_t, size_t>;  // (row, shard)
+      auto heap_greater = [&](const HeapItem& a, const HeapItem& b) {
+        return less(b.first, a.first);
+      };
+      std::priority_queue<HeapItem, std::vector<HeapItem>,
+                          decltype(heap_greater)>
+          heap(heap_greater);
+      std::vector<size_t> cursor(local.size(), 0);
+      for (size_t s = 0; s < local.size(); ++s) {
+        if (!local[s].empty()) heap.emplace(local[s][0], s);
+      }
+      order.reserve(limit);
+      while (!heap.empty() && order.size() < limit) {
+        const auto [row, s] = heap.top();
+        heap.pop();
+        order.push_back(row);
+        if (++cursor[s] < local[s].size()) {
+          heap.emplace(local[s][cursor[s]], s);
+        }
+      }
     }
-    sorted_ = Table(output.schema());
-    for (size_t r : order) sorted_.AppendRow(output.Row(r));
+    EXPLAINIT_RETURN_IF_ERROR(GatherSorted(output, order));
+    stats_.detail = "rows=" + std::to_string(n) +
+                    " shards=" + std::to_string(sort_shards_) +
+                    (has_limit && sort_shards_ > 1 && limit < n ? " top-k"
+                                                                : "");
   }
   if (pos_ >= sorted_.num_rows()) {
     *eof = true;

@@ -436,18 +436,24 @@ Result<std::unique_ptr<Operator>> Planner::PlanFrom(
                    side_hints(join.right, right_name)));
     if (join.condition != nullptr && HasEqualityConjunct(join.condition.get())) {
       // Broadcast heuristic: build on the smaller side when both row
-      // counts are known; only inner joins are symmetric enough to swap.
+      // counts are known. Outer joins swap too — the join pads
+      // unmatched rows by the actual build side, so orientation only
+      // affects cost, never results.
       bool build_left = false;
       std::optional<size_t> right_rows =
           join.right.subquery == nullptr
               ? catalog_->EstimatedRows(join.right.table_name)
               : std::nullopt;
-      if (join.type == JoinType::kInner && acc_rows.has_value() &&
-          right_rows.has_value() && *acc_rows < *right_rows) {
+      if ((join.type == JoinType::kInner ||
+           join.type == JoinType::kLeft ||
+           join.type == JoinType::kFullOuter) &&
+          acc_rows.has_value() && right_rows.has_value() &&
+          *acc_rows < *right_rows) {
         build_left = true;
       }
       acc = std::unique_ptr<Operator>(std::make_unique<HashJoinOperator>(
-          std::move(acc), std::move(right), &join, functions_, build_left));
+          std::move(acc), std::move(right), &join, functions_, build_left,
+          ctx_));
     } else {
       acc = std::unique_ptr<Operator>(
           std::make_unique<NestedLoopJoinOperator>(
@@ -506,7 +512,7 @@ Result<std::unique_ptr<Operator>> Planner::PlanSingle(
   }
   if (!needs_sort_limit) return source;
   return std::unique_ptr<Operator>(std::make_unique<SortLimitOperator>(
-      std::move(source), &stmt, functions_, aggregated));
+      std::move(source), &stmt, functions_, aggregated, ctx_));
 }
 
 Result<std::unique_ptr<Operator>> Planner::Plan(

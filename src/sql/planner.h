@@ -17,11 +17,13 @@
 //     (which may bind to either side).
 //   * join strategy + build side — conditions with an equality conjunct
 //     become hash joins, built on the smaller side when row counts are
-//     known (the §4.2 broadcast heuristic); others fall back to nested
-//     loops.
+//     known (the §4.2 broadcast heuristic). Outer joins swap too: the
+//     join pads unmatched rows by the actual build side, so orientation
+//     only affects cost. Others fall back to nested loops.
 //
 // An ExecContext with parallelism > 1 plans Filter/Project/HashAggregate
-// onto their morsel-parallel paths.
+// onto their morsel-parallel paths, a partitioned parallel build/probe
+// for HashJoin, and the sharded sort/top-K path for SortLimit.
 //
 // The planned tree references the statement's AST nodes: the statement
 // must outlive execution.

@@ -90,6 +90,29 @@ const char* const kCorpus[] = {
     "SELECT hosts.host, n.v FROM hosts LEFT JOIN nums n ON hosts.host = n.h",
     "SELECT hosts.host, n.v FROM hosts FULL OUTER JOIN nums n "
     "ON hosts.host = n.h",
+    // Outer joins at both build orientations: hosts (4 rows) < dims
+    // (12 rows) makes the planner build on the *left* side, nums (4
+    // rows) keeps build = right; pads must follow the actual build side.
+    "SELECT hosts.host, dims.v FROM hosts LEFT JOIN dims "
+    "ON hosts.host = dims.h",
+    "SELECT hosts.host, dims.v FROM hosts FULL OUTER JOIN dims "
+    "ON hosts.host = dims.h",
+    "SELECT dims.h, dims.v, hosts.grp FROM dims LEFT JOIN hosts "
+    "ON dims.h = hosts.host",
+    "SELECT dims.h, hosts.host FROM dims FULL OUTER JOIN hosts "
+    "ON dims.h = hosts.host ORDER BY dims.h, hosts.host",
+    // ORDER BY + LIMIT over join outputs: the keys cover every selected
+    // column, so tied rows are identical and the LIMIT cut is a
+    // well-defined multiset on both engines.
+    "SELECT hosts.host AS hh, n.v AS vv FROM hosts LEFT JOIN nums n "
+    "ON hosts.host = n.h ORDER BY hh DESC, vv LIMIT 3",
+    "SELECT hosts.host AS hh, n.v AS vv FROM hosts FULL OUTER JOIN nums n "
+    "ON hosts.host = n.h ORDER BY hh, vv DESC LIMIT 5",
+    "SELECT timestamp, value FROM tsdb WHERE metric_name = 'mem' "
+    "ORDER BY value DESC, timestamp LIMIT 11",
+    "SELECT t.timestamp AS ts, t.value AS v, hosts.grp AS g FROM tsdb t "
+    "JOIN hosts ON t.tag['host'] = hosts.host WHERE t.metric_name = 'cpu' "
+    "ORDER BY v DESC, ts, g LIMIT 9",
     "SELECT a.host, b.grp FROM hosts a CROSS JOIN hosts b",
     "SELECT a.host, b.host FROM hosts a JOIN hosts b ON a.host < b.host",
     // Join-aware pushdown: per-side conjuncts narrow both tsdb scans.
@@ -171,6 +194,13 @@ std::vector<std::vector<Value>> SortedRows(const Table& t) {
   return rows;
 }
 
+/// Exact cell identity (Value::Equals is SQL equality, where NULL is
+/// never equal to anything — including NULL).
+bool SameCell(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return a.is_null() && b.is_null();
+  return a.Equals(b);
+}
+
 /// Asserts sorted row-set equality between two results.
 void ExpectSameRowSet(const Table& expected, const Table& actual,
                       const std::string& query, const std::string& label) {
@@ -242,6 +272,19 @@ class DifferentialTest : public ::testing::Test {
     nums.AppendRow({Value::String("h1"), Value::Null()});
     nums.AppendRow({Value::String("h9"), Value::Double(3.0)});
     catalog_.RegisterTable("nums", std::move(nums));
+
+    // Larger than hosts (so outer joins against hosts build left),
+    // duplicate keys (multi-match enumeration order) and keys matching
+    // nothing (pad rows on either side).
+    table::Table dims(table::Schema{{{"h", table::DataType::kString},
+                                     {"v", table::DataType::kDouble}}});
+    const char* const keys[] = {"h0", "h0", "h1", "h3", "h4", "h5",
+                                "h5", "h6", "h7", "h8", "h9", "hX"};
+    for (size_t i = 0; i < 12; ++i) {
+      dims.AppendRow({Value::String(keys[i]),
+                      Value::Double(0.5 + static_cast<double>(i))});
+    }
+    catalog_.RegisterTable("dims", std::move(dims));
   }
 
   FunctionRegistry functions_;
@@ -271,6 +314,44 @@ TEST_F(DifferentialTest, CorpusMatchesSeedAtEveryParallelism) {
   }
   // The harness promises a corpus of at least 25 queries.
   EXPECT_GE(count, 25u);
+}
+
+TEST_F(DifferentialTest, JoinSortPathsByteIdenticalAcrossParallelism) {
+  // The partitioned join, sharded sort and parallel materialisation
+  // must be *byte-identical* across parallelism levels — same rows in
+  // the same order — not just row-set equal. (Float re-association is
+  // confined to the parallel partial-aggregation path, so the corpus
+  // here uses only exact operations; COUNT is integral.)
+  static const char* const kOrdered[] = {
+      "SELECT hosts.host AS hh, dims.v AS vv FROM hosts LEFT JOIN dims "
+      "ON hosts.host = dims.h ORDER BY hh, vv",
+      "SELECT hosts.host AS hh, dims.v AS vv FROM hosts FULL OUTER JOIN "
+      "dims ON hosts.host = dims.h ORDER BY vv DESC, hh LIMIT 7",
+      "SELECT dims.h AS h, hosts.grp AS g FROM dims LEFT JOIN hosts "
+      "ON dims.h = hosts.host ORDER BY h DESC, g LIMIT 6",
+      "SELECT t.timestamp AS ts, t.value AS v FROM tsdb t "
+      "JOIN hosts ON t.tag['host'] = hosts.host "
+      "WHERE t.metric_name = 'cpu' ORDER BY v DESC, ts LIMIT 20",
+      "SELECT h, COUNT(*) AS c FROM dims GROUP BY h ORDER BY c DESC, h",
+  };
+  Executor serial(&catalog_, &functions_, 1);
+  Executor parallel(&catalog_, &functions_, kParallelism);
+  for (const char* query : kOrdered) {
+    SCOPED_TRACE(query);
+    auto r1 = serial.Query(query);
+    auto rN = parallel.Query(query);
+    ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+    ASSERT_TRUE(rN.ok()) << rN.status().ToString();
+    ASSERT_EQ(r1->num_rows(), rN->num_rows());
+    ASSERT_EQ(r1->num_columns(), rN->num_columns());
+    for (size_t r = 0; r < r1->num_rows(); ++r) {
+      for (size_t c = 0; c < r1->num_columns(); ++c) {
+        EXPECT_TRUE(SameCell(r1->At(r, c), rN->At(r, c)))
+            << "row " << r << " col " << c << ": "
+            << r1->At(r, c).ToString() << " vs " << rN->At(r, c).ToString();
+      }
+    }
+  }
 }
 
 TEST_F(DifferentialTest, ParallelismIsDeterministic) {

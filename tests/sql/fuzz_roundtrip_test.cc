@@ -414,6 +414,59 @@ TEST(FuzzRoundtripTest, RandomQueryExecutionSmoke) {
 }
 
 // ---------------------------------------------------------------------------
+// Join/sort fuzz: random LEFT / FULL OUTER / INNER joins with ORDER BY
+// (+ optional LIMIT) whose keys cover every selected column, so the
+// result is a well-defined row *sequence*. The partitioned join, the
+// sharded sort and the parallel materialisation must reproduce it
+// byte-identically at parallelism 1 and 4 — exact ordered equality, no
+// tolerance (the queries avoid re-associating aggregates).
+// ---------------------------------------------------------------------------
+
+TEST(FuzzRoundtripTest, OuterJoinOrderBySmokeByteIdentical) {
+  Catalog catalog;
+  catalog.RegisterTable("t0", FixtureT0());
+  catalog.RegisterTable("t1", FixtureT1());
+  FunctionRegistry functions = FunctionRegistry::Builtins();
+  Executor serial(&catalog, &functions, 1);
+  Executor parallel(&catalog, &functions, 4);
+
+  static const char* const kJoins[] = {"JOIN", "LEFT JOIN",
+                                       "FULL OUTER JOIN"};
+  std::mt19937_64 rng(0x0C7A9E);
+  for (int i = 0; i < 120; ++i) {
+    const char* join = kJoins[rng() % 3];
+    const bool asc1 = rng() % 2 == 0;
+    const bool asc2 = rng() % 2 == 0;
+    const bool residual = rng() % 3 == 0;  // extra non-equi conjunct
+    std::string sql = std::string("SELECT t0.a AS x, t1.d AS y FROM t0 ") +
+                      join + " t1 ON t0.a = t1.a";
+    if (residual) sql += " AND t0.b < t1.d + 10";
+    sql += std::string(" ORDER BY x") + (asc1 ? "" : " DESC") + ", y" +
+           (asc2 ? "" : " DESC");
+    if (rng() % 2 == 0) sql += " LIMIT " + std::to_string(1 + rng() % 12);
+    SCOPED_TRACE(sql);
+    auto r1 = serial.Query(sql);
+    auto rN = parallel.Query(sql);
+    ASSERT_EQ(r1.ok(), rN.ok())
+        << (r1.ok() ? rN.status().ToString() : r1.status().ToString());
+    if (!r1.ok()) continue;
+    ASSERT_EQ(r1->num_rows(), rN->num_rows());
+    ASSERT_EQ(r1->num_columns(), rN->num_columns());
+    for (size_t r = 0; r < r1->num_rows(); ++r) {
+      for (size_t c = 0; c < r1->num_columns(); ++c) {
+        const Value& a = r1->At(r, c);
+        const Value& b = rN->At(r, c);
+        const bool same =
+            a.is_null() || b.is_null() ? a.is_null() == b.is_null()
+                                       : a.Equals(b);
+        ASSERT_TRUE(same) << "row " << r << " col " << c << ": "
+                          << a.ToString() << " vs " << b.ToString();
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // EXPLAIN execution smoke: random statements assembled from a pool of
 // type-correct sub-selects over a tiny tsdb world, executed through
 // Engine::Query at parallelism 1 and 4. Errors are fine (not every
