@@ -36,6 +36,13 @@ if [[ "${STAGE}" == "release" || "${STAGE}" == "all" ]]; then
 
   # End-to-end EXPLAIN statement: ranking parity across the parallelism
   # sweep, plus the declarative example (the examples are built above).
+  # Concurrent ingest over the tiered store: streamed write + query
+  # threads, then three-way parity (live tiered / bulk reference / seed
+  # interpreter) and proof the grid queries were tier-served.
+  echo "=== bench smoke: ingest ==="
+  "${ROOT}/build/bench/ingest" --smoke \
+    "${ROOT}/build/BENCH_ingest.smoke.json"
+
   echo "=== bench smoke: explain_rca ==="
   "${ROOT}/build/bench/explain_rca" --smoke \
     "${ROOT}/build/BENCH_explain.smoke.json"
@@ -51,8 +58,9 @@ fi
 
 if [[ "${STAGE}" == "tsan" || "${STAGE}" == "all" ]]; then
   # ThreadSanitizer job: the suites that drive the morsel-parallel
-  # operators, the partitioned join/sort/materialisation paths and the
-  # worker pool itself. (ASan and TSan cannot share a build tree.)
+  # operators, the partitioned join/sort/materialisation paths, the
+  # worker pool itself, and the tiered store's write/scan/seal
+  # concurrency. (ASan and TSan cannot share a build tree.)
   echo "=== configure: ${ROOT}/build-tsan (ThreadSanitizer) ==="
   cmake -B "${ROOT}/build-tsan" -S "${ROOT}" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -61,7 +69,7 @@ if [[ "${STAGE}" == "tsan" || "${STAGE}" == "all" ]]; then
   cmake --build "${ROOT}/build-tsan" -j "${JOBS}"
   echo "=== ctest (tsan): operator, differential and thread-pool suites ==="
   ctest --test-dir "${ROOT}/build-tsan" --output-on-failure -j "${JOBS}" \
-    -R 'operators_test|differential_test|executor_test|planner_test|fuzz_roundtrip_test|thread_pool_test'
+    -R 'operators_test|differential_test|executor_test|planner_test|fuzz_roundtrip_test|thread_pool_test|concurrency_test|tiered_store_test'
 fi
 
 echo "=== checks passed (${STAGE}) ==="

@@ -94,6 +94,13 @@ class Engine {
   sql::FunctionRegistry& functions() { return functions_; }
   const EngineOptions& options() const { return options_; }
 
+  /// Store lifecycle hooks. FlushStore seals every mutable head and
+  /// drains background maintenance (quiescing the tiered store so
+  /// subsequent scans hit sealed segments and their rollup tiers);
+  /// CompactStore additionally merges each series' segments into one.
+  Status FlushStore() { return store_->Flush(); }
+  Status CompactStore() { return store_->Compact(); }
+
   /// Exposes the store as a SQL table (schema: timestamp, metric_name,
   /// tag, value) restricted to `range` — the paper's `tsdb` table. The
   /// provider honours planner pushdown hints, so WHERE clauses on

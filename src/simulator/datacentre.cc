@@ -339,4 +339,26 @@ Status DatacentreModel::WriteTo(
   return Status::OK();
 }
 
+Status DatacentreModel::StreamTo(
+    tsdb::SeriesStore* store, size_t steps, EpochSeconds start, Rng& rng,
+    const std::vector<Intervention>& interventions,
+    const std::function<void(size_t step)>& on_step) const {
+  // Same deterministic trace as WriteTo (the causal simulation consumes
+  // the Rng identically); only the ingest order differs: time-major, one
+  // collector tick at a time.
+  la::Matrix values = network_.Simulate(steps, rng, interventions);
+  const int64_t step_seconds = kSecondsPerMinute;
+  for (size_t t = 0; t < steps; ++t) {
+    const EpochSeconds ts = start + static_cast<int64_t>(t) * step_seconds;
+    for (size_t i = 0; i < network_.num_nodes(); ++i) {
+      if (hidden_[i]) continue;  // unmonitored counters stay unmonitored
+      const NodeSpec& spec = network_.node(i);
+      EXPLAINIT_RETURN_IF_ERROR(
+          store->Write(spec.metric_name, spec.tags, ts, values(t, i)));
+    }
+    if (on_step) on_step(t);
+  }
+  return Status::OK();
+}
+
 }  // namespace explainit::sim

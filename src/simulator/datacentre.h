@@ -4,6 +4,7 @@
 // the case-study faults are injected.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -55,6 +56,19 @@ class DatacentreModel {
   Status WriteTo(tsdb::SeriesStore* store, size_t steps, EpochSeconds start,
                  Rng& rng,
                  const std::vector<Intervention>& interventions = {}) const;
+
+  /// Streaming feed mode: ingests the same trace as WriteTo (identical
+  /// values for an identically-seeded Rng) but *time-major* — every
+  /// monitored series at step t is written before any at step t+1, the
+  /// way a live collector tick lands in the store — invoking `on_step`
+  /// (when set) after each tick. Concurrent readers of `store` observe
+  /// the data growing with prefix-consistent per-series histories; the
+  /// ingest benchmark drives its concurrent write/query load through
+  /// this entry point.
+  Status StreamTo(tsdb::SeriesStore* store, size_t steps, EpochSeconds start,
+                  Rng& rng,
+                  const std::vector<Intervention>& interventions = {},
+                  const std::function<void(size_t step)>& on_step = {}) const;
 
  private:
   size_t MustAdd(NodeSpec spec);

@@ -4,11 +4,21 @@
 #include <cmath>
 
 #include "common/strings.h"
+#include "common/time_util.h"
 
 namespace explainit::sql {
 
 using table::Value;
 using table::ValueMap;
+
+int64_t DateTruncStepSeconds(const std::string& unit) {
+  const std::string u = ToLower(unit);
+  if (u == "second") return 1;
+  if (u == "minute") return kSecondsPerMinute;
+  if (u == "hour") return kSecondsPerMinute * kMinutesPerHour;
+  if (u == "day") return kSecondsPerMinute * kMinutesPerHour * 24;
+  return 0;
+}
 
 void FunctionRegistry::Register(const std::string& name, ScalarFn fn) {
   fns_[ToUpper(name)] = std::move(fn);
@@ -156,6 +166,21 @@ Result<Value> NullIf(const std::vector<Value>& args) {
   return args[0];
 }
 
+// DATE_TRUNC('minute'|'hour'|'day', ts): floors a timestamp to the unit
+// boundary — the canonical grid expression the planner recognises when
+// deriving a rollup resolution hint for the store.
+Result<Value> DateTrunc(const std::vector<Value>& args) {
+  EXPLAINIT_RETURN_IF_ERROR(Arity(args, 2, "DATE_TRUNC"));
+  if (args[1].is_null()) return Value::Null();
+  const int64_t step = DateTruncStepSeconds(args[0].AsString());
+  if (step <= 0) {
+    return Status::InvalidArgument("DATE_TRUNC: unsupported unit '" +
+                                   args[0].AsString() + "'");
+  }
+  const EpochSeconds t = args[1].AsTimestamp();
+  return Value::Timestamp(t - ((t % step) + step) % step);
+}
+
 // HOSTGROUP('web-13') = 'web'. The UDF the paper suggests instead of
 // SPLIT(hostname, '-')[0].
 Result<Value> HostGroup(const std::vector<Value>& args) {
@@ -186,6 +211,7 @@ FunctionRegistry FunctionRegistry::Builtins() {
   r.Register("COALESCE", Coalesce);
   r.Register("IF", If);
   r.Register("NULLIF", NullIf);
+  r.Register("DATE_TRUNC", DateTrunc);
   r.Register("HOSTGROUP", HostGroup);
   return r;
 }

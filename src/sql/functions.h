@@ -17,6 +17,10 @@ namespace explainit::sql {
 using ScalarFn =
     std::function<Result<table::Value>(const std::vector<table::Value>&)>;
 
+/// The bucket width DATE_TRUNC(unit, ts) floors to, in seconds; 0 for
+/// unsupported units. Shared with the planner's grid-shape detection.
+int64_t DateTruncStepSeconds(const std::string& unit);
+
 /// Case-insensitive name -> function map. Copyable; engines typically hold
 /// one registry seeded with the builtins plus domain UDFs.
 class FunctionRegistry {

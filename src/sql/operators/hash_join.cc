@@ -218,13 +218,18 @@ Status HashJoinOperator::OpenImpl() {
 }
 
 Result<ColumnBatch> HashJoinOperator::FinishBuildPads(bool* eof) {
-  pads_emitted_ = true;
   // Build-side rows that never matched, padded with nulls on the probe
-  // side's columns. Pads follow the actual build orientation: the build
-  // side's values land on its own columns whichever input it is.
+  // side's columns and emitted in batch-sized chunks — a large build side
+  // with few matches would otherwise materialise one giant batch and
+  // undo the pipeline's bounded-memory batching. Pads follow the actual
+  // build orientation: the build side's values land on its own columns
+  // whichever input it is. pad_pos_ persists the scan cursor between
+  // calls; pads_emitted_ flips once the cursor exhausts the build table.
+  const size_t total = build_table_.num_rows();
   std::vector<std::vector<Value>> cols(schema_.num_fields());
   size_t rows = 0;
-  for (size_t j = 0; j < build_table_.num_rows(); ++j) {
+  while (pad_pos_ < total && rows < table::kDefaultBatchRows) {
+    const size_t j = pad_pos_++;
     if (build_matched_[j]) continue;
     for (size_t c = 0; c < build_width_; ++c) {
       cols[build_offset_ + c].push_back(build_table_.At(j, c));
@@ -234,9 +239,10 @@ Result<ColumnBatch> HashJoinOperator::FinishBuildPads(bool* eof) {
     }
     ++rows;
   }
+  if (pad_pos_ >= total) pads_emitted_ = true;
   if (rows == 0) {
-    // Every build row matched: report end of stream directly instead of
-    // burning a Next() round-trip on an empty non-eof batch.
+    // Every remaining build row matched: report end of stream directly
+    // instead of burning a Next() round-trip on an empty non-eof batch.
     *eof = true;
     return ColumnBatch{};
   }

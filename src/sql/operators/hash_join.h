@@ -110,6 +110,7 @@ class HashJoinOperator : public Operator {
   bool lag_in_condition_ = false;  // LAG reads neighbours: probe serially
   bool parallel_ = false;          // set once in Open, as Filter/Project do
   bool probe_done_ = false;
+  size_t pad_pos_ = 0;  // build-row cursor of the chunked pad emission
   bool pads_emitted_ = false;
 };
 

@@ -44,6 +44,9 @@ struct OperatorStats {
 struct ExecStats {
   size_t tables_scanned = 0;
   size_t rows_scanned = 0;
+  /// Scans that carried a rollup resolution hint (min_step_seconds set by
+  /// the planner's grid-shape detection) to a hint-aware provider.
+  size_t rollup_hinted_scans = 0;
   size_t hash_joins = 0;
   size_t nested_loop_joins = 0;
   size_t rows_output = 0;

@@ -48,6 +48,10 @@ Status CatalogScanOperator::OpenImpl() {
                   std::to_string(table_.num_columns()) + "/" +
                   std::to_string(full_width);
   if (!hints_.empty()) stats_.detail += " hinted";
+  if (hints_.min_step_seconds > 0) {
+    stats_.detail +=
+        " rollup_step=" + std::to_string(hints_.min_step_seconds);
+  }
   return Status::OK();
 }
 

@@ -35,6 +35,7 @@ class CatalogScanOperator : public Operator {
   void AccumulateExecStats(ExecStats* stats) const override {
     ++stats->tables_scanned;
     stats->rows_scanned += table_.num_rows();
+    if (hints_.min_step_seconds > 0) ++stats->rollup_hinted_scans;
   }
   /// The scan's batches are views into table_, which lives as long as
   /// the operator; parallel consumers shard over it directly.

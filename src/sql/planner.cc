@@ -164,6 +164,198 @@ tsdb::ScanHints ExtractHints(const Expr* where) {
   return HintsFromConjuncts(conjuncts);
 }
 
+void CollectColumnRefs(const Expr& e, std::set<std::string>* out);
+
+// ---------------------------------------------------------------------------
+// Rollup resolution hints
+// ---------------------------------------------------------------------------
+//
+// A grid-aligned aggregating query — GROUP BY DATE_TRUNC('minute', ts)
+// with SUM/MIN/MAX(value) — never looks below its bucket width, so the
+// store may serve sealed segments from a rollup tier: one
+// (bucket_start, bucket_aggregate) row per tier bucket in place of the
+// raw points. That substitution is invisible exactly when every part of
+// the statement that sees scanned rows is invariant under it:
+//
+//  - every GROUP BY time expression is a grid of step S with
+//    tier_step | S (all raw points of a tier bucket then share every
+//    group key with the substituted row);
+//  - every aggregate is one same kind among SUM/MIN/MAX over the bare
+//    `value` column (partial sums/mins/maxes recombine exactly; AVG and
+//    COUNT weight by point count and do not);
+//  - the residual WHERE evaluates identically on a bucket row and on
+//    each of its raw points: time bounds are tier-aligned literals and
+//    nothing else in the WHERE reads ts or value;
+//  - no other expression reads ts or value at raw resolution.
+//
+// The derivation below checks those conditions per maintained tier,
+// coarsest first, and on success sets hints.min_step_seconds/rollup.
+// The hint is advisory: the store re-proves per segment (via per-bucket
+// first/last raw timestamps) that the window cuts no bucket, falling
+// back to the raw block otherwise, so a hint can only ever be cheaper,
+// never wrong.
+
+/// Step of a recognised grid expression over the time column:
+/// DATE_TRUNC('unit', ts) or ts - ts % k; 0 when not a grid.
+int64_t GridStepSeconds(const Expr& e) {
+  if (e.kind == ExprKind::kFunction && e.function_name == "DATE_TRUNC" &&
+      e.args.size() == 2 && e.args[0] != nullptr && e.args[1] != nullptr &&
+      e.args[0]->kind == ExprKind::kLiteral &&
+      e.args[0]->literal.type() == DataType::kString &&
+      IsTimeColumn(*e.args[1])) {
+    return DateTruncStepSeconds(e.args[0]->literal.AsString());
+  }
+  // ts - ts % k (a bare ts % k folds phases together and is NOT a grid).
+  if (e.kind == ExprKind::kBinary && e.binary_op == BinaryOp::kSub &&
+      e.left != nullptr && IsTimeColumn(*e.left) && e.right != nullptr &&
+      e.right->kind == ExprKind::kBinary &&
+      e.right->binary_op == BinaryOp::kMod && e.right->left != nullptr &&
+      IsTimeColumn(*e.right->left) && e.right->right != nullptr) {
+    int64_t k = 0;
+    if (IntLiteral(*e.right->right, &k) && k > 0) return k;
+  }
+  return 0;
+}
+
+/// Detects the rollup shape of one statement: records the grid steps and
+/// the (single) aggregate kind, and rejects any raw-resolution use of the
+/// time or value column outside those shapes.
+struct RollupShapeDetector {
+  std::vector<int64_t> grid_steps;
+  tsdb::RollupAggregate agg = tsdb::RollupAggregate::kNone;
+  bool valid = true;
+
+  void Walk(const Expr& e) {
+    if (!valid) return;
+    const int64_t step = GridStepSeconds(e);
+    if (step > 0) {
+      grid_steps.push_back(step);
+      return;  // the grid expression consumes its ts reference
+    }
+    if (e.kind == ExprKind::kFunction &&
+        IsAggregateFunction(e.function_name)) {
+      tsdb::RollupAggregate kind;
+      if (e.function_name == "SUM") {
+        kind = tsdb::RollupAggregate::kSum;
+      } else if (e.function_name == "MIN") {
+        kind = tsdb::RollupAggregate::kMin;
+      } else if (e.function_name == "MAX") {
+        kind = tsdb::RollupAggregate::kMax;
+      } else {
+        valid = false;  // AVG/COUNT/STDDEV/... weight by point count
+        return;
+      }
+      // Only the bare value column recombines exactly, and all
+      // aggregates must agree (the scan returns one bucket aggregate).
+      if (e.args.size() != 1 || e.args[0] == nullptr ||
+          e.args[0]->kind != ExprKind::kColumnRef ||
+          ToLower(e.args[0]->column) != "value" ||
+          (agg != tsdb::RollupAggregate::kNone && agg != kind)) {
+        valid = false;
+        return;
+      }
+      agg = kind;
+      return;
+    }
+    if (e.kind == ExprKind::kColumnRef) {
+      const std::string lower = ToLower(e.column);
+      if (lower == "ts" || lower == "timestamp" || lower == "value") {
+        valid = false;  // raw-resolution read outside a recognised shape
+      }
+      return;
+    }
+    auto walk = [&](const ExprPtr& c) {
+      if (c != nullptr) Walk(*c);
+    };
+    walk(e.left);
+    walk(e.right);
+    walk(e.between_lo);
+    walk(e.between_hi);
+    walk(e.case_else);
+    for (const ExprPtr& a : e.args) walk(a);
+    for (const ExprPtr& a : e.list) walk(a);
+    for (const CaseBranch& b : e.case_branches) {
+      walk(b.condition);
+      walk(b.result);
+    }
+  }
+};
+
+/// True when the conjunct evaluates identically on a tier bucket row and
+/// on every raw point of that bucket: a time bound whose half-open edge
+/// is a multiple of `tier_step`, or a predicate reading neither ts nor
+/// value (series-constant for the scanned rows).
+bool ConjunctRollupInvariant(const Expr& c, int64_t tier_step) {
+  auto aligned = [tier_step](int64_t v) { return v % tier_step == 0; };
+  int64_t a = 0, b = 0;
+  if (c.kind == ExprKind::kBetween && !c.negated && c.left != nullptr &&
+      IsTimeColumn(*c.left) && IntLiteral(*c.between_lo, &a) &&
+      IntLiteral(*c.between_hi, &b) && b < INT64_MAX) {
+    return aligned(a) && aligned(b + 1);
+  }
+  if (c.kind == ExprKind::kBinary && c.left != nullptr &&
+      c.right != nullptr) {
+    const bool ts_lit = IsTimeColumn(*c.left) && IntLiteral(*c.right, &a);
+    const bool lit_ts = IntLiteral(*c.left, &a) && IsTimeColumn(*c.right);
+    if ((ts_lit || lit_ts) && a < INT64_MAX) {
+      BinaryOp op = c.binary_op;
+      if (lit_ts) {
+        op = op == BinaryOp::kLt   ? BinaryOp::kGt
+             : op == BinaryOp::kLe ? BinaryOp::kGe
+             : op == BinaryOp::kGt ? BinaryOp::kLt
+             : op == BinaryOp::kGe ? BinaryOp::kLe
+                                   : op;
+      }
+      switch (op) {
+        case BinaryOp::kGe:
+        case BinaryOp::kLt:
+          return aligned(a);
+        case BinaryOp::kGt:
+        case BinaryOp::kLe:
+          return aligned(a + 1);
+        default:
+          return false;  // ts = a spans [a, a+1): never tier-aligned
+      }
+    }
+  }
+  std::set<std::string> refs;
+  CollectColumnRefs(c, &refs);
+  return refs.count("ts") == 0 && refs.count("timestamp") == 0 &&
+         refs.count("value") == 0;
+}
+
+/// Sets hints->min_step_seconds / hints->rollup when the statement is a
+/// grid-aligned aggregation the store may serve from a rollup tier.
+void DeriveRollupHint(const SelectStatement& stmt, tsdb::ScanHints* hints) {
+  RollupShapeDetector detector;
+  for (const SelectItem& item : stmt.items) {
+    if (item.is_star) return;  // star reads ts/value at raw resolution
+    detector.Walk(*item.expr);
+  }
+  for (const ExprPtr& g : stmt.group_by) detector.Walk(*g);
+  if (stmt.having != nullptr) detector.Walk(*stmt.having);
+  for (const OrderByItem& o : stmt.order_by) detector.Walk(*o.expr);
+  if (!detector.valid || detector.agg == tsdb::RollupAggregate::kNone) {
+    return;
+  }
+  std::vector<const Expr*> conjuncts;
+  if (stmt.where != nullptr) CollectConjuncts(stmt.where.get(), &conjuncts);
+  for (const int64_t tier_step : tsdb::kRollupTierSteps) {
+    const bool grids_ok = std::all_of(
+        detector.grid_steps.begin(), detector.grid_steps.end(),
+        [&](int64_t s) { return s % tier_step == 0; });
+    if (!grids_ok) continue;
+    const bool where_ok = std::all_of(
+        conjuncts.begin(), conjuncts.end(), [&](const Expr* c) {
+          return ConjunctRollupInvariant(*c, tier_step);
+        });
+    if (!where_ok) continue;
+    hints->min_step_seconds = tier_step;
+    hints->rollup = detector.agg;
+    return;  // coarsest qualifying tier wins
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Projection pruning
 // ---------------------------------------------------------------------------
@@ -472,15 +664,18 @@ Result<std::unique_ptr<Operator>> Planner::PlanSingle(
   // either way; hints only shrink what the provider materialises.
   ExprPtr residual_where;
   tsdb::ScanHints hints;
+  const bool pushdown_eligible =
+      stmt.from.has_value() && stmt.from->subquery == nullptr &&
+      stmt.joins.empty() &&
+      catalog_->SupportsHints(stmt.from->table_name) &&
+      !StatementContainsLag(stmt);
   if (stmt.where != nullptr) {
     residual_where = stmt.where->Clone();
-    const bool pushdown_eligible =
-        stmt.from.has_value() && stmt.from->subquery == nullptr &&
-        stmt.joins.empty() &&
-        catalog_->SupportsHints(stmt.from->table_name) &&
-        !StatementContainsLag(stmt);
     if (pushdown_eligible) hints = ExtractHints(stmt.where.get());
   }
+  // Resolution hint: grid-aligned aggregations may be served from the
+  // store's rollup tiers (see "Rollup resolution hints" above).
+  if (pushdown_eligible) DeriveRollupHint(stmt, &hints);
 
   EXPLAINIT_ASSIGN_OR_RETURN(
       auto source, PlanFrom(stmt, std::move(hints), &residual_where));

@@ -11,6 +11,12 @@
 //     that side's scan (qualifiers stripped first). The full predicate
 //     always stays in the filter: hints shrink what the provider
 //     materialises, never what the query means.
+//   * rollup resolution hints — a grid-aligned aggregation over a single
+//     hinted table (GROUP BY date_trunc(...)/ts - ts % k keys with one
+//     SUM/MIN/MAX(value) aggregate kind and tier-aligned time bounds)
+//     sets ScanHints::min_step_seconds/rollup, licensing the store to
+//     serve sealed segments from its downsampled tiers. Advisory: the
+//     store re-proves exactness per segment and falls back to raw.
 //   * projection pruning — single-table queries scan only the columns the
 //     statement references; join inputs receive the union of the columns
 //     referenced under their qualifier plus all unqualified references

@@ -63,6 +63,11 @@ class CompressedBlock {
   /// Compressed payload size in bytes.
   size_t byte_size() const { return writer_.bytes().size(); }
 
+  /// Timestamp extent (valid only when num_points() > 0). Timestamps are
+  /// appended non-decreasing, so these bound every point in the block.
+  EpochSeconds first_timestamp() const { return first_timestamp_; }
+  EpochSeconds last_timestamp() const { return prev_timestamp_; }
+
   /// Decodes every point in the block.
   Result<std::vector<std::pair<EpochSeconds, double>>> Decode() const;
 

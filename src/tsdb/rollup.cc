@@ -1,0 +1,60 @@
+#include "tsdb/rollup.h"
+
+#include <algorithm>
+
+namespace explainit::tsdb {
+
+int64_t EffectiveRollupTierStep(int64_t min_step_seconds) {
+  if (min_step_seconds <= 0) return 0;
+  for (int64_t step : kRollupTierSteps) {
+    if (min_step_seconds % step == 0) return step;
+  }
+  return 0;
+}
+
+RollupTier BuildRollupTier(const std::vector<EpochSeconds>& timestamps,
+                           const std::vector<double>& values,
+                           int64_t step_seconds) {
+  RollupTier tier;
+  tier.step_seconds = step_seconds;
+  for (size_t i = 0; i < timestamps.size(); ++i) {
+    const EpochSeconds t = timestamps[i];
+    const double v = values[i];
+    const EpochSeconds bucket = AlignToStepStart(t, step_seconds);
+    if (tier.points.empty() || tier.points.back().bucket != bucket) {
+      RollupPoint p;
+      p.bucket = bucket;
+      p.first_ts = t;
+      p.last_ts = t;
+      p.min = v;
+      p.max = v;
+      p.sum = v;
+      p.count = 1;
+      tier.points.push_back(p);
+      continue;
+    }
+    RollupPoint& p = tier.points.back();
+    p.last_ts = t;
+    p.min = std::min(p.min, v);
+    p.max = std::max(p.max, v);
+    p.sum += v;
+    ++p.count;
+  }
+  return tier;
+}
+
+double RollupValue(const RollupPoint& p, RollupAggregate agg) {
+  switch (agg) {
+    case RollupAggregate::kMin:
+      return p.min;
+    case RollupAggregate::kMax:
+      return p.max;
+    case RollupAggregate::kSum:
+      return p.sum;
+    case RollupAggregate::kNone:
+      break;
+  }
+  return p.sum;
+}
+
+}  // namespace explainit::tsdb

@@ -1,0 +1,73 @@
+// Downsampled rollup tiers over sealed segments, modelled on netdata's
+// tiered database: every sealed segment carries, besides its raw Gorilla
+// block, per-bucket min/max/sum/count aggregates at fixed coarser steps
+// (raw -> 1m -> 1h). A scan whose consumer declared a resolution floor
+// (ScanHints::min_step_seconds) is served from the cheapest tier that
+// still answers it exactly, decoding no raw points at all for segments
+// fully covered by the window.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time_util.h"
+
+namespace explainit::tsdb {
+
+/// The per-bucket aggregate a rollup-routed scan should return as the
+/// point value. kNone means "raw points required" (rollups unusable).
+///
+/// Only aggregates that recombine exactly across mixed granularities are
+/// offered: SUM of bucket sums, MIN of bucket mins and MAX of bucket
+/// maxes equal the raw answer even when some rows come from rollups and
+/// others (head, partially-covered segments) stay raw. AVG/COUNT do not
+/// compose that way and always scan raw.
+enum class RollupAggregate : uint8_t { kNone = 0, kMin, kMax, kSum };
+
+/// One rollup bucket: aggregates over every raw point of the *owning
+/// segment* whose timestamp falls in [bucket, bucket + step).
+/// first_ts/last_ts are the extremes of those raw timestamps — the scan
+/// uses them to prove a bucket lies entirely inside the query window
+/// (buckets cut by the window fall back to the raw block).
+struct RollupPoint {
+  EpochSeconds bucket = 0;
+  EpochSeconds first_ts = 0;
+  EpochSeconds last_ts = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+  uint64_t count = 0;
+};
+
+/// All buckets of one tier (fixed step), ascending by bucket start.
+struct RollupTier {
+  int64_t step_seconds = 0;
+  std::vector<RollupPoint> points;
+};
+
+/// Tier steps maintained at seal time, coarsest first.
+inline constexpr int64_t kRollupTierSteps[] = {kSecondsPerMinute *
+                                                   kMinutesPerHour,
+                                               kSecondsPerMinute};
+
+/// Floors `t` to its step boundary (correct for negative timestamps).
+inline EpochSeconds AlignToStepStart(EpochSeconds t, int64_t step) {
+  return t - ((t % step) + step) % step;
+}
+
+/// The coarsest maintained tier whose step divides `min_step_seconds`
+/// (so re-grouping tier buckets into consumer buckets is exact);
+/// 0 when no tier qualifies and the scan must stay raw.
+int64_t EffectiveRollupTierStep(int64_t min_step_seconds);
+
+/// Builds one tier over aligned (timestamps, values); timestamps must be
+/// non-decreasing (the append order of a series block).
+RollupTier BuildRollupTier(const std::vector<EpochSeconds>& timestamps,
+                           const std::vector<double>& values,
+                           int64_t step_seconds);
+
+/// The bucket value a rollup-routed scan returns for `agg`
+/// (kNone is invalid here).
+double RollupValue(const RollupPoint& p, RollupAggregate agg);
+
+}  // namespace explainit::tsdb

@@ -1,0 +1,64 @@
+#include "tsdb/segment.h"
+
+namespace explainit::tsdb {
+
+std::shared_ptr<const SealedSegment> SealedSegment::Build(
+    CompressedBlock block, const std::vector<EpochSeconds>& timestamps,
+    const std::vector<double>& values) {
+  std::shared_ptr<SealedSegment> seg(new SealedSegment());
+  seg->block_ = std::move(block);
+  seg->num_points_ = timestamps.size();
+  seg->min_ts_ = timestamps.front();
+  seg->max_ts_ = timestamps.back();
+  for (int64_t step : kRollupTierSteps) {
+    seg->tiers_.push_back(BuildRollupTier(timestamps, values, step));
+  }
+  return seg;
+}
+
+Result<std::shared_ptr<const SealedSegment>> SealedSegment::Seal(
+    CompressedBlock block) {
+  if (block.num_points() == 0) {
+    return Status::InvalidArgument("cannot seal an empty block");
+  }
+  EXPLAINIT_ASSIGN_OR_RETURN(auto points, block.Decode());
+  std::vector<EpochSeconds> timestamps;
+  std::vector<double> values;
+  timestamps.reserve(points.size());
+  values.reserve(points.size());
+  for (const auto& [t, v] : points) {
+    timestamps.push_back(t);
+    values.push_back(v);
+  }
+  return Build(std::move(block), timestamps, values);
+}
+
+Result<std::shared_ptr<const SealedSegment>> SealedSegment::Merge(
+    const std::vector<std::shared_ptr<const SealedSegment>>& parts) {
+  if (parts.empty()) {
+    return Status::InvalidArgument("cannot merge zero segments");
+  }
+  std::vector<EpochSeconds> timestamps;
+  std::vector<double> values;
+  for (const auto& part : parts) {
+    EXPLAINIT_ASSIGN_OR_RETURN(auto points, part->block().Decode());
+    for (const auto& [t, v] : points) {
+      timestamps.push_back(t);
+      values.push_back(v);
+    }
+  }
+  CompressedBlock merged;
+  for (size_t i = 0; i < timestamps.size(); ++i) {
+    EXPLAINIT_RETURN_IF_ERROR(merged.Append(timestamps[i], values[i]));
+  }
+  return Build(std::move(merged), timestamps, values);
+}
+
+const RollupTier* SealedSegment::TierFor(int64_t step_seconds) const {
+  for (const RollupTier& tier : tiers_) {
+    if (tier.step_seconds == step_seconds) return &tier;
+  }
+  return nullptr;
+}
+
+}  // namespace explainit::tsdb

@@ -1,0 +1,57 @@
+// Immutable sealed segments: the at-rest form of series data in the
+// tiered store. A segment owns one Gorilla CompressedBlock plus the
+// rollup tiers built from it at seal time, and never changes after
+// construction — scans capture segments by shared_ptr and decode without
+// any lock, while writers keep appending to the series head.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/time_util.h"
+#include "tsdb/compression.h"
+#include "tsdb/rollup.h"
+
+namespace explainit::tsdb {
+
+class SealedSegment {
+ public:
+  /// Seals `block` into an immutable segment: decodes it once, records
+  /// the time extent and builds every rollup tier. Empty blocks are
+  /// invalid (the sealer never seals an empty head).
+  static Result<std::shared_ptr<const SealedSegment>> Seal(
+      CompressedBlock block);
+
+  /// Compaction: merges older-to-newer segments of one series into a
+  /// single segment (re-encoded block, rebuilt rollups). Segments must be
+  /// in append order, so their concatenated points stay non-decreasing.
+  static Result<std::shared_ptr<const SealedSegment>> Merge(
+      const std::vector<std::shared_ptr<const SealedSegment>>& parts);
+
+  const CompressedBlock& block() const { return block_; }
+  size_t num_points() const { return num_points_; }
+  size_t byte_size() const { return block_.byte_size(); }
+  EpochSeconds min_timestamp() const { return min_ts_; }
+  EpochSeconds max_timestamp() const { return max_ts_; }
+
+  /// The tier with exactly `step_seconds`; nullptr when not maintained.
+  const RollupTier* TierFor(int64_t step_seconds) const;
+  const std::vector<RollupTier>& tiers() const { return tiers_; }
+
+ private:
+  SealedSegment() = default;
+
+  /// Shared tail of Seal/Merge: wraps the block plus its decoded points.
+  static std::shared_ptr<const SealedSegment> Build(
+      CompressedBlock block, const std::vector<EpochSeconds>& timestamps,
+      const std::vector<double>& values);
+
+  CompressedBlock block_;
+  size_t num_points_ = 0;
+  EpochSeconds min_ts_ = 0;
+  EpochSeconds max_ts_ = 0;
+  std::vector<RollupTier> tiers_;  // kRollupTierSteps order
+};
+
+}  // namespace explainit::tsdb

@@ -1,11 +1,18 @@
 #include "tsdb/store.h"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
 
 #include "common/strings.h"
+#include "exec/thread_pool.h"
+#include "tsdb/head.h"
 
 namespace explainit::tsdb {
 
@@ -17,12 +24,24 @@ std::string SeriesMeta::ToString() const {
   return out;
 }
 
-std::string SeriesStore::Key(const std::string& metric_name,
-                             const TagSet& tags) {
+TimeRange ScanRequest::EffectiveRange() const {
+  if (!hints.range.has_value()) return range;
+  if (range.end == range.start) return *hints.range;
+  return TimeRange{std::max(range.start, hints.range->start),
+                   std::min(range.end, hints.range->end)};
+}
+
+namespace {
+
+/// Minimum matched-series count before a scan fans out over the pool;
+/// below this the thread handoff costs more than the decode.
+constexpr size_t kParallelScanThreshold = 64;
+
+std::string SeriesKey(const std::string& metric_name, const TagSet& tags) {
   return metric_name + "{" + tags.Encode() + "}";
 }
 
-table::Value SeriesStore::MakeTagsValue(const TagSet& tags) {
+table::Value MakeTagsValue(const TagSet& tags) {
   table::ValueMap map;
   for (const auto& [k, v] : tags.entries()) {
     map[k] = table::Value::String(v);
@@ -30,20 +49,221 @@ table::Value SeriesStore::MakeTagsValue(const TagSet& tags) {
   return table::Value::Map(std::move(map));
 }
 
+/// Per-scan counters merged into the store's ScanStats once, at the end.
+struct ScanCounters {
+  size_t points_decoded = 0;
+  size_t points_returned = 0;
+  size_t head_points_decoded = 0;
+  size_t segment_points_decoded = 0;
+  size_t rollup_points_returned = 0;
+  size_t rollup_points_skipped = 0;
+  size_t minute_tier_points = 0;
+  size_t hour_tier_points = 0;
+  size_t segments_rollup_served = 0;
+  size_t segments_raw_fallback = 0;
+
+  void Merge(const ScanCounters& o) {
+    points_decoded += o.points_decoded;
+    points_returned += o.points_returned;
+    head_points_decoded += o.head_points_decoded;
+    segment_points_decoded += o.segment_points_decoded;
+    rollup_points_returned += o.rollup_points_returned;
+    rollup_points_skipped += o.rollup_points_skipped;
+    minute_tier_points += o.minute_tier_points;
+    hour_tier_points += o.hour_tier_points;
+    segments_rollup_served += o.segments_rollup_served;
+    segments_raw_fallback += o.segments_raw_fallback;
+  }
+};
+
+// Decodes `block` into `data`, keeping points inside `range`
+// (unrestricted when `bounded` is false). Returns how many points the
+// block held before windowing.
+Result<size_t> DecodeBlockInto(const CompressedBlock& block,
+                               const TimeRange& range, bool bounded,
+                               SeriesData* data) {
+  EXPLAINIT_ASSIGN_OR_RETURN(auto points, block.Decode());
+  for (const auto& [t, v] : points) {
+    if (bounded && !range.Contains(t)) continue;
+    data->timestamps.push_back(t);
+    data->values.push_back(v);
+  }
+  return points.size();
+}
+
+}  // namespace
+
+/// One series of the tiered store. `meta`/`tags_value`/`stripe` are
+/// immutable after creation; the tier state below them is guarded by the
+/// owning stripe's mutex in SeriesStore::Impl.
+struct SeriesEntry {
+  SeriesMeta meta;
+  table::Value tags_value;
+  size_t stripe = 0;
+
+  SeriesHead head;
+  std::vector<std::shared_ptr<const SealedSegment>> segments;
+  /// A background maintenance task for this series is queued (suppresses
+  /// duplicate submissions from subsequent writes).
+  bool maintenance_scheduled = false;
+};
+
+struct SeriesStore::Impl {
+  static constexpr size_t kStripeCount = 16;
+
+  StoreOptions options;
+
+  /// Guards the series map/order only (not the entries' tier state).
+  /// Writers take it shared on the hot path; only first-write-of-a-series
+  /// and LoadSnapshot take it exclusive.
+  mutable std::shared_mutex map_mutex;
+  std::unordered_map<std::string, std::shared_ptr<SeriesEntry>> by_key;
+  std::vector<std::shared_ptr<SeriesEntry>> order;  // creation order
+
+  /// Lock stripes for entry tier state; a series maps to a fixed stripe
+  /// by key hash. Appends, seals and compactions of a series all run
+  /// under its stripe; scans only take it long enough to copy the head
+  /// block and the segment pointer vector.
+  mutable std::array<std::mutex, kStripeCount> stripe_mutexes;
+
+  std::atomic<size_t> total_points{0};
+  std::atomic<size_t> seals{0};
+  std::atomic<size_t> compactions{0};
+
+  mutable std::mutex stats_mutex;
+  ScanStats scan_stats;  // guarded by stats_mutex
+
+  std::mutex error_mutex;
+  Status background_error = Status::OK();  // first background-seal failure
+
+  // The pools are declared last so they are destroyed first: their
+  // destructors join every in-flight task while all the members those
+  // tasks touch are still alive.
+  mutable std::once_flag scan_pool_once;
+  mutable std::unique_ptr<exec::ThreadPool> scan_pool;
+  /// Single-threaded maintenance pool (sealing/compaction), created only
+  /// when options.background_seal. Separate from scan_pool so a scan's
+  /// ParallelForChunks never waits on (or steals exceptions from)
+  /// maintenance work.
+  std::unique_ptr<exec::ThreadPool> maintenance_pool;
+
+  explicit Impl(StoreOptions opts) : options(opts) {
+    if (options.background_seal) {
+      maintenance_pool = std::make_unique<exec::ThreadPool>(1);
+    }
+  }
+
+  std::mutex& StripeFor(const SeriesEntry& e) const {
+    return stripe_mutexes[e.stripe];
+  }
+
+  std::shared_ptr<SeriesEntry> GetOrCreate(const std::string& metric_name,
+                                           const TagSet& tags) {
+    const std::string key = SeriesKey(metric_name, tags);
+    {
+      std::shared_lock<std::shared_mutex> lock(map_mutex);
+      auto it = by_key.find(key);
+      if (it != by_key.end()) return it->second;
+    }
+    std::unique_lock<std::shared_mutex> lock(map_mutex);
+    auto it = by_key.find(key);
+    if (it != by_key.end()) return it->second;
+    auto e = std::make_shared<SeriesEntry>();
+    e->meta.metric_name = metric_name;
+    e->meta.tags = tags;
+    e->tags_value = MakeTagsValue(tags);
+    e->stripe = std::hash<std::string>{}(key) % kStripeCount;
+    by_key.emplace(key, e);
+    order.push_back(e);
+    return e;
+  }
+
+  bool ShouldSeal(const SeriesHead& head) const {
+    if (head.empty()) return false;
+    if (head.num_points() >= options.seal_max_points) return true;
+    if (head.byte_size() >= options.seal_max_bytes) return true;
+    return options.seal_max_age_seconds > 0 &&
+           head.AgeSeconds() >= options.seal_max_age_seconds;
+  }
+
+  /// Seals the entry's head into a new segment; stripe lock must be held.
+  /// Seals from a copy so a (never-expected) decode failure loses nothing.
+  Status SealLocked(SeriesEntry& e) {
+    if (e.head.empty()) return Status::OK();
+    EXPLAINIT_ASSIGN_OR_RETURN(auto segment,
+                               SealedSegment::Seal(e.head.block()));
+    e.head.Take();  // reset; the sealed copy now owns the points
+    e.segments.push_back(std::move(segment));
+    seals.fetch_add(1, std::memory_order_relaxed);
+    return MaybeCompactLocked(e, options.compact_min_segments);
+  }
+
+  /// Merges the entry's segments into one when it has at least
+  /// `min_segments` (0 disables); stripe lock must be held.
+  Status MaybeCompactLocked(SeriesEntry& e, size_t min_segments) {
+    if (min_segments == 0 || e.segments.size() < min_segments ||
+        e.segments.size() < 2) {
+      return Status::OK();
+    }
+    EXPLAINIT_ASSIGN_OR_RETURN(auto merged, SealedSegment::Merge(e.segments));
+    e.segments.clear();
+    e.segments.push_back(std::move(merged));
+    compactions.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  void RecordBackgroundError(const Status& status) {
+    std::lock_guard<std::mutex> lock(error_mutex);
+    if (background_error.ok()) background_error = status;
+  }
+
+  /// The background maintenance task for one series.
+  void Maintain(const std::shared_ptr<SeriesEntry>& e) {
+    std::lock_guard<std::mutex> lock(StripeFor(*e));
+    e->maintenance_scheduled = false;
+    if (!ShouldSeal(e->head)) return;  // a flush got here first
+    const Status status = SealLocked(*e);
+    if (!status.ok()) RecordBackgroundError(status);
+  }
+
+  std::vector<std::shared_ptr<SeriesEntry>> SnapshotOrder() const {
+    std::shared_lock<std::shared_mutex> lock(map_mutex);
+    return order;
+  }
+};
+
+SeriesStore::SeriesStore(StoreOptions options)
+    : impl_(std::make_unique<Impl>(options)) {}
+SeriesStore::~SeriesStore() = default;
+SeriesStore::SeriesStore(SeriesStore&&) noexcept = default;
+SeriesStore& SeriesStore::operator=(SeriesStore&&) noexcept = default;
+
+const StoreOptions& SeriesStore::options() const { return impl_->options; }
+
 Status SeriesStore::Write(const std::string& metric_name, const TagSet& tags,
                           EpochSeconds timestamp, double value) {
-  const std::string key = Key(metric_name, tags);
-  auto it = series_.find(key);
-  if (it == series_.end()) {
-    auto s = std::make_unique<Series>();
-    s->meta.metric_name = metric_name;
-    s->meta.tags = tags;
-    s->tags_value = MakeTagsValue(tags);
-    it = series_.emplace(key, std::move(s)).first;
-    insertion_order_.push_back(key);
+  std::shared_ptr<SeriesEntry> e = impl_->GetOrCreate(metric_name, tags);
+  bool schedule = false;
+  {
+    std::lock_guard<std::mutex> lock(impl_->StripeFor(*e));
+    EXPLAINIT_RETURN_IF_ERROR(e->head.Append(timestamp, value));
+    if (impl_->ShouldSeal(e->head)) {
+      if (impl_->options.background_seal) {
+        if (!e->maintenance_scheduled) {
+          e->maintenance_scheduled = true;
+          schedule = true;
+        }
+      } else {
+        EXPLAINIT_RETURN_IF_ERROR(impl_->SealLocked(*e));
+      }
+    }
   }
-  EXPLAINIT_RETURN_IF_ERROR(it->second->block.Append(timestamp, value));
-  ++num_points_;
+  impl_->total_points.fetch_add(1, std::memory_order_relaxed);
+  if (schedule) {
+    Impl* impl = impl_.get();
+    impl->maintenance_pool->Submit(
+        [impl, e = std::move(e)] { impl->Maintain(e); });
+  }
   return Status::OK();
 }
 
@@ -61,55 +281,145 @@ Status SeriesStore::WriteSeries(const std::string& metric_name,
   return Status::OK();
 }
 
+size_t SeriesStore::num_series() const {
+  std::shared_lock<std::shared_mutex> lock(impl_->map_mutex);
+  return impl_->order.size();
+}
+
+size_t SeriesStore::num_points() const {
+  return impl_->total_points.load(std::memory_order_relaxed);
+}
+
 size_t SeriesStore::compressed_bytes() const {
   size_t total = 0;
-  for (const auto& [key, s] : series_) total += s->block.byte_size();
+  for (const auto& e : impl_->SnapshotOrder()) {
+    std::lock_guard<std::mutex> lock(impl_->StripeFor(*e));
+    total += e->head.byte_size();
+    for (const auto& seg : e->segments) total += seg->byte_size();
+  }
   return total;
+}
+
+Status SeriesStore::Flush() {
+  // Drain queued maintenance first so no task races the inline seals
+  // below into double-sealing decisions (Maintain re-checks thresholds
+  // under the stripe lock, so the race would be benign — this just makes
+  // the post-Flush state deterministic).
+  if (impl_->maintenance_pool) impl_->maintenance_pool->Wait();
+  for (const auto& e : impl_->SnapshotOrder()) {
+    std::lock_guard<std::mutex> lock(impl_->StripeFor(*e));
+    EXPLAINIT_RETURN_IF_ERROR(impl_->SealLocked(*e));
+  }
+  std::lock_guard<std::mutex> lock(impl_->error_mutex);
+  Status first = impl_->background_error;
+  impl_->background_error = Status::OK();
+  return first;
+}
+
+Status SeriesStore::Compact() {
+  EXPLAINIT_RETURN_IF_ERROR(Flush());
+  for (const auto& e : impl_->SnapshotOrder()) {
+    std::lock_guard<std::mutex> lock(impl_->StripeFor(*e));
+    EXPLAINIT_RETURN_IF_ERROR(impl_->MaybeCompactLocked(*e, 2));
+  }
+  return Status::OK();
 }
 
 std::vector<SeriesMeta> SeriesStore::ListSeries() const {
   std::vector<SeriesMeta> out;
-  out.reserve(series_.size());
-  for (const std::string& key : insertion_order_) {
-    out.push_back(series_.at(key)->meta);
-  }
+  auto entries = impl_->SnapshotOrder();
+  out.reserve(entries.size());
+  for (const auto& e : entries) out.push_back(e->meta);
   return out;
 }
 
-TimeRange ScanRequest::EffectiveRange() const {
-  if (!hints.range.has_value()) return range;
-  if (range.end == range.start) return *hints.range;
-  return TimeRange{std::max(range.start, hints.range->start),
-                   std::min(range.end, hints.range->end)};
+StorageStats SeriesStore::storage_stats() const {
+  StorageStats stats;
+  stats.seals = impl_->seals.load(std::memory_order_relaxed);
+  stats.compactions = impl_->compactions.load(std::memory_order_relaxed);
+  for (const auto& e : impl_->SnapshotOrder()) {
+    std::lock_guard<std::mutex> lock(impl_->StripeFor(*e));
+    stats.sealed_segments += e->segments.size();
+    stats.head_points += e->head.num_points();
+    for (const auto& seg : e->segments) stats.sealed_points += seg->num_points();
+  }
+  return stats;
 }
 
 namespace {
 
-/// Minimum matched-series count before a scan fans out over the pool;
-/// below this the thread handoff costs more than the decode.
-constexpr size_t kParallelScanThreshold = 64;
+/// A prefix-consistent snapshot of one series' tier state, captured under
+/// its stripe lock: segment pointers (immutable payloads) plus a copy of
+/// the in-progress head block. Everything after capture is lock-free.
+struct SeriesSnapshot {
+  std::vector<std::shared_ptr<const SealedSegment>> segments;
+  CompressedBlock head;
+};
 
-// Decodes one series block into a SeriesData restricted to `range`
-// (unrestricted when `bounded` is false). `decoded` reports how many
-// points the block held before windowing.
-Result<SeriesData> DecodeSeries(const SeriesMeta& meta,
-                                const table::Value& tags_value,
-                                const CompressedBlock& block,
-                                const TimeRange& range, bool bounded,
-                                size_t* decoded) {
-  EXPLAINIT_ASSIGN_OR_RETURN(auto points, block.Decode());
-  *decoded = points.size();
-  SeriesData data;
-  data.meta = meta;
-  data.tags_value = tags_value;
-  data.timestamps.reserve(points.size());
-  data.values.reserve(points.size());
-  for (const auto& [t, v] : points) {
-    if (bounded && !range.Contains(t)) continue;
-    data.timestamps.push_back(t);
-    data.values.push_back(v);
+// Decodes one captured series into `data`. Sealed segments are served
+// from the rollup tier with `tier_step` when every window-overlapping
+// bucket lies entirely inside the window (tier_step 0: always raw).
+Status DecodeSnapshot(const SeriesSnapshot& snap, const TimeRange& window,
+                      bool bounded, int64_t tier_step, RollupAggregate agg,
+                      SeriesData* data, ScanCounters* counters) {
+  for (const auto& seg : snap.segments) {
+    // Time pruning: a segment entirely outside the window decodes nothing.
+    if (bounded && (seg->max_timestamp() < window.start ||
+                    seg->min_timestamp() >= window.end)) {
+      continue;
+    }
+    const RollupTier* tier =
+        tier_step > 0 ? seg->TierFor(tier_step) : nullptr;
+    bool rollup_ok = tier != nullptr;
+    std::vector<const RollupPoint*> rows;
+    if (tier != nullptr) {
+      rows.reserve(tier->points.size());
+      for (const RollupPoint& p : tier->points) {
+        if (bounded) {
+          if (p.last_ts < window.start || p.first_ts >= window.end) {
+            continue;  // bucket entirely outside
+          }
+          if (p.first_ts < window.start || p.last_ts >= window.end) {
+            // The window cuts this bucket: its aggregate mixes in-window
+            // and out-of-window points, so the tier is inexact here.
+            // Fall back to the raw block for the whole segment.
+            rollup_ok = false;
+            break;
+          }
+        }
+        rows.push_back(&p);
+      }
+    }
+    if (rollup_ok) {
+      for (const RollupPoint* p : rows) {
+        data->timestamps.push_back(p->bucket);
+        data->values.push_back(RollupValue(*p, agg));
+        counters->rollup_points_skipped += p->count;
+      }
+      counters->rollup_points_returned += rows.size();
+      if (tier_step == kSecondsPerMinute) {
+        counters->minute_tier_points += rows.size();
+      } else {
+        counters->hour_tier_points += rows.size();
+      }
+      ++counters->segments_rollup_served;
+    } else {
+      EXPLAINIT_ASSIGN_OR_RETURN(
+          size_t decoded,
+          DecodeBlockInto(seg->block(), window, bounded, data));
+      counters->points_decoded += decoded;
+      counters->segment_points_decoded += decoded;
+      if (tier_step > 0) ++counters->segments_raw_fallback;
+    }
   }
-  return data;
+  if (snap.head.num_points() > 0) {
+    EXPLAINIT_ASSIGN_OR_RETURN(
+        size_t decoded, DecodeBlockInto(snap.head, window, bounded, data));
+    counters->points_decoded += decoded;
+    counters->head_points_decoded += decoded;
+  }
+  counters->points_returned += data->timestamps.size();
+  return Status::OK();
 }
 
 }  // namespace
@@ -124,58 +434,60 @@ Result<std::vector<SeriesData>> SeriesStore::Scan(
   const bool bounded =
       hints.range.has_value() || request.range.end != request.range.start;
   const bool empty_window = bounded && window.start >= window.end;
+  const int64_t tier_step = hints.rollup != RollupAggregate::kNone
+                                ? EffectiveRollupTierStep(hints.min_step_seconds)
+                                : 0;
 
-  // Pass 1: match series metadata (cheap, no decoding).
-  std::vector<const Series*> matched;
+  // Pass 1: match series metadata (immutable after creation — only the
+  // map lock is needed, no stripe locks).
+  std::vector<std::shared_ptr<SeriesEntry>> matched;
   if (!empty_window) {
-    for (const std::string& key : insertion_order_) {
-      const Series& s = *series_.at(key);
-      if (!GlobMatch(request.metric_glob, s.meta.metric_name)) continue;
+    std::shared_lock<std::shared_mutex> lock(impl_->map_mutex);
+    for (const auto& e : impl_->order) {
+      if (!GlobMatch(request.metric_glob, e->meta.metric_name)) continue;
       if (!hints.metric_glob.empty() &&
-          !GlobMatch(hints.metric_glob, s.meta.metric_name)) {
+          !GlobMatch(hints.metric_glob, e->meta.metric_name)) {
         continue;
       }
-      if (!s.meta.tags.Matches(request.tag_filter)) continue;
+      if (!e->meta.tags.Matches(request.tag_filter)) continue;
       if (!hints.tag_filter.empty() &&
-          !s.meta.tags.Matches(hints.tag_filter)) {
+          !e->meta.tags.Matches(hints.tag_filter)) {
         continue;
       }
-      matched.push_back(&s);
+      matched.push_back(e);
     }
   }
 
-  ++scan_stats_.scans;
-  scan_stats_.series_matched = matched.size();
-  scan_stats_.last_range = window;
-  scan_stats_.last_metric_glob =
-      hints.metric_glob.empty()
-          ? request.metric_glob
-          : (request.metric_glob == "*"
-                 ? hints.metric_glob
-                 : request.metric_glob + "&" + hints.metric_glob);
-
-  // Pass 2: decode. One morsel per series; large scans fan out across the
-  // pool and the per-morsel results merge back in store order.
+  // Pass 2: snapshot + decode, one morsel per series; large scans fan out
+  // across the pool and the per-morsel results merge back in store order.
+  // Each task holds the stripe lock only while copying the head block and
+  // the segment pointers — decoding is entirely lock-free, so scans never
+  // block writers (and vice versa).
   std::vector<SeriesData> slots(matched.size());
-  std::vector<size_t> decoded(matched.size(), 0);
+  std::vector<ScanCounters> counters(matched.size());
   std::vector<Status> statuses(matched.size(), Status::OK());
   auto decode_one = [&](size_t i) {
-    auto r = DecodeSeries(matched[i]->meta, matched[i]->tags_value,
-                          matched[i]->block, window, bounded, &decoded[i]);
-    if (r.ok()) {
-      slots[i] = std::move(r).value();
-    } else {
-      statuses[i] = r.status();
+    const SeriesEntry& e = *matched[i];
+    SeriesSnapshot snap;
+    {
+      std::lock_guard<std::mutex> lock(impl_->StripeFor(e));
+      snap.segments = e.segments;
+      snap.head = e.head.block();
     }
+    slots[i].meta = e.meta;
+    slots[i].tags_value = e.tags_value;
+    Status s = DecodeSnapshot(snap, window, bounded, tier_step, hints.rollup,
+                              &slots[i], &counters[i]);
+    if (!s.ok()) statuses[i] = std::move(s);
   };
   if (matched.size() >= kParallelScanThreshold) {
-    std::call_once(*scan_pool_once_, [this] {
-      scan_pool_ = std::make_unique<exec::ThreadPool>();
+    std::call_once(impl_->scan_pool_once, [this] {
+      impl_->scan_pool = std::make_unique<exec::ThreadPool>();
     });
     // Chunked fan-out: one task per worker-sized run of series instead of
     // one queue round-trip per series (large stores match 100k+ series).
-    exec::ParallelForChunks(*scan_pool_, matched.size(), /*min_grain=*/16,
-                            [&](size_t begin, size_t end) {
+    exec::ParallelForChunks(*impl_->scan_pool, matched.size(),
+                            /*min_grain=*/16, [&](size_t begin, size_t end) {
                               for (size_t i = begin; i < end; ++i) {
                                 decode_one(i);
                               }
@@ -186,16 +498,47 @@ Result<std::vector<SeriesData>> SeriesStore::Scan(
 
   std::vector<SeriesData> out;
   out.reserve(matched.size());
-  size_t points_decoded = 0, points_returned = 0;
+  ScanCounters total;
   for (size_t i = 0; i < matched.size(); ++i) {
     EXPLAINIT_RETURN_IF_ERROR(statuses[i]);
-    points_decoded += decoded[i];
-    points_returned += slots[i].timestamps.size();
+    total.Merge(counters[i]);
     if (!slots[i].timestamps.empty()) out.push_back(std::move(slots[i]));
   }
-  scan_stats_.points_decoded += points_decoded;
-  scan_stats_.points_returned += points_returned;
+
+  {
+    std::lock_guard<std::mutex> lock(impl_->stats_mutex);
+    ScanStats& st = impl_->scan_stats;
+    ++st.scans;
+    st.series_matched = matched.size();
+    st.last_range = window;
+    st.last_metric_glob =
+        hints.metric_glob.empty()
+            ? request.metric_glob
+            : (request.metric_glob == "*"
+                   ? hints.metric_glob
+                   : request.metric_glob + "&" + hints.metric_glob);
+    st.points_decoded += total.points_decoded;
+    st.points_returned += total.points_returned;
+    st.head_points_decoded += total.head_points_decoded;
+    st.segment_points_decoded += total.segment_points_decoded;
+    st.rollup_points_returned += total.rollup_points_returned;
+    st.rollup_points_skipped += total.rollup_points_skipped;
+    st.minute_tier_points += total.minute_tier_points;
+    st.hour_tier_points += total.hour_tier_points;
+    st.segments_rollup_served += total.segments_rollup_served;
+    st.segments_raw_fallback += total.segments_raw_fallback;
+  }
   return out;
+}
+
+ScanStats SeriesStore::scan_stats() const {
+  std::lock_guard<std::mutex> lock(impl_->stats_mutex);
+  return impl_->scan_stats;
+}
+
+void SeriesStore::ResetScanStats() {
+  std::lock_guard<std::mutex> lock(impl_->stats_mutex);
+  impl_->scan_stats = ScanStats{};
 }
 
 void InterpolateMissing(std::vector<double>& values) {
@@ -331,7 +674,6 @@ Result<table::Table> SeriesStore::ScanToTable(
   return table::Table::FromColumns(std::move(schema), std::move(columns));
 }
 
-
 namespace {
 void PutString(std::vector<uint8_t>* out, const std::string& s) {
   const uint64_t n = s.size();
@@ -353,20 +695,52 @@ bool GetString(const std::vector<uint8_t>& data, size_t* offset,
   return true;
 }
 
+/// The seed (v1) format: one block per series, no tiers. Still loadable.
 constexpr uint32_t kSnapshotMagic = 0x45585453;  // "EXTS"
+/// The tiered (v2) format: per series, every sealed segment block then
+/// the head block (encoder state included).
+constexpr uint32_t kSnapshotMagicV2 = 0x32545845;  // "EXT2"
+
+Result<TagSet> ParseTagEncoding(const std::string& tag_encoding) {
+  std::map<std::string, std::string> tags;
+  if (!tag_encoding.empty()) {
+    for (const std::string& kv : StrSplit(tag_encoding, ',')) {
+      const auto parts = StrSplit(kv, '=');
+      if (parts.size() != 2) {
+        return Status::ParseError("bad tag encoding: " + kv);
+      }
+      tags[parts[0]] = parts[1];
+    }
+  }
+  return TagSet(std::move(tags));
+}
 }  // namespace
 
 Status SeriesStore::SaveSnapshot(const std::string& path) const {
   std::vector<uint8_t> buf;
-  buf.resize(sizeof(kSnapshotMagic) + sizeof(uint64_t));
-  std::memcpy(buf.data(), &kSnapshotMagic, sizeof(kSnapshotMagic));
-  const uint64_t count = insertion_order_.size();
-  std::memcpy(buf.data() + sizeof(kSnapshotMagic), &count, sizeof(count));
-  for (const std::string& key : insertion_order_) {
-    const Series& s = *series_.at(key);
-    PutString(&buf, s.meta.metric_name);
-    PutString(&buf, s.meta.tags.Encode());
-    s.block.Serialize(&buf);
+  auto entries = impl_->SnapshotOrder();
+  buf.resize(sizeof(kSnapshotMagicV2) + sizeof(uint64_t));
+  std::memcpy(buf.data(), &kSnapshotMagicV2, sizeof(kSnapshotMagicV2));
+  const uint64_t count = entries.size();
+  std::memcpy(buf.data() + sizeof(kSnapshotMagicV2), &count, sizeof(count));
+  for (const auto& e : entries) {
+    PutString(&buf, e->meta.metric_name);
+    PutString(&buf, e->meta.tags.Encode());
+    // Capture the tier state under the stripe lock, then serialize
+    // outside it (segment payloads are immutable; the head is a copy).
+    std::vector<std::shared_ptr<const SealedSegment>> segments;
+    CompressedBlock head;
+    {
+      std::lock_guard<std::mutex> lock(impl_->StripeFor(*e));
+      segments = e->segments;
+      head = e->head.block();
+    }
+    const uint64_t num_segments = segments.size();
+    const size_t at = buf.size();
+    buf.resize(at + sizeof(num_segments));
+    std::memcpy(buf.data() + at, &num_segments, sizeof(num_segments));
+    for (const auto& seg : segments) seg->block().Serialize(&buf);
+    head.Serialize(&buf);
   }
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
@@ -402,14 +776,15 @@ Status SeriesStore::LoadSnapshot(const std::string& path) {
   }
   std::memcpy(&magic, buf.data(), sizeof(magic));
   offset += sizeof(magic);
-  if (magic != kSnapshotMagic) {
+  if (magic != kSnapshotMagic && magic != kSnapshotMagicV2) {
     return Status::ParseError("bad snapshot magic");
   }
+  const bool tiered = magic == kSnapshotMagicV2;
   std::memcpy(&count, buf.data() + offset, sizeof(count));
   offset += sizeof(count);
 
-  std::unordered_map<std::string, std::unique_ptr<Series>> series;
-  std::vector<std::string> order;
+  std::unordered_map<std::string, std::shared_ptr<SeriesEntry>> by_key;
+  std::vector<std::shared_ptr<SeriesEntry>> order;
   size_t points = 0;
   for (uint64_t i = 0; i < count; ++i) {
     std::string metric, tag_encoding;
@@ -417,30 +792,48 @@ Status SeriesStore::LoadSnapshot(const std::string& path) {
         !GetString(buf, &offset, &tag_encoding)) {
       return Status::ParseError("truncated series header");
     }
-    auto s = std::make_unique<Series>();
-    s->meta.metric_name = metric;
-    std::map<std::string, std::string> tags;
-    if (!tag_encoding.empty()) {
-      for (const std::string& kv : StrSplit(tag_encoding, ',')) {
-        const auto parts = StrSplit(kv, '=');
-        if (parts.size() != 2) {
-          return Status::ParseError("bad tag encoding: " + kv);
-        }
-        tags[parts[0]] = parts[1];
+    auto e = std::make_shared<SeriesEntry>();
+    e->meta.metric_name = metric;
+    EXPLAINIT_ASSIGN_OR_RETURN(e->meta.tags, ParseTagEncoding(tag_encoding));
+    e->tags_value = MakeTagsValue(e->meta.tags);
+    if (tiered) {
+      uint64_t num_segments = 0;
+      if (offset + sizeof(num_segments) > buf.size()) {
+        return Status::ParseError("truncated segment count");
       }
+      std::memcpy(&num_segments, buf.data() + offset, sizeof(num_segments));
+      offset += sizeof(num_segments);
+      for (uint64_t s = 0; s < num_segments; ++s) {
+        EXPLAINIT_ASSIGN_OR_RETURN(
+            CompressedBlock block, CompressedBlock::Deserialize(buf, &offset));
+        // Re-sealing rebuilds the rollup tiers from the raw block —
+        // rollups are derived data and stay out of the snapshot format.
+        EXPLAINIT_ASSIGN_OR_RETURN(auto segment,
+                                   SealedSegment::Seal(std::move(block)));
+        points += segment->num_points();
+        e->segments.push_back(std::move(segment));
+      }
+      EXPLAINIT_ASSIGN_OR_RETURN(CompressedBlock head,
+                                 CompressedBlock::Deserialize(buf, &offset));
+      points += head.num_points();
+      if (head.num_points() > 0) e->head.Restore(std::move(head));
+    } else {
+      // Seed format: the whole series is one block — load it as the head;
+      // it reseals under the current thresholds as writes resume.
+      EXPLAINIT_ASSIGN_OR_RETURN(CompressedBlock block,
+                                 CompressedBlock::Deserialize(buf, &offset));
+      points += block.num_points();
+      if (block.num_points() > 0) e->head.Restore(std::move(block));
     }
-    s->meta.tags = TagSet(std::move(tags));
-    s->tags_value = MakeTagsValue(s->meta.tags);
-    EXPLAINIT_ASSIGN_OR_RETURN(s->block,
-                               CompressedBlock::Deserialize(buf, &offset));
-    points += s->block.num_points();
-    const std::string key = Key(s->meta.metric_name, s->meta.tags);
-    order.push_back(key);
-    series[key] = std::move(s);
+    const std::string key = SeriesKey(e->meta.metric_name, e->meta.tags);
+    e->stripe = std::hash<std::string>{}(key) % Impl::kStripeCount;
+    order.push_back(e);
+    by_key[key] = std::move(e);
   }
-  series_ = std::move(series);
-  insertion_order_ = std::move(order);
-  num_points_ = points;
+  std::unique_lock<std::shared_mutex> lock(impl_->map_mutex);
+  impl_->by_key = std::move(by_key);
+  impl_->order = std::move(order);
+  impl_->total_points.store(points, std::memory_order_relaxed);
   return Status::OK();
 }
 

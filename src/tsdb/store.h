@@ -1,20 +1,29 @@
 // SeriesStore: the embedded time series database that stands in for
-// OpenTSDB/Druid as ExplainIt!'s data source. Series are identified by
-// (metric name, tag set); points are held in Gorilla-compressed blocks.
+// OpenTSDB/Druid as ExplainIt!'s data source — a tiered, concurrency-safe
+// engine that ingests while EXPLAIN queries run.
+//
+// Each series is split into a small *mutable head* (an in-progress
+// Gorilla encoder behind a lock stripe) and a list of *immutable sealed
+// segments* (reference-counted; built with downsampled rollup tiers,
+// raw -> 1m -> 1h, at seal time). A background sealer/compactor on the
+// store's worker pool seals heads that exceed a size/age threshold and
+// merges segment runs. Scans capture a per-series snapshot (shared_ptr
+// segments + a copy of the bounded head block) under the stripe lock and
+// decode entirely lock-free, so readers never block writers and every
+// scan sees a prefix-consistent view of each series.
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
 #include "common/time_util.h"
-#include "exec/thread_pool.h"
 #include "table/table.h"
 #include "tsdb/compression.h"
+#include "tsdb/rollup.h"
+#include "tsdb/segment.h"
 #include "tsdb/tags.h"
 
 namespace explainit::tsdb {
@@ -40,9 +49,20 @@ struct SeriesData {
 };
 
 /// Planner-derived scan narrowing, attached to a ScanRequest by the SQL
-/// layer's predicate pushdown. Hints only ever *restrict* a scan: the
-/// effective window is the intersection of the request range and the hint
-/// range, and hinted glob/tag filters apply in addition to the request's.
+/// layer's predicate pushdown. The range/glob/tag/projection hints only
+/// ever *restrict* a scan: the effective window is the intersection of
+/// the request range and the hint range, and hinted glob/tag filters
+/// apply in addition to the request's.
+///
+/// min_step_seconds + rollup form the *resolution* hint and are
+/// different in kind: they declare that the consumer aggregates each
+/// min_step_seconds-wide bucket with `rollup` (SUM/MIN/MAX) and never
+/// looks at finer structure, which licenses the store to serve sealed
+/// segments from a rollup tier — one (bucket_start, bucket_aggregate)
+/// point per covered bucket instead of the raw points. Mixed output is
+/// exact for these aggregates (sums of partial sums, mins of partial
+/// mins); a provider must either implement that contract fully, as
+/// SeriesStore does, or ignore the pair outright.
 struct ScanHints {
   /// Narrowed time window (from WHERE ts BETWEEN ... / comparisons).
   std::optional<TimeRange> range;
@@ -53,10 +73,16 @@ struct ScanHints {
   /// Advisory: columns the query actually reads (providers may use this
   /// to skip materialising unused columns).
   std::vector<std::string> projection;
+  /// Resolution floor in seconds (0 = raw resolution required). Set
+  /// together with `rollup` by the planner for grid-aligned aggregating
+  /// queries (date_trunc / ts - ts % k GROUP BY shapes).
+  int64_t min_step_seconds = 0;
+  /// The per-bucket aggregate the consumer applies (kNone = raw).
+  RollupAggregate rollup = RollupAggregate::kNone;
 
   bool empty() const {
     return !range.has_value() && metric_glob.empty() && tag_filter.empty() &&
-           projection.empty();
+           projection.empty() && min_step_seconds == 0;
   }
 };
 
@@ -77,22 +103,63 @@ struct ScanRequest {
   TimeRange EffectiveRange() const;
 };
 
-/// Per-store scan observability. `scans`, `points_decoded` and
-/// `points_returned` accumulate across scans (ResetScanStats clears);
-/// `series_matched`, `last_range` and `last_metric_glob` describe the
-/// most recent scan only. Updated by Scan() (best effort under
-/// concurrent readers; the store is thread-compatible, not thread-safe).
+/// Per-store scan observability, now mutex-guarded so concurrent scans
+/// stay exact (and TSan-clean). Counters accumulate across scans
+/// (ResetScanStats clears); `series_matched`, `last_range` and
+/// `last_metric_glob` describe the most recent scan only.
 struct ScanStats {
   size_t scans = 0;
   size_t series_matched = 0;  // most recent scan
+  /// Raw points decoded from Gorilla blocks (head + raw-served
+  /// segments). Rollup-served segments decode nothing raw.
   size_t points_decoded = 0;
   size_t points_returned = 0;
+  /// Per-tier breakdown of points_decoded / rollup service.
+  size_t head_points_decoded = 0;
+  size_t segment_points_decoded = 0;
+  /// Bucket rows returned from rollup tiers instead of raw decode.
+  size_t rollup_points_returned = 0;
+  /// Raw points whose decode the rollup tiers avoided.
+  size_t rollup_points_skipped = 0;
+  size_t minute_tier_points = 0;
+  size_t hour_tier_points = 0;
+  /// Segments served from a rollup tier / forced back to raw because a
+  /// window-cut bucket made the tier inexact.
+  size_t segments_rollup_served = 0;
+  size_t segments_raw_fallback = 0;
   /// Effective window of the most recent scan — the pushdown tests assert
   /// this shrank below the registered table range.
   TimeRange last_range;
   /// Effective metric constraint of the most recent scan ("glob" or
   /// "glob&hint" when both applied).
   std::string last_metric_glob;
+};
+
+/// Lifetime storage-maintenance counters plus a point-in-time census of
+/// the tiers (head vs sealed).
+struct StorageStats {
+  size_t seals = 0;        // seal operations since construction
+  size_t compactions = 0;  // segment-merge operations
+  size_t sealed_segments = 0;  // current total across series
+  size_t head_points = 0;      // points still in mutable heads
+  size_t sealed_points = 0;    // points in sealed segments
+};
+
+/// Tiering/maintenance knobs.
+struct StoreOptions {
+  /// Seal a head once it holds this many points...
+  size_t seal_max_points = 4096;
+  /// ...or this many compressed bytes...
+  size_t seal_max_bytes = 64 * 1024;
+  /// ...or once its oldest point is this many wall-clock seconds old
+  /// (checked on the next write to the series; 0 disables age sealing).
+  double seal_max_age_seconds = 0.0;
+  /// Seal on the store's worker pool (false: inline on the writing
+  /// thread — deterministic, used by tests).
+  bool background_seal = true;
+  /// Merge a series' sealed segments into one once it accumulates this
+  /// many (0 disables compaction).
+  size_t compact_min_segments = 8;
 };
 
 /// Options for converting scans to a fixed minute grid.
@@ -103,16 +170,24 @@ struct GridOptions {
   bool interpolate_missing = true;
 };
 
-/// An in-memory, write-optimised time series store.
+/// An in-memory, write-optimised, concurrency-safe time series store.
 ///
-/// Ingestion appends to per-series compressed blocks; queries decode and
-/// filter. Thread-compatible (external synchronisation for writes).
+/// Writes and scans may run concurrently from any number of threads.
+/// Moving or destroying the store itself still requires external
+/// quiescence (no call may be in flight), as for any C++ object.
 class SeriesStore {
  public:
-  SeriesStore() = default;
+  explicit SeriesStore(StoreOptions options = {});
+  ~SeriesStore();
+
+  SeriesStore(SeriesStore&&) noexcept;
+  SeriesStore& operator=(SeriesStore&&) noexcept;
+
+  const StoreOptions& options() const;
 
   /// Appends one observation. Creates the series on first write.
-  /// Timestamps must be non-decreasing per series.
+  /// Timestamps must be non-decreasing per series; concurrent writers
+  /// must target distinct series for that to hold.
   Status Write(const std::string& metric_name, const TagSet& tags,
                EpochSeconds timestamp, double value);
 
@@ -121,23 +196,37 @@ class SeriesStore {
                      const std::vector<EpochSeconds>& timestamps,
                      const std::vector<double>& values);
 
-  size_t num_series() const { return series_.size(); }
-  size_t num_points() const { return num_points_; }
-  /// Total compressed payload bytes across all series.
+  size_t num_series() const;
+  size_t num_points() const;
+  /// Total compressed payload bytes across all series (heads + segments).
   size_t compressed_bytes() const;
 
-  /// All series metadata (order unspecified but stable per store).
+  /// Seals every non-empty head into a segment and drains any background
+  /// maintenance — afterwards the store is quiesced: all data sealed,
+  /// rollups built. The lifecycle hook tests and benches use.
+  Status Flush();
+
+  /// Flush, then merge every series' segments into a single segment.
+  Status Compact();
+
+  /// All series metadata (creation order, stable per store).
   std::vector<SeriesMeta> ListSeries() const;
 
   /// Decodes every series matching the request, restricted to the window
-  /// (honouring request.hints). Multi-series scans are morsel-parallel:
-  /// when enough series match, per-series block decoding fans out over an
-  /// internal exec::ThreadPool and the per-morsel results are merged in
-  /// store order.
+  /// (honouring request.hints). Multi-series scans are morsel-parallel
+  /// over the store's pool. Snapshot-isolated: concurrent writers are
+  /// never blocked and each series decodes a prefix-consistent snapshot.
+  ///
+  /// With a resolution hint (hints.min_step_seconds + rollup), sealed
+  /// segments fully covered by the window are served from the coarsest
+  /// qualifying rollup tier as (bucket_start, aggregate) points; within
+  /// such a series, timestamps can repeat a bucket or regress at segment
+  /// boundaries — consumers are grid-aligned aggregators by contract.
   Result<std::vector<SeriesData>> Scan(const ScanRequest& request) const;
 
-  const ScanStats& scan_stats() const { return scan_stats_; }
-  void ResetScanStats() { scan_stats_ = ScanStats{}; }
+  ScanStats scan_stats() const;
+  void ResetScanStats();
+  StorageStats storage_stats() const;
 
   /// Scans and aligns to a regular grid over request.range; missing slots
   /// are interpolated to the nearest observation (or NaN). All returned
@@ -153,37 +242,22 @@ class SeriesStore {
   /// all four when the projection is empty or names none of them.
   Result<table::Table> ScanToTable(const ScanRequest& request) const;
 
-  /// Writes a binary snapshot of the whole store (compressed blocks plus
-  /// encoder state, so writes can continue after a reload).
+  /// Writes a binary snapshot of the whole store: per series, every
+  /// sealed segment block plus the head block with its encoder state, so
+  /// writes continue seamlessly after a reload. Concurrent writers make
+  /// the snapshot a per-series-consistent (not globally atomic) backup.
   Status SaveSnapshot(const std::string& path) const;
 
   /// Loads a snapshot written by SaveSnapshot, replacing this store's
-  /// contents.
+  /// contents. Understands both the current tiered format and the
+  /// original single-block-per-series seed format (loaded as all-head
+  /// stores that reseal under the current thresholds as writes resume).
+  /// Not safe against concurrent use of this store.
   Status LoadSnapshot(const std::string& path);
 
  private:
-  struct Series {
-    SeriesMeta meta;
-    CompressedBlock block;
-    /// meta.tags as a kMap Value, built once at series creation so scans
-    /// never rebuild per-row tag maps.
-    table::Value tags_value;
-  };
-
-  /// Builds the cached tags_value for a fresh series.
-  static table::Value MakeTagsValue(const TagSet& tags);
-
-  static std::string Key(const std::string& metric_name, const TagSet& tags);
-
-  std::unordered_map<std::string, std::unique_ptr<Series>> series_;
-  std::vector<std::string> insertion_order_;
-  size_t num_points_ = 0;
-  mutable ScanStats scan_stats_;
-  /// Lazily created worker pool for morsel-parallel scans. The once_flag
-  /// lives on the heap so the store stays movable.
-  mutable std::unique_ptr<exec::ThreadPool> scan_pool_;
-  mutable std::unique_ptr<std::once_flag> scan_pool_once_ =
-      std::make_unique<std::once_flag>();
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 /// Fills NaN slots with the closest non-NaN neighbour (ties prefer the

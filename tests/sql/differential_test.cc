@@ -149,6 +149,32 @@ const char* const kCorpus[] = {
     "WHERE metric_name = 'cpu' GROUP BY tag['host'] ORDER BY v DESC LIMIT 2",
     "SELECT s.v + 1 AS w FROM (SELECT AVG(value) AS v FROM tsdb "
     "GROUP BY tag['host']) s WHERE s.v > 5",
+    // --- rollup-aware resolution hints ------------------------------------
+    // The fixture store is tiered (sealed segments + dirty heads), so
+    // these run partly from pre-aggregated rollup tiers in the pipeline
+    // while the seed recombines raw rows — parity locks the equivalence.
+    "SELECT DATE_TRUNC('minute', timestamp) AS m, SUM(value) AS s "
+    "FROM tsdb WHERE metric_name = 'cpu' "
+    "GROUP BY DATE_TRUNC('minute', timestamp)",
+    "SELECT DATE_TRUNC('hour', timestamp) AS h, MAX(value) AS mx "
+    "FROM tsdb GROUP BY DATE_TRUNC('hour', timestamp)",
+    "SELECT tag['host'] AS h, DATE_TRUNC('hour', timestamp) AS hh, "
+    "MIN(value) AS lo FROM tsdb WHERE metric_name = 'mem' "
+    "GROUP BY tag['host'], DATE_TRUNC('hour', timestamp)",
+    // The `ts - ts % k` grid form with tier-aligned WHERE bounds.
+    "SELECT timestamp - timestamp % 60 AS b, SUM(value) AS s FROM tsdb "
+    "WHERE metric_name = 'cpu' AND timestamp >= 60 AND timestamp < 1200 "
+    "GROUP BY timestamp - timestamp % 60",
+    // No hint derivable (AVG / unaligned bound) — still must agree.
+    "SELECT DATE_TRUNC('minute', timestamp) AS m, AVG(value) AS a "
+    "FROM tsdb WHERE metric_name = 'cpu' "
+    "GROUP BY DATE_TRUNC('minute', timestamp)",
+    "SELECT DATE_TRUNC('minute', timestamp) AS m, SUM(value) AS s "
+    "FROM tsdb WHERE metric_name = 'cpu' AND timestamp > 90 "
+    "GROUP BY DATE_TRUNC('minute', timestamp)",
+    // DATE_TRUNC as a plain scalar (no aggregation shape at all).
+    "SELECT DATE_TRUNC('hour', timestamp) AS h, value FROM tsdb "
+    "WHERE metric_name = 'sparse'",
 };
 
 bool NumericType(const Value& v) {
@@ -227,7 +253,14 @@ class DifferentialTest : public ::testing::Test {
  protected:
   void SetUp() override {
     functions_ = FunctionRegistry::Builtins();
-    store_ = std::make_shared<tsdb::SeriesStore>();
+    // A deliberately tiered store: sealing every 8 points leaves each
+    // dense series with sealed segments (and their rollup tiers) plus a
+    // dirty head, so rollup-hinted corpus queries exercise the
+    // mixed-granularity recombination path against the seed's raw scan.
+    tsdb::StoreOptions store_opts;
+    store_opts.seal_max_points = 8;
+    store_opts.background_seal = false;
+    store_ = std::make_shared<tsdb::SeriesStore>(store_opts);
     // Two dense metrics over four hosts in two dcs (fractional values so
     // float summation order matters), plus a sparse one.
     for (int host = 0; host < 4; ++host) {

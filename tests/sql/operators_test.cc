@@ -161,6 +161,42 @@ TEST_F(OperatorsTest, FullOuterAllBuildRowsMatchedReportsEofDirectly) {
   }
 }
 
+TEST_F(OperatorsTest, BuildPadsEmitInBatchSizedChunks) {
+  // 3500 unmatched build rows must not materialise as one giant pad
+  // batch: FinishBuildPads keeps a cursor and emits kDefaultBatchRows at
+  // a time, like every other operator.
+  constexpr size_t kBuildRows = 3500;
+  Table l2(Schema{{{"k", DataType::kString}, {"a", DataType::kInt64}}});
+  for (size_t i = 0; i < kBuildRows; ++i) {
+    l2.AppendRow({Value::String("L" + std::to_string(i)),
+                  Value::Int(static_cast<int64_t>(i))});
+  }
+  l2.AppendRow({Value::String("two"), Value::Int(-1)});  // the one match
+  catalog_.RegisterTable("l", std::move(l2));
+
+  auto op = MakeJoin(JoinType::kFullOuter, /*build_left=*/true);
+  ASSERT_TRUE(op->Open().ok());
+  size_t total = 0, pad_batches = 0, max_batch = 0;
+  bool eof = false;
+  while (true) {
+    auto batch = op->Next(&eof);
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    if (eof) break;
+    ASSERT_GT(batch->num_rows(), 0u);
+    max_batch = std::max(max_batch, batch->num_rows());
+    // A pad batch carries nulls in the probe (right) columns.
+    if (batch->At(0, 2).is_null()) {
+      ++pad_batches;
+    }
+    total += batch->num_rows();
+  }
+  // matched (two) + kBuildRows unmatched build + unmatched probe (four).
+  EXPECT_EQ(total, kBuildRows + 2);
+  EXPECT_LE(max_batch, table::kDefaultBatchRows);
+  // ceil(3500 / 1024) = 4 chunks of build pads.
+  EXPECT_GE(pad_batches, 4u);
+}
+
 // ---------------------------------------------------------------------------
 // ORDER BY side resolution
 // ---------------------------------------------------------------------------

@@ -404,5 +404,140 @@ TEST_F(PlannerTest, ScanToTableHonoursProjectionHint) {
       << scan->detail;
 }
 
+// ---------------------------------------------------------------------
+// Rollup resolution hints: a GROUP BY whose grid is minute/hour-aligned
+// and whose aggregates recombine exactly (SUM/MIN/MAX over bare `value`)
+// lets the scan serve pre-aggregated rollup tiers. ExecStats counts such
+// hinted scans; the store's ScanStats prove which tier actually served.
+// ---------------------------------------------------------------------
+
+TEST_F(PlannerTest, DateTruncGroupByDerivesRollupHint) {
+  ASSERT_TRUE(store_->Flush().ok());  // seal so the minute tier exists
+  store_->ResetScanStats();
+  Table t = MustQuery(
+      "SELECT DATE_TRUNC('minute', timestamp) AS m, SUM(value) AS s "
+      "FROM tsdb WHERE metric_name = 'cpu' "
+      "GROUP BY DATE_TRUNC('minute', timestamp) ORDER BY m");
+  EXPECT_EQ(executor_->last_stats().rollup_hinted_scans, 1u);
+  ASSERT_EQ(t.num_rows(), static_cast<size_t>(kPoints));
+  // Minute i holds one point per host: sum = (0+100+200+300) + 4i.
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(t.At(i, 0).AsInt(), static_cast<int64_t>(i) * 60);
+    EXPECT_EQ(t.At(i, 1).AsDouble(), 600.0 + 4.0 * i);
+  }
+  // The sealed segments served from the minute tier: no raw decodes.
+  const tsdb::ScanStats st = store_->scan_stats();
+  EXPECT_GT(st.rollup_points_returned, 0u);
+  EXPECT_EQ(st.segments_raw_fallback, 0u);
+  EXPECT_EQ(st.points_decoded, 0u);
+}
+
+TEST_F(PlannerTest, ModuloGridDerivesRollupHint) {
+  // The `ts - ts % k` grid idiom hints like DATE_TRUNC does.
+  ASSERT_TRUE(store_->Flush().ok());
+  Table t = MustQuery(
+      "SELECT timestamp - timestamp % 3600 AS h, MAX(value) AS mx "
+      "FROM tsdb WHERE metric_name = 'cpu' "
+      "GROUP BY timestamp - timestamp % 3600 ORDER BY h");
+  EXPECT_EQ(executor_->last_stats().rollup_hinted_scans, 1u);
+  ASSERT_EQ(t.num_rows(), 2u);  // 100 minutes span two hours
+  EXPECT_EQ(t.At(0, 1).AsDouble(), 359.0);  // host 3, minute 59
+  EXPECT_EQ(t.At(1, 1).AsDouble(), 399.0);  // host 3, minute 99
+}
+
+TEST_F(PlannerTest, RollupHintedQueryMatchesMaterialisedBaseline) {
+  // The rollup route is an optimisation, never an answer change: the
+  // same aggregation over a plain materialised copy (which cannot take
+  // hints) must produce identical rows.
+  ASSERT_TRUE(store_->Flush().ok());
+  tsdb::ScanRequest all;
+  all.range = kFullRange;
+  auto full = store_->ScanToTable(all);
+  ASSERT_TRUE(full.ok());
+  catalog_.RegisterTable("tsdb_mat", std::move(full).value());
+  const std::string shape =
+      "SELECT DATE_TRUNC('hour', timestamp) AS h, SUM(value) AS s FROM ";
+  const std::string tail =
+      " WHERE metric_name = 'mem' GROUP BY DATE_TRUNC('hour', timestamp) "
+      "ORDER BY h";
+  Table hinted = MustQuery(shape + "tsdb" + tail);
+  EXPECT_EQ(executor_->last_stats().rollup_hinted_scans, 1u);
+  Table plain = MustQuery(shape + "tsdb_mat" + tail);
+  EXPECT_EQ(executor_->last_stats().rollup_hinted_scans, 0u);
+  ASSERT_EQ(hinted.num_rows(), plain.num_rows());
+  for (size_t r = 0; r < hinted.num_rows(); ++r) {
+    EXPECT_EQ(hinted.At(r, 0).AsInt(), plain.At(r, 0).AsInt());
+    EXPECT_EQ(hinted.At(r, 1).AsDouble(), plain.At(r, 1).AsDouble());
+  }
+  EXPECT_GT(hinted.num_rows(), 0u);
+}
+
+TEST_F(PlannerTest, AlignedTimeBoundsKeepRollupHint) {
+  // [60, 180) is minute-aligned: whole buckets only, hint survives.
+  Table t = MustQuery(
+      "SELECT DATE_TRUNC('minute', timestamp) AS m, SUM(value) AS s "
+      "FROM tsdb WHERE metric_name = 'cpu' "
+      "AND timestamp >= 60 AND timestamp < 180 "
+      "GROUP BY DATE_TRUNC('minute', timestamp)");
+  EXPECT_EQ(executor_->last_stats().rollup_hinted_scans, 1u);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST_F(PlannerTest, UnalignedTimeBoundRejectsRollupHint) {
+  // ts >= 90 cuts minute-bucket 1 mid-way: a tier row for it would count
+  // points the filter excludes, so no hint may be derived.
+  Table t = MustQuery(
+      "SELECT DATE_TRUNC('minute', timestamp) AS m, SUM(value) AS s "
+      "FROM tsdb WHERE metric_name = 'cpu' AND timestamp >= 90 "
+      "GROUP BY DATE_TRUNC('minute', timestamp)");
+  EXPECT_EQ(executor_->last_stats().rollup_hinted_scans, 0u);
+  // Points sit on minute marks, so ts >= 90 keeps minutes 2..99.
+  EXPECT_EQ(t.num_rows(), static_cast<size_t>(kPoints) - 2);
+}
+
+TEST_F(PlannerTest, NonDecomposableAggregatesRejectRollupHint) {
+  // AVG over mixed raw/rollup granularities does not recombine exactly —
+  // no hint; the query still answers correctly from raw points.
+  Table avg = MustQuery(
+      "SELECT DATE_TRUNC('minute', timestamp) AS m, AVG(value) AS a "
+      "FROM tsdb WHERE metric_name = 'cpu' "
+      "GROUP BY DATE_TRUNC('minute', timestamp) ORDER BY m");
+  EXPECT_EQ(executor_->last_stats().rollup_hinted_scans, 0u);
+  ASSERT_EQ(avg.num_rows(), static_cast<size_t>(kPoints));
+  EXPECT_EQ(avg.At(0, 1).AsDouble(), 150.0);  // (0+100+200+300)/4
+
+  // Mixed aggregate kinds cannot share one rollup stream either.
+  MustQuery(
+      "SELECT DATE_TRUNC('minute', timestamp) AS m, SUM(value) AS s, "
+      "MIN(value) AS lo FROM tsdb WHERE metric_name = 'cpu' "
+      "GROUP BY DATE_TRUNC('minute', timestamp)");
+  EXPECT_EQ(executor_->last_stats().rollup_hinted_scans, 0u);
+}
+
+TEST_F(PlannerTest, RawColumnReferencesRejectRollupHint) {
+  // A bare `value` outside the aggregate (the HAVING-style filter below)
+  // needs raw rows; serving rollups would change the answer.
+  Table t = MustQuery(
+      "SELECT DATE_TRUNC('minute', timestamp) AS m, SUM(value) AS s "
+      "FROM tsdb WHERE metric_name = 'cpu' AND value >= 100 "
+      "GROUP BY DATE_TRUNC('minute', timestamp)");
+  EXPECT_EQ(executor_->last_stats().rollup_hinted_scans, 0u);
+
+  // So does projecting the raw timestamp next to the grid.
+  MustQuery(
+      "SELECT timestamp, SUM(value) AS s FROM tsdb "
+      "WHERE metric_name = 'cpu' GROUP BY timestamp");
+  EXPECT_EQ(executor_->last_stats().rollup_hinted_scans, 0u);
+}
+
+TEST_F(PlannerTest, SubMinuteGridRejectsRollupHint) {
+  // A 30s grid is finer than the finest maintained tier: no hint.
+  MustQuery(
+      "SELECT timestamp - timestamp % 30 AS b, SUM(value) AS s "
+      "FROM tsdb WHERE metric_name = 'cpu' "
+      "GROUP BY timestamp - timestamp % 30");
+  EXPECT_EQ(executor_->last_stats().rollup_hinted_scans, 0u);
+}
+
 }  // namespace
 }  // namespace explainit::sql

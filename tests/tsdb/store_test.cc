@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <cstring>
 #include <unistd.h>
 
 namespace explainit::tsdb {
@@ -275,6 +277,120 @@ TEST(SnapshotTest, TruncatedSnapshotFailsCleanly) {
   ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
   SeriesStore loaded;
   EXPECT_FALSE(loaded.LoadSnapshot(path).ok());
+}
+
+TEST(SnapshotTest, TieredStateRoundTripsWithDirtyHead) {
+  // Seal every 4 points, no background thread: 10 points leave two sealed
+  // segments and a dirty 2-point head per series. The v2 snapshot must
+  // carry all three tiers and rebuild rollups on load.
+  StoreOptions opts;
+  opts.seal_max_points = 4;
+  opts.background_seal = false;
+  SeriesStore store(opts);
+  const TagSet tags{{"h", "x"}};
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(store.Write("m", tags, i * 60, 1.0 + i).ok());
+  }
+  ASSERT_EQ(store.storage_stats().sealed_segments, 2u);
+  ASSERT_EQ(store.storage_stats().head_points, 2u);
+
+  const std::string path = ::testing::TempDir() + "/tiered.bin";
+  ASSERT_TRUE(store.SaveSnapshot(path).ok());
+  SeriesStore loaded(opts);
+  ASSERT_TRUE(loaded.LoadSnapshot(path).ok());
+
+  const StorageStats st = loaded.storage_stats();
+  EXPECT_EQ(st.sealed_segments, 2u);
+  EXPECT_EQ(st.sealed_points, 8u);
+  EXPECT_EQ(st.head_points, 2u);
+  EXPECT_EQ(loaded.num_points(), 10u);
+
+  ScanRequest req;
+  auto a = store.Scan(req);
+  auto b = loaded.Scan(req);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ((*a)[0].timestamps, (*b)[0].timestamps);
+  EXPECT_EQ((*a)[0].values, (*b)[0].values);
+
+  // Rollup tiers were rebuilt at load: a hinted scan of the loaded store
+  // serves the sealed segments from the minute tier.
+  loaded.ResetScanStats();
+  req.hints.min_step_seconds = 60;
+  req.hints.rollup = RollupAggregate::kSum;
+  auto rolled = loaded.Scan(req);
+  ASSERT_TRUE(rolled.ok());
+  EXPECT_EQ(loaded.scan_stats().segments_rollup_served, 2u);
+
+  // Writes keep going after reload: the head stream continues and the
+  // next seal threshold still fires.
+  for (int i = 10; i < 14; ++i) {
+    ASSERT_TRUE(loaded.Write("m", tags, i * 60, 1.0 + i).ok());
+  }
+  EXPECT_EQ(loaded.storage_stats().sealed_segments, 3u);
+  auto grown = loaded.Scan(ScanRequest{});
+  ASSERT_TRUE(grown.ok());
+  ASSERT_EQ((*grown)[0].values.size(), 14u);
+  for (int i = 0; i < 14; ++i) {
+    EXPECT_EQ((*grown)[0].values[i], 1.0 + i);
+  }
+}
+
+TEST(SnapshotTest, SeedV1FormatStillLoads) {
+  // Hand-build a v1 (seed-format) snapshot byte stream: u32 magic "EXTS",
+  // u64 series count, then per series metric / tag strings (u64 length
+  // prefix) and a single compressed block. The tiered store must load it
+  // with the block as the mutable head.
+  CompressedBlock block;
+  for (int64_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(block.Append(i * 60, 2.0 * static_cast<double>(i)).ok());
+  }
+  std::vector<uint8_t> buf;
+  const uint32_t magic = 0x45585453;  // "EXTS"
+  const uint64_t count = 1;
+  buf.resize(sizeof(magic) + sizeof(count));
+  std::memcpy(buf.data(), &magic, sizeof(magic));
+  std::memcpy(buf.data() + sizeof(magic), &count, sizeof(count));
+  auto put_string = [&buf](const std::string& s) {
+    const uint64_t n = s.size();
+    const size_t at = buf.size();
+    buf.resize(at + sizeof(n) + s.size());
+    std::memcpy(buf.data() + at, &n, sizeof(n));
+    std::memcpy(buf.data() + at + sizeof(n), s.data(), s.size());
+  };
+  put_string("legacy");
+  put_string("host=old-1");
+  block.Serialize(&buf);
+
+  const std::string path = ::testing::TempDir() + "/seed_v1.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(buf.data(), 1, buf.size(), f), buf.size());
+  std::fclose(f);
+
+  SeriesStore loaded;
+  ASSERT_TRUE(loaded.LoadSnapshot(path).ok());
+  EXPECT_EQ(loaded.num_series(), 1u);
+  EXPECT_EQ(loaded.num_points(), 6u);
+  // v1 carried no segments: everything loads as head, nothing sealed.
+  EXPECT_EQ(loaded.storage_stats().sealed_segments, 0u);
+  EXPECT_EQ(loaded.storage_stats().head_points, 6u);
+
+  ScanRequest req;
+  auto res = loaded.Scan(req);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res->size(), 1u);
+  EXPECT_EQ((*res)[0].meta.metric_name, "legacy");
+  EXPECT_EQ((*res)[0].meta.tags.Get("host"), "old-1");
+  for (int64_t i = 0; i < 6; ++i) {
+    EXPECT_EQ((*res)[0].timestamps[i], i * 60);
+    EXPECT_EQ((*res)[0].values[i], 2.0 * static_cast<double>(i));
+  }
+  // A resave upgrades to the tiered (v2) format transparently.
+  const std::string path2 = ::testing::TempDir() + "/seed_v1_resaved.bin";
+  ASSERT_TRUE(loaded.SaveSnapshot(path2).ok());
+  SeriesStore again;
+  ASSERT_TRUE(again.LoadSnapshot(path2).ok());
+  EXPECT_EQ(again.num_points(), 6u);
 }
 
 TEST(StoreTest, ScanToTableHonoursProjectionHint) {
