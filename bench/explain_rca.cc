@@ -6,8 +6,12 @@
 // headline number; sub-select execution is shared cost.
 //
 // Ranking parity across all parallelism levels (same families, same
-// order, scores within FP-summation tolerance) is verified before any
-// timing is recorded; mismatches fail the bench. Emits BENCH_explain.json.
+// order, scores within FP-summation tolerance) AND across SIMD dispatch
+// modes (scalar vs the best available kernel table) is verified before
+// any timing is recorded; mismatches fail the bench. Per-level output
+// includes the Rank stage's linear-algebra breakdown (gram/factor/solve/
+// predict ns) and the cross-hypothesis scoring-cache hit counters.
+// Emits BENCH_explain.json.
 //
 // Usage: explain_rca [--smoke] [output.json]
 #include <algorithm>
@@ -21,6 +25,7 @@
 
 #include "common/time_util.h"
 #include "core/engine.h"
+#include "la/simd.h"
 #include "tsdb/store.h"
 
 namespace explainit {
@@ -163,6 +168,38 @@ int Main(int argc, char** argv) {
     }
   }
 
+  // Dispatch parity: the same statement under the scalar kernel table
+  // must produce the identical family order (scores agree to rounding —
+  // FMA contracts differently, so only the order is byte-comparable).
+  bool dispatch_parity = true;
+  const la::simd::Isa best_isa = la::simd::ActiveIsa();
+  if (parity && la::simd::Avx2Table() != nullptr) {
+    la::simd::ForceIsa(la::simd::Isa::kScalar);
+    auto scalar_run = engines[0]->Query(kExplainTemplate);
+    la::simd::ForceIsa(best_isa);
+    if (!scalar_run.ok()) {
+      std::fprintf(stderr, "EXPLAIN failed under scalar dispatch: %s\n",
+                   scalar_run.status().ToString().c_str());
+      dispatch_parity = false;
+    } else {
+      const core::ScoreTable& st = *scalar_run->score_table;
+      if (st.rows.size() != levels[0].table.rows.size()) {
+        dispatch_parity = false;
+      } else {
+        for (size_t i = 0; i < st.rows.size(); ++i) {
+          if (st.rows[i].family_name != levels[0].table.rows[i].family_name) {
+            dispatch_parity = false;
+          }
+        }
+      }
+      if (!dispatch_parity) {
+        std::fprintf(stderr,
+                     "parity FAILED: scalar vs %s rankings disagree\n",
+                     la::simd::IsaName(best_isa));
+      }
+    }
+  }
+
   // Timed rounds, levels interleaved so drift hits them equally.
   for (int r = 0; r < rounds && parity; ++r) {
     for (size_t j = 0; j < sweep.size(); ++j) {
@@ -183,11 +220,25 @@ int Main(int argc, char** argv) {
       levels[0].explain_sec / best_parallel_explain;
 
   for (const LevelReport& l : levels) {
+    const core::RankStageStats& s = l.table.stage;
     std::printf(
         "  p=%-3zu | EXPLAIN %8.4fs | Rank stage %8.4fs (%5.2fx serial)\n",
         l.parallelism, l.explain_sec, l.rank_sec,
         levels[0].rank_sec / l.rank_sec);
+    std::printf(
+        "         gram %6.1fms  factor %6.1fms  solve %6.1fms  "
+        "predict %6.1fms | cache hits %zu misses %zu "
+        "(design %zu/%zu, factor %zu/%zu, fit %zu/%zu)\n",
+        s.gram_ns / 1e6, s.factor_ns / 1e6, s.solve_ns / 1e6,
+        s.predict_ns / 1e6, s.total_hits(), s.total_misses(), s.design_hits,
+        s.design_misses, s.factor_hits, s.factor_misses, s.fit_hits,
+        s.fit_misses);
   }
+  std::printf("SIMD dispatch: %s (scalar-vs-%s ranking parity: %s)\n",
+              la::simd::IsaName(best_isa), la::simd::IsaName(best_isa),
+              la::simd::Avx2Table() != nullptr
+                  ? (dispatch_parity ? "ok" : "FAILED")
+                  : "skipped, scalar-only host");
   std::printf(
       "Rank-stage parallel speedup over serial pipeline: %.2fx "
       "(end-to-end %.2fx) on %u hardware threads\n",
@@ -203,22 +254,38 @@ int Main(int argc, char** argv) {
                "  \"points\": %zu,\n  \"levels\": [\n",
                num_candidates, points);
   for (size_t j = 0; j < levels.size(); ++j) {
+    const core::RankStageStats& s = levels[j].table.stage;
     std::fprintf(f,
                  "    {\"parallelism\": %zu, \"explain_sec\": %.6f, "
-                 "\"rank_sec\": %.6f}%s\n",
+                 "\"rank_sec\": %.6f, \"gram_ns\": %lld, "
+                 "\"factor_ns\": %lld, \"solve_ns\": %lld, "
+                 "\"predict_ns\": %lld, \"cache_hits\": %zu, "
+                 "\"cache_misses\": %zu}%s\n",
                  levels[j].parallelism, levels[j].explain_sec,
-                 levels[j].rank_sec, j + 1 < levels.size() ? "," : "");
+                 levels[j].rank_sec, static_cast<long long>(s.gram_ns),
+                 static_cast<long long>(s.factor_ns),
+                 static_cast<long long>(s.solve_ns),
+                 static_cast<long long>(s.predict_ns), s.total_hits(),
+                 s.total_misses(), j + 1 < levels.size() ? "," : "");
   }
   std::fprintf(f,
                "  ],\n  \"rank_parallel_speedup\": %.2f,\n"
                "  \"explain_parallel_speedup\": %.2f,\n"
+               "  \"simd_dispatch\": \"%s\",\n"
+               "  \"dispatch_results_match\": %s,\n"
                "  \"results_match\": %s\n}\n",
-               rank_speedup, explain_speedup, parity ? "true" : "false");
+               rank_speedup, explain_speedup, la::simd::IsaName(best_isa),
+               dispatch_parity ? "true" : "false",
+               parity && dispatch_parity ? "true" : "false");
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
 
   if (!parity) {
     std::printf("FAIL: rankings disagree across parallelism levels\n");
+    return 1;
+  }
+  if (!dispatch_parity) {
+    std::printf("FAIL: rankings disagree across SIMD dispatch modes\n");
     return 1;
   }
   // The >1.5x acceptance bar only makes sense with real cores to scale

@@ -46,6 +46,14 @@ if [[ "${STAGE}" == "release" || "${STAGE}" == "all" ]]; then
   echo "=== bench smoke: explain_rca ==="
   "${ROOT}/build/bench/explain_rca" --smoke \
     "${ROOT}/build/BENCH_explain.smoke.json"
+
+  # SIMD kernel gates: scalar-vs-AVX2 differential correctness, the
+  # silent-fallback dispatch check (an AVX2-capable host must auto-select
+  # the AVX2 table), and one timed repetition per kernel. The >=2x speedup
+  # gate only runs in full (non-smoke) invocations.
+  echo "=== bench smoke: kernels_microbench ==="
+  "${ROOT}/build/bench/kernels_microbench" --smoke \
+    "${ROOT}/build/BENCH_kernels.smoke.json"
   echo "=== example smoke: explain_sql ==="
   "${ROOT}/build/examples/explain_sql" >/dev/null
 fi
@@ -69,7 +77,7 @@ if [[ "${STAGE}" == "tsan" || "${STAGE}" == "all" ]]; then
   cmake --build "${ROOT}/build-tsan" -j "${JOBS}"
   echo "=== ctest (tsan): operator, differential and thread-pool suites ==="
   ctest --test-dir "${ROOT}/build-tsan" --output-on-failure -j "${JOBS}" \
-    -R 'operators_test|differential_test|executor_test|planner_test|fuzz_roundtrip_test|thread_pool_test|concurrency_test|tiered_store_test'
+    -R 'operators_test|differential_test|executor_test|planner_test|fuzz_roundtrip_test|thread_pool_test|concurrency_test|tiered_store_test|ranking_test|ridge_test'
 fi
 
 echo "=== checks passed (${STAGE}) ==="

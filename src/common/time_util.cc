@@ -23,4 +23,11 @@ double MonotonicSeconds() {
       .count();
 }
 
+int64_t MonotonicNanos() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace explainit

@@ -41,4 +41,8 @@ std::string FormatTimestamp(EpochSeconds t);
 /// Monotonic wall time in seconds, for measuring scorer runtimes (Fig. 10).
 double MonotonicSeconds();
 
+/// Monotonic wall time in nanoseconds — the per-stage scorer timers
+/// (gram/factor/solve/predict) accumulate these.
+int64_t MonotonicNanos();
+
 }  // namespace explainit

@@ -128,6 +128,18 @@ Result<ScoreTable> RankFamilies(const Scorer& scorer,
     z = condition->data;
   }
 
+  // Shared cross-hypothesis scoring state for this call: candidates with
+  // the same condition/target reuse standardized designs, Cholesky factors
+  // and the conditional Y~Z fit instead of recomputing them per hypothesis.
+  std::unique_ptr<stats::ScoringCache> cache;
+  if (options.share_scoring_cache) {
+    cache = std::make_unique<stats::ScoringCache>(options.scoring_cache_bytes);
+  }
+  stats::StageCounters counters;
+  ScoringContext ctx;
+  ctx.cache = cache.get();
+  ctx.counters = &counters;
+
   std::vector<ScoredHypothesis> scored(candidates.size());
   // NOT vector<bool>: workers write concurrently, and vector<bool> packs
   // bits so adjacent writes would race. One byte per flag is safe.
@@ -151,7 +163,7 @@ Result<ScoreTable> RankFamilies(const Scorer& scorer,
       Result<la::Matrix> rt = exec::RoundTripMatrix(x, &ser_seconds);
       if (rt.ok()) x = std::move(rt).value();
     }
-    Result<ScoreResult> res = scorer.Score(x, target.data, z);
+    Result<ScoreResult> res = scorer.Score(x, target.data, z, ctx);
     row.score_seconds = MonotonicSeconds() - t0;
     row.serialization_seconds = ser_seconds;
     if (!res.ok()) {
@@ -214,6 +226,19 @@ Result<ScoreTable> RankFamilies(const Scorer& scorer,
                    });
   if (options.top_k > 0 && out.rows.size() > options.top_k) {
     out.rows.resize(options.top_k);
+  }
+  out.stage.gram_ns = counters.gram_ns.load(std::memory_order_relaxed);
+  out.stage.factor_ns = counters.factor_ns.load(std::memory_order_relaxed);
+  out.stage.solve_ns = counters.solve_ns.load(std::memory_order_relaxed);
+  out.stage.predict_ns = counters.predict_ns.load(std::memory_order_relaxed);
+  if (cache != nullptr) {
+    using Slot = stats::ScoringCache::Slot;
+    out.stage.design_hits = cache->hits(Slot::kDesign);
+    out.stage.design_misses = cache->misses(Slot::kDesign);
+    out.stage.factor_hits = cache->hits(Slot::kFactor);
+    out.stage.factor_misses = cache->misses(Slot::kFactor);
+    out.stage.fit_hits = cache->hits(Slot::kFit);
+    out.stage.fit_misses = cache->misses(Slot::kFit);
   }
   out.total_seconds = MonotonicSeconds() - start;
   return out;

@@ -41,10 +41,34 @@ struct ScoredHypothesis {
   bool significant = true;
 };
 
+/// Per-stage breakdown of the linear-algebra work inside one ranking pass,
+/// plus cross-hypothesis cache effectiveness. Nanoseconds are summed over
+/// worker threads, so they can exceed total_seconds under parallelism.
+struct RankStageStats {
+  int64_t gram_ns = 0;     // standardize + Gram/cross-product construction
+  int64_t factor_ns = 0;   // Cholesky factorizations
+  int64_t solve_ns = 0;    // triangular solves
+  int64_t predict_ns = 0;  // validation predict + r2 passes
+  size_t design_hits = 0;  // standardized design + fold plans served cached
+  size_t design_misses = 0;
+  size_t factor_hits = 0;  // Cholesky factors served cached
+  size_t factor_misses = 0;
+  size_t fit_hits = 0;  // whole conditional Y~Z fits served cached
+  size_t fit_misses = 0;
+
+  size_t total_hits() const { return design_hits + factor_hits + fit_hits; }
+  size_t total_misses() const {
+    return design_misses + factor_misses + fit_misses;
+  }
+};
+
 /// The result of one ranking pass.
 struct ScoreTable {
   std::vector<ScoredHypothesis> rows;  // sorted by decreasing score
   double total_seconds = 0.0;
+  /// Stage timings and cache counters (zeros when the scoring cache is
+  /// disabled and the scorer does no regression).
+  RankStageStats stage;
 
   /// Renders as an aligned text table (rank, family, score, ...).
   std::string ToString(size_t max_rows = 20) const;
@@ -76,6 +100,14 @@ struct RankingOptions {
   /// Annotate rows with Appendix A p-values and apply Benjamini–Hochberg
   /// across all scored hypotheses at this FDR (0 disables annotation).
   double significance_fdr = 0.0;
+  /// Share one ScoringCache across all hypotheses of this call: the
+  /// condition/target designs, their Cholesky factors and the Y~Z fit are
+  /// identical for every candidate, so the first scorer computes them and
+  /// the rest hit the cache. Does not change any score.
+  bool share_scoring_cache = true;
+  /// Byte budget for the shared cache; entries past the budget are
+  /// recomputed by later hypotheses instead of stored.
+  size_t scoring_cache_bytes = size_t{256} << 20;
 };
 
 /// Scores `candidates` against `target` given optional `condition`,

@@ -28,40 +28,85 @@ Status CheckShapes(const la::Matrix& x, const la::Matrix& y,
   return Status::OK();
 }
 
+// Whole cross-validated fits carry their Result so failures cache too
+// (an ill-conditioned Y~Z fit fails identically for every hypothesis).
+struct FitValue {
+  Result<stats::RidgeCvResult> result;
+};
+
+stats::CacheKey FitKey(const la::Matrix& x, const la::Matrix& y,
+                       const stats::RidgeOptions& options) {
+  stats::CacheKey key = stats::HashMatrix(x);
+  const stats::CacheKey ykey = stats::HashMatrix(y);
+  key = key.Mixed(ykey.hi).Mixed(ykey.lo);
+  key = key.Mixed(options.num_folds).Mixed(options.standardize ? 1 : 2);
+  for (double lambda : options.lambdas) {
+    key = key.Mixed(stats::SaltFromDouble(lambda));
+  }
+  return key;
+}
+
 }  // namespace
 
-Result<ScoreResult> CorrMeanScorer::Score(const la::Matrix& x,
-                                          const la::Matrix& y,
-                                          const la::Matrix& z) const {
+Result<ScoreResult> CorrMeanScorer::DoScore(const la::Matrix& x,
+                                            const la::Matrix& y,
+                                            const la::Matrix& z,
+                                            const ScoringContext* /*ctx*/)
+    const {
   EXPLAINIT_RETURN_IF_ERROR(CheckShapes(x, y, z));
   ScoreResult out;
   out.score = Clip01(stats::CorrelationSummary(x, y).mean_abs);
   return out;
 }
 
-Result<ScoreResult> CorrMaxScorer::Score(const la::Matrix& x,
-                                         const la::Matrix& y,
-                                         const la::Matrix& z) const {
+Result<ScoreResult> CorrMaxScorer::DoScore(const la::Matrix& x,
+                                           const la::Matrix& y,
+                                           const la::Matrix& z,
+                                           const ScoringContext* /*ctx*/)
+    const {
   EXPLAINIT_RETURN_IF_ERROR(CheckShapes(x, y, z));
   ScoreResult out;
   out.score = Clip01(stats::CorrelationSummary(x, y).max_abs);
   return out;
 }
 
-Result<ScoreResult> ConditionalRidgeScore(
-    const la::Matrix& x, const la::Matrix& y, const la::Matrix& z,
-    const stats::RidgeOptions& options) {
+Result<ScoreResult> ConditionalRidgeScore(const la::Matrix& x,
+                                          const la::Matrix& y,
+                                          const la::Matrix& z,
+                                          const stats::RidgeOptions& options,
+                                          const ScoringContext* ctx) {
   stats::RidgeRegression ridge(options);
+  stats::FitContext fit_ctx;
+  const stats::FitContext* fit = nullptr;
+  if (ctx != nullptr) {
+    fit_ctx = ctx->fit_context();
+    fit = &fit_ctx;
+  }
   // Regress Y ~ Z and X ~ Z; score the residual-on-residual regression.
-  EXPLAINIT_ASSIGN_OR_RETURN(stats::RidgeCvResult yz, ridge.FitCv(z, y));
-  EXPLAINIT_ASSIGN_OR_RETURN(stats::RidgeCvResult xz, ridge.FitCv(z, x));
-  EXPLAINIT_ASSIGN_OR_RETURN(stats::RidgeCvResult final_fit,
-                             ridge.FitCv(xz.residuals, yz.residuals));
+  // The Y~Z fit does not depend on the candidate: under a shared cache the
+  // first hypothesis computes it and every other one reuses the result.
+  std::shared_ptr<const FitValue> yz;
+  auto fit_yz = [&] {
+    return std::make_shared<FitValue>(FitValue{ridge.FitCv(z, y, fit)});
+  };
+  if (ctx != nullptr && ctx->cache != nullptr) {
+    const size_t bytes =
+        (2 * y.rows() * y.cols() + z.cols() * y.cols()) * sizeof(double);
+    yz = ctx->cache->Get<FitValue>(stats::ScoringCache::Slot::kFit,
+                                   FitKey(z, y, options), bytes, fit_yz);
+  } else {
+    yz = fit_yz();
+  }
+  if (!yz->result.ok()) return yz->result.status();
+  EXPLAINIT_ASSIGN_OR_RETURN(stats::RidgeCvResult xz, ridge.FitCv(z, x, fit));
+  EXPLAINIT_ASSIGN_OR_RETURN(
+      stats::RidgeCvResult final_fit,
+      ridge.FitCv(xz.residuals, yz->result.value().residuals, fit));
   ScoreResult out;
   out.score = Clip01(final_fit.cv_r2);
   out.best_lambda = final_fit.best_lambda;
   // Diagnostic overlay: E[Y | X, Z] = E[Y|Z] + E[RY;Z | RX;Z].
-  out.fitted = yz.fitted;
+  out.fitted = yz->result.value().fitted;
   out.fitted.AddInPlace(final_fit.fitted);
   return out;
 }
@@ -76,8 +121,8 @@ std::string RidgeScorer::name() const {
 
 Result<ScoreResult> RidgeScorer::ScoreOnce(const la::Matrix& x,
                                            const la::Matrix& y,
-                                           const la::Matrix& z,
-                                           Rng& rng) const {
+                                           const la::Matrix& z, Rng& rng,
+                                           const ScoringContext* ctx) const {
   const size_t d = options_.projection_dim;
   la::Matrix px = x, py = y, pz = z;
   if (d > 0) {
@@ -88,21 +133,29 @@ Result<ScoreResult> RidgeScorer::ScoreOnce(const la::Matrix& x,
   }
   if (pz.empty() || pz.cols() == 0) {
     stats::RidgeRegression ridge(options_.ridge);
-    EXPLAINIT_ASSIGN_OR_RETURN(stats::RidgeCvResult fit, ridge.FitCv(px, py));
+    stats::FitContext fit_ctx;
+    const stats::FitContext* fit = nullptr;
+    if (ctx != nullptr) {
+      fit_ctx = ctx->fit_context();
+      fit = &fit_ctx;
+    }
+    EXPLAINIT_ASSIGN_OR_RETURN(stats::RidgeCvResult res,
+                               ridge.FitCv(px, py, fit));
     ScoreResult out;
-    out.score = Clip01(fit.cv_r2);
-    out.best_lambda = fit.best_lambda;
+    out.score = Clip01(res.cv_r2);
+    out.best_lambda = res.best_lambda;
     // Report the overlay only for unprojected Y (projected targets are not
     // in Y units).
-    if (d == 0 || y.cols() <= d) out.fitted = fit.fitted;
+    if (d == 0 || y.cols() <= d) out.fitted = res.fitted;
     return out;
   }
-  return ConditionalRidgeScore(px, py, pz, options_.ridge);
+  return ConditionalRidgeScore(px, py, pz, options_.ridge, ctx);
 }
 
-Result<ScoreResult> RidgeScorer::Score(const la::Matrix& x,
-                                       const la::Matrix& y,
-                                       const la::Matrix& z) const {
+Result<ScoreResult> RidgeScorer::DoScore(const la::Matrix& x,
+                                         const la::Matrix& y,
+                                         const la::Matrix& z,
+                                         const ScoringContext* ctx) const {
   EXPLAINIT_RETURN_IF_ERROR(CheckShapes(x, y, z));
   const bool projecting =
       options_.projection_dim > 0 &&
@@ -118,7 +171,7 @@ Result<ScoreResult> RidgeScorer::Score(const la::Matrix& x,
   ScoreResult acc;
   double score_sum = 0.0;
   for (size_t s = 0; s < samples; ++s) {
-    EXPLAINIT_ASSIGN_OR_RETURN(ScoreResult one, ScoreOnce(x, y, z, rng));
+    EXPLAINIT_ASSIGN_OR_RETURN(ScoreResult one, ScoreOnce(x, y, z, rng, ctx));
     score_sum += one.score;
     if (s == 0) acc = std::move(one);
   }
@@ -126,13 +179,14 @@ Result<ScoreResult> RidgeScorer::Score(const la::Matrix& x,
   return acc;
 }
 
-Result<ScoreResult> LassoScorer::Score(const la::Matrix& x,
-                                       const la::Matrix& y,
-                                       const la::Matrix& z) const {
+Result<ScoreResult> LassoScorer::DoScore(const la::Matrix& x,
+                                         const la::Matrix& y,
+                                         const la::Matrix& z,
+                                         const ScoringContext* ctx) const {
   EXPLAINIT_RETURN_IF_ERROR(CheckShapes(x, y, z));
   if (!z.empty() && z.cols() > 0) {
     // Conditional queries share the ridge residualisation path.
-    return ConditionalRidgeScore(x, y, z, stats::RidgeOptions{});
+    return ConditionalRidgeScore(x, y, z, stats::RidgeOptions{}, ctx);
   }
   stats::LassoRegression lasso;
   EXPLAINIT_ASSIGN_OR_RETURN(stats::LassoCvResult fit, lasso.FitCv(x, y));
@@ -142,9 +196,10 @@ Result<ScoreResult> LassoScorer::Score(const la::Matrix& x,
   return out;
 }
 
-Result<ScoreResult> PcaRidgeScorer::Score(const la::Matrix& x,
-                                          const la::Matrix& y,
-                                          const la::Matrix& z) const {
+Result<ScoreResult> PcaRidgeScorer::DoScore(const la::Matrix& x,
+                                            const la::Matrix& y,
+                                            const la::Matrix& z,
+                                            const ScoringContext* ctx) const {
   EXPLAINIT_RETURN_IF_ERROR(CheckShapes(x, y, z));
   la::Matrix px = x;
   if (x.cols() > dim_) {
@@ -153,7 +208,7 @@ Result<ScoreResult> PcaRidgeScorer::Score(const la::Matrix& x,
     px = stats::PcaTransform(x, pca);
   }
   RidgeScorer inner;
-  return inner.Score(px, y, z);
+  return ctx != nullptr ? inner.Score(px, y, z, *ctx) : inner.Score(px, y, z);
 }
 
 Result<std::unique_ptr<Scorer>> MakeScorer(const std::string& name) {

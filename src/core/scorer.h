@@ -12,8 +12,23 @@
 #include "common/result.h"
 #include "la/matrix.h"
 #include "stats/ridge.h"
+#include "stats/scoring_cache.h"
 
 namespace explainit::core {
+
+/// Shared per-ranking-call scoring state handed to Scorer::Score by the
+/// ranking engine: the cross-hypothesis ScoringCache (standardized designs,
+/// Cholesky factors and conditional fits keyed on feature-column content)
+/// and the per-stage nanosecond counters. Both optional; scorers that do no
+/// regression ignore it.
+struct ScoringContext {
+  stats::ScoringCache* cache = nullptr;
+  stats::StageCounters* counters = nullptr;
+
+  stats::FitContext fit_context() const {
+    return stats::FitContext{cache, counters};
+  }
+};
 
 /// Output of scoring one hypothesis.
 struct ScoreResult {
@@ -39,8 +54,24 @@ class Scorer {
   virtual std::string name() const = 0;
 
   /// Scores Y ~ X | Z. Z may be a 0x0 matrix for marginal queries.
-  virtual Result<ScoreResult> Score(const la::Matrix& x, const la::Matrix& y,
-                                    const la::Matrix& z) const = 0;
+  Result<ScoreResult> Score(const la::Matrix& x, const la::Matrix& y,
+                            const la::Matrix& z) const {
+    return DoScore(x, y, z, nullptr);
+  }
+
+  /// Same, with the ranking engine's shared scoring context (cache +
+  /// stage counters).
+  Result<ScoreResult> Score(const la::Matrix& x, const la::Matrix& y,
+                            const la::Matrix& z,
+                            const ScoringContext& ctx) const {
+    return DoScore(x, y, z, &ctx);
+  }
+
+ protected:
+  /// Implementation hook. `ctx` is null for standalone calls.
+  virtual Result<ScoreResult> DoScore(const la::Matrix& x, const la::Matrix& y,
+                                      const la::Matrix& z,
+                                      const ScoringContext* ctx) const = 0;
 };
 
 /// CorrMean: mean |Pearson correlation| across all (Xi, Yj) pairs.
@@ -48,16 +79,22 @@ class Scorer {
 class CorrMeanScorer : public Scorer {
  public:
   std::string name() const override { return "CorrMean"; }
-  Result<ScoreResult> Score(const la::Matrix& x, const la::Matrix& y,
-                            const la::Matrix& z) const override;
+
+ protected:
+  Result<ScoreResult> DoScore(const la::Matrix& x, const la::Matrix& y,
+                              const la::Matrix& z,
+                              const ScoringContext* ctx) const override;
 };
 
 /// CorrMax: max |Pearson correlation| across all (Xi, Yj) pairs.
 class CorrMaxScorer : public Scorer {
  public:
   std::string name() const override { return "CorrMax"; }
-  Result<ScoreResult> Score(const la::Matrix& x, const la::Matrix& y,
-                            const la::Matrix& z) const override;
+
+ protected:
+  Result<ScoreResult> DoScore(const la::Matrix& x, const la::Matrix& y,
+                              const la::Matrix& z,
+                              const ScoringContext* ctx) const override;
 };
 
 /// Options shared by the regression scorers.
@@ -80,14 +117,18 @@ class RidgeScorer : public Scorer {
   explicit RidgeScorer(RidgeScorerOptions options = {});
 
   std::string name() const override;
-  Result<ScoreResult> Score(const la::Matrix& x, const la::Matrix& y,
-                            const la::Matrix& z) const override;
 
   const RidgeScorerOptions& options() const { return options_; }
 
+ protected:
+  Result<ScoreResult> DoScore(const la::Matrix& x, const la::Matrix& y,
+                              const la::Matrix& z,
+                              const ScoringContext* ctx) const override;
+
  private:
   Result<ScoreResult> ScoreOnce(const la::Matrix& x, const la::Matrix& y,
-                                const la::Matrix& z, Rng& rng) const;
+                                const la::Matrix& z, Rng& rng,
+                                const ScoringContext* ctx) const;
 
   RidgeScorerOptions options_;
 };
@@ -98,8 +139,11 @@ class RidgeScorer : public Scorer {
 class LassoScorer : public Scorer {
  public:
   std::string name() const override { return "L1"; }
-  Result<ScoreResult> Score(const la::Matrix& x, const la::Matrix& y,
-                            const la::Matrix& z) const override;
+
+ protected:
+  Result<ScoreResult> DoScore(const la::Matrix& x, const la::Matrix& y,
+                              const la::Matrix& z,
+                              const ScoringContext* ctx) const override;
 };
 
 /// Ablation scorer: project X onto its top-d principal components before
@@ -111,8 +155,11 @@ class PcaRidgeScorer : public Scorer {
   std::string name() const override {
     return "L2-PCA" + std::to_string(dim_);
   }
-  Result<ScoreResult> Score(const la::Matrix& x, const la::Matrix& y,
-                            const la::Matrix& z) const override;
+
+ protected:
+  Result<ScoreResult> DoScore(const la::Matrix& x, const la::Matrix& y,
+                              const la::Matrix& z,
+                              const ScoringContext* ctx) const override;
 
  private:
   size_t dim_;
@@ -124,10 +171,11 @@ Result<std::unique_ptr<Scorer>> MakeScorer(const std::string& name);
 
 /// The conditional three-regression procedure (§3.5): residualise Y and X
 /// on Z with cross-validated ridge, then score RY;Z ~ RX;Z. Exposed for
-/// tests of the Appendix B property.
-Result<ScoreResult> ConditionalRidgeScore(const la::Matrix& x,
-                                          const la::Matrix& y,
-                                          const la::Matrix& z,
-                                          const stats::RidgeOptions& options);
+/// tests of the Appendix B property. With a context, the Y~Z fit — which
+/// is identical for every candidate sharing a target/condition — is
+/// served from the cross-hypothesis cache.
+Result<ScoreResult> ConditionalRidgeScore(
+    const la::Matrix& x, const la::Matrix& y, const la::Matrix& z,
+    const stats::RidgeOptions& options, const ScoringContext* ctx = nullptr);
 
 }  // namespace explainit::core

@@ -2,148 +2,136 @@
 
 #include <algorithm>
 
+#include "la/simd.h"
+
 namespace explainit::la {
 
 namespace {
-// Micro-kernel blocking parameters tuned for ~32KB L1D.
-constexpr size_t kMc = 64;   // rows of A per block
-constexpr size_t kKc = 256;  // shared dimension per block
+
+using simd::GemmOperand;
+
+inline GemmOperand Plain(const Matrix& m) {
+  return GemmOperand{m.data(), m.cols(), false};
+}
+
+inline GemmOperand Trans(const Matrix& m) {
+  return GemmOperand{m.data(), m.cols(), true};
+}
+
+void MirrorLower(Matrix* c) {
+  const size_t n = c->rows();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < i; ++j) (*c)(i, j) = (*c)(j, i);
+  }
+}
+
 }  // namespace
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   EXPLAINIT_CHECK(a.cols() == b.rows(),
                   "MatMul shape mismatch " << a.cols() << " vs " << b.rows());
-  const size_t m = a.rows(), k = a.cols(), n = b.cols();
-  Matrix c(m, n);
-  for (size_t ib = 0; ib < m; ib += kMc) {
-    const size_t ie = std::min(m, ib + kMc);
-    for (size_t pb = 0; pb < k; pb += kKc) {
-      const size_t pe = std::min(k, pb + kKc);
-      for (size_t i = ib; i < ie; ++i) {
-        const double* arow = a.Row(i);
-        double* crow = c.Row(i);
-        for (size_t p = pb; p < pe; ++p) {
-          const double av = arow[p];
-          if (av == 0.0) continue;
-          const double* brow = b.Row(p);
-          for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-        }
-      }
-    }
-  }
+  Matrix c(a.rows(), b.cols());
+  simd::Active().gemm(a.rows(), b.cols(), a.cols(), Plain(a), Plain(b),
+                      c.data(), c.cols(), false);
   return c;
 }
 
 Matrix MatTMul(const Matrix& a, const Matrix& b) {
   EXPLAINIT_CHECK(a.rows() == b.rows(),
                   "MatTMul shape mismatch " << a.rows() << " vs " << b.rows());
-  const size_t k = a.rows(), m = a.cols(), n = b.cols();
-  Matrix c(m, n);
-  // Accumulate rank-1 updates row by row of A/B: cache-friendly since both
-  // are row-major.
-  for (size_t p = 0; p < k; ++p) {
-    const double* arow = a.Row(p);
-    const double* brow = b.Row(p);
-    for (size_t i = 0; i < m; ++i) {
-      const double av = arow[i];
-      if (av == 0.0) continue;
-      double* crow = c.Row(i);
-      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  Matrix c(a.cols(), b.cols());
+  simd::Active().gemm(a.cols(), b.cols(), a.rows(), Trans(a), Plain(b),
+                      c.data(), c.cols(), false);
   return c;
 }
 
 Matrix MatMulT(const Matrix& a, const Matrix& b) {
   EXPLAINIT_CHECK(a.cols() == b.cols(),
                   "MatMulT shape mismatch " << a.cols() << " vs " << b.cols());
-  const size_t m = a.rows(), k = a.cols(), n = b.rows();
-  Matrix c(m, n);
-  for (size_t i = 0; i < m; ++i) {
-    const double* arow = a.Row(i);
-    double* crow = c.Row(i);
-    for (size_t j = 0; j < n; ++j) {
-      const double* brow = b.Row(j);
-      double acc = 0.0;
-      for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      crow[j] = acc;
-    }
-  }
+  Matrix c(a.rows(), b.rows());
+  simd::Active().gemm(a.rows(), b.rows(), a.cols(), Plain(a), Trans(b),
+                      c.data(), c.cols(), false);
   return c;
 }
 
 Matrix Gram(const Matrix& a) {
-  const size_t k = a.rows(), n = a.cols();
-  Matrix c(n, n);
-  for (size_t p = 0; p < k; ++p) {
-    const double* arow = a.Row(p);
-    for (size_t i = 0; i < n; ++i) {
-      const double av = arow[i];
-      if (av == 0.0) continue;
-      double* crow = c.Row(i);
-      // Upper triangle only.
-      for (size_t j = i; j < n; ++j) crow[j] += av * arow[j];
-    }
-  }
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = 0; j < i; ++j) c(i, j) = c(j, i);
-  }
+  Matrix c(a.cols(), a.cols());
+  simd::Active().gemm(a.cols(), a.cols(), a.rows(), Trans(a), Plain(a),
+                      c.data(), c.cols(), true);
+  MirrorLower(&c);
   return c;
 }
 
 Matrix GramT(const Matrix& a) {
-  const size_t m = a.rows(), k = a.cols();
-  Matrix c(m, m);
-  for (size_t i = 0; i < m; ++i) {
-    const double* ai = a.Row(i);
-    double* crow = c.Row(i);
-    for (size_t j = i; j < m; ++j) {
-      const double* aj = a.Row(j);
-      double acc = 0.0;
-      for (size_t p = 0; p < k; ++p) acc += ai[p] * aj[p];
-      crow[j] = acc;
-    }
-  }
-  for (size_t i = 0; i < m; ++i) {
-    for (size_t j = 0; j < i; ++j) c(i, j) = c(j, i);
-  }
+  Matrix c(a.rows(), a.rows());
+  simd::Active().gemm(a.rows(), a.rows(), a.cols(), Plain(a), Trans(a),
+                      c.data(), c.cols(), true);
+  MirrorLower(&c);
   return c;
+}
+
+void GramInto(const double* a, size_t rows, size_t cols, size_t lda,
+              Matrix* out) {
+  if (out->rows() != cols || out->cols() != cols) {
+    *out = Matrix(cols, cols);
+  } else {
+    std::fill(out->data(), out->data() + cols * cols, 0.0);
+  }
+  simd::Active().gemm(cols, cols, rows, GemmOperand{a, lda, true},
+                      GemmOperand{a, lda, false}, out->data(), cols, true);
+  MirrorLower(out);
+}
+
+void CrossInto(const double* a, size_t rows, size_t acols, size_t lda,
+               const double* b, size_t bcols, size_t ldb, Matrix* out) {
+  if (out->rows() != acols || out->cols() != bcols) {
+    *out = Matrix(acols, bcols);
+  } else {
+    std::fill(out->data(), out->data() + acols * bcols, 0.0);
+  }
+  simd::Active().gemm(acols, bcols, rows, GemmOperand{a, lda, true},
+                      GemmOperand{b, ldb, false}, out->data(), bcols, false);
+}
+
+void MatMulInto(const double* a, size_t m, size_t k, size_t lda,
+                const double* b, size_t n, size_t ldb, Matrix* out) {
+  if (out->rows() != m || out->cols() != n) {
+    *out = Matrix(m, n);
+  } else {
+    std::fill(out->data(), out->data() + m * n, 0.0);
+  }
+  simd::Active().gemm(m, n, k, GemmOperand{a, lda, false},
+                      GemmOperand{b, ldb, false}, out->data(), n, false);
 }
 
 std::vector<double> MatVec(const Matrix& a, const std::vector<double>& x) {
   EXPLAINIT_CHECK(a.cols() == x.size(), "MatVec shape mismatch");
+  const auto& kernels = simd::Active();
   std::vector<double> y(a.rows(), 0.0);
   for (size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.Row(i);
-    double acc = 0.0;
-    for (size_t j = 0; j < a.cols(); ++j) acc += arow[j] * x[j];
-    y[i] = acc;
+    y[i] = kernels.dot(a.Row(i), x.data(), a.cols());
   }
   return y;
 }
 
 std::vector<double> MatTVec(const Matrix& a, const std::vector<double>& x) {
   EXPLAINIT_CHECK(a.rows() == x.size(), "MatTVec shape mismatch");
+  const auto& kernels = simd::Active();
   std::vector<double> y(a.cols(), 0.0);
   for (size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.Row(i);
-    const double xv = x[i];
-    if (xv == 0.0) continue;
-    for (size_t j = 0; j < a.cols(); ++j) y[j] += xv * arow[j];
+    kernels.axpy(x[i], a.Row(i), y.data(), a.cols());
   }
   return y;
 }
 
 double Dot(const std::vector<double>& a, const std::vector<double>& b) {
   EXPLAINIT_CHECK(a.size() == b.size(), "Dot size mismatch");
-  double acc = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
-  return acc;
+  return simd::Active().dot(a.data(), b.data(), a.size());
 }
 
 void Axpy(double alpha, const std::vector<double>& x, std::vector<double>& y) {
   EXPLAINIT_CHECK(x.size() == y.size(), "Axpy size mismatch");
-  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  simd::Active().axpy(alpha, x.data(), y.data(), x.size());
 }
 
 }  // namespace explainit::la

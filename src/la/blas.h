@@ -1,5 +1,8 @@
-// BLAS-lite: the dense kernels that dominate scoring cost. Hand-blocked,
-// no external dependency. Shapes follow the feature-matrix convention
+// BLAS-lite: the dense kernels that dominate scoring cost. All products
+// route through the runtime-dispatched kernel table in la/simd.h — a
+// packed, register-blocked AVX2+FMA GEMM when the host supports it, a
+// portable scalar path otherwise (EXPLAINIT_SIMD=scalar|avx2|auto picks
+// explicitly). Shapes follow the feature-matrix convention
 // (rows = observations T, cols = features n).
 #pragma once
 
@@ -24,6 +27,22 @@ Matrix Gram(const Matrix& a);
 
 /// Returns A A^T (m x m) for A (m x n) — the dual-form kernel matrix.
 Matrix GramT(const Matrix& a);
+
+/// Allocation-reusing variants over raw row-major buffers (lda/ldb are the
+/// strides between rows, allowing sub-blocks of larger matrices). `out` is
+/// resized and overwritten. The ridge CV fast path uses these to form
+/// per-fold Gram/cross-product blocks over contiguous row ranges without
+/// gathering rows first.
+///
+/// out = A^T A for the (rows x cols) block at `a`.
+void GramInto(const double* a, size_t rows, size_t cols, size_t lda,
+              Matrix* out);
+/// out = A^T B for blocks sharing `rows`.
+void CrossInto(const double* a, size_t rows, size_t acols, size_t lda,
+               const double* b, size_t bcols, size_t ldb, Matrix* out);
+/// out = A * B over blocks: A (m x k, stride lda), B (k x n, stride ldb).
+void MatMulInto(const double* a, size_t m, size_t k, size_t lda,
+                const double* b, size_t n, size_t ldb, Matrix* out);
 
 /// y = A * x for x of length A.cols().
 std::vector<double> MatVec(const Matrix& a, const std::vector<double>& x);

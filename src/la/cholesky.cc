@@ -1,6 +1,9 @@
 #include "la/cholesky.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "la/simd.h"
 
 namespace explainit::la {
 
@@ -8,12 +11,12 @@ Result<Matrix> CholeskyFactor(const Matrix& a) {
   if (a.rows() != a.cols()) {
     return Status::InvalidArgument("Cholesky needs a square matrix");
   }
+  const auto& kernels = simd::Active();
   const size_t n = a.rows();
   Matrix l(n, n);
   for (size_t j = 0; j < n; ++j) {
-    double diag = a(j, j);
     const double* lrow_j = l.Row(j);
-    for (size_t k = 0; k < j; ++k) diag -= lrow_j[k] * lrow_j[k];
+    const double diag = a(j, j) - kernels.dot(lrow_j, lrow_j, j);
     if (!(diag > 0.0) || !std::isfinite(diag)) {
       return Status::InvalidArgument("matrix not positive definite at pivot " +
                                      std::to_string(j));
@@ -22,56 +25,53 @@ Result<Matrix> CholeskyFactor(const Matrix& a) {
     l(j, j) = ljj;
     const double inv = 1.0 / ljj;
     for (size_t i = j + 1; i < n; ++i) {
-      double acc = a(i, j);
-      const double* lrow_i = l.Row(i);
-      for (size_t k = 0; k < j; ++k) acc -= lrow_i[k] * lrow_j[k];
-      l(i, j) = acc * inv;
+      l(i, j) = (a(i, j) - kernels.dot(l.Row(i), lrow_j, j)) * inv;
     }
   }
   return l;
 }
 
-Matrix CholeskySolve(const Matrix& l, const Matrix& b) {
+void CholeskySolveInto(const Matrix& l, const Matrix& b, Matrix* x,
+                       Matrix* scratch) {
   const size_t n = l.rows();
   EXPLAINIT_CHECK(b.rows() == n, "CholeskySolve shape mismatch");
+  const auto& kernels = simd::Active();
   const size_t m = b.cols();
-  // Forward substitution: L Z = B.
-  Matrix z(n, m);
+  Matrix& z = *scratch;
+  if (z.rows() != n || z.cols() != m) z = Matrix(n, m);
+  // Forward substitution: L Z = B. Each eliminated row is one axpy over
+  // the full panel of right-hand sides.
   for (size_t i = 0; i < n; ++i) {
     const double* lrow = l.Row(i);
     double* zrow = z.Row(i);
-    for (size_t c = 0; c < m; ++c) zrow[c] = b(i, c);
+    std::copy(b.Row(i), b.Row(i) + m, zrow);
     for (size_t k = 0; k < i; ++k) {
-      const double lik = lrow[k];
-      if (lik == 0.0) continue;
-      const double* zk = z.Row(k);
-      for (size_t c = 0; c < m; ++c) zrow[c] -= lik * zk[c];
+      kernels.axpy(-lrow[k], z.Row(k), zrow, m);
     }
-    const double inv = 1.0 / lrow[i];
-    for (size_t c = 0; c < m; ++c) zrow[c] *= inv;
+    kernels.scale(zrow, 1.0 / lrow[i], m);
   }
   // Back substitution: L^T X = Z.
-  Matrix x(n, m);
+  if (x->rows() != n || x->cols() != m) *x = Matrix(n, m);
   for (size_t ii = n; ii-- > 0;) {
-    double* xrow = x.Row(ii);
-    const double* zrow = z.Row(ii);
-    for (size_t c = 0; c < m; ++c) xrow[c] = zrow[c];
+    double* xrow = x->Row(ii);
+    std::copy(z.Row(ii), z.Row(ii) + m, xrow);
     for (size_t k = ii + 1; k < n; ++k) {
-      const double lki = l(k, ii);
-      if (lki == 0.0) continue;
-      const double* xk = x.Row(k);
-      for (size_t c = 0; c < m; ++c) xrow[c] -= lki * xk[c];
+      kernels.axpy(-l(k, ii), x->Row(k), xrow, m);
     }
-    const double inv = 1.0 / l(ii, ii);
-    for (size_t c = 0; c < m; ++c) xrow[c] *= inv;
+    kernels.scale(xrow, 1.0 / l(ii, ii), m);
   }
+}
+
+Matrix CholeskySolve(const Matrix& l, const Matrix& b) {
+  Matrix x, scratch;
+  CholeskySolveInto(l, b, &x, &scratch);
   return x;
 }
 
-Result<Matrix> SolveSpd(Matrix a, const Matrix& b, double jitter) {
+Result<Matrix> FactorSpdJittered(Matrix a, double jitter) {
   for (int attempt = 0; attempt < 4; ++attempt) {
     Result<Matrix> l = CholeskyFactor(a);
-    if (l.ok()) return CholeskySolve(l.value(), b);
+    if (l.ok()) return l;
     // Escalate the diagonal regulariser and retry.
     double bump = jitter;
     for (int k = 0; k < attempt; ++k) bump *= 1e3;
@@ -82,6 +82,12 @@ Result<Matrix> SolveSpd(Matrix a, const Matrix& b, double jitter) {
     for (size_t i = 0; i < a.rows(); ++i) a(i, i) += add;
   }
   return Status::Internal("SolveSpd: matrix not PD even after jitter");
+}
+
+Result<Matrix> SolveSpd(Matrix a, const Matrix& b, double jitter) {
+  Result<Matrix> l = FactorSpdJittered(std::move(a), jitter);
+  if (!l.ok()) return l.status();
+  return CholeskySolve(l.value(), b);
 }
 
 }  // namespace explainit::la

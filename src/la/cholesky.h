@@ -1,5 +1,6 @@
 // Cholesky factorisation and positive-definite solves — the inner solver of
-// Ridge regression ((X^T X + lambda I) beta = X^T Y).
+// Ridge regression ((X^T X + lambda I) beta = X^T Y). Panel updates run
+// through the dispatched SIMD kernels (la/simd.h).
 #pragma once
 
 #include "common/result.h"
@@ -15,6 +16,19 @@ Result<Matrix> CholeskyFactor(const Matrix& a);
 /// Solves A X = B given the Cholesky factor L of A (forward + back
 /// substitution per column of B).
 Matrix CholeskySolve(const Matrix& l, const Matrix& b);
+
+/// Allocation-reusing CholeskySolve: `x` receives the solution, `scratch`
+/// holds the forward-substitution intermediate. Both are resized as needed;
+/// repeated solves against same-shaped systems reuse their storage.
+void CholeskySolveInto(const Matrix& l, const Matrix& b, Matrix* x,
+                       Matrix* scratch);
+
+/// Factors the SPD matrix A, adding `jitter` * max(1, max|diag|) * 1000^i to
+/// the diagonal on failure (up to 3 escalations, cumulative). The separated
+/// factor step of SolveSpd: callers that reuse one factor across many
+/// right-hand sides (the ridge CV cache) factor once and CholeskySolve
+/// repeatedly.
+Result<Matrix> FactorSpdJittered(Matrix a, double jitter = 1e-10);
 
 /// Convenience: solves the SPD system A X = B, adding `jitter` * I to the
 /// diagonal on failure (up to 3 escalations). Used where A is a Gram matrix

@@ -1,0 +1,223 @@
+#include "la/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace explainit::la::simd {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar kernels. The GEMM picks a loop order per operand layout so the
+// innermost loop always streams contiguously over at least one operand —
+// these mirror the historical MatMul/MatTMul/MatMulT shapes, minus the
+// zero-skip branches.
+// ---------------------------------------------------------------------------
+
+// A row-major (no trans), B row-major: saxpy over rows of B.
+void GemmScalarNN(size_t m, size_t n, size_t k, const GemmOperand& a,
+                  const GemmOperand& b, double* c, size_t ldc,
+                  bool upper_only) {
+  constexpr size_t kMc = 64, kKc = 256;
+  for (size_t ib = 0; ib < m; ib += kMc) {
+    const size_t ie = ib + kMc < m ? ib + kMc : m;
+    for (size_t pb = 0; pb < k; pb += kKc) {
+      const size_t pe = pb + kKc < k ? pb + kKc : k;
+      for (size_t i = ib; i < ie; ++i) {
+        const double* arow = a.data + i * a.ld;
+        double* crow = c + i * ldc;
+        const size_t j0 = upper_only ? i : 0;
+        for (size_t p = pb; p < pe; ++p) {
+          const double av = arow[p];
+          const double* brow = b.data + p * b.ld;
+          for (size_t j = j0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+// A transposed view over a row-major buffer (k x m), B row-major: rank-1
+// updates streaming rows of both buffers.
+void GemmScalarTN(size_t m, size_t n, size_t k, const GemmOperand& a,
+                  const GemmOperand& b, double* c, size_t ldc,
+                  bool upper_only) {
+  for (size_t p = 0; p < k; ++p) {
+    const double* arow = a.data + p * a.ld;  // a.At(i, p) = arow[i]
+    const double* brow = b.data + p * b.ld;
+    for (size_t i = 0; i < m; ++i) {
+      const double av = arow[i];
+      double* crow = c + i * ldc;
+      const size_t j0 = upper_only ? i : 0;
+      for (size_t j = j0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// B transposed view (n x k buffer): dot products over contiguous rows.
+void GemmScalarXT(size_t m, size_t n, size_t k, const GemmOperand& a,
+                  const GemmOperand& b, double* c, size_t ldc,
+                  bool upper_only) {
+  for (size_t i = 0; i < m; ++i) {
+    double* crow = c + i * ldc;
+    const size_t j0 = upper_only ? i : 0;
+    for (size_t j = j0; j < n; ++j) {
+      const double* bj = b.data + j * b.ld;  // b.At(p, j) = bj[p]
+      double acc = 0.0;
+      if (!a.trans) {
+        const double* arow = a.data + i * a.ld;
+        for (size_t p = 0; p < k; ++p) acc += arow[p] * bj[p];
+      } else {
+        for (size_t p = 0; p < k; ++p) acc += a.data[p * a.ld + i] * bj[p];
+      }
+      crow[j] += acc;
+    }
+  }
+}
+
+void GemmScalar(size_t m, size_t n, size_t k, GemmOperand a, GemmOperand b,
+                double* c, size_t ldc, bool upper_only) {
+  if (m == 0 || n == 0) return;
+  if (k == 0) return;  // caller pre-zeroed C
+  if (b.trans) {
+    GemmScalarXT(m, n, k, a, b, c, ldc, upper_only);
+  } else if (a.trans) {
+    GemmScalarTN(m, n, k, a, b, c, ldc, upper_only);
+  } else {
+    GemmScalarNN(m, n, k, a, b, c, ldc, upper_only);
+  }
+}
+
+double DotScalar(const double* a, const double* b, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void AxpyScalar(double alpha, const double* x, double* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void ScaleScalar(double* x, double s, size_t n) {
+  for (size_t i = 0; i < n; ++i) x[i] *= s;
+}
+
+void AddScalar(const double* x, double* acc, size_t n) {
+  for (size_t i = 0; i < n; ++i) acc[i] += x[i];
+}
+
+void SqDiffAccumScalar(const double* x, const double* mean, double* acc,
+                       size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    const double d = x[i] - mean[i];
+    acc[i] += d * d;
+  }
+}
+
+void SubScaleScalar(const double* src, const double* sub, const double* scale,
+                    double* dst, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] = (src[i] - sub[i]) * scale[i];
+}
+
+const KernelTable kScalarTable = {
+    Isa::kScalar,   GemmScalar,        DotScalar,     AxpyScalar,
+    ScaleScalar,    AddScalar,         SqDiffAccumScalar,
+    SubScaleScalar,
+};
+
+// ---------------------------------------------------------------------------
+// Dispatch state.
+// ---------------------------------------------------------------------------
+
+bool g_env_override_present = false;
+
+Isa InitialIsa() {
+  const char* env = std::getenv("EXPLAINIT_SIMD");
+  if (env != nullptr) {
+    bool recognized = false;
+    const Isa chosen = ParseIsaOverride(env, &recognized);
+    g_env_override_present = recognized;
+    if (recognized) return chosen;
+  }
+  return Avx2Table() != nullptr ? Isa::kAvx2 : Isa::kScalar;
+}
+
+std::atomic<Isa>& ActiveIsaSlot() {
+  static std::atomic<Isa> active{InitialIsa()};
+  return active;
+}
+
+}  // namespace
+
+bool CpuSupportsAvx2() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+const KernelTable& ScalarTable() { return kScalarTable; }
+
+const KernelTable& Table(Isa isa) {
+  if (isa == Isa::kAvx2) {
+    const KernelTable* t = Avx2Table();
+    EXPLAINIT_CHECK(t != nullptr, "AVX2 kernel table unavailable");
+    return *t;
+  }
+  return kScalarTable;
+}
+
+Isa ActiveIsa() { return ActiveIsaSlot().load(std::memory_order_relaxed); }
+
+const KernelTable& Active() { return Table(ActiveIsa()); }
+
+bool ForceIsa(Isa isa) {
+  if (isa == Isa::kAvx2 && Avx2Table() == nullptr) return false;
+  ActiveIsaSlot().store(isa, std::memory_order_relaxed);
+  return true;
+}
+
+bool EnvOverridePresent() {
+  ActiveIsaSlot();  // ensure env parsed
+  return g_env_override_present;
+}
+
+Isa ParseIsaOverride(const char* value, bool* recognized) {
+  const Isa best = Avx2Table() != nullptr ? Isa::kAvx2 : Isa::kScalar;
+  if (value == nullptr) {
+    if (recognized != nullptr) *recognized = false;
+    return best;
+  }
+  if (std::strcmp(value, "scalar") == 0) {
+    if (recognized != nullptr) *recognized = true;
+    return Isa::kScalar;
+  }
+  if (std::strcmp(value, "avx2") == 0) {
+    if (recognized != nullptr) *recognized = true;
+    // Requesting avx2 on an incapable host falls back to scalar rather than
+    // crashing on the first kernel call.
+    return best;
+  }
+  if (std::strcmp(value, "auto") == 0) {
+    if (recognized != nullptr) *recognized = true;
+    return best;
+  }
+  if (recognized != nullptr) *recognized = false;
+  return best;
+}
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+}  // namespace explainit::la::simd

@@ -1,0 +1,109 @@
+// Runtime-dispatched SIMD kernel table for the dense linear-algebra layer.
+//
+// Two implementations of every kernel are always compiled: a portable
+// scalar path, and (on x86-64 with a capable compiler) an AVX2+FMA path
+// built around a packed, register-blocked GEMM micro-kernel. The active
+// table is chosen once, on first use: the `EXPLAINIT_SIMD` environment
+// variable ("scalar" | "avx2" | "auto") overrides CPU detection, and
+// ForceIsa() lets tests and benches switch tables inside one process.
+//
+// Kernels are single-threaded and deterministic: the same inputs produce
+// bit-identical outputs for a given table, regardless of the calling
+// thread. Results *between* tables agree only to rounding (FMA contracts
+// differently), which is why the differential test suite compares with
+// tolerances rather than bit equality.
+#pragma once
+
+#include <cstddef>
+
+namespace explainit::la::simd {
+
+enum class Isa {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+/// One GEMM operand: a logical (rows x cols) view over a row-major buffer
+/// with leading dimension `ld`; `trans` reads the buffer transposed, so
+/// element (i, j) is data[j * ld + i]. This lets one kernel serve
+/// A*B, A^T*B, A*B^T and the symmetric Gram products without
+/// materialising any transpose.
+struct GemmOperand {
+  const double* data = nullptr;
+  size_t ld = 0;
+  bool trans = false;
+
+  double At(size_t i, size_t j) const {
+    return trans ? data[j * ld + i] : data[i * ld + j];
+  }
+};
+
+/// The dispatchable kernel set. All dense: no zero-skipping branches (the
+/// historical `if (v == 0.0) continue;` guards were pure mispredict cost
+/// on scoring matrices and are gone from every path).
+struct KernelTable {
+  Isa isa;
+
+  /// C (m x n, leading dimension ldc) += A_eff (m x k) * B_eff (k x n).
+  /// C must be zero-initialised by the caller when a plain product is
+  /// wanted. With upper_only set, only tiles intersecting the upper
+  /// triangle (j >= i) are computed — entries strictly below the
+  /// diagonal are unspecified and the caller mirrors; used by the
+  /// symmetric Gram kernels to halve the work.
+  void (*gemm)(size_t m, size_t n, size_t k, GemmOperand a, GemmOperand b,
+               double* c, size_t ldc, bool upper_only);
+
+  /// sum_i a[i] * b[i].
+  double (*dot)(const double* a, const double* b, size_t n);
+  /// y += alpha * x.
+  void (*axpy)(double alpha, const double* x, double* y, size_t n);
+  /// x *= s.
+  void (*scale)(double* x, double s, size_t n);
+  /// acc += x (element-wise). The column-sum reduction of ComputeColumnStats.
+  void (*add)(const double* x, double* acc, size_t n);
+  /// acc += (x - mean)^2 element-wise. The column-variance reduction.
+  void (*sq_diff_accum)(const double* x, const double* mean, double* acc,
+                        size_t n);
+  /// dst = (src - sub) * scale element-wise. The standardize kernel.
+  void (*sub_scale)(const double* src, const double* sub, const double* scale,
+                    double* dst, size_t n);
+};
+
+/// True when the running CPU supports AVX2 and FMA.
+bool CpuSupportsAvx2();
+
+/// The portable scalar table (always available).
+const KernelTable& ScalarTable();
+
+/// The AVX2+FMA table, or nullptr when it was not compiled in (non-x86
+/// build or compiler without -mavx2) or the CPU lacks support.
+const KernelTable* Avx2Table();
+
+/// Table for an explicit ISA. CHECK-fails when unavailable; tests guard
+/// with Avx2Table() != nullptr.
+const KernelTable& Table(Isa isa);
+
+/// The process-wide active ISA. Decided once on first call: the
+/// EXPLAINIT_SIMD env override when present and recognised, otherwise the
+/// best supported ISA. ForceIsa() changes it afterwards.
+Isa ActiveIsa();
+const KernelTable& Active();
+
+/// Overrides the active ISA (tests, benches, the microbench's scalar-vs-
+/// SIMD sweep). Returns false (and leaves the dispatch unchanged) when the
+/// requested ISA is not available on this host/build.
+bool ForceIsa(Isa isa);
+
+/// True when EXPLAINIT_SIMD was set (to any recognised value) at startup.
+/// The microbench's silent-fallback gate skips hosts that asked for the
+/// scalar path explicitly.
+bool EnvOverridePresent();
+
+/// Parses an EXPLAINIT_SIMD value: "scalar", "avx2" or "auto"
+/// (case-sensitive). Sets *recognized accordingly; unrecognised values
+/// return the auto choice. Exposed for the differential test suite.
+Isa ParseIsaOverride(const char* value, bool* recognized);
+
+const char* IsaName(Isa isa);
+
+}  // namespace explainit::la::simd

@@ -1,0 +1,302 @@
+// AVX2+FMA kernel table: a packed, register-blocked GEMM micro-kernel plus
+// vectorised reductions. Compiled as its own translation unit with
+// -mavx2 -mfma (see src/la/CMakeLists.txt); everything is guarded so the
+// file degrades to a nullptr table on non-x86 builds or compilers without
+// AVX2 support, keeping the scalar path the only hard requirement.
+#include "la/simd.h"
+
+#if defined(EXPLAINIT_HAVE_AVX2) && (defined(__x86_64__) || defined(_M_X64))
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace explainit::la::simd {
+
+namespace {
+
+// Register blocking: a 4x8 micro-tile of C lives in 8 ymm accumulators,
+// leaving registers for the broadcast A value and two B loads. Cache
+// blocking keeps one packed A block (kMc x kKc, 192KB) and the B panel
+// stripe streaming through L2.
+constexpr size_t kMr = 4;
+constexpr size_t kNr = 8;
+constexpr size_t kMc = 96;   // multiple of kMr
+constexpr size_t kKc = 256;
+constexpr size_t kNc = 512;  // multiple of kNr
+
+// Packs the (mc x kc) block of A at (i0, p0) into kMr-row micro-panels:
+// panel q holds rows [i0 + q*kMr, ...), laid out p-major so the kernel
+// reads kMr contiguous values per k step. Short final panels zero-pad.
+void PackA(const GemmOperand& a, size_t i0, size_t mc, size_t p0, size_t kc,
+           double* dst) {
+  for (size_t ip = 0; ip < mc; ip += kMr) {
+    const size_t mr = std::min(kMr, mc - ip);
+    if (!a.trans) {
+      for (size_t p = 0; p < kc; ++p) {
+        double* out = dst + p * kMr;
+        for (size_t r = 0; r < mr; ++r)
+          out[r] = a.data[(i0 + ip + r) * a.ld + (p0 + p)];
+        for (size_t r = mr; r < kMr; ++r) out[r] = 0.0;
+      }
+    } else {
+      // a.At(i, p) = data[p * ld + i]: each k step is contiguous in i.
+      for (size_t p = 0; p < kc; ++p) {
+        const double* src = a.data + (p0 + p) * a.ld + (i0 + ip);
+        double* out = dst + p * kMr;
+        for (size_t r = 0; r < mr; ++r) out[r] = src[r];
+        for (size_t r = mr; r < kMr; ++r) out[r] = 0.0;
+      }
+    }
+    dst += kc * kMr;
+  }
+}
+
+// Packs the (kc x nc) block of B at (p0, j0) into kNr-column panels,
+// p-major, zero-padding short final panels.
+void PackB(const GemmOperand& b, size_t p0, size_t kc, size_t j0, size_t nc,
+           double* dst) {
+  for (size_t jp = 0; jp < nc; jp += kNr) {
+    const size_t nr = std::min(kNr, nc - jp);
+    if (!b.trans) {
+      for (size_t p = 0; p < kc; ++p) {
+        const double* src = b.data + (p0 + p) * b.ld + (j0 + jp);
+        double* out = dst + p * kNr;
+        for (size_t c = 0; c < nr; ++c) out[c] = src[c];
+        for (size_t c = nr; c < kNr; ++c) out[c] = 0.0;
+      }
+    } else {
+      // b.At(p, j) = data[j * ld + p]: each column is contiguous in p.
+      for (size_t c = 0; c < nr; ++c) {
+        const double* src = b.data + (j0 + jp + c) * b.ld + p0;
+        for (size_t p = 0; p < kc; ++p) dst[p * kNr + c] = src[p];
+      }
+      for (size_t c = nr; c < kNr; ++c)
+        for (size_t p = 0; p < kc; ++p) dst[p * kNr + c] = 0.0;
+    }
+    dst += kc * kNr;
+  }
+}
+
+// The 4x8 micro-kernel: C_tile (+)= A_panel * B_panel over kc steps.
+// With `accumulate` the tile is added into C (leading dimension ldc);
+// otherwise it overwrites (used with a local buffer for edge tiles).
+void MicroKernel4x8(size_t kc, const double* ap, const double* bp, double* c,
+                    size_t ldc, bool accumulate) {
+  __m256d c00 = _mm256_setzero_pd(), c01 = _mm256_setzero_pd();
+  __m256d c10 = _mm256_setzero_pd(), c11 = _mm256_setzero_pd();
+  __m256d c20 = _mm256_setzero_pd(), c21 = _mm256_setzero_pd();
+  __m256d c30 = _mm256_setzero_pd(), c31 = _mm256_setzero_pd();
+  for (size_t p = 0; p < kc; ++p) {
+    const __m256d b0 = _mm256_loadu_pd(bp + p * kNr);
+    const __m256d b1 = _mm256_loadu_pd(bp + p * kNr + 4);
+    const __m256d a0 = _mm256_broadcast_sd(ap + p * kMr + 0);
+    c00 = _mm256_fmadd_pd(a0, b0, c00);
+    c01 = _mm256_fmadd_pd(a0, b1, c01);
+    const __m256d a1 = _mm256_broadcast_sd(ap + p * kMr + 1);
+    c10 = _mm256_fmadd_pd(a1, b0, c10);
+    c11 = _mm256_fmadd_pd(a1, b1, c11);
+    const __m256d a2 = _mm256_broadcast_sd(ap + p * kMr + 2);
+    c20 = _mm256_fmadd_pd(a2, b0, c20);
+    c21 = _mm256_fmadd_pd(a2, b1, c21);
+    const __m256d a3 = _mm256_broadcast_sd(ap + p * kMr + 3);
+    c30 = _mm256_fmadd_pd(a3, b0, c30);
+    c31 = _mm256_fmadd_pd(a3, b1, c31);
+  }
+  double* r0 = c;
+  double* r1 = c + ldc;
+  double* r2 = c + 2 * ldc;
+  double* r3 = c + 3 * ldc;
+  if (accumulate) {
+    _mm256_storeu_pd(r0, _mm256_add_pd(_mm256_loadu_pd(r0), c00));
+    _mm256_storeu_pd(r0 + 4, _mm256_add_pd(_mm256_loadu_pd(r0 + 4), c01));
+    _mm256_storeu_pd(r1, _mm256_add_pd(_mm256_loadu_pd(r1), c10));
+    _mm256_storeu_pd(r1 + 4, _mm256_add_pd(_mm256_loadu_pd(r1 + 4), c11));
+    _mm256_storeu_pd(r2, _mm256_add_pd(_mm256_loadu_pd(r2), c20));
+    _mm256_storeu_pd(r2 + 4, _mm256_add_pd(_mm256_loadu_pd(r2 + 4), c21));
+    _mm256_storeu_pd(r3, _mm256_add_pd(_mm256_loadu_pd(r3), c30));
+    _mm256_storeu_pd(r3 + 4, _mm256_add_pd(_mm256_loadu_pd(r3 + 4), c31));
+  } else {
+    _mm256_storeu_pd(r0, c00);
+    _mm256_storeu_pd(r0 + 4, c01);
+    _mm256_storeu_pd(r1, c10);
+    _mm256_storeu_pd(r1 + 4, c11);
+    _mm256_storeu_pd(r2, c20);
+    _mm256_storeu_pd(r2 + 4, c21);
+    _mm256_storeu_pd(r3, c30);
+    _mm256_storeu_pd(r3 + 4, c31);
+  }
+}
+
+void GemmAvx2(size_t m, size_t n, size_t k, GemmOperand a, GemmOperand b,
+              double* c, size_t ldc, bool upper_only) {
+  if (m == 0 || n == 0 || k == 0) return;
+  // Tiny products don't amortise packing; the scalar path wins and keeps
+  // the choice a pure function of shape (determinism across threads).
+  if (m * n * k < 8 * 8 * 8) {
+    ScalarTable().gemm(m, n, k, a, b, c, ldc, upper_only);
+    return;
+  }
+  thread_local std::vector<double> apack;
+  thread_local std::vector<double> bpack;
+  apack.resize(kMc * kKc);
+  bpack.resize(kKc * kNc);
+  for (size_t jc = 0; jc < n; jc += kNc) {
+    const size_t nc = std::min(kNc, n - jc);
+    for (size_t pc = 0; pc < k; pc += kKc) {
+      const size_t kc = std::min(kKc, k - pc);
+      PackB(b, pc, kc, jc, nc, bpack.data());
+      for (size_t ic = 0; ic < m; ic += kMc) {
+        const size_t mc = std::min(kMc, m - ic);
+        // Row panels entirely below the needed triangle contribute nothing.
+        if (upper_only && ic >= jc + nc) continue;
+        PackA(a, ic, mc, pc, kc, apack.data());
+        for (size_t ip = 0; ip < mc; ip += kMr) {
+          const size_t it = ic + ip;
+          const size_t mr = std::min(kMr, mc - ip);
+          const double* ap = apack.data() + (ip / kMr) * kc * kMr;
+          for (size_t jp = 0; jp < nc; jp += kNr) {
+            const size_t jt = jc + jp;
+            // Micro-tiles whose every column sits strictly below the
+            // diagonal are skipped; straddling tiles compute in full (the
+            // below-diagonal entries are unspecified per the contract).
+            if (upper_only && jt + kNr <= it) continue;
+            const size_t nr = std::min(kNr, nc - jp);
+            const double* bp = bpack.data() + (jp / kNr) * kc * kNr;
+            if (mr == kMr && nr == kNr) {
+              MicroKernel4x8(kc, ap, bp, c + it * ldc + jt, ldc, true);
+            } else {
+              double tile[kMr * kNr];
+              MicroKernel4x8(kc, ap, bp, tile, kNr, false);
+              for (size_t r = 0; r < mr; ++r) {
+                double* crow = c + (it + r) * ldc + jt;
+                for (size_t q = 0; q < nr; ++q) crow[q] += tile[r * kNr + q];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+double DotAvx2(const double* a, const double* b, size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  __m256d acc2 = _mm256_setzero_pd();
+  __m256d acc3 = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 4),
+                           _mm256_loadu_pd(b + i + 4), acc1);
+    acc2 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 8),
+                           _mm256_loadu_pd(b + i + 8), acc2);
+    acc3 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 12),
+                           _mm256_loadu_pd(b + i + 12), acc3);
+  }
+  for (; i + 4 <= n; i += 4) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                           acc0);
+  }
+  const __m256d sum =
+      _mm256_add_pd(_mm256_add_pd(acc0, acc1), _mm256_add_pd(acc2, acc3));
+  double buf[4];
+  _mm256_storeu_pd(buf, sum);
+  double r = buf[0] + buf[1] + buf[2] + buf[3];
+  for (; i < n; ++i) r += a[i] * b[i];
+  return r;
+}
+
+void AxpyAvx2(double alpha, const double* x, double* y, size_t n) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_pd(
+        y + i, _mm256_fmadd_pd(va, _mm256_loadu_pd(x + i),
+                               _mm256_loadu_pd(y + i)));
+    _mm256_storeu_pd(
+        y + i + 4, _mm256_fmadd_pd(va, _mm256_loadu_pd(x + i + 4),
+                                   _mm256_loadu_pd(y + i + 4)));
+  }
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        y + i, _mm256_fmadd_pd(va, _mm256_loadu_pd(x + i),
+                               _mm256_loadu_pd(y + i)));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void ScaleAvx2(double* x, double s, size_t n) {
+  const __m256d vs = _mm256_set1_pd(s);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(x + i, _mm256_mul_pd(_mm256_loadu_pd(x + i), vs));
+  }
+  for (; i < n; ++i) x[i] *= s;
+}
+
+void AddAvx2(const double* x, double* acc, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        acc + i, _mm256_add_pd(_mm256_loadu_pd(acc + i),
+                               _mm256_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) acc[i] += x[i];
+}
+
+void SqDiffAccumAvx2(const double* x, const double* mean, double* acc,
+                     size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d d = _mm256_sub_pd(_mm256_loadu_pd(x + i),
+                                    _mm256_loadu_pd(mean + i));
+    _mm256_storeu_pd(acc + i,
+                     _mm256_fmadd_pd(d, d, _mm256_loadu_pd(acc + i)));
+  }
+  for (; i < n; ++i) {
+    const double d = x[i] - mean[i];
+    acc[i] += d * d;
+  }
+}
+
+void SubScaleAvx2(const double* src, const double* sub, const double* scale,
+                  double* dst, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        dst + i,
+        _mm256_mul_pd(_mm256_sub_pd(_mm256_loadu_pd(src + i),
+                                    _mm256_loadu_pd(sub + i)),
+                      _mm256_loadu_pd(scale + i)));
+  }
+  for (; i < n; ++i) dst[i] = (src[i] - sub[i]) * scale[i];
+}
+
+const KernelTable kAvx2Table = {
+    Isa::kAvx2,  GemmAvx2,        DotAvx2,     AxpyAvx2,
+    ScaleAvx2,   AddAvx2,         SqDiffAccumAvx2,
+    SubScaleAvx2,
+};
+
+}  // namespace
+
+const KernelTable* Avx2Table() {
+  static const KernelTable* table = CpuSupportsAvx2() ? &kAvx2Table : nullptr;
+  return table;
+}
+
+}  // namespace explainit::la::simd
+
+#else  // no AVX2 build support
+
+namespace explainit::la::simd {
+
+const KernelTable* Avx2Table() { return nullptr; }
+
+}  // namespace explainit::la::simd
+
+#endif

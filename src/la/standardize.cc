@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "la/simd.h"
+
 namespace explainit::la {
 
 ColumnStats ComputeColumnStats(const Matrix& m) {
@@ -10,18 +12,14 @@ ColumnStats ComputeColumnStats(const Matrix& m) {
   stats.mean.assign(cols, 0.0);
   stats.stddev.assign(cols, 1.0);
   if (rows == 0 || cols == 0) return stats;
+  const auto& kernels = simd::Active();
   for (size_t r = 0; r < rows; ++r) {
-    const double* row = m.Row(r);
-    for (size_t c = 0; c < cols; ++c) stats.mean[c] += row[c];
+    kernels.add(m.Row(r), stats.mean.data(), cols);
   }
-  for (size_t c = 0; c < cols; ++c) stats.mean[c] /= static_cast<double>(rows);
+  kernels.scale(stats.mean.data(), 1.0 / static_cast<double>(rows), cols);
   std::vector<double> var(cols, 0.0);
   for (size_t r = 0; r < rows; ++r) {
-    const double* row = m.Row(r);
-    for (size_t c = 0; c < cols; ++c) {
-      const double d = row[c] - stats.mean[c];
-      var[c] += d * d;
-    }
+    kernels.sq_diff_accum(m.Row(r), stats.mean.data(), var.data(), cols);
   }
   for (size_t c = 0; c < cols; ++c) {
     const double sd = std::sqrt(var[c] / static_cast<double>(rows));
@@ -33,13 +31,14 @@ ColumnStats ComputeColumnStats(const Matrix& m) {
 }
 
 Matrix StandardizeWith(const Matrix& m, const ColumnStats& stats) {
-  Matrix out(m.rows(), m.cols());
+  const auto& kernels = simd::Active();
+  const size_t cols = m.cols();
+  std::vector<double> inv(cols);
+  for (size_t c = 0; c < cols; ++c) inv[c] = 1.0 / stats.stddev[c];
+  Matrix out(m.rows(), cols);
   for (size_t r = 0; r < m.rows(); ++r) {
-    const double* src = m.Row(r);
-    double* dst = out.Row(r);
-    for (size_t c = 0; c < m.cols(); ++c) {
-      dst[c] = (src[c] - stats.mean[c]) / stats.stddev[c];
-    }
+    kernels.sub_scale(m.Row(r), stats.mean.data(), inv.data(), out.Row(r),
+                      cols);
   }
   return out;
 }
@@ -53,11 +52,13 @@ Matrix Standardize(const Matrix& m, ColumnStats* stats_out) {
 
 Matrix CenterColumns(const Matrix& m) {
   ColumnStats stats = ComputeColumnStats(m);
-  Matrix out(m.rows(), m.cols());
+  const auto& kernels = simd::Active();
+  const size_t cols = m.cols();
+  const std::vector<double> ones(cols, 1.0);
+  Matrix out(m.rows(), cols);
   for (size_t r = 0; r < m.rows(); ++r) {
-    const double* src = m.Row(r);
-    double* dst = out.Row(r);
-    for (size_t c = 0; c < m.cols(); ++c) dst[c] = src[c] - stats.mean[c];
+    kernels.sub_scale(m.Row(r), stats.mean.data(), ones.data(), out.Row(r),
+                      cols);
   }
   return out;
 }

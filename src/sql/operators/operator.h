@@ -60,6 +60,17 @@ struct ExecStats {
   /// Chunks the executor assembled the final result table from (1 = the
   /// classic serial drain-and-append path).
   size_t materialize_chunks = 0;
+  /// Linear-algebra stage breakdown of EXPLAIN/rank operators (summed over
+  /// scoring worker threads): Gram/standardize construction, Cholesky
+  /// factorization, triangular solves, validation predict + r2.
+  int64_t rank_gram_ns = 0;
+  int64_t rank_factor_ns = 0;
+  int64_t rank_solve_ns = 0;
+  int64_t rank_predict_ns = 0;
+  /// Cross-hypothesis scoring-cache effectiveness (designs + factors +
+  /// whole conditional fits served cached vs computed).
+  size_t rank_cache_hits = 0;
+  size_t rank_cache_misses = 0;
   std::vector<OperatorStats> operators;
 };
 

@@ -2,29 +2,224 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "la/blas.h"
 #include "la/cholesky.h"
+#include "la/simd.h"
 #include "la/standardize.h"
 
 namespace explainit::stats {
 
 namespace {
 
+using la::Matrix;
+
 // Gathers the given rows of m into a new matrix.
-la::Matrix GatherRows(const la::Matrix& m, const std::vector<size_t>& rows) {
-  la::Matrix out(rows.size(), m.cols());
+Matrix GatherRows(const Matrix& m, const std::vector<size_t>& rows) {
+  Matrix out(rows.size(), m.cols());
   for (size_t i = 0; i < rows.size(); ++i) {
     std::copy(m.Row(rows[i]), m.Row(rows[i]) + m.cols(), out.Row(i));
   }
   return out;
 }
 
+// Scratch-reusing variants for the dual fold path.
+void GatherRowsInto(const Matrix& m, const std::vector<size_t>& rows,
+                    Matrix* out) {
+  if (out->rows() != rows.size() || out->cols() != m.cols()) {
+    *out = Matrix(rows.size(), m.cols());
+  }
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::copy(m.Row(rows[i]), m.Row(rows[i]) + m.cols(), out->Row(i));
+  }
+}
+
+void CopyBlockInto(const Matrix& m, size_t row_begin, size_t row_end,
+                   Matrix* out) {
+  const size_t n = row_end - row_begin;
+  if (out->rows() != n || out->cols() != m.cols()) {
+    *out = Matrix(n, m.cols());
+  }
+  std::copy(m.Row(row_begin), m.Row(row_begin) + n * m.cols(), out->data());
+}
+
+void StandardizeInPlace(Matrix* m, const la::ColumnStats& stats) {
+  const auto& kernels = la::simd::Active();
+  const size_t cols = m->cols();
+  std::vector<double> inv(cols);
+  for (size_t c = 0; c < cols; ++c) inv[c] = 1.0 / stats.stddev[c];
+  for (size_t r = 0; r < m->rows(); ++r) {
+    kernels.sub_scale(m->Row(r), stats.mean.data(), inv.data(), m->Row(r),
+                      cols);
+  }
+}
+
 // Adds lambda to the diagonal of a square matrix (copy).
-la::Matrix AddRidge(const la::Matrix& g, double lambda) {
-  la::Matrix a = g;
+Matrix AddRidge(const Matrix& g, double lambda) {
+  Matrix a = g;
   for (size_t i = 0; i < a.rows(); ++i) a(i, i) += lambda;
   return a;
+}
+
+// --------------------------------------------------------------------------
+// The per-matrix "design": everything FitCv needs about one side of a
+// regression that depends only on the matrix content and the fold layout.
+// The per-fold *training* Gram, mean and variance are never computed over
+// gathered rows; they derive from the full-data quantities by subtraction:
+//
+//   sum_train = sum_full - sum_val
+//   G~_train  = G~_full  - G~_val            (G~ = Gram of full-mean-centered)
+//   train-centered Gram = G~_train - ttr * delta delta^T,
+//       delta = train mean in centered coordinates
+//   train variance[c]   = G~_train[c][c]/ttr - delta[c]^2
+//
+// so one full pass plus k small validation-block passes replace k
+// near-full-size gathers, standardisations and Gram products. Designs are
+// content-addressed in the ScoringCache and shared across hypotheses.
+// --------------------------------------------------------------------------
+
+struct FoldPlan {
+  Fold fold;
+  size_t ttr = 0;
+  std::vector<double> val_mean;  // mean of centered rows over the val block
+  std::vector<double> delta;     // train mean, centered coords (0 w/o stdize)
+  std::vector<double> inv_sd;    // 1/sd of training columns (1 w/o stdize)
+};
+
+struct RidgeDesign {
+  size_t t = 0;
+  size_t p = 0;
+  bool standardize = true;
+  Matrix centered;                  // X - full mean (plain copy w/o stdize)
+  std::vector<double> full_mean;    // zeros w/o standardize
+  std::vector<double> full_sd;      // guarded stddev; ones w/o standardize
+  std::vector<double> full_inv_sd;  // 1 / full_sd
+  Matrix gram_full;                 // centered^T centered
+  std::vector<Matrix> gram_val;     // per fold, over the contiguous val block
+  std::vector<FoldPlan> folds;
+};
+
+size_t DesignBytes(size_t t, size_t p, size_t k) {
+  return (t * p + (k + 1) * p * p + 5 * (k + 1) * p) * sizeof(double);
+}
+
+std::shared_ptr<RidgeDesign> BuildDesign(const Matrix& m, bool standardize,
+                                         size_t num_folds) {
+  auto d = std::make_shared<RidgeDesign>();
+  const size_t t = m.rows(), p = m.cols();
+  d->t = t;
+  d->p = p;
+  d->standardize = standardize;
+  d->full_mean.assign(p, 0.0);
+  d->full_sd.assign(p, 1.0);
+  d->full_inv_sd.assign(p, 1.0);
+  const auto& kernels = la::simd::Active();
+  if (standardize) {
+    la::ColumnStats stats = la::ComputeColumnStats(m);
+    d->full_mean = stats.mean;
+    d->full_sd = stats.stddev;
+    for (size_t c = 0; c < p; ++c) d->full_inv_sd[c] = 1.0 / d->full_sd[c];
+    d->centered = Matrix(t, p);
+    const std::vector<double> ones(p, 1.0);
+    for (size_t r = 0; r < t; ++r) {
+      kernels.sub_scale(m.Row(r), d->full_mean.data(), ones.data(),
+                        d->centered.Row(r), p);
+    }
+  } else {
+    d->centered = m;
+  }
+  d->gram_full = la::Gram(d->centered);
+  // Column sums of the centered matrix: near zero when standardising, but
+  // carried exactly so the train-mean identity holds to rounding.
+  std::vector<double> sum_full(p, 0.0);
+  for (size_t r = 0; r < t; ++r) {
+    kernels.add(d->centered.Row(r), sum_full.data(), p);
+  }
+
+  const std::vector<Fold> folds = ContiguousKFold(t, num_folds);
+  d->folds.resize(folds.size());
+  d->gram_val.resize(folds.size());
+  for (size_t f = 0; f < folds.size(); ++f) {
+    FoldPlan& plan = d->folds[f];
+    plan.fold = folds[f];
+    const size_t b = folds[f].val_begin, e = folds[f].val_end;
+    const size_t nval = e - b;
+    plan.ttr = t - nval;
+    la::GramInto(d->centered.Row(b), nval, p, p, &d->gram_val[f]);
+    std::vector<double> sum_val(p, 0.0);
+    for (size_t r = b; r < e; ++r) {
+      kernels.add(d->centered.Row(r), sum_val.data(), p);
+    }
+    plan.val_mean = sum_val;
+    if (nval > 0) {
+      kernels.scale(plan.val_mean.data(), 1.0 / static_cast<double>(nval), p);
+    }
+    plan.delta.assign(p, 0.0);
+    plan.inv_sd.assign(p, 1.0);
+    if (standardize && plan.ttr > 0) {
+      const double ttr_d = static_cast<double>(plan.ttr);
+      const Matrix& gv = d->gram_val[f];
+      for (size_t c = 0; c < p; ++c) {
+        plan.delta[c] = (sum_full[c] - sum_val[c]) / ttr_d;
+        const double gtr = d->gram_full(c, c) - gv(c, c);
+        const double var =
+            std::max(0.0, gtr / ttr_d - plan.delta[c] * plan.delta[c]);
+        const double sd = std::sqrt(var);
+        plan.inv_sd[c] = sd > 1e-12 ? 1.0 / sd : 1.0;
+      }
+    }
+  }
+  return d;
+}
+
+std::shared_ptr<const RidgeDesign> GetDesign(const Matrix& m,
+                                             const RidgeOptions& opt,
+                                             const FitContext* ctx,
+                                             CacheKey* key_out,
+                                             bool* have_key) {
+  ScoringCache* cache = ctx != nullptr ? ctx->cache : nullptr;
+  if (cache == nullptr) {
+    *have_key = false;
+    return BuildDesign(m, opt.standardize, opt.num_folds);
+  }
+  const CacheKey key = HashMatrix(m)
+                           .Mixed(opt.standardize ? 1 : 2)
+                           .Mixed(opt.num_folds);
+  *key_out = key;
+  *have_key = true;
+  return cache->Get<RidgeDesign>(
+      ScoringCache::Slot::kDesign, key,
+      DesignBytes(m.rows(), m.cols(), opt.num_folds),
+      [&] { return BuildDesign(m, opt.standardize, opt.num_folds); });
+}
+
+// Cholesky factors carry their (rare) failure so they can live in the
+// cache: a factorisation that failed for one hypothesis fails identically
+// for every other one touching the same (design, fold, lambda).
+struct FactorValue {
+  Result<Matrix> result;
+};
+
+// Salt distinguishing refit factors from fold factors in the cache key.
+constexpr uint64_t kRefitTag = 0xF1F2F3F4F5F6F7F8ULL;
+
+std::shared_ptr<const FactorValue> GetFactor(const Matrix& g_std,
+                                             double lambda,
+                                             const CacheKey& design_key,
+                                             bool have_key, uint64_t fold_tag,
+                                             ScoringCache* cache) {
+  auto compute = [&] {
+    return std::make_shared<FactorValue>(
+        FactorValue{la::FactorSpdJittered(AddRidge(g_std, lambda))});
+  };
+  if (cache == nullptr || !have_key) return compute();
+  const CacheKey key =
+      design_key.Mixed(fold_tag).Mixed(SaltFromDouble(lambda));
+  return cache->Get<FactorValue>(ScoringCache::Slot::kFactor, key,
+                                 g_std.rows() * g_std.rows() *
+                                     sizeof(double),
+                                 compute);
 }
 
 }  // namespace
@@ -86,7 +281,8 @@ Result<la::Matrix> RidgeRegression::Solve(const la::Matrix& x,
 }
 
 Result<RidgeCvResult> RidgeRegression::FitCv(const la::Matrix& x,
-                                             const la::Matrix& y) const {
+                                             const la::Matrix& y,
+                                             const FitContext* ctx) const {
   if (x.rows() != y.rows()) {
     return Status::InvalidArgument("ridge: X/Y row mismatch");
   }
@@ -96,50 +292,242 @@ Result<RidgeCvResult> RidgeRegression::FitCv(const la::Matrix& x,
   if (x.cols() == 0 || y.cols() == 0) {
     return Status::InvalidArgument("ridge: empty feature or target matrix");
   }
-  const size_t t = x.rows();
+  const size_t t = x.rows(), p = x.cols(), q = y.cols();
   const size_t num_lambdas = options_.lambdas.size();
+  StageCounters* counters = ctx != nullptr ? ctx->counters : nullptr;
+  ScoringCache* cache = ctx != nullptr ? ctx->cache : nullptr;
+  std::atomic<int64_t>* gram_sink = counters ? &counters->gram_ns : nullptr;
+  std::atomic<int64_t>* factor_sink =
+      counters ? &counters->factor_ns : nullptr;
+  std::atomic<int64_t>* solve_sink = counters ? &counters->solve_ns : nullptr;
+  std::atomic<int64_t>* predict_sink =
+      counters ? &counters->predict_ns : nullptr;
+
+  std::shared_ptr<const RidgeDesign> xd, yd;
+  CacheKey xkey{};
+  bool have_xkey = false;
+  Matrix c_full;  // centered X^T Y over the full data (p x q)
+  {
+    StageTimer timer(gram_sink);
+    xd = GetDesign(x, options_, ctx, &xkey, &have_xkey);
+    CacheKey ykey{};
+    bool have_ykey = false;
+    yd = GetDesign(y, options_, ctx, &ykey, &have_ykey);
+    la::CrossInto(xd->centered.data(), t, p, p, yd->centered.data(), q, q,
+                  &c_full);
+  }
+
   std::vector<double> lambda_r2_sum(num_lambdas, 0.0);
 
-  const std::vector<Fold> folds = ContiguousKFold(t, options_.num_folds);
-  for (const Fold& fold : folds) {
-    const std::vector<size_t> train_idx = TrainIndices(fold, t);
-    la::Matrix xtr = GatherRows(x, train_idx);
-    la::Matrix ytr = GatherRows(y, train_idx);
-    la::Matrix xval = x.SliceRows(fold.val_begin, fold.val_end);
-    la::Matrix yval = y.SliceRows(fold.val_begin, fold.val_end);
+  // Fold scratch, reused across the loop (no per-fold allocations on the
+  // primal path once shapes settle).
+  Matrix g_std, c_std, c_val, ball, pred_all, beta, solve_scratch;
+  std::vector<double> offsets(num_lambdas * q, 0.0);
+  std::vector<double> rss(num_lambdas * q, 0.0);
+  std::vector<double> tss(q, 0.0);
+  std::vector<double> obs(q, 0.0), mean_obs(q, 0.0);
+  // Dual-path scratch.
+  Matrix xtr_s, ytr_s, xval_s, yval_s, alpha_all, alpha;
 
-    la::ColumnStats xstats, ystats;
-    if (options_.standardize) {
-      xstats = la::ComputeColumnStats(xtr);
-      ystats = la::ComputeColumnStats(ytr);
-      xtr = la::StandardizeWith(xtr, xstats);
-      ytr = la::StandardizeWith(ytr, ystats);
-      xval = la::StandardizeWith(xval, xstats);
-      yval = la::StandardizeWith(yval, ystats);
-    }
+  const size_t num_folds = xd->folds.size();
+  for (size_t f = 0; f < num_folds; ++f) {
+    const FoldPlan& fx = xd->folds[f];
+    const FoldPlan& fy = yd->folds[f];
+    const size_t b = fx.fold.val_begin, e = fx.fold.val_end;
+    const size_t nval = e - b, ttr = fx.ttr;
+    if (nval == 0 || ttr == 0) continue;
 
-    const size_t ttr = xtr.rows(), p = xtr.cols();
     if (p <= ttr) {
-      // Primal path: Gram and X^T Y computed once, reused for every lambda.
-      la::Matrix g = la::Gram(xtr);
-      la::Matrix xty = la::MatTMul(xtr, ytr);
+      // ---- Primal path: everything from the subtraction identities. ----
+      {
+        StageTimer timer(gram_sink);
+        const Matrix& gv = xd->gram_val[f];
+        if (g_std.rows() != p || g_std.cols() != p) g_std = Matrix(p, p);
+        const double ttr_d = static_cast<double>(ttr);
+        for (size_t i = 0; i < p; ++i) {
+          const double* gf = xd->gram_full.Row(i);
+          const double* gvr = gv.Row(i);
+          double* out = g_std.Row(i);
+          const double di = fx.delta[i], si = fx.inv_sd[i];
+          for (size_t j = 0; j < p; ++j) {
+            out[j] = (gf[j] - gvr[j] - ttr_d * di * fx.delta[j]) * si *
+                     fx.inv_sd[j];
+          }
+        }
+        la::CrossInto(xd->centered.Row(b), nval, p, p, yd->centered.Row(b),
+                      q, q, &c_val);
+        if (c_std.rows() != p || c_std.cols() != q) c_std = Matrix(p, q);
+        for (size_t i = 0; i < p; ++i) {
+          const double* cf = c_full.Row(i);
+          const double* cv = c_val.Row(i);
+          double* out = c_std.Row(i);
+          const double di = fx.delta[i], si = fx.inv_sd[i];
+          for (size_t j = 0; j < q; ++j) {
+            out[j] = (cf[j] - cv[j] - ttr_d * di * fy.delta[j]) * si *
+                     fy.inv_sd[j];
+          }
+        }
+      }
+      // Solve the whole lambda grid, stacking the rescaled coefficient
+      // panels so prediction is one GEMM over the validation block.
+      if (ball.rows() != p || ball.cols() != q * num_lambdas) {
+        ball = Matrix(p, q * num_lambdas);
+      }
       for (size_t li = 0; li < num_lambdas; ++li) {
-        Result<la::Matrix> beta =
-            la::SolveSpd(AddRidge(g, options_.lambdas[li]), xty);
-        if (!beta.ok()) return beta.status();
-        la::Matrix pred = la::MatMul(xval, beta.value());
-        lambda_r2_sum[li] += RSquared(yval, pred);
+        std::shared_ptr<const FactorValue> fv;
+        {
+          StageTimer timer(factor_sink);
+          fv = GetFactor(g_std, options_.lambdas[li], xkey, have_xkey, f,
+                         cache);
+        }
+        if (!fv->result.ok()) return fv->result.status();
+        {
+          StageTimer timer(solve_sink);
+          la::CholeskySolveInto(fv->result.value(), c_std, &beta,
+                                &solve_scratch);
+        }
+        // beta is in per-fold standardized coordinates; fold the feature
+        // scaling into the stacked panel so prediction reads the centered
+        // data directly, and precompute the train-mean offsets.
+        for (size_t j = 0; j < q; ++j) offsets[li * q + j] = 0.0;
+        for (size_t c = 0; c < p; ++c) {
+          const double scale = fx.inv_sd[c];
+          const double dc = fx.delta[c];
+          const double* brow = beta.Row(c);
+          double* dst = ball.Row(c) + li * q;
+          for (size_t j = 0; j < q; ++j) {
+            const double bprime = brow[j] * scale;
+            dst[j] = bprime;
+            offsets[li * q + j] += dc * bprime;
+          }
+        }
+      }
+      {
+        StageTimer timer(predict_sink);
+        la::MatMulInto(xd->centered.Row(b), nval, p, p, ball.data(),
+                       q * num_lambdas, q * num_lambdas, &pred_all);
+        // Fused prediction + r2: one pass over the validation rows
+        // accumulates RSS for every lambda and TSS once, with the observed
+        // mean recovered analytically from the fold plan.
+        for (size_t j = 0; j < q; ++j) {
+          mean_obs[j] = (fy.val_mean[j] - fy.delta[j]) * fy.inv_sd[j];
+          tss[j] = 0.0;
+        }
+        std::fill(rss.begin(), rss.end(), 0.0);
+        for (size_t r = 0; r < nval; ++r) {
+          const double* yrow = yd->centered.Row(b + r);
+          const double* prow = pred_all.Row(r);
+          for (size_t j = 0; j < q; ++j) {
+            obs[j] = (yrow[j] - fy.delta[j]) * fy.inv_sd[j];
+            const double d = obs[j] - mean_obs[j];
+            tss[j] += d * d;
+          }
+          for (size_t li = 0; li < num_lambdas; ++li) {
+            const double* pl = prow + li * q;
+            const double* ol = offsets.data() + li * q;
+            double* rl = rss.data() + li * q;
+            for (size_t j = 0; j < q; ++j) {
+              const double err = obs[j] - (pl[j] - ol[j]);
+              rl[j] += err * err;
+            }
+          }
+        }
+        for (size_t li = 0; li < num_lambdas; ++li) {
+          double acc = 0.0;
+          size_t used = 0;
+          for (size_t j = 0; j < q; ++j) {
+            if (tss[j] <= 1e-24) continue;
+            acc += 1.0 - rss[li * q + j] / tss[j];
+            ++used;
+          }
+          lambda_r2_sum[li] +=
+              used == 0 ? 0.0 : acc / static_cast<double>(used);
+        }
       }
     } else {
-      // Dual path: kernel matrices computed once, reused for every lambda.
-      la::Matrix k = la::GramT(xtr);          // ttr x ttr
-      la::Matrix kval = la::MatMulT(xval, xtr);  // tval x ttr
+      // ---- Dual path (p > ttr): kernel solves over gathered rows. Rare
+      // (only when features outnumber training points); scratch matrices
+      // are reused but kernel products still allocate. ----
+      Matrix kmat, kval;
+      {
+        StageTimer timer(gram_sink);
+        const std::vector<size_t> train_idx = TrainIndices(fx.fold, t);
+        GatherRowsInto(x, train_idx, &xtr_s);
+        GatherRowsInto(y, train_idx, &ytr_s);
+        CopyBlockInto(x, b, e, &xval_s);
+        CopyBlockInto(y, b, e, &yval_s);
+        if (options_.standardize) {
+          const la::ColumnStats xstats = la::ComputeColumnStats(xtr_s);
+          const la::ColumnStats ystats = la::ComputeColumnStats(ytr_s);
+          StandardizeInPlace(&xtr_s, xstats);
+          StandardizeInPlace(&ytr_s, ystats);
+          StandardizeInPlace(&xval_s, xstats);
+          StandardizeInPlace(&yval_s, ystats);
+        }
+        kmat = la::GramT(xtr_s);           // ttr x ttr
+        kval = la::MatMulT(xval_s, xtr_s); // nval x ttr
+      }
+      if (alpha_all.rows() != ttr || alpha_all.cols() != q * num_lambdas) {
+        alpha_all = Matrix(ttr, q * num_lambdas);
+      }
       for (size_t li = 0; li < num_lambdas; ++li) {
-        Result<la::Matrix> alpha =
-            la::SolveSpd(AddRidge(k, options_.lambdas[li]), ytr);
-        if (!alpha.ok()) return alpha.status();
-        la::Matrix pred = la::MatMul(kval, alpha.value());
-        lambda_r2_sum[li] += RSquared(yval, pred);
+        Result<Matrix> lfac = [&] {
+          StageTimer timer(factor_sink);
+          return la::FactorSpdJittered(AddRidge(kmat, options_.lambdas[li]));
+        }();
+        if (!lfac.ok()) return lfac.status();
+        {
+          StageTimer timer(solve_sink);
+          la::CholeskySolveInto(lfac.value(), ytr_s, &alpha, &solve_scratch);
+        }
+        for (size_t r = 0; r < ttr; ++r) {
+          std::copy(alpha.Row(r), alpha.Row(r) + q,
+                    alpha_all.Row(r) + li * q);
+        }
+      }
+      {
+        StageTimer timer(predict_sink);
+        la::MatMulInto(kval.data(), nval, ttr, ttr, alpha_all.data(),
+                       q * num_lambdas, q * num_lambdas, &pred_all);
+        for (size_t j = 0; j < q; ++j) {
+          mean_obs[j] = 0.0;
+          tss[j] = 0.0;
+        }
+        for (size_t r = 0; r < nval; ++r) {
+          const double* yrow = yval_s.Row(r);
+          for (size_t j = 0; j < q; ++j) mean_obs[j] += yrow[j];
+        }
+        for (size_t j = 0; j < q; ++j) {
+          mean_obs[j] /= static_cast<double>(nval);
+        }
+        std::fill(rss.begin(), rss.end(), 0.0);
+        for (size_t r = 0; r < nval; ++r) {
+          const double* yrow = yval_s.Row(r);
+          const double* prow = pred_all.Row(r);
+          for (size_t j = 0; j < q; ++j) {
+            const double d = yrow[j] - mean_obs[j];
+            tss[j] += d * d;
+          }
+          for (size_t li = 0; li < num_lambdas; ++li) {
+            const double* pl = prow + li * q;
+            double* rl = rss.data() + li * q;
+            for (size_t j = 0; j < q; ++j) {
+              const double err = yrow[j] - pl[j];
+              rl[j] += err * err;
+            }
+          }
+        }
+        for (size_t li = 0; li < num_lambdas; ++li) {
+          double acc = 0.0;
+          size_t used = 0;
+          for (size_t j = 0; j < q; ++j) {
+            if (tss[j] <= 1e-24) continue;
+            acc += 1.0 - rss[li * q + j] / tss[j];
+            ++used;
+          }
+          lambda_r2_sum[li] +=
+              used == 0 ? 0.0 : acc / static_cast<double>(used);
+        }
       }
     }
   }
@@ -149,30 +537,103 @@ Result<RidgeCvResult> RidgeRegression::FitCv(const la::Matrix& x,
   size_t best = 0;
   for (size_t li = 0; li < num_lambdas; ++li) {
     out.per_lambda_r2[li] =
-        lambda_r2_sum[li] / static_cast<double>(folds.size());
+        lambda_r2_sum[li] / static_cast<double>(num_folds);
     if (out.per_lambda_r2[li] > out.per_lambda_r2[best]) best = li;
   }
   out.best_lambda = options_.lambdas[best];
   out.cv_r2 = out.per_lambda_r2[best];
 
-  // Final refit on all data at the selected penalty, for residuals.
-  la::Matrix xfull = x, yfull = y;
-  la::ColumnStats xstats, ystats;
-  if (options_.standardize) {
-    xfull = la::Standardize(x, &xstats);
-    yfull = la::Standardize(y, &ystats);
+  // ---- Final refit on all data at the selected penalty. The full-data
+  // Gram, cross product and column stats already live in the designs: the
+  // standardized system is a rescale, not a recomputation. ----
+  Matrix fitted_std;
+  if (p <= t) {
+    Matrix g_fstd(p, p), c_fstd(p, q);
+    {
+      StageTimer timer(gram_sink);
+      for (size_t i = 0; i < p; ++i) {
+        const double* gf = xd->gram_full.Row(i);
+        double* out_row = g_fstd.Row(i);
+        const double si = xd->full_inv_sd[i];
+        for (size_t j = 0; j < p; ++j) {
+          out_row[j] = gf[j] * si * xd->full_inv_sd[j];
+        }
+      }
+      for (size_t i = 0; i < p; ++i) {
+        const double* cf = c_full.Row(i);
+        double* out_row = c_fstd.Row(i);
+        const double si = xd->full_inv_sd[i];
+        for (size_t j = 0; j < q; ++j) {
+          out_row[j] = cf[j] * si * yd->full_inv_sd[j];
+        }
+      }
+    }
+    std::shared_ptr<const FactorValue> fv;
+    {
+      StageTimer timer(factor_sink);
+      fv = GetFactor(g_fstd, out.best_lambda, xkey, have_xkey, kRefitTag,
+                     cache);
+    }
+    if (!fv->result.ok()) return fv->result.status();
+    {
+      StageTimer timer(solve_sink);
+      la::CholeskySolveInto(fv->result.value(), c_fstd, &out.coefficients,
+                            &solve_scratch);
+    }
+    {
+      StageTimer timer(predict_sink);
+      // fitted_std = (X~ Dx^-1) B = X~ (Dx^-1 B): fold the scaling into
+      // the coefficients and predict straight off the centered data.
+      Matrix scaled = out.coefficients;
+      for (size_t c = 0; c < p; ++c) {
+        la::simd::Active().scale(scaled.Row(c), xd->full_inv_sd[c], q);
+      }
+      la::MatMulInto(xd->centered.data(), t, p, p, scaled.data(), q, q,
+                     &fitted_std);
+    }
+  } else {
+    // Dual refit: the standardized full matrices are a rescale of the
+    // centered designs.
+    Matrix xf(t, p), yf(t, q);
+    Matrix kfull;
+    {
+      StageTimer timer(gram_sink);
+      const std::vector<double> zeros_p(p, 0.0), zeros_q(q, 0.0);
+      const auto& kernels = la::simd::Active();
+      for (size_t r = 0; r < t; ++r) {
+        kernels.sub_scale(xd->centered.Row(r), zeros_p.data(),
+                          xd->full_inv_sd.data(), xf.Row(r), p);
+        kernels.sub_scale(yd->centered.Row(r), zeros_q.data(),
+                          yd->full_inv_sd.data(), yf.Row(r), q);
+      }
+      kfull = la::GramT(xf);  // t x t
+    }
+    Result<Matrix> lfac = [&] {
+      StageTimer timer(factor_sink);
+      return la::FactorSpdJittered(AddRidge(kfull, out.best_lambda));
+    }();
+    if (!lfac.ok()) return lfac.status();
+    Matrix alpha_full;
+    {
+      StageTimer timer(solve_sink);
+      la::CholeskySolveInto(lfac.value(), yf, &alpha_full, &solve_scratch);
+    }
+    {
+      StageTimer timer(predict_sink);
+      out.coefficients = la::MatTMul(xf, alpha_full);       // p x q
+      la::MatMulInto(kfull.data(), t, t, t, alpha_full.data(), q, q,
+                     &fitted_std);
+    }
   }
-  EXPLAINIT_ASSIGN_OR_RETURN(out.coefficients,
-                             Solve(xfull, yfull, out.best_lambda));
-  la::Matrix fitted_std = la::MatMul(xfull, out.coefficients);
+
   // Map fitted values back to original Y units.
-  out.fitted = la::Matrix(t, y.cols());
+  out.fitted = Matrix(t, q);
   for (size_t r = 0; r < t; ++r) {
     const double* src = fitted_std.Row(r);
     double* dst = out.fitted.Row(r);
-    for (size_t c = 0; c < y.cols(); ++c) {
+    for (size_t c = 0; c < q; ++c) {
       dst[c] = options_.standardize
-                   ? src[c] * ystats.stddev[c] + ystats.mean[c]
+                   ? src[c] * yd->full_sd[c] + yd->full_mean[c]
                    : src[c];
     }
   }

@@ -14,6 +14,7 @@
 #include "common/result.h"
 #include "la/matrix.h"
 #include "stats/kfold.h"
+#include "stats/scoring_cache.h"
 
 namespace explainit::stats {
 
@@ -57,8 +58,20 @@ class RidgeRegression {
   /// Fits Y (T x q) on X (T x p) with k-fold CV over the lambda grid and a
   /// final full-data refit at the selected penalty.
   ///
+  /// The per-fold training Gram/cross-product blocks are derived from one
+  /// full-data pass via the centered-Gram subtraction identity (train =
+  /// full - validation - mean correction), so no per-fold row gathering or
+  /// re-standardisation happens on the primal path, lambda-grid solves
+  /// batch into one validation GEMM per fold, and the final refit reuses
+  /// the full-data Gram instead of recomputing it.
+  ///
+  /// `ctx` (optional) plugs in the cross-hypothesis ScoringCache — designs
+  /// and Cholesky factors are then shared content-addressed across FitCv
+  /// calls — and the per-stage nanosecond counters.
+  ///
   /// Fails with InvalidArgument on shape mismatch or fewer than 8 rows.
-  Result<RidgeCvResult> FitCv(const la::Matrix& x, const la::Matrix& y) const;
+  Result<RidgeCvResult> FitCv(const la::Matrix& x, const la::Matrix& y,
+                              const FitContext* ctx = nullptr) const;
 
   /// Single ridge solve at a fixed penalty on given (already prepared)
   /// data; returns the coefficient matrix (p x q). Exposed for tests and

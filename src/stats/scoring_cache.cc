@@ -1,0 +1,150 @@
+#include "stats/scoring_cache.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/time_util.h"
+
+namespace explainit::stats {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001B3ULL;
+
+inline uint64_t FnvMix(uint64_t h, uint64_t v) {
+  // Byte-at-a-time FNV-1a over the 8 bytes of v.
+  for (int i = 0; i < 8; ++i) {
+    h = (h ^ (v & 0xFF)) * kFnvPrime;
+    v >>= 8;
+  }
+  return h;
+}
+
+inline uint64_t DoubleBits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+CacheKey CacheKey::Mixed(uint64_t salt) const {
+  CacheKey out;
+  out.hi = FnvMix(hi ^ 0x9E3779B97F4A7C15ULL, salt);
+  out.lo = FnvMix(lo + 0xD1B54A32D192ED03ULL, salt ^ 0xA24BAED4963EE407ULL);
+  return out;
+}
+
+uint64_t SaltFromDouble(double v) { return DoubleBits(v); }
+
+CacheKey HashMatrix(const la::Matrix& m) {
+  const size_t rows = m.rows(), cols = m.cols();
+  std::vector<uint64_t> colh(cols, kFnvOffset);
+  for (size_t r = 0; r < rows; ++r) {
+    const double* row = m.Row(r);
+    for (size_t c = 0; c < cols; ++c) {
+      colh[c] = FnvMix(colh[c], DoubleBits(row[c]));
+    }
+  }
+  CacheKey key;
+  key.hi = FnvMix(kFnvOffset, rows);
+  key.lo = FnvMix(kFnvOffset ^ 0x2545F4914F6CDD1DULL, cols);
+  for (size_t c = 0; c < cols; ++c) {
+    key.hi = FnvMix(key.hi, colh[c]);
+    key.lo = FnvMix(key.lo, colh[c] * 0xFF51AFD7ED558CCDULL + c);
+  }
+  return key;
+}
+
+struct ScoringCache::Pending {
+  bool done = false;
+};
+
+ScoringCache::ScoringCache(size_t byte_budget) : byte_budget_(byte_budget) {
+  for (size_t s = 0; s < kNumSlots; ++s) {
+    hits_[s].store(0, std::memory_order_relaxed);
+    misses_[s].store(0, std::memory_order_relaxed);
+  }
+}
+
+ScoringCache::ValuePtr ScoringCache::GetOrCompute(
+    Slot slot, const CacheKey& key, const std::function<Entry()>& fn) {
+  const size_t s = static_cast<size_t>(slot);
+  auto& map = maps_[s];
+  std::shared_ptr<Pending> to_wait;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = map.find(key);
+    if (it == map.end()) {
+      // First toucher: claim the key and compute outside the lock.
+      auto pending = std::make_shared<Pending>();
+      map.emplace(key, MapEntry{nullptr, pending});
+      lock.unlock();
+      misses_[s].fetch_add(1, std::memory_order_relaxed);
+      Entry entry = fn();
+      lock.lock();
+      auto claimed = map.find(key);
+      const bool keep =
+          bytes_used_.load(std::memory_order_relaxed) + entry.bytes <=
+          byte_budget_;
+      if (claimed != map.end()) {
+        if (keep) {
+          claimed->second.value = entry.value;
+          bytes_used_.fetch_add(entry.bytes, std::memory_order_relaxed);
+        } else {
+          // Over budget: drop the claim so later callers recompute instead
+          // of waiting on a value that never arrives.
+          map.erase(claimed);
+        }
+      }
+      pending->done = true;
+      cv_.notify_all();
+      return entry.value;
+    }
+    if (it->second.value != nullptr) {
+      hits_[s].fetch_add(1, std::memory_order_relaxed);
+      return it->second.value;
+    }
+    to_wait = it->second.pending;
+  }
+  // A peer is computing this key; wait for it to publish. Counted as a hit:
+  // the work was shared even though we blocked.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return to_wait->done; });
+    auto it = map.find(key);
+    if (it != map.end() && it->second.value != nullptr) {
+      hits_[s].fetch_add(1, std::memory_order_relaxed);
+      return it->second.value;
+    }
+  }
+  // The computing thread could not retain the value (budget); recompute.
+  misses_[s].fetch_add(1, std::memory_order_relaxed);
+  return fn().value;
+}
+
+size_t ScoringCache::total_hits() const {
+  size_t total = 0;
+  for (size_t s = 0; s < kNumSlots; ++s)
+    total += hits_[s].load(std::memory_order_relaxed);
+  return total;
+}
+
+size_t ScoringCache::total_misses() const {
+  size_t total = 0;
+  for (size_t s = 0; s < kNumSlots; ++s)
+    total += misses_[s].load(std::memory_order_relaxed);
+  return total;
+}
+
+StageTimer::StageTimer(std::atomic<int64_t>* sink)
+    : sink_(sink), start_ns_(sink != nullptr ? MonotonicNanos() : 0) {}
+
+StageTimer::~StageTimer() {
+  if (sink_ != nullptr) {
+    sink_->fetch_add(MonotonicNanos() - start_ns_, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace explainit::stats

@@ -1,0 +1,166 @@
+// Cross-hypothesis scoring cache and per-stage scorer counters.
+//
+// One RankFamilies call scores hundreds of candidate families against the
+// same target/condition. After §3.4 pseudocause decomposition the families
+// share feature columns heavily — and every conditional score repeats the
+// identical FitCv(Z, Y) regression. The ScoringCache deduplicates that
+// work *by content*: values (standardized designs + Gram blocks, Cholesky
+// factors, whole CV fits) are keyed on a 128-bit hash of the participating
+// feature columns, so any two hypotheses whose matrices agree bytewise
+// reuse one computation, whatever family they came from.
+//
+// Thread-safety: GetOrCompute is compute-once — the first thread to touch
+// a key computes while later arrivals wait on the result and count as
+// hits. All cached values are immutable once published and every producer
+// is deterministic, so rankings stay byte-identical at every parallelism
+// level.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "la/matrix.h"
+
+namespace explainit::stats {
+
+/// 128-bit content key. Built from per-column FNV-1a hashes of the raw
+/// matrix bytes (HashMatrix) and mixed with scalar context (fold index,
+/// lambda bits, option fingerprints) via Mixed().
+struct CacheKey {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  bool operator==(const CacheKey& other) const = default;
+
+  /// Derives a new key by folding a scalar into this one (order sensitive).
+  CacheKey Mixed(uint64_t salt) const;
+};
+
+struct CacheKeyHash {
+  size_t operator()(const CacheKey& k) const {
+    return static_cast<size_t>(k.hi ^ (k.lo * 0x9E3779B97F4A7C15ULL));
+  }
+};
+
+/// One pass over the matrix maintaining a running FNV-1a hash per column,
+/// then mixing the column hashes (order sensitive) with the shape. Two
+/// matrices collide only if every column agrees bytewise in order.
+CacheKey HashMatrix(const la::Matrix& m);
+
+/// Folds a double's bit pattern into a salt value for CacheKey::Mixed.
+uint64_t SaltFromDouble(double v);
+
+/// Wall-time accumulated per scoring stage, in nanoseconds. Shared by every
+/// scorer invocation of one RankFamilies call (atomics: candidates score in
+/// parallel).
+struct StageCounters {
+  std::atomic<int64_t> gram_ns{0};     // design build: stats + standardize + Gram
+  std::atomic<int64_t> factor_ns{0};   // Cholesky factors over the lambda grid
+  std::atomic<int64_t> solve_ns{0};    // triangular solves
+  std::atomic<int64_t> predict_ns{0};  // validation GEMMs + fused R^2
+};
+
+/// Content-addressed, compute-once cache shared across the hypotheses of
+/// one ranking call.
+class ScoringCache {
+ public:
+  enum class Slot {
+    kDesign = 0,  // standardized design + column stats + Gram blocks
+    kFactor = 1,  // Cholesky factors per (design, fold, lambda)
+    kFit = 2,     // whole FitCv results (the repeated conditional Z fits)
+  };
+  static constexpr size_t kNumSlots = 3;
+
+  /// `byte_budget` caps resident cached bytes; once exceeded, further
+  /// values are computed but not retained (never evicts — one ranking
+  /// call is short-lived).
+  explicit ScoringCache(size_t byte_budget = size_t{256} << 20);
+
+  ScoringCache(const ScoringCache&) = delete;
+  ScoringCache& operator=(const ScoringCache&) = delete;
+
+  using ValuePtr = std::shared_ptr<const void>;
+
+  /// The stored value plus its retained-size estimate.
+  struct Entry {
+    ValuePtr value;
+    size_t bytes = 0;
+  };
+
+  /// Returns the cached value for (slot, key), computing it via `fn` on
+  /// first touch. Concurrent callers of the same key block until the
+  /// computing thread publishes (they count as hits). `fn` must be
+  /// deterministic in the key.
+  ValuePtr GetOrCompute(Slot slot, const CacheKey& key,
+                        const std::function<Entry()>& fn);
+
+  /// Typed convenience over GetOrCompute: `fn` returns shared_ptr<T>,
+  /// `bytes` estimates its retained size.
+  template <typename T, typename Fn>
+  std::shared_ptr<const T> Get(Slot slot, const CacheKey& key, size_t bytes,
+                               Fn&& fn) {
+    ValuePtr v = GetOrCompute(slot, key, [&]() -> Entry {
+      return Entry{std::static_pointer_cast<const void>(
+                       std::shared_ptr<const T>(fn())),
+                   bytes};
+    });
+    return std::static_pointer_cast<const T>(std::move(v));
+  }
+
+  size_t hits(Slot slot) const {
+    return hits_[static_cast<size_t>(slot)].load(std::memory_order_relaxed);
+  }
+  size_t misses(Slot slot) const {
+    return misses_[static_cast<size_t>(slot)].load(std::memory_order_relaxed);
+  }
+  size_t total_hits() const;
+  size_t total_misses() const;
+  size_t bytes_used() const {
+    return bytes_used_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Pending;
+
+  struct MapEntry {
+    ValuePtr value;                     // set once ready
+    std::shared_ptr<Pending> pending;   // set while computing
+  };
+
+  const size_t byte_budget_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<CacheKey, MapEntry, CacheKeyHash> maps_[kNumSlots];
+  std::atomic<size_t> bytes_used_{0};
+  std::atomic<size_t> hits_[kNumSlots];
+  std::atomic<size_t> misses_[kNumSlots];
+};
+
+/// Per-fit plumbing handed down from the ranking layer into
+/// RidgeRegression::FitCv. Null members disable the corresponding feature
+/// (standalone FitCv calls pass no context at all).
+struct FitContext {
+  ScoringCache* cache = nullptr;
+  StageCounters* counters = nullptr;
+};
+
+/// Scope timer adding elapsed nanoseconds to `sink` (no-op when null).
+class StageTimer {
+ public:
+  explicit StageTimer(std::atomic<int64_t>* sink);
+  ~StageTimer();
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+ private:
+  std::atomic<int64_t>* sink_;
+  int64_t start_ns_;
+};
+
+}  // namespace explainit::stats

@@ -104,6 +104,60 @@ TEST(RankingTest, TiesBreakByFamilyNameAtEveryParallelism) {
   for (const auto& order : orders) EXPECT_EQ(order, expected);
 }
 
+TEST(RankingTest, ScoringCacheDoesNotChangeRankings) {
+  // The cross-hypothesis cache is a pure reuse optimisation: scores and
+  // order must be identical with it on or off, at every parallelism.
+  World w = MakeWorld(300, 6, 11);
+  // Condition on "cause" so the conditional path (with its shared Y~Z
+  // fit) is exercised; rank the remaining families.
+  FeatureFamily condition = w.candidates[0];
+  std::vector<FeatureFamily> candidates(w.candidates.begin() + 1,
+                                        w.candidates.end());
+  RidgeScorer scorer;
+  std::vector<std::pair<std::string, double>> reference;
+  for (bool cache_on : {false, true}) {
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      RankingOptions options;
+      options.share_scoring_cache = cache_on;
+      options.num_threads = threads;
+      auto table =
+          RankFamilies(scorer, w.target, &condition, candidates, options);
+      ASSERT_TRUE(table.ok());
+      std::vector<std::pair<std::string, double>> got;
+      for (const auto& row : table->rows) {
+        got.emplace_back(row.family_name, row.score);
+      }
+      if (reference.empty()) {
+        reference = got;
+      } else {
+        EXPECT_EQ(got, reference)
+            << "cache=" << cache_on << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(RankingTest, StageStatsAndCacheCountersPopulated) {
+  World w = MakeWorld(300, 6, 12);
+  FeatureFamily condition = w.candidates[0];
+  std::vector<FeatureFamily> candidates(w.candidates.begin() + 1,
+                                        w.candidates.end());
+  RidgeScorer scorer;
+  RankingOptions options;  // share_scoring_cache defaults on
+  auto table = RankFamilies(scorer, w.target, &condition, candidates, options);
+  ASSERT_TRUE(table.ok());
+  // Real regression work happened, so the stage clocks ran...
+  EXPECT_GT(table->stage.gram_ns, 0);
+  EXPECT_GT(table->stage.factor_ns, 0);
+  EXPECT_GT(table->stage.solve_ns, 0);
+  EXPECT_GT(table->stage.predict_ns, 0);
+  // ...and the candidates shared the condition's design and Y~Z fit: the
+  // first hypothesis misses, the remaining ones hit.
+  EXPECT_GT(table->stage.fit_hits, 0u);
+  EXPECT_GT(table->stage.design_hits, 0u);
+  EXPECT_GT(table->stage.total_misses(), 0u);
+}
+
 TEST(RankingTest, TopKCutoffApplied) {
   World w = MakeWorld(200, 30, 2);
   CorrMaxScorer scorer;

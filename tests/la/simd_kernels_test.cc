@@ -1,0 +1,249 @@
+// Differential tests of the runtime-dispatched SIMD kernels: every AVX2
+// kernel must agree with the always-compiled scalar path to rounding
+// tolerance across a sweep of shapes, including non-multiples of the 4x8
+// micro-tile, single-row/column edges and all transpose combinations.
+// Skipped (except for the dispatch-surface checks) on hosts without AVX2.
+#include "la/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "la/blas.h"
+#include "la/matrix.h"
+
+namespace explainit::la::simd {
+namespace {
+
+// FMA contracts rounding differently than separate mul+add, so results
+// between the tables agree only to relative tolerance, never bitwise.
+constexpr double kRelTol = 1e-10;
+
+bool HaveAvx2() { return Avx2Table() != nullptr; }
+
+std::vector<double> RandomVec(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  rng.FillNormal(v.data(), n);
+  return v;
+}
+
+void ExpectNearRel(const double* a, const double* b, size_t n,
+                   const std::string& what) {
+  for (size_t i = 0; i < n; ++i) {
+    const double denom = std::max({std::fabs(a[i]), std::fabs(b[i]), 1.0});
+    ASSERT_LT(std::fabs(a[i] - b[i]) / denom, kRelTol)
+        << what << " diverges at index " << i << ": " << a[i] << " vs "
+        << b[i];
+  }
+}
+
+struct IsaGuard {
+  Isa saved;
+  IsaGuard() : saved(ActiveIsa()) {}
+  ~IsaGuard() { ForceIsa(saved); }
+};
+
+// --- Gemm across shapes and transpose combinations ------------------------
+
+void RunGemmCase(size_t m, size_t n, size_t k, bool at, bool bt,
+                 bool upper_only) {
+  // Operand buffers sized for the effective (trans-aware) shapes.
+  const std::vector<double> abuf =
+      RandomVec((at ? k * m : m * k) + 3, 1000 + m * 31 + n * 7 + k);
+  const std::vector<double> bbuf =
+      RandomVec((bt ? n * k : k * n) + 3, 2000 + m + n * 13 + k * 5);
+  GemmOperand a{abuf.data(), at ? m : k, at};
+  GemmOperand b{bbuf.data(), bt ? k : n, bt};
+
+  std::vector<double> c_scalar(m * n, 0.0), c_simd(m * n, 0.0);
+  ScalarTable().gemm(m, n, k, a, b, c_scalar.data(), n, upper_only);
+  Avx2Table()->gemm(m, n, k, a, b, c_simd.data(), n, upper_only);
+
+  const std::string what = "gemm m=" + std::to_string(m) +
+                           " n=" + std::to_string(n) +
+                           " k=" + std::to_string(k) + (at ? " At" : "") +
+                           (bt ? " Bt" : "") + (upper_only ? " upper" : "");
+  if (!upper_only) {
+    ExpectNearRel(c_scalar.data(), c_simd.data(), m * n, what);
+    return;
+  }
+  // upper_only leaves the strict lower triangle unspecified; compare only
+  // j >= i.
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = i < n ? i : n; j < n; ++j) {
+      const double s = c_scalar[i * n + j], v = c_simd[i * n + j];
+      const double denom = std::max({std::fabs(s), std::fabs(v), 1.0});
+      ASSERT_LT(std::fabs(s - v) / denom, kRelTol)
+          << what << " diverges at (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(SimdKernelsTest, GemmShapeSweep) {
+  if (!HaveAvx2()) GTEST_SKIP() << "AVX2 unavailable on this host";
+  // Shapes straddle the 4x8 micro-tile and the 96/256/512 cache blocks:
+  // exact multiples, off-by-one edges, single rows/cols, tall and wide.
+  const size_t dims[] = {1, 2, 3, 4, 5, 7, 8, 9, 16, 31, 96, 97, 130};
+  for (size_t m : dims) {
+    for (size_t n : dims) {
+      const size_t k = (m * 7 + n) % 61 + 1;
+      RunGemmCase(m, n, k, false, false, false);
+    }
+  }
+}
+
+TEST(SimdKernelsTest, GemmTransposeCombinations) {
+  if (!HaveAvx2()) GTEST_SKIP() << "AVX2 unavailable on this host";
+  const size_t shapes[][3] = {{5, 9, 13}, {33, 17, 41}, {64, 64, 64},
+                              {1, 100, 7}, {100, 1, 7}, {97, 103, 129}};
+  for (const auto& s : shapes) {
+    for (bool at : {false, true}) {
+      for (bool bt : {false, true}) {
+        RunGemmCase(s[0], s[1], s[2], at, bt, false);
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, GemmUpperOnly) {
+  if (!HaveAvx2()) GTEST_SKIP() << "AVX2 unavailable on this host";
+  for (size_t n : {1u, 4u, 7u, 8u, 9u, 32u, 65u, 100u}) {
+    RunGemmCase(n, n, 19, /*at=*/true, /*bt=*/false, /*upper_only=*/true);
+  }
+}
+
+TEST(SimdKernelsTest, GemmAccumulatesIntoC) {
+  if (!HaveAvx2()) GTEST_SKIP() << "AVX2 unavailable on this host";
+  // The contract is C +=: a pre-filled C must keep its contents added in.
+  const size_t m = 13, n = 21, k = 17;
+  const std::vector<double> abuf = RandomVec(m * k, 31);
+  const std::vector<double> bbuf = RandomVec(k * n, 32);
+  GemmOperand a{abuf.data(), k, false};
+  GemmOperand b{bbuf.data(), n, false};
+  std::vector<double> c_scalar = RandomVec(m * n, 33);
+  std::vector<double> c_simd = c_scalar;
+  ScalarTable().gemm(m, n, k, a, b, c_scalar.data(), n, false);
+  Avx2Table()->gemm(m, n, k, a, b, c_simd.data(), n, false);
+  ExpectNearRel(c_scalar.data(), c_simd.data(), m * n, "gemm accumulate");
+}
+
+// --- Vector kernels -------------------------------------------------------
+
+TEST(SimdKernelsTest, VectorKernelSweep) {
+  if (!HaveAvx2()) GTEST_SKIP() << "AVX2 unavailable on this host";
+  const KernelTable& sc = ScalarTable();
+  const KernelTable& vx = *Avx2Table();
+  for (size_t n : {0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 15u, 16u, 17u, 63u, 64u,
+                   100u, 1023u}) {
+    const std::vector<double> x = RandomVec(n, 40 + n);
+    const std::vector<double> y = RandomVec(n, 41 + n);
+    const std::vector<double> mean = RandomVec(n, 42 + n);
+
+    if (n > 0) {
+      const double ds = sc.dot(x.data(), y.data(), n);
+      const double dv = vx.dot(x.data(), y.data(), n);
+      const double denom = std::max({std::fabs(ds), std::fabs(dv), 1.0});
+      EXPECT_LT(std::fabs(ds - dv) / denom, kRelTol) << "dot n=" << n;
+    }
+
+    std::vector<double> as = y, av = y;
+    sc.axpy(1.7, x.data(), as.data(), n);
+    vx.axpy(1.7, x.data(), av.data(), n);
+    ExpectNearRel(as.data(), av.data(), n, "axpy n=" + std::to_string(n));
+
+    std::vector<double> ss = x, sv = x;
+    sc.scale(ss.data(), -0.3, n);
+    vx.scale(sv.data(), -0.3, n);
+    ExpectNearRel(ss.data(), sv.data(), n, "scale n=" + std::to_string(n));
+
+    std::vector<double> accs = y, accv = y;
+    sc.add(x.data(), accs.data(), n);
+    vx.add(x.data(), accv.data(), n);
+    ExpectNearRel(accs.data(), accv.data(), n, "add n=" + std::to_string(n));
+
+    std::vector<double> qs = y, qv = y;
+    sc.sq_diff_accum(x.data(), mean.data(), qs.data(), n);
+    vx.sq_diff_accum(x.data(), mean.data(), qv.data(), n);
+    ExpectNearRel(qs.data(), qv.data(), n,
+                  "sq_diff_accum n=" + std::to_string(n));
+
+    std::vector<double> outs(n), outv(n);
+    sc.sub_scale(x.data(), mean.data(), y.data(), outs.data(), n);
+    vx.sub_scale(x.data(), mean.data(), y.data(), outv.data(), n);
+    ExpectNearRel(outs.data(), outv.data(), n,
+                  "sub_scale n=" + std::to_string(n));
+  }
+}
+
+// --- Determinism ----------------------------------------------------------
+
+TEST(SimdKernelsTest, SameTableIsBitIdentical) {
+  // Repeated runs under one table must match bit-for-bit: rankings depend
+  // on it being safe to compare scores across threads.
+  const Matrix a = [&] {
+    Rng rng(77);
+    Matrix m(37, 53);
+    rng.FillNormal(m.data(), m.size());
+    return m;
+  }();
+  IsaGuard guard;
+  for (Isa isa : {Isa::kScalar, Isa::kAvx2}) {
+    if (isa == Isa::kAvx2 && !HaveAvx2()) continue;
+    ASSERT_TRUE(ForceIsa(isa));
+    const Matrix first = Gram(a);
+    const Matrix second = Gram(a);
+    ASSERT_EQ(first.size(), second.size());
+    EXPECT_EQ(0, std::memcmp(first.data(), second.data(),
+                             first.size() * sizeof(double)))
+        << "table " << IsaName(isa) << " not deterministic";
+  }
+}
+
+// --- Dispatch surface (runs on every host) --------------------------------
+
+TEST(SimdKernelsTest, ForceIsaSwitchesActiveTable) {
+  IsaGuard guard;
+  ASSERT_TRUE(ForceIsa(Isa::kScalar));
+  EXPECT_EQ(ActiveIsa(), Isa::kScalar);
+  EXPECT_EQ(Active().isa, Isa::kScalar);
+  if (HaveAvx2()) {
+    ASSERT_TRUE(ForceIsa(Isa::kAvx2));
+    EXPECT_EQ(ActiveIsa(), Isa::kAvx2);
+    EXPECT_EQ(Active().isa, Isa::kAvx2);
+  } else {
+    EXPECT_FALSE(ForceIsa(Isa::kAvx2));
+    EXPECT_EQ(ActiveIsa(), Isa::kScalar);  // rejected request changes nothing
+  }
+}
+
+TEST(SimdKernelsTest, ParseIsaOverride) {
+  bool recognized = false;
+  EXPECT_EQ(ParseIsaOverride("scalar", &recognized), Isa::kScalar);
+  EXPECT_TRUE(recognized);
+  const Isa best = HaveAvx2() ? Isa::kAvx2 : Isa::kScalar;
+  EXPECT_EQ(ParseIsaOverride("auto", &recognized), best);
+  EXPECT_TRUE(recognized);
+  // "avx2" on an incapable host falls back to the best available choice
+  // but still counts as recognised (the user named a real mode).
+  EXPECT_EQ(ParseIsaOverride("avx2", &recognized), best);
+  EXPECT_TRUE(recognized);
+  EXPECT_EQ(ParseIsaOverride("bogus", &recognized), best);
+  EXPECT_FALSE(recognized);
+}
+
+TEST(SimdKernelsTest, TablesMatchTheirIsa) {
+  EXPECT_EQ(ScalarTable().isa, Isa::kScalar);
+  if (HaveAvx2()) {
+    EXPECT_EQ(Avx2Table()->isa, Isa::kAvx2);
+    EXPECT_TRUE(CpuSupportsAvx2());
+  }
+  EXPECT_EQ(&Table(Isa::kScalar), &ScalarTable());
+}
+
+}  // namespace
+}  // namespace explainit::la::simd

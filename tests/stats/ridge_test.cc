@@ -157,6 +157,75 @@ TEST(RidgeTest, RejectsEmptyFeatures) {
   EXPECT_FALSE(ridge.FitCv(x, y).ok());
 }
 
+TEST(RidgeTest, CachedFitMatchesUncachedBitwise) {
+  // The ScoringCache only changes *where* designs and factors come from,
+  // never what is computed, so a cached fit must equal a plain one
+  // exactly (same kernel table, same operation order).
+  LinearProblem prob = MakeLinear(90, 7, 0.5, 21);
+  RidgeRegression ridge;
+  auto plain = ridge.FitCv(prob.x, prob.y);
+  ASSERT_TRUE(plain.ok());
+
+  ScoringCache cache;
+  StageCounters counters;
+  FitContext ctx{&cache, &counters};
+  auto first = ridge.FitCv(prob.x, prob.y, &ctx);
+  ASSERT_TRUE(first.ok());
+  auto second = ridge.FitCv(prob.x, prob.y, &ctx);
+  ASSERT_TRUE(second.ok());
+
+  EXPECT_EQ(plain->cv_r2, first->cv_r2);
+  EXPECT_EQ(plain->best_lambda, first->best_lambda);
+  EXPECT_TRUE(plain->coefficients == first->coefficients);
+  EXPECT_TRUE(plain->residuals == first->residuals);
+  EXPECT_TRUE(first->coefficients == second->coefficients);
+  EXPECT_TRUE(first->residuals == second->residuals);
+
+  // The second fit of the same (X, Y) serves its design and every factor
+  // from the cache.
+  EXPECT_GT(cache.hits(ScoringCache::Slot::kDesign), 0u);
+  EXPECT_GT(cache.hits(ScoringCache::Slot::kFactor), 0u);
+  // Stage timers accumulated (the fits above did real work).
+  EXPECT_GT(counters.gram_ns.load() + counters.factor_ns.load() +
+                counters.solve_ns.load() + counters.predict_ns.load(),
+            0);
+}
+
+TEST(RidgeTest, CacheSharesDesignAcrossTargets) {
+  // Two fits against different Y but the same X share the standardized
+  // design (the Gram/fold plans depend only on X).
+  LinearProblem a = MakeLinear(80, 5, 0.5, 22);
+  LinearProblem b = MakeLinear(80, 5, 0.5, 23);
+  RidgeRegression ridge;
+  ScoringCache cache;
+  FitContext ctx{&cache, nullptr};
+  ASSERT_TRUE(ridge.FitCv(a.x, a.y, &ctx).ok());
+  const size_t misses_after_first = cache.misses(ScoringCache::Slot::kDesign);
+  ASSERT_TRUE(ridge.FitCv(a.x, b.y, &ctx).ok());
+  EXPECT_GT(cache.hits(ScoringCache::Slot::kDesign), 0u);
+  // Only the new Y needs a design; the X design is served from cache.
+  EXPECT_EQ(cache.misses(ScoringCache::Slot::kDesign),
+            misses_after_first + 1);
+}
+
+TEST(RidgeTest, ZeroBudgetCacheStillCorrect) {
+  // With a zero byte budget every entry is dropped after computation; the
+  // fits must still come out identical (recompute path).
+  LinearProblem prob = MakeLinear(60, 4, 0.5, 24);
+  RidgeRegression ridge;
+  auto plain = ridge.FitCv(prob.x, prob.y);
+  ASSERT_TRUE(plain.ok());
+  ScoringCache cache(/*byte_budget=*/0);
+  FitContext ctx{&cache, nullptr};
+  auto cached = ridge.FitCv(prob.x, prob.y, &ctx);
+  ASSERT_TRUE(cached.ok());
+  EXPECT_TRUE(plain->coefficients == cached->coefficients);
+  auto again = ridge.FitCv(prob.x, prob.y, &ctx);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(plain->coefficients == again->coefficients);
+  EXPECT_EQ(cache.bytes_used(), 0u);
+}
+
 TEST(RSquaredTest, PerfectPredictionIsOne) {
   la::Matrix y(5, 1, {1, 2, 3, 4, 5});
   EXPECT_DOUBLE_EQ(RSquared(y, y), 1.0);
