@@ -56,6 +56,37 @@ if [[ "${STAGE}" == "release" || "${STAGE}" == "all" ]]; then
     "${ROOT}/build/BENCH_kernels.smoke.json"
   echo "=== example smoke: explain_sql ==="
   "${ROOT}/build/examples/explain_sql" >/dev/null
+
+  # Concurrent server: start the daemon on an ephemeral port, drive it
+  # with concurrent client sessions over real TCP, then run the server
+  # bench's smoke sweep (1/8 sessions, every reply parity-gated against
+  # Engine::Query, zero-new-pools gate).
+  echo "=== server smoke: explainit_serverd + concurrent clients ==="
+  SERVERD_LOG="${ROOT}/build/serverd.smoke.log"
+  "${ROOT}/build/src/server/explainit_serverd" --port=0 --minutes=120 \
+    > "${SERVERD_LOG}" &
+  SERVERD_PID=$!
+  trap 'kill "${SERVERD_PID}" 2>/dev/null || true' EXIT
+  SERVERD_PORT=""
+  for _ in $(seq 1 100); do
+    SERVERD_PORT="$(sed -n 's/^listening on .*:\([0-9][0-9]*\)$/\1/p' \
+      "${SERVERD_LOG}" 2>/dev/null || true)"
+    [[ -n "${SERVERD_PORT}" ]] && break
+    sleep 0.1
+  done
+  if [[ -z "${SERVERD_PORT}" ]]; then
+    echo "explainit_serverd did not come up:" >&2
+    cat "${SERVERD_LOG}" >&2
+    exit 1
+  fi
+  "${ROOT}/build/src/server/explainit_server_smoke" \
+    --port="${SERVERD_PORT}" --sessions=8
+  kill "${SERVERD_PID}"
+  wait "${SERVERD_PID}" 2>/dev/null || true
+  trap - EXIT
+
+  echo "=== bench smoke: server ==="
+  "${ROOT}/build/bench/server" --smoke "${ROOT}/build/BENCH_server.smoke.json"
 fi
 
 if [[ "${STAGE}" == "asan" || "${STAGE}" == "all" ]]; then
@@ -77,7 +108,7 @@ if [[ "${STAGE}" == "tsan" || "${STAGE}" == "all" ]]; then
   cmake --build "${ROOT}/build-tsan" -j "${JOBS}"
   echo "=== ctest (tsan): operator, differential and thread-pool suites ==="
   ctest --test-dir "${ROOT}/build-tsan" --output-on-failure -j "${JOBS}" \
-    -R 'operators_test|differential_test|executor_test|planner_test|fuzz_roundtrip_test|thread_pool_test|concurrency_test|tiered_store_test|ranking_test|ridge_test'
+    -R 'operators_test|differential_test|executor_test|planner_test|fuzz_roundtrip_test|thread_pool_test|worker_pool_test|server_test|concurrency_test|tiered_store_test|ranking_test|ridge_test'
 fi
 
 echo "=== checks passed (${STAGE}) ==="

@@ -22,6 +22,9 @@ enum class StatusCode : int {
   kInternal = 7,
   kIOError = 8,
   kParseError = 9,
+  kCancelled = 10,
+  kDeadlineExceeded = 11,
+  kUnavailable = 12,
 };
 
 /// Returns a short human-readable name for a status code ("InvalidArgument").
@@ -64,6 +67,26 @@ class Status {
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  /// Rebuilds a status from a transported (code, message) pair — the
+  /// server protocol ships errors by code. Unknown codes map to kInternal
+  /// so a corrupt code can never impersonate OK.
+  static Status FromCode(int code, std::string msg) {
+    if (code == static_cast<int>(StatusCode::kOk)) return OK();
+    if (code < static_cast<int>(StatusCode::kInvalidArgument) ||
+        code > static_cast<int>(StatusCode::kUnavailable)) {
+      return Internal(std::move(msg));
+    }
+    return Status(static_cast<StatusCode>(code), std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -74,6 +97,11 @@ class Status {
   }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

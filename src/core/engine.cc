@@ -141,7 +141,8 @@ Engine::Engine(std::shared_ptr<tsdb::SeriesStore> store, EngineOptions options)
     : store_(std::move(store)),
       options_(options),
       functions_(sql::FunctionRegistry::Builtins()),
-      executor_(&catalog_, &functions_, options.sql_parallelism) {}
+      executor_(&catalog_, &functions_, options.sql_parallelism,
+                options.worker_pool) {}
 
 void Engine::RegisterStoreTable(const std::string& table_name,
                                 const TimeRange& range) {
@@ -157,21 +158,26 @@ void Engine::RegisterStoreTable(const std::string& table_name,
 }
 
 Result<QueryResult> Engine::Query(std::string_view statement) {
+  return QueryWith(executor_, statement);
+}
+
+Result<QueryResult> Engine::QueryWith(sql::Executor& executor,
+                                      std::string_view statement) {
   EXPLAINIT_ASSIGN_OR_RETURN(auto stmt, sql::ParseStatement(statement));
   QueryResult out;
   out.kind = stmt->kind();
   if (out.kind == sql::StatementKind::kSelect) {
     EXPLAINIT_ASSIGN_OR_RETURN(
         out.table,
-        executor_.Execute(static_cast<const sql::SelectStatement&>(*stmt)));
+        executor.Execute(static_cast<const sql::SelectStatement&>(*stmt)));
   } else {
     const auto& explain = static_cast<const sql::ExplainStatement&>(*stmt);
     EXPLAINIT_ASSIGN_OR_RETURN(auto root,
-                               PlanExplain(explain, this, &executor_));
-    EXPLAINIT_ASSIGN_OR_RETURN(out.table, executor_.ExecuteTree(root.get()));
+                               PlanExplain(explain, this, &executor));
+    EXPLAINIT_ASSIGN_OR_RETURN(out.table, executor.ExecuteTree(root.get()));
     out.score_table = root->score_table();
   }
-  out.stats = executor_.last_stats();
+  out.stats = executor.last_stats();
   return out;
 }
 

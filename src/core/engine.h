@@ -30,6 +30,10 @@ struct EngineOptions {
   /// 0 = hardware concurrency.
   size_t sql_parallelism = 0;
   int64_t grid_step_seconds = kSecondsPerMinute;
+  /// Shared worker pool the engine's executor (and ranking fan-out)
+  /// borrows; null = exec::WorkerPool::Global(). Injection point for
+  /// tests — production engines all share the process-wide pool.
+  exec::WorkerPool* worker_pool = nullptr;
 };
 
 /// One ranking request (Algorithm 1, one iteration).
@@ -113,6 +117,15 @@ class Engine {
   /// Rank-rooted operator tree (core/explain.h) — one statement API from
   /// the parser down to the ranking engine.
   Result<QueryResult> Query(std::string_view statement);
+
+  /// As Query(), but runs through a caller-supplied executor instead of
+  /// the engine's own. The server gives each session a private executor
+  /// (stats and cancellation are per-session state) while every session
+  /// shares this engine's catalog, functions, store and worker pool; the
+  /// executor must have been constructed over this engine's catalog()
+  /// and functions(). Safe to call from concurrent sessions.
+  Result<QueryResult> QueryWith(sql::Executor& executor,
+                                std::string_view statement);
 
   /// DEPRECATED: thin shim over Query() that drops everything but the
   /// result table. Prefer Query(), which also reports the statement kind,

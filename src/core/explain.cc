@@ -79,13 +79,16 @@ Status RankOperator::OpenImpl() {
   req.ranking.top_k = params_.top_k;
   req.ranking.render_viz = true;
   req.ranking.explain_range = params_.explain_range;
-  // The hypothesis fan-out rides the executor's pool; a serial pipeline
-  // scores inline, so `parallelism` governs the Rank stage too.
+  // The hypothesis fan-out rides the executor's (shared) pool; a serial
+  // pipeline scores inline, so `parallelism` governs the Rank stage too.
+  // The query's cancellation token gates each hypothesis.
   if (ctx_ != nullptr && ctx_->parallel()) {
     req.ranking.pool = ctx_->pool;
+    req.ranking.num_threads = ctx_->parallelism;
   } else {
     req.ranking.num_threads = 1;
   }
+  if (ctx_ != nullptr) req.ranking.cancel = ctx_->cancel;
   const size_t num_candidates = req.candidates.size();
   EXPLAINIT_ASSIGN_OR_RETURN(score_table_,
                              AlignAndRank(engine_, std::move(req)));

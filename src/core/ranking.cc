@@ -146,6 +146,9 @@ Result<ScoreTable> RankFamilies(const Scorer& scorer,
   std::vector<char> ok(candidates.size(), 0);
   std::mutex log_mutex;
   auto score_one = [&](size_t i) {
+    // Cooperative cancellation: a tripped token skips the remaining
+    // hypotheses; the post-fan-out check turns it into an error.
+    if (options.cancel != nullptr && !options.cancel->Check().ok()) return;
     const FeatureFamily& cand = candidates[i];
     ScoredHypothesis& row = scored[i];
     row.family_name = cand.name;
@@ -185,13 +188,20 @@ Result<ScoreTable> RankFamilies(const Scorer& scorer,
     }
     ok[i] = 1;
   };
-  if (options.pool != nullptr) {
-    exec::ParallelFor(*options.pool, candidates.size(), score_one);
-  } else if (options.num_threads == 1) {
+  if (options.num_threads == 1 && options.pool == nullptr) {
     for (size_t i = 0; i < candidates.size(); ++i) score_one(i);
   } else {
-    exec::ThreadPool pool(options.num_threads);
-    exec::ParallelFor(pool, candidates.size(), score_one);
+    // Hypothesis fan-out over the shared pool (the caller's, or the
+    // process-wide one) — never a private pool per call. num_threads
+    // caps the fan-out; the calling thread participates.
+    exec::WorkerPool& pool = options.pool != nullptr
+                                 ? *options.pool
+                                 : exec::WorkerPool::Global();
+    exec::ParallelFor(pool, candidates.size(), score_one,
+                      options.num_threads);
+  }
+  if (options.cancel != nullptr) {
+    EXPLAINIT_RETURN_IF_ERROR(options.cancel->Check());
   }
 
   ScoreTable out;

@@ -11,7 +11,8 @@
 #include "common/result.h"
 #include "core/feature_family.h"
 #include "core/scorer.h"
-#include "exec/thread_pool.h"
+#include "exec/cancel.h"
+#include "exec/worker_pool.h"
 #include "table/table.h"
 
 namespace explainit::core {
@@ -82,13 +83,17 @@ struct ScoreTable {
 struct RankingOptions {
   /// Top-K cutoff (paper default 20). 0 keeps everything.
   size_t top_k = 20;
-  /// Hypothesis fan-out. 0 = hardware concurrency; 1 scores inline on the
-  /// calling thread (no pool). Ignored when `pool` is set.
+  /// Hypothesis fan-out cap. 0 = the pool's full width; 1 scores inline
+  /// on the calling thread (no pool).
   size_t num_threads = 0;
-  /// External worker pool (e.g. the SQL executor's morsel pool) to fan
-  /// hypotheses out over instead of creating a private one. Never call
-  /// RankFamilies with this pool from inside one of its own tasks.
-  exec::ThreadPool* pool = nullptr;
+  /// Shared worker pool to fan hypotheses out over (borrowed); null =
+  /// exec::WorkerPool::Global(). RankFamilies never constructs a pool of
+  /// its own, and the calling thread participates in the fan-out, so
+  /// calling from inside a pool task is safe.
+  exec::WorkerPool* pool = nullptr;
+  /// Cooperative cancellation/deadline checked before each hypothesis;
+  /// null = none. A tripped token fails the whole call.
+  const exec::CancelToken* cancel = nullptr;
   /// Round-trip matrices through the IPC codec before scoring, charging
   /// the time to serialization_seconds (reproduces §6.2's measurement).
   bool simulate_ipc = false;

@@ -1,0 +1,59 @@
+// Cooperative cancellation + per-query deadlines.
+//
+// A CancelToken is owned by whoever controls the query's lifetime (a
+// server session, a test) and threaded through sql::ExecContext /
+// core::RankingOptions by pointer. Execution checks it at batch
+// boundaries (Operator::Next, the executor's drain loop) and per
+// hypothesis in the ranking fan-out; a tripped token surfaces as a
+// Cancelled / DeadlineExceeded Status through the normal error path, so
+// a remote query can be abandoned without tearing down the pipeline.
+//
+// Thread safety: Cancel()/Check() may race freely; SetDeadline* should
+// happen-before the query starts (the server sets it before executing).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace explainit::exec {
+
+class CancelToken {
+ public:
+  /// Trips the token; every subsequent Check() fails with Cancelled.
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  /// Absolute deadline; Check() fails with DeadlineExceeded once passed.
+  void SetDeadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ns_.store(deadline.time_since_epoch().count(),
+                       std::memory_order_release);
+  }
+  /// Relative convenience: now + duration.
+  void SetDeadlineAfter(std::chrono::nanoseconds duration) {
+    SetDeadline(std::chrono::steady_clock::now() + duration);
+  }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// OK while the query may keep running.
+  Status Check() const {
+    if (cancelled()) return Status::Cancelled("query cancelled");
+    const int64_t deadline = deadline_ns_.load(std::memory_order_acquire);
+    if (deadline != 0 &&
+        std::chrono::steady_clock::now().time_since_epoch().count() >=
+            deadline) {
+      return Status::DeadlineExceeded("query deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<int64_t> deadline_ns_{0};  // steady_clock ns; 0 = none
+};
+
+}  // namespace explainit::exec

@@ -8,6 +8,20 @@ namespace explainit::exec {
 
 namespace {
 constexpr uint32_t kMagic = 0x4D545845;  // "EXTM"
+
+/// out = a * b, or false on uint64 wraparound. Header dimensions are
+/// untrusted bytes once frames arrive over a socket: a wrapped product
+/// can make the expected size match a short buffer and turn the payload
+/// memcpy into a heap overflow.
+bool CheckedMul(uint64_t a, uint64_t b, uint64_t* out) {
+#if defined(__GNUC__) || defined(__clang__)
+  return !__builtin_mul_overflow(a, b, out);
+#else
+  if (b != 0 && a > UINT64_MAX / b) return false;
+  *out = a * b;
+  return true;
+#endif
+}
 }
 
 std::vector<uint8_t> EncodeMatrix(const la::Matrix& m) {
@@ -41,13 +55,30 @@ Result<la::Matrix> DecodeMatrix(const std::vector<uint8_t>& buffer) {
   p += sizeof(rows);
   std::memcpy(&cols, p, sizeof(cols));
   p += sizeof(cols);
-  const size_t expected = sizeof(uint32_t) + 2 * sizeof(uint64_t) +
-                          static_cast<size_t>(rows * cols) * sizeof(double);
+  // Validate untrusted dimensions before any arithmetic that could wrap:
+  // rows * cols and the * sizeof(double) below both overflow uint64 for
+  // hostile headers, making `expected` match a short buffer.
+  if (rows > kMaxMatrixDim || cols > kMaxMatrixDim) {
+    return Status::InvalidArgument(
+        "matrix dimensions exceed the decode cap (" +
+        std::to_string(kMaxMatrixDim) + "): rows=" + std::to_string(rows) +
+        " cols=" + std::to_string(cols));
+  }
+  uint64_t elements = 0, payload = 0;
+  if (!CheckedMul(rows, cols, &elements) || elements > kMaxMatrixElements ||
+      !CheckedMul(elements, sizeof(double), &payload)) {
+    return Status::InvalidArgument(
+        "matrix element count exceeds the decode cap (" +
+        std::to_string(kMaxMatrixElements) + "): rows=" +
+        std::to_string(rows) + " cols=" + std::to_string(cols));
+  }
+  const uint64_t expected =
+      sizeof(uint32_t) + 2 * sizeof(uint64_t) + payload;
   if (buffer.size() != expected) {
     return Status::InvalidArgument("matrix buffer size mismatch");
   }
   la::Matrix m(rows, cols);
-  std::memcpy(m.data(), p, static_cast<size_t>(rows * cols) * sizeof(double));
+  std::memcpy(m.data(), p, static_cast<size_t>(payload));
   return m;
 }
 

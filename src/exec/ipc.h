@@ -13,10 +13,20 @@
 
 namespace explainit::exec {
 
+/// Decode-side sanity caps. The header's rows/cols are untrusted once
+/// buffers arrive over a socket; dimensions or element counts beyond
+/// these are rejected as InvalidArgument before any size arithmetic
+/// (which would otherwise wrap uint64) or allocation.
+constexpr uint64_t kMaxMatrixDim = uint64_t{1} << 24;        // 16M rows/cols
+constexpr uint64_t kMaxMatrixElements = uint64_t{1} << 27;   // 1 GiB of f64
+
 /// Serialises a matrix into a length-prefixed little-endian buffer.
 std::vector<uint8_t> EncodeMatrix(const la::Matrix& m);
 
-/// Parses a buffer produced by EncodeMatrix.
+/// Parses a buffer produced by EncodeMatrix. Rejects truncated buffers,
+/// bad magic, dimension/element counts past the caps above, and any
+/// size mismatch — with checked multiplication throughout, so hostile
+/// headers cannot wrap the expected size onto a short buffer.
 Result<la::Matrix> DecodeMatrix(const std::vector<uint8_t>& buffer);
 
 /// Round-trips a matrix through the codec, returning the decode result and

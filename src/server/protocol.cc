@@ -1,0 +1,288 @@
+#include "server/protocol.h"
+
+#include <cstring>
+
+namespace explainit::server {
+
+namespace {
+
+Status Truncated(const char* what) {
+  return Status::InvalidArgument(std::string("truncated frame payload: ") +
+                                 what);
+}
+
+bool ValidType(uint8_t t) {
+  return t >= static_cast<uint8_t>(MessageType::kQuery) &&
+         t <= static_cast<uint8_t>(MessageType::kPong);
+}
+
+void EncodeCell(const table::Value& v, ByteWriter* w) {
+  const table::DataType t = v.type();
+  w->U8(static_cast<uint8_t>(t));
+  switch (t) {
+    case table::DataType::kNull:
+      break;
+    case table::DataType::kDouble:
+      w->F64(v.AsDouble());
+      break;
+    case table::DataType::kInt64:
+      w->I64(v.AsInt());
+      break;
+    case table::DataType::kTimestamp:
+      w->I64(v.AsTimestamp());
+      break;
+    case table::DataType::kString:
+      w->Str(*v.TryString());
+      break;
+    case table::DataType::kMap: {
+      const table::ValueMap& m = *v.AsMap();
+      w->U32(static_cast<uint32_t>(m.size()));
+      for (const auto& [key, value] : m) {
+        w->Str(key);
+        EncodeCell(value, w);
+      }
+      break;
+    }
+  }
+}
+
+Result<table::Value> DecodeCell(ByteReader* r, int depth) {
+  uint8_t tag = 0;
+  if (!r->U8(&tag)) return Truncated("cell tag");
+  switch (static_cast<table::DataType>(tag)) {
+    case table::DataType::kNull:
+      return table::Value::Null();
+    case table::DataType::kDouble: {
+      double d = 0;
+      if (!r->F64(&d)) return Truncated("double cell");
+      return table::Value::Double(d);
+    }
+    case table::DataType::kInt64: {
+      int64_t i = 0;
+      if (!r->I64(&i)) return Truncated("int cell");
+      return table::Value::Int(i);
+    }
+    case table::DataType::kTimestamp: {
+      int64_t i = 0;
+      if (!r->I64(&i)) return Truncated("timestamp cell");
+      return table::Value::Timestamp(i);
+    }
+    case table::DataType::kString: {
+      std::string s;
+      if (!r->Str(&s)) return Truncated("string cell");
+      return table::Value::String(std::move(s));
+    }
+    case table::DataType::kMap: {
+      if (depth >= kMaxMapDepth) {
+        return Status::InvalidArgument("cell map nesting exceeds depth cap");
+      }
+      uint32_t n = 0;
+      if (!r->U32(&n)) return Truncated("map entry count");
+      // Each entry costs >= 5 bytes (key length prefix + cell tag); a
+      // hostile count past that cannot be satisfied by the buffer.
+      if (static_cast<uint64_t>(n) * 5 > r->remaining()) {
+        return Status::InvalidArgument(
+            "map entry count exceeds remaining payload");
+      }
+      table::ValueMap m;
+      for (uint32_t i = 0; i < n; ++i) {
+        std::string key;
+        if (!r->Str(&key)) return Truncated("map key");
+        auto value = DecodeCell(r, depth + 1);
+        EXPLAINIT_RETURN_IF_ERROR(value.status());
+        m.emplace(std::move(key), std::move(value).value());
+      }
+      return table::Value::Map(std::move(m));
+    }
+    default:
+      return Status::InvalidArgument("unknown cell type tag " +
+                                     std::to_string(tag));
+  }
+}
+
+}  // namespace
+
+void ByteWriter::AppendLE(const void* p, size_t n) {
+  // Little-endian host assumed (same as exec/ipc.cc's memcpy codec).
+  const uint8_t* b = static_cast<const uint8_t*>(p);
+  buf_.insert(buf_.end(), b, b + n);
+}
+
+void ByteWriter::Str(std::string_view s) {
+  U32(static_cast<uint32_t>(s.size()));
+  const uint8_t* b = reinterpret_cast<const uint8_t*>(s.data());
+  buf_.insert(buf_.end(), b, b + s.size());
+}
+
+bool ByteReader::Copy(void* out, size_t n) {
+  if (size_ - pos_ < n) return false;
+  std::memcpy(out, p_ + pos_, n);
+  pos_ += n;
+  return true;
+}
+
+bool ByteReader::Str(std::string* s) {
+  uint32_t len = 0;
+  if (!U32(&len)) return false;
+  if (remaining() < len) return false;
+  s->assign(reinterpret_cast<const char*>(p_ + pos_), len);
+  pos_ += len;
+  return true;
+}
+
+std::vector<uint8_t> EncodeFrame(MessageType type,
+                                 const std::vector<uint8_t>& payload) {
+  ByteWriter w;
+  w.U32(kFrameMagic);
+  w.U8(static_cast<uint8_t>(type));
+  w.U32(static_cast<uint32_t>(payload.size()));
+  std::vector<uint8_t> out = w.Take();
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+Result<FrameHeader> DecodeFrameHeader(const uint8_t* data, size_t size) {
+  ByteReader r(data, size);
+  uint32_t magic = 0;
+  uint8_t type = 0;
+  FrameHeader h;
+  if (!r.U32(&magic) || !r.U8(&type) || !r.U32(&h.payload_len)) {
+    return Status::InvalidArgument("frame header too short");
+  }
+  if (magic != kFrameMagic) {
+    return Status::InvalidArgument("bad frame magic");
+  }
+  if (!ValidType(type)) {
+    return Status::InvalidArgument("unknown frame type " +
+                                   std::to_string(type));
+  }
+  if (h.payload_len > kMaxFramePayload) {
+    return Status::InvalidArgument(
+        "frame payload exceeds the cap (" + std::to_string(kMaxFramePayload) +
+        " bytes): " + std::to_string(h.payload_len));
+  }
+  h.type = static_cast<MessageType>(type);
+  return h;
+}
+
+void EncodeTable(const table::Table& t, ByteWriter* w) {
+  const table::Schema& schema = t.schema();
+  w->U32(static_cast<uint32_t>(schema.num_fields()));
+  for (const table::Field& f : schema.fields()) {
+    w->Str(f.name);
+    w->U8(static_cast<uint8_t>(f.type));
+  }
+  w->U64(t.num_rows());
+  for (size_t row = 0; row < t.num_rows(); ++row) {
+    for (size_t col = 0; col < t.num_columns(); ++col) {
+      EncodeCell(t.At(row, col), w);
+    }
+  }
+}
+
+Result<table::Table> DecodeTable(ByteReader* r) {
+  uint32_t ncols = 0;
+  if (!r->U32(&ncols)) return Truncated("column count");
+  // A column header costs >= 5 bytes; reject counts the buffer cannot hold
+  // before building the schema.
+  if (static_cast<uint64_t>(ncols) * 5 > r->remaining()) {
+    return Status::InvalidArgument("column count exceeds remaining payload");
+  }
+  table::Schema schema;
+  for (uint32_t c = 0; c < ncols; ++c) {
+    std::string name;
+    uint8_t dtype = 0;
+    if (!r->Str(&name) || !r->U8(&dtype)) return Truncated("column header");
+    if (dtype > static_cast<uint8_t>(table::DataType::kMap)) {
+      return Status::InvalidArgument("unknown column type tag " +
+                                     std::to_string(dtype));
+    }
+    schema.AddField({std::move(name), static_cast<table::DataType>(dtype)});
+  }
+  uint64_t nrows = 0;
+  if (!r->U64(&nrows)) return Truncated("row count");
+  // Each cell costs >= 1 byte, so nrows * ncols must fit in what is left.
+  if (ncols != 0 && nrows > r->remaining() / ncols) {
+    return Status::InvalidArgument("row count exceeds remaining payload");
+  }
+  if (ncols == 0 && nrows != 0) {
+    return Status::InvalidArgument("rows declared for a zero-column table");
+  }
+  table::Table t(std::move(schema));
+  std::vector<table::Value> row(ncols);
+  for (uint64_t i = 0; i < nrows; ++i) {
+    for (uint32_t c = 0; c < ncols; ++c) {
+      auto cell = DecodeCell(r, 0);
+      EXPLAINIT_RETURN_IF_ERROR(cell.status());
+      row[c] = std::move(cell).value();
+    }
+    t.AppendRow(row);
+  }
+  return t;
+}
+
+std::vector<uint8_t> EncodeQuery(const QueryRequest& q) {
+  ByteWriter w;
+  w.U32(q.deadline_ms);
+  w.Str(q.sql);
+  return w.Take();
+}
+
+Result<QueryRequest> DecodeQuery(const uint8_t* payload, size_t size) {
+  ByteReader r(payload, size);
+  QueryRequest q;
+  if (!r.U32(&q.deadline_ms) || !r.Str(&q.sql)) {
+    return Truncated("query request");
+  }
+  if (!r.exhausted()) {
+    return Status::InvalidArgument("trailing bytes after query request");
+  }
+  return q;
+}
+
+std::vector<uint8_t> EncodeResult(const QueryReply& reply) {
+  ByteWriter w;
+  w.U64(reply.latency_us);
+  w.U32(reply.parallelism);
+  w.U64(reply.rows_output);
+  w.U64(reply.rows_scanned);
+  w.U8(reply.statement_kind);
+  EncodeTable(reply.table, &w);
+  return w.Take();
+}
+
+Result<QueryReply> DecodeResult(const uint8_t* payload, size_t size) {
+  ByteReader r(payload, size);
+  QueryReply reply;
+  if (!r.U64(&reply.latency_us) || !r.U32(&reply.parallelism) ||
+      !r.U64(&reply.rows_output) || !r.U64(&reply.rows_scanned) ||
+      !r.U8(&reply.statement_kind)) {
+    return Truncated("result header");
+  }
+  auto t = DecodeTable(&r);
+  EXPLAINIT_RETURN_IF_ERROR(t.status());
+  if (!r.exhausted()) {
+    return Status::InvalidArgument("trailing bytes after result table");
+  }
+  reply.table = std::move(t).value();
+  return reply;
+}
+
+std::vector<uint8_t> EncodeError(const ErrorReply& e) {
+  ByteWriter w;
+  w.I32(e.code);
+  w.Str(e.message);
+  return w.Take();
+}
+
+Result<ErrorReply> DecodeError(const uint8_t* payload, size_t size) {
+  ByteReader r(payload, size);
+  ErrorReply e;
+  if (!r.I32(&e.code) || !r.Str(&e.message)) return Truncated("error reply");
+  if (!r.exhausted()) {
+    return Status::InvalidArgument("trailing bytes after error reply");
+  }
+  return e;
+}
+
+}  // namespace explainit::server

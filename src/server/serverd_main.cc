@@ -1,0 +1,93 @@
+// explainit_serverd: stands up the concurrent SQL/EXPLAIN server over the
+// hypervisor packet-drop case study (the same world the examples use), so
+// a client can run the paper's declarative statements over TCP.
+//
+//   explainit_serverd [--host=127.0.0.1] [--port=0] [--sessions=64]
+//                     [--parallelism=1] [--minutes=480]
+//
+// Prints "listening on HOST:PORT" once ready (port 0 binds an ephemeral
+// port — scripts parse the printed one), then serves until SIGINT/SIGTERM.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/engine.h"
+#include "server/server.h"
+#include "simulator/case_studies.h"
+
+using namespace explainit;
+
+namespace {
+
+/// --name=value (integer) parser; returns fallback when absent.
+long ArgInt(int argc, char** argv, const char* name, long fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atol(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+std::string ArgStr(int argc, char** argv, const char* name,
+                   const std::string& fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Block the shutdown signals before any thread spawns so sigwait below
+  // is the only receiver.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  const long minutes = ArgInt(argc, argv, "minutes", 480);
+  sim::CaseStudyWorld world =
+      sim::MakeHypervisorDropCase(static_cast<size_t>(minutes));
+
+  core::Engine engine(world.store);
+  engine.RegisterStoreTable("tsdb", world.range);
+
+  server::ServerOptions options;
+  options.host = ArgStr(argc, argv, "host", "127.0.0.1");
+  options.port = static_cast<uint16_t>(ArgInt(argc, argv, "port", 0));
+  options.max_sessions =
+      static_cast<size_t>(ArgInt(argc, argv, "sessions", 64));
+  options.sql_parallelism =
+      static_cast<size_t>(ArgInt(argc, argv, "parallelism", 1));
+
+  server::Server server(&engine, options);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "failed to start: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  std::printf("listening on %s:%u\n", options.host.c_str(), server.port());
+  std::fflush(stdout);
+
+  int sig = 0;
+  sigwait(&sigs, &sig);
+  std::printf("signal %d: shutting down\n", sig);
+  server.Stop();
+  const server::ServerStats stats = server.stats();
+  std::printf("served: %llu ok, %llu error, %llu busy over %llu sessions\n",
+              static_cast<unsigned long long>(stats.queries_ok),
+              static_cast<unsigned long long>(stats.queries_error),
+              static_cast<unsigned long long>(stats.queries_busy),
+              static_cast<unsigned long long>(stats.sessions_accepted));
+  return 0;
+}

@@ -17,17 +17,18 @@ void Executor::set_parallelism(size_t parallelism) {
   parallelism_ = parallelism;
   stats_.parallelism = parallelism_;
   last_stats_.parallelism = parallelism_;
-  if (pool_ != nullptr && pool_->num_threads() != parallelism_) {
-    pool_.reset();  // recreated lazily at the right size
-  }
-  ctx_ = ExecContext{parallelism_, pool_.get()};
+  ctx_.parallelism = parallelism_;
+  ctx_.pool = parallelism_ > 1 ? pool_ : nullptr;
 }
 
 void Executor::EnsurePool() {
   if (parallelism_ > 1 && pool_ == nullptr) {
-    pool_ = std::make_unique<exec::ThreadPool>(parallelism_);
-    ctx_ = ExecContext{parallelism_, pool_.get()};
+    // Borrow the process-wide pool: parallel operators shard to
+    // parallelism_ tasks but execute on the shared workers, so N
+    // concurrent executors never oversubscribe the box.
+    pool_ = &exec::WorkerPool::Global();
   }
+  ctx_.pool = parallelism_ > 1 ? pool_ : nullptr;
 }
 
 Result<table::Table> Executor::Query(std::string_view sql) {
@@ -44,6 +45,11 @@ Result<std::unique_ptr<Operator>> Executor::PlanSelect(
 
 Result<table::Table> Executor::ExecuteTree(Operator* root) {
   EnsurePool();
+  // Thread the context through the subtree so every operator checks the
+  // cancellation token at its batch boundaries, then fail fast on a
+  // deadline that already expired before doing any work.
+  root->BindExecContext(&ctx_);
+  EXPLAINIT_RETURN_IF_ERROR(ctx_.CheckCancel());
   EXPLAINIT_RETURN_IF_ERROR(root->Open());
   Table out(root->output_schema());
   bool eof = false;

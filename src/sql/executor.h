@@ -11,9 +11,11 @@
 // Parallelism: set_parallelism(n) switches Filter/Project/HashAggregate
 // to their morsel-parallel paths, HashJoin to its partitioned
 // build/probe, SortLimit to its sharded sort, and the final drain to
-// chunked column assembly — all over an executor-owned worker pool
-// (n == 1 keeps the streaming single-threaded operators; n == 0 means
-// hardware concurrency). Join, sort and materialisation output is
+// chunked column assembly — all over a *borrowed* worker pool, by
+// default the process-wide exec::WorkerPool::Global() shared with every
+// other executor, store scan and ranking fan-out (n == 1 keeps the
+// streaming single-threaded operators; n == 0 means hardware
+// concurrency). Join, sort and materialisation output is
 // byte-identical across levels; aggregation is identical up to
 // floating-point summation order. The differential suite pins both.
 #pragma once
@@ -22,7 +24,8 @@
 #include <string_view>
 
 #include "common/result.h"
-#include "exec/thread_pool.h"
+#include "exec/cancel.h"
+#include "exec/worker_pool.h"
 #include "sql/ast.h"
 #include "sql/catalog.h"
 #include "sql/exec_context.h"
@@ -37,17 +40,28 @@ namespace explainit::sql {
 /// across queries, and last_stats() breaks down the most recent one.
 class Executor {
  public:
+  /// `pool` is the shared worker pool parallel queries borrow; null means
+  /// exec::WorkerPool::Global() (bound on the first parallel query).
+  /// Executors never own a pool — a box full of concurrent sessions
+  /// shares one process-wide set of workers.
   Executor(const Catalog* catalog, const FunctionRegistry* functions,
-           size_t parallelism = 1)
-      : catalog_(catalog), functions_(functions) {
+           size_t parallelism = 1, exec::WorkerPool* pool = nullptr)
+      : catalog_(catalog), functions_(functions), pool_(pool) {
     set_parallelism(parallelism);
   }
 
   /// Sets the degree of parallelism for subsequent queries. 1 = serial
-  /// streaming pipeline; 0 = hardware concurrency. The worker pool is
-  /// created lazily on the first parallel query.
+  /// streaming pipeline; 0 = hardware concurrency.
   void set_parallelism(size_t parallelism);
   size_t parallelism() const { return parallelism_; }
+
+  /// Sets the cancellation token subsequent queries check at batch
+  /// boundaries (null = none). The token must outlive every query run
+  /// while it is installed; callers typically install per query and
+  /// clear afterwards.
+  void set_cancel_token(const exec::CancelToken* token) {
+    ctx_.cancel = token;
+  }
 
   /// Parses and executes `sql` (SELECT statements only; EXPLAIN goes
   /// through the engine's statement API, which plans its sub-selects
@@ -91,13 +105,14 @@ class Executor {
   }
 
  private:
-  /// Creates the worker pool (and repoints ctx_) when parallelism_ > 1.
+  /// Binds the shared pool into ctx_ when parallelism_ > 1 (defaulting
+  /// pool_ to the process-wide pool on first use).
   void EnsurePool();
 
   const Catalog* catalog_;
   const FunctionRegistry* functions_;
   size_t parallelism_ = 1;
-  std::unique_ptr<exec::ThreadPool> pool_;
+  exec::WorkerPool* pool_ = nullptr;  // borrowed, never owned
   ExecContext ctx_;
   ExecStats stats_;       // cumulative
   ExecStats last_stats_;  // most recent query

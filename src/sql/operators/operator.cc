@@ -18,7 +18,15 @@ Status Operator::Open() {
   return s;
 }
 
+void Operator::BindExecContext(const ExecContext* ctx) {
+  bound_ctx_ = ctx;
+  for (const auto& c : children_) c->BindExecContext(ctx);
+}
+
 Result<table::ColumnBatch> Operator::Next(bool* eof) {
+  if (bound_ctx_ != nullptr) {
+    EXPLAINIT_RETURN_IF_ERROR(bound_ctx_->CheckCancel());
+  }
   const int64_t t0 = NowNs();
   auto r = NextImpl(eof);
   stats_.elapsed_ns += NowNs() - t0;

@@ -120,6 +120,13 @@ class Operator {
   void CollectStats(std::vector<OperatorStats>* out) const;
   void AccumulateExecStatsTree(ExecStats* stats) const;
 
+  /// Threads the executor's context through the subtree (called by
+  /// ExecuteTree before Open). Every Next() then checks the context's
+  /// cancellation token at its batch boundary, so a cancelled or
+  /// deadline-expired query unwinds through the normal Status path
+  /// within one batch of work per pipeline stage.
+  void BindExecContext(const ExecContext* ctx);
+
   const OperatorStats& stats() const { return stats_; }
 
  protected:
@@ -141,6 +148,7 @@ class Operator {
 
  private:
   std::vector<std::unique_ptr<Operator>> children_;
+  const ExecContext* bound_ctx_ = nullptr;  // set by BindExecContext
 };
 
 /// Encodes a composite group/join key. '\x1f' never occurs in metric data.

@@ -1,6 +1,8 @@
 #include "sql/parser.h"
 
 #include <charconv>
+#include <cmath>
+#include <stdexcept>
 #include <system_error>
 
 #include "common/strings.h"
@@ -327,9 +329,15 @@ class Parser {
       if (Current().type != TokenType::kNumber) {
         return Err("expected a number after LIMIT");
       }
+      // Checked like every other literal: an out-of-range LIMIT must be a
+      // parse error, not a silent LIMIT 0.
       int64_t limit = 0;
-      std::from_chars(Current().text.data(),
-                      Current().text.data() + Current().text.size(), limit);
+      const char* end = Current().text.data() + Current().text.size();
+      const auto [ptr, ec] =
+          std::from_chars(Current().text.data(), end, limit);
+      if (ec != std::errc() || ptr != end) {
+        return Err("LIMIT count out of range");
+      }
       stmt->limit = limit;
       Advance();
     }
@@ -533,15 +541,39 @@ class Parser {
       return e;
     }
     if (tok.type == TokenType::kNumber) {
+      // Untrusted literal text: 1e999 must become a parse error with the
+      // token's position (std::stod throws std::out_of_range), and an
+      // integer past int64 must be rejected, not silently parsed as 0
+      // (the old unchecked from_chars). Errors are raised before
+      // Advance() so they point at the offending literal.
       const std::string text = tok.text;
-      Advance();
       if (text.find('.') != std::string::npos ||
           text.find('e') != std::string::npos ||
           text.find('E') != std::string::npos) {
-        return MakeLiteral(table::Value::Double(std::stod(text)));
+        double d = 0.0;
+        try {
+          d = std::stod(text);
+        } catch (const std::out_of_range&) {
+          return Err("numeric literal out of range");
+        } catch (const std::invalid_argument&) {
+          return Err("malformed numeric literal");
+        }
+        if (!std::isfinite(d)) {
+          return Err("numeric literal out of range");
+        }
+        Advance();
+        return MakeLiteral(table::Value::Double(d));
       }
       int64_t v = 0;
-      std::from_chars(text.data(), text.data() + text.size(), v);
+      const auto [ptr, ec] =
+          std::from_chars(text.data(), text.data() + text.size(), v);
+      if (ec == std::errc::result_out_of_range) {
+        return Err("integer literal out of range (max 9223372036854775807)");
+      }
+      if (ec != std::errc() || ptr != text.data() + text.size()) {
+        return Err("malformed numeric literal");
+      }
+      Advance();
       return MakeLiteral(table::Value::Int(v));
     }
     if (tok.type == TokenType::kString) {

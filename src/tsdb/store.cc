@@ -11,7 +11,7 @@
 #include <unordered_map>
 
 #include "common/strings.h"
-#include "exec/thread_pool.h"
+#include "exec/worker_pool.h"
 #include "tsdb/head.h"
 
 namespace explainit::tsdb {
@@ -136,20 +136,28 @@ struct SeriesStore::Impl {
   std::mutex error_mutex;
   Status background_error = Status::OK();  // first background-seal failure
 
-  // The pools are declared last so they are destroyed first: their
-  // destructors join every in-flight task while all the members those
-  // tasks touch are still alive.
-  mutable std::once_flag scan_pool_once;
-  mutable std::unique_ptr<exec::ThreadPool> scan_pool;
-  /// Single-threaded maintenance pool (sealing/compaction), created only
-  /// when options.background_seal. Separate from scan_pool so a scan's
-  /// ParallelForChunks never waits on (or steals exceptions from)
-  /// maintenance work.
-  std::unique_ptr<exec::ThreadPool> maintenance_pool;
+  /// Shared worker pool (borrowed; the process-wide pool unless the
+  /// options injected another). Scans fan out over it directly; the
+  /// maintenance group below serialises sealing/compaction on it.
+  exec::WorkerPool* pool;
 
-  explicit Impl(StoreOptions opts) : options(opts) {
+  /// Serialised background maintenance (sealing/compaction), used only
+  /// when options.background_seal. Declared last so it is destroyed
+  /// first: its destructor drains every in-flight task while all the
+  /// members those tasks touch are still alive. max_concurrency 1
+  /// preserves the old single-threaded maintenance ordering without
+  /// dedicating a thread, and keeps a scan's ParallelForChunks from
+  /// waiting on (or stealing exceptions from) maintenance work — task
+  /// groups are isolated per caller.
+  std::unique_ptr<exec::TaskGroup> maintenance_group;
+
+  explicit Impl(StoreOptions opts)
+      : options(opts),
+        pool(opts.worker_pool != nullptr ? opts.worker_pool
+                                         : &exec::WorkerPool::Global()) {
     if (options.background_seal) {
-      maintenance_pool = std::make_unique<exec::ThreadPool>(1);
+      maintenance_group =
+          std::make_unique<exec::TaskGroup>(pool, /*max_concurrency=*/1);
     }
   }
 
@@ -261,8 +269,8 @@ Status SeriesStore::Write(const std::string& metric_name, const TagSet& tags,
   impl_->total_points.fetch_add(1, std::memory_order_relaxed);
   if (schedule) {
     Impl* impl = impl_.get();
-    impl->maintenance_pool->Submit(
-        [impl, e = std::move(e)] { impl->Maintain(e); });
+    impl->maintenance_group->Submit(
+        [impl, e = std::move(e)] { impl->Maintain(e); }, "tsdb.maintenance");
   }
   return Status::OK();
 }
@@ -305,7 +313,7 @@ Status SeriesStore::Flush() {
   // below into double-sealing decisions (Maintain re-checks thresholds
   // under the stripe lock, so the race would be benign — this just makes
   // the post-Flush state deterministic).
-  if (impl_->maintenance_pool) impl_->maintenance_pool->Wait();
+  if (impl_->maintenance_group) impl_->maintenance_group->Wait();
   for (const auto& e : impl_->SnapshotOrder()) {
     std::lock_guard<std::mutex> lock(impl_->StripeFor(*e));
     EXPLAINIT_RETURN_IF_ERROR(impl_->SealLocked(*e));
@@ -481,12 +489,12 @@ Result<std::vector<SeriesData>> SeriesStore::Scan(
     if (!s.ok()) statuses[i] = std::move(s);
   };
   if (matched.size() >= kParallelScanThreshold) {
-    std::call_once(impl_->scan_pool_once, [this] {
-      impl_->scan_pool = std::make_unique<exec::ThreadPool>();
-    });
-    // Chunked fan-out: one task per worker-sized run of series instead of
-    // one queue round-trip per series (large stores match 100k+ series).
-    exec::ParallelForChunks(*impl_->scan_pool, matched.size(),
+    // Chunked fan-out over the shared pool: one task per worker-sized run
+    // of series instead of one queue round-trip per series (large stores
+    // match 100k+ series). The calling thread participates, so scans
+    // issued from inside a pool task (a morsel-parallel operator) make
+    // progress even when every worker is busy.
+    exec::ParallelForChunks(*impl_->pool, matched.size(),
                             /*min_grain=*/16, [&](size_t begin, size_t end) {
                               for (size_t i = begin; i < end; ++i) {
                                 decode_one(i);

@@ -20,6 +20,7 @@
 
 #include "common/result.h"
 #include "common/time_util.h"
+#include "exec/worker_pool.h"
 #include "table/table.h"
 #include "tsdb/compression.h"
 #include "tsdb/rollup.h"
@@ -160,6 +161,12 @@ struct StoreOptions {
   /// Merge a series' sealed segments into one once it accumulates this
   /// many (0 disables compaction).
   size_t compact_min_segments = 8;
+  /// Shared worker pool scans fan out over and background maintenance
+  /// (sealing/compaction, serialised via a max-concurrency-1 task group)
+  /// runs on. Borrowed, never owned; null = exec::WorkerPool::Global().
+  /// Stores no longer construct private pools, so a box full of stores
+  /// and sessions shares one set of workers.
+  exec::WorkerPool* worker_pool = nullptr;
 };
 
 /// Options for converting scans to a fixed minute grid.

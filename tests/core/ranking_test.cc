@@ -87,7 +87,7 @@ TEST(RankingTest, TiesBreakByFamilyNameAtEveryParallelism) {
   }
   CorrMaxScorer scorer;
   std::vector<std::vector<std::string>> orders;
-  exec::ThreadPool shared_pool(4);
+  exec::WorkerPool shared_pool(4);
   for (int mode = 0; mode < 3; ++mode) {
     RankingOptions options;
     options.num_threads = mode == 0 ? 1 : 4;

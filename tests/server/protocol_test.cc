@@ -1,0 +1,232 @@
+// Decode suite for the server wire protocol. Every length field is
+// untrusted: malformed, truncated and oversized frames must come back
+// as InvalidArgument — never over-read, never allocate from a hostile
+// count. Runs under ASan in CI.
+#include "server/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace explainit::server {
+namespace {
+
+using table::DataType;
+using table::Value;
+
+table::Table SampleTable() {
+  table::Schema schema({{"ts", DataType::kTimestamp},
+                        {"family", DataType::kString},
+                        {"score", DataType::kDouble},
+                        {"n", DataType::kInt64},
+                        {"v", DataType::kMap},
+                        {"hole", DataType::kNull}});
+  table::Table t(schema);
+  t.AppendRow({Value::Timestamp(1700000000), Value::String("net-host1"),
+               Value::Double(0.75), Value::Int(42),
+               Value::Map({{"a", Value::Double(1.5)},
+                           {"b", Value::String("x")}}),
+               Value::Null()});
+  t.AppendRow({Value::Timestamp(1700000060), Value::String(""),
+               Value::Double(-0.0), Value::Int(-1),
+               Value::Map({}), Value::Null()});
+  return t;
+}
+
+void ExpectTablesEqual(const table::Table& a, const table::Table& b) {
+  ASSERT_EQ(a.schema(), b.schema());
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    for (size_t c = 0; c < a.num_columns(); ++c) {
+      EXPECT_TRUE(a.At(r, c).Equals(b.At(r, c)) ||
+                  (a.At(r, c).is_null() && b.At(r, c).is_null()))
+          << "cell (" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(ProtocolTest, QueryRoundTrip) {
+  QueryRequest q{250, "SELECT * FROM tsdb"};
+  auto back = DecodeQuery(EncodeQuery(q).data(), EncodeQuery(q).size());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->deadline_ms, 250u);
+  EXPECT_EQ(back->sql, "SELECT * FROM tsdb");
+}
+
+TEST(ProtocolTest, ResultRoundTrip) {
+  QueryReply reply;
+  reply.latency_us = 12345;
+  reply.parallelism = 8;
+  reply.rows_output = 2;
+  reply.rows_scanned = 999;
+  reply.statement_kind = 1;
+  reply.table = SampleTable();
+  const std::vector<uint8_t> wire = EncodeResult(reply);
+  auto back = DecodeResult(wire.data(), wire.size());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->latency_us, 12345u);
+  EXPECT_EQ(back->parallelism, 8u);
+  EXPECT_EQ(back->rows_scanned, 999u);
+  EXPECT_EQ(back->statement_kind, 1);
+  ExpectTablesEqual(back->table, reply.table);
+}
+
+TEST(ProtocolTest, ErrorRoundTrip) {
+  ErrorReply e{9, "syntax error (line 3, column 7)"};
+  const std::vector<uint8_t> wire = EncodeError(e);
+  auto back = DecodeError(wire.data(), wire.size());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->code, 9);
+  EXPECT_EQ(back->message, "syntax error (line 3, column 7)");
+}
+
+TEST(ProtocolTest, FrameHeaderRoundTrip) {
+  const std::vector<uint8_t> frame =
+      EncodeFrame(MessageType::kQuery, EncodeQuery({0, "SELECT 1"}));
+  auto h = DecodeFrameHeader(frame.data(), frame.size());
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->type, MessageType::kQuery);
+  EXPECT_EQ(h->payload_len, frame.size() - kFrameHeaderBytes);
+}
+
+TEST(ProtocolTest, HeaderRejectsBadMagic) {
+  std::vector<uint8_t> frame = EncodeFrame(MessageType::kPing, {});
+  frame[1] ^= 0x55;
+  EXPECT_TRUE(DecodeFrameHeader(frame.data(), frame.size())
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ProtocolTest, HeaderRejectsUnknownType) {
+  std::vector<uint8_t> frame = EncodeFrame(MessageType::kPing, {});
+  frame[4] = 99;
+  EXPECT_TRUE(DecodeFrameHeader(frame.data(), frame.size())
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ProtocolTest, HeaderRejectsOversizedPayload) {
+  std::vector<uint8_t> frame = EncodeFrame(MessageType::kQuery, {});
+  const uint32_t huge = kMaxFramePayload + 1;
+  std::memcpy(frame.data() + 5, &huge, sizeof(huge));
+  EXPECT_TRUE(DecodeFrameHeader(frame.data(), frame.size())
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ProtocolTest, HeaderRejectsShortBuffer) {
+  const std::vector<uint8_t> frame = EncodeFrame(MessageType::kPing, {});
+  EXPECT_TRUE(DecodeFrameHeader(frame.data(), kFrameHeaderBytes - 1)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ProtocolTest, QueryRejectsTruncationAtEveryLength) {
+  // Chopping the payload anywhere must be InvalidArgument, not a crash
+  // or an over-read.
+  const std::vector<uint8_t> wire = EncodeQuery({1000, "SELECT 1"});
+  for (size_t len = 0; len < wire.size(); ++len) {
+    auto q = DecodeQuery(wire.data(), len);
+    EXPECT_TRUE(q.status().IsInvalidArgument()) << "len=" << len;
+  }
+}
+
+TEST(ProtocolTest, ResultRejectsTruncationAtEveryLength) {
+  QueryReply reply;
+  reply.table = SampleTable();
+  const std::vector<uint8_t> wire = EncodeResult(reply);
+  for (size_t len = 0; len < wire.size(); ++len) {
+    auto r = DecodeResult(wire.data(), len);
+    EXPECT_TRUE(r.status().IsInvalidArgument()) << "len=" << len;
+  }
+}
+
+TEST(ProtocolTest, QueryRejectsHostileStringLength) {
+  // sql_len claims 4 GiB with 3 bytes behind it.
+  ByteWriter w;
+  w.U32(0);
+  w.U32(0xFFFFFFFFu);
+  w.U8('S');
+  w.U8('E');
+  w.U8('L');
+  const auto& wire = w.bytes();
+  EXPECT_TRUE(DecodeQuery(wire.data(), wire.size())
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ProtocolTest, TableRejectsHostileColumnCount) {
+  ByteWriter w;
+  w.U32(0x10000000u);  // 268M columns in a 4-byte payload
+  ByteReader r(w.bytes().data(), w.bytes().size());
+  EXPECT_TRUE(DecodeTable(&r).status().IsInvalidArgument());
+}
+
+TEST(ProtocolTest, TableRejectsHostileRowCount) {
+  ByteWriter w;
+  w.U32(1);
+  w.Str("c");
+  w.U8(static_cast<uint8_t>(DataType::kInt64));
+  w.U64(uint64_t{1} << 60);  // 2^60 rows, zero cell bytes behind it
+  ByteReader r(w.bytes().data(), w.bytes().size());
+  EXPECT_TRUE(DecodeTable(&r).status().IsInvalidArgument());
+}
+
+TEST(ProtocolTest, TableRejectsRowsWithoutColumns) {
+  ByteWriter w;
+  w.U32(0);
+  w.U64(5);
+  ByteReader r(w.bytes().data(), w.bytes().size());
+  EXPECT_TRUE(DecodeTable(&r).status().IsInvalidArgument());
+}
+
+TEST(ProtocolTest, TableRejectsUnknownCellTag) {
+  ByteWriter w;
+  w.U32(1);
+  w.Str("c");
+  w.U8(static_cast<uint8_t>(DataType::kInt64));
+  w.U64(1);
+  w.U8(200);  // bogus cell type tag
+  ByteReader r(w.bytes().data(), w.bytes().size());
+  EXPECT_TRUE(DecodeTable(&r).status().IsInvalidArgument());
+}
+
+TEST(ProtocolTest, TableRejectsHostileMapCount) {
+  ByteWriter w;
+  w.U32(1);
+  w.Str("m");
+  w.U8(static_cast<uint8_t>(DataType::kMap));
+  w.U64(1);
+  w.U8(static_cast<uint8_t>(DataType::kMap));
+  w.U32(0xFFFFFFFFu);  // 4G map entries, nothing behind them
+  ByteReader r(w.bytes().data(), w.bytes().size());
+  EXPECT_TRUE(DecodeTable(&r).status().IsInvalidArgument());
+}
+
+TEST(ProtocolTest, CellRejectsMapNestingPastDepthCap) {
+  // kMaxMapDepth+1 nested single-entry maps.
+  ByteWriter w;
+  w.U32(1);
+  w.Str("m");
+  w.U8(static_cast<uint8_t>(DataType::kMap));
+  w.U64(1);
+  for (int d = 0; d <= kMaxMapDepth; ++d) {
+    w.U8(static_cast<uint8_t>(DataType::kMap));
+    w.U32(1);
+    w.Str("k");
+  }
+  w.U8(static_cast<uint8_t>(DataType::kNull));
+  ByteReader r(w.bytes().data(), w.bytes().size());
+  EXPECT_TRUE(DecodeTable(&r).status().IsInvalidArgument());
+}
+
+TEST(ProtocolTest, ErrorRejectsTrailingBytes) {
+  std::vector<uint8_t> wire = EncodeError({1, "x"});
+  wire.push_back(0);
+  EXPECT_TRUE(DecodeError(wire.data(), wire.size())
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace explainit::server

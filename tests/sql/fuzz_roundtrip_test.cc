@@ -559,5 +559,43 @@ TEST(FuzzRoundtripTest, ExplainExecutionSmokeAcrossParallelism) {
   EXPECT_GE(executed, 15);
 }
 
+TEST(FuzzRoundtripTest, HostileNumericLiteralCorpus) {
+  // Regression corpus for the untrusted-literal bugs: every entry once
+  // crossed the parser as an uncaught std::out_of_range (stod) or a
+  // silently-zero integer (unchecked from_chars). Parsing must return a
+  // clean Status — ok or ParseError — and never throw.
+  static const char* const kCorpus[] = {
+      "SELECT 1e999",
+      "SELECT -1e999",
+      "SELECT 1e99999999999999999999",
+      "SELECT 99999999999999999999",
+      "SELECT -99999999999999999999",
+      "SELECT 9223372036854775808",
+      "SELECT 18446744073709551616",
+      "SELECT 1.8e308 + 1",
+      "SELECT * FROM t WHERE a = 99999999999999999999",
+      "SELECT a FROM t LIMIT 99999999999999999999",
+      "SELECT a FROM t WHERE ts BETWEEN 1e999 AND 2e999",
+      "EXPLAIN SELECT v FROM t USING (SELECT v FROM ff) TOP "
+      "99999999999999999999",
+      // The legitimate edges must keep parsing.
+      "SELECT 9223372036854775807",
+      "SELECT 1e308",
+      "SELECT 0.000001",
+  };
+  for (const char* sql : kCorpus) {
+    SCOPED_TRACE(sql);
+    Result<std::unique_ptr<Statement>> stmt = [&] {
+      return ParseStatement(sql);
+    }();  // any exception escaping Parse fails the test via gtest
+    if (!stmt.ok()) {
+      EXPECT_TRUE(stmt.status().IsParseError()) << stmt.status().ToString();
+      // Every parse error names the offending position.
+      EXPECT_NE(stmt.status().message().find("line "), std::string::npos)
+          << stmt.status().message();
+    }
+  }
+}
+
 }  // namespace
 }  // namespace explainit::sql

@@ -345,6 +345,51 @@ TEST(ParserTest, ParseRejectsExplainWithPointer) {
   EXPECT_NE(stmt.status().message().find("statement"), std::string::npos);
 }
 
+TEST(ParserTest, HugeDoubleLiteralIsParseErrorWithPosition) {
+  // 1e999 overflows double: std::stod throws std::out_of_range, which
+  // must surface as a ParseError pointing at the literal — never as an
+  // uncaught exception crossing the library boundary.
+  auto stmt = Parse("SELECT\n  1e999");
+  ASSERT_FALSE(stmt.ok());
+  EXPECT_TRUE(stmt.status().IsParseError()) << stmt.status().ToString();
+  const std::string msg = stmt.status().message();
+  EXPECT_NE(msg.find("out of range"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("column 3"), std::string::npos) << msg;
+}
+
+TEST(ParserTest, HugeIntegerLiteralIsParseError) {
+  // 20 nines exceed int64: the old unchecked from_chars left the value 0
+  // and parsed on — a silently wrong literal in WHERE clauses.
+  auto stmt = Parse("SELECT * FROM t WHERE a = 99999999999999999999");
+  ASSERT_FALSE(stmt.ok());
+  EXPECT_TRUE(stmt.status().IsParseError()) << stmt.status().ToString();
+  EXPECT_NE(stmt.status().message().find("out of range"), std::string::npos)
+      << stmt.status().message();
+}
+
+TEST(ParserTest, Int64EdgeLiteralsParse) {
+  auto stmt = Parse("SELECT 9223372036854775807");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  // One past INT64_MAX must be rejected, not wrapped.
+  EXPECT_FALSE(Parse("SELECT 9223372036854775808").ok());
+}
+
+TEST(ParserTest, LargeButFiniteDoubleLiteralsParse) {
+  EXPECT_TRUE(Parse("SELECT 1e308").ok());
+  EXPECT_TRUE(Parse("SELECT 1.7976931348623157e308").ok());
+  EXPECT_FALSE(Parse("SELECT 1.8e308").ok());  // past DBL_MAX
+}
+
+TEST(ParserTest, HugeLimitIsParseError) {
+  // Same bug class at the LIMIT clause: out-of-range must not become
+  // a silent LIMIT 0.
+  auto stmt = Parse("SELECT a FROM t LIMIT 99999999999999999999");
+  ASSERT_FALSE(stmt.ok());
+  EXPECT_TRUE(stmt.status().IsParseError()) << stmt.status().ToString();
+  EXPECT_TRUE(Parse("SELECT a FROM t LIMIT 10").ok());
+}
+
 TEST(ParserTest, ExprCloneDeepCopies) {
   auto e = ParseExpression("AVG(a + b['k']) / 2");
   ASSERT_TRUE(e.ok());
