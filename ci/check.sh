@@ -87,6 +87,14 @@ if [[ "${STAGE}" == "release" || "${STAGE}" == "all" ]]; then
 
   echo "=== bench smoke: server ==="
   "${ROOT}/build/bench/server" --smoke "${ROOT}/build/BENCH_server.smoke.json"
+
+  # Standing-query monitor: sliding-window runs under live ingestion must
+  # be byte-identical to bounded one-shot EXPLAINs, the shared scan must
+  # reuse window overlap, and a triggered monitor must fire on an injected
+  # §5.1 packet-drop fault with the true cause in a top-10.
+  echo "=== bench smoke: monitor ==="
+  "${ROOT}/build/bench/monitor" --smoke \
+    "${ROOT}/build/BENCH_monitor.smoke.json"
 fi
 
 if [[ "${STAGE}" == "asan" || "${STAGE}" == "all" ]]; then
@@ -98,8 +106,9 @@ fi
 if [[ "${STAGE}" == "tsan" || "${STAGE}" == "all" ]]; then
   # ThreadSanitizer job: the suites that drive the morsel-parallel
   # operators, the partitioned join/sort/materialisation paths, the
-  # worker pool itself, and the tiered store's write/scan/seal
-  # concurrency. (ASan and TSan cannot share a build tree.)
+  # worker pool itself, the tiered store's write/scan/seal concurrency,
+  # and the monitor scheduler/write-tap/shared-scan paths. (ASan and
+  # TSan cannot share a build tree.)
   echo "=== configure: ${ROOT}/build-tsan (ThreadSanitizer) ==="
   cmake -B "${ROOT}/build-tsan" -S "${ROOT}" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -108,7 +117,7 @@ if [[ "${STAGE}" == "tsan" || "${STAGE}" == "all" ]]; then
   cmake --build "${ROOT}/build-tsan" -j "${JOBS}"
   echo "=== ctest (tsan): operator, differential and thread-pool suites ==="
   ctest --test-dir "${ROOT}/build-tsan" --output-on-failure -j "${JOBS}" \
-    -R 'operators_test|differential_test|executor_test|planner_test|fuzz_roundtrip_test|thread_pool_test|worker_pool_test|server_test|concurrency_test|tiered_store_test|ranking_test|ridge_test'
+    -R 'operators_test|differential_test|executor_test|planner_test|fuzz_roundtrip_test|thread_pool_test|worker_pool_test|server_test|concurrency_test|tiered_store_test|ranking_test|ridge_test|anomaly_test|monitor_test|monitor_stress_test'
 fi
 
 echo "=== checks passed (${STAGE}) ==="

@@ -96,6 +96,12 @@ class Status {
     return code_ == StatusCode::kInvalidArgument;
   }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const {
+    return code_ == StatusCode::kAlreadyExists;
+  }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
   bool IsParseError() const { return code_ == StatusCode::kParseError; }
   bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
   bool IsDeadlineExceeded() const {

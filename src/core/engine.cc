@@ -164,18 +164,40 @@ Result<QueryResult> Engine::Query(std::string_view statement) {
 Result<QueryResult> Engine::QueryWith(sql::Executor& executor,
                                       std::string_view statement) {
   EXPLAINIT_ASSIGN_OR_RETURN(auto stmt, sql::ParseStatement(statement));
+  return ExecuteStatement(executor, *stmt);
+}
+
+Result<QueryResult> Engine::ExecuteStatement(sql::Executor& executor,
+                                             const sql::Statement& stmt) {
   QueryResult out;
-  out.kind = stmt->kind();
-  if (out.kind == sql::StatementKind::kSelect) {
-    EXPLAINIT_ASSIGN_OR_RETURN(
-        out.table,
-        executor.Execute(static_cast<const sql::SelectStatement&>(*stmt)));
-  } else {
-    const auto& explain = static_cast<const sql::ExplainStatement&>(*stmt);
-    EXPLAINIT_ASSIGN_OR_RETURN(auto root,
-                               PlanExplain(explain, this, &executor));
-    EXPLAINIT_ASSIGN_OR_RETURN(out.table, executor.ExecuteTree(root.get()));
-    out.score_table = root->score_table();
+  out.kind = stmt.kind();
+  switch (out.kind) {
+    case sql::StatementKind::kSelect: {
+      EXPLAINIT_ASSIGN_OR_RETURN(
+          out.table,
+          executor.Execute(static_cast<const sql::SelectStatement&>(stmt)));
+      break;
+    }
+    case sql::StatementKind::kExplain: {
+      const auto& explain = static_cast<const sql::ExplainStatement&>(stmt);
+      if (explain.is_monitor()) {
+        return Status::InvalidArgument(
+            "standing EXPLAIN (EVERY/TRIGGERED/INTO) requires a "
+            "monitor::MonitorService — route the statement through it "
+            "(the server does this when one is attached)");
+      }
+      EXPLAINIT_ASSIGN_OR_RETURN(auto root,
+                                 PlanExplain(explain, this, &executor));
+      EXPLAINIT_ASSIGN_OR_RETURN(out.table, executor.ExecuteTree(root.get()));
+      out.score_table = root->score_table();
+      break;
+    }
+    case sql::StatementKind::kDropMonitor:
+    case sql::StatementKind::kShowMonitors:
+      return Status::InvalidArgument(
+          "monitor statements require a monitor::MonitorService — route "
+          "the statement through it (the server does this when one is "
+          "attached)");
   }
   out.stats = executor.last_stats();
   return out;

@@ -127,6 +127,13 @@ class Engine {
   Result<QueryResult> QueryWith(sql::Executor& executor,
                                 std::string_view statement);
 
+  /// As QueryWith, on an already-parsed statement (the monitor service
+  /// parses once to dispatch and forwards the non-monitor statements
+  /// here). Monitor statements (EVERY/TRIGGERED/INTO, DROP MONITOR,
+  /// SHOW MONITORS) are InvalidArgument: they need a MonitorService.
+  Result<QueryResult> ExecuteStatement(sql::Executor& executor,
+                                       const sql::Statement& stmt);
+
   /// DEPRECATED: thin shim over Query() that drops everything but the
   /// result table. Prefer Query(), which also reports the statement kind,
   /// execution stats and (for EXPLAIN) the typed Score Table.

@@ -1,0 +1,53 @@
+#include "monitor/anomaly.h"
+
+#include <cmath>
+#include <functional>
+
+namespace explainit::monitor {
+
+EwmaAnomalyDetector::EwmaAnomalyDetector(AnomalyOptions options)
+    : options_(options) {}
+
+EwmaAnomalyDetector::Shard& EwmaAnomalyDetector::ShardFor(
+    const std::string& key) {
+  return shards_[std::hash<std::string>{}(key) % kShards];
+}
+
+double EwmaAnomalyDetector::Observe(const std::string& series_key,
+                                    double value) {
+  Shard& shard = ShardFor(series_key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  State& s = shard.states[series_key];
+  double z = 0.0;
+  if (s.count == 0) {
+    s.mean = value;
+  } else if (s.count >= options_.warmup_points) {
+    // Score against the pre-update state: a genuine level shift should
+    // not dampen its own z-score.
+    const double sd = std::sqrt(s.var);
+    if (sd > 0.0) {
+      z = std::fabs(value - s.mean) / sd;
+    } else if (value != s.mean) {
+      // A constant series that suddenly moves is maximally anomalous.
+      z = options_.z_threshold;
+    }
+  }
+  // EWMA mean/variance update (West 1979 incremental form).
+  const double diff = value - s.mean;
+  const double incr = options_.alpha * diff;
+  s.mean += incr;
+  s.var = (1.0 - options_.alpha) * (s.var + diff * incr);
+  ++s.count;
+  return z;
+}
+
+size_t EwmaAnomalyDetector::num_series() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.states.size();
+  }
+  return total;
+}
+
+}  // namespace explainit::monitor

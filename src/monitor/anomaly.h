@@ -1,0 +1,64 @@
+// Online per-series anomaly detection for the continuous-monitoring
+// subsystem: an exponentially-weighted mean/variance per series with a
+// z-score threshold, in the netdata style of scoring every metric on
+// every sample. O(1) state and time per observation, so the store's
+// write tap can call it on the ingest path.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/time_util.h"
+
+namespace explainit::monitor {
+
+struct AnomalyOptions {
+  /// EWMA weight for the running mean/variance (higher = faster to
+  /// adapt, quicker to forgive a level shift).
+  double alpha = 0.05;
+  /// |z| at or above which an observation is anomalous.
+  double z_threshold = 6.0;
+  /// Observations per series before it may trigger (the EWMA needs a
+  /// baseline; during warmup Observe returns 0).
+  size_t warmup_points = 32;
+};
+
+/// Tracks every observed series independently and scores each new point
+/// against the series' running EWMA mean/variance. Thread-safe: state is
+/// sharded by series key so concurrent writers on different series
+/// rarely contend.
+class EwmaAnomalyDetector {
+ public:
+  explicit EwmaAnomalyDetector(AnomalyOptions options = {});
+
+  /// Folds one observation into the series' state and returns its |z|
+  /// score against the state *before* the update (0 during warmup).
+  double Observe(const std::string& series_key, double value);
+
+  bool IsAnomalous(double z) const { return z >= options_.z_threshold; }
+
+  const AnomalyOptions& options() const { return options_; }
+  size_t num_series() const;
+
+ private:
+  struct State {
+    double mean = 0.0;
+    double var = 0.0;
+    size_t count = 0;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, State> states;
+  };
+  static constexpr size_t kShards = 8;
+
+  Shard& ShardFor(const std::string& key);
+
+  AnomalyOptions options_;
+  std::array<Shard, kShards> shards_;
+};
+
+}  // namespace explainit::monitor

@@ -1,0 +1,49 @@
+#include "monitor/history.h"
+
+namespace explainit::monitor {
+
+ScoreHistory::ScoreHistory() {
+  table::Schema schema;
+  schema.AddField({"run", table::DataType::kInt64});
+  schema.AddField({"run_ts", table::DataType::kTimestamp});
+  schema.AddField({"rank", table::DataType::kInt64});
+  schema.AddField({"family", table::DataType::kString});
+  schema.AddField({"score", table::DataType::kDouble});
+  schema.AddField({"num_features", table::DataType::kInt64});
+  schema.AddField({"best_lambda", table::DataType::kDouble});
+  schema.AddField({"score_seconds", table::DataType::kDouble});
+  table_ = table::Table(std::move(schema));
+}
+
+void ScoreHistory::Append(int64_t run, EpochSeconds run_ts,
+                          const core::ScoreTable& st) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int64_t rank = 1;
+  for (const core::ScoredHypothesis& row : st.rows) {
+    table_.AppendRow({table::Value::Int(run), table::Value::Timestamp(run_ts),
+                      table::Value::Int(rank++),
+                      table::Value::String(row.family_name),
+                      table::Value::Double(row.score),
+                      table::Value::Int(static_cast<int64_t>(row.num_features)),
+                      table::Value::Double(row.best_lambda),
+                      table::Value::Double(row.score_seconds)});
+  }
+  ++runs_;
+}
+
+table::Table ScoreHistory::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return table_;
+}
+
+size_t ScoreHistory::num_runs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return runs_;
+}
+
+size_t ScoreHistory::num_rows() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return table_.num_rows();
+}
+
+}  // namespace explainit::monitor

@@ -1,0 +1,45 @@
+// Persisted score-table history for standing EXPLAIN queries: every run
+// of a monitor appends its Score Table rows, stamped with the run index
+// and the window's as-of timestamp, into one growing relational table.
+// The table registers in the engine catalog under the monitor's INTO
+// name, so ordinary SELECTs can diff rankings across runs (TSEXPLAIN's
+// evolving-contributors view).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/time_util.h"
+#include "core/ranking.h"
+#include "table/table.h"
+
+namespace explainit::monitor {
+
+/// Append-only, mutex-guarded history of one monitor's Score Tables.
+/// Schema:
+///   (run: INT64, run_ts: TIMESTAMP, rank: INT64, family: STRING,
+///    score: DOUBLE, num_features: INT64, best_lambda: DOUBLE,
+///    score_seconds: DOUBLE)
+/// run_ts is the run's window end (the "as of" data time), so a self-join
+/// on family across consecutive run values diffs the rankings.
+class ScoreHistory {
+ public:
+  ScoreHistory();
+
+  /// Appends one run's rows. `run` is the monitor's 0-based run index;
+  /// `run_ts` the window's inclusive end in data time.
+  void Append(int64_t run, EpochSeconds run_ts, const core::ScoreTable& st);
+
+  /// Copy of the whole history (the catalog provider's body).
+  table::Table Snapshot() const;
+
+  size_t num_runs() const;
+  size_t num_rows() const;
+
+ private:
+  mutable std::mutex mutex_;
+  table::Table table_;
+  size_t runs_ = 0;
+};
+
+}  // namespace explainit::monitor

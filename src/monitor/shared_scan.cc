@@ -1,0 +1,174 @@
+#include "monitor/shared_scan.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace explainit::monitor {
+
+namespace {
+
+std::string SeriesKey(const tsdb::SeriesMeta& meta) { return meta.ToString(); }
+
+/// Replicates SeriesStore::ScanToTable's no-projection materialisation
+/// exactly (column order, cell construction, series-major row order) so
+/// the cached window is byte-identical to a fresh store scan.
+table::Table MaterialiseWindow(const std::vector<tsdb::SeriesData>& series) {
+  size_t total = 0;
+  for (const tsdb::SeriesData& s : series) total += s.timestamps.size();
+
+  table::Schema schema;
+  schema.AddField({"timestamp", table::DataType::kTimestamp});
+  schema.AddField({"metric_name", table::DataType::kString});
+  schema.AddField({"tag", table::DataType::kMap});
+  schema.AddField({"value", table::DataType::kDouble});
+
+  std::vector<std::vector<table::Value>> columns(4);
+  for (auto& col : columns) col.reserve(total);
+
+  for (const tsdb::SeriesData& s : series) {
+    const size_t n = s.timestamps.size();
+    if (n == 0) continue;  // fresh scans omit point-less series
+    for (size_t i = 0; i < n; ++i) {
+      columns[0].push_back(table::Value::Timestamp(s.timestamps[i]));
+    }
+    const table::Value name = table::Value::String(s.meta.metric_name);
+    columns[1].insert(columns[1].end(), n, name);
+    columns[2].insert(columns[2].end(), n, s.tags_value);
+    for (size_t i = 0; i < n; ++i) {
+      columns[3].push_back(table::Value::Double(s.values[i]));
+    }
+  }
+  auto result = table::Table::FromColumns(std::move(schema),
+                                          std::move(columns));
+  // FromColumns only fails on column-count/length mismatches, which the
+  // construction above rules out.
+  return std::move(result).value();
+}
+
+}  // namespace
+
+SharedWindowScan::SharedWindowScan(tsdb::SeriesStore* store,
+                                   std::string metric_glob)
+    : store_(store), metric_glob_(std::move(metric_glob)) {}
+
+Status SharedWindowScan::SetWindow(const TimeRange& window) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (window.end < window.start) {
+    return Status::InvalidArgument("shared scan window is inverted");
+  }
+  const bool forward_overlap =
+      have_cache_ && window.start >= window_.start &&
+      window.end >= window_.end && window.start < window_.end;
+  if (forward_overlap) return RefreshDelta(window);
+  return RefreshFull(window);
+}
+
+Status SharedWindowScan::RefreshFull(const TimeRange& window) {
+  tsdb::ScanRequest req;
+  req.metric_glob = metric_glob_;
+  req.range = window;
+  EXPLAINIT_ASSIGN_OR_RETURN(series_, store_->Scan(req));
+  ++stats_.store_scans;
+  ++stats_.full_scans;
+  ReindexAndRecount();
+  window_ = window;
+  have_cache_ = true;
+  table_.reset();
+  return Status::OK();
+}
+
+void SharedWindowScan::ReindexAndRecount() {
+  index_.clear();
+  frontier_ = std::numeric_limits<EpochSeconds>::min();
+  for (size_t i = 0; i < series_.size(); ++i) {
+    index_[SeriesKey(series_[i].meta)] = i;
+    if (!series_[i].timestamps.empty()) {
+      frontier_ = std::max(frontier_, series_[i].timestamps.back());
+    }
+  }
+}
+
+Status SharedWindowScan::RefreshDelta(const TimeRange& window) {
+  // Trim points that slid out of the new window's front.
+  size_t reused = 0;
+  for (tsdb::SeriesData& s : series_) {
+    size_t drop = 0;
+    while (drop < s.timestamps.size() && s.timestamps[drop] < window.start) {
+      ++drop;
+    }
+    if (drop > 0) {
+      s.timestamps.erase(s.timestamps.begin(),
+                         s.timestamps.begin() + static_cast<long>(drop));
+      s.values.erase(s.values.begin(),
+                     s.values.begin() + static_cast<long>(drop));
+    }
+    reused += s.timestamps.size();
+  }
+
+  // Delta interval: everything past what the cache is guaranteed to hold.
+  // A window that outran the ingest frontier re-fetches from the
+  // frontier; per-series dedupe below keeps re-fetched points unique.
+  EpochSeconds delta_lo = window_.end;
+  if (frontier_ != std::numeric_limits<EpochSeconds>::min()) {
+    delta_lo = std::min(delta_lo, frontier_);
+  } else {
+    delta_lo = window_.start;  // cache never saw a point
+  }
+  delta_lo = std::max(delta_lo, window.start);
+
+  size_t appended = 0;
+  if (delta_lo < window.end) {
+    tsdb::ScanRequest req;
+    req.metric_glob = metric_glob_;
+    req.range = TimeRange{delta_lo, window.end};
+    EXPLAINIT_ASSIGN_OR_RETURN(auto delta, store_->Scan(req));
+    ++stats_.store_scans;
+    for (tsdb::SeriesData& d : delta) {
+      auto it = index_.find(SeriesKey(d.meta));
+      if (it == index_.end()) {
+        // First sighting of this series: its points older than delta_lo
+        // (but inside the window) were never decoded — fall back to one
+        // full rescan, which also restores store creation order.
+        return RefreshFull(window);
+      }
+      tsdb::SeriesData& s = series_[it->second];
+      const EpochSeconds last = s.timestamps.empty()
+                                    ? std::numeric_limits<EpochSeconds>::min()
+                                    : s.timestamps.back();
+      for (size_t i = 0; i < d.timestamps.size(); ++i) {
+        if (d.timestamps[i] <= last) continue;  // re-fetched overlap
+        s.timestamps.push_back(d.timestamps[i]);
+        s.values.push_back(d.values[i]);
+        ++appended;
+        frontier_ = frontier_ == std::numeric_limits<EpochSeconds>::min()
+                        ? d.timestamps[i]
+                        : std::max(frontier_, d.timestamps[i]);
+      }
+    }
+  }
+
+  ++stats_.delta_scans;
+  stats_.rows_reused += reused;
+  stats_.rows_delta += appended;
+  window_ = window;
+  table_.reset();
+  return Status::OK();
+}
+
+Result<table::Table> SharedWindowScan::Get() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!have_cache_) {
+    return Status::FailedPrecondition(
+        "shared scan read before SetWindow positioned it");
+  }
+  if (!table_.has_value()) table_ = MaterialiseWindow(series_);
+  ++stats_.consumer_reads;
+  return *table_;
+}
+
+SharedScanStats SharedWindowScan::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace explainit::monitor

@@ -247,6 +247,7 @@ std::vector<uint8_t> EncodeResult(const QueryReply& reply) {
   w.U64(reply.rows_output);
   w.U64(reply.rows_scanned);
   w.U8(reply.statement_kind);
+  w.U32(reply.active_monitors);
   EncodeTable(reply.table, &w);
   return w.Take();
 }
@@ -256,7 +257,7 @@ Result<QueryReply> DecodeResult(const uint8_t* payload, size_t size) {
   QueryReply reply;
   if (!r.U64(&reply.latency_us) || !r.U32(&reply.parallelism) ||
       !r.U64(&reply.rows_output) || !r.U64(&reply.rows_scanned) ||
-      !r.U8(&reply.statement_kind)) {
+      !r.U8(&reply.statement_kind) || !r.U32(&reply.active_monitors)) {
     return Truncated("result header");
   }
   auto t = DecodeTable(&r);

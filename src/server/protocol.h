@@ -10,7 +10,8 @@
 // Payloads by type:
 //   kQuery  u32 deadline_ms (0 = none) | u32 sql_len | sql bytes
 //   kResult u64 latency_us | u32 parallelism | u64 rows_output |
-//           u64 rows_scanned | u8 statement_kind | encoded table
+//           u64 rows_scanned | u8 statement_kind | u32 active_monitors |
+//           encoded table
 //   kError  i32 status_code | u32 msg_len | msg bytes
 //   kBusy   (empty) — admission control rejected the query
 //   kPing   (empty)           kPong  (empty)
@@ -69,6 +70,9 @@ struct QueryReply {
   uint64_t rows_output = 0;
   uint64_t rows_scanned = 0;
   uint8_t statement_kind = 0;  // sql::StatementKind
+  /// Standing queries registered on the server's monitor service at
+  /// reply time (0 when no service is attached).
+  uint32_t active_monitors = 0;
   table::Table table;
 };
 

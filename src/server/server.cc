@@ -270,12 +270,25 @@ std::vector<uint8_t> Server::HandleQuery(sql::Executor& executor,
     token.SetDeadlineAfter(std::chrono::milliseconds(request->deadline_ms));
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Re-check stopping_ while holding the same mutex Stop()'s cancel
+    // loop takes: a query admitted just before Stop() flipped the flag
+    // must not register a token that loop already walked past — it would
+    // run to completion uncancelled while Stop() waits to join this
+    // session's thread.
+    if (stopping_) {
+      ++stats_.queries_busy;
+      lock.unlock();
+      ReleaseQuery();
+      return EncodeFrame(MessageType::kBusy, {});
+    }
     active_tokens_.insert(&token);
   }
   executor.set_cancel_token(&token);
   const double t0 = MonotonicSeconds();
-  auto result = engine_->QueryWith(executor, request->sql);
+  auto result = options_.monitors != nullptr
+                    ? options_.monitors->Query(executor, request->sql)
+                    : engine_->QueryWith(executor, request->sql);
   const double elapsed = MonotonicSeconds() - t0;
   executor.set_cancel_token(nullptr);
   {
@@ -300,6 +313,10 @@ std::vector<uint8_t> Server::HandleQuery(sql::Executor& executor,
   reply.rows_output = result->table.num_rows();
   reply.rows_scanned = result->stats.rows_scanned;
   reply.statement_kind = static_cast<uint8_t>(result->kind);
+  reply.active_monitors =
+      options_.monitors != nullptr
+          ? static_cast<uint32_t>(options_.monitors->active_monitors())
+          : 0;
   reply.table = std::move(result->table);
   return EncodeFrame(MessageType::kResult, EncodeResult(reply));
 }

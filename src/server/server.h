@@ -42,6 +42,7 @@
 #include "core/engine.h"
 #include "exec/cancel.h"
 #include "exec/worker_pool.h"
+#include "monitor/monitor.h"
 
 namespace explainit::server {
 
@@ -60,6 +61,12 @@ struct ServerOptions {
   size_t sql_parallelism = 1;
   /// Shared pool; null = exec::WorkerPool::Global().
   exec::WorkerPool* worker_pool = nullptr;
+  /// Standing-query service (borrowed; must outlive the server). When
+  /// set, every statement routes through MonitorService::Query, so
+  /// clients can register standing EXPLAINs (EVERY/TRIGGERED/INTO), DROP
+  /// MONITOR and SHOW MONITORS over the wire; result frames then report
+  /// the live monitor count. Null = monitor statements are errors.
+  monitor::MonitorService* monitors = nullptr;
 };
 
 /// Monotonic counters; read via Server::stats() at any time.

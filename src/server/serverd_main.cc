@@ -14,6 +14,7 @@
 #include <string>
 
 #include "core/engine.h"
+#include "monitor/monitor.h"
 #include "server/server.h"
 #include "simulator/case_studies.h"
 
@@ -61,7 +62,13 @@ int main(int argc, char** argv) {
   core::Engine engine(world.store);
   engine.RegisterStoreTable("tsdb", world.range);
 
+  // Standing-query service: clients can register EXPLAIN ... EVERY/
+  // TRIGGERED/INTO monitors over the wire.
+  monitor::MonitorService monitors(&engine);
+  monitors.Start();
+
   server::ServerOptions options;
+  options.monitors = &monitors;
   options.host = ArgStr(argc, argv, "host", "127.0.0.1");
   options.port = static_cast<uint16_t>(ArgInt(argc, argv, "port", 0));
   options.max_sessions =
@@ -83,6 +90,7 @@ int main(int argc, char** argv) {
   sigwait(&sigs, &sig);
   std::printf("signal %d: shutting down\n", sig);
   server.Stop();
+  monitors.Stop();
   const server::ServerStats stats = server.stats();
   std::printf("served: %llu ok, %llu error, %llu busy over %llu sessions\n",
               static_cast<unsigned long long>(stats.queries_ok),

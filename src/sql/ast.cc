@@ -212,14 +212,47 @@ std::string ToSql(const ExplainStatement& stmt) {
     out += " BETWEEN " + std::to_string(*stmt.between_start) + " AND " +
            std::to_string(*stmt.between_end);
   }
+  if (stmt.every_seconds.has_value()) {
+    out += " EVERY " + FormatDuration(*stmt.every_seconds);
+  }
+  if (stmt.triggered) out += " TRIGGERED";
+  if (!stmt.into_table.empty()) out += " INTO " + stmt.into_table;
   return out;
 }
 
+std::string ToSql(const DropMonitorStatement& stmt) {
+  return "DROP MONITOR " + stmt.name;
+}
+
+std::string ToSql(const ShowMonitorsStatement&) { return "SHOW MONITORS"; }
+
 std::string ToSql(const Statement& stmt) {
-  if (stmt.kind() == StatementKind::kExplain) {
-    return ToSql(static_cast<const ExplainStatement&>(stmt));
+  switch (stmt.kind()) {
+    case StatementKind::kExplain:
+      return ToSql(static_cast<const ExplainStatement&>(stmt));
+    case StatementKind::kDropMonitor:
+      return ToSql(static_cast<const DropMonitorStatement&>(stmt));
+    case StatementKind::kShowMonitors:
+      return ToSql(static_cast<const ShowMonitorsStatement&>(stmt));
+    case StatementKind::kSelect:
+      break;
   }
   return ToSql(static_cast<const SelectStatement&>(stmt));
+}
+
+std::string FormatDuration(int64_t seconds) {
+  constexpr int64_t kHour = kSecondsPerMinute * kMinutesPerHour;
+  constexpr int64_t kDay = kSecondsPerMinute * kMinutesPerDay;
+  if (seconds != 0 && seconds % kDay == 0) {
+    return std::to_string(seconds / kDay) + "d";
+  }
+  if (seconds != 0 && seconds % kHour == 0) {
+    return std::to_string(seconds / kHour) + "h";
+  }
+  if (seconds != 0 && seconds % kSecondsPerMinute == 0) {
+    return std::to_string(seconds / kSecondsPerMinute) + "m";
+  }
+  return std::to_string(seconds) + "s";
 }
 
 ExprPtr MakeLiteral(table::Value v) {

@@ -103,11 +103,13 @@ ExprPtr MakeSubscript(ExprPtr base, ExprPtr index);
 // Statements
 // ---------------------------------------------------------------------------
 
-enum class StatementKind { kSelect, kExplain };
+enum class StatementKind { kSelect, kExplain, kDropMonitor, kShowMonitors };
 
-/// Base of the statement hierarchy. A parsed query is either an ordinary
-/// SELECT (with UNION ALL chain) or the declarative RCA statement
-/// EXPLAIN ... [GIVEN ...] USING ... (§3, Appendix C).
+/// Base of the statement hierarchy. A parsed query is an ordinary SELECT
+/// (with UNION ALL chain), the declarative RCA statement
+/// EXPLAIN ... [GIVEN ...] USING ... (§3, Appendix C) — optionally a
+/// *standing* one via EVERY / TRIGGERED / INTO — or one of the monitor
+/// admin statements DROP MONITOR / SHOW MONITORS.
 struct Statement {
   virtual ~Statement() = default;
   virtual StatementKind kind() const = 0;
@@ -173,6 +175,8 @@ struct SelectStatement : Statement {
 ///   [SCORE BY '<scorer>']                 -- §3.5 scorer name
 ///   [TOP k]                               -- Score Table cutoff
 ///   [BETWEEN t0 AND t1]                   -- range-to-explain (Figure 2)
+///   [EVERY <duration>] [TRIGGERED]        -- standing query (monitor)
+///   [INTO <table>]                        -- score-history table
 ///
 /// Each sub-select is an ordinary feature-family-table query compiled
 /// through the regular planner; parentheses around a sub-select are
@@ -188,7 +192,34 @@ struct ExplainStatement : Statement {
   std::optional<int64_t> between_start;  // BETWEEN t0 AND t1 (inclusive)
   std::optional<int64_t> between_end;
 
+  // Standing-query clauses (the continuous-monitoring subsystem). EVERY
+  // makes the statement a periodic monitor whose BETWEEN window slides by
+  // the interval each run; TRIGGERED arms it on the online anomaly
+  // detector instead of (or, with EVERY, rate-limited by) the timer; INTO
+  // names the catalog table each run's Score Table is appended to.
+  std::optional<int64_t> every_seconds;  // EVERY <duration>
+  bool triggered = false;                // TRIGGERED
+  std::string into_table;                // INTO <table>; empty = none
+
+  /// True when any standing-query clause is present — such statements are
+  /// handled by a monitor::MonitorService, not one-shot execution.
+  bool is_monitor() const {
+    return every_seconds.has_value() || triggered || !into_table.empty();
+  }
+
   StatementKind kind() const override { return StatementKind::kExplain; }
+};
+
+/// DROP MONITOR <name>: unregisters a standing query.
+struct DropMonitorStatement : Statement {
+  std::string name;
+
+  StatementKind kind() const override { return StatementKind::kDropMonitor; }
+};
+
+/// SHOW MONITORS: one status row per registered standing query.
+struct ShowMonitorsStatement : Statement {
+  StatementKind kind() const override { return StatementKind::kShowMonitors; }
 };
 
 /// Reconstructs parseable SQL text for a statement. Printing is a
@@ -196,7 +227,14 @@ struct ExplainStatement : Statement {
 /// text (the fuzz round-trip suite enforces this).
 std::string ToSql(const SelectStatement& stmt);
 std::string ToSql(const ExplainStatement& stmt);
+std::string ToSql(const DropMonitorStatement& stmt);
+std::string ToSql(const ShowMonitorsStatement& stmt);
 /// Dispatches on the dynamic statement kind.
 std::string ToSql(const Statement& stmt);
+
+/// Canonical rendering of a duration in seconds: the largest unit among
+/// d/h/m/s that divides it exactly (7200 -> "2h", 90 -> "90s"). The
+/// parser+printer fixpoint for EVERY depends on this canonical form.
+std::string FormatDuration(int64_t seconds);
 
 }  // namespace explainit::sql

@@ -4,6 +4,23 @@
 
 namespace explainit::sql {
 
+Catalog::Catalog(const Catalog& other) {
+  std::shared_lock<std::shared_mutex> lock(other.mutex_);
+  entries_ = other.entries_;
+}
+
+Catalog& Catalog::operator=(const Catalog& other) {
+  if (this == &other) return *this;
+  std::map<std::string, Entry> copy;
+  {
+    std::shared_lock<std::shared_mutex> lock(other.mutex_);
+    copy = other.entries_;
+  }
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  entries_ = std::move(copy);
+  return *this;
+}
+
 void Catalog::RegisterTable(const std::string& name, table::Table table) {
   const size_t rows = table.num_rows();
   auto shared = std::make_shared<table::Table>(std::move(table));
@@ -13,6 +30,7 @@ void Catalog::RegisterTable(const std::string& name, table::Table table) {
   };
   entry.hinted = false;
   entry.rows = rows;
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   entries_[ToUpper(name)] = std::move(entry);
 }
 
@@ -25,6 +43,7 @@ void Catalog::RegisterProvider(const std::string& name,
     return provider();
   };
   entry.hinted = false;
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   entries_[ToUpper(name)] = std::move(entry);
 }
 
@@ -33,6 +52,7 @@ void Catalog::RegisterHintedProvider(const std::string& name,
   Entry entry;
   entry.provider = std::move(provider);
   entry.hinted = true;
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   entries_[ToUpper(name)] = std::move(entry);
 }
 
@@ -42,29 +62,39 @@ Result<table::Table> Catalog::GetTable(const std::string& name) const {
 
 Result<table::Table> Catalog::GetTable(const std::string& name,
                                        const tsdb::ScanHints& hints) const {
-  auto it = entries_.find(ToUpper(name));
-  if (it == entries_.end()) {
-    return Status::NotFound("table not found: " + name);
+  HintedTableProvider provider;
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    auto it = entries_.find(ToUpper(name));
+    if (it == entries_.end()) {
+      return Status::NotFound("table not found: " + name);
+    }
+    provider = it->second.provider;
   }
-  return it->second.provider(hints);
+  // Invoked unlocked: a provider may run a full store scan.
+  return provider(hints);
 }
 
 bool Catalog::SupportsHints(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   auto it = entries_.find(ToUpper(name));
   return it != entries_.end() && it->second.hinted;
 }
 
 std::optional<size_t> Catalog::EstimatedRows(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   auto it = entries_.find(ToUpper(name));
   if (it == entries_.end()) return std::nullopt;
   return it->second.rows;
 }
 
 bool Catalog::HasTable(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   return entries_.count(ToUpper(name)) > 0;
 }
 
 std::vector<std::string> Catalog::ListTables() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   std::vector<std::string> out;
   for (const auto& [k, v] : entries_) out.push_back(k);
   return out;

@@ -15,6 +15,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -33,8 +34,21 @@ using HintedTableProvider =
     std::function<Result<table::Table>(const tsdb::ScanHints&)>;
 
 /// Case-insensitive table registry.
+///
+/// Thread-safe: registrations take an exclusive lock, lookups a shared
+/// one, so standing monitors can register score-history tables while
+/// server sessions resolve scans concurrently. Provider invocation
+/// happens outside the lock (the binding's std::function is copied out),
+/// so a slow scan never blocks registration.
 class Catalog {
  public:
+  Catalog() = default;
+  /// Copying snapshots the bindings — the monitor subsystem clones the
+  /// engine catalog per standing query so it can overlay the shared
+  /// window scan without perturbing concurrent sessions.
+  Catalog(const Catalog& other);
+  Catalog& operator=(const Catalog& other);
+
   /// Registers a materialised table (replacing any previous binding).
   void RegisterTable(const std::string& name, table::Table table);
 
@@ -70,6 +84,7 @@ class Catalog {
     std::optional<size_t> rows;  // known for materialised tables
   };
 
+  mutable std::shared_mutex mutex_;
   std::map<std::string, Entry> entries_;
 };
 

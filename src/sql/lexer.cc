@@ -1,19 +1,23 @@
 #include "sql/lexer.h"
 
 #include <cctype>
+#include <charconv>
+#include <limits>
 #include <unordered_set>
 
 #include "common/strings.h"
+#include "common/time_util.h"
 
 namespace explainit::sql {
 
 namespace {
-/// EXPLAIN statement clause keywords. One definition: every entry is
-/// both reserved (unioned into Keywords()) and soft (IsSoftKeyword), so
-/// the two sets cannot drift apart.
-constexpr const char* kSoftKeywords[] = {"EXPLAIN", "GIVEN",
-                                         "USING",   "PSEUDOCAUSE",
-                                         "SCORE",   "TOP"};
+/// EXPLAIN and monitor statement clause keywords. One definition: every
+/// entry is both reserved (unioned into Keywords()) and soft
+/// (IsSoftKeyword), so the two sets cannot drift apart.
+constexpr const char* kSoftKeywords[] = {
+    "EXPLAIN", "GIVEN",     "USING", "PSEUDOCAUSE", "SCORE",   "TOP",
+    "EVERY",   "TRIGGERED", "INTO",  "DROP",        "MONITOR", "MONITORS",
+    "SHOW"};
 
 const std::unordered_set<std::string>& Keywords() {
   static const auto* kKeywords = [] {
@@ -114,15 +118,71 @@ Result<std::vector<Token>> Tokenize(std::string_view query) {
         ++i;
       }
       // Exponent part.
+      bool seen_exp = false;
       if (i < n && (query[i] == 'e' || query[i] == 'E')) {
         size_t j = i + 1;
         if (j < n && (query[j] == '+' || query[j] == '-')) ++j;
         if (j < n && std::isdigit(static_cast<unsigned char>(query[j]))) {
+          seen_exp = true;
           i = j;
           while (i < n && std::isdigit(static_cast<unsigned char>(query[i]))) {
             ++i;
           }
         }
+      }
+      // A letter glued onto the number makes this a duration literal
+      // (30s, 5m, 1h, 2d): plain-integer magnitude + one-letter unit.
+      if (i < n && (std::isalpha(static_cast<unsigned char>(query[i])) ||
+                    query[i] == '_')) {
+        const size_t unit_start = i;
+        while (i < n && (std::isalnum(static_cast<unsigned char>(query[i])) ||
+                         query[i] == '_')) {
+          ++i;
+        }
+        const std::string_view magnitude =
+            query.substr(start, unit_start - start);
+        const std::string unit =
+            ToUpper(std::string(query.substr(unit_start, i - unit_start)));
+        if (seen_dot || seen_exp) {
+          return Status::ParseError(
+              "malformed duration literal '" +
+              std::string(query.substr(start, i - start)) +
+              "': magnitude must be a plain integer (" +
+              PositionText(query, start) + ")");
+        }
+        int64_t per_unit = 0;
+        if (unit == "S") {
+          per_unit = 1;
+        } else if (unit == "M") {
+          per_unit = kSecondsPerMinute;
+        } else if (unit == "H") {
+          per_unit = kSecondsPerMinute * kMinutesPerHour;
+        } else if (unit == "D") {
+          per_unit = kSecondsPerMinute * kMinutesPerDay;
+        } else {
+          return Status::ParseError(
+              "unknown duration unit '" + unit + "' in '" +
+              std::string(query.substr(start, i - start)) +
+              "' (expected s, m, h or d; " + PositionText(query, unit_start) +
+              ")");
+        }
+        int64_t value = 0;
+        const auto [ptr, ec] = std::from_chars(
+            magnitude.data(), magnitude.data() + magnitude.size(), value);
+        if (ec != std::errc() || ptr != magnitude.data() + magnitude.size() ||
+            value > std::numeric_limits<int64_t>::max() / per_unit) {
+          return Status::ParseError("duration literal '" +
+                                    std::string(magnitude) + unit +
+                                    "' out of range (" +
+                                    PositionText(query, start) + ")");
+        }
+        Token t;
+        t.type = TokenType::kDuration;
+        t.text = std::string(query.substr(start, i - start));
+        t.seconds = value * per_unit;
+        t.position = start;
+        tokens.push_back(std::move(t));
+        continue;
       }
       push(TokenType::kNumber, std::string(query.substr(start, i - start)),
            start);

@@ -17,6 +17,7 @@ enum class TokenType {
   kKeyword,      // recognised SQL keyword, normalised to upper case
   kString,       // 'single quoted'
   kNumber,       // integer or decimal literal
+  kDuration,     // duration literal: integer + unit (30s, 5m, 1h, 2d)
   kOperator,     // = != < <= > >= + - * / % ( ) , . [ ]
   kEnd,
 };
@@ -25,6 +26,7 @@ struct Token {
   TokenType type = TokenType::kEnd;
   std::string text;   // normalised: keywords upper-cased, strings unquoted
   std::string raw;    // original spelling (keywords only; empty otherwise)
+  int64_t seconds = 0;  // kDuration only: the literal converted to seconds
   size_t position = 0;  // byte offset in the query
   size_t line = 1;      // 1-based line of `position` (for error messages)
   size_t column = 1;    // 1-based column within that line
@@ -38,17 +40,21 @@ struct Token {
 };
 
 /// Splits `query` into tokens; fails with ParseError on malformed input
-/// (unterminated string, unexpected character).
+/// (unterminated string, unexpected character, malformed duration unit).
+/// A number immediately followed by a letter lexes as a duration literal:
+/// a plain-integer magnitude plus a unit in {s, m, h, d}
+/// (case-insensitive). `30x` or `1.5h` are ParseErrors with line/column.
 Result<std::vector<Token>> Tokenize(std::string_view query);
 
 /// True if `word` (upper-cased) is a reserved keyword.
 bool IsReservedKeyword(std::string_view upper_word);
 
-/// True for the EXPLAIN-statement clause keywords (EXPLAIN, GIVEN, USING,
-/// PSEUDOCAUSE, SCORE, TOP). They are reserved so statement clause
-/// boundaries parse unambiguously, but the parser still accepts them as
-/// plain identifiers in expression and alias positions — the Score Table
-/// itself has a `score` column that queries must keep addressing.
+/// True for the EXPLAIN/monitor statement clause keywords (EXPLAIN, GIVEN,
+/// USING, PSEUDOCAUSE, SCORE, TOP, EVERY, TRIGGERED, INTO, DROP, SHOW,
+/// MONITOR, MONITORS). They are reserved so statement clause boundaries
+/// parse unambiguously, but the parser still accepts them as plain
+/// identifiers in expression and alias positions — the Score Table itself
+/// has a `score` column that queries must keep addressing.
 bool IsSoftKeyword(std::string_view upper_word);
 
 }  // namespace explainit::sql

@@ -16,12 +16,31 @@ class Parser {
  public:
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
-  /// Top-level entry: SELECT (with UNION ALL chain) or EXPLAIN.
+  /// Top-level entry: SELECT (with UNION ALL chain), EXPLAIN, or the
+  /// monitor admin statements DROP MONITOR / SHOW MONITORS.
   Result<std::unique_ptr<Statement>> ParseAnyStatement() {
     if (Current().IsKeyword("EXPLAIN")) {
       EXPLAINIT_ASSIGN_OR_RETURN(auto stmt, ParseExplain());
       EXPLAINIT_RETURN_IF_ERROR(ExpectEnd("EXPLAIN statement"));
       return std::unique_ptr<Statement>(std::move(stmt));
+    }
+    if (Current().IsKeyword("DROP")) {
+      Advance();
+      EXPLAINIT_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "MONITOR"));
+      if (!CurrentIsIdentifierLike()) {
+        return Err("expected a monitor name after DROP MONITOR");
+      }
+      auto stmt = std::make_unique<DropMonitorStatement>();
+      stmt->name = CurrentIdentifierText();
+      Advance();
+      EXPLAINIT_RETURN_IF_ERROR(ExpectEnd("DROP MONITOR statement"));
+      return std::unique_ptr<Statement>(std::move(stmt));
+    }
+    if (Current().IsKeyword("SHOW")) {
+      Advance();
+      EXPLAINIT_RETURN_IF_ERROR(Expect(TokenType::kKeyword, "MONITORS"));
+      EXPLAINIT_RETURN_IF_ERROR(ExpectEnd("SHOW MONITORS statement"));
+      return std::unique_ptr<Statement>(std::make_unique<ShowMonitorsStatement>());
     }
     EXPLAINIT_ASSIGN_OR_RETURN(auto stmt, ParseSelectChain());
     EXPLAINIT_RETURN_IF_ERROR(ExpectEnd("statement"));
@@ -201,6 +220,35 @@ class Parser {
       }
       stmt->between_start = lo;
       stmt->between_end = hi;
+    }
+    // Standing-query clauses: [EVERY <duration>] [TRIGGERED] [INTO name].
+    if (Current().IsKeyword("EVERY")) {
+      Advance();
+      int64_t seconds = 0;
+      if (Current().type == TokenType::kDuration) {
+        seconds = Current().seconds;
+        Advance();
+      } else {
+        // A bare integer means seconds (EVERY 30 == EVERY 30s).
+        EXPLAINIT_ASSIGN_OR_RETURN(seconds, ParseStatementInt("EVERY"));
+      }
+      if (seconds <= 0) return Err("EVERY requires a positive interval");
+      stmt->every_seconds = seconds;
+    }
+    if (Current().IsKeyword("TRIGGERED")) {
+      stmt->triggered = true;
+      Advance();
+    }
+    if (Current().IsKeyword("INTO")) {
+      if (!stmt->every_seconds.has_value() && !stmt->triggered) {
+        return Err("INTO requires EVERY or TRIGGERED");
+      }
+      Advance();
+      if (!CurrentIsIdentifierLike()) {
+        return Err("expected a table name after INTO");
+      }
+      stmt->into_table = CurrentIdentifierText();
+      Advance();
     }
     return stmt;
   }
@@ -539,6 +587,13 @@ class Parser {
       EXPLAINIT_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
       EXPLAINIT_RETURN_IF_ERROR(Expect(TokenType::kOperator, ")"));
       return e;
+    }
+    if (tok.type == TokenType::kDuration) {
+      // Duration literals are integer seconds in expressions, so
+      // `ts - ts % 5m` works anywhere `ts - ts % 300` does.
+      const int64_t seconds = tok.seconds;
+      Advance();
+      return MakeLiteral(table::Value::Int(seconds));
     }
     if (tok.type == TokenType::kNumber) {
       // Untrusted literal text: 1e999 must become a parse error with the

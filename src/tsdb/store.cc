@@ -6,7 +6,9 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <unordered_map>
 
@@ -130,6 +132,23 @@ struct SeriesStore::Impl {
   std::atomic<size_t> seals{0};
   std::atomic<size_t> compactions{0};
 
+  /// High-water data timestamp across all series (INT64_MIN until the
+  /// first write) — the retention cutoff reference, so TTL is measured
+  /// in data time, not wall time.
+  std::atomic<int64_t> max_timestamp{std::numeric_limits<int64_t>::min()};
+  std::atomic<size_t> retention_evicted_segments{0};
+  std::atomic<size_t> retention_evicted_points{0};
+  /// Writes since the last background retention sweep was queued.
+  std::atomic<size_t> writes_since_sweep{0};
+  static constexpr size_t kRetentionSweepInterval = 4096;
+
+  /// Post-write observer (the monitor layer's anomaly-detector tap).
+  /// has_observer is the hot-path gate: writers pay one relaxed load
+  /// when no observer is installed.
+  std::shared_mutex observer_mutex;
+  std::shared_ptr<const SeriesStore::WriteObserver> observer;
+  std::atomic<bool> has_observer{false};
+
   mutable std::mutex stats_mutex;
   ScanStats scan_stats;  // guarded by stats_mutex
 
@@ -225,10 +244,60 @@ struct SeriesStore::Impl {
     if (background_error.ok()) background_error = status;
   }
 
+  /// Retention cutoff in data time; nullopt when retention is disabled
+  /// or nothing has been written yet.
+  std::optional<EpochSeconds> RetentionCutoff() const {
+    if (options.retention_seconds <= 0) return std::nullopt;
+    const int64_t high = max_timestamp.load(std::memory_order_relaxed);
+    if (high == std::numeric_limits<int64_t>::min()) return std::nullopt;
+    return high - options.retention_seconds;
+  }
+
+  /// Drops the entry's fully expired sealed segments (newest point older
+  /// than `cutoff`); stripe lock must be held. Snapshot scans stay safe:
+  /// in-flight readers hold shared_ptr copies of the segment vector.
+  size_t EvictExpiredLocked(SeriesEntry& e, EpochSeconds cutoff) {
+    size_t evicted = 0;
+    size_t points = 0;
+    auto& segs = e.segments;
+    auto keep = segs.begin();
+    for (auto it = segs.begin(); it != segs.end(); ++it) {
+      if ((*it)->max_timestamp() < cutoff) {
+        ++evicted;
+        points += (*it)->num_points();
+      } else {
+        *keep++ = std::move(*it);
+      }
+    }
+    segs.erase(keep, segs.end());
+    if (evicted > 0) {
+      retention_evicted_segments.fetch_add(evicted,
+                                           std::memory_order_relaxed);
+      retention_evicted_points.fetch_add(points, std::memory_order_relaxed);
+      total_points.fetch_sub(points, std::memory_order_relaxed);
+    }
+    return evicted;
+  }
+
+  /// Store-wide retention sweep (background task and EvictExpired body).
+  size_t SweepRetention() {
+    const auto cutoff = RetentionCutoff();
+    if (!cutoff.has_value()) return 0;
+    size_t evicted = 0;
+    for (const auto& e : SnapshotOrder()) {
+      std::lock_guard<std::mutex> lock(StripeFor(*e));
+      evicted += EvictExpiredLocked(*e, *cutoff);
+    }
+    return evicted;
+  }
+
   /// The background maintenance task for one series.
   void Maintain(const std::shared_ptr<SeriesEntry>& e) {
     std::lock_guard<std::mutex> lock(StripeFor(*e));
     e->maintenance_scheduled = false;
+    if (const auto cutoff = RetentionCutoff(); cutoff.has_value()) {
+      EvictExpiredLocked(*e, *cutoff);
+    }
     if (!ShouldSeal(e->head)) return;  // a flush got here first
     const Status status = SealLocked(*e);
     if (!status.ok()) RecordBackgroundError(status);
@@ -267,13 +336,50 @@ Status SeriesStore::Write(const std::string& metric_name, const TagSet& tags,
     }
   }
   impl_->total_points.fetch_add(1, std::memory_order_relaxed);
+  // High-water timestamp (fetch-max): the retention cutoff reference.
+  int64_t seen = impl_->max_timestamp.load(std::memory_order_relaxed);
+  while (timestamp > seen &&
+         !impl_->max_timestamp.compare_exchange_weak(
+             seen, timestamp, std::memory_order_relaxed)) {
+  }
+  if (impl_->has_observer.load(std::memory_order_acquire)) {
+    // Invoked under the shared lock so SetWriteObserver (unique lock)
+    // doubles as a quiescence barrier: once it returns, no thread is
+    // still inside the old observer.
+    std::shared_lock<std::shared_mutex> lock(impl_->observer_mutex);
+    if (impl_->observer && *impl_->observer) {
+      (*impl_->observer)(e->meta, timestamp, value);
+    }
+  }
   if (schedule) {
     Impl* impl = impl_.get();
     impl->maintenance_group->Submit(
         [impl, e = std::move(e)] { impl->Maintain(e); }, "tsdb.maintenance");
   }
+  // Periodic store-wide retention sweep: series that stopped receiving
+  // writes never hit Maintain, so their expired segments are swept here.
+  if (impl_->options.retention_seconds > 0 && impl_->maintenance_group &&
+      impl_->writes_since_sweep.fetch_add(1, std::memory_order_relaxed) + 1 >=
+          Impl::kRetentionSweepInterval) {
+    impl_->writes_since_sweep.store(0, std::memory_order_relaxed);
+    Impl* impl = impl_.get();
+    impl->maintenance_group->Submit([impl] { impl->SweepRetention(); },
+                                    "tsdb.maintenance");
+  }
   return Status::OK();
 }
+
+void SeriesStore::SetWriteObserver(WriteObserver observer) {
+  const bool installed = static_cast<bool>(observer);
+  auto shared = installed
+                    ? std::make_shared<const WriteObserver>(std::move(observer))
+                    : nullptr;
+  std::unique_lock<std::shared_mutex> lock(impl_->observer_mutex);
+  impl_->observer = std::move(shared);
+  impl_->has_observer.store(installed, std::memory_order_release);
+}
+
+size_t SeriesStore::EvictExpired() { return impl_->SweepRetention(); }
 
 Status SeriesStore::WriteSeries(const std::string& metric_name,
                                 const TagSet& tags,
@@ -345,6 +451,10 @@ StorageStats SeriesStore::storage_stats() const {
   StorageStats stats;
   stats.seals = impl_->seals.load(std::memory_order_relaxed);
   stats.compactions = impl_->compactions.load(std::memory_order_relaxed);
+  stats.retention_evicted_segments =
+      impl_->retention_evicted_segments.load(std::memory_order_relaxed);
+  stats.retention_evicted_points =
+      impl_->retention_evicted_points.load(std::memory_order_relaxed);
   for (const auto& e : impl_->SnapshotOrder()) {
     std::lock_guard<std::mutex> lock(impl_->StripeFor(*e));
     stats.sealed_segments += e->segments.size();

@@ -144,6 +144,8 @@ struct StorageStats {
   size_t sealed_segments = 0;  // current total across series
   size_t head_points = 0;      // points still in mutable heads
   size_t sealed_points = 0;    // points in sealed segments
+  size_t retention_evicted_segments = 0;  // TTL-dropped sealed segments
+  size_t retention_evicted_points = 0;    // points inside those segments
 };
 
 /// Tiering/maintenance knobs.
@@ -161,6 +163,14 @@ struct StoreOptions {
   /// Merge a series' sealed segments into one once it accumulates this
   /// many (0 disables compaction).
   size_t compact_min_segments = 8;
+  /// TTL for sealed data, in *data time*: a sealed segment is evicted
+  /// once its newest point is older than the store's high-water
+  /// timestamp (the max ever written) minus this many seconds. 0
+  /// disables retention. The mutable head is never evicted, and a
+  /// segment only goes once it is entirely expired, so always-on
+  /// ingestion stays bounded without ever cutting a window mid-segment.
+  /// Enforced on the background maintenance path (and by EvictExpired).
+  int64_t retention_seconds = 0;
   /// Shared worker pool scans fan out over and background maintenance
   /// (sealing/compaction, serialised via a max-concurrency-1 task group)
   /// runs on. Borrowed, never owned; null = exec::WorkerPool::Global().
@@ -212,6 +222,25 @@ class SeriesStore {
   /// maintenance — afterwards the store is quiesced: all data sealed,
   /// rollups built. The lifecycle hook tests and benches use.
   Status Flush();
+
+  /// Observer invoked synchronously after every accepted Write, outside
+  /// the series' stripe lock — the monitor subsystem's head tap for the
+  /// online anomaly detector. Must be cheap and thread-safe (called
+  /// concurrently from writer threads), and must not call back into
+  /// SetWriteObserver. An empty function clears it; SetWriteObserver
+  /// returns only once no writer is still inside the previous observer
+  /// (quiescence barrier).
+  using WriteObserver =
+      std::function<void(const SeriesMeta& meta, EpochSeconds timestamp,
+                         double value)>;
+  void SetWriteObserver(WriteObserver observer);
+
+  /// Synchronously drops every sealed segment that is entirely older
+  /// than the retention cutoff (see StoreOptions::retention_seconds).
+  /// Returns the number of segments evicted; no-op when retention is
+  /// disabled. The background maintenance path calls this periodically —
+  /// this entry point makes eviction deterministic for tests.
+  size_t EvictExpired();
 
   /// Flush, then merge every series' segments into a single segment.
   Status Compact();

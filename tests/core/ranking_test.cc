@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "common/random.h"
 #include "core/eval_metrics.h"
+#include "exec/cancel.h"
+#include "exec/worker_pool.h"
 
 namespace explainit::core {
 namespace {
@@ -330,6 +335,90 @@ TEST(RankingTest, SignificanceOffByDefault) {
   for (const auto& row : table->rows) {
     EXPECT_EQ(row.p_value, 1.0);
     EXPECT_TRUE(row.significant);
+  }
+}
+
+// A scorer that makes each hypothesis slow enough for a short deadline
+// to expire partway through the fan-out.
+class SlowScorer : public Scorer {
+ public:
+  std::string name() const override { return "Slow"; }
+
+ protected:
+  Result<ScoreResult> DoScore(const la::Matrix&, const la::Matrix&,
+                              const la::Matrix&,
+                              const ScoringContext*) const override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ScoreResult r;
+    r.score = 0.5;
+    return r;
+  }
+};
+
+TEST(RankingTest, PreCancelledTokenFailsWithCancelled) {
+  World w = MakeWorld(50, 4, 31);
+  exec::CancelToken token;
+  token.Cancel();
+  RankingOptions options;
+  options.cancel = &token;
+  CorrMaxScorer scorer;
+  auto table = RankFamilies(scorer, w.target, nullptr, w.candidates,
+                            options);
+  ASSERT_FALSE(table.ok());
+  EXPECT_TRUE(table.status().IsCancelled()) << table.status().ToString();
+}
+
+TEST(RankingTest, DeadlineMidRankSurfacesDeadlineExceeded) {
+  // 32 hypotheses x 5ms over 2 lanes is ~80ms of work against a 20ms
+  // deadline: the per-hypothesis check trips partway and the call fails
+  // with DeadlineExceeded instead of returning a truncated table.
+  World w = MakeWorld(50, 30, 32);
+  SlowScorer scorer;
+  exec::CancelToken token;
+  token.SetDeadlineAfter(std::chrono::milliseconds(20));
+  RankingOptions options;
+  options.cancel = &token;
+  options.num_threads = 2;
+  auto table = RankFamilies(scorer, w.target, nullptr, w.candidates,
+                            options);
+  ASSERT_FALSE(table.ok());
+  EXPECT_TRUE(table.status().IsDeadlineExceeded())
+      << table.status().ToString();
+
+  // The shared global pool survives the abandoned fan-out: a fresh
+  // ranking (and an un-deadlined token) still completes.
+  CorrMaxScorer fast;
+  RankingOptions fresh;
+  exec::CancelToken live_token;
+  fresh.cancel = &live_token;
+  auto after = RankFamilies(fast, w.target, nullptr, w.candidates, fresh);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->rows.size(), 20u);  // default top_k over 32 candidates
+}
+
+TEST(RankingTest, DeadlineMidRankOnSharedPoolDoesNotDeadlock) {
+  // Two concurrent deadlined rankings over ONE pool: both must unwind
+  // promptly (cooperative checks, no task left waiting on a peer).
+  World w = MakeWorld(50, 14, 33);
+  exec::WorkerPool pool(2);
+  SlowScorer scorer;
+  std::vector<std::thread> callers;
+  std::vector<Status> statuses(2);
+  for (int i = 0; i < 2; ++i) {
+    callers.emplace_back([&w, &pool, &scorer, &statuses, i] {
+      exec::CancelToken token;
+      token.SetDeadlineAfter(std::chrono::milliseconds(15));
+      RankingOptions options;
+      options.cancel = &token;
+      options.pool = &pool;
+      auto table =
+          RankFamilies(scorer, w.target, nullptr, w.candidates, options);
+      statuses[i] = table.status();
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (const Status& s : statuses) {
+    EXPECT_TRUE(s.IsDeadlineExceeded()) << s.ToString();
   }
 }
 

@@ -1,0 +1,86 @@
+#include "monitor/anomaly.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace explainit::monitor {
+namespace {
+
+TEST(AnomalyTest, WarmupReturnsZero) {
+  AnomalyOptions options;
+  options.warmup_points = 8;
+  EwmaAnomalyDetector detector(options);
+  for (size_t i = 0; i < options.warmup_points; ++i) {
+    EXPECT_EQ(detector.Observe("s", 100.0 + i), 0.0) << i;
+  }
+  // First post-warmup point scores against the accumulated baseline.
+  EXPECT_GT(detector.Observe("s", 1000.0), 0.0);
+}
+
+TEST(AnomalyTest, LevelShiftOnConstantSeriesTriggers) {
+  AnomalyOptions options;
+  options.warmup_points = 16;
+  EwmaAnomalyDetector detector(options);
+  for (int i = 0; i < 32; ++i) {
+    detector.Observe("cpu", 4.0);
+  }
+  // Zero-variance baseline then a jump: the detector must clamp the
+  // z-score at the threshold (not divide by zero) and flag it.
+  const double z = detector.Observe("cpu", 9.0);
+  EXPECT_TRUE(detector.IsAnomalous(z)) << z;
+}
+
+TEST(AnomalyTest, ConstantSeriesDoesNotTriggerOnItself) {
+  EwmaAnomalyDetector detector;
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_FALSE(detector.IsAnomalous(detector.Observe("flat", 7.5))) << i;
+  }
+}
+
+TEST(AnomalyTest, StationaryNoiseStaysQuiet) {
+  EwmaAnomalyDetector detector;  // default z_threshold = 6
+  std::mt19937 rng(42);
+  std::normal_distribution<double> noise(50.0, 2.0);
+  for (int i = 0; i < 2000; ++i) {
+    const double z = detector.Observe("noisy", noise(rng));
+    EXPECT_FALSE(detector.IsAnomalous(z)) << "i=" << i << " z=" << z;
+  }
+  // A 20-sigma excursion after the same baseline does trigger.
+  EXPECT_TRUE(detector.IsAnomalous(detector.Observe("noisy", 50.0 + 40.0)));
+}
+
+TEST(AnomalyTest, SeriesAreIndependent) {
+  AnomalyOptions options;
+  options.warmup_points = 4;
+  EwmaAnomalyDetector detector(options);
+  for (int i = 0; i < 16; ++i) {
+    detector.Observe("a", 1.0);
+    detector.Observe("b", 1000.0);
+  }
+  EXPECT_EQ(detector.num_series(), 2u);
+  // 1000 is normal for b but a huge excursion for a.
+  EXPECT_TRUE(detector.IsAnomalous(detector.Observe("a", 1000.0)));
+  EXPECT_FALSE(detector.IsAnomalous(detector.Observe("b", 1000.0)));
+}
+
+TEST(AnomalyTest, ConcurrentObserversAreSafe) {
+  EwmaAnomalyDetector detector;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&detector, t] {
+      const std::string key = "series_" + std::to_string(t % 2);
+      for (int i = 0; i < 1000; ++i) {
+        detector.Observe(key, static_cast<double>(i % 10));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(detector.num_series(), 2u);
+}
+
+}  // namespace
+}  // namespace explainit::monitor

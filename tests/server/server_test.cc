@@ -237,5 +237,84 @@ TEST_F(ServerTest, StopCancelsInFlightQueries) {
   EXPECT_TRUE(finished.load());
 }
 
+TEST_F(ServerTest, StopRaceNeverLeavesAQueryUncancelled) {
+  // Hammer the admit-then-register window: a query admitted just before
+  // Stop() flips stopping_ must still be cancelled (or bounced with
+  // kBusy) rather than running its full course while Stop() waits on the
+  // session thread. Each cycle would block for the whole SLOW_ID scan
+  // (many seconds) if the race were lost; the deadline guards that.
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    StartServer();
+    std::vector<std::thread> hammers;
+    for (int t = 0; t < 4; ++t) {
+      hammers.emplace_back([this] {
+        auto client = Client::Connect("127.0.0.1", server_->port());
+        if (!client.ok()) return;
+        // Loop until the server hangs up; every individual outcome
+        // (result, kBusy-as-error, dead socket) is fine.
+        while (client->Query("SELECT SLOW_ID(value) FROM tsdb").ok()) {
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5 + 5 * cycle));
+    const auto t0 = std::chrono::steady_clock::now();
+    server_->Stop();
+    const auto stop_elapsed = std::chrono::steady_clock::now() - t0;
+    for (auto& h : hammers) h.join();
+    EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(
+                  stop_elapsed)
+                  .count(),
+              5000)
+        << "Stop() waited on an uncancelled query (cycle " << cycle << ")";
+  }
+}
+
+TEST_F(ServerTest, MonitorStatementsOverTheWire) {
+  monitor::MonitorService monitors(engine_.get());
+  ServerOptions options;
+  options.monitors = &monitors;
+  StartServer(options);
+  Client client = Connect();
+
+  const std::string standing = std::string(kExplain) +
+                               " BETWEEN 0 AND 3599 EVERY 10m INTO wire_hist";
+  auto reg = client.Query(standing);
+  ASSERT_TRUE(reg.ok()) << reg.status().ToString();
+  EXPECT_EQ(reg->statement_kind,
+            static_cast<uint8_t>(sql::StatementKind::kExplain));
+  EXPECT_EQ(reg->active_monitors, 1u);
+  ASSERT_EQ(reg->table.num_rows(), 1u);
+  EXPECT_EQ(reg->table.At(0, 0).AsString(), "wire_hist");
+
+  auto show = client.Query("SHOW MONITORS");
+  ASSERT_TRUE(show.ok()) << show.status().ToString();
+  ASSERT_EQ(show->table.num_rows(), 1u);
+  EXPECT_EQ(show->table.At(0, 0).AsString(), "wire_hist");
+
+  // The monitor's history accumulates server-side and is query-visible
+  // over the same wire as any table.
+  ASSERT_TRUE(monitors.RunOnce("wire_hist").ok());
+  auto hist = client.Query("SELECT COUNT(*) AS n FROM wire_hist");
+  ASSERT_TRUE(hist.ok()) << hist.status().ToString();
+  EXPECT_GT(hist->table.At(0, 0).AsInt(), 0);
+
+  auto dropped = client.Query("DROP MONITOR wire_hist");
+  ASSERT_TRUE(dropped.ok()) << dropped.status().ToString();
+  EXPECT_EQ(dropped->active_monitors, 0u);
+
+  server_->Stop();
+  monitors.Stop();
+}
+
+TEST_F(ServerTest, MonitorStatementsWithoutServiceAreErrors) {
+  StartServer();  // no MonitorService attached
+  Client client = Connect();
+  auto reply = client.Query(std::string(kExplain) +
+                            " BETWEEN 0 AND 3599 EVERY 10m INTO nope");
+  ASSERT_FALSE(reply.ok());
+  EXPECT_TRUE(reply.status().IsInvalidArgument())
+      << reply.status().ToString();
+}
+
 }  // namespace
 }  // namespace explainit::server

@@ -95,5 +95,48 @@ TEST(LexerTest, PositionsRecorded) {
   EXPECT_EQ((*tokens)[1].position, 7u);
 }
 
+TEST(LexerTest, DurationLiterals) {
+  auto tokens = Tokenize("30s 5m 1h 2d 90S");
+  ASSERT_TRUE(tokens.ok());
+  const int64_t want[] = {30, 5 * 60, 3600, 2 * 86400, 90};
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ((*tokens)[i].type, TokenType::kDuration) << i;
+    EXPECT_EQ((*tokens)[i].seconds, want[i]) << i;
+  }
+  // Original spelling survives in text (ToSql re-canonicalises).
+  EXPECT_EQ((*tokens)[0].text, "30s");
+  EXPECT_EQ((*tokens)[4].text, "90S");
+}
+
+TEST(LexerTest, DurationDoesNotSwallowExpressionContexts) {
+  // An identifier starting right after a number that is NOT a unit is a
+  // malformed duration, never silently two tokens.
+  auto tokens = Tokenize("30x");
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_TRUE(tokens.status().IsParseError());
+  EXPECT_NE(tokens.status().message().find("duration unit"),
+            std::string::npos)
+      << tokens.status().message();
+  // Scientific notation still lexes as a plain number.
+  auto sci = Tokenize("1e6 2.5E-3");
+  ASSERT_TRUE(sci.ok());
+  EXPECT_EQ((*sci)[0].type, TokenType::kNumber);
+  EXPECT_EQ((*sci)[1].type, TokenType::kNumber);
+}
+
+TEST(LexerTest, FractionalDurationFailsWithPosition) {
+  auto tokens = Tokenize("SELECT 1\n1.5h");
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_TRUE(tokens.status().IsParseError());
+  EXPECT_NE(tokens.status().message().find("line 2"), std::string::npos)
+      << tokens.status().message();
+}
+
+TEST(LexerTest, DurationOverflowFails) {
+  auto tokens = Tokenize("99999999999999999999d");
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_TRUE(tokens.status().IsParseError());
+}
+
 }  // namespace
 }  // namespace explainit::sql

@@ -398,5 +398,118 @@ TEST(ParserTest, ExprCloneDeepCopies) {
   EXPECT_NE(clone.get(), e->get());
 }
 
+// ---------------------------------------------------------------------------
+// Standing-query (monitor) grammar
+// ---------------------------------------------------------------------------
+
+TEST(ParserTest, ExplainMonitorClauses) {
+  auto stmt = ParseStatement(
+      "EXPLAIN SELECT ts, v FROM t "
+      "USING SELECT ts, name, v FROM ff "
+      "BETWEEN 0 AND 3599 EVERY 10m TRIGGERED INTO hist");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ((*stmt)->kind(), StatementKind::kExplain);
+  const auto& e = static_cast<const ExplainStatement&>(**stmt);
+  ASSERT_TRUE(e.every_seconds.has_value());
+  EXPECT_EQ(*e.every_seconds, 600);
+  EXPECT_TRUE(e.triggered);
+  EXPECT_EQ(e.into_table, "hist");
+  EXPECT_TRUE(e.is_monitor());
+}
+
+TEST(ParserTest, ExplainWithoutMonitorClausesIsNotMonitor) {
+  auto stmt = ParseStatement(
+      "EXPLAIN SELECT ts, v FROM t USING SELECT ts, name, v FROM ff");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& e = static_cast<const ExplainStatement&>(**stmt);
+  EXPECT_FALSE(e.every_seconds.has_value());
+  EXPECT_FALSE(e.triggered);
+  EXPECT_TRUE(e.into_table.empty());
+  EXPECT_FALSE(e.is_monitor());
+}
+
+TEST(ParserTest, EveryAcceptsBareIntegerSeconds) {
+  auto stmt = ParseStatement(
+      "EXPLAIN SELECT ts, v FROM t USING SELECT ts, name, v FROM ff "
+      "EVERY 45");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& e = static_cast<const ExplainStatement&>(**stmt);
+  EXPECT_EQ(e.every_seconds, 45);
+}
+
+TEST(ParserTest, MonitorClausesPrintToFixpoint) {
+  // FormatDuration canonicalises the interval (600s -> 10m), then the
+  // printed statement must reparse to the identical string.
+  const char* kStatements[] = {
+      "EXPLAIN (SELECT ts, v FROM t) USING (SELECT ts, name, v FROM ff) "
+      "BETWEEN 0 AND 3599 EVERY 600 INTO hist",
+      "EXPLAIN (SELECT ts, v FROM t) USING (SELECT ts, name, v FROM ff) "
+      "BETWEEN 0 AND 59 TRIGGERED INTO alert_hist",
+      "EXPLAIN (SELECT ts, v FROM t) USING (SELECT ts, name, v FROM ff) "
+      "EVERY 2d",
+  };
+  for (const char* text : kStatements) {
+    SCOPED_TRACE(text);
+    auto stmt = ParseStatement(text);
+    ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+    const std::string sql = ToSql(**stmt);
+    auto reparsed = ParseStatement(sql);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+    EXPECT_EQ(ToSql(**reparsed), sql);
+  }
+  auto stmt = ParseStatement(
+      "EXPLAIN SELECT ts, v FROM t USING SELECT ts, name, v FROM ff "
+      "EVERY 600");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_NE(ToSql(**stmt).find("EVERY 10m"), std::string::npos)
+      << ToSql(**stmt);
+}
+
+TEST(ParserTest, MonitorClauseErrors) {
+  auto zero = ParseStatement(
+      "EXPLAIN SELECT v FROM t USING SELECT v FROM ff EVERY 0");
+  ASSERT_FALSE(zero.ok());
+  EXPECT_NE(zero.status().message().find("positive interval"),
+            std::string::npos)
+      << zero.status().message();
+  auto bare_into = ParseStatement(
+      "EXPLAIN SELECT v FROM t USING SELECT v FROM ff INTO hist");
+  ASSERT_FALSE(bare_into.ok());
+  EXPECT_NE(bare_into.status().message().find("INTO requires EVERY"),
+            std::string::npos)
+      << bare_into.status().message();
+  // Monitor clauses only attach to EXPLAIN, never plain SELECT.
+  EXPECT_FALSE(ParseStatement("SELECT v FROM t EVERY 30s").ok());
+}
+
+TEST(ParserTest, DropMonitorStatement) {
+  auto stmt = ParseStatement("DROP MONITOR lat_watch");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ((*stmt)->kind(), StatementKind::kDropMonitor);
+  const auto& d = static_cast<const DropMonitorStatement&>(**stmt);
+  EXPECT_EQ(d.name, "lat_watch");
+  EXPECT_EQ(ToSql(d), "DROP MONITOR lat_watch");
+  EXPECT_FALSE(ParseStatement("DROP MONITOR").ok());
+  EXPECT_FALSE(ParseStatement("DROP MONITOR a b").ok());
+}
+
+TEST(ParserTest, ShowMonitorsStatement) {
+  auto stmt = ParseStatement("SHOW MONITORS");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ((*stmt)->kind(), StatementKind::kShowMonitors);
+  EXPECT_EQ(ToSql(static_cast<const ShowMonitorsStatement&>(**stmt)),
+            "SHOW MONITORS");
+  EXPECT_FALSE(ParseStatement("SHOW MONITORS please").ok());
+}
+
+TEST(ParserTest, DurationLiteralUsableInExpressions) {
+  // A duration token is an integer literal (seconds) anywhere an
+  // expression wants one, e.g. bucketing: ts - ts % 5m.
+  auto e = ParseExpression("ts - ts % 5m");
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_NE((*e)->ToString().find("300"), std::string::npos)
+      << (*e)->ToString();
+}
+
 }  // namespace
 }  // namespace explainit::sql

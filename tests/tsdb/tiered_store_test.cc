@@ -356,5 +356,51 @@ TEST(TieredStoreTest, BackgroundSealerSealsEventually) {
   EXPECT_EQ((*res)[0].timestamps.size(), 100u);
 }
 
+TEST(TieredStoreTest, RetentionEvictsOnlyWholeExpiredSegments) {
+  StoreOptions opts = InlineSealEvery(10);
+  opts.retention_seconds = 295;
+  SeriesStore store = MakeTenSecondStore(opts);  // ts 0..590, 6 segments
+  // High-water 590 - TTL 295 = cutoff 295: the three segments whose
+  // newest points are 90/190/290 are entirely expired; the segment
+  // straddling the cutoff ([300, 390]) must survive whole.
+  EXPECT_EQ(store.EvictExpired(), 3u);
+  const StorageStats st = store.storage_stats();
+  EXPECT_EQ(st.retention_evicted_segments, 3u);
+  EXPECT_EQ(st.retention_evicted_points, 30u);
+  EXPECT_EQ(st.sealed_points, 30u);
+  auto res = store.Scan(ScanRequest{});
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res->size(), 1u);
+  ASSERT_EQ((*res)[0].timestamps.size(), 30u);
+  EXPECT_EQ((*res)[0].timestamps.front(), 300);
+  EXPECT_EQ((*res)[0].timestamps.back(), 590);
+  // Idempotent until the high-water moves.
+  EXPECT_EQ(store.EvictExpired(), 0u);
+}
+
+TEST(TieredStoreTest, RetentionNeverEvictsTheMutableHead) {
+  StoreOptions opts = InlineSealEvery(10);
+  opts.retention_seconds = 295;
+  SeriesStore store = MakeTenSecondStore(opts);
+  // A far-future burst moves the high-water so every sealed segment
+  // expires; the burst itself (5 points, under the seal threshold) is
+  // still in the head, and heads are never evicted.
+  for (int64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(store.Write("m", TagSet{{"h", "a"}}, 10000 + i * 10, 2.0).ok());
+  }
+  EXPECT_EQ(store.EvictExpired(), 6u);
+  auto res = store.Scan(ScanRequest{});
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ((*res)[0].timestamps.size(), 5u);
+  EXPECT_EQ((*res)[0].timestamps.front(), 10000);
+  EXPECT_EQ(store.storage_stats().head_points, 5u);
+}
+
+TEST(TieredStoreTest, RetentionDisabledIsANoOp) {
+  SeriesStore store = MakeTenSecondStore(InlineSealEvery(10));
+  EXPECT_EQ(store.EvictExpired(), 0u);
+  EXPECT_EQ(store.storage_stats().retention_evicted_segments, 0u);
+}
+
 }  // namespace
 }  // namespace explainit::tsdb
