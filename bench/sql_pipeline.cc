@@ -6,11 +6,16 @@
 //   Q2  scan -> filter -> join -> aggregate (two per-minute subqueries)
 //   Q3  scan -> filter -> join -> sort/limit (the partitioned hash join,
 //       sharded top-K sort and parallel materialisation showcase)
+//   Q4  star join in worst-case statement order (dimensions cross-joined
+//       first, the fact scan last) -> aggregate — the cost-based
+//       planner's join-reordering showcase, timed with the optimizer off
+//       vs on
 // Seed-vs-pipeline result parity is verified for every configuration
 // *before* any timing is recorded; mismatches fail the bench. Emits
 // BENCH_sql_pipeline.json so the perf trajectory is recorded. On hosts
 // with >= 4 cores (and not in --smoke mode) the Q3 parallel path must
-// additionally beat the serial pipeline.
+// additionally beat the serial pipeline; Q4 with the optimizer on must
+// beat the statement-order plan at the top scale.
 //
 // Usage: sql_pipeline [--smoke] [output.json]
 #include <algorithm>
@@ -61,6 +66,20 @@ const char* kQ3 =
     "AND l.tag['host'] = r.tag['host'] "
     "WHERE l.metric_name = 'latency' AND r.metric_name = 'load' "
     "ORDER BY v DESC, ts LIMIT 100";
+
+// Q4: a star join written in the worst statement order — both dimension
+// tables first (their cross product has 12x the host count in rows), the
+// fact scan last. Statement order materialises the hosts x slots cross
+// product through a nested-loop join before the fact table prunes it;
+// the cost-based planner starts from the fact-connected dimension
+// instead. The time window is slot-aligned, so the ON condition, not the
+// window, does the pruning.
+const char* kQ4 =
+    "SELECT h.grp AS g, SUM(f.value) AS s, COUNT(*) AS n "
+    "FROM hosts h CROSS JOIN slots sl "
+    "JOIN tsdb f ON f.tag['host'] = h.host AND f.timestamp = sl.b "
+    "WHERE f.metric_name = 'latency' AND f.timestamp BETWEEN 240 AND 360 "
+    "GROUP BY h.grp ORDER BY g";
 
 std::shared_ptr<tsdb::SeriesStore> BuildStore(size_t num_series) {
   auto store = std::make_shared<tsdb::SeriesStore>();
@@ -162,6 +181,11 @@ struct ScaleReport {
   /// Whole-query q3 (join + ORDER BY LIMIT) at parallelism 1 over the
   /// best parallel level — the partitioned join / sharded sort metric.
   double q3_parallel_speedup = 0;
+  /// Q4 star join: statement-order plan (optimizer off) vs the
+  /// cost-based plan (optimizer on), both at parallelism 1.
+  QueryResult q4_seed, q4_off, q4_on;
+  double q4_reorder_speedup = 0;
+  size_t q4_joins_reordered = 0;
 };
 
 std::vector<size_t> ParallelismSweep() {
@@ -175,6 +199,12 @@ std::vector<size_t> ParallelismSweep() {
 ScaleReport RunScale(size_t num_series) {
   auto store = BuildStore(num_series);
   sql::Catalog catalog;
+  // Engine-style registration: the live estimator feeds the cost-based
+  // planner the fact table's true size, which is what makes Q4's reorder
+  // decision real rather than a default-guess coin flip.
+  sql::HintedProviderOptions provider_options;
+  provider_options.estimated_rows = [store] { return store->num_points(); };
+  provider_options.exact_rollups = true;
   catalog.RegisterHintedProvider(
       "tsdb",
       [store](const tsdb::ScanHints& hints) -> Result<table::Table> {
@@ -182,7 +212,22 @@ ScaleReport RunScale(size_t num_series) {
         req.range = kRange;
         req.hints = hints;
         return store->ScanToTable(req);
-      });
+      },
+      provider_options);
+  // Q4's dimension tables: one row per host, and the 12 minute slots.
+  table::Table hosts(table::Schema{{{"host", table::DataType::kString},
+                                    {"grp", table::DataType::kString}}});
+  for (size_t h = 0; h < num_series; ++h) {
+    hosts.AppendRow({table::Value::String("h" + std::to_string(h)),
+                     table::Value::String("g" + std::to_string(h % 8))});
+  }
+  catalog.RegisterTable("hosts", std::move(hosts));
+  table::Table slots(
+      table::Schema{{{"b", table::DataType::kTimestamp}}});
+  for (int64_t i = 0; i < kPointsPerSeries; ++i) {
+    slots.AppendRow({table::Value::Timestamp(i * 60)});
+  }
+  catalog.RegisterTable("slots", std::move(slots));
   sql::FunctionRegistry functions = sql::FunctionRegistry::Builtins();
   bench::SeedExecutor seed(&catalog, &functions);
   sql::Executor pipeline(&catalog, &functions);
@@ -208,6 +253,27 @@ ScaleReport RunScale(size_t num_series) {
       rep.match = false;
     }
   }
+  // Q4 parity: seed vs statement-order plan vs cost-based plan, and the
+  // reorder must actually fire (otherwise the speedup below measures
+  // nothing).
+  sql::PlannerOptions optimizer_off;
+  optimizer_off.enabled = false;
+  const QueryResult q4_ref = Run(seed, kQ4);
+  pipeline.set_parallelism(1);
+  pipeline.set_optimizer(optimizer_off);
+  const QueryResult q4_off = Run(pipeline, kQ4);
+  pipeline.set_optimizer(sql::PlannerOptions{});
+  const QueryResult q4_on = Run(pipeline, kQ4);
+  rep.q4_joins_reordered = pipeline.last_stats().joins_reordered;
+  if (!Matches(q4_ref, q4_off) || !Matches(q4_ref, q4_on)) {
+    std::fprintf(stderr, "Q4 parity FAILED at %zu series\n", num_series);
+    rep.match = false;
+  }
+  if (rep.q4_joins_reordered == 0) {
+    std::fprintf(stderr, "Q4 join reorder did not fire at %zu series\n",
+                 num_series);
+    rep.match = false;
+  }
 
   // Timed runs: three rounds with the configurations *interleaved*
   // (seed, then each parallelism, back to back within one round), so a
@@ -216,6 +282,7 @@ ScaleReport RunScale(size_t num_series) {
   constexpr int kRounds = 3;
   const std::vector<size_t> sweep = ParallelismSweep();
   rep.q1_seed.seconds = rep.q2_seed.seconds = rep.q3_seed.seconds = 1e300;
+  rep.q4_seed.seconds = rep.q4_off.seconds = rep.q4_on.seconds = 1e300;
   rep.pipeline.resize(sweep.size());
   for (size_t j = 0; j < sweep.size(); ++j) {
     rep.pipeline[j].parallelism = sweep[j];
@@ -241,6 +308,14 @@ ScaleReport RunScale(size_t num_series) {
       pipeline.set_parallelism(sweep[j]);
       KeepMin(&rep.pipeline[j].q3, Run(pipeline, kQ3));
     }
+    // Q4 off/on back to back within the round, parallelism 1 (the
+    // reorder win is plan-level, not thread-level).
+    pipeline.set_parallelism(1);
+    KeepMin(&rep.q4_seed, Run(seed, kQ4));
+    pipeline.set_optimizer(optimizer_off);
+    KeepMin(&rep.q4_off, Run(pipeline, kQ4));
+    pipeline.set_optimizer(sql::PlannerOptions{});
+    KeepMin(&rep.q4_on, Run(pipeline, kQ4));
   }
   double best_parallel_q1 = 1e300;
   double best_parallel_agg = 1e300;
@@ -255,6 +330,7 @@ ScaleReport RunScale(size_t num_series) {
   rep.q1_parallel_speedup = rep.pipeline[0].q1.seconds / best_parallel_q1;
   rep.q1_agg_speedup = rep.pipeline[0].q1_agg_self_sec / best_parallel_agg;
   rep.q3_parallel_speedup = rep.pipeline[0].q3.seconds / best_parallel_q3;
+  rep.q4_reorder_speedup = rep.q4_off.seconds / rep.q4_on.seconds;
   return rep;
 }
 
@@ -276,6 +352,11 @@ void PrintScale(const ScaleReport& r) {
       "          parallel-vs-serial-pipeline speedups: Q1 %.2fx "
       "(HashAggregate operator: %.2fx), Q3 join+sort %.2fx\n",
       r.q1_parallel_speedup, r.q1_agg_speedup, r.q3_parallel_speedup);
+  std::printf(
+      "          Q4 star join: seed %8.4fs | optimizer off %8.4fs | "
+      "on %8.4fs | reorder %.2fx (%zu joins reordered)\n",
+      r.q4_seed.seconds, r.q4_off.seconds, r.q4_on.seconds,
+      r.q4_reorder_speedup, r.q4_joins_reordered);
 }
 
 int Main(int argc, char** argv) {
@@ -349,8 +430,14 @@ int Main(int argc, char** argv) {
         "     \"q1_parallel_speedup_vs_serial_pipeline\": %.2f,\n"
         "     \"q1_hashaggregate_parallel_speedup\": %.2f,\n"
         "     \"q3_parallel_speedup_vs_serial_pipeline\": %.2f,\n"
+        "     \"q4_seed_sec\": %.6f, \"q4_off_sec\": %.6f, "
+        "\"q4_on_sec\": %.6f, \"q4_rows\": %zu,\n"
+        "     \"q4_reorder_speedup\": %.2f, "
+        "\"q4_joins_reordered\": %zu,\n"
         "     \"results_match\": %s}%s\n",
         r.q1_parallel_speedup, r.q1_agg_speedup, r.q3_parallel_speedup,
+        r.q4_seed.seconds, r.q4_off.seconds, r.q4_on.seconds, r.q4_on.rows,
+        r.q4_reorder_speedup, r.q4_joins_reordered,
         r.match ? "true" : "false", i + 1 < reports.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -373,6 +460,14 @@ int Main(int argc, char** argv) {
     std::printf("FAIL: Q3 join+sort parallel speedup %.2fx < 1.1x on a "
                 ">=4-core host\n",
                 reports.back().q3_parallel_speedup);
+    return 1;
+  }
+  // Q4 reorder gate: the cost-based join order must beat the
+  // worst-case statement order at the top scale. The win is plan
+  // shape, not threads, so it holds regardless of core count.
+  if (!smoke && reports.back().q4_reorder_speedup < 1.1) {
+    std::printf("FAIL: Q4 join reorder speedup %.2fx < 1.1x\n",
+                reports.back().q4_reorder_speedup);
     return 1;
   }
   return 0;

@@ -142,11 +142,21 @@ Engine::Engine(std::shared_ptr<tsdb::SeriesStore> store, EngineOptions options)
       options_(options),
       functions_(sql::FunctionRegistry::Builtins()),
       executor_(&catalog_, &functions_, options.sql_parallelism,
-                options.worker_pool) {}
+                options.worker_pool) {
+  executor_.set_optimizer(options.sql_optimizer);
+}
 
 void Engine::RegisterStoreTable(const std::string& table_name,
                                 const TimeRange& range) {
   std::shared_ptr<tsdb::SeriesStore> store = store_;
+  sql::HintedProviderOptions provider_options;
+  // Live cardinality for the cost-based planner. The whole-store count
+  // over-estimates range-restricted tables, but relative magnitudes (the
+  // fact table dwarfs dimension tables) are what join ordering needs.
+  provider_options.estimated_rows = [store] { return store->num_points(); };
+  // Hints forward verbatim to SeriesStore::Scan, so count-rollup routing
+  // (RollupAggregate::kCount + the COUNT -> __SUM_COUNT rewrite) is exact.
+  provider_options.exact_rollups = true;
   catalog_.RegisterHintedProvider(
       table_name,
       [store, range](const tsdb::ScanHints& hints) -> Result<table::Table> {
@@ -154,7 +164,8 @@ void Engine::RegisterStoreTable(const std::string& table_name,
         req.range = range;
         req.hints = hints;
         return store->ScanToTable(req);
-      });
+      },
+      std::move(provider_options));
 }
 
 Result<QueryResult> Engine::Query(std::string_view statement) {

@@ -34,6 +34,10 @@ struct EngineOptions {
   /// borrows; null = exec::WorkerPool::Global(). Injection point for
   /// tests — production engines all share the process-wide pool.
   exec::WorkerPool* worker_pool = nullptr;
+  /// Cost-based SQL optimiser knobs (join reordering, aggregate pushdown,
+  /// COUNT rollup routing). All on by default; `enabled = false`
+  /// reproduces statement-order plans exactly.
+  sql::PlannerOptions sql_optimizer;
 };
 
 /// One ranking request (Algorithm 1, one iteration).

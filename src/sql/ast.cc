@@ -7,7 +7,8 @@ namespace explainit::sql {
 bool IsAggregateFunction(std::string_view upper_name) {
   return upper_name == "AVG" || upper_name == "SUM" || upper_name == "MIN" ||
          upper_name == "MAX" || upper_name == "COUNT" ||
-         upper_name == "STDDEV" || upper_name == "PERCENTILE";
+         upper_name == "STDDEV" || upper_name == "PERCENTILE" ||
+         upper_name == "__SUM_COUNT";
 }
 
 namespace {

@@ -87,7 +87,9 @@ struct CaseBranch {
   ExprPtr result;
 };
 
-/// True for AVG/SUM/MIN/MAX/COUNT/STDDEV/PERCENTILE.
+/// True for AVG/SUM/MIN/MAX/COUNT/STDDEV/PERCENTILE, plus the planner's
+/// internal __SUM_COUNT (a COUNT partial: sums its argument, finalises
+/// as an integer — never produced by the parser).
 bool IsAggregateFunction(std::string_view upper_name);
 
 // Convenience constructors used by the parser and tests.

@@ -49,9 +49,17 @@ void Catalog::RegisterProvider(const std::string& name,
 
 void Catalog::RegisterHintedProvider(const std::string& name,
                                      HintedTableProvider provider) {
+  RegisterHintedProvider(name, std::move(provider), HintedProviderOptions{});
+}
+
+void Catalog::RegisterHintedProvider(const std::string& name,
+                                     HintedTableProvider provider,
+                                     HintedProviderOptions options) {
   Entry entry;
   entry.provider = std::move(provider);
   entry.hinted = true;
+  entry.exact_rollups = options.exact_rollups;
+  entry.estimator = std::move(options.estimated_rows);
   std::unique_lock<std::shared_mutex> lock(mutex_);
   entries_[ToUpper(name)] = std::move(entry);
 }
@@ -81,11 +89,24 @@ bool Catalog::SupportsHints(const std::string& name) const {
   return it != entries_.end() && it->second.hinted;
 }
 
-std::optional<size_t> Catalog::EstimatedRows(const std::string& name) const {
+bool Catalog::SupportsExactRollups(const std::string& name) const {
   std::shared_lock<std::shared_mutex> lock(mutex_);
   auto it = entries_.find(ToUpper(name));
-  if (it == entries_.end()) return std::nullopt;
-  return it->second.rows;
+  return it != entries_.end() && it->second.exact_rollups;
+}
+
+std::optional<size_t> Catalog::EstimatedRows(const std::string& name) const {
+  std::function<size_t()> estimator;
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    auto it = entries_.find(ToUpper(name));
+    if (it == entries_.end()) return std::nullopt;
+    if (it->second.rows.has_value()) return it->second.rows;
+    estimator = it->second.estimator;
+  }
+  // Invoked unlocked: an estimator may touch store-internal locks.
+  if (estimator != nullptr) return estimator();
+  return std::nullopt;
 }
 
 bool Catalog::HasTable(const std::string& name) const {

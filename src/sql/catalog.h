@@ -33,6 +33,21 @@ using TableProvider = std::function<Result<table::Table>()>;
 using HintedTableProvider =
     std::function<Result<table::Table>(const tsdb::ScanHints&)>;
 
+/// Capabilities and statistics of a hinted provider, beyond honouring
+/// hints.
+struct HintedProviderOptions {
+  /// Live row-count estimate (e.g. SeriesStore::num_points), consulted by
+  /// the cost-based planner on every planning pass. Invoked outside the
+  /// catalog lock; must be cheap and thread-safe.
+  std::function<size_t()> estimated_rows;
+  /// True when the provider forwards ScanHints verbatim to a SeriesStore
+  /// scan, so a RollupAggregate::kCount hint returns per-bucket point
+  /// counts (with value = 1.0 raw fallbacks) exactly as the store
+  /// contracts. Gates the planner's COUNT -> __SUM_COUNT rollup rewrite,
+  /// which is only correct under that contract.
+  bool exact_rollups = false;
+};
+
 /// Case-insensitive table registry.
 ///
 /// Thread-safe: registrations take an exclusive lock, lookups a shared
@@ -59,6 +74,11 @@ class Catalog {
   void RegisterHintedProvider(const std::string& name,
                               HintedTableProvider provider);
 
+  /// As above, with a live row estimator and capability flags.
+  void RegisterHintedProvider(const std::string& name,
+                              HintedTableProvider provider,
+                              HintedProviderOptions options);
+
   /// Resolves and materialises a table; NotFound for unknown names.
   Result<table::Table> GetTable(const std::string& name) const;
 
@@ -70,8 +90,14 @@ class Catalog {
   /// only drops pushed-down WHERE conjuncts for such tables.
   bool SupportsHints(const std::string& name) const;
 
-  /// Row count for materialised tables (used for hash-join build-side
-  /// selection); nullopt for lazy providers and unknown names.
+  /// True when the table's provider was registered with
+  /// HintedProviderOptions::exact_rollups (see there).
+  bool SupportsExactRollups(const std::string& name) const;
+
+  /// Row count: exact for materialised tables, live (estimator) for
+  /// providers registered with one; nullopt otherwise. Feeds hash-join
+  /// build-side selection and the cost-based planner's cardinality
+  /// estimates.
   std::optional<size_t> EstimatedRows(const std::string& name) const;
 
   bool HasTable(const std::string& name) const;
@@ -81,7 +107,9 @@ class Catalog {
   struct Entry {
     HintedTableProvider provider;
     bool hinted = false;
-    std::optional<size_t> rows;  // known for materialised tables
+    bool exact_rollups = false;
+    std::optional<size_t> rows;        // known for materialised tables
+    std::function<size_t()> estimator;  // live estimate for providers
   };
 
   mutable std::shared_mutex mutex_;

@@ -39,8 +39,10 @@ Result<table::Table> Executor::Query(std::string_view sql) {
 Result<std::unique_ptr<Operator>> Executor::PlanSelect(
     const SelectStatement& stmt) {
   EnsurePool();
-  Planner planner(catalog_, functions_, &ctx_);
-  return planner.Plan(stmt);
+  Planner planner(catalog_, functions_, &ctx_, optimizer_);
+  auto root = planner.Plan(stmt);
+  pending_plan_ = root.ok() ? planner.last_plan() : nullptr;
+  return root;
 }
 
 Result<table::Table> Executor::ExecuteTree(Operator* root) {
@@ -109,6 +111,13 @@ Result<table::Table> Executor::ExecuteTree(Operator* root) {
   root->AccumulateExecStatsTree(&last_stats_);
   last_stats_.rows_output = out.num_rows();
   root->CollectStats(&last_stats_.operators);
+  if (pending_plan_ != nullptr) {
+    last_stats_.plan_text = pending_plan_->ToString();
+    last_stats_.joins_reordered = pending_plan_->joins_reordered;
+    last_stats_.agg_pushdowns = pending_plan_->agg_pushdowns;
+    last_stats_.count_rollup_rewrites = pending_plan_->count_rollup_rewrites;
+    pending_plan_ = nullptr;
+  }
 
   stats_.tables_scanned += last_stats_.tables_scanned;
   stats_.rows_scanned += last_stats_.rows_scanned;
@@ -127,6 +136,10 @@ Result<table::Table> Executor::ExecuteTree(Operator* root) {
   stats_.rank_predict_ns += last_stats_.rank_predict_ns;
   stats_.rank_cache_hits += last_stats_.rank_cache_hits;
   stats_.rank_cache_misses += last_stats_.rank_cache_misses;
+  stats_.joins_reordered += last_stats_.joins_reordered;
+  stats_.agg_pushdowns += last_stats_.agg_pushdowns;
+  stats_.count_rollup_rewrites += last_stats_.count_rollup_rewrites;
+  stats_.plan_text = last_stats_.plan_text;
   stats_.operators = last_stats_.operators;
   return out;
 }

@@ -30,6 +30,7 @@
 #include "sql/catalog.h"
 #include "sql/exec_context.h"
 #include "sql/functions.h"
+#include "sql/logical_plan.h"
 #include "sql/operators/operator.h"
 #include "table/table.h"
 
@@ -54,6 +55,11 @@ class Executor {
   /// streaming pipeline; 0 = hardware concurrency.
   void set_parallelism(size_t parallelism);
   size_t parallelism() const { return parallelism_; }
+
+  /// Optimiser knobs for subsequent queries (cost-based join reordering,
+  /// aggregate pushdown, COUNT rollup routing — sql/logical_plan.h).
+  void set_optimizer(PlannerOptions options) { optimizer_ = options; }
+  const PlannerOptions& optimizer() const { return optimizer_; }
 
   /// Sets the cancellation token subsequent queries check at batch
   /// boundaries (null = none). The token must outlive every query run
@@ -114,8 +120,13 @@ class Executor {
   size_t parallelism_ = 1;
   exec::WorkerPool* pool_ = nullptr;  // borrowed, never owned
   ExecContext ctx_;
+  PlannerOptions optimizer_;
   ExecStats stats_;       // cumulative
   ExecStats last_stats_;  // most recent query
+  /// Logical plan of the most recent PlanSelect, consumed by the next
+  /// ExecuteTree into last_stats_.plan_text (externally assembled trees
+  /// have no logical plan and clear it).
+  std::shared_ptr<const LogicalPlan> pending_plan_;
 };
 
 }  // namespace explainit::sql

@@ -31,6 +31,20 @@ Result<Value> ComputeAggregate(const Expr& agg, const Evaluator& ev,
     }
     return Value::Int(n);
   }
+  if (name == "__SUM_COUNT") {
+    // COUNT partial: sums pre-counted values (rollup bucket counts, or
+    // partial-aggregate counts), finalising with COUNT's integer type.
+    if (agg.args.size() != 1 || agg.args[0] == nullptr ||
+        agg.args[0]->kind == ExprKind::kStar) {
+      return Status::InvalidArgument("__SUM_COUNT expects 1 argument");
+    }
+    double acc = 0.0;
+    for (size_t r : rows) {
+      EXPLAINIT_ASSIGN_OR_RETURN(Value v, ev.Eval(*agg.args[0], r));
+      if (!v.is_null()) acc += v.AsDouble();
+    }
+    return Value::Int(std::llround(acc));
+  }
   if (agg.args.empty()) {
     return Status::InvalidArgument(name + " expects an argument");
   }
@@ -171,7 +185,8 @@ bool IsDecomposable(const Expr& agg) {
   if (n == "COUNT") {
     return agg.args.size() == 1 && agg.args[0] != nullptr;
   }
-  if (n == "SUM" || n == "AVG" || n == "MIN" || n == "MAX") {
+  if (n == "SUM" || n == "AVG" || n == "MIN" || n == "MAX" ||
+      n == "__SUM_COUNT") {
     return !agg.args.empty() && agg.args[0] != nullptr &&
            agg.args[0]->kind != ExprKind::kStar;
   }
@@ -458,7 +473,8 @@ Result<ColumnBatch> HashAggregateOperator::PartialNext(bool* eof) {
     for (size_t i = 0; i < stmt_->items.size(); ++i) {
       const SelectItem& item = stmt_->items[i];
       if (item.expr->kind == ExprKind::kFunction &&
-          item.expr->function_name == "COUNT") {
+          (item.expr->function_name == "COUNT" ||
+           item.expr->function_name == "__SUM_COUNT")) {
         cols[i].push_back(Value::Int(0));
       } else {
         cols[i].push_back(Value::Null());
@@ -580,6 +596,10 @@ Result<ColumnBatch> HashAggregateOperator::PartialNext(bool* eof) {
       return agg.args[0]->kind == ExprKind::kStar
                  ? Value::Int(static_cast<int64_t>(g.rows))
                  : Value::Int(st.non_null);
+    }
+    if (n == "__SUM_COUNT") {
+      return st.non_null == 0 ? Value::Int(0)
+                              : Value::Int(std::llround(st.sum));
     }
     if (st.non_null == 0) return Value::Null();
     if (n == "SUM") return Value::Double(st.sum);
@@ -781,7 +801,8 @@ Result<ColumnBatch> HashAggregateOperator::IndexNext(bool* eof) {
               const SelectItem& item = stmt_->items[i];
               values[i][gi] =
                   item.expr->kind == ExprKind::kFunction &&
-                          item.expr->function_name == "COUNT"
+                          (item.expr->function_name == "COUNT" ||
+                           item.expr->function_name == "__SUM_COUNT")
                       ? Value::Int(0)
                       : Value::Null();
             }
@@ -893,7 +914,8 @@ Result<ColumnBatch> HashAggregateOperator::SerialNext(bool* eof) {
       for (size_t i = 0; i < stmt_->items.size(); ++i) {
         const SelectItem& item = stmt_->items[i];
         if (item.expr->kind == ExprKind::kFunction &&
-            item.expr->function_name == "COUNT") {
+            (item.expr->function_name == "COUNT" ||
+             item.expr->function_name == "__SUM_COUNT")) {
           out_cols[i].push_back(Value::Int(0));
         } else {
           out_cols[i].push_back(Value::Null());

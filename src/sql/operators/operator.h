@@ -71,6 +71,14 @@ struct ExecStats {
   /// whole conditional fits served cached vs computed).
   size_t rank_cache_hits = 0;
   size_t rank_cache_misses = 0;
+  /// The logical plan (LogicalPlan::ToString) behind the last query, and
+  /// the optimiser rewrites that fired: statements whose join order left
+  /// statement order, partial aggregates placed below joins, and
+  /// COUNT -> count-rollup-tier rewrites.
+  std::string plan_text;
+  size_t joins_reordered = 0;
+  size_t agg_pushdowns = 0;
+  size_t count_rollup_rewrites = 0;
   std::vector<OperatorStats> operators;
 };
 
@@ -129,6 +137,13 @@ class Operator {
 
   const OperatorStats& stats() const { return stats_; }
 
+  /// Ties an external object's lifetime to this operator. The planner
+  /// uses it to keep optimiser-synthesised AST (owned by the LogicalPlan)
+  /// alive exactly as long as the operators that reference it.
+  void RetainArtifact(std::shared_ptr<const void> artifact) {
+    artifacts_.push_back(std::move(artifact));
+  }
+
  protected:
   virtual Status OpenImpl() = 0;
   virtual Result<table::ColumnBatch> NextImpl(bool* eof) = 0;
@@ -147,6 +162,9 @@ class Operator {
   mutable OperatorStats stats_;
 
  private:
+  // Declared before children_ so children (which may reference retained
+  // artifacts, e.g. synthesised AST) are destroyed first.
+  std::vector<std::shared_ptr<const void>> artifacts_;
   std::vector<std::unique_ptr<Operator>> children_;
   const ExecContext* bound_ctx_ = nullptr;  // set by BindExecContext
 };

@@ -51,6 +51,8 @@ double RollupValue(const RollupPoint& p, RollupAggregate agg) {
       return p.max;
     case RollupAggregate::kSum:
       return p.sum;
+    case RollupAggregate::kCount:
+      return static_cast<double>(p.count);
     case RollupAggregate::kNone:
       break;
   }

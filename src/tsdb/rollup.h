@@ -20,9 +20,16 @@ namespace explainit::tsdb {
 /// Only aggregates that recombine exactly across mixed granularities are
 /// offered: SUM of bucket sums, MIN of bucket mins and MAX of bucket
 /// maxes equal the raw answer even when some rows come from rollups and
-/// others (head, partially-covered segments) stay raw. AVG/COUNT do not
-/// compose that way and always scan raw.
-enum class RollupAggregate : uint8_t { kNone = 0, kMin, kMax, kSum };
+/// others (head, partially-covered segments) stay raw. AVG does not
+/// compose that way and always scans raw.
+///
+/// kCount serves per-bucket point counts. Unlike the others it changes
+/// what a raw-fallback row means: fallbacks substitute value = 1.0 per
+/// raw point, so *summing* the returned values reproduces COUNT across
+/// mixed granularities (the SQL planner rewrites COUNT -> __SUM_COUNT
+/// alongside this hint and only emits it for stores that honour hints
+/// verbatim).
+enum class RollupAggregate : uint8_t { kNone = 0, kMin, kMax, kSum, kCount };
 
 /// One rollup bucket: aggregates over every raw point of the *owning
 /// segment* whose timestamp falls in [bucket, bucket + step).

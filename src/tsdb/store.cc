@@ -522,19 +522,29 @@ Status DecodeSnapshot(const SeriesSnapshot& snap, const TimeRange& window,
       }
       ++counters->segments_rollup_served;
     } else {
+      const size_t before = data->values.size();
       EXPLAINIT_ASSIGN_OR_RETURN(
           size_t decoded,
           DecodeBlockInto(seg->block(), window, bounded, data));
       counters->points_decoded += decoded;
       counters->segment_points_decoded += decoded;
       if (tier_step > 0) ++counters->segments_raw_fallback;
+      if (agg == RollupAggregate::kCount) {
+        // A count-routed scan returns point counts, not samples: each
+        // raw-fallback point contributes a count of one.
+        std::fill(data->values.begin() + before, data->values.end(), 1.0);
+      }
     }
   }
   if (snap.head.num_points() > 0) {
+    const size_t before = data->values.size();
     EXPLAINIT_ASSIGN_OR_RETURN(
         size_t decoded, DecodeBlockInto(snap.head, window, bounded, data));
     counters->points_decoded += decoded;
     counters->head_points_decoded += decoded;
+    if (agg == RollupAggregate::kCount) {
+      std::fill(data->values.begin() + before, data->values.end(), 1.0);
+    }
   }
   counters->points_returned += data->timestamps.size();
   return Status::OK();

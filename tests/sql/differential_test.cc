@@ -175,6 +175,66 @@ const char* const kCorpus[] = {
     // DATE_TRUNC as a plain scalar (no aggregation shape at all).
     "SELECT DATE_TRUNC('hour', timestamp) AS h, value FROM tsdb "
     "WHERE metric_name = 'sparse'",
+    // --- cost-based planner: join reordering ------------------------------
+    // Star joins in worst-case statement order (dimensions cross-joined
+    // first, the big tsdb relation last): the planner reorders, the seed
+    // runs statement order — parity proves order independence.
+    "SELECT hosts.grp AS g, SUM(t.value) AS s "
+    "FROM hosts CROSS JOIN nums n JOIN tsdb t ON t.tag['host'] = hosts.host "
+    "GROUP BY hosts.grp ORDER BY g",
+    "SELECT d.v AS dv, hosts.grp AS g, COUNT(*) AS n "
+    "FROM dims d CROSS JOIN hosts JOIN nums m ON m.h = d.h "
+    "GROUP BY d.v, hosts.grp ORDER BY dv, g",
+    // --- cost-based planner: aggregate pushdown below joins ---------------
+    "SELECT hosts.grp AS g, COUNT(*) AS n FROM tsdb t "
+    "JOIN hosts ON t.tag['host'] = hosts.host GROUP BY hosts.grp",
+    "SELECT hosts.host AS h, AVG(t.value) AS a, MIN(t.value) AS lo "
+    "FROM tsdb t JOIN hosts ON t.tag['host'] = hosts.host "
+    "WHERE t.metric_name = 'cpu' GROUP BY hosts.host ORDER BY h",
+    // HAVING above the pushed partial aggregate.
+    "SELECT hosts.host AS h, SUM(t.value) AS s FROM tsdb t "
+    "JOIN hosts ON t.tag['host'] = hosts.host GROUP BY hosts.host "
+    "HAVING SUM(t.value) > 100 ORDER BY h",
+    // Global aggregate over a join (partial keys come from the join
+    // condition alone).
+    "SELECT COUNT(*) AS n, MAX(t.value) AS mx FROM tsdb t "
+    "JOIN hosts ON t.tag['host'] = hosts.host WHERE t.metric_name = 'mem'",
+    // R-only WHERE conjuncts move below the partial aggregate; the
+    // hosts-side conjunct stays above it.
+    "SELECT hosts.grp AS g, MAX(t.value) AS mx, MIN(t.value) AS mn "
+    "FROM tsdb t JOIN hosts ON t.tag['host'] = hosts.host "
+    "WHERE t.metric_name = 'cpu' AND t.timestamp < 900 GROUP BY hosts.grp",
+    "SELECT hosts.host AS h, SUM(t.value) AS s FROM tsdb t "
+    "JOIN hosts ON t.tag['host'] = hosts.host "
+    "WHERE t.metric_name = 'cpu' AND hosts.grp = 'edge' "
+    "GROUP BY hosts.host ORDER BY h",
+    // Duplicate keys in R (dims has h0/h5 twice): join multiplicity
+    // depends only on the partial group key, the invariant pushdown
+    // relies on.
+    "SELECT hosts.grp AS g, SUM(d.v) AS s FROM dims d "
+    "JOIN hosts ON d.h = hosts.host JOIN nums m ON m.h = d.h "
+    "GROUP BY hosts.grp ORDER BY g",
+    // Per-branch optimisation under UNION ALL.
+    "SELECT hosts.grp AS g, SUM(t.value) AS s FROM tsdb t "
+    "JOIN hosts ON t.tag['host'] = hosts.host WHERE t.metric_name = 'cpu' "
+    "GROUP BY hosts.grp "
+    "UNION ALL "
+    "SELECT hosts.grp AS g, SUM(t.value) AS s FROM tsdb t "
+    "JOIN hosts ON t.tag['host'] = hosts.host WHERE t.metric_name = 'mem' "
+    "GROUP BY hosts.grp",
+    // Outer joins must keep statement order (and COUNT over the padded
+    // side counts NULLs vs rows differently — both engines must agree).
+    "SELECT hosts.host AS h, COUNT(n.v) AS c FROM hosts "
+    "LEFT JOIN nums n ON hosts.host = n.h GROUP BY hosts.host ORDER BY h",
+    "SELECT COUNT(*) AS n FROM hosts FULL OUTER JOIN dims "
+    "ON hosts.host = dims.h",
+    // --- cost-based planner: COUNT rollup routing --------------------------
+    // The tiered fixture serves sealed segments from count tiers and the
+    // dirty heads from raw decodes with value = 1.0 substituted.
+    "SELECT DATE_TRUNC('minute', timestamp) AS m, COUNT(*) AS n FROM tsdb "
+    "WHERE metric_name = 'cpu' GROUP BY DATE_TRUNC('minute', timestamp)",
+    "SELECT DATE_TRUNC('hour', timestamp) AS h, COUNT(value) AS c "
+    "FROM tsdb GROUP BY DATE_TRUNC('hour', timestamp)",
 };
 
 bool NumericType(const Value& v) {
@@ -280,7 +340,14 @@ class DifferentialTest : public ::testing::Test {
     ASSERT_TRUE(store_
                     ->Write("sparse", tsdb::TagSet{{"host", "h0"}}, 120, 1.5)
                     .ok());
+    // Engine-style registration: live row estimate for the cost-based
+    // planner and exact_rollups so grid COUNT queries route onto count
+    // tiers (the seed recombines raw rows either way — parity locks the
+    // rewrite).
     auto store = store_;
+    HintedProviderOptions provider_options;
+    provider_options.estimated_rows = [store] { return store->num_points(); };
+    provider_options.exact_rollups = true;
     catalog_.RegisterHintedProvider(
         "tsdb",
         [store](const tsdb::ScanHints& hints) -> Result<table::Table> {
@@ -288,7 +355,8 @@ class DifferentialTest : public ::testing::Test {
           req.range = kRange;
           req.hints = hints;
           return store->ScanToTable(req);
-        });
+        },
+        provider_options);
 
     table::Table hosts(table::Schema{{{"host", table::DataType::kString},
                                       {"grp", table::DataType::kString}}});
@@ -347,6 +415,42 @@ TEST_F(DifferentialTest, CorpusMatchesSeedAtEveryParallelism) {
   }
   // The harness promises a corpus of at least 25 queries.
   EXPECT_GE(count, 25u);
+}
+
+TEST_F(DifferentialTest, CorpusAgreesAcrossOptimizerModes) {
+  // Every corpus query with the cost-based optimizer off must match the
+  // optimized plan's rows at parallelism 1 and kParallelism: plan shape
+  // (join order, partial aggregates, rollup routing) is never allowed to
+  // change an answer.
+  PlannerOptions off;
+  off.enabled = false;
+  Executor optimized(&catalog_, &functions_, /*parallelism=*/1);
+  Executor off_serial(&catalog_, &functions_, /*parallelism=*/1);
+  off_serial.set_optimizer(off);
+  Executor off_parallel(&catalog_, &functions_, kParallelism);
+  off_parallel.set_optimizer(off);
+
+  size_t rewritten = 0;
+  for (const char* query : kCorpus) {
+    SCOPED_TRACE(query);
+    auto expected = optimized.Query(query);
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+    const ExecStats& st = optimized.last_stats();
+    rewritten += st.joins_reordered + st.agg_pushdowns +
+                 st.count_rollup_rewrites;
+    auto got1 = off_serial.Query(query);
+    ASSERT_TRUE(got1.ok()) << got1.status().ToString();
+    auto gotN = off_parallel.Query(query);
+    ASSERT_TRUE(gotN.ok()) << gotN.status().ToString();
+    EXPECT_EQ(off_serial.last_stats().joins_reordered, 0u);
+    EXPECT_EQ(off_serial.last_stats().agg_pushdowns, 0u);
+    EXPECT_EQ(off_serial.last_stats().count_rollup_rewrites, 0u);
+    ExpectSameRowSet(*expected, *got1, query, "optimizer off@1 vs on");
+    ExpectSameRowSet(*expected, *gotN, query, "optimizer off@N vs on");
+  }
+  // The corpus genuinely exercises the rewrites (several queries reorder
+  // joins, push aggregates below joins, or route COUNT onto rollups).
+  EXPECT_GE(rewritten, 10u);
 }
 
 TEST_F(DifferentialTest, JoinSortPathsByteIdenticalAcrossParallelism) {
